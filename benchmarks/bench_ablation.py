@@ -1,0 +1,80 @@
+"""Benchmark for experiment E4: per-rule pruning and cost-function ablation.
+
+The paper only reports the aggregate ~20% saving of its pruning rules
+(Table 1's two A* columns); this bench isolates each rule and compares
+the three cost functions — the design-choice evidence DESIGN.md calls
+out.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.experiments.ablation import ABLATION_VARIANTS, run_ablation
+from repro.search.astar import astar_schedule
+from repro.util.tables import render_table
+from repro.workloads.suite import paper_suite
+
+
+def test_ablation_report(benchmark, bench_config, results_dir):
+    """Per-rule ablation on small instances of all three CCR sets."""
+    suite = paper_suite(sizes=(10, 12), ccrs=(0.1, 1.0, 10.0))
+    result = benchmark.pedantic(
+        run_ablation, args=(suite, bench_config), rounds=1, iterations=1
+    )
+    save_report(results_dir, "ablation.txt", result.render())
+    assert result.lengths_consistent()
+    by_variant: dict[str, int] = {}
+    for row in result.rows:
+        by_variant[row.variant] = by_variant.get(row.variant, 0) + row.expanded
+    assert by_variant["full"] <= by_variant["none"]
+
+
+def test_cost_function_report(benchmark, bench_config, results_dir):
+    """Cost-function comparison (paper vs improved vs zero)."""
+    suite = paper_suite(sizes=(10, 12), ccrs=(1.0,))
+
+    def run():
+        rows = []
+        for inst in suite:
+            for cost in ("zero", "paper", "improved"):
+                res = astar_schedule(
+                    inst.graph, inst.system, cost=cost, budget=bench_config.budget()
+                )
+                rows.append(
+                    [f"v={inst.size}", cost, res.stats.states_expanded,
+                     res.stats.wall_seconds, res.length, res.optimal]
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["instance", "cost fn", "expanded", "seconds", "length", "proven"],
+        rows,
+        title="Cost-function ablation (A*, full pruning)",
+    )
+    save_report(results_dir, "cost_ablation.txt", text)
+    # Tighter admissible bounds expand no more states (per instance).
+    for i in range(0, len(rows), 3):
+        zero, paper, improved = rows[i : i + 3]
+        if zero[5] and paper[5]:
+            assert paper[2] <= zero[2]
+        if paper[5] and improved[5]:
+            assert improved[2] <= paper[2]
+
+
+@pytest.mark.parametrize("variant", ["none", "full", "only-upper-bound"])
+def test_ablation_single_variant(benchmark, bench_config, variant):
+    inst = paper_suite(sizes=(10,), ccrs=(1.0,)).instances[0]
+
+    def run():
+        return astar_schedule(
+            inst.graph,
+            inst.system,
+            pruning=ABLATION_VARIANTS[variant],
+            budget=bench_config.budget(),
+        )
+
+    result = benchmark(run)
+    assert result.schedule is not None

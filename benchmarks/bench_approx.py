@@ -1,0 +1,76 @@
+"""Benchmark: Aε* vs weighted A* — two bounded-suboptimality mechanisms.
+
+An extension the paper leaves open: it adopts Pearl & Kim's FOCAL
+machinery for Aε*; weighted A* achieves the same ``(1+ε)`` guarantee by
+inflating ``h``.  This bench runs both on the same instances and
+reports length, deviation and work side by side.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.search.astar import astar_schedule
+from repro.search.focal import focal_schedule
+from repro.search.weighted import weighted_astar_schedule
+from repro.util.tables import render_table
+from repro.workloads.suite import paper_suite
+
+
+def test_approx_comparison_report(benchmark, bench_config, results_dir):
+    suite = paper_suite(sizes=(10, 12), ccrs=(1.0, 10.0))
+
+    def run():
+        rows = []
+        for inst in suite:
+            exact = astar_schedule(
+                inst.graph, inst.system, budget=bench_config.budget()
+            )
+            for eps in (0.2, 0.5):
+                focal = focal_schedule(
+                    inst.graph, inst.system, eps, budget=bench_config.budget()
+                )
+                wastar = weighted_astar_schedule(
+                    inst.graph, inst.system, eps, budget=bench_config.budget()
+                )
+                rows.append(
+                    [
+                        f"v={inst.size} ccr={inst.ccr}",
+                        eps,
+                        exact.length,
+                        focal.length,
+                        focal.stats.states_expanded,
+                        wastar.length,
+                        wastar.stats.states_expanded,
+                        exact.optimal,
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["instance", "ε", "optimal", "Aε* len", "Aε* exp",
+         "WA* len", "WA* exp", "opt proven"],
+        rows,
+        title="Bounded suboptimality: Aε* (FOCAL) vs weighted A*",
+        float_fmt="{:g}",
+    )
+    save_report(results_dir, "approx_comparison.txt", text)
+    for row in rows:
+        _inst, eps, opt, flen, _fe, wlen, _we, proven = row
+        if proven:
+            assert flen <= (1 + eps) * opt + 1e-9
+            assert wlen <= (1 + eps) * opt + 1e-9
+
+
+@pytest.mark.parametrize("engine", ["focal", "wastar"])
+def test_approx_single_point(benchmark, bench_config, engine):
+    inst = paper_suite(sizes=(12,), ccrs=(10.0,)).instances[0]
+    fn = focal_schedule if engine == "focal" else weighted_astar_schedule
+
+    def run():
+        return fn(inst.graph, inst.system, 0.5, budget=bench_config.budget())
+
+    result = benchmark(run)
+    assert result.schedule is not None

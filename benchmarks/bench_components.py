@@ -1,0 +1,106 @@
+"""Micro-benchmarks of the performance-critical components.
+
+These watch for regressions in the inner loops the experiment wall-clock
+depends on: state expansion, level computation, cost evaluation, graph
+generation, and the simulated parallel machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.chen_yu import ChenYuCost
+from repro.graph.analysis import _levels_cache, compute_levels
+from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
+from repro.parallel.machine import MachineSpec
+from repro.parallel.parallel_astar import parallel_astar_schedule
+from repro.schedule.partial import PartialSchedule
+from repro.search.astar import astar_schedule
+from repro.search.costs import ImprovedCost, PaperCost
+from repro.search.expansion import StateExpander
+from repro.search.pruning import PruningConfig
+from repro.system.processors import ProcessorSystem
+from repro.workloads.suite import paper_target_system
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    return paper_random_graph(PaperGraphSpec(num_nodes=20, ccr=1.0, seed=77))
+
+
+@pytest.fixture(scope="module")
+def medium_system(medium_graph):
+    return paper_target_system(medium_graph.num_nodes)
+
+
+def test_bench_compute_levels(benchmark, medium_graph):
+    def run():
+        _levels_cache.clear()  # defeat memoization: measure the real cost
+        return compute_levels(medium_graph)
+
+    levels = benchmark(run)
+    assert levels.cp_length > 0
+
+
+def test_bench_generator(benchmark):
+    spec = PaperGraphSpec(num_nodes=32, ccr=1.0, seed=5)
+    graph = benchmark(paper_random_graph, spec)
+    assert graph.num_nodes == 32
+
+
+def test_bench_state_extend(benchmark, medium_graph, medium_system):
+    root = PartialSchedule.empty(medium_graph, medium_system)
+
+    def run():
+        ps = root
+        for node in medium_graph.topological_order:
+            ps = ps.extend(node, node % 4)
+        return ps
+
+    ps = benchmark(run)
+    assert ps.is_complete()
+
+
+def test_bench_expansion(benchmark, medium_graph, medium_system):
+    expander = StateExpander(medium_graph, medium_system, PruningConfig.all())
+    ps = PartialSchedule.empty(medium_graph, medium_system).extend(0, 0)
+
+    children = benchmark(lambda: list(expander.children(ps)))
+    assert children
+
+
+def test_bench_paper_cost_eval(benchmark, medium_graph, medium_system):
+    cost = PaperCost(medium_graph, medium_system)
+    ps = PartialSchedule.empty(medium_graph, medium_system).extend(0, 0)
+    h = benchmark(cost.h, ps)
+    assert h >= 0
+
+
+def test_bench_improved_cost_eval(benchmark, medium_graph, medium_system):
+    cost = ImprovedCost(medium_graph, medium_system)
+    ps = PartialSchedule.empty(medium_graph, medium_system).extend(0, 0)
+    h = benchmark(cost.h, ps)
+    assert h >= 0
+
+
+def test_bench_chen_yu_cost_eval(benchmark, medium_graph, medium_system):
+    """The Table-1 per-state cost gap: compare with the two above."""
+    cost = ChenYuCost(medium_graph, medium_system)
+    ps = PartialSchedule.empty(medium_graph, medium_system).extend(0, 0)
+    h = benchmark(cost.h, ps)
+    assert h >= 0
+
+
+def test_bench_serial_astar_small(benchmark):
+    graph = paper_random_graph(PaperGraphSpec(num_nodes=10, ccr=1.0, seed=9))
+    system = ProcessorSystem.fully_connected(10)
+    result = benchmark(astar_schedule, graph, system)
+    assert result.optimal
+
+
+def test_bench_parallel_simulator(benchmark):
+    graph = paper_random_graph(PaperGraphSpec(num_nodes=10, ccr=1.0, seed=9))
+    system = ProcessorSystem.fully_connected(10)
+    spec = MachineSpec(num_ppes=8)
+    par = benchmark(parallel_astar_schedule, graph, system, spec)
+    assert par.result.optimal

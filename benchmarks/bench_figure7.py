@@ -1,0 +1,63 @@
+"""Benchmark regenerating **Figure 7**: parallel Aε* deviation/time ratio.
+
+Paper shape asserted:
+
+* every returned schedule is within the (1+ε) guarantee (Theorem 2);
+* the measured deviations stay far below the guarantee on average;
+* larger ε never increases the mean time ratio.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.runner import OptimumCache
+from repro.search.focal import focal_schedule
+from repro.workloads.suite import paper_suite
+
+
+def test_figure7_report(benchmark, bench_suite, bench_config, results_dir):
+    """Regenerate Figure 7's four plots (16 simulated PPEs) and save them."""
+    cache = OptimumCache(config=bench_config)
+    result = benchmark.pedantic(
+        run_figure7,
+        args=(bench_suite, bench_config, cache),
+        kwargs={"num_ppes": 16},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, "figure7.txt", result.render())
+
+    proven = [p for p in result.points if p.proven]
+    assert proven, "no point completed within the benchmark budget"
+    assert all(p.within_bound for p in proven)
+    for eps in (0.2, 0.5):
+        deviations = [p.deviation_pct for p in proven if p.epsilon == eps]
+        if deviations:
+            # Far below the guarantee on average (paper: "the actual
+            # percentage deviations from optimal are not as great as the
+            # approximation factor").
+            assert sum(deviations) / len(deviations) <= 100 * eps * 0.8
+
+    mean_ratio = {
+        eps: sum(p.time_ratio for p in proven if p.epsilon == eps)
+        / max(1, sum(1 for p in proven if p.epsilon == eps))
+        for eps in (0.2, 0.5)
+    }
+    assert mean_ratio[0.5] <= mean_ratio[0.2] * 1.25  # looser ε is not slower
+
+
+@pytest.mark.parametrize("eps", [0.2, 0.5])
+def test_figure7_serial_focal_point(benchmark, bench_config, eps):
+    """Serial Aε* timing on the v=12, CCR=1.0 instance."""
+    inst = paper_suite(sizes=(12,), ccrs=(1.0,)).instances[0]
+
+    def run():
+        return focal_schedule(
+            inst.graph, inst.system, eps, budget=bench_config.budget()
+        )
+
+    result = benchmark(run)
+    assert result.schedule is not None

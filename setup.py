@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists only so that
+``pip install -e .`` works in offline environments that lack the
+``wheel`` package (PEP 660 editable installs require bdist_wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""Baseline algorithms the paper compares against."""
+
+from repro.baselines.chen_yu import ChenYuCost, chen_yu_schedule
+
+__all__ = ["ChenYuCost", "chen_yu_schedule"]

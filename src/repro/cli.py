@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``example``
+    Run the paper's worked example (Figure 1-4): prints the levels
+    table, the search statistics and the optimal Gantt chart.
+``table1`` / ``figure6`` / ``figure7``
+    Regenerate the corresponding paper artefact on the §4.1 workload.
+``ablation`` / ``heuristics``
+    The extension experiments (per-rule pruning ablation, heuristic
+    deviation from optimal).
+``schedule``
+    Schedule a task-graph JSON file on a chosen system.
+``generate``
+    Emit a §4.1 random task graph as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimal DAG scheduling via A* search (ICPP'98 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("example", help="run the paper's worked example")
+
+    for name in ("table1", "figure6", "figure7", "ablation", "heuristics"):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.add_argument("--sizes", type=int, nargs="*", default=None,
+                       help="graph sizes (default: 10..20 step 2)")
+        p.add_argument("--ccrs", type=float, nargs="*", default=None,
+                       help="CCR values (default: 0.1 1.0 10.0)")
+        p.add_argument("--full", action="store_true",
+                       help="the paper's full 10..32 sweep (slow)")
+        p.add_argument("--max-expansions", type=int, default=200_000)
+        p.add_argument("--max-seconds", type=float, default=60.0)
+
+    p = sub.add_parser("schedule", help="schedule a task-graph JSON/STG file")
+    p.add_argument("graph", help="path to a graph file (.json or .stg)")
+    p.add_argument("--pes", type=int, default=4, help="number of processors")
+    p.add_argument("--topology", default="clique",
+                   choices=["clique", "ring", "chain", "star"])
+    p.add_argument("--algorithm", default="astar",
+                   choices=["astar", "bnb", "idastar", "focal", "wastar",
+                            "list", "chen-yu"])
+    p.add_argument("--epsilon", type=float, default=0.2,
+                   help="ε for --algorithm focal/wastar")
+    p.add_argument("--max-expansions", type=int, default=500_000)
+    p.add_argument("--trace", action="store_true",
+                   help="print the search tree (astar only)")
+
+    p = sub.add_parser("generate", help="emit a §4.1 random graph as JSON")
+    p.add_argument("--nodes", type=int, default=14)
+    p.add_argument("--ccr", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "example":
+        return _cmd_example()
+    if args.command in ("table1", "figure6", "figure7", "ablation", "heuristics"):
+        return _cmd_experiment(args)
+    if args.command == "schedule":
+        return _cmd_schedule(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _cmd_example() -> int:
+    from repro.graph.analysis import compute_levels
+    from repro.graph.examples import paper_example_dag, paper_example_system
+    from repro.schedule.gantt import render_gantt
+    from repro.search.astar import astar_schedule
+    from repro.search.diagnostics import SearchTrace
+    from repro.util.tables import render_table
+
+    graph = paper_example_dag()
+    system = paper_example_system()
+    levels = compute_levels(graph)
+    rows = [
+        [graph.label(n), levels.static_level[n], levels.b_level[n], levels.t_level[n]]
+        for n in range(graph.num_nodes)
+    ]
+    print(render_table(["node", "sl", "b-level", "t-level"], rows,
+                       title="Figure 2 — levels", float_fmt="{:g}"))
+    trace = SearchTrace()
+    result = astar_schedule(graph, system, trace=trace)
+    print(f"\nsearch: {result.stats.states_generated} states generated, "
+          f"{result.stats.states_expanded} expanded")
+    print("\nSearch tree (Figure 3):")
+    print(trace.render())
+    print("\nOptimal schedule (Figure 4):")
+    print(render_gantt(result.schedule))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.ablation import run_ablation
+    from repro.experiments.figure6 import run_figure6
+    from repro.experiments.figure7 import run_figure7
+    from repro.experiments.heuristics import run_heuristic_comparison
+    from repro.experiments.runner import ExperimentConfig
+    from repro.experiments.table1 import run_table1
+    from repro.workloads.suite import DEFAULT_SIZES, PAPER_CCRS, paper_suite
+
+    sizes = tuple(args.sizes) if args.sizes else DEFAULT_SIZES
+    ccrs = tuple(args.ccrs) if args.ccrs else PAPER_CCRS
+    suite = paper_suite(ccrs=ccrs, sizes=sizes, full=args.full)
+    config = ExperimentConfig(
+        max_expansions=args.max_expansions, max_seconds=args.max_seconds
+    )
+    if args.command == "table1":
+        res = run_table1(suite, config)
+        print(res.render())
+        print()
+        print(res.render_work())
+    elif args.command == "figure6":
+        print(run_figure6(suite, config).render())
+    elif args.command == "figure7":
+        print(run_figure7(suite, config).render())
+    elif args.command == "ablation":
+        print(run_ablation(suite, config).render())
+    else:
+        print(run_heuristic_comparison(suite, config).render())
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.graph.io import load_graph_json
+    from repro.graph.stg import load_stg
+    from repro.heuristics.listsched import list_schedule
+    from repro.schedule.gantt import render_gantt, render_timeline
+    from repro.search.astar import astar_schedule
+    from repro.search.bnb import bnb_schedule
+    from repro.search.diagnostics import SearchTrace
+    from repro.search.focal import focal_schedule
+    from repro.search.idastar import idastar_schedule
+    from repro.search.weighted import weighted_astar_schedule
+    from repro.system.processors import ProcessorSystem
+    from repro.util.timing import Budget
+
+    if args.graph.endswith(".stg"):
+        graph = load_stg(args.graph)
+    else:
+        graph = load_graph_json(args.graph)
+    factory = {
+        "clique": ProcessorSystem.fully_connected,
+        "ring": ProcessorSystem.ring,
+        "chain": ProcessorSystem.chain,
+        "star": ProcessorSystem.star,
+    }[args.topology]
+    system = factory(args.pes)
+    budget = Budget(max_expanded=args.max_expansions)
+    if args.algorithm == "list":
+        sched = list_schedule(graph, system)
+        print(render_timeline(sched))
+        print(render_gantt(sched))
+        return 0
+    trace = SearchTrace() if args.trace and args.algorithm == "astar" else None
+    if args.algorithm == "astar":
+        result = astar_schedule(graph, system, budget=budget, trace=trace)
+    elif args.algorithm == "bnb":
+        result = bnb_schedule(graph, system, budget=budget)
+    elif args.algorithm == "idastar":
+        result = idastar_schedule(graph, system, budget=budget)
+    elif args.algorithm == "wastar":
+        result = weighted_astar_schedule(graph, system, args.epsilon, budget=budget)
+    elif args.algorithm == "chen-yu":
+        from repro.baselines.chen_yu import chen_yu_schedule
+
+        result = chen_yu_schedule(graph, system, budget=budget)
+    else:
+        result = focal_schedule(graph, system, args.epsilon, budget=budget)
+    if trace is not None:
+        print(trace.render())
+    print(f"algorithm: {result.algorithm}   optimal: {result.optimal}   "
+          f"length: {result.length:g}")
+    print(f"states: {result.stats.states_generated} generated / "
+          f"{result.stats.states_expanded} expanded in "
+          f"{result.stats.wall_seconds:.3f}s")
+    if result.schedule is not None:
+        print(render_gantt(result.schedule))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
+    from repro.graph.io import graph_to_dict
+
+    spec = PaperGraphSpec(num_nodes=args.nodes, ccr=args.ccr, seed=args.seed)
+    print(json.dumps(graph_to_dict(paper_random_graph(spec)), indent=2))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-classes exist per subsystem so
+that tests (and users) can assert on precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed task graphs (cycles, bad weights, unknown nodes)."""
+
+
+class CycleError(GraphError):
+    """Raised when a task graph that must be acyclic contains a cycle."""
+
+
+class SystemError_(ReproError):
+    """Raised for malformed processor systems (bad topology, speeds, links).
+
+    Named with a trailing underscore to avoid shadowing the Python builtin
+    :class:`SystemError`.
+    """
+
+
+class ScheduleError(ReproError):
+    """Raised when a schedule violates precedence, overlap, or coverage rules."""
+
+
+class SearchError(ReproError):
+    """Raised for invalid search configurations or internal search failures."""
+
+
+class BudgetExceeded(SearchError):
+    """Raised when a search exceeds its state, memory, or time budget.
+
+    Attributes
+    ----------
+    best_found:
+        The best (possibly suboptimal) complete schedule discovered before
+        the budget ran out, or ``None`` when no complete schedule was found.
+    states_expanded:
+        Number of states expanded before the budget ran out.
+    """
+
+    def __init__(self, message: str, *, best_found=None, states_expanded: int = 0):
+        super().__init__(message)
+        self.best_found = best_found
+        self.states_expanded = states_expanded
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload or experiment specifications."""

@@ -1,0 +1,30 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+* :mod:`repro.experiments.table1`  — Table 1 (Chen & Yu vs A* w/o
+  pruning vs full A*, three CCR sets).
+* :mod:`repro.experiments.figure6` — Figure 6 (parallel A* speedups on
+  2/4/8/16 PPEs, three CCR sets).
+* :mod:`repro.experiments.figure7` — Figure 7 (parallel Aε* deviation
+  from optimal and time ratio, ε ∈ {0.2, 0.5}).
+* :mod:`repro.experiments.ablation` — per-rule pruning ablation (E4)
+  and cost-function comparison.
+* :mod:`repro.experiments.heuristics` — heuristic deviation from
+  optimal (E5; the measurement the paper's introduction motivates).
+"""
+
+from repro.experiments.ablation import run_ablation
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.heuristics import run_heuristic_comparison
+from repro.experiments.runner import ExperimentConfig, OptimumCache
+from repro.experiments.table1 import run_table1
+
+__all__ = [
+    "ExperimentConfig",
+    "OptimumCache",
+    "run_table1",
+    "run_figure6",
+    "run_figure7",
+    "run_ablation",
+    "run_heuristic_comparison",
+]

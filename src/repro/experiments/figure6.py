@@ -1,0 +1,152 @@
+"""Figure 6: speedup of the parallel A* over the serial A*.
+
+The paper plots, for each CCR set, the speedup on 2, 4, 8 and 16 PPEs
+of the Intel Paragon across graph sizes 10…32.  The observed shape:
+moderately sub-linear speedups, slightly dropping with graph size
+(extra states + communication overhead), and more irregular curves at
+CCR = 10 (more divergent search directions).
+
+Our reproduction runs the same sweep on the simulated message-passing
+machine (mesh topology, the Paragon's) and reports
+``speedup = serial work units / parallel makespan units``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import ExperimentConfig, OptimumCache
+from repro.parallel.machine import MachineSpec
+from repro.parallel.metrics import SpeedupReport, measure_speedup
+from repro.util.tables import render_table
+from repro.workloads.suite import WorkloadSuite, paper_suite
+
+__all__ = ["Figure6Point", "Figure6Result", "run_figure6"]
+
+
+@dataclass(frozen=True)
+class Figure6Point:
+    """One point of one speedup curve.
+
+    ``exact`` is True when both the serial and the parallel run proved
+    optimality (neither tripped its budget); only exact points carry the
+    paper's guarantees (equal lengths, meaningful speedups).
+    """
+
+    ccr: float
+    size: int
+    num_ppes: int
+    speedup: float
+    efficiency: float
+    extra_state_ratio: float  # parallel work / serial work
+    lengths_agree: bool
+    exact: bool
+
+
+@dataclass
+class Figure6Result:
+    """All points, grouped for rendering into the paper's three plots."""
+
+    points: list[Figure6Point]
+
+    def curve(self, ccr: float, num_ppes: int) -> list[Figure6Point]:
+        """One speedup-vs-size curve."""
+        return sorted(
+            (p for p in self.points if p.ccr == ccr and p.num_ppes == num_ppes),
+            key=lambda p: p.size,
+        )
+
+    def render(self) -> str:
+        """Three size × PPE-count speedup tables, one per CCR.
+
+        Cells from budget-capped (non-exact) runs are marked with ``*``
+        — their ratios compare two truncated searches, not the paper's
+        quantity.
+        """
+        blocks = []
+        ccrs = sorted({p.ccr for p in self.points})
+        ppes = sorted({p.num_ppes for p in self.points})
+        any_capped = False
+        for ccr in ccrs:
+            sizes = sorted({p.size for p in self.points if p.ccr == ccr})
+            rows = []
+            for size in sizes:
+                row: list[object] = [size]
+                for q in ppes:
+                    match = [
+                        p for p in self.points
+                        if p.ccr == ccr and p.size == size and p.num_ppes == q
+                    ]
+                    if not match:
+                        row.append(None)
+                    elif match[0].exact:
+                        row.append(f"{match[0].speedup:.2f}")
+                    else:
+                        any_capped = True
+                        row.append(f"{match[0].speedup:.2f}*")
+                rows.append(row)
+            blocks.append(
+                render_table(
+                    ["Size"] + [f"{q} PPEs" for q in ppes],
+                    rows,
+                    title=f"Figure 6 — speedup, CCR = {ccr} (simulated mesh)",
+                )
+            )
+        out = "\n\n".join(blocks)
+        if any_capped:
+            out += "\n\n(* = budget-capped run; ratio not meaningful)"
+        return out
+
+
+def run_figure6(
+    suite: WorkloadSuite | None = None,
+    config: ExperimentConfig | None = None,
+    cache: OptimumCache | None = None,
+    *,
+    topology: str = "mesh",
+) -> Figure6Result:
+    """Sweep PPE counts over the workload on the simulated machine."""
+    if suite is None:
+        suite = paper_suite()
+    if config is None:
+        config = ExperimentConfig()
+    if cache is None:
+        cache = OptimumCache(config=config)
+
+    points: list[Figure6Point] = []
+    for inst in suite:
+        serial = cache.optimal_result(inst)
+        for q in config.ppe_counts:
+            spec = MachineSpec(num_ppes=q, topology=topology)
+            report, par = measure_speedup(
+                inst.graph,
+                inst.system,
+                spec,
+                budget=config.budget(),
+                serial_result=serial,
+            )
+            exact = serial.optimal and par.result.bound != float("inf")
+            points.append(
+                _point(inst.ccr, inst.size, report, par.total_expansions, exact)
+            )
+    return Figure6Result(points=points)
+
+
+def _point(
+    ccr: float, size: int, report: SpeedupReport, parallel_work: int, exact: bool
+) -> Figure6Point:
+    extra = (
+        parallel_work / report.serial_expansions
+        if report.serial_expansions
+        else 1.0
+    )
+    return Figure6Point(
+        ccr=ccr,
+        size=size,
+        num_ppes=report.num_ppes,
+        speedup=report.speedup,
+        efficiency=report.efficiency,
+        extra_state_ratio=extra,
+        lengths_agree=report.lengths_agree,
+        exact=exact,
+    )

@@ -1,0 +1,113 @@
+"""Heuristic deviation from optimal (experiment E5).
+
+The paper's introduction motivates optimal schedulers partly as a
+*reference* for measuring how far polynomial heuristics actually are
+from optimal ("in the absence of optimal solutions … the average
+performance deviation of these heuristics is unknown").  With the A*
+engine producing optima, this driver performs that measurement for the
+library's list-scheduling heuristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import ExperimentConfig, OptimumCache
+from repro.heuristics.cpmisf import cpmisf_schedule
+from repro.heuristics.insertion import insertion_list_schedule
+from repro.heuristics.listsched import list_schedule
+from repro.util.tables import render_table
+from repro.workloads.suite import WorkloadSuite, paper_suite
+
+__all__ = ["HeuristicRow", "HeuristicComparison", "run_heuristic_comparison"]
+
+#: Named heuristics measured against the optimum.
+HEURISTICS = {
+    "list-blevel": lambda g, s: list_schedule(g, s, scheme="b-level"),
+    "list-static": lambda g, s: list_schedule(g, s, scheme="static-level"),
+    "list-b+t": lambda g, s: list_schedule(g, s, scheme="b+t-level"),
+    "insertion": lambda g, s: insertion_list_schedule(g, s),
+    "cp-misf": cpmisf_schedule,
+}
+
+
+@dataclass(frozen=True)
+class HeuristicRow:
+    """Deviation of one heuristic on one instance."""
+
+    ccr: float
+    size: int
+    heuristic: str
+    length: float
+    optimal_length: float
+    deviation_pct: float
+    optimal_proven: bool
+
+
+@dataclass
+class HeuristicComparison:
+    """All deviations plus summary rendering."""
+
+    rows: list[HeuristicRow]
+
+    def mean_deviation(self, heuristic: str) -> float:
+        """Average % deviation of one heuristic across instances."""
+        vals = [r.deviation_pct for r in self.rows if r.heuristic == heuristic]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def render(self) -> str:
+        """Heuristic × CCR mean-deviation summary table."""
+        ccrs = sorted({r.ccr for r in self.rows})
+        names = list(dict.fromkeys(r.heuristic for r in self.rows))
+        rows = []
+        for name in names:
+            row: list[object] = [name]
+            for ccr in ccrs:
+                vals = [
+                    r.deviation_pct
+                    for r in self.rows
+                    if r.heuristic == name and r.ccr == ccr
+                ]
+                row.append(sum(vals) / len(vals) if vals else None)
+            row.append(self.mean_deviation(name))
+            rows.append(row)
+        return render_table(
+            ["heuristic"] + [f"CCR={c}" for c in ccrs] + ["overall"],
+            rows,
+            title="Heuristic deviation from optimal (%, mean over sizes)",
+            float_fmt="{:.2f}",
+        )
+
+
+def run_heuristic_comparison(
+    suite: WorkloadSuite | None = None,
+    config: ExperimentConfig | None = None,
+    cache: OptimumCache | None = None,
+) -> HeuristicComparison:
+    """Measure every heuristic against the A* optimum."""
+    if suite is None:
+        suite = paper_suite()
+    if config is None:
+        config = ExperimentConfig()
+    if cache is None:
+        cache = OptimumCache(config=config)
+
+    rows: list[HeuristicRow] = []
+    for inst in suite:
+        opt = cache.optimal_length(inst)
+        proven = cache.is_proven(inst)
+        for name, fn in HEURISTICS.items():
+            sched = fn(inst.graph, inst.system)
+            deviation = 100.0 * (sched.length - opt) / opt if opt > 0 else 0.0
+            rows.append(
+                HeuristicRow(
+                    ccr=inst.ccr,
+                    size=inst.size,
+                    heuristic=name,
+                    length=sched.length,
+                    optimal_length=opt,
+                    deviation_pct=deviation,
+                    optimal_proven=proven,
+                )
+            )
+    return HeuristicComparison(rows=rows)

@@ -1,0 +1,98 @@
+"""Shared experiment infrastructure: configuration and optimum caching.
+
+Optimal schedule lengths are needed by several experiments (Figure 7's
+deviations, the heuristic comparison); :class:`OptimumCache` computes
+each instance's optimum once via serial A* and reuses it, optionally
+persisting to JSON so repeated benchmark runs skip the expensive part.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.search.astar import astar_schedule
+from repro.search.result import SearchResult
+from repro.util.timing import Budget
+from repro.workloads.suite import WorkloadInstance
+
+__all__ = ["ExperimentConfig", "OptimumCache"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Budgets and sweep parameters shared by the experiment drivers.
+
+    ``max_expansions`` bounds each individual search; instances whose
+    searches trip the budget are reported with ``proven=False`` rather
+    than dropped, so tables always have every row.
+    """
+
+    max_expansions: int | None = 200_000
+    max_seconds: float | None = 60.0
+    ppe_counts: tuple[int, ...] = (2, 4, 8, 16)
+    epsilons: tuple[float, ...] = (0.2, 0.5)
+
+    def budget(self) -> Budget:
+        """A fresh budget instance (budgets hold mutable clock state)."""
+        return Budget(
+            max_expanded=self.max_expansions, max_seconds=self.max_seconds
+        )
+
+
+@dataclass
+class OptimumCache:
+    """Memoized optimal lengths per workload instance."""
+
+    config: ExperimentConfig = field(default_factory=ExperimentConfig)
+    path: Path | None = None
+    _memory: dict[str, float] = field(default_factory=dict)
+    _proven: dict[str, bool] = field(default_factory=dict)
+    _results: dict[str, SearchResult] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.path is not None and Path(self.path).exists():
+            try:
+                data = json.loads(Path(self.path).read_text())
+                self._memory = {k: float(v["length"]) for k, v in data.items()}
+                self._proven = {k: bool(v["proven"]) for k, v in data.items()}
+            except (ValueError, KeyError, TypeError):
+                # A corrupt or stale cache must never poison an experiment
+                # run — drop it and recompute (the next persist overwrites).
+                self._memory = {}
+                self._proven = {}
+
+    def optimal_result(self, inst: WorkloadInstance) -> SearchResult:
+        """Full serial-A* result for an instance (memoized in-process)."""
+        res = self._results.get(inst.key)
+        if res is None:
+            res = astar_schedule(
+                inst.graph, inst.system, budget=self.config.budget()
+            )
+            self._results[inst.key] = res
+            self._memory[inst.key] = res.length
+            self._proven[inst.key] = res.optimal
+            self._persist()
+        return res
+
+    def optimal_length(self, inst: WorkloadInstance) -> float:
+        """Optimal (or best-proven) length for an instance."""
+        if inst.key in self._memory and inst.key not in self._results:
+            return self._memory[inst.key]
+        return self.optimal_result(inst).length
+
+    def is_proven(self, inst: WorkloadInstance) -> bool:
+        """True when the cached length is provably optimal."""
+        if inst.key in self._proven and inst.key not in self._results:
+            return self._proven[inst.key]
+        return self.optimal_result(inst).optimal
+
+    def _persist(self) -> None:
+        if self.path is None:
+            return
+        data = {
+            k: {"length": self._memory[k], "proven": self._proven.get(k, False)}
+            for k in self._memory
+        }
+        Path(self.path).write_text(json.dumps(data, indent=2, sort_keys=True))

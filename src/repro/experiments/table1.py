@@ -1,0 +1,172 @@
+"""Table 1: serial running-time comparison.
+
+The paper's Table 1 reports, for each CCR ∈ {0.1, 1.0, 10.0} and each
+v = 10…32, the single-processor running time (seconds on the Paragon)
+of three algorithms:
+
+* ``Chen``    — Chen & Yu's branch-and-bound with the path-matching
+  underestimate;
+* ``A*``      — the proposed A* *without* the §3.2 pruning techniques
+  (the column the paper labels "A*full" measures pruning off);
+* ``full A*`` — the proposed A* with every pruning technique.
+
+Claims the table supports (and the assertions our tests/benches make):
+
+1. both A* columns beat Chen & Yu at every size — the cheap cost
+   function dominates the comparison;
+2. pruning consistently saves a double-digit percentage (≈20% in the
+   paper);
+3. all columns grow steeply with v and with CCR.
+
+We report modern wall-clock seconds *and* the machine-independent work
+counters (states expanded / generated, cost-function evaluations) —
+see DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.chen_yu import chen_yu_schedule
+from repro.experiments.runner import ExperimentConfig
+from repro.search.astar import astar_schedule
+from repro.search.pruning import PruningConfig
+from repro.search.result import SearchResult
+from repro.util.tables import render_table
+from repro.workloads.suite import WorkloadSuite, paper_suite
+
+__all__ = ["Table1Row", "Table1Result", "run_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One (ccr, size) measurement row."""
+
+    ccr: float
+    size: int
+    chen_seconds: float
+    astar_nopruning_seconds: float
+    astar_full_seconds: float
+    chen_expanded: int
+    astar_nopruning_expanded: int
+    astar_full_expanded: int
+    optimal_length: float
+    all_agree: bool
+    all_proven: bool
+
+    @property
+    def pruning_saving(self) -> float:
+        """Fractional time saved by the §3.2 techniques."""
+        if self.astar_nopruning_seconds <= 0:
+            return 0.0
+        return 1.0 - self.astar_full_seconds / self.astar_nopruning_seconds
+
+
+@dataclass
+class Table1Result:
+    """All rows plus rendering helpers."""
+
+    rows: list[Table1Row]
+
+    def by_ccr(self, ccr: float) -> list[Table1Row]:
+        """Rows of one CCR set, by size."""
+        return sorted((r for r in self.rows if r.ccr == ccr), key=lambda r: r.size)
+
+    def render(self) -> str:
+        """Paper-shaped tables: one block per CCR."""
+        blocks = []
+        for ccr in sorted({r.ccr for r in self.rows}):
+            rows = [
+                [
+                    r.size,
+                    r.chen_seconds,
+                    r.astar_nopruning_seconds,
+                    r.astar_full_seconds,
+                    f"{100 * r.pruning_saving:.0f}%",
+                    "yes" if r.all_proven else "budget",
+                ]
+                for r in self.by_ccr(ccr)
+            ]
+            blocks.append(
+                render_table(
+                    ["Size", "Chen (s)", "A* no-prune (s)", "A* full (s)",
+                     "saved", "proven"],
+                    rows,
+                    title=f"Table 1 — CCR = {ccr} (seconds, this machine)",
+                    float_fmt="{:.3f}",
+                )
+            )
+        return "\n\n".join(blocks)
+
+    def render_work(self) -> str:
+        """The machine-independent companion table (states expanded)."""
+        blocks = []
+        for ccr in sorted({r.ccr for r in self.rows}):
+            rows = [
+                [
+                    r.size,
+                    r.chen_expanded,
+                    r.astar_nopruning_expanded,
+                    r.astar_full_expanded,
+                    r.optimal_length,
+                ]
+                for r in self.by_ccr(ccr)
+            ]
+            blocks.append(
+                render_table(
+                    ["Size", "Chen exp.", "A* no-prune exp.", "A* full exp.",
+                     "opt length"],
+                    rows,
+                    title=f"Table 1 (work counters) — CCR = {ccr}",
+                    float_fmt="{:.0f}",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run_table1(
+    suite: WorkloadSuite | None = None,
+    config: ExperimentConfig | None = None,
+) -> Table1Result:
+    """Run the three algorithms over the workload and collect rows."""
+    if suite is None:
+        suite = paper_suite()
+    if config is None:
+        config = ExperimentConfig()
+
+    rows: list[Table1Row] = []
+    for inst in suite:
+        chen = chen_yu_schedule(inst.graph, inst.system, budget=config.budget())
+        nop = astar_schedule(
+            inst.graph,
+            inst.system,
+            pruning=PruningConfig.none(),
+            budget=config.budget(),
+        )
+        full = astar_schedule(
+            inst.graph,
+            inst.system,
+            pruning=PruningConfig.all(),
+            budget=config.budget(),
+        )
+        rows.append(_row(inst.ccr, inst.size, chen, nop, full))
+    return Table1Result(rows=rows)
+
+
+def _row(
+    ccr: float, size: int, chen: SearchResult, nop: SearchResult, full: SearchResult
+) -> Table1Row:
+    lengths = {round(r.length, 6) for r in (chen, nop, full) if r.schedule}
+    return Table1Row(
+        ccr=ccr,
+        size=size,
+        chen_seconds=chen.stats.wall_seconds,
+        astar_nopruning_seconds=nop.stats.wall_seconds,
+        astar_full_seconds=full.stats.wall_seconds,
+        chen_expanded=chen.stats.states_expanded,
+        astar_nopruning_expanded=nop.stats.states_expanded,
+        astar_full_expanded=full.stats.states_expanded,
+        optimal_length=full.length,
+        all_agree=len(lengths) == 1,
+        all_proven=chen.optimal and nop.optimal and full.optimal,
+    )

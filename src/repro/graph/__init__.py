@@ -1,0 +1,26 @@
+"""Task-graph substrate: weighted DAGs, analysis, generators and I/O.
+
+A parallel program is modelled as a node- and edge-weighted directed
+acyclic graph (DAG): node weights are computation costs, edge weights are
+communication costs (paper §2).  This package provides the data
+structure (:class:`~repro.graph.taskgraph.TaskGraph`), the classic graph
+attributes used for search guidance (t-level, b-level, static level,
+critical path), random and structured generators, and serialization.
+"""
+
+from repro.graph.analysis import GraphLevels, compute_levels, critical_path, graph_ccr
+from repro.graph.examples import paper_example_dag, paper_example_system
+from repro.graph.taskgraph import TaskGraph
+from repro.graph.validate import check_acyclic, validate_graph
+
+__all__ = [
+    "TaskGraph",
+    "GraphLevels",
+    "compute_levels",
+    "critical_path",
+    "graph_ccr",
+    "paper_example_dag",
+    "paper_example_system",
+    "check_acyclic",
+    "validate_graph",
+]

@@ -1,0 +1,179 @@
+"""Graph attributes used for search guidance: levels, critical path, CCR.
+
+Definitions (paper §3.2):
+
+* **t-level** of node *n*: length of the longest path from an entry node
+  to *n*, excluding *n* itself.  Path length sums node **and** edge
+  weights.  Highly correlates with the node's earliest possible start.
+* **b-level** of node *n*: length of the longest path from *n* to an exit
+  node (node and edge weights; includes *n*'s own weight).  Bounded by
+  the critical-path length.
+* **static level** *sl(n)*: b-level computed over node weights only
+  (edge costs ignored).  This is the quantity the paper's admissible
+  heuristic ``h`` uses.
+* **critical path (CP)**: any longest path through the DAG; its length
+  equals ``max_n (t-level(n) + b-level(n))``.
+* **CCR**: average communication cost divided by average computation
+  cost (paper §2).
+
+All of these are computed in O(v + e) by dynamic programming over a
+topological order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = [
+    "GraphLevels",
+    "compute_levels",
+    "critical_path",
+    "graph_ccr",
+    "priority_order",
+]
+
+# Cache keyed by graph identity: TaskGraph is immutable, so levels never
+# change for a given object.  Uses id()-keyed weak semantics via the
+# graph's own hash would be wasteful; a plain dict on the graph object is
+# impossible (slots), so we memoise here keyed by id with a generation
+# check on object identity.
+_levels_cache: dict[int, tuple[TaskGraph, "GraphLevels"]] = {}
+
+
+@dataclass(frozen=True)
+class GraphLevels:
+    """All level attributes of a task graph, per node.
+
+    Attributes
+    ----------
+    t_level:
+        Longest entry→n path length excluding n (computation + communication).
+    b_level:
+        Longest n→exit path length including n (computation + communication).
+    static_level:
+        Longest n→exit path length including n, node weights only.
+    cp_length:
+        Critical-path length including communication
+        (= max over n of ``t_level[n] + b_level[n]``).
+    static_cp_length:
+        Critical-path length over node weights only (= max static level of
+        an entry node); a valid makespan lower bound on any schedule that
+        keeps CP nodes on one processor.
+    """
+
+    t_level: tuple[float, ...]
+    b_level: tuple[float, ...]
+    static_level: tuple[float, ...]
+    cp_length: float
+    static_cp_length: float
+
+    def priority(self, node: int) -> float:
+        """The paper's composite node priority: b-level + t-level."""
+        return self.b_level[node] + self.t_level[node]
+
+
+def compute_levels(graph: TaskGraph) -> GraphLevels:
+    """Compute t-levels, b-levels and static levels in O(v + e).
+
+    Results are memoised per graph object (graphs are immutable).
+    """
+    cached = _levels_cache.get(id(graph))
+    if cached is not None and cached[0] is graph:
+        return cached[1]
+
+    v = graph.num_nodes
+    order = graph.topological_order
+    weights = graph.weights
+
+    t_level = [0.0] * v
+    for n in order:
+        w_n_start = t_level[n]
+        for child, c in graph.succ_edges(n):
+            cand = w_n_start + weights[n] + c
+            if cand > t_level[child]:
+                t_level[child] = cand
+
+    b_level = [0.0] * v
+    static_level = [0.0] * v
+    for n in reversed(order):
+        best_b = 0.0
+        best_sl = 0.0
+        for child, c in graph.succ_edges(n):
+            if b_level[child] + c > best_b:
+                best_b = b_level[child] + c
+            if static_level[child] > best_sl:
+                best_sl = static_level[child]
+        b_level[n] = weights[n] + best_b
+        static_level[n] = weights[n] + best_sl
+
+    cp = max(t_level[n] + b_level[n] for n in range(v))
+    static_cp = max(static_level[n] for n in graph.entry_nodes)
+    levels = GraphLevels(
+        t_level=tuple(t_level),
+        b_level=tuple(b_level),
+        static_level=tuple(static_level),
+        cp_length=cp,
+        static_cp_length=static_cp,
+    )
+    if len(_levels_cache) > 4096:  # bound memory across long experiment runs
+        _levels_cache.clear()
+    _levels_cache[id(graph)] = (graph, levels)
+    return levels
+
+
+def critical_path(graph: TaskGraph) -> tuple[float, tuple[int, ...]]:
+    """Return ``(cp_length, node path)`` for one critical path.
+
+    The path is reconstructed greedily by following, from the entry node
+    with the largest b-level, the child whose ``c + b_level`` attains the
+    parent's b-level minus its own weight.  Deterministic (smallest id on
+    ties).
+    """
+    levels = compute_levels(graph)
+    b = levels.b_level
+    start = max(graph.entry_nodes, key=lambda n: (b[n], -n))
+    path = [start]
+    node = start
+    while graph.succs(node):
+        target = b[node] - graph.weight(node)
+        nxt = None
+        for child, c in graph.succ_edges(node):
+            if abs(c + b[child] - target) < 1e-9:
+                if nxt is None or child < nxt:
+                    nxt = child
+        if nxt is None:  # numerical fallback: take max child
+            nxt = max(graph.succs(node), key=lambda ch: c_plus_b(graph, node, ch, b))
+        path.append(nxt)
+        node = nxt
+    return levels.cp_length, tuple(path)
+
+
+def c_plus_b(graph: TaskGraph, u: int, child: int, b: tuple[float, ...]) -> float:
+    """Helper: edge cost plus child's b-level (path continuation value)."""
+    return graph.comm_cost(u, child) + b[child]
+
+
+def graph_ccr(graph: TaskGraph) -> float:
+    """Communication-to-computation ratio of the DAG (paper §2)."""
+    return graph.mean_communication / graph.mean_computation
+
+
+def priority_order(graph: TaskGraph) -> tuple[int, ...]:
+    """Nodes in decreasing ``b-level + t-level`` priority (paper §3.2).
+
+    Ties are broken by larger b-level first (prefers more "urgent" work),
+    then by node id for determinism.
+    """
+    levels = compute_levels(graph)
+    return tuple(
+        sorted(
+            range(graph.num_nodes),
+            key=lambda n: (
+                -(levels.b_level[n] + levels.t_level[n]),
+                -levels.b_level[n],
+                n,
+            ),
+        )
+    )

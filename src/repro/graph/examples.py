@@ -1,0 +1,58 @@
+"""The paper's worked example: Figure 1(a) DAG and Figure 1(b) system.
+
+The DAG below reproduces every number in the paper's Figure 2 table
+(static levels, b-levels, t-levels) and leads to the optimal schedule
+length of 14 shown in Figure 4.  Edge costs are reconstructed from the
+level table:
+
+========  ======  =========  ========
+node      sl      b-level    t-level
+========  ======  =========  ========
+n1        12      19         0
+n2        10      16         3
+n3        10      16         3
+n4         6      10         4
+n5         7      12         7
+n6         2       2         17
+========  ======  =========  ========
+"""
+
+from __future__ import annotations
+
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = ["paper_example_dag", "paper_example_system", "PAPER_OPTIMAL_LENGTH"]
+
+#: Optimal schedule length of the worked example (paper Figure 4).
+PAPER_OPTIMAL_LENGTH = 14.0
+
+
+def paper_example_dag() -> TaskGraph:
+    """Figure 1(a): the 6-node example DAG.
+
+    Nodes n1..n6 map to ids 0..5.  Weights: 2, 3, 3, 4, 5, 2.
+    Edges: n1→n2 (1), n1→n3 (1), n1→n4 (2), n2→n5 (1), n3→n5 (1),
+    n4→n6 (4), n5→n6 (5).
+    """
+    weights = [2, 3, 3, 4, 5, 2]
+    edges = {
+        (0, 1): 1,
+        (0, 2): 1,
+        (0, 3): 2,
+        (1, 4): 1,
+        (2, 4): 1,
+        (3, 5): 4,
+        (4, 5): 5,
+    }
+    return TaskGraph(weights, edges, name="icpp98-figure1a")
+
+
+def paper_example_system():
+    """Figure 1(b): the 3-processor ring target system.
+
+    Imported lazily to avoid a circular package dependency at import time
+    (``repro.system`` depends only on ``repro.errors``).
+    """
+    from repro.system.processors import ProcessorSystem
+
+    return ProcessorSystem.ring(3, name="icpp98-figure1b")

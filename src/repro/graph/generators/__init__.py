@@ -1,0 +1,47 @@
+"""Task-graph generators.
+
+* :mod:`repro.graph.generators.random_paper` — the exact §4.1 recipe used
+  for the paper's Table 1 and Figures 6-7 workloads.
+* :mod:`repro.graph.generators.layered` — layer-structured random DAGs.
+* :mod:`repro.graph.generators.classic` — chains, trees, fork-join,
+  diamonds, independent tasks.
+* :mod:`repro.graph.generators.kernels` — task graphs of numerical
+  kernels (Gaussian elimination, LU, FFT, Laplace stencil,
+  divide-and-conquer), the workload families the scheduling literature
+  uses for application-shaped evaluation.
+"""
+
+from repro.graph.generators.classic import (
+    chain_graph,
+    diamond_graph,
+    fork_join_graph,
+    in_tree_graph,
+    independent_tasks,
+    out_tree_graph,
+)
+from repro.graph.generators.kernels import (
+    divide_and_conquer_graph,
+    fft_graph,
+    gaussian_elimination_graph,
+    laplace_graph,
+    lu_decomposition_graph,
+)
+from repro.graph.generators.layered import layered_random_graph
+from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
+
+__all__ = [
+    "PaperGraphSpec",
+    "paper_random_graph",
+    "layered_random_graph",
+    "chain_graph",
+    "independent_tasks",
+    "fork_join_graph",
+    "out_tree_graph",
+    "in_tree_graph",
+    "diamond_graph",
+    "gaussian_elimination_graph",
+    "lu_decomposition_graph",
+    "fft_graph",
+    "laplace_graph",
+    "divide_and_conquer_graph",
+]

@@ -1,0 +1,136 @@
+"""Classic structured task graphs: chains, trees, fork-join, diamonds.
+
+These shapes have known optimal or easily-reasoned schedules, which makes
+them the backbone of the unit-test suite, and they model real program
+skeletons (pipelines, reductions, map-reduce phases).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = [
+    "chain_graph",
+    "independent_tasks",
+    "fork_join_graph",
+    "out_tree_graph",
+    "in_tree_graph",
+    "diamond_graph",
+]
+
+
+def chain_graph(length: int, *, comp: float = 10.0, comm: float = 5.0) -> TaskGraph:
+    """A linear pipeline ``n1 → n2 → … → nk``.
+
+    Its optimal schedule on any system is the whole chain on one
+    processor: length = ``length * comp``.
+    """
+    if length < 1:
+        raise WorkloadError("chain needs length >= 1")
+    weights = [comp] * length
+    edges = {(i, i + 1): comm for i in range(length - 1)}
+    return TaskGraph(weights, edges, name=f"chain-{length}")
+
+
+def independent_tasks(count: int, *, comp: float = 10.0) -> TaskGraph:
+    """``count`` tasks with no edges (embarrassingly parallel)."""
+    if count < 1:
+        raise WorkloadError("need at least one task")
+    return TaskGraph([comp] * count, {}, name=f"independent-{count}")
+
+
+def fork_join_graph(
+    width: int, *, comp: float = 10.0, comm: float = 5.0,
+    fork_comp: float = 10.0, join_comp: float = 10.0,
+) -> TaskGraph:
+    """Fork-join: one source fans out to ``width`` tasks that join in a sink.
+
+    Node 0 is the fork, nodes ``1..width`` the parallel stage, node
+    ``width+1`` the join.
+    """
+    if width < 1:
+        raise WorkloadError("fork-join needs width >= 1")
+    weights = [fork_comp] + [comp] * width + [join_comp]
+    edges: dict[tuple[int, int], float] = {}
+    sink = width + 1
+    for i in range(1, width + 1):
+        edges[(0, i)] = comm
+        edges[(i, sink)] = comm
+    return TaskGraph(weights, edges, name=f"forkjoin-{width}")
+
+
+def out_tree_graph(
+    depth: int, branching: int = 2, *, comp: float = 10.0, comm: float = 5.0
+) -> TaskGraph:
+    """Complete out-tree (divide phase): root spawns ``branching`` children
+    per level for ``depth`` levels.  ``depth = 0`` is a single node.
+    """
+    if depth < 0 or branching < 1:
+        raise WorkloadError("out-tree needs depth >= 0 and branching >= 1")
+    weights: list[float] = []
+    edges: dict[tuple[int, int], float] = {}
+    # Level-order ids: level L starts at (b^L - 1)/(b - 1) for b > 1.
+    level_nodes: list[list[int]] = []
+    next_id = 0
+    for level in range(depth + 1):
+        count = branching**level
+        ids = list(range(next_id, next_id + count))
+        next_id += count
+        level_nodes.append(ids)
+        weights.extend([comp] * count)
+        if level > 0:
+            parents = level_nodes[level - 1]
+            for j, node in enumerate(ids):
+                edges[(parents[j // branching], node)] = comm
+    return TaskGraph(weights, edges, name=f"outtree-d{depth}-b{branching}")
+
+
+def in_tree_graph(
+    depth: int, branching: int = 2, *, comp: float = 10.0, comm: float = 5.0
+) -> TaskGraph:
+    """Complete in-tree (reduction): mirror image of :func:`out_tree_graph`.
+
+    Leaves first in id order, root (single exit) last.
+    """
+    out = out_tree_graph(depth, branching, comp=comp, comm=comm)
+    v = out.num_nodes
+    # Reverse every edge and relabel ids so the graph stays topologically
+    # ordered smallest-id-first (mirror node i -> v-1-i).
+    weights = list(reversed(out.weights))
+    edges = {
+        (v - 1 - child, v - 1 - parent): cost
+        for (parent, child), cost in out.edges.items()
+    }
+    return TaskGraph(weights, edges, name=f"intree-d{depth}-b{branching}")
+
+
+def diamond_graph(size: int, *, comp: float = 10.0, comm: float = 5.0) -> TaskGraph:
+    """Diamond lattice: expands 1→2→…→``size`` then contracts back to 1.
+
+    A classic structure with layer widths 1, 2, …, size, …, 2, 1 where
+    each node feeds its neighbours in the next layer (wavefront
+    computations, triangular solves).
+    """
+    if size < 1:
+        raise WorkloadError("diamond needs size >= 1")
+    layers: list[list[int]] = []
+    next_id = 0
+    widths = list(range(1, size + 1)) + list(range(size - 1, 0, -1))
+    weights: list[float] = []
+    for width in widths:
+        layers.append(list(range(next_id, next_id + width)))
+        weights.extend([comp] * width)
+        next_id += width
+    edges: dict[tuple[int, int], float] = {}
+    for li in range(len(layers) - 1):
+        cur, nxt = layers[li], layers[li + 1]
+        if len(nxt) > len(cur):  # expanding half
+            for j, u in enumerate(cur):
+                edges[(u, nxt[j])] = comm
+                edges[(u, nxt[j + 1])] = comm
+        else:  # contracting half
+            for j, w in enumerate(nxt):
+                edges[(cur[j], w)] = comm
+                edges[(cur[j + 1], w)] = comm
+    return TaskGraph(weights, edges, name=f"diamond-{size}")

@@ -1,0 +1,214 @@
+"""Task graphs of numerical kernels.
+
+These mirror the application-shaped benchmark families used throughout
+the DAG-scheduling literature (including the authors' own later work):
+Gaussian elimination, LU decomposition, FFT butterflies, Laplace/stencil
+sweeps, and divide-and-conquer.  Costs follow the conventional
+operation-count models with a tunable communication scale so any CCR can
+be dialled in.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = [
+    "gaussian_elimination_graph",
+    "lu_decomposition_graph",
+    "fft_graph",
+    "laplace_graph",
+    "divide_and_conquer_graph",
+]
+
+
+def gaussian_elimination_graph(
+    matrix_size: int, *, comp: float = 40.0, comm_scale: float = 1.0
+) -> TaskGraph:
+    """Gaussian-elimination task graph for an ``m × m`` matrix.
+
+    Per elimination step *k* there is one pivot task ``P_k`` followed by
+    ``m - k - 1`` independent update tasks ``U_{k,j}``; updates feed the
+    next step's pivot and the corresponding update column.  Total nodes:
+    ``sum_{k=0}^{m-2} (1 + (m-k-1)) = (m-1)(m+2)/2``.
+
+    Update tasks shrink with *k* (they touch fewer rows), modelled as
+    cost ∝ remaining columns.
+    """
+    m = matrix_size
+    if m < 2:
+        raise WorkloadError("gaussian elimination needs matrix_size >= 2")
+    weights: list[float] = []
+    labels: list[str] = []
+    edges: dict[tuple[int, int], float] = {}
+    pivot_id: dict[int, int] = {}
+    update_id: dict[tuple[int, int], int] = {}
+
+    for k in range(m - 1):
+        remaining = m - k
+        pid = len(weights)
+        pivot_id[k] = pid
+        weights.append(comp * remaining / m)
+        labels.append(f"P{k}")
+        for j in range(k + 1, m):
+            uid = len(weights)
+            update_id[(k, j)] = uid
+            weights.append(comp * remaining / m)
+            labels.append(f"U{k},{j}")
+            edges[(pid, uid)] = comp * comm_scale * remaining / m
+
+    for k in range(m - 2):
+        nxt_pid = pivot_id[k + 1]
+        # Column k+1's update feeds the next pivot.
+        edges[(update_id[(k, k + 1)], nxt_pid)] = comp * comm_scale * (m - k - 1) / m
+        # Column j's update feeds the next step's update of the same column.
+        for j in range(k + 2, m):
+            edges[(update_id[(k, j)], update_id[(k + 1, j)])] = (
+                comp * comm_scale * (m - k - 1) / m
+            )
+    return TaskGraph(weights, edges, labels, name=f"gauss-{m}")
+
+
+def lu_decomposition_graph(
+    matrix_size: int, *, comp: float = 40.0, comm_scale: float = 1.0
+) -> TaskGraph:
+    """LU-decomposition (Doolittle, no pivoting) task graph.
+
+    Step *k* computes the diagonal task ``D_k``, then column tasks
+    ``L_{i,k}`` (i > k) and row tasks ``R_{k,j}`` (j > k), then interior
+    updates ``A_{i,j}`` (i, j > k) that feed step k+1.  This is the
+    denser cousin of the Gaussian-elimination graph.
+    """
+    m = matrix_size
+    if m < 2:
+        raise WorkloadError("LU needs matrix_size >= 2")
+    weights: list[float] = []
+    labels: list[str] = []
+    edges: dict[tuple[int, int], float] = {}
+
+    def add(label: str, cost: float) -> int:
+        weights.append(cost)
+        labels.append(label)
+        return len(weights) - 1
+
+    comm = comp * comm_scale
+    interior_prev: dict[tuple[int, int], int] = {}
+    for k in range(m - 1):
+        scale = (m - k) / m
+        d = add(f"D{k}", comp * scale)
+        if (k, k) in interior_prev:
+            edges[(interior_prev[(k, k)], d)] = comm * scale
+        col_ids: dict[int, int] = {}
+        row_ids: dict[int, int] = {}
+        for i in range(k + 1, m):
+            c = add(f"L{i},{k}", comp * scale)
+            edges[(d, c)] = comm * scale
+            if (i, k) in interior_prev:
+                edges[(interior_prev[(i, k)], c)] = comm * scale
+            col_ids[i] = c
+        for j in range(k + 1, m):
+            r = add(f"R{k},{j}", comp * scale)
+            edges[(d, r)] = comm * scale
+            if (k, j) in interior_prev:
+                edges[(interior_prev[(k, j)], r)] = comm * scale
+            row_ids[j] = r
+        interior: dict[tuple[int, int], int] = {}
+        for i in range(k + 1, m):
+            for j in range(k + 1, m):
+                a = add(f"A{i},{j}^{k}", comp * scale)
+                edges[(col_ids[i], a)] = comm * scale
+                edges[(row_ids[j], a)] = comm * scale
+                interior[(i, j)] = a
+        interior_prev = interior
+    return TaskGraph(weights, edges, labels, name=f"lu-{m}")
+
+
+def fft_graph(points_log2: int, *, comp: float = 40.0, comm_scale: float = 1.0) -> TaskGraph:
+    """FFT butterfly task graph on ``2**points_log2`` points.
+
+    ``points_log2`` stages of ``2**points_log2`` butterfly tasks each;
+    stage *s* task *i* depends on stage *s-1* tasks *i* and
+    ``i XOR 2**s-ish`` partner (standard radix-2 butterfly wiring).
+    """
+    if points_log2 < 1:
+        raise WorkloadError("fft needs points_log2 >= 1")
+    n = 1 << points_log2
+    stages = points_log2
+    weights: list[float] = []
+    labels: list[str] = []
+    edges: dict[tuple[int, int], float] = {}
+
+    def nid(stage: int, i: int) -> int:
+        return stage * n + i
+
+    comm = comp * comm_scale
+    for stage in range(stages + 1):
+        for i in range(n):
+            weights.append(comp)
+            labels.append(f"S{stage}[{i}]")
+            if stage > 0:
+                partner = i ^ (1 << (stage - 1))
+                edges[(nid(stage - 1, i), nid(stage, i))] = comm
+                edges[(nid(stage - 1, partner), nid(stage, i))] = comm
+    return TaskGraph(weights, edges, labels, name=f"fft-{n}")
+
+
+def laplace_graph(grid: int, *, comp: float = 40.0, comm_scale: float = 1.0) -> TaskGraph:
+    """Laplace-solver wavefront DAG over a ``grid × grid`` domain.
+
+    Point ``(i, j)`` depends on ``(i-1, j)`` and ``(i, j-1)`` — the
+    classic 2-D wavefront (Gauss-Seidel sweep order).
+    """
+    if grid < 1:
+        raise WorkloadError("laplace needs grid >= 1")
+    weights = [comp] * (grid * grid)
+    labels = [f"({i},{j})" for i in range(grid) for j in range(grid)]
+    comm = comp * comm_scale
+    edges: dict[tuple[int, int], float] = {}
+    for i in range(grid):
+        for j in range(grid):
+            nid = i * grid + j
+            if i + 1 < grid:
+                edges[(nid, (i + 1) * grid + j)] = comm
+            if j + 1 < grid:
+                edges[(nid, i * grid + j + 1)] = comm
+    return TaskGraph(weights, edges, labels, name=f"laplace-{grid}")
+
+
+def divide_and_conquer_graph(
+    depth: int, *, comp: float = 40.0, comm_scale: float = 1.0
+) -> TaskGraph:
+    """Divide-and-conquer: binary out-tree glued to its mirror in-tree.
+
+    Models recursive algorithms (mergesort, tree reductions): ``depth``
+    levels of splitting, leaf work, then ``depth`` levels of merging.
+    """
+    if depth < 0:
+        raise WorkloadError("divide-and-conquer needs depth >= 0")
+    comm = comp * comm_scale
+    weights: list[float] = []
+    labels: list[str] = []
+    edges: dict[tuple[int, int], float] = {}
+
+    def add(label: str) -> int:
+        weights.append(comp)
+        labels.append(label)
+        return len(weights) - 1
+
+    # Divide phase: level-order binary tree.
+    divide_levels: list[list[int]] = []
+    for level in range(depth + 1):
+        ids = [add(f"div{level}.{i}") for i in range(1 << level)]
+        if level > 0:
+            for i, node in enumerate(ids):
+                edges[(divide_levels[level - 1][i // 2], node)] = comm
+        divide_levels.append(ids)
+    # Conquer phase mirrors back up.
+    prev = divide_levels[depth]
+    for level in range(depth - 1, -1, -1):
+        ids = [add(f"mrg{level}.{i}") for i in range(1 << level)]
+        for i, node in enumerate(ids):
+            edges[(prev[2 * i], node)] = comm
+            edges[(prev[2 * i + 1], node)] = comm
+        prev = ids
+    return TaskGraph(weights, edges, labels, name=f"dnc-{depth}")

@@ -1,0 +1,120 @@
+"""The paper's random task-graph generator (§4.1), seeded and reproducible.
+
+The recipe, quoted from the paper:
+
+    "First the computation cost of each node in the graph was randomly
+    selected from a uniform distribution with mean equal to 40.
+    Beginning from the first node, a random number indicating the number
+    of children was chosen from a uniform distribution with mean equal
+    to v/10.  Thus, the connectivity of the graph increases with the
+    size of the graph.  The communication cost of an edge was also
+    randomly selected from a uniform distribution with mean equal to 40
+    times the specified value of CCR."
+
+Unstated details we fix (documented so the workload is reproducible):
+
+* "uniform with mean m" is the integer range ``U[1, 2m-1]`` (positive,
+  symmetric about m).
+* Children of node *i* are drawn without replacement from the nodes that
+  come after *i* in the generation order, which guarantees acyclicity.
+* Any non-first node left parentless after the pass receives one edge
+  from a uniformly-chosen earlier node, making the DAG connected and
+  single-entry — without this, small samples occasionally decompose into
+  independent components, which the paper's examples never show.
+* Edge communication costs are drawn per edge; the *achieved* CCR of a
+  sample therefore fluctuates around the requested value (the paper's
+  CCR labels its distribution parameter, not the sample statistic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.graph.taskgraph import TaskGraph
+from repro.util.rng import RngStream
+
+__all__ = ["PaperGraphSpec", "paper_random_graph"]
+
+
+@dataclass(frozen=True)
+class PaperGraphSpec:
+    """Parameters of the §4.1 generator.
+
+    Attributes
+    ----------
+    num_nodes:
+        Graph size v (the paper sweeps 10..32 in steps of 2).
+    ccr:
+        Communication-to-computation ratio parameter (0.1, 1.0, 10.0 in
+        the paper).
+    mean_comp:
+        Mean computation cost (paper: 40).
+    seed:
+        Seed for this particular graph instance.
+    """
+
+    num_nodes: int
+    ccr: float
+    mean_comp: float = 40.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise WorkloadError("paper generator needs at least 2 nodes")
+        if self.ccr <= 0:
+            raise WorkloadError("CCR must be positive")
+        if self.mean_comp <= 0:
+            raise WorkloadError("mean computation cost must be positive")
+
+    @property
+    def mean_out_degree(self) -> float:
+        """Mean number of children per node: v/10 (paper)."""
+        return self.num_nodes / 10.0
+
+    @property
+    def mean_comm(self) -> float:
+        """Mean communication cost: mean_comp × CCR (paper)."""
+        return self.mean_comp * self.ccr
+
+
+def paper_random_graph(spec: PaperGraphSpec) -> TaskGraph:
+    """Generate one random task graph per the §4.1 recipe.
+
+    Deterministic in ``spec`` (including its seed).
+    """
+    rng = RngStream(spec.seed, name=f"paper-graph-v{spec.num_nodes}-ccr{spec.ccr}")
+    v = spec.num_nodes
+
+    weights = [rng.uniform_int_mean(spec.mean_comp) for _ in range(v)]
+
+    edges: dict[tuple[int, int], float] = {}
+    has_parent = [False] * v
+    # Mean out-degree v/10; integer uniform with that mean, at least 0.
+    # For small v the integer mean-v/10 distribution degenerates to {0,1};
+    # we draw from U[0, round(2*v/10)] which has the right mean.
+    max_children = max(1, int(round(2 * spec.mean_out_degree)))
+    for i in range(v - 1):
+        remaining = v - 1 - i
+        k = rng.randint(0, max_children)
+        k = min(k, remaining)
+        if k == 0:
+            continue
+        children = rng.choice(range(i + 1, v), size=k, replace=False)
+        for child in sorted(int(c) for c in children):
+            edges[(i, child)] = float(rng.uniform_int_mean(spec.mean_comm))
+            has_parent[child] = True
+
+    # Connect any orphan (non-root) node to a random earlier node so the
+    # DAG is connected and has a single entry node.
+    for node in range(1, v):
+        if not has_parent[node]:
+            parent = rng.randint(0, node - 1)
+            edges[(parent, node)] = float(rng.uniform_int_mean(spec.mean_comm))
+            has_parent[node] = True
+
+    return TaskGraph(
+        weights,
+        edges,
+        name=f"paper-v{v}-ccr{spec.ccr}-seed{spec.seed}",
+    )

@@ -1,0 +1,124 @@
+"""Task-graph transformations.
+
+Controlled ways to derive new instances from existing ones — used by the
+workload builders (hitting an exact sample CCR), by tests (mirror
+symmetry invariants), and generally useful for experiment design.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graph.analysis import graph_ccr
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = ["reverse_graph", "scale_to_ccr", "scale_costs", "merge_serial_chains"]
+
+
+def reverse_graph(graph: TaskGraph) -> TaskGraph:
+    """Mirror a DAG: reverse every edge, relabel so ids stay topological.
+
+    Node *i* of the result corresponds to node ``v-1-i`` of the input.
+    Levels swap roles (the mirror's b-level is the original's t-level
+    plus the node weight, and vice versa) and the optimal schedule
+    length on any *fully-connected homogeneous* system is preserved —
+    both properties are exercised by the test suite.
+    """
+    v = graph.num_nodes
+    weights = list(reversed(graph.weights))
+    edges = {
+        (v - 1 - dst, v - 1 - src): c for (src, dst), c in graph.edges.items()
+    }
+    labels = tuple(reversed(graph.labels))
+    return TaskGraph(weights, edges, labels, name=f"{graph.name}-reversed")
+
+
+def scale_costs(
+    graph: TaskGraph, *, comp_factor: float = 1.0, comm_factor: float = 1.0
+) -> TaskGraph:
+    """Multiply all node weights and/or edge costs by constants.
+
+    Raises
+    ------
+    GraphError
+        When a factor is non-positive for computation (node weights must
+        stay positive) or negative for communication.
+    """
+    if comp_factor <= 0:
+        raise GraphError("comp_factor must be positive")
+    if comm_factor < 0:
+        raise GraphError("comm_factor must be non-negative")
+    weights = [w * comp_factor for w in graph.weights]
+    edges = {e: c * comm_factor for e, c in graph.edges.items()}
+    return TaskGraph(weights, edges, graph.labels, name=f"{graph.name}-scaled")
+
+
+def scale_to_ccr(graph: TaskGraph, target_ccr: float) -> TaskGraph:
+    """Rescale edge costs so the *sample* CCR equals ``target_ccr``.
+
+    The §4.1 generator's CCR parameter is a distribution mean, so each
+    sample's achieved CCR fluctuates; this transform pins it exactly
+    (useful when an experiment sweeps CCR as a controlled variable).
+
+    Raises
+    ------
+    GraphError
+        For non-positive targets or edge-less graphs.
+    """
+    if target_ccr <= 0:
+        raise GraphError("target CCR must be positive")
+    current = graph_ccr(graph)
+    if current == 0:
+        raise GraphError("cannot rescale a graph with zero communication")
+    return scale_costs(graph, comm_factor=target_ccr / current)
+
+
+def merge_serial_chains(graph: TaskGraph) -> TaskGraph:
+    """Collapse linear chains: merge node pairs (u, w) where w is u's only
+    child and u is w's only parent.
+
+    The classic *linear clustering* preprocessing reduction.  It shrinks
+    the search space dramatically, and any schedule of the merged graph
+    expands to a feasible schedule of the original (run the chain
+    contiguously where the merged node runs), so
+
+        ``optimal(original) ≤ optimal(merged)``
+
+    — merging yields a valid **upper-bounding** instance.  It is *not*
+    exact in general: forcing a chain contiguous can conflict with other
+    tasks competing for the same processor slot, so the merged optimum
+    may exceed the original one (the test suite pins such a case).  Use
+    it to seed upper bounds or to pre-shrink instances where the
+    approximation is acceptable.  Weights add along chains; edges
+    between chains keep their costliest representative.
+    """
+    parent = list(range(graph.num_nodes))  # union-find into chain heads
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u in range(graph.num_nodes):
+        succs = graph.succs(u)
+        if len(succs) == 1 and len(graph.preds(succs[0])) == 1:
+            parent[find(succs[0])] = find(u)
+
+    heads = sorted({find(n) for n in range(graph.num_nodes)})
+    new_id = {h: i for i, h in enumerate(heads)}
+    weights = [0.0] * len(heads)
+    labels: dict[int, list[str]] = {i: [] for i in range(len(heads))}
+    for n in range(graph.num_nodes):
+        h = new_id[find(n)]
+        weights[h] += graph.weight(n)
+        labels[h].append(graph.label(n))
+    edges: dict[tuple[int, int], float] = {}
+    for (u, w), c in graph.edges.items():
+        hu, hw = new_id[find(u)], new_id[find(w)]
+        if hu != hw:
+            # Between two chains, keep the costliest connecting edge.
+            edges[(hu, hw)] = max(edges.get((hu, hw), 0.0), c)
+    merged_labels = ["+".join(labels[i]) for i in range(len(heads))]
+    return TaskGraph(
+        weights, edges, merged_labels, name=f"{graph.name}-merged"
+    )

@@ -1,0 +1,31 @@
+"""Polynomial-time scheduling heuristics.
+
+These serve three roles in the reproduction:
+
+1. the linear-time list heuristic of ref. [14] provides the paper's
+   upper-bound pruning cost ``U`` (§3.2, "Upper-Bound Solution Cost");
+2. classic list schedulers (b-level, static-level, CP/MISF) are the
+   comparison heuristics whose deviation-from-optimal the paper's
+   introduction motivates measuring;
+3. they provide fast non-optimal fallbacks for budgeted searches.
+"""
+
+from repro.heuristics.bounds import makespan_lower_bound, upper_bound_cost
+from repro.heuristics.cpmisf import cpmisf_schedule
+from repro.heuristics.insertion import insertion_list_schedule
+from repro.heuristics.listsched import fast_upper_bound_schedule, list_schedule
+from repro.heuristics.priorities import (
+    PRIORITY_SCHEMES,
+    priority_list,
+)
+
+__all__ = [
+    "list_schedule",
+    "fast_upper_bound_schedule",
+    "insertion_list_schedule",
+    "cpmisf_schedule",
+    "priority_list",
+    "PRIORITY_SCHEMES",
+    "upper_bound_cost",
+    "makespan_lower_bound",
+]

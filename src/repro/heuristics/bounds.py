@@ -1,0 +1,59 @@
+"""Upper and lower bounds on the optimal schedule length.
+
+* :func:`upper_bound_cost` — the paper's pruning bound ``U`` (§3.2):
+  the length of the linear-time list schedule, optionally tightened by
+  the insertion-based variant.  Any state with ``f > U`` can never lead
+  to an optimal schedule because ``g`` is monotone increasing.
+* :func:`makespan_lower_bound` — max of two classic lower bounds:
+  the **critical-path bound** (node weights along the longest path must
+  execute sequentially, at best on the fastest PE) and the
+  **work bound** (total computation divided by aggregate system speed).
+  Used by tests to sandwich the optimum and by the experiment reports.
+"""
+
+from __future__ import annotations
+
+from repro.graph.analysis import compute_levels
+from repro.graph.taskgraph import TaskGraph
+from repro.heuristics.insertion import insertion_list_schedule
+from repro.heuristics.listsched import fast_upper_bound_schedule
+from repro.system.processors import ProcessorSystem
+
+__all__ = ["upper_bound_cost", "makespan_lower_bound"]
+
+
+def upper_bound_cost(
+    graph: TaskGraph,
+    system: ProcessorSystem,
+    *,
+    tighten: bool = True,
+) -> float:
+    """The paper's upper-bound pruning cost ``U``.
+
+    With ``tighten`` (default), also runs the insertion-based scheduler
+    and keeps the smaller of the two lengths — still an upper bound,
+    strictly more pruning.  Set ``tighten=False`` for the literal
+    two-step heuristic of ref. [14].
+    """
+    u = fast_upper_bound_schedule(graph, system).length
+    if tighten:
+        u2 = insertion_list_schedule(graph, system).length
+        if u2 < u:
+            u = u2
+    return u
+
+
+def makespan_lower_bound(graph: TaskGraph, system: ProcessorSystem) -> float:
+    """A valid lower bound on any schedule length.
+
+    ``max(static CP / fastest speed, total work / sum of speeds)``.
+
+    The static critical path ignores communication, so it bounds even
+    schedules that co-locate the whole path on the fastest processor;
+    the work bound holds because all computation must happen somewhere.
+    """
+    levels = compute_levels(graph)
+    fastest = max(system.speeds)
+    cp_bound = levels.static_cp_length / fastest
+    work_bound = graph.total_computation / sum(system.speeds)
+    return max(cp_bound, work_bound)

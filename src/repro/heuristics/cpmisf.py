@@ -1,0 +1,47 @@
+"""CP/MISF: Critical Path / Most Immediate Successors First.
+
+Kasahara & Narita's classic list-scheduling heuristic (the authors of
+the pioneering B&B scheduler the paper's related-work section cites).
+Priority: longest path to exit (b-level here, since we include
+communication in path lengths), ties broken by the number of immediate
+successors — nodes unlocking more work go first.
+"""
+
+from __future__ import annotations
+
+from repro.graph.analysis import compute_levels
+from repro.graph.taskgraph import TaskGraph
+from repro.heuristics.listsched import list_schedule
+from repro.schedule.schedule import Schedule
+from repro.system.processors import ProcessorSystem
+
+__all__ = ["cpmisf_schedule", "cpmisf_priority_order"]
+
+
+def cpmisf_priority_order(graph: TaskGraph) -> tuple[int, ...]:
+    """Topological order by (b-level desc, #successors desc, id asc)."""
+    import heapq
+
+    levels = compute_levels(graph)
+    b = levels.b_level
+
+    def rank(n: int) -> tuple[float, float, int]:
+        return (-b[n], -len(graph.succs(n)), n)
+
+    indeg = [len(graph.preds(n)) for n in range(graph.num_nodes)]
+    heap = [(rank(n), n) for n in range(graph.num_nodes) if indeg[n] == 0]
+    heapq.heapify(heap)
+    out: list[int] = []
+    while heap:
+        _, n = heapq.heappop(heap)
+        out.append(n)
+        for s in graph.succs(n):
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                heapq.heappush(heap, (rank(s), s))
+    return tuple(out)
+
+
+def cpmisf_schedule(graph: TaskGraph, system: ProcessorSystem) -> Schedule:
+    """Schedule with the CP/MISF priority list and earliest-start placement."""
+    return list_schedule(graph, system, order=cpmisf_priority_order(graph))

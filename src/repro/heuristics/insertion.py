@@ -1,0 +1,89 @@
+"""Insertion-based list scheduling.
+
+The append-only rule used by the search never starts a task before the
+last task already on the PE.  Insertion scheduling additionally
+considers idle gaps between already-placed tasks (the MCP/ISH family).
+It often beats plain list scheduling at equal asymptotic cost and gives
+the library a second, stronger heuristic for upper bounds and
+comparisons — a tighter ``U`` prunes more states.
+"""
+
+from __future__ import annotations
+
+from repro.graph.taskgraph import TaskGraph
+from repro.heuristics.priorities import topological_priority_list
+from repro.schedule.schedule import Schedule
+from repro.system.processors import ProcessorSystem
+
+__all__ = ["insertion_list_schedule"]
+
+
+def insertion_list_schedule(
+    graph: TaskGraph,
+    system: ProcessorSystem,
+    *,
+    scheme: str = "b-level",
+    order: tuple[int, ...] | None = None,
+) -> Schedule:
+    """List scheduling that may insert tasks into idle gaps.
+
+    For each node (in priority order) and each PE, the candidate start is
+    the earliest time ≥ the data-ready time at which the PE has an idle
+    gap long enough for the task; the PE and gap minimizing the start are
+    chosen (ties toward lower PE id).
+    """
+    if order is None:
+        order = topological_priority_list(graph, scheme)
+
+    # Per-PE sorted timelines of (start, finish, node).
+    timelines: list[list[tuple[float, float, int]]] = [
+        [] for _ in range(system.num_pes)
+    ]
+    placed: dict[int, tuple[int, float, float]] = {}  # node -> (pe, st, ft)
+
+    for node in order:
+        w = graph.weight(node)
+        best: tuple[float, int] | None = None  # (start, pe)
+        for pe in range(system.num_pes):
+            # Data-ready time on this PE.
+            drt = 0.0
+            for parent, c in graph.pred_edges(node):
+                ppe, _, pft = placed[parent]
+                arrival = pft + system.comm_time(c, ppe, pe)
+                if arrival > drt:
+                    drt = arrival
+            duration = system.exec_time(w, pe)
+            start = _earliest_gap(timelines[pe], drt, duration)
+            if best is None or start < best[0]:
+                best = (start, pe)
+        assert best is not None
+        start, pe = best
+        duration = system.exec_time(w, pe)
+        _insert(timelines[pe], (start, start + duration, node))
+        placed[node] = (pe, start, start + duration)
+
+    return Schedule(
+        graph, system, {n: (pe, st) for n, (pe, st, _ft) in placed.items()}
+    )
+
+
+def _earliest_gap(
+    timeline: list[tuple[float, float, int]], ready: float, duration: float
+) -> float:
+    """Earliest start ≥ ``ready`` that fits ``duration`` into the timeline."""
+    cursor = ready
+    for start, finish, _node in timeline:
+        if cursor + duration <= start:
+            return cursor
+        if finish > cursor:
+            cursor = finish
+    return cursor
+
+
+def _insert(
+    timeline: list[tuple[float, float, int]], entry: tuple[float, float, int]
+) -> None:
+    """Insert keeping the timeline sorted by start time."""
+    import bisect
+
+    bisect.insort(timeline, entry)

@@ -1,0 +1,97 @@
+"""Node priority schemes for list scheduling and search ordering.
+
+The paper (§3.2) assigns priorities by **b-level + t-level** with ties
+broken randomly; we break ties deterministically (larger b-level, then
+smaller id) so experiments are reproducible.  Other classic schemes are
+provided for the heuristic-comparison experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import SearchError
+from repro.graph.analysis import compute_levels
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = ["priority_list", "PRIORITY_SCHEMES", "topological_priority_list"]
+
+PriorityFn = Callable[[TaskGraph], tuple[float, ...]]
+
+
+def _blevel(graph: TaskGraph) -> tuple[float, ...]:
+    return compute_levels(graph).b_level
+
+
+def _tlevel_neg(graph: TaskGraph) -> tuple[float, ...]:
+    # Small t-level = high priority, so negate for max-first ordering.
+    return tuple(-t for t in compute_levels(graph).t_level)
+
+
+def _static_level(graph: TaskGraph) -> tuple[float, ...]:
+    return compute_levels(graph).static_level
+
+
+def _bl_plus_tl(graph: TaskGraph) -> tuple[float, ...]:
+    levels = compute_levels(graph)
+    return tuple(b + t for b, t in zip(levels.b_level, levels.t_level))
+
+
+#: Named priority schemes: name -> callable returning per-node priority
+#: (larger = more important).
+PRIORITY_SCHEMES: dict[str, PriorityFn] = {
+    "b-level": _blevel,
+    "t-level": _tlevel_neg,
+    "static-level": _static_level,
+    "b+t-level": _bl_plus_tl,
+}
+
+
+def priority_list(graph: TaskGraph, scheme: str = "b+t-level") -> tuple[int, ...]:
+    """All nodes in decreasing priority under ``scheme``.
+
+    Ties break by larger b-level, then smaller node id.  The returned
+    order is **not** necessarily topological; list schedulers must pick
+    the highest-priority *ready* node at each step.
+
+    Raises
+    ------
+    SearchError
+        For unknown scheme names.
+    """
+    try:
+        fn = PRIORITY_SCHEMES[scheme]
+    except KeyError:
+        raise SearchError(
+            f"unknown priority scheme {scheme!r}; "
+            f"choose from {sorted(PRIORITY_SCHEMES)}"
+        ) from None
+    prio = fn(graph)
+    b = compute_levels(graph).b_level
+    return tuple(
+        sorted(range(graph.num_nodes), key=lambda n: (-prio[n], -b[n], n))
+    )
+
+
+def topological_priority_list(graph: TaskGraph, scheme: str = "b+t-level") -> tuple[int, ...]:
+    """Like :func:`priority_list` but stable-sorted into a topological order.
+
+    Produces a valid static scheduling list: scanning left to right, every
+    node appears after all of its predecessors, and among independent
+    nodes higher priority comes first.
+    """
+    prio_rank = {n: r for r, n in enumerate(priority_list(graph, scheme))}
+    import heapq
+
+    indeg = [len(graph.preds(n)) for n in range(graph.num_nodes)]
+    heap = [(prio_rank[n], n) for n in range(graph.num_nodes) if indeg[n] == 0]
+    heapq.heapify(heap)
+    out: list[int] = []
+    while heap:
+        _, n = heapq.heappop(heap)
+        out.append(n)
+        for s in graph.succs(n):
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                heapq.heappush(heap, (prio_rank[s], s))
+    return tuple(out)

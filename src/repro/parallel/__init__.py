@@ -1,0 +1,25 @@
+"""Parallel A* scheduling (paper §3.3) on a simulated message-passing machine.
+
+The paper ran on the Intel Paragon.  Per the substitution table in
+DESIGN.md, we reproduce the *algorithmic* quantities that drive its
+speedup results — per-PPE expansions, communication rounds, duplicated
+work from local-only CLOSED lists — on a deterministic discrete-event
+simulation (:mod:`repro.parallel.machine`), and additionally provide a
+real :mod:`multiprocessing` backend (:mod:`repro.parallel.mp_backend`)
+for genuine multi-core runs.
+"""
+
+from repro.parallel.machine import MachineSpec, PPENetwork
+from repro.parallel.metrics import SpeedupReport, measure_speedup
+from repro.parallel.mp_backend import multiprocessing_astar_schedule
+from repro.parallel.parallel_astar import ParallelResult, parallel_astar_schedule
+
+__all__ = [
+    "MachineSpec",
+    "PPENetwork",
+    "parallel_astar_schedule",
+    "ParallelResult",
+    "SpeedupReport",
+    "measure_speedup",
+    "multiprocessing_astar_schedule",
+]

@@ -1,0 +1,73 @@
+"""Round-robin load sharing (paper §3.3, "ROUND-ROBIN LOAD SHARING").
+
+    (1) Determine the average number of un-expanded states N_avg in all
+        the OPEN lists.
+    (2) Every PPE whose local un-expanded count exceeds N_avg
+        distributes the surplus states to the deficit PPEs in a
+        round-robin fashion.
+
+The states a donor sends are its *worst* (largest-cost) OPEN entries:
+its best states are what local best-first progress feeds on, and the
+receivers integrate the donated states into their own OPEN lists, so
+global best-first order is preserved either way while the counts
+equalize.
+"""
+
+from __future__ import annotations
+
+__all__ = ["plan_round_robin_shares", "balance_counts"]
+
+
+def balance_counts(counts: list[int]) -> list[int]:
+    """Target per-PPE counts after §3.3 balancing (sum preserved).
+
+    Every count moves toward ``floor(avg)``/``ceil(avg)``; donors lose
+    surplus, receivers gain it round-robin.
+    """
+    total = sum(counts)
+    q = len(counts)
+    base = total // q
+    remainder = total % q
+    # The first `remainder` PPEs in deficit order end up with base+1.
+    targets = [base] * q
+    order = sorted(range(q), key=lambda i: (counts[i], i))
+    for k in range(remainder):
+        targets[order[k]] += 1
+    return targets
+
+
+def plan_round_robin_shares(counts: list[int]) -> list[tuple[int, int, int]]:
+    """Plan §3.3 transfers: ``(donor, receiver, how_many)`` triples.
+
+    Donors are PPEs above the average; receivers below it.  Transfers
+    are dealt one state at a time round-robin over the receivers, so
+    the result matches the paper's dealing order exactly and is
+    deterministic.
+    """
+    q = len(counts)
+    if q <= 1:
+        return []
+    avg = sum(counts) / q
+    donors = [i for i in range(q) if counts[i] > avg]
+    receivers = [i for i in range(q) if counts[i] < avg]
+    if not donors or not receivers:
+        return []
+
+    working = list(counts)
+    transfers: dict[tuple[int, int], int] = {}
+    r_idx = 0
+    for d in donors:
+        while working[d] - 1 >= avg:
+            # Find the next receiver still below average (round-robin).
+            for _ in range(len(receivers)):
+                r = receivers[r_idx % len(receivers)]
+                r_idx += 1
+                if working[r] + 1 <= avg:
+                    break
+            else:
+                break  # nobody can take more without crossing the average
+            working[d] -= 1
+            working[r] += 1
+            key = (d, r)
+            transfers[key] = transfers.get(key, 0) + 1
+    return [(d, r, n) for (d, r), n in sorted(transfers.items())]

@@ -1,0 +1,95 @@
+"""Speedup accounting for the parallel search (paper Figure 6).
+
+Speedup is serial work over parallel makespan, both measured in the
+same simulated time units (one expansion = ``expansion_cost`` units),
+which is the hardware-independent analogue of the paper's
+wall-clock-over-wall-clock ratio on the Paragon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.taskgraph import TaskGraph
+from repro.parallel.machine import MachineSpec
+from repro.parallel.parallel_astar import ParallelResult, parallel_astar_schedule
+from repro.search.astar import astar_schedule
+from repro.search.pruning import PruningConfig
+from repro.search.result import SearchResult
+from repro.system.processors import ProcessorSystem
+from repro.util.timing import Budget
+
+__all__ = ["SpeedupReport", "measure_speedup"]
+
+
+@dataclass(frozen=True)
+class SpeedupReport:
+    """One speedup measurement (one point of a Figure-6 curve).
+
+    Attributes
+    ----------
+    num_ppes:
+        PPE count of the parallel run.
+    speedup:
+        ``serial_units / parallel_units``.
+    efficiency:
+        ``speedup / num_ppes``.
+    serial_units, parallel_units:
+        Simulated time of the two runs.
+    serial_expansions, parallel_expansions:
+        Work counters; their ratio shows the "extra states" overhead.
+    lengths_agree:
+        Both runs returned schedules of equal length (must be True for
+        exact runs — asserted by tests).
+    """
+
+    num_ppes: int
+    speedup: float
+    efficiency: float
+    serial_units: float
+    parallel_units: float
+    serial_expansions: int
+    parallel_expansions: int
+    lengths_agree: bool
+
+
+def measure_speedup(
+    graph: TaskGraph,
+    system: ProcessorSystem,
+    spec: MachineSpec,
+    *,
+    pruning: PruningConfig | None = None,
+    cost: str = "paper",
+    budget: Budget | None = None,
+    serial_result: SearchResult | None = None,
+) -> tuple[SpeedupReport, ParallelResult]:
+    """Run serial and parallel A* on one instance and compare.
+
+    ``serial_result`` may be supplied to reuse a cached serial run (the
+    experiment drivers sweep PPE counts against one serial baseline).
+    """
+    if serial_result is None:
+        serial_result = astar_schedule(
+            graph, system, pruning=pruning, cost=cost, budget=budget
+        )
+    par = parallel_astar_schedule(
+        graph, system, spec, pruning=pruning, cost=cost, budget=budget
+    )
+    serial_units = serial_result.stats.states_expanded * spec.expansion_cost
+    parallel_units = par.makespan_units
+    speedup = serial_units / parallel_units if parallel_units > 0 else 1.0
+    report = SpeedupReport(
+        num_ppes=spec.num_ppes,
+        speedup=speedup,
+        efficiency=speedup / spec.num_ppes,
+        serial_units=serial_units,
+        parallel_units=parallel_units,
+        serial_expansions=serial_result.stats.states_expanded,
+        parallel_expansions=par.total_expansions,
+        lengths_agree=(
+            serial_result.schedule is not None
+            and par.schedule is not None
+            and abs(serial_result.schedule.length - par.schedule.length) < 1e-9
+        ),
+    )
+    return report, par

@@ -1,0 +1,242 @@
+"""Real multi-core parallel A* via :mod:`multiprocessing`.
+
+The simulator (:mod:`repro.parallel.parallel_astar`) reproduces the
+paper's *measurements*; this backend demonstrates the same algorithmic
+idea — independent searches over a partitioned frontier with a shared
+initial upper bound — on actual cores:
+
+1. expand the root best-first until the frontier holds at least
+   ``workers × oversubscribe`` states (static partitioning — the
+   paper's initial load-distribution phase);
+2. deal the frontier interleaved by cost (paper Case 3) to the workers;
+3. each worker runs the *serial* A* over its sub-frontier to completion
+   with the global list-scheduling upper bound;
+4. reduce: the minimum-length result wins.
+
+As in the paper, workers share no CLOSED list, so placements reachable
+from two frontier states are explored twice — the "extra states"
+overhead.  No dynamic load balancing is attempted (the simulator covers
+that); this backend is intentionally the simplest *correct* real-cores
+variant: every optimal completion passes through the frontier, each
+sub-search is exhaustive below its seeds, hence the reduced minimum is
+the global optimum.
+
+Workers receive the problem as plain serializable dicts (graph dict +
+system parameters + seed placements) and rebuild them, avoiding any
+pickling of library classes across the process boundary.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import multiprocessing as mp
+from typing import Any
+
+from repro.graph.io import graph_from_dict, graph_to_dict
+from repro.graph.taskgraph import TaskGraph
+from repro.heuristics.listsched import fast_upper_bound_schedule
+from repro.schedule.partial import PartialSchedule
+from repro.schedule.schedule import Schedule
+from repro.search.costs import make_cost_function
+from repro.search.expansion import StateExpander
+from repro.search.pruning import PruningConfig
+from repro.search.result import SearchResult, SearchStats
+from repro.system.processors import ProcessorSystem
+from repro.util.timing import Budget
+
+__all__ = ["multiprocessing_astar_schedule"]
+
+_EPS = 1e-9
+
+
+def multiprocessing_astar_schedule(
+    graph: TaskGraph,
+    system: ProcessorSystem,
+    *,
+    workers: int = 2,
+    oversubscribe: int = 4,
+    pruning: PruningConfig | None = None,
+    cost: str = "paper",
+    budget: Budget | None = None,
+) -> SearchResult:
+    """Optimal scheduling using ``workers`` OS processes.
+
+    Falls back to the serial engine when the frontier cannot be split
+    (trivial instances) or ``workers == 1``.
+    """
+    from repro.search.astar import astar_schedule
+
+    if pruning is None:
+        pruning = PruningConfig.all()
+    if workers <= 1:
+        return astar_schedule(graph, system, pruning=pruning, cost=cost, budget=budget)
+
+    # -- step 1: build the frontier --------------------------------------------
+    target = workers * max(1, oversubscribe)
+    cost_fn = make_cost_function(cost, graph, system)
+    stats = SearchStats()
+    expander = StateExpander(graph, system, pruning, stats.pruning)
+    fallback = fast_upper_bound_schedule(graph, system)
+    upper = fallback.length if pruning.upper_bound else math.inf
+
+    root = PartialSchedule.empty(graph, system)
+    frontier: list[tuple[float, int, PartialSchedule]] = [(0.0, 0, root)]
+    seen = {root.signature}
+    seq = 1
+    best_goal: Schedule | None = None
+    while frontier and len(frontier) < target:
+        f, _s, state = heapq.heappop(frontier)
+        if state.is_complete():
+            if best_goal is None or state.makespan < best_goal.length:
+                best_goal = state.to_schedule()
+            # A goal popped at the frontier minimum is already optimal.
+            stats.states_expanded += 1
+            return SearchResult(
+                schedule=best_goal, optimal=True, bound=1.0,
+                stats=stats, algorithm="mp-astar(trivial)",
+            )
+        stats.states_expanded += 1
+        for child in expander.children(state, seen):
+            ch = cost_fn.h(child)
+            cf = child.makespan + ch
+            if pruning.upper_bound and cf > upper + _EPS:
+                stats.pruning.upper_bound_cuts += 1
+                continue
+            stats.states_generated += 1
+            heapq.heappush(frontier, (cf, seq, child))
+            seq += 1
+    if not frontier:
+        return astar_schedule(graph, system, pruning=pruning, cost=cost, budget=budget)
+
+    # -- step 2: deal seeds interleaved by cost ---------------------------------
+    from repro.parallel.partition import distribute_seeds
+
+    seeds = [(f, state) for f, _s, state in frontier]
+    buckets = distribute_seeds(seeds, workers)
+
+    # -- step 3: fan out -----------------------------------------------------------
+    graph_dict = graph_to_dict(graph)
+    system_args = _system_to_args(system)
+    jobs: list[tuple[Any, ...]] = []
+    for bucket in buckets:
+        seed_assignments = [
+            _placements_of(state)  # type: ignore[arg-type]
+            for state in bucket
+        ]
+        jobs.append((graph_dict, system_args, seed_assignments, cost, upper))
+
+    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context("spawn")
+    with ctx.Pool(processes=workers) as pool:
+        outcomes = pool.map(_worker_search, jobs)
+
+    # -- step 4: reduce ---------------------------------------------------------------
+    best: Schedule | None = best_goal
+    total_expanded = stats.states_expanded
+    total_generated = stats.states_generated
+    for assignment, expanded, generated in outcomes:
+        total_expanded += expanded
+        total_generated += generated
+        if assignment is not None:
+            sched = Schedule(graph, system, {n: (pe, st) for n, pe, st in assignment})
+            if best is None or sched.length < best.length:
+                best = sched
+    stats.states_expanded = total_expanded
+    stats.states_generated = total_generated
+    if best is None or fallback.length < best.length:
+        best = fallback
+    return SearchResult(
+        schedule=best, optimal=True, bound=1.0, stats=stats,
+        algorithm=f"mp-astar(workers={workers})",
+    )
+
+
+# -- worker side (top-level functions: picklable under spawn) -----------------
+
+
+def _worker_search(job: tuple[Any, ...]) -> tuple[list | None, int, int]:
+    """Run serial A* restricted to one seed bucket; return the best."""
+    graph_dict, system_args, seed_assignments, cost, upper = job
+    graph = graph_from_dict(graph_dict)
+    system = _system_from_args(system_args)
+    cost_fn = make_cost_function(cost, graph, system)
+    pruning = PruningConfig.all()
+    stats = SearchStats()
+    expander = StateExpander(graph, system, pruning, stats.pruning)
+
+    open_heap: list[tuple[float, int, PartialSchedule]] = []
+    seen: set = set()
+    seq = 0
+    for placements in seed_assignments:
+        state = _replay(graph, system, placements)
+        heapq.heappush(open_heap, (0.0, seq, state))  # f re-costed below
+        seq += 1
+    # Re-cost seeds properly (f was a placeholder).
+    recosted: list[tuple[float, int, PartialSchedule]] = []
+    for _f, s, state in open_heap:
+        recosted.append((state.makespan + cost_fn.h(state), s, state))
+    heapq.heapify(recosted)
+    open_heap = recosted
+
+    best_assignment: list | None = None
+    best_len = math.inf
+    expanded = 0
+    generated = 0
+    while open_heap:
+        f, _s, state = heapq.heappop(open_heap)
+        if f > min(upper, best_len) + _EPS:
+            continue
+        if state.is_complete():
+            expanded += 1
+            if state.makespan < best_len:
+                best_len = state.makespan
+                best_assignment = _placements_of(state)
+            break  # best-first: first goal popped is bucket-optimal
+        expanded += 1
+        for child in expander.children(state, seen):
+            cf = child.makespan + cost_fn.h(child)
+            if cf > min(upper, best_len) + _EPS:
+                continue
+            generated += 1
+            heapq.heappush(open_heap, (cf, seq, child))
+            seq += 1
+    return best_assignment, expanded, generated
+
+
+def _placements_of(state: PartialSchedule) -> list[tuple[int, int, float]]:
+    """Serializable ``(node, pe, start)`` list of a state's placements."""
+    return [
+        (n, state.pes[n], state.starts[n])
+        for n in range(state.graph.num_nodes)
+        if state.pes[n] >= 0
+    ]
+
+
+def _replay(
+    graph: TaskGraph, system: ProcessorSystem, placements: list
+) -> PartialSchedule:
+    """Rebuild a partial schedule by replaying placements in start order."""
+    state = PartialSchedule.empty(graph, system)
+    for node, pe, _start in sorted(placements, key=lambda t: (t[2], t[0])):
+        state = state.extend(node, pe)
+    return state
+
+
+def _system_to_args(system: ProcessorSystem) -> dict[str, Any]:
+    return {
+        "num_pes": system.num_pes,
+        "links": sorted(system.links),
+        "speeds": list(system.speeds),
+        "distance_scaled": system.distance_scaled,
+        "name": system.name,
+    }
+
+
+def _system_from_args(args: dict[str, Any]) -> ProcessorSystem:
+    return ProcessorSystem(
+        args["num_pes"],
+        links=[tuple(l) for l in args["links"]],
+        speeds=args["speeds"],
+        distance_scaled=args["distance_scaled"],
+        name=args["name"],
+    )

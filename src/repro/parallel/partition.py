@@ -1,0 +1,67 @@
+"""Initial load distribution of the parallel A* (paper §3.3).
+
+Every PPE expands the initial empty state; with ``k`` seed states and
+``q`` PPEs three cases apply:
+
+* **Case 1 (k > q)** — every PPE gets one state, extras are dealt
+  round-robin.
+* **Case 2 (k = q)** — every PPE gets exactly one state.
+* **Case 3 (k < q)** — states keep being expanded (best-first) until at
+  least ``q`` exist; the pool is then sorted by increasing cost and
+  dealt *interleaved*: the best state to PPE 0, the 2nd to PPE q−1, the
+  3rd to PPE 1, the 4th to PPE q−2 … so good states spread evenly;
+  extras are dealt round-robin.
+"""
+
+from __future__ import annotations
+
+__all__ = ["interleaved_order", "distribute_seeds"]
+
+
+def interleaved_order(q: int) -> list[int]:
+    """The PPE visiting order of Case 3: 0, q−1, 1, q−2, 2, …
+
+    >>> interleaved_order(5)
+    [0, 4, 1, 3, 2]
+    """
+    order: list[int] = []
+    lo, hi = 0, q - 1
+    while lo <= hi:
+        order.append(lo)
+        if hi != lo:
+            order.append(hi)
+        lo += 1
+        hi -= 1
+    return order
+
+
+def distribute_seeds(
+    seeds: list[tuple[float, object]], q: int
+) -> list[list[object]]:
+    """Deal cost-sorted seed states to ``q`` PPEs per the §3.3 cases.
+
+    Parameters
+    ----------
+    seeds:
+        ``(cost, state)`` pairs (any comparable cost; states opaque).
+    q:
+        Number of PPEs.
+
+    Returns
+    -------
+    list of per-PPE state lists.
+
+    The deal is interleaved for the first ``q`` states and round-robin
+    beyond them, which covers all three §3.3 cases: with k ≤ q there are
+    simply no extras.  (The *expansion until k ≥ q* part of Case 3 is
+    the simulator's job; this function only deals what it is given.)
+    """
+    buckets: list[list[object]] = [[] for _ in range(q)]
+    ordered = sorted(seeds, key=lambda cs: cs[0])
+    order = interleaved_order(q)
+    for rank, (_cost, state) in enumerate(ordered):
+        if rank < q:
+            buckets[order[rank]].append(state)
+        else:
+            buckets[rank % q].append(state)
+    return buckets

@@ -1,0 +1,21 @@
+"""Schedule substrate: complete/partial schedules, validation, rendering,
+analytics and persistence."""
+
+from repro.schedule.gantt import render_gantt
+from repro.schedule.io import load_schedule_json, save_schedule_json
+from repro.schedule.metrics import ScheduleMetrics, analyze_schedule
+from repro.schedule.partial import PartialSchedule
+from repro.schedule.schedule import Schedule, ScheduledTask
+from repro.schedule.validate import validate_schedule
+
+__all__ = [
+    "Schedule",
+    "ScheduledTask",
+    "PartialSchedule",
+    "validate_schedule",
+    "render_gantt",
+    "analyze_schedule",
+    "ScheduleMetrics",
+    "save_schedule_json",
+    "load_schedule_json",
+]

@@ -1,0 +1,53 @@
+"""ASCII Gantt-chart rendering of schedules (paper Figure 4 style)."""
+
+from __future__ import annotations
+
+from repro.schedule.schedule import Schedule
+
+__all__ = ["render_gantt", "render_timeline"]
+
+
+def render_gantt(schedule: Schedule, *, width: int = 60) -> str:
+    """Render a schedule as one text row per processor.
+
+    Each task is drawn as ``[label###]`` proportional to its duration on
+    a time axis scaled to ``width`` characters; idle time is dots.
+    """
+    length = schedule.length
+    if length <= 0:
+        return "(empty schedule)"
+    scale = width / length
+    lines = [
+        f"schedule length = {length:g}   "
+        f"(graph {schedule.graph.name!r}, {schedule.num_used_pes} PEs used)"
+    ]
+    for pe in range(schedule.system.num_pes):
+        timeline = schedule.tasks_on(pe)
+        row = []
+        cursor = 0
+        for t in timeline:
+            start_col = int(round(t.start * scale))
+            end_col = max(start_col + 1, int(round(t.finish * scale)))
+            row.append("." * (start_col - cursor))
+            label = schedule.graph.label(t.node)
+            body_len = end_col - start_col
+            body = label[: body_len - 2].center(max(0, body_len - 2), "#")
+            row.append("[" + body + "]" if body_len >= 2 else "|")
+            cursor = end_col
+        row.append("." * max(0, width - cursor))
+        lines.append(f"PE {pe:>2} |{''.join(row)}|")
+    axis = f"       0{' ' * (width - len(f'{length:g}') - 1)}{length:g}"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def render_timeline(schedule: Schedule) -> str:
+    """Render a schedule as an exact numeric table (one row per task)."""
+    lines = ["node   PE   start   finish"]
+    for t in schedule.tasks:
+        lines.append(
+            f"{schedule.graph.label(t.node):<6} {t.pe:<4} "
+            f"{t.start:<7g} {t.finish:<7g}"
+        )
+    lines.append(f"schedule length = {schedule.length:g}")
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Quantitative schedule analysis.
+
+Beyond the raw makespan, schedulers are judged on resource usage and on
+how close they come to analytic limits.  These helpers compute the
+standard figures of merit used by the examples and experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.analysis import compute_levels
+from repro.schedule.schedule import Schedule
+
+__all__ = ["ScheduleMetrics", "analyze_schedule", "communication_volume"]
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Summary of one schedule.
+
+    Attributes
+    ----------
+    length:
+        The makespan.
+    serial_length:
+        Total computation on one unit-speed PE (the serialization cost).
+    speedup:
+        ``serial_length / length`` — how much parallelism the schedule
+        extracts.
+    efficiency:
+        ``speedup / PEs used``.
+    used_pes:
+        Number of PEs running at least one task.
+    idle_time:
+        Total idle time on used PEs inside the makespan.
+    comm_volume:
+        Total communication cost actually paid (cross-PE edges only).
+    comm_edges:
+        Number of edges that cross PEs.
+    cp_slack:
+        ``length − static CP length`` — distance from the
+    communication-free critical-path lower bound (0 means the schedule
+    is CP-tight).
+    load_balance:
+        max per-PE busy time / mean per-PE busy time over used PEs
+        (1.0 = perfectly balanced).
+    """
+
+    length: float
+    serial_length: float
+    speedup: float
+    efficiency: float
+    used_pes: int
+    idle_time: float
+    comm_volume: float
+    comm_edges: int
+    cp_slack: float
+    load_balance: float
+
+
+def communication_volume(schedule: Schedule) -> tuple[float, int]:
+    """Total paid communication cost and the number of cross-PE edges."""
+    graph = schedule.graph
+    system = schedule.system
+    volume = 0.0
+    count = 0
+    for (u, v), c in graph.edges.items():
+        pu, pv = schedule.pe_of(u), schedule.pe_of(v)
+        if pu != pv:
+            volume += system.comm_time(c, pu, pv)
+            count += 1
+    return volume, count
+
+
+def analyze_schedule(schedule: Schedule) -> ScheduleMetrics:
+    """Compute all figures of merit for one schedule."""
+    graph = schedule.graph
+    levels = compute_levels(graph)
+    serial = graph.total_computation
+    length = schedule.length
+    used = schedule.used_pes
+    busy = {pe: 0.0 for pe in used}
+    for t in schedule.tasks:
+        busy[t.pe] += t.duration
+    mean_busy = sum(busy.values()) / len(used)
+    volume, count = communication_volume(schedule)
+    speedup = serial / length if length > 0 else 0.0
+    return ScheduleMetrics(
+        length=length,
+        serial_length=serial,
+        speedup=speedup,
+        efficiency=speedup / len(used) if used else 0.0,
+        used_pes=len(used),
+        idle_time=schedule.idle_time(),
+        comm_volume=volume,
+        comm_edges=count,
+        cp_slack=length - levels.static_cp_length,
+        load_balance=(max(busy.values()) / mean_busy) if mean_busy > 0 else 1.0,
+    )

@@ -1,0 +1,162 @@
+"""Complete schedules: the output of every scheduler in this library.
+
+A :class:`Schedule` maps every task of a graph to a processor and a start
+time.  Finish times, the schedule length (makespan) and per-PE timelines
+are derived.  Schedules are value objects: equal iff their assignments
+are equal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ScheduleError
+from repro.graph.taskgraph import TaskGraph
+from repro.system.processors import ProcessorSystem
+
+__all__ = ["ScheduledTask", "Schedule"]
+
+
+@dataclass(frozen=True, order=True)
+class ScheduledTask:
+    """One task placement: node, PE, start and finish times."""
+
+    start: float
+    finish: float
+    node: int
+    pe: int
+
+    @property
+    def duration(self) -> float:
+        """Execution time on the assigned PE."""
+        return self.finish - self.start
+
+
+class Schedule:
+    """An immutable complete schedule for ``graph`` on ``system``.
+
+    Parameters
+    ----------
+    graph, system:
+        The problem instance.
+    assignment:
+        Mapping ``node -> (pe, start_time)`` covering every node.
+
+    Raises
+    ------
+    ScheduleError
+        When the assignment does not cover every node exactly once or
+        references unknown PEs.  (Precedence/overlap feasibility is
+        checked separately by :func:`repro.schedule.validate.validate_schedule`,
+        so tests can construct deliberately-invalid schedules.)
+    """
+
+    __slots__ = ("graph", "system", "_tasks", "_by_node", "_length", "_hash")
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        system: ProcessorSystem,
+        assignment: Mapping[int, tuple[int, float]],
+    ) -> None:
+        if set(assignment.keys()) != set(range(graph.num_nodes)):
+            missing = set(range(graph.num_nodes)) - set(assignment.keys())
+            extra = set(assignment.keys()) - set(range(graph.num_nodes))
+            raise ScheduleError(
+                f"assignment must cover every node exactly once "
+                f"(missing={sorted(missing)}, unknown={sorted(extra)})"
+            )
+        tasks = []
+        for node, (pe, start) in assignment.items():
+            if not (0 <= pe < system.num_pes):
+                raise ScheduleError(f"node {node} assigned to unknown PE {pe}")
+            if start < 0:
+                raise ScheduleError(f"node {node} has negative start time {start}")
+            finish = start + system.exec_time(graph.weight(node), pe)
+            tasks.append(ScheduledTask(start=start, finish=finish, node=node, pe=pe))
+        self.graph = graph
+        self.system = system
+        self._by_node = {t.node: t for t in tasks}
+        self._tasks = tuple(sorted(tasks))
+        self._length = max(t.finish for t in tasks)
+        self._hash: int | None = None
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def length(self) -> float:
+        """Schedule length (makespan): ``max_i FT(n_i)``."""
+        return self._length
+
+    @property
+    def tasks(self) -> tuple[ScheduledTask, ...]:
+        """All placements ordered by (start, finish, node, pe)."""
+        return self._tasks
+
+    def task(self, node: int) -> ScheduledTask:
+        """Placement of one node."""
+        return self._by_node[node]
+
+    def pe_of(self, node: int) -> int:
+        """Processor assigned to ``node``."""
+        return self._by_node[node].pe
+
+    def start_time(self, node: int) -> float:
+        """``ST(node)``."""
+        return self._by_node[node].start
+
+    def finish_time(self, node: int) -> float:
+        """``FT(node)``."""
+        return self._by_node[node].finish
+
+    def tasks_on(self, pe: int) -> tuple[ScheduledTask, ...]:
+        """Placements on one PE in execution order."""
+        return tuple(t for t in self._tasks if t.pe == pe)
+
+    @property
+    def used_pes(self) -> tuple[int, ...]:
+        """PEs that run at least one task, ascending."""
+        return tuple(sorted({t.pe for t in self._tasks}))
+
+    @property
+    def num_used_pes(self) -> int:
+        """Number of distinct PEs used (the paper reports minimum TPEs)."""
+        return len(self.used_pes)
+
+    def idle_time(self) -> float:
+        """Total idle time across used PEs within the makespan."""
+        busy = sum(t.duration for t in self._tasks)
+        return self.num_used_pes * self._length - busy
+
+    def efficiency(self) -> float:
+        """Busy fraction of the used PEs over the makespan."""
+        denom = self.num_used_pes * self._length
+        return (sum(t.duration for t in self._tasks) / denom) if denom else 0.0
+
+    def as_assignment(self) -> dict[int, tuple[int, float]]:
+        """Export as a plain ``node -> (pe, start)`` dict."""
+        return {t.node: (t.pe, t.start) for t in self._tasks}
+
+    # -- dunder --------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule(graph={self.graph.name!r}, length={self._length:g}, "
+            f"pes={self.num_used_pes})"
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return (
+            self.graph == other.graph
+            and self.system == other.system
+            and self._tasks == other._tasks
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self.graph, self.system, self._tasks))
+        return self._hash

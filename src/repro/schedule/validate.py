@@ -1,0 +1,71 @@
+"""Schedule feasibility validation.
+
+A schedule is feasible when (paper §2):
+
+* every task appears exactly once (checked at construction);
+* no two tasks overlap on the same processor;
+* every task starts no earlier than each parent's finish time plus the
+  communication delay when parent and child sit on different PEs.
+
+The validator returns the full list of violations so tests can assert on
+specific failure modes; :func:`validate_schedule` raises on the first
+problem for API users.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScheduleError
+from repro.schedule.schedule import Schedule
+
+__all__ = ["validate_schedule", "schedule_violations"]
+
+_EPS = 1e-9
+
+
+def schedule_violations(schedule: Schedule) -> list[str]:
+    """Return human-readable descriptions of every feasibility violation."""
+    graph = schedule.graph
+    system = schedule.system
+    problems: list[str] = []
+
+    # Processor overlap: tasks on one PE must not intersect in time.
+    for pe in schedule.used_pes:
+        timeline = schedule.tasks_on(pe)
+        for prev, cur in zip(timeline, timeline[1:]):
+            if cur.start < prev.finish - _EPS:
+                problems.append(
+                    f"overlap on PE {pe}: node {prev.node} "
+                    f"[{prev.start:g},{prev.finish:g}) and node {cur.node} "
+                    f"[{cur.start:g},{cur.finish:g})"
+                )
+
+    # Precedence + communication delays.
+    for (u, w), c in graph.edges.items():
+        tu = schedule.task(u)
+        tw = schedule.task(w)
+        delay = system.comm_time(c, tu.pe, tw.pe)
+        earliest = tu.finish + delay
+        if tw.start < earliest - _EPS:
+            problems.append(
+                f"precedence violation on edge {u}->{w}: child starts at "
+                f"{tw.start:g} but data ready at {earliest:g} "
+                f"(parent on PE {tu.pe}, child on PE {tw.pe})"
+            )
+
+    # Duration consistency (guards against hand-built schedules with
+    # wrong finish times; Schedule derives finish so this is a tautology
+    # unless the system's speeds changed identity, but cheap to keep).
+    for t in schedule.tasks:
+        expected = system.exec_time(graph.weight(t.node), t.pe)
+        if abs(t.duration - expected) > _EPS:
+            problems.append(
+                f"node {t.node} duration {t.duration:g} != expected {expected:g}"
+            )
+    return problems
+
+
+def validate_schedule(schedule: Schedule) -> None:
+    """Raise :class:`ScheduleError` on the first feasibility violation."""
+    problems = schedule_violations(schedule)
+    if problems:
+        raise ScheduleError(problems[0])

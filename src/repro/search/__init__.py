@@ -1,0 +1,49 @@
+"""State-space search schedulers: the paper's primary contribution.
+
+* :mod:`repro.search.costs` — the admissible cost function ``f = g + h``
+  of §3.1 (Theorem 1) plus tighter/looser alternatives for ablation.
+* :mod:`repro.search.pruning` — the four §3.2 pruning techniques as
+  independently-toggleable rules with hit counters.
+* :mod:`repro.search.astar` — the serial A* scheduling algorithm.
+* :mod:`repro.search.focal` — the approximate Aε* (§3.4, Theorem 2).
+* :mod:`repro.search.bnb` — depth-first branch-and-bound on the same
+  state space (memory-light alternative).
+* :mod:`repro.search.enumerate` — exhaustive enumeration for tiny
+  instances (ground truth in tests).
+"""
+
+from repro.search.astar import astar_schedule
+from repro.search.bnb import bnb_schedule
+from repro.search.idastar import idastar_schedule
+from repro.search.weighted import weighted_astar_schedule
+from repro.search.costs import (
+    COST_FUNCTIONS,
+    CostFunction,
+    ImprovedCost,
+    PaperCost,
+    ZeroCost,
+    make_cost_function,
+)
+from repro.search.enumerate import enumerate_optimal
+from repro.search.focal import focal_schedule
+from repro.search.pruning import PruningConfig, PruningStats
+from repro.search.result import SearchResult, SearchStats
+
+__all__ = [
+    "astar_schedule",
+    "focal_schedule",
+    "bnb_schedule",
+    "idastar_schedule",
+    "weighted_astar_schedule",
+    "enumerate_optimal",
+    "CostFunction",
+    "PaperCost",
+    "ImprovedCost",
+    "ZeroCost",
+    "COST_FUNCTIONS",
+    "make_cost_function",
+    "PruningConfig",
+    "PruningStats",
+    "SearchResult",
+    "SearchStats",
+]

@@ -1,0 +1,172 @@
+"""The serial A* scheduling algorithm (paper §3.1-3.2).
+
+Algorithm (paper, "THE SERIAL A* SCHEDULING ALGORITHM"):
+
+1. Put the initial (empty) state in OPEN with ``f(Φ) = 0``.
+2. Remove from OPEN the state with the smallest ``f``; move it to CLOSED.
+3. If it is a goal state (complete schedule) — stop: the schedule is
+   optimal (Theorem 1: ``h`` admissible).
+4. Otherwise expand it by exhaustively matching ready nodes to
+   processors (filtered by the §3.2 pruning rules), compute
+   ``f = g + h`` for each child, insert into OPEN, go to 2.
+
+Implementation notes:
+
+* OPEN is a binary heap ordered by ``(f, h, seq)`` — the ``h``
+  tie-break prefers states closer to a goal, ``seq`` makes equal
+  entries FIFO and the whole search deterministic.
+* OPEN/CLOSED duplicate detection share one signature set: a state's
+  signature fully determines ``g`` and ``h``, so a duplicate can never
+  need re-opening — the first copy always has the same ``f``.
+* States whose ``f`` exceeds the upper bound ``U`` (linear-time list
+  schedule, §3.2) are discarded at generation time.
+* On budget exhaustion the best complete schedule seen so far (or the
+  ``U`` heuristic schedule) is returned with ``optimal=False``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+
+from repro.graph.taskgraph import TaskGraph
+from repro.heuristics.listsched import fast_upper_bound_schedule
+from repro.schedule.partial import PartialSchedule
+from repro.schedule.schedule import Schedule
+from repro.search.costs import CostFunction, make_cost_function
+from repro.search.diagnostics import SearchTrace
+from repro.search.expansion import StateExpander
+from repro.search.pruning import PruningConfig
+from repro.search.result import SearchResult, SearchStats
+from repro.system.processors import ProcessorSystem
+from repro.util.timing import Budget
+
+__all__ = ["astar_schedule"]
+
+_EPS = 1e-9
+
+
+def astar_schedule(
+    graph: TaskGraph,
+    system: ProcessorSystem,
+    *,
+    pruning: PruningConfig | None = None,
+    cost: str | CostFunction = "paper",
+    budget: Budget | None = None,
+    trace: SearchTrace | None = None,
+) -> SearchResult:
+    """Find an optimal schedule of ``graph`` on ``system`` via A*.
+
+    Parameters
+    ----------
+    graph, system:
+        The problem instance.
+    pruning:
+        §3.2 technique switches; defaults to all enabled.
+    cost:
+        Cost-function name (``"paper"``, ``"improved"``, ``"zero"``) or a
+        pre-built :class:`CostFunction`.
+    budget:
+        Optional resource limits; on exhaustion the best schedule seen so
+        far is returned with ``optimal=False``.
+    trace:
+        Optional :class:`SearchTrace` recording the search tree (used by
+        the worked-example scripts).
+
+    Returns
+    -------
+    SearchResult
+        ``result.optimal`` is True iff the search ran to completion, in
+        which case ``result.schedule`` has provably minimal length.
+    """
+    if pruning is None:
+        pruning = PruningConfig.all()
+    if isinstance(cost, str):
+        cost_fn = make_cost_function(cost, graph, system)
+    else:
+        cost_fn = cost
+    if budget is None:
+        budget = Budget.unlimited()
+    budget.start()
+
+    stats = SearchStats()
+    expander = StateExpander(graph, system, pruning, stats.pruning)
+
+    # Upper-bound pruning cost U (§3.2) and fallback schedule.
+    fallback: Schedule = fast_upper_bound_schedule(graph, system)
+    upper = fallback.length if pruning.upper_bound else math.inf
+
+    t0 = time.perf_counter()
+    root = PartialSchedule.empty(graph, system)
+    # OPEN heap entries: (f, h, seq, state).
+    open_heap: list[tuple[float, float, int, PartialSchedule]] = [
+        (0.0, 0.0, 0, root)
+    ]
+    seq = 1
+    seen: set[tuple] = {root.signature} if pruning.duplicate_detection else set()
+    incumbent: Schedule | None = None  # best complete schedule *generated*
+
+    dup_on = pruning.duplicate_detection
+    ub_on = pruning.upper_bound
+
+    while open_heap:
+        if budget.exhausted(stats.states_expanded, stats.states_generated):
+            best = incumbent if incumbent is not None else fallback
+            stats.wall_seconds = time.perf_counter() - t0
+            stats.cost_evaluations = cost_fn.evaluations
+            return SearchResult(
+                schedule=best, optimal=False, bound=math.inf,
+                stats=stats, algorithm="astar(budget)",
+            )
+        f, h, _s, state = heapq.heappop(open_heap)
+
+        if state.is_complete():
+            # Goal popped with minimal f: optimal (Theorem 1).
+            stats.states_expanded += 1
+            stats.wall_seconds = time.perf_counter() - t0
+            stats.cost_evaluations = cost_fn.evaluations
+            if trace is not None:
+                trace.record_goal(state, f)
+            return SearchResult(
+                schedule=state.to_schedule(), optimal=True, bound=1.0,
+                stats=stats, algorithm="astar",
+            )
+
+        stats.states_expanded += 1
+        if trace is not None:
+            trace.record_expansion(state, f, state.makespan, h)
+
+        for child in expander.children(state, seen if dup_on else None):
+            ch = cost_fn.h(child)
+            cf = child.makespan + ch
+            if ub_on and cf > upper + _EPS:
+                stats.pruning.upper_bound_cuts += 1
+                continue
+            stats.states_generated += 1
+            if child.is_complete():
+                # Track as incumbent for budget fallbacks and tighten U:
+                # a complete state's f equals its length.
+                if incumbent is None or child.makespan < incumbent.length:
+                    incumbent = child.to_schedule()
+                    if ub_on and incumbent.length < upper:
+                        upper = incumbent.length
+            heapq.heappush(open_heap, (cf, ch, seq, child))
+            seq += 1
+            if trace is not None:
+                trace.record_generation(state, child, cf, child.makespan, ch)
+        if len(open_heap) > stats.max_open_size:
+            stats.max_open_size = len(open_heap)
+
+    # OPEN exhausted without popping a goal.  With upper-bound pruning
+    # enabled this can only happen when every optimal completion ties the
+    # heuristic bound exactly and was cut by a float-equal boundary —
+    # `> upper + eps` prevents that; reaching here therefore means the
+    # incumbent (or fallback = the list schedule) is optimal.
+    stats.wall_seconds = time.perf_counter() - t0
+    stats.cost_evaluations = cost_fn.evaluations
+    best = incumbent if incumbent is not None else fallback
+    return SearchResult(
+        schedule=best, optimal=True, bound=1.0,
+        stats=stats, algorithm="astar(exhausted)",
+    )

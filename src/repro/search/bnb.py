@@ -1,0 +1,127 @@
+"""Depth-first branch-and-bound on the scheduling state space.
+
+The memory-light alternative to A*: explores children best-``f``-first
+in depth-first order, keeps the best complete schedule found as the
+incumbent, and prunes any state whose ``f`` cannot beat it.  With the
+admissible cost functions of :mod:`repro.search.costs` the final
+incumbent is optimal.
+
+This engine plays two roles in the reproduction:
+
+* a self-check: A* and B&B must agree on the optimal length everywhere
+  (integration tests assert this);
+* the structural skeleton shared with the Chen & Yu baseline
+  (:mod:`repro.baselines.chen_yu`), which differs only in its far more
+  expensive underestimate.
+
+Depth-first order finds complete schedules early, so the incumbent
+tightens quickly — the classic B&B trade: more expansions than A*, but
+O(depth) open memory (plus the optional visited set).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.graph.taskgraph import TaskGraph
+from repro.heuristics.listsched import fast_upper_bound_schedule
+from repro.schedule.partial import PartialSchedule
+from repro.schedule.schedule import Schedule
+from repro.search.costs import CostFunction, make_cost_function
+from repro.search.expansion import StateExpander
+from repro.search.pruning import PruningConfig
+from repro.search.result import SearchResult, SearchStats
+from repro.system.processors import ProcessorSystem
+from repro.util.timing import Budget
+
+__all__ = ["bnb_schedule"]
+
+_EPS = 1e-9
+
+
+def bnb_schedule(
+    graph: TaskGraph,
+    system: ProcessorSystem,
+    *,
+    pruning: PruningConfig | None = None,
+    cost: str | CostFunction = "paper",
+    budget: Budget | None = None,
+    use_visited: bool = True,
+) -> SearchResult:
+    """Find an optimal schedule via depth-first branch-and-bound.
+
+    Parameters mirror :func:`repro.search.astar.astar_schedule`;
+    ``use_visited=False`` trades time for O(depth) memory by disabling
+    the visited-placement set (the search then re-explores transposition
+    duplicates but remains correct).
+    """
+    if pruning is None:
+        pruning = PruningConfig.all()
+    if isinstance(cost, str):
+        cost_fn = make_cost_function(cost, graph, system)
+    else:
+        cost_fn = cost
+    if budget is None:
+        budget = Budget.unlimited()
+    budget.start()
+
+    stats = SearchStats()
+    expander = StateExpander(graph, system, pruning, stats.pruning)
+
+    incumbent: Schedule = fast_upper_bound_schedule(graph, system)
+    best_len = incumbent.length if pruning.upper_bound else math.inf
+    proven = True
+
+    t0 = time.perf_counter()
+    root = PartialSchedule.empty(graph, system)
+    # Stack of (f, state); children pushed worst-first so the best child
+    # is explored first (LIFO).
+    stack: list[tuple[float, PartialSchedule]] = [(0.0, root)]
+    visited: set[tuple] = set()
+    dup_on = use_visited and pruning.duplicate_detection
+
+    while stack:
+        if budget.exhausted(stats.states_expanded, stats.states_generated):
+            proven = False
+            break
+        f, state = stack.pop()
+        # Re-check against the incumbent: it may have tightened since push.
+        if f > best_len - _EPS and not state.is_complete():
+            stats.pruning.upper_bound_cuts += 1
+            continue
+
+        if state.is_complete():
+            stats.states_expanded += 1
+            if state.makespan < best_len:
+                best_len = state.makespan
+                incumbent = state.to_schedule()
+            continue
+
+        stats.states_expanded += 1
+        children: list[tuple[float, PartialSchedule]] = []
+        for child in expander.children(state, visited if dup_on else None):
+            ch = cost_fn.h(child)
+            cf = child.makespan + ch
+            if cf > best_len - _EPS and not child.is_complete():
+                stats.pruning.upper_bound_cuts += 1
+                continue
+            if child.is_complete() and cf > best_len - _EPS:
+                continue
+            stats.states_generated += 1
+            children.append((cf, child))
+        # Best child on top of the stack.
+        children.sort(key=lambda t: -t[0])
+        stack.extend(children)
+        if len(stack) > stats.max_open_size:
+            stats.max_open_size = len(stack)
+
+    stats.wall_seconds = time.perf_counter() - t0
+    stats.cost_evaluations = cost_fn.evaluations
+    return SearchResult(
+        schedule=incumbent,
+        optimal=proven,
+        bound=1.0 if proven else math.inf,
+        stats=stats,
+        algorithm="bnb" if proven else "bnb(budget)",
+    )

@@ -1,0 +1,181 @@
+"""Cost functions guiding the state-space search.
+
+The paper's function (§3.1):
+
+* ``g(s) = max_i FT(n_i)`` — the length of the partial schedule.
+* ``h(s) = max_{n_j ∈ succ(n_max)} sl(n_j)`` — the largest *static
+  level* among the successors of the node ``n_max`` that attains the
+  maximum finish time; 0 when ``n_max`` has no successors (and for the
+  empty state, where ``f(Φ) = 0``).
+
+Theorem 1 (admissibility): every successor ``n_j`` of ``n_max`` starts
+no earlier than ``FT(n_max) = g(s)`` because its parent must complete
+first, and the longest node-weight-only path from ``n_j`` to an exit
+must then execute, so the final makespan is at least
+``g(s) + sl(n_j)`` for each such ``n_j``.  Hence ``h ≤ h*``.
+
+When several scheduled nodes tie at the maximum finish time we take the
+max over all of them — each tied node yields an admissible bound, so
+their maximum is admissible and at least as tight.
+
+For heterogeneous systems the static levels are computed with the
+*fastest* processor speed so that the bound stays admissible.
+
+Alternatives provided for the cost-function ablation (the paper's core
+argument is that a *cheap* h beats an expensive one in wall-clock —
+E1/E4 quantify this):
+
+* :class:`ZeroCost` — ``h = 0``; A* degenerates toward uniform-cost /
+  exhaustive enumeration (§3.1: "the search ... then degenerates to an
+  exhaustive enumeration of states").
+* :class:`ImprovedCost` — a strictly tighter admissible bound that
+  scans *all* scheduled nodes with unscheduled successors (O(v + e) per
+  evaluation instead of O(v)).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SearchError
+from repro.graph.analysis import compute_levels
+from repro.graph.taskgraph import TaskGraph
+from repro.schedule.partial import PartialSchedule
+from repro.system.processors import ProcessorSystem
+
+__all__ = [
+    "CostFunction",
+    "PaperCost",
+    "ZeroCost",
+    "ImprovedCost",
+    "COST_FUNCTIONS",
+    "make_cost_function",
+]
+
+
+class CostFunction:
+    """Base class: per-instance precomputation plus a fast ``h``.
+
+    Subclasses must set :attr:`name` and implement :meth:`h`.
+    ``f(s) = s.makespan + h(s)`` is assembled by the search engines.
+    """
+
+    name = "abstract"
+
+    def __init__(self, graph: TaskGraph, system: ProcessorSystem) -> None:
+        self.graph = graph
+        self.system = system
+        self.evaluations = 0  # instrumentation for Table-1 style reports
+
+    def h(self, ps: PartialSchedule) -> float:
+        """Admissible estimate of the remaining schedule length."""
+        raise NotImplementedError
+
+
+class PaperCost(CostFunction):
+    """The paper's h: max static level among successors of ``n_max``."""
+
+    name = "paper"
+
+    def __init__(self, graph: TaskGraph, system: ProcessorSystem) -> None:
+        super().__init__(graph, system)
+        fastest = max(system.speeds)
+        levels = compute_levels(graph)
+        self._sl = tuple(s / fastest for s in levels.static_level)
+        self._succs = tuple(graph.succs(n) for n in range(graph.num_nodes))
+
+    def h(self, ps: PartialSchedule) -> float:
+        self.evaluations += 1
+        makespan = ps.makespan
+        if makespan == 0.0:  # empty state: f(Φ) = 0
+            return 0.0
+        finishes = ps.finishes
+        sl = self._sl
+        succs = self._succs
+        best = 0.0
+        # All nodes attaining the max finish time contribute (tie handling).
+        for n in range(len(finishes)):
+            if finishes[n] == makespan:
+                for j in succs[n]:
+                    if sl[j] > best:
+                        best = sl[j]
+        return best
+
+
+class ZeroCost(CostFunction):
+    """``h = 0``: the trivial admissible bound (exhaustive-search ablation)."""
+
+    name = "zero"
+
+    def h(self, ps: PartialSchedule) -> float:
+        self.evaluations += 1
+        return 0.0
+
+
+class ImprovedCost(CostFunction):
+    """A tighter admissible bound scanning every frontier edge.
+
+    ``h = max(paper-h, max over unscheduled j of EST_lb(j) + sl(j) − g)``
+    where ``EST_lb(j)`` is the largest finish time among j's *scheduled*
+    parents (0 when none are scheduled).  Any completion must run j no
+    earlier than each scheduled parent's finish, then execute j's longest
+    static path, so each term lower-bounds the final makespan.
+
+    Strictly dominates :class:`PaperCost` (for ``j ∈ succ(n_max)``,
+    ``EST_lb(j) ≥ g``), at ~(v+e)/v times the evaluation cost — the
+    trade-off the paper's Table 1 discussion is about.
+    """
+
+    name = "improved"
+
+    def __init__(self, graph: TaskGraph, system: ProcessorSystem) -> None:
+        super().__init__(graph, system)
+        fastest = max(system.speeds)
+        levels = compute_levels(graph)
+        self._sl = tuple(s / fastest for s in levels.static_level)
+        self._preds = tuple(graph.preds(n) for n in range(graph.num_nodes))
+
+    def h(self, ps: PartialSchedule) -> float:
+        self.evaluations += 1
+        g = ps.makespan
+        mask = ps.mask
+        finishes = ps.finishes
+        sl = self._sl
+        preds = self._preds
+        best = 0.0
+        for j in range(len(finishes)):
+            if (mask >> j) & 1:
+                continue
+            est = 0.0
+            for p in preds[j]:
+                if (mask >> p) & 1 and finishes[p] > est:
+                    est = finishes[p]
+            bound = est + sl[j] - g
+            if bound > best:
+                best = bound
+        return best
+
+
+#: Registry of cost-function constructors by name.
+COST_FUNCTIONS: dict[str, type[CostFunction]] = {
+    "paper": PaperCost,
+    "zero": ZeroCost,
+    "improved": ImprovedCost,
+}
+
+
+def make_cost_function(
+    name: str, graph: TaskGraph, system: ProcessorSystem
+) -> CostFunction:
+    """Instantiate a registered cost function.
+
+    Raises
+    ------
+    SearchError
+        For unknown names.
+    """
+    try:
+        cls = COST_FUNCTIONS[name]
+    except KeyError:
+        raise SearchError(
+            f"unknown cost function {name!r}; choose from {sorted(COST_FUNCTIONS)}"
+        ) from None
+    return cls(graph, system)

@@ -1,0 +1,172 @@
+"""Search-tree tracing and rendering (paper Figure 3 / Figure 5 style).
+
+A :class:`SearchTrace` records every expansion and generation event; the
+renderers reproduce the paper's annotated search-tree figures in text
+form: each state shows the node→PE action and its cost split ``g + h``,
+with expansion order numbers on expanded states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.schedule.partial import PartialSchedule
+
+__all__ = ["SearchTrace", "TraceNode"]
+
+
+@dataclass
+class TraceNode:
+    """One state in the recorded search tree."""
+
+    node_id: int
+    parent_id: int | None
+    action: str  # e.g. "n4 -> PE 0" or "<root>"
+    g: float
+    h: float
+    f: float
+    expanded_order: int | None = None
+    is_goal: bool = False
+    children: list[int] = field(default_factory=list)
+
+
+class SearchTrace:
+    """Recorder passed to the search engines via their ``trace`` argument."""
+
+    def __init__(self) -> None:
+        self.nodes: list[TraceNode] = []
+        self._by_sig: dict[tuple, int] = {}
+        self._expansions = 0
+
+    # -- recording hooks (called by the engines) -----------------------------
+
+    def record_expansion(self, state: PartialSchedule, f: float, g: float, h: float) -> None:
+        """Mark a state as expanded (assigns the next expansion number)."""
+        nid = self._ensure(state, None, g, h, f)
+        if self.nodes[nid].expanded_order is None:
+            self.nodes[nid].expanded_order = self._expansions
+            self._expansions += 1
+
+    def record_generation(
+        self,
+        parent: PartialSchedule,
+        child: PartialSchedule,
+        f: float,
+        g: float,
+        h: float,
+    ) -> None:
+        """Record a child state generated from ``parent``."""
+        pid = self._by_sig.get(parent.signature)
+        cid = self._ensure(child, pid, g, h, f)
+        if pid is not None and cid not in self.nodes[pid].children:
+            self.nodes[pid].children.append(cid)
+
+    def record_goal(self, state: PartialSchedule, f: float) -> None:
+        """Mark the goal state."""
+        nid = self._by_sig.get(state.signature)
+        if nid is not None:
+            self.nodes[nid].is_goal = True
+            if self.nodes[nid].expanded_order is None:
+                self.nodes[nid].expanded_order = self._expansions
+                self._expansions += 1
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def num_generated(self) -> int:
+        """States recorded (root excluded)."""
+        return max(0, len(self.nodes) - 1)
+
+    @property
+    def num_expanded(self) -> int:
+        """States expanded."""
+        return self._expansions
+
+    def to_dot(self) -> str:
+        """Render the recorded tree in Graphviz DOT (paper Figure-3 style).
+
+        Expanded states show their expansion order; the goal is doubly
+        circled; non-expanded (generated-only) states are grey.
+        """
+        lines = ["digraph searchtree {", "  node [shape=box, fontsize=10];"]
+        for n in self.nodes:
+            label = f"{n.action}\\nf = {n.g:g} + {n.h:g}"
+            attrs = []
+            if n.expanded_order is not None:
+                label += f"\\n#{n.expanded_order}"
+            else:
+                attrs.append('color="grey60", fontcolor="grey40"')
+            if n.is_goal:
+                attrs.append("peripheries=2")
+            attr_str = (", " + ", ".join(attrs)) if attrs else ""
+            lines.append(f'  {n.node_id} [label="{label}"{attr_str}];')
+        for n in self.nodes:
+            for cid in n.children:
+                lines.append(f"  {n.node_id} -> {cid};")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def render(self, max_depth: int | None = None) -> str:
+        """ASCII tree: one line per state, ``action  f = g + h`` format."""
+        if not self.nodes:
+            return "(empty trace)"
+        lines: list[str] = []
+
+        def walk(nid: int, depth: int) -> None:
+            if max_depth is not None and depth > max_depth:
+                return
+            n = self.nodes[nid]
+            marks = []
+            if n.expanded_order is not None:
+                marks.append(f"#{n.expanded_order}")
+            if n.is_goal:
+                marks.append("GOAL")
+            suffix = ("   [" + ", ".join(marks) + "]") if marks else ""
+            lines.append(
+                f"{'  ' * depth}{n.action}  f = {n.g:g} + {n.h:g}{suffix}"
+            )
+            for cid in n.children:
+                walk(cid, depth + 1)
+
+        walk(0, 0)
+        return "\n".join(lines)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _ensure(
+        self,
+        state: PartialSchedule,
+        parent_id: int | None,
+        g: float,
+        h: float,
+        f: float,
+    ) -> int:
+        sig = state.signature
+        nid = self._by_sig.get(sig)
+        if nid is not None:
+            return nid
+        nid = len(self.nodes)
+        action = self._describe_action(state, parent_id)
+        self.nodes.append(
+            TraceNode(node_id=nid, parent_id=parent_id, action=action, g=g, h=h, f=f)
+        )
+        self._by_sig[sig] = nid
+        return nid
+
+    def _describe_action(self, state: PartialSchedule, parent_id: int | None) -> str:
+        if state.num_scheduled == 0:
+            return "<initial>"
+        if parent_id is None:
+            return f"<{state.num_scheduled} placed>"
+        parent_sig = None
+        for sig, nid in self._by_sig.items():
+            if nid == parent_id:
+                parent_sig = sig
+                break
+        if parent_sig is None:
+            return f"<{state.num_scheduled} placed>"
+        parent_mask = parent_sig[0]
+        new_bit = state.mask & ~parent_mask
+        node = new_bit.bit_length() - 1
+        label = state.graph.label(node)
+        return f"{label} -> PE {state.pes[node]}"

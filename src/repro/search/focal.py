@@ -1,0 +1,214 @@
+"""The approximate Aε* algorithm (paper §3.4, after Pearl & Kim).
+
+Aε* keeps, next to OPEN, a FOCAL list holding the states whose cost is
+within a factor ``(1 + ε)`` of the minimum cost in OPEN:
+
+    ``FOCAL = { s' : f(s') ≤ (1 + ε) · min_{s ∈ OPEN} f(s) }``
+
+and always expands from FOCAL, choosing by a *secondary* heuristic —
+here the number of unscheduled nodes, so deeper states (closer to a
+complete schedule) are preferred and goals are reached quickly.
+
+Theorem 2 (ε-admissibility): when a goal is popped from FOCAL,
+``f(goal) ≤ (1+ε)·f_min ≤ (1+ε)·f_opt`` because OPEN always contains a
+state on an optimal path with ``f ≤ f_opt`` (admissibility of ``h``).
+The returned schedule is therefore within ``(1 + ε)`` of optimal.
+
+Implementation: three heaps sharing lazily-invalidated entries —
+
+* ``all_by_f``   — every live state, ordered by ``f`` (tracks f_min);
+* ``focal``      — the FOCAL subset, ordered by ``(unscheduled, f)``;
+* ``non_focal``  — the rest, ordered by ``f`` (admission queue).
+
+Because the paper's ``h`` is admissible but not consistent, ``f_min``
+may temporarily *decrease*; FOCAL entries are therefore re-validated
+against the current bound at pop time (stale ones are demoted back to
+``non_focal``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+
+from repro.errors import SearchError
+from repro.graph.taskgraph import TaskGraph
+from repro.heuristics.listsched import fast_upper_bound_schedule
+from repro.schedule.partial import PartialSchedule
+from repro.schedule.schedule import Schedule
+from repro.search.costs import CostFunction, make_cost_function
+from repro.search.expansion import StateExpander
+from repro.search.pruning import PruningConfig
+from repro.search.result import SearchResult, SearchStats
+from repro.system.processors import ProcessorSystem
+from repro.util.timing import Budget
+
+__all__ = ["focal_schedule"]
+
+_EPS = 1e-9
+
+
+def focal_schedule(
+    graph: TaskGraph,
+    system: ProcessorSystem,
+    epsilon: float,
+    *,
+    pruning: PruningConfig | None = None,
+    cost: str | CostFunction = "paper",
+    budget: Budget | None = None,
+) -> SearchResult:
+    """Find a schedule within ``(1 + epsilon)`` of optimal via Aε*.
+
+    Parameters mirror :func:`repro.search.astar.astar_schedule`;
+    ``epsilon = 0`` reduces to plain A* (with extra bookkeeping).
+
+    Raises
+    ------
+    SearchError
+        For negative ``epsilon``.
+    """
+    if epsilon < 0:
+        raise SearchError(f"epsilon must be >= 0, got {epsilon}")
+    if pruning is None:
+        pruning = PruningConfig.all()
+    if isinstance(cost, str):
+        cost_fn = make_cost_function(cost, graph, system)
+    else:
+        cost_fn = cost
+    if budget is None:
+        budget = Budget.unlimited()
+    budget.start()
+
+    stats = SearchStats()
+    expander = StateExpander(graph, system, pruning, stats.pruning)
+    fallback: Schedule = fast_upper_bound_schedule(graph, system)
+    # The *unrelaxed* upper bound stays valid for Aε*: states on an
+    # optimal path have f ≤ f_opt ≤ U and therefore survive the cut, so
+    # the termination argument (a goal within (1+ε)·f_min pops) is
+    # untouched — and OPEN stays as small as exact A*'s.
+    upper = fallback.length if pruning.upper_bound else math.inf
+
+    t0 = time.perf_counter()
+    v = graph.num_nodes
+    root = PartialSchedule.empty(graph, system)
+
+    # seq -> (state, f); dead seqs are skipped lazily in all heaps.
+    store: dict[int, tuple[PartialSchedule, float]] = {0: (root, 0.0)}
+    dead: set[int] = set()
+    all_by_f: list[tuple[float, int]] = [(0.0, 0)]
+    focal: list[tuple[int, float, int]] = [(v, 0.0, 0)]  # (unscheduled, f, seq)
+    non_focal: list[tuple[float, int]] = []
+    in_focal: set[int] = {0}
+    next_seq = 1
+    seen: set[tuple] = {root.signature} if pruning.duplicate_detection else set()
+    incumbent: Schedule | None = None
+
+    def f_min() -> float:
+        while all_by_f:
+            f, s = all_by_f[0]
+            if s in dead:
+                heapq.heappop(all_by_f)
+                continue
+            return f
+        return math.inf
+
+    dup_on = pruning.duplicate_detection
+    ub_on = pruning.upper_bound
+
+    while True:
+        fmin = f_min()
+        if fmin is math.inf or (not focal and not non_focal):
+            break
+        bound = (1.0 + epsilon) * fmin + _EPS
+
+        # Admit newly-qualifying states into FOCAL.
+        while non_focal:
+            f, s = non_focal[0]
+            if s in dead:
+                heapq.heappop(non_focal)
+                continue
+            if f <= bound:
+                heapq.heappop(non_focal)
+                state, _ = store[s]
+                heapq.heappush(focal, (v - state.num_scheduled, f, s))
+                in_focal.add(s)
+            else:
+                break
+
+        # Pop the FOCAL state with fewest unscheduled nodes, re-validating
+        # against the current bound (f_min may have decreased).
+        chosen: int | None = None
+        while focal:
+            _d, f, s = heapq.heappop(focal)
+            if s in dead or s not in in_focal:
+                continue
+            in_focal.discard(s)
+            if f > bound:
+                heapq.heappush(non_focal, (f, s))
+                continue
+            chosen = s
+            break
+        if chosen is None:
+            # FOCAL drained by demotions; loop to re-admit (f_min state
+            # always qualifies, so progress is guaranteed).
+            continue
+
+        state, f = store.pop(chosen)
+        dead.add(chosen)
+
+        if budget.exhausted(stats.states_expanded, stats.states_generated):
+            best = incumbent if incumbent is not None else fallback
+            stats.wall_seconds = time.perf_counter() - t0
+            stats.cost_evaluations = cost_fn.evaluations
+            return SearchResult(
+                schedule=best, optimal=False, bound=math.inf,
+                stats=stats, algorithm=f"focal(eps={epsilon},budget)",
+            )
+
+        if state.is_complete():
+            stats.states_expanded += 1
+            stats.wall_seconds = time.perf_counter() - t0
+            stats.cost_evaluations = cost_fn.evaluations
+            return SearchResult(
+                schedule=state.to_schedule(),
+                optimal=(epsilon == 0.0),
+                bound=1.0 + epsilon,
+                stats=stats,
+                algorithm=f"focal(eps={epsilon})",
+            )
+
+        stats.states_expanded += 1
+        for child in expander.children(state, seen if dup_on else None):
+            ch = cost_fn.h(child)
+            cf = child.makespan + ch
+            if ub_on and cf > upper + _EPS:
+                stats.pruning.upper_bound_cuts += 1
+                continue
+            stats.states_generated += 1
+            s = next_seq
+            next_seq += 1
+            store[s] = (child, cf)
+            heapq.heappush(all_by_f, (cf, s))
+            if cf <= bound:
+                heapq.heappush(focal, (v - child.num_scheduled, cf, s))
+                in_focal.add(s)
+            else:
+                heapq.heappush(non_focal, (cf, s))
+            if child.is_complete() and (
+                incumbent is None or child.makespan < incumbent.length
+            ):
+                incumbent = child.to_schedule()
+        live = len(store)
+        if live > stats.max_open_size:
+            stats.max_open_size = live
+
+    # State space exhausted below the (1+ε)-loosened bound: the best
+    # complete schedule seen is within the guarantee.
+    stats.wall_seconds = time.perf_counter() - t0
+    stats.cost_evaluations = cost_fn.evaluations
+    best = incumbent if incumbent is not None else fallback
+    return SearchResult(
+        schedule=best, optimal=False, bound=1.0 + epsilon,
+        stats=stats, algorithm=f"focal(eps={epsilon},exhausted)",
+    )

@@ -1,0 +1,155 @@
+"""IDA*: iterative-deepening A* for memory-bounded optimal scheduling.
+
+The paper criticises prior branch-and-bound schedulers for their "huge
+memory requirement to store the search states"; its own A* stores every
+generated state too.  IDA* (Korf 1985) is the classic answer: repeated
+depth-first probes with an f-cost threshold equal to the smallest f
+value that exceeded the previous threshold.  Memory is O(depth) — here
+O(v) — while optimality is preserved for the same admissible cost
+functions.
+
+Trade-off: without a CLOSED list, transposition duplicates are re-explored
+on every probe, so IDA* re-expands work A* would skip.  An optional
+transposition table (bounded, per-probe) recovers most of that at a
+memory cost the caller controls — exposing exactly the time/memory dial
+the paper's discussion is about.
+
+The §3.2 pruning rules that act at expansion time (processor
+isomorphism, node equivalence, priority ordering, upper bound) apply
+unchanged; duplicate detection maps onto the transposition table.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.graph.taskgraph import TaskGraph
+from repro.heuristics.listsched import fast_upper_bound_schedule
+from repro.schedule.partial import PartialSchedule
+from repro.schedule.schedule import Schedule
+from repro.search.costs import CostFunction, make_cost_function
+from repro.search.expansion import StateExpander
+from repro.search.pruning import PruningConfig
+from repro.search.result import SearchResult, SearchStats
+from repro.system.processors import ProcessorSystem
+from repro.util.timing import Budget
+
+__all__ = ["idastar_schedule"]
+
+_EPS = 1e-9
+
+
+def idastar_schedule(
+    graph: TaskGraph,
+    system: ProcessorSystem,
+    *,
+    pruning: PruningConfig | None = None,
+    cost: str | CostFunction = "paper",
+    budget: Budget | None = None,
+    transposition_limit: int = 100_000,
+) -> SearchResult:
+    """Find an optimal schedule via iterative-deepening A*.
+
+    Parameters mirror :func:`repro.search.astar.astar_schedule`;
+    ``transposition_limit`` bounds the per-probe duplicate table
+    (``0`` disables it entirely for true O(v) memory).
+
+    Returns the same :class:`SearchResult` contract: ``optimal=True``
+    iff the search ran to completion.
+    """
+    if pruning is None:
+        pruning = PruningConfig.all()
+    if isinstance(cost, str):
+        cost_fn = make_cost_function(cost, graph, system)
+    else:
+        cost_fn = cost
+    if budget is None:
+        budget = Budget.unlimited()
+    budget.start()
+
+    stats = SearchStats()
+    expander = StateExpander(graph, system, pruning, stats.pruning)
+    fallback: Schedule = fast_upper_bound_schedule(graph, system)
+    upper = fallback.length if pruning.upper_bound else math.inf
+
+    t0 = time.perf_counter()
+    root = PartialSchedule.empty(graph, system)
+    threshold = root.makespan + cost_fn.h(root)
+    incumbent: Schedule | None = None
+    use_table = transposition_limit > 0 and pruning.duplicate_detection
+
+    while True:
+        next_threshold = math.inf
+        # Per-probe transposition table: signature -> True (seen at or
+        # below the current threshold).  Rebuilt each probe because the
+        # admission condition depends on the threshold.
+        table: set = set()
+        stack: list[tuple[float, PartialSchedule]] = [(threshold, root)]
+        goal_found: Schedule | None = None
+
+        while stack:
+            if budget.exhausted(stats.states_expanded, stats.states_generated):
+                best = incumbent if incumbent is not None else fallback
+                stats.wall_seconds = time.perf_counter() - t0
+                stats.cost_evaluations = cost_fn.evaluations
+                return SearchResult(
+                    schedule=best, optimal=False, bound=math.inf,
+                    stats=stats, algorithm="idastar(budget)",
+                )
+            f, state = stack.pop()
+            if state.is_complete():
+                stats.states_expanded += 1
+                if goal_found is None or state.makespan < goal_found.length:
+                    goal_found = state.to_schedule()
+                    # Also keep it as incumbent for budget exits mid-probe.
+                    if incumbent is None or goal_found.length < incumbent.length:
+                        incumbent = goal_found
+                continue
+            stats.states_expanded += 1
+            children: list[tuple[float, PartialSchedule]] = []
+            for child in expander.children(state):
+                cf = child.makespan + cost_fn.h(child)
+                if cf > upper + _EPS:
+                    stats.pruning.upper_bound_cuts += 1
+                    continue
+                if cf > threshold + _EPS:
+                    # Beyond this probe: remember the tightest overshoot.
+                    if cf < next_threshold:
+                        next_threshold = cf
+                    continue
+                if use_table:
+                    sig = child.signature
+                    if sig in table:
+                        stats.pruning.duplicate_hits += 1
+                        continue
+                    if len(table) < transposition_limit:
+                        table.add(sig)
+                stats.states_generated += 1
+                children.append((cf, child))
+            children.sort(key=lambda t: -t[0])  # best child on top
+            stack.extend(children)
+            if len(stack) > stats.max_open_size:
+                stats.max_open_size = len(stack)
+
+        if goal_found is not None:
+            # The first threshold at which a goal appears is the optimal
+            # cost: every state with f below it was exhausted.
+            stats.wall_seconds = time.perf_counter() - t0
+            stats.cost_evaluations = cost_fn.evaluations
+            return SearchResult(
+                schedule=goal_found, optimal=True, bound=1.0,
+                stats=stats, algorithm="idastar",
+            )
+        if next_threshold is math.inf:
+            # Space exhausted below the upper bound: the fallback (or a
+            # generated incumbent) is optimal — same reasoning as A*'s
+            # OPEN-exhaustion case.
+            stats.wall_seconds = time.perf_counter() - t0
+            stats.cost_evaluations = cost_fn.evaluations
+            best = incumbent if incumbent is not None else fallback
+            return SearchResult(
+                schedule=best, optimal=True, bound=1.0,
+                stats=stats, algorithm="idastar(exhausted)",
+            )
+        threshold = next_threshold

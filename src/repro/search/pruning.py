@@ -1,0 +1,154 @@
+"""The four state-space pruning techniques of §3.2.
+
+Each rule is independently toggleable so the Table-1 middle column
+("A* without pruning") and the per-rule ablation (E4) run on one engine:
+
+* **Processor isomorphism** (Definition 2): when expanding a ready node,
+  among structurally-isomorphic PEs that are still empty only the
+  lowest-numbered representative is tried.  Sound because swapping two
+  empty PEs with identical neighbourhoods (and speeds) is an
+  automorphism of the processor graph that fixes every busy PE.
+* **Node equivalence** (Definition 3): two ready nodes with identical
+  parents, children, weight and identical communication costs to those
+  parents/children lead to equal-length schedules whichever is placed
+  first, so only the lowest-numbered ready member of each equivalence
+  class generates states.
+* **Priority ordering**: ready nodes are considered in decreasing
+  ``b-level + t-level`` so the more promising sub-trees enter OPEN first
+  (FIFO tie-breaking then expands them first), causing later
+  re-generations of the same placements to die in duplicate detection.
+* **Upper-bound cost**: states with ``f > U`` (the linear-time list
+  schedule length, §3.2) can never improve on a schedule we can already
+  construct, because ``g`` is monotone increasing and ``h`` admissible.
+* **Duplicate detection**: two expansion orders reaching the *same*
+  placement collide on the canonical signature and the second is
+  discarded (the "visited before" rule of the Figure-3 walk-through).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PruningConfig", "PruningStats"]
+
+
+@dataclass(frozen=True)
+class PruningConfig:
+    """On/off switches for each §3.2 technique.
+
+    ``duplicate_detection`` is listed with the pruning rules because the
+    paper's no-pruning baseline still needs *some* CLOSED-list check to
+    terminate on graphs with many transpositions; set it False only for
+    the exhaustive-tree baseline.
+    """
+
+    processor_isomorphism: bool = True
+    node_equivalence: bool = True
+    priority_ordering: bool = True
+    upper_bound: bool = True
+    duplicate_detection: bool = True
+    #: Extension beyond the paper (off by default): skip candidate
+    #: placements that commute with the state's most recent placement —
+    #: two simultaneously-ready nodes placed on *different* PEs produce
+    #: the same partial schedule in either order, so only the canonical
+    #: order is generated.  A partial-order reduction that avoids even
+    #: *constructing* most transposition duplicates; optimality is
+    #: preserved (property-tested against exhaustive enumeration).
+    commutation: bool = False
+
+    @classmethod
+    def all(cls) -> "PruningConfig":
+        """Every paper technique enabled (the paper's "A*" column).
+
+        The commutation extension stays off so this config reproduces
+        the paper's algorithm exactly; use :meth:`extended` to add it.
+        """
+        return cls()
+
+    @classmethod
+    def extended(cls) -> "PruningConfig":
+        """Every paper technique plus the commutation extension."""
+        return cls(commutation=True)
+
+    @classmethod
+    def none(cls) -> "PruningConfig":
+        """No §3.2 techniques (the paper's "A* w/o pruning" column).
+
+        Duplicate detection stays on — without it the search tree, not
+        graph, is explored and even 12-node instances become infeasible;
+        the paper's baseline likewise retains the CLOSED list.
+        """
+        return cls(
+            processor_isomorphism=False,
+            node_equivalence=False,
+            priority_ordering=False,
+            upper_bound=False,
+            duplicate_detection=True,
+        )
+
+    @classmethod
+    def only(cls, **enabled: bool) -> "PruningConfig":
+        """Start from :meth:`none` and switch on the given rules.
+
+        >>> PruningConfig.only(upper_bound=True).upper_bound
+        True
+        """
+        base = cls.none()
+        return cls(
+            processor_isomorphism=enabled.get(
+                "processor_isomorphism", base.processor_isomorphism
+            ),
+            node_equivalence=enabled.get("node_equivalence", base.node_equivalence),
+            priority_ordering=enabled.get("priority_ordering", base.priority_ordering),
+            upper_bound=enabled.get("upper_bound", base.upper_bound),
+            duplicate_detection=enabled.get(
+                "duplicate_detection", base.duplicate_detection
+            ),
+            commutation=enabled.get("commutation", base.commutation),
+        )
+
+    def describe(self) -> str:
+        """Short human-readable switch summary."""
+        flags = [
+            ("iso", self.processor_isomorphism),
+            ("equiv", self.node_equivalence),
+            ("prio", self.priority_ordering),
+            ("ub", self.upper_bound),
+            ("dup", self.duplicate_detection),
+            ("comm", self.commutation),
+        ]
+        return "+".join(name for name, on in flags if on) or "none"
+
+
+@dataclass
+class PruningStats:
+    """Hit counters: how many candidate states each rule discarded."""
+
+    isomorphism_skips: int = 0
+    equivalence_skips: int = 0
+    upper_bound_cuts: int = 0
+    duplicate_hits: int = 0
+    commutation_skips: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        """Total candidate states discarded by all rules."""
+        return (
+            self.isomorphism_skips
+            + self.equivalence_skips
+            + self.upper_bound_cuts
+            + self.duplicate_hits
+            + self.commutation_skips
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat dict for reports."""
+        return {
+            "isomorphism_skips": self.isomorphism_skips,
+            "equivalence_skips": self.equivalence_skips,
+            "upper_bound_cuts": self.upper_bound_cuts,
+            "duplicate_hits": self.duplicate_hits,
+            "commutation_skips": self.commutation_skips,
+            **self.extra,
+        }

@@ -1,0 +1,72 @@
+"""Search results and statistics shared by every engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.schedule.schedule import Schedule
+from repro.search.pruning import PruningStats
+
+__all__ = ["SearchStats", "SearchResult"]
+
+
+@dataclass
+class SearchStats:
+    """Machine-independent work counters for one search run.
+
+    The paper's Table 1 reports seconds on the Intel Paragon; these
+    counters are the reproducible equivalents — they drive the same
+    comparisons without depending on 1998 hardware.
+    """
+
+    states_generated: int = 0
+    states_expanded: int = 0
+    cost_evaluations: int = 0
+    max_open_size: int = 0
+    duplicate_rate: float = 0.0
+    wall_seconds: float = 0.0
+    pruning: PruningStats = field(default_factory=PruningStats)
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dict for reports."""
+        return {
+            "states_generated": self.states_generated,
+            "states_expanded": self.states_expanded,
+            "cost_evaluations": self.cost_evaluations,
+            "max_open_size": self.max_open_size,
+            "wall_seconds": self.wall_seconds,
+            **self.pruning.as_dict(),
+        }
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a scheduling search.
+
+    Attributes
+    ----------
+    schedule:
+        The best complete schedule found (``None`` only when a budget
+        expired before any goal was reached).
+    optimal:
+        True when the engine proved optimality (A*/B&B run to
+        completion); False for budget-terminated or ε-approximate runs.
+    bound:
+        For ε-approximate runs, the proven upper bound factor
+        ``(1 + ε)`` on the ratio to optimal; 1.0 for exact runs.
+    stats:
+        Work counters.
+    algorithm:
+        Engine label for reports.
+    """
+
+    schedule: Schedule | None
+    optimal: bool
+    bound: float
+    stats: SearchStats
+    algorithm: str
+
+    @property
+    def length(self) -> float:
+        """Length of the returned schedule (inf when none was found)."""
+        return self.schedule.length if self.schedule is not None else float("inf")

@@ -1,0 +1,30 @@
+"""Target-system substrate: processor networks the DAG is scheduled onto.
+
+The paper's model (§2): processors (PEs) may be heterogeneous in speed,
+do not share memory, and are connected by homogeneous links in some
+topology (fully connected, ring, mesh, hypercube, …).  Communication
+between tasks on the same PE is free.
+"""
+
+from repro.system.isomorphism import isomorphism_classes, processors_isomorphic
+from repro.system.processors import ProcessorSystem
+from repro.system.topology import (
+    chain_links,
+    fully_connected_links,
+    hypercube_links,
+    mesh_links,
+    ring_links,
+    star_links,
+)
+
+__all__ = [
+    "ProcessorSystem",
+    "processors_isomorphic",
+    "isomorphism_classes",
+    "fully_connected_links",
+    "ring_links",
+    "chain_links",
+    "mesh_links",
+    "hypercube_links",
+    "star_links",
+]

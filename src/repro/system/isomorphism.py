@@ -1,0 +1,72 @@
+"""Processor isomorphism (paper Definition 2).
+
+Two processors PE *i* and PE *j* are isomorphic when:
+
+(i)  they have the same neighbour set in the processor graph
+     (``neighbors_i = neighbors_j``), and
+(ii) both are empty (``RT_i = RT_j = 0``), i.e. no task has been
+     scheduled to either yet.
+
+The paper deliberately adopts this *strong* form — the weaker
+"equal ready times and no scheduled relatives" condition would require
+scanning every node scheduled on both PEs at every expansion — so only
+condition (i) needs precomputation; (ii) is a per-state check done by
+the search (see :mod:`repro.search.pruning`).
+
+For heterogeneous systems we additionally require equal speeds, since
+two empty PEs of different speeds are clearly not interchangeable.
+
+Note the subtlety of condition (i): in a clique, ``neighbors_i`` and
+``neighbors_j`` differ by the elements {i, j} themselves; we therefore
+compare neighbour sets *excluding* the pair under test, which makes all
+PEs of a clique mutually isomorphic and PE pairs of a 3-ring (where each
+PE neighbours the other two) likewise — matching the paper's worked
+example where all three ring PEs are interchangeable at search start.
+"""
+
+from __future__ import annotations
+
+from repro.system.processors import ProcessorSystem
+
+__all__ = ["processors_isomorphic", "isomorphism_classes"]
+
+
+def processors_isomorphic(system: ProcessorSystem, i: int, j: int) -> bool:
+    """Structural part of Definition 2: equal speeds and neighbourhoods.
+
+    The emptiness condition (ii) depends on the partial schedule and is
+    checked by the caller.
+    """
+    if i == j:
+        return True
+    if system.speed(i) != system.speed(j):
+        return False
+    ni = set(system.neighbors(i)) - {j}
+    nj = set(system.neighbors(j)) - {i}
+    return ni == nj
+
+
+def isomorphism_classes(system: ProcessorSystem) -> tuple[tuple[int, ...], ...]:
+    """Partition PEs into structural isomorphism classes.
+
+    Returns a tuple of classes (each a tuple of PE ids in ascending
+    order), ordered by their smallest member.  The search uses these
+    classes to expand a ready node onto *one representative* of each
+    class whose members are all still empty.
+
+    Structural isomorphism as implemented (mutual pairwise equivalence)
+    is reflexive and symmetric; we build classes greedily and verify
+    mutual equivalence within each class, which is exact for the regular
+    topologies shipped in :mod:`repro.system.topology`.
+    """
+    classes: list[list[int]] = []
+    for pe in range(system.num_pes):
+        placed = False
+        for cls in classes:
+            if all(processors_isomorphic(system, pe, member) for member in cls):
+                cls.append(pe)
+                placed = True
+                break
+        if not placed:
+            classes.append([pe])
+    return tuple(tuple(c) for c in classes)

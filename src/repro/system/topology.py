@@ -1,0 +1,87 @@
+"""Interconnection topologies as undirected link sets.
+
+Each builder returns a set of undirected ``(i, j)`` pairs with ``i < j``.
+The Intel Paragon — the machine the paper's parallel experiments ran on —
+is a 2-D mesh; rings, chains, hypercubes, stars and cliques cover the
+other standard testbeds.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SystemError_
+
+__all__ = [
+    "fully_connected_links",
+    "ring_links",
+    "chain_links",
+    "mesh_links",
+    "hypercube_links",
+    "star_links",
+]
+
+Link = tuple[int, int]
+
+
+def _norm(i: int, j: int) -> Link:
+    return (i, j) if i < j else (j, i)
+
+
+def fully_connected_links(n: int) -> set[Link]:
+    """Clique on ``n`` processors."""
+    if n < 1:
+        raise SystemError_("need at least one processor")
+    return {(i, j) for i in range(n) for j in range(i + 1, n)}
+
+
+def ring_links(n: int) -> set[Link]:
+    """Ring (cycle) on ``n`` processors; degenerates to a chain for n ≤ 2."""
+    if n < 1:
+        raise SystemError_("need at least one processor")
+    if n == 1:
+        return set()
+    if n == 2:
+        return {(0, 1)}
+    return {_norm(i, (i + 1) % n) for i in range(n)}
+
+
+def chain_links(n: int) -> set[Link]:
+    """Linear array on ``n`` processors."""
+    if n < 1:
+        raise SystemError_("need at least one processor")
+    return {(i, i + 1) for i in range(n - 1)}
+
+
+def mesh_links(rows: int, cols: int) -> set[Link]:
+    """2-D mesh (the Paragon topology) with ``rows × cols`` processors."""
+    if rows < 1 or cols < 1:
+        raise SystemError_("mesh needs rows >= 1 and cols >= 1")
+    links: set[Link] = set()
+    for r in range(rows):
+        for c in range(cols):
+            nid = r * cols + c
+            if c + 1 < cols:
+                links.add(_norm(nid, nid + 1))
+            if r + 1 < rows:
+                links.add(_norm(nid, nid + cols))
+    return links
+
+
+def hypercube_links(dim: int) -> set[Link]:
+    """Boolean hypercube of dimension ``dim`` (``2**dim`` processors)."""
+    if dim < 0:
+        raise SystemError_("hypercube needs dim >= 0")
+    n = 1 << dim
+    links: set[Link] = set()
+    for i in range(n):
+        for d in range(dim):
+            j = i ^ (1 << d)
+            if i < j:
+                links.add((i, j))
+    return links
+
+
+def star_links(n: int) -> set[Link]:
+    """Star: processor 0 is the hub, all others are leaves."""
+    if n < 1:
+        raise SystemError_("need at least one processor")
+    return {(0, i) for i in range(1, n)}

@@ -1,0 +1,72 @@
+"""Bitmask helpers for dense integer node sets.
+
+Search states represent the set of already-scheduled task indices as a
+plain Python ``int`` used as a bitmask.  Python integers are arbitrary
+precision, hash in O(words) and compare fast, which makes them an ideal
+compact set representation for graphs of up to a few hundred nodes — far
+beyond what exhaustive search can handle anyway.
+
+All functions are pure and allocation-light; the hot ones are simple
+enough that the interpreter overhead dominates, so we keep them trivial
+and inline-able by callers that need the last bit of speed (callers may
+use ``mask & (1 << i)`` directly; these helpers are the readable API).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "bits_from_iterable",
+    "bit_indices",
+    "bit_count",
+    "has_bit",
+    "first_set_bit",
+]
+
+
+def bits_from_iterable(indices: Iterable[int]) -> int:
+    """Build a bitmask with the given bit positions set.
+
+    >>> bits_from_iterable([0, 2, 5])
+    37
+    """
+    mask = 0
+    for i in indices:
+        mask |= 1 << i
+    return mask
+
+
+def bit_indices(mask: int) -> Iterator[int]:
+    """Yield the positions of set bits in increasing order.
+
+    >>> list(bit_indices(37))
+    [0, 2, 5]
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def bit_count(mask: int) -> int:
+    """Number of set bits (population count)."""
+    return mask.bit_count()
+
+
+def has_bit(mask: int, index: int) -> bool:
+    """True when bit ``index`` is set in ``mask``."""
+    return (mask >> index) & 1 == 1
+
+
+def first_set_bit(mask: int) -> int:
+    """Position of the lowest set bit; -1 for an empty mask.
+
+    >>> first_set_bit(0b1010)
+    1
+    >>> first_set_bit(0)
+    -1
+    """
+    if mask == 0:
+        return -1
+    return (mask & -mask).bit_length() - 1

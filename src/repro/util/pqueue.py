@@ -1,0 +1,258 @@
+"""Priority queues used by the search algorithms.
+
+Two flavours are provided:
+
+``LazyPQ``
+    A thin wrapper over :mod:`heapq` with *lazy deletion*: superseded or
+    removed entries stay in the heap marked dead and are skipped on pop.
+    This is the classic approach for A* OPEN lists where decrease-key is
+    rare and the constant factor matters.
+
+``AddressablePQ``
+    A binary heap with a position index supporting true ``decrease_key``
+    and ``remove`` in O(log n).  Used where the OPEN list must be
+    enumerated or resized exactly (e.g. the FOCAL sublist of Aε* and the
+    load-balancing donor selection of the parallel machine).
+
+Both queues order entries by a ``(priority, tiebreak)`` pair; the
+tiebreak is a monotonically increasing insertion counter so that equal
+priorities pop FIFO, which keeps searches deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Iterator
+from typing import Any, Generic, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["LazyPQ", "AddressablePQ"]
+
+_REMOVED = object()
+
+
+class LazyPQ(Generic[T]):
+    """Heap-based priority queue with lazy deletion.
+
+    Entries are ``[priority, counter, item]`` lists; removal marks the
+    item slot with a sentinel.  ``len()`` reports only live entries.
+    """
+
+    __slots__ = ("_heap", "_entry_finder", "_counter", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[list[Any]] = []
+        self._entry_finder: dict[Any, list[Any]] = {}
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, item: T, priority: Any) -> None:
+        """Insert ``item`` with ``priority``.
+
+        Items need not be unique; pushing an item already present adds a
+        second independent entry (use :meth:`replace` for keyed updates).
+        """
+        entry = [priority, next(self._counter), item]
+        heapq.heappush(self._heap, entry)
+        self._live += 1
+
+    def push_keyed(self, key: Any, item: T, priority: Any) -> None:
+        """Insert ``item`` under ``key``, replacing any existing entry."""
+        if key in self._entry_finder:
+            self.remove_keyed(key)
+        entry = [priority, next(self._counter), item]
+        self._entry_finder[key] = entry
+        heapq.heappush(self._heap, entry)
+        self._live += 1
+
+    def remove_keyed(self, key: Any) -> None:
+        """Remove the entry stored under ``key`` (no-op if absent)."""
+        entry = self._entry_finder.pop(key, None)
+        if entry is not None and entry[2] is not _REMOVED:
+            entry[2] = _REMOVED
+            self._live -= 1
+
+    def pop(self) -> tuple[T, Any]:
+        """Remove and return ``(item, priority)`` of the minimum entry.
+
+        Raises
+        ------
+        IndexError
+            When the queue holds no live entries.
+        """
+        heap = self._heap
+        while heap:
+            priority, _count, item = heapq.heappop(heap)
+            if item is not _REMOVED:
+                self._live -= 1
+                # Drop the finder link if this was a keyed entry.
+                return item, priority
+        raise IndexError("pop from empty LazyPQ")
+
+    def peek(self) -> tuple[T, Any]:
+        """Return ``(item, priority)`` of the minimum entry without removal."""
+        heap = self._heap
+        while heap:
+            priority, _count, item = heap[0]
+            if item is _REMOVED:
+                heapq.heappop(heap)
+                continue
+            return item, priority
+        raise IndexError("peek from empty LazyPQ")
+
+    def min_priority(self) -> Any:
+        """Priority of the minimum live entry."""
+        return self.peek()[1]
+
+    def compact(self) -> None:
+        """Rebuild the heap dropping dead entries.
+
+        Useful after heavy keyed-removal churn; O(n) but restores pop cost.
+        """
+        live = [e for e in self._heap if e[2] is not _REMOVED]
+        heapq.heapify(live)
+        self._heap = live
+
+    def drain(self) -> Iterator[tuple[T, Any]]:
+        """Pop every live entry in priority order."""
+        while self._live:
+            yield self.pop()
+
+
+class AddressablePQ(Generic[T]):
+    """Binary min-heap with an item→position index.
+
+    Supports ``decrease_key`` (more generally, any-key update via
+    :meth:`update`), ``remove`` and membership testing in O(log n).
+    Items must be hashable and unique.
+    """
+
+    __slots__ = ("_heap", "_pos", "_counter")
+
+    def __init__(self) -> None:
+        # Each slot is (priority, counter, item).
+        self._heap: list[tuple[Any, int, T]] = []
+        self._pos: dict[T, int] = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._pos
+
+    def push(self, item: T, priority: Any) -> None:
+        """Insert a new unique ``item``.
+
+        Raises
+        ------
+        KeyError
+            If ``item`` is already present (use :meth:`update`).
+        """
+        if item in self._pos:
+            raise KeyError(f"item already present: {item!r}")
+        self._heap.append((priority, next(self._counter), item))
+        self._pos[item] = len(self._heap) - 1
+        self._sift_up(len(self._heap) - 1)
+
+    def update(self, item: T, priority: Any) -> None:
+        """Change the priority of ``item`` (up or down)."""
+        pos = self._pos[item]
+        old_priority, count, _ = self._heap[pos]
+        self._heap[pos] = (priority, count, item)
+        if priority < old_priority:
+            self._sift_up(pos)
+        else:
+            self._sift_down(pos)
+
+    def push_or_update(self, item: T, priority: Any) -> None:
+        """Insert ``item``, or update its priority when already present."""
+        if item in self._pos:
+            self.update(item, priority)
+        else:
+            self.push(item, priority)
+
+    def priority_of(self, item: T) -> Any:
+        """Current priority of ``item``."""
+        return self._heap[self._pos[item]][0]
+
+    def pop(self) -> tuple[T, Any]:
+        """Remove and return ``(item, priority)`` of the minimum entry."""
+        if not self._heap:
+            raise IndexError("pop from empty AddressablePQ")
+        priority, _count, item = self._heap[0]
+        self._remove_at(0)
+        return item, priority
+
+    def peek(self) -> tuple[T, Any]:
+        """Return ``(item, priority)`` of the minimum entry without removal."""
+        if not self._heap:
+            raise IndexError("peek from empty AddressablePQ")
+        priority, _count, item = self._heap[0]
+        return item, priority
+
+    def remove(self, item: T) -> None:
+        """Remove ``item`` from the queue."""
+        self._remove_at(self._pos[item])
+
+    def items(self) -> Iterator[tuple[T, Any]]:
+        """Iterate over ``(item, priority)`` in arbitrary (heap) order."""
+        for priority, _count, item in self._heap:
+            yield item, priority
+
+    # -- internals ---------------------------------------------------------
+
+    def _remove_at(self, pos: int) -> None:
+        heap = self._heap
+        _, _, item = heap[pos]
+        del self._pos[item]
+        last = heap.pop()
+        if pos < len(heap):
+            heap[pos] = last
+            self._pos[last[2]] = pos
+            # The moved element may need to travel either direction.
+            self._sift_up(pos)
+            self._sift_down(pos)
+
+    def _sift_up(self, pos: int) -> None:
+        heap = self._heap
+        entry = heap[pos]
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            if heap[parent][:2] <= entry[:2]:
+                break
+            heap[pos] = heap[parent]
+            self._pos[heap[pos][2]] = pos
+            pos = parent
+        heap[pos] = entry
+        self._pos[entry[2]] = pos
+
+    def _sift_down(self, pos: int) -> None:
+        heap = self._heap
+        n = len(heap)
+        entry = heap[pos]
+        while True:
+            child = 2 * pos + 1
+            if child >= n:
+                break
+            right = child + 1
+            if right < n and heap[right][:2] < heap[child][:2]:
+                child = right
+            if entry[:2] <= heap[child][:2]:
+                break
+            heap[pos] = heap[child]
+            self._pos[heap[pos][2]] = pos
+            pos = child
+        heap[pos] = entry
+        self._pos[entry[2]] = pos

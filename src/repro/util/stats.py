@@ -1,0 +1,102 @@
+"""Summary statistics helpers for experiment reporting."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+__all__ = ["OnlineStats", "summarize", "Summary", "geometric_mean"]
+
+
+class OnlineStats:
+    """Welford online mean/variance accumulator.
+
+    Numerically stable single-pass mean and variance; used by the
+    experiment runners to aggregate per-graph measurements without keeping
+    every sample alive.
+    """
+
+    __slots__ = ("n", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, x: float) -> None:
+        """Fold one sample into the accumulator."""
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self._min:
+            self._min = x
+        if x > self._max:
+            self._max = x
+
+    def extend(self, xs: Iterable[float]) -> None:
+        """Fold many samples."""
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 for n < 2)."""
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        """Smallest sample seen (+inf when empty)."""
+        return self._min
+
+    @property
+    def max(self) -> float:
+        """Largest sample seen (-inf when empty)."""
+        return self._max
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Immutable summary of a sample: n, mean, stdev, min, max."""
+
+    n: int
+    mean: float
+    stdev: float
+    min: float
+    max: float
+
+
+def summarize(xs: Iterable[float]) -> Summary:
+    """One-shot summary of an iterable of numbers."""
+    acc = OnlineStats()
+    acc.extend(xs)
+    return Summary(n=acc.n, mean=acc.mean, stdev=acc.stdev, min=acc.min, max=acc.max)
+
+
+def geometric_mean(xs: Iterable[float]) -> float:
+    """Geometric mean of positive samples (0.0 when empty).
+
+    Speedup ratios are averaged geometrically, as is standard for
+    normalized performance numbers.
+    """
+    total = 0.0
+    n = 0
+    for x in xs:
+        if x <= 0:
+            raise ValueError("geometric mean requires positive samples")
+        total += math.log(x)
+        n += 1
+    return math.exp(total / n) if n else 0.0

@@ -1,0 +1,76 @@
+"""Minimal ASCII table renderer for experiment reports.
+
+The experiment drivers print tables shaped like the paper's Table 1 and
+the series behind Figures 6-7.  No third-party table library is used.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: object, float_fmt: str = "{:.3f}") -> str:
+    """Render a single cell: floats via ``float_fmt``, None as em-dash."""
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+    align_right: bool = True,
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Row cell values; each row must have ``len(headers)`` entries.
+    title:
+        Optional title line printed above the table.
+    float_fmt:
+        Format spec applied to float cells.
+    align_right:
+        Right-align all but the first column (typical for numeric tables).
+    """
+    str_rows = [[format_cell(c, float_fmt) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for j, cell in enumerate(cells):
+            if j == 0 or not align_right:
+                parts.append(cell.ljust(widths[j]))
+            else:
+                parts.append(cell.rjust(widths[j]))
+        return "  ".join(parts).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(sep)))
+    lines.append(fmt_row(headers))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Timers and search budgets.
+
+``Timer`` is a context-manager stopwatch; ``Budget`` bounds a search by
+wall-clock time, states expanded and/or states generated, so the
+exponential algorithms in this library always terminate in bounded time
+during experiments.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "Budget"]
+
+
+class Timer:
+    """Stopwatch usable as a context manager.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    __slots__ = ("start", "end")
+
+    def __init__(self) -> None:
+        self.start: float | None = None
+        self.end: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        self.end = None
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.end = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed (running total if still inside the context)."""
+        if self.start is None:
+            return 0.0
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+
+@dataclass
+class Budget:
+    """Resource limits for a search run.
+
+    ``None`` disables the corresponding limit.  ``check`` functions are
+    cheap and designed to be called in inner loops; wall-clock is only
+    consulted every ``time_check_interval`` expansions to avoid syscall
+    overhead in the hot path.
+    """
+
+    max_expanded: int | None = None
+    max_generated: int | None = None
+    max_seconds: float | None = None
+    time_check_interval: int = 256
+    _start: float = field(default=0.0, repr=False)
+    _checks: int = field(default=0, repr=False)
+
+    def start(self) -> None:
+        """Arm the wall-clock limit (call once at search start)."""
+        self._start = time.perf_counter()
+        self._checks = 0
+
+    def expansions_exhausted(self, expanded: int) -> bool:
+        """True when the expansion budget is spent."""
+        return self.max_expanded is not None and expanded >= self.max_expanded
+
+    def generations_exhausted(self, generated: int) -> bool:
+        """True when the generation budget is spent."""
+        return self.max_generated is not None and generated >= self.max_generated
+
+    def time_exhausted(self) -> bool:
+        """True when the wall-clock budget is spent (sampled)."""
+        if self.max_seconds is None:
+            return False
+        self._checks += 1
+        if self._checks % self.time_check_interval:
+            return False
+        return (time.perf_counter() - self._start) >= self.max_seconds
+
+    def exhausted(self, expanded: int, generated: int) -> bool:
+        """Combined check used by the search main loops."""
+        return (
+            self.expansions_exhausted(expanded)
+            or self.generations_exhausted(generated)
+            or self.time_exhausted()
+        )
+
+    @classmethod
+    def unlimited(cls) -> "Budget":
+        """A budget that never trips."""
+        return cls()

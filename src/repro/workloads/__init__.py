@@ -1,0 +1,15 @@
+"""Workload suites for the paper's experiments (§4.1)."""
+
+from repro.workloads.suite import (
+    WorkloadInstance,
+    WorkloadSuite,
+    paper_suite,
+    paper_target_system,
+)
+
+__all__ = [
+    "WorkloadInstance",
+    "WorkloadSuite",
+    "paper_suite",
+    "paper_target_system",
+]

@@ -1,0 +1,74 @@
+"""Application-kernel workload suite (extension experiment E7).
+
+The paper evaluates on §4.1 random graphs only; the scheduling
+literature (including the authors' companion papers) also evaluates on
+task graphs of numerical kernels, whose regular structure exercises the
+pruning rules very differently — e.g. FFT butterflies are rich in
+Definition-3 node equivalences, wavefronts in deep chains.  This suite
+packages those instances at controlled CCRs for the kernel benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.graph.generators.kernels import (
+    divide_and_conquer_graph,
+    fft_graph,
+    gaussian_elimination_graph,
+    laplace_graph,
+)
+from repro.graph.taskgraph import TaskGraph
+from repro.graph.transform import scale_to_ccr
+from repro.system.processors import ProcessorSystem
+from repro.workloads.suite import WorkloadInstance, WorkloadSuite
+
+__all__ = ["kernel_suite", "KERNEL_FAMILIES"]
+
+#: Kernel families: name -> builder(scale) with modest default sizes.
+KERNEL_FAMILIES: dict[str, Callable[[int], TaskGraph]] = {
+    "gauss": lambda scale: gaussian_elimination_graph(scale + 2, comp=40),
+    "fft": lambda scale: fft_graph(scale, comp=40),
+    "laplace": lambda scale: laplace_graph(scale + 1, comp=40),
+    "dnc": lambda scale: divide_and_conquer_graph(scale, comp=40),
+}
+
+
+def kernel_suite(
+    *,
+    families: tuple[str, ...] = ("gauss", "fft", "laplace", "dnc"),
+    scales: tuple[int, ...] = (1, 2),
+    ccrs: tuple[float, ...] = (0.1, 1.0),
+    num_pes: int = 4,
+) -> WorkloadSuite:
+    """Build kernel instances at exact sample CCRs.
+
+    Each kernel graph is generated with unit communication scale and
+    then rescaled so its *sample* CCR matches the requested value
+    (:func:`repro.graph.transform.scale_to_ccr`), making CCR a
+    controlled variable rather than a distribution parameter.
+    """
+    system = ProcessorSystem.fully_connected(num_pes)
+    instances: list[WorkloadInstance] = []
+    for name in families:
+        builder = KERNEL_FAMILIES[name]
+        for scale in scales:
+            base = builder(scale)
+            for ccr in ccrs:
+                graph = scale_to_ccr(base, ccr)
+                graph = TaskGraph(
+                    graph.weights,
+                    graph.edges,
+                    graph.labels,
+                    name=f"{name}-s{scale}-ccr{ccr}",
+                )
+                instances.append(
+                    WorkloadInstance(
+                        ccr=ccr,
+                        size=graph.num_nodes,
+                        seed=0,
+                        graph=graph,
+                        system=system,
+                    )
+                )
+    return WorkloadSuite(instances=tuple(instances))

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.examples import paper_example_dag, paper_example_system
+from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
+from repro.system.processors import ProcessorSystem
+
+
+@pytest.fixture
+def fig1_graph():
+    """The paper's Figure-1(a) example DAG."""
+    return paper_example_dag()
+
+
+@pytest.fixture
+def fig1_system():
+    """The paper's Figure-1(b) 3-processor ring."""
+    return paper_example_system()
+
+
+@pytest.fixture
+def clique2():
+    """Two fully-connected homogeneous PEs."""
+    return ProcessorSystem.fully_connected(2)
+
+
+@pytest.fixture
+def clique3():
+    """Three fully-connected homogeneous PEs."""
+    return ProcessorSystem.fully_connected(3)
+
+
+@pytest.fixture
+def small_random_graphs():
+    """A deterministic batch of small §4.1 random graphs (≤ 8 nodes)."""
+    return [
+        paper_random_graph(PaperGraphSpec(num_nodes=v, ccr=ccr, seed=seed))
+        for v, ccr, seed in [
+            (5, 0.5, 1),
+            (6, 1.0, 2),
+            (7, 2.0, 3),
+            (8, 0.1, 4),
+            (8, 10.0, 5),
+            (6, 5.0, 6),
+        ]
+    ]

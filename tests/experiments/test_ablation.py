@@ -1,0 +1,49 @@
+"""Tests for the pruning-ablation driver."""
+
+from repro.experiments.ablation import ABLATION_VARIANTS, run_ablation
+from repro.experiments.runner import ExperimentConfig
+from repro.workloads.suite import paper_suite
+
+
+import functools
+
+
+@functools.lru_cache(maxsize=1)
+def small_run():
+    suite = paper_suite(sizes=(10,), ccrs=(1.0,))
+    config = ExperimentConfig(max_expansions=40_000, max_seconds=20.0)
+    variants = {
+        k: v
+        for k, v in ABLATION_VARIANTS.items()
+        if k in ("none", "full", "only-upper-bound", "full-minus-isomorphism")
+    }
+    return run_ablation(suite, config, variants=variants)
+
+
+class TestAblation:
+    def test_variant_rows(self):
+        result = small_run()
+        assert len(result.rows) == 4
+
+    def test_lengths_consistent(self):
+        """Every pruning variant proves the same optimal length."""
+        result = small_run()
+        assert result.lengths_consistent()
+
+    def test_full_no_worse_than_none(self):
+        result = small_run()
+        by_variant = {r.variant: r for r in result.rows}
+        assert (
+            by_variant["full"].expanded <= by_variant["none"].expanded
+        )
+
+    def test_render(self):
+        out = small_run().render()
+        assert "Pruning ablation" in out
+        assert "full" in out
+
+    def test_variant_registry_complete(self):
+        names = set(ABLATION_VARIANTS)
+        assert {"none", "full"} <= names
+        assert any(n.startswith("only-") for n in names)
+        assert any(n.startswith("full-minus-") for n in names)

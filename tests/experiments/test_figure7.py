@@ -1,0 +1,52 @@
+"""Tests for the Figure-7 driver (Aε* deviation and time ratio)."""
+
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.runner import ExperimentConfig, OptimumCache
+from repro.workloads.suite import paper_suite
+
+
+import functools
+
+
+@functools.lru_cache(maxsize=1)
+def small_run():
+    # CCR 10.0 instances complete well inside the budget, so Theorem 2's
+    # guarantee applies to every point.
+    suite = paper_suite(sizes=(10, 12), ccrs=(10.0,))
+    config = ExperimentConfig(
+        max_expansions=60_000, max_seconds=20.0, epsilons=(0.2, 0.5)
+    )
+    return run_figure7(suite, config, OptimumCache(config=config), num_ppes=4)
+
+
+class TestFigure7:
+    def test_point_grid(self):
+        result = small_run()
+        assert len(result.points) == 2 * 2  # sizes × epsilons
+
+    def test_all_points_proven(self):
+        result = small_run()
+        assert all(p.proven for p in result.points)
+
+    def test_theorem2_bound_everywhere(self):
+        """Every proven deviation must respect the ε guarantee."""
+        result = small_run()
+        for p in result.points:
+            if p.proven:
+                assert p.within_bound
+                assert p.deviation_pct <= 100 * p.epsilon + 1e-6
+
+    def test_deviation_nonnegative(self):
+        result = small_run()
+        assert all(p.deviation_pct >= -1e-9 for p in result.points)
+
+    def test_series_extraction(self):
+        result = small_run()
+        series = result.series(10.0, 0.2)
+        assert [p.size for p in series] == [10, 12]
+
+    def test_render_has_four_blocks(self):
+        out = small_run().render()
+        assert out.count("Figure 7") == 4  # (a)-(d): two metrics × two ε
+        assert "% deviation" in out
+        assert "time ratio" in out

@@ -1,0 +1,39 @@
+"""Tests for the heuristic-deviation driver (E5)."""
+
+from repro.experiments.heuristics import HEURISTICS, run_heuristic_comparison
+from repro.experiments.runner import ExperimentConfig, OptimumCache
+from repro.workloads.suite import paper_suite
+
+
+import functools
+
+
+@functools.lru_cache(maxsize=1)
+def small_run():
+    suite = paper_suite(sizes=(10,), ccrs=(0.1, 1.0))
+    config = ExperimentConfig(max_expansions=40_000, max_seconds=20.0)
+    return run_heuristic_comparison(suite, config, OptimumCache(config=config))
+
+
+class TestHeuristicComparison:
+    def test_row_grid(self):
+        result = small_run()
+        assert len(result.rows) == 2 * len(HEURISTICS)
+
+    def test_deviations_nonnegative_when_proven(self):
+        """No heuristic can beat a proven optimum."""
+        result = small_run()
+        for row in result.rows:
+            if row.optimal_proven:
+                assert row.deviation_pct >= -1e-9
+
+    def test_mean_deviation(self):
+        result = small_run()
+        for name in HEURISTICS:
+            assert result.mean_deviation(name) >= -1e-9
+
+    def test_render(self):
+        out = small_run().render()
+        assert "deviation" in out
+        for name in HEURISTICS:
+            assert name in out

@@ -1,0 +1,67 @@
+"""Unit tests for the experiment infrastructure."""
+
+from repro.experiments.runner import ExperimentConfig, OptimumCache
+from repro.workloads.suite import paper_suite
+
+
+def tiny_suite():
+    return paper_suite(sizes=(10,), ccrs=(1.0,))
+
+
+class TestExperimentConfig:
+    def test_budget_fresh_instances(self):
+        config = ExperimentConfig(max_expansions=10)
+        b1 = config.budget()
+        b2 = config.budget()
+        assert b1 is not b2
+        assert b1.max_expanded == 10
+
+    def test_defaults(self):
+        config = ExperimentConfig()
+        assert config.ppe_counts == (2, 4, 8, 16)
+        assert config.epsilons == (0.2, 0.5)
+
+
+class TestOptimumCache:
+    def test_memoizes_in_process(self):
+        cache = OptimumCache(config=ExperimentConfig(max_expansions=50_000))
+        inst = tiny_suite().instances[0]
+        first = cache.optimal_result(inst)
+        second = cache.optimal_result(inst)
+        assert first is second
+
+    def test_length_and_proven(self):
+        cache = OptimumCache(config=ExperimentConfig(max_expansions=50_000))
+        inst = tiny_suite().instances[0]
+        length = cache.optimal_length(inst)
+        assert length > 0
+        assert cache.is_proven(inst)
+
+    def test_persists_to_json(self, tmp_path):
+        path = tmp_path / "optima.json"
+        config = ExperimentConfig(max_expansions=50_000)
+        cache = OptimumCache(config=config, path=path)
+        inst = tiny_suite().instances[0]
+        length = cache.optimal_length(inst)
+        assert path.exists()
+        # A fresh cache reads the persisted value without re-searching.
+        reloaded = OptimumCache(config=config, path=path)
+        assert reloaded.optimal_length(inst) == length
+        assert reloaded.is_proven(inst)
+
+    def test_corrupt_cache_recovers(self, tmp_path):
+        path = tmp_path / "optima.json"
+        path.write_text("{not json at all")
+        config = ExperimentConfig(max_expansions=50_000)
+        cache = OptimumCache(config=config, path=path)  # must not raise
+        inst = tiny_suite().instances[0]
+        assert cache.optimal_length(inst) > 0
+
+    def test_wrong_schema_cache_recovers(self, tmp_path):
+        path = tmp_path / "optima.json"
+        path.write_text('{"some-key": {"unexpected": 1}}')
+        cache = OptimumCache(
+            config=ExperimentConfig(max_expansions=50_000), path=path
+        )
+        inst = tiny_suite().instances[0]
+        assert cache.optimal_length(inst) > 0

@@ -1,0 +1,52 @@
+"""Tests for the Table-1 driver — shape assertions included."""
+
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.table1 import run_table1
+from repro.workloads.suite import paper_suite
+
+
+import functools
+
+
+@functools.lru_cache(maxsize=1)
+def small_run():
+    suite = paper_suite(sizes=(10, 12), ccrs=(0.1, 1.0))
+    config = ExperimentConfig(max_expansions=25_000, max_seconds=10.0)
+    return run_table1(suite, config)
+
+
+class TestTable1:
+    def test_row_per_instance(self):
+        result = small_run()
+        assert len(result.rows) == 4
+
+    def test_lengths_agree_across_algorithms(self):
+        result = small_run()
+        for row in result.rows:
+            if row.all_proven:
+                assert row.all_agree, f"disagreement at v={row.size} ccr={row.ccr}"
+
+    def test_pruned_astar_does_less_work(self):
+        """The paper's headline: full A* ≤ A* without pruning, per row."""
+        result = small_run()
+        for row in result.rows:
+            if row.all_proven:
+                assert row.astar_full_expanded <= row.astar_nopruning_expanded
+
+    def test_by_ccr_sorted(self):
+        result = small_run()
+        rows = result.by_ccr(0.1)
+        assert [r.size for r in rows] == [10, 12]
+
+    def test_render_contains_paper_columns(self):
+        result = small_run()
+        out = result.render()
+        assert "Chen" in out
+        assert "A* no-prune" in out
+        assert "A* full" in out
+        assert "CCR = 0.1" in out
+
+    def test_render_work_counters(self):
+        out = small_run().render_work()
+        assert "exp." in out
+        assert "opt length" in out

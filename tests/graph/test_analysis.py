@@ -1,0 +1,145 @@
+"""Unit tests for repro.graph.analysis — including the Figure-2 numbers."""
+
+import pytest
+from hypothesis import given
+
+from repro.graph.analysis import (
+    compute_levels,
+    critical_path,
+    graph_ccr,
+    priority_order,
+)
+from repro.graph.examples import paper_example_dag
+from repro.graph.taskgraph import TaskGraph
+from tests.strategies import task_graphs
+
+
+class TestFigure2:
+    """The paper's Figure 2 lists sl, b-level and t-level for Figure 1(a)."""
+
+    def test_static_levels(self):
+        levels = compute_levels(paper_example_dag())
+        assert levels.static_level == (12, 10, 10, 6, 7, 2)
+
+    def test_b_levels(self):
+        levels = compute_levels(paper_example_dag())
+        assert levels.b_level == (19, 16, 16, 10, 12, 2)
+
+    def test_t_levels(self):
+        levels = compute_levels(paper_example_dag())
+        assert levels.t_level == (0, 3, 3, 4, 7, 17)
+
+    def test_cp_length(self):
+        levels = compute_levels(paper_example_dag())
+        assert levels.cp_length == 19  # n1-n2-n5-n6 with communication
+
+    def test_static_cp(self):
+        levels = compute_levels(paper_example_dag())
+        assert levels.static_cp_length == 12
+
+
+class TestLevelsBasics:
+    def test_single_node(self):
+        levels = compute_levels(TaskGraph([5], {}))
+        assert levels.t_level == (0,)
+        assert levels.b_level == (5,)
+        assert levels.static_level == (5,)
+        assert levels.cp_length == 5
+
+    def test_chain(self):
+        g = TaskGraph([1, 2, 3], {(0, 1): 10, (1, 2): 20})
+        levels = compute_levels(g)
+        assert levels.t_level == (0, 11, 33)
+        assert levels.b_level == (36, 25, 3)
+        assert levels.static_level == (6, 5, 3)
+
+    def test_caching_returns_same_object(self):
+        g = paper_example_dag()
+        assert compute_levels(g) is compute_levels(g)
+
+    def test_priority_helper(self):
+        g = paper_example_dag()
+        levels = compute_levels(g)
+        assert levels.priority(0) == 19  # b + t of n1
+
+
+class TestCriticalPath:
+    def test_paper_example_path(self):
+        length, path = critical_path(paper_example_dag())
+        assert length == 19
+        assert path == (0, 1, 4, 5)  # n1 → n2 → n5 → n6
+
+    def test_chain_path(self):
+        g = TaskGraph([1, 1, 1], {(0, 1): 1, (1, 2): 1})
+        length, path = critical_path(g)
+        assert path == (0, 1, 2)
+        assert length == 5
+
+    def test_single_node(self):
+        length, path = critical_path(TaskGraph([3], {}))
+        assert (length, path) == (3, (0,))
+
+
+class TestCcr:
+    def test_paper_example(self):
+        g = paper_example_dag()
+        assert graph_ccr(g) == pytest.approx(g.mean_communication / g.mean_computation)
+
+    def test_zero_comm(self):
+        g = TaskGraph([1, 1], {(0, 1): 0})
+        assert graph_ccr(g) == 0.0
+
+
+class TestPriorityOrder:
+    def test_paper_example_order(self):
+        # b+t: n1=19, n2=19, n3=19, n4=14, n5=19, n6=19.
+        # Ties break by larger b-level then id: n1(19) n2(16) n3(16) n5(12) n6(2), n4 last.
+        order = priority_order(paper_example_dag())
+        assert order.index(3) == len(order) - 1  # n4 has strictly lowest priority
+        assert order[0] == 0
+
+    def test_all_nodes_present(self):
+        g = paper_example_dag()
+        assert sorted(priority_order(g)) == list(range(g.num_nodes))
+
+
+@given(task_graphs())
+def test_level_invariants(graph):
+    levels = compute_levels(graph)
+    for n in range(graph.num_nodes):
+        w = graph.weight(n)
+        # b-level and static level include the node's own weight.
+        assert levels.b_level[n] >= w
+        assert levels.static_level[n] >= w
+        # Communication only adds length.
+        assert levels.b_level[n] >= levels.static_level[n]
+        assert levels.t_level[n] >= 0
+        # t+b never exceeds the CP length; some node attains it.
+        assert levels.t_level[n] + levels.b_level[n] <= levels.cp_length + 1e-9
+    assert any(
+        abs(levels.t_level[n] + levels.b_level[n] - levels.cp_length) < 1e-9
+        for n in range(graph.num_nodes)
+    )
+
+
+@given(task_graphs())
+def test_levels_recurrences(graph):
+    levels = compute_levels(graph)
+    for n in range(graph.num_nodes):
+        if graph.succs(n):
+            expected_b = graph.weight(n) + max(
+                graph.comm_cost(n, c) + levels.b_level[c] for c in graph.succs(n)
+            )
+            expected_sl = graph.weight(n) + max(
+                levels.static_level[c] for c in graph.succs(n)
+            )
+        else:
+            expected_b = graph.weight(n)
+            expected_sl = graph.weight(n)
+        assert levels.b_level[n] == pytest.approx(expected_b)
+        assert levels.static_level[n] == pytest.approx(expected_sl)
+        for c in graph.succs(n):
+            assert (
+                levels.t_level[c]
+                >= levels.t_level[n] + graph.weight(n) + graph.comm_cost(n, c) - 1e-9
+            )

@@ -1,0 +1,47 @@
+"""Unit tests for the paper's worked-example fixtures."""
+
+from repro.graph.examples import (
+    PAPER_OPTIMAL_LENGTH,
+    paper_example_dag,
+    paper_example_system,
+)
+
+
+class TestPaperExampleDag:
+    def test_shape(self):
+        g = paper_example_dag()
+        assert g.num_nodes == 6
+        assert g.num_edges == 7
+
+    def test_weights(self):
+        g = paper_example_dag()
+        assert g.weights == (2, 3, 3, 4, 5, 2)
+
+    def test_edges(self):
+        g = paper_example_dag()
+        assert g.edges == {
+            (0, 1): 1.0, (0, 2): 1.0, (0, 3): 2.0,
+            (1, 4): 1.0, (2, 4): 1.0, (3, 5): 4.0, (4, 5): 5.0,
+        }
+
+    def test_labels_match_paper(self):
+        g = paper_example_dag()
+        assert g.labels == ("n1", "n2", "n3", "n4", "n5", "n6")
+
+    def test_single_entry_single_exit(self):
+        g = paper_example_dag()
+        assert g.entry_nodes == (0,)
+        assert g.exit_nodes == (5,)
+
+
+class TestPaperExampleSystem:
+    def test_three_pe_ring(self):
+        s = paper_example_system()
+        assert s.num_pes == 3
+        assert s.links == frozenset({(0, 1), (1, 2), (0, 2)})
+
+    def test_homogeneous(self):
+        assert paper_example_system().is_homogeneous
+
+    def test_optimal_constant(self):
+        assert PAPER_OPTIMAL_LENGTH == 14.0

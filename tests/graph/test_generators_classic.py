@@ -1,0 +1,112 @@
+"""Unit tests for the classic structured generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph.generators.classic import (
+    chain_graph,
+    diamond_graph,
+    fork_join_graph,
+    in_tree_graph,
+    independent_tasks,
+    out_tree_graph,
+)
+from repro.graph.validate import is_connected_dag
+
+
+class TestChain:
+    def test_structure(self):
+        g = chain_graph(4, comp=3, comm=1)
+        assert g.num_nodes == 4
+        assert g.num_edges == 3
+        assert g.entry_nodes == (0,)
+        assert g.exit_nodes == (3,)
+
+    def test_single(self):
+        g = chain_graph(1)
+        assert g.num_edges == 0
+
+    def test_invalid_length(self):
+        with pytest.raises(WorkloadError):
+            chain_graph(0)
+
+
+class TestIndependent:
+    def test_no_edges(self):
+        g = independent_tasks(5)
+        assert g.num_edges == 0
+        assert g.entry_nodes == tuple(range(5))
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            independent_tasks(0)
+
+
+class TestForkJoin:
+    def test_structure(self):
+        g = fork_join_graph(3)
+        assert g.num_nodes == 5
+        assert g.num_edges == 6
+        assert g.entry_nodes == (0,)
+        assert g.exit_nodes == (4,)
+
+    def test_width_one(self):
+        g = fork_join_graph(1)
+        assert g.num_nodes == 3
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            fork_join_graph(0)
+
+
+class TestTrees:
+    def test_out_tree_counts(self):
+        g = out_tree_graph(2, 2)
+        assert g.num_nodes == 7  # 1 + 2 + 4
+        assert g.num_edges == 6
+        assert g.entry_nodes == (0,)
+        assert len(g.exit_nodes) == 4
+
+    def test_out_tree_depth_zero(self):
+        g = out_tree_graph(0)
+        assert g.num_nodes == 1
+
+    def test_out_tree_ternary(self):
+        g = out_tree_graph(1, 3)
+        assert g.num_nodes == 4
+        assert len(g.succs(0)) == 3
+
+    def test_in_tree_mirrors_out_tree(self):
+        g = in_tree_graph(2, 2)
+        assert g.num_nodes == 7
+        assert len(g.entry_nodes) == 4
+        assert g.exit_nodes == (6,)
+
+    def test_in_tree_is_topologically_labelled(self):
+        g = in_tree_graph(3, 2)
+        for (u, v) in g.edges:
+            assert u < v
+
+    def test_invalid_tree(self):
+        with pytest.raises(WorkloadError):
+            out_tree_graph(-1)
+
+
+class TestDiamond:
+    def test_counts(self):
+        g = diamond_graph(3)
+        # widths 1,2,3,2,1 = 9 nodes
+        assert g.num_nodes == 9
+        assert g.entry_nodes == (0,)
+        assert g.exit_nodes == (8,)
+
+    def test_connected(self):
+        assert is_connected_dag(diamond_graph(4))
+
+    def test_size_one(self):
+        g = diamond_graph(1)
+        assert g.num_nodes == 1
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            diamond_graph(0)

@@ -1,0 +1,122 @@
+"""Unit tests for the numerical-kernel task graphs."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph.generators.kernels import (
+    divide_and_conquer_graph,
+    fft_graph,
+    gaussian_elimination_graph,
+    laplace_graph,
+    lu_decomposition_graph,
+)
+from repro.graph.validate import is_connected_dag
+
+
+class TestGaussianElimination:
+    def test_node_count_formula(self):
+        # (m-1)(m+2)/2 nodes for an m×m matrix.
+        for m in (2, 3, 4, 5):
+            g = gaussian_elimination_graph(m)
+            assert g.num_nodes == (m - 1) * (m + 2) // 2
+
+    def test_connected(self):
+        assert is_connected_dag(gaussian_elimination_graph(4))
+
+    def test_single_entry(self):
+        g = gaussian_elimination_graph(4)
+        assert len(g.entry_nodes) == 1
+        assert g.label(g.entry_nodes[0]) == "P0"
+
+    def test_costs_shrink_with_step(self):
+        g = gaussian_elimination_graph(5)
+        p0 = g.weight(g.index_of("P0"))
+        p3 = g.weight(g.index_of("P3"))
+        assert p3 < p0
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            gaussian_elimination_graph(1)
+
+
+class TestLu:
+    def test_structure(self):
+        g = lu_decomposition_graph(3)
+        assert is_connected_dag(g)
+        assert g.index_of("D0") in g.entry_nodes
+
+    def test_grows_quadratically(self):
+        assert lu_decomposition_graph(4).num_nodes > lu_decomposition_graph(3).num_nodes
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            lu_decomposition_graph(1)
+
+
+class TestFft:
+    def test_node_count(self):
+        # (stages+1) × n nodes.
+        g = fft_graph(3)
+        assert g.num_nodes == 4 * 8
+
+    def test_butterfly_dependencies(self):
+        g = fft_graph(2)
+        # Stage-1 node 0 depends on stage-0 nodes 0 and 1.
+        nid = g.index_of("S1[0]")
+        preds = {g.label(p) for p in g.preds(nid)}
+        assert preds == {"S0[0]", "S0[1]"}
+
+    def test_connected(self):
+        assert is_connected_dag(fft_graph(2))
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            fft_graph(0)
+
+
+class TestLaplace:
+    def test_wavefront_structure(self):
+        g = laplace_graph(3)
+        assert g.num_nodes == 9
+        assert g.entry_nodes == (0,)
+        assert g.exit_nodes == (8,)
+        # Interior point depends on north and west neighbours.
+        nid = g.index_of("(1,1)")
+        assert {g.label(p) for p in g.preds(nid)} == {"(0,1)", "(1,0)"}
+
+    def test_single_cell(self):
+        assert laplace_graph(1).num_nodes == 1
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            laplace_graph(0)
+
+
+class TestDivideAndConquer:
+    def test_counts(self):
+        g = divide_and_conquer_graph(2)
+        # divide: 1+2+4, conquer: 2+1 → 10 nodes
+        assert g.num_nodes == 10
+        assert g.entry_nodes == (0,)
+        assert len(g.exit_nodes) == 1
+
+    def test_depth_zero(self):
+        assert divide_and_conquer_graph(0).num_nodes == 1
+
+    def test_connected(self):
+        assert is_connected_dag(divide_and_conquer_graph(3))
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            divide_and_conquer_graph(-1)
+
+
+class TestCommScaling:
+    def test_comm_scale_zero_means_free_edges(self):
+        g = gaussian_elimination_graph(4, comm_scale=0.0)
+        assert all(c == 0 for c in g.edges.values())
+
+    def test_comm_scale_doubles(self):
+        a = fft_graph(2, comm_scale=1.0)
+        b = fft_graph(2, comm_scale=2.0)
+        assert b.mean_communication == pytest.approx(2 * a.mean_communication)

@@ -1,0 +1,55 @@
+"""Unit tests for the layered random generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph.generators.layered import layered_random_graph
+
+
+class TestLayeredGraph:
+    def test_node_count(self):
+        g = layered_random_graph(4, 3, seed=0)
+        assert g.num_nodes == 12
+
+    def test_deterministic(self):
+        a = layered_random_graph(3, 3, seed=5)
+        b = layered_random_graph(3, 3, seed=5)
+        assert a == b
+
+    def test_entries_in_first_layer(self):
+        g = layered_random_graph(4, 3, seed=1)
+        assert all(n < 3 for n in g.entry_nodes)
+
+    def test_every_non_entry_has_parent(self):
+        g = layered_random_graph(5, 4, seed=2, edge_prob=0.05, skip_prob=0.0)
+        for n in range(4, g.num_nodes):
+            assert g.preds(n), f"node {n} has no parent"
+
+    def test_edges_point_forward(self):
+        g = layered_random_graph(4, 4, seed=3)
+        for (u, v) in g.edges:
+            assert u // 4 < v // 4  # strictly later layer
+
+    def test_skip_edges_span_two_layers(self):
+        g = layered_random_graph(5, 2, seed=4, edge_prob=0.0, skip_prob=1.0)
+        spans = {(v // 2) - (u // 2) for (u, v) in g.edges}
+        assert 2 in spans
+
+    def test_single_layer(self):
+        g = layered_random_graph(1, 5, seed=0)
+        assert g.num_edges == 0
+
+    def test_invalid_dims(self):
+        with pytest.raises(WorkloadError):
+            layered_random_graph(0, 3)
+        with pytest.raises(WorkloadError):
+            layered_random_graph(3, 0)
+
+    def test_invalid_probs(self):
+        with pytest.raises(WorkloadError):
+            layered_random_graph(2, 2, edge_prob=1.5)
+
+    def test_ccr_scales_communication(self):
+        lo = layered_random_graph(3, 3, seed=6, ccr=0.1)
+        hi = layered_random_graph(3, 3, seed=6, ccr=10.0)
+        assert hi.mean_communication > lo.mean_communication

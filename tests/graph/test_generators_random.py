@@ -1,0 +1,81 @@
+"""Unit tests for the §4.1 random generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
+from repro.graph.validate import is_connected_dag
+
+
+class TestSpecValidation:
+    def test_too_few_nodes(self):
+        with pytest.raises(WorkloadError):
+            PaperGraphSpec(num_nodes=1, ccr=1.0)
+
+    def test_bad_ccr(self):
+        with pytest.raises(WorkloadError):
+            PaperGraphSpec(num_nodes=10, ccr=0.0)
+
+    def test_bad_mean(self):
+        with pytest.raises(WorkloadError):
+            PaperGraphSpec(num_nodes=10, ccr=1.0, mean_comp=-1)
+
+    def test_derived_parameters(self):
+        spec = PaperGraphSpec(num_nodes=20, ccr=0.5)
+        assert spec.mean_out_degree == 2.0
+        assert spec.mean_comm == 20.0
+
+
+class TestGeneratedGraphs:
+    def test_deterministic(self):
+        spec = PaperGraphSpec(num_nodes=14, ccr=1.0, seed=7)
+        assert paper_random_graph(spec) == paper_random_graph(spec)
+
+    def test_seed_changes_graph(self):
+        a = paper_random_graph(PaperGraphSpec(num_nodes=14, ccr=1.0, seed=1))
+        b = paper_random_graph(PaperGraphSpec(num_nodes=14, ccr=1.0, seed=2))
+        assert a != b
+
+    def test_node_count(self):
+        g = paper_random_graph(PaperGraphSpec(num_nodes=18, ccr=1.0, seed=0))
+        assert g.num_nodes == 18
+
+    def test_connected_single_entry(self):
+        for seed in range(5):
+            g = paper_random_graph(PaperGraphSpec(num_nodes=12, ccr=1.0, seed=seed))
+            assert is_connected_dag(g)
+            assert g.entry_nodes == (0,)
+
+    def test_positive_costs(self):
+        g = paper_random_graph(PaperGraphSpec(num_nodes=16, ccr=10.0, seed=3))
+        assert all(w > 0 for w in g.weights)
+        assert all(c > 0 for c in g.edges.values())
+
+    def test_mean_computation_near_40(self):
+        # Aggregate over several graphs: the distribution mean is 40.
+        total, count = 0.0, 0
+        for seed in range(20):
+            g = paper_random_graph(PaperGraphSpec(num_nodes=30, ccr=1.0, seed=seed))
+            total += sum(g.weights)
+            count += g.num_nodes
+        assert 35 < total / count < 45
+
+    def test_ccr_scales_comm_costs(self):
+        low = paper_random_graph(PaperGraphSpec(num_nodes=20, ccr=0.1, seed=0))
+        high = paper_random_graph(PaperGraphSpec(num_nodes=20, ccr=10.0, seed=0))
+        assert high.mean_communication > 20 * low.mean_communication
+
+    def test_connectivity_grows_with_size(self):
+        # Mean out-degree is v/10, so edge density rises with v.
+        small_deg = []
+        large_deg = []
+        for seed in range(10):
+            s = paper_random_graph(PaperGraphSpec(num_nodes=10, ccr=1.0, seed=seed))
+            l = paper_random_graph(PaperGraphSpec(num_nodes=32, ccr=1.0, seed=seed))
+            small_deg.append(s.num_edges / s.num_nodes)
+            large_deg.append(l.num_edges / l.num_nodes)
+        assert sum(large_deg) / 10 > sum(small_deg) / 10
+
+    def test_name_encodes_parameters(self):
+        g = paper_random_graph(PaperGraphSpec(num_nodes=12, ccr=0.1, seed=5))
+        assert "12" in g.name and "0.1" in g.name and "5" in g.name

@@ -1,0 +1,124 @@
+"""Unit tests for graph transformations."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import GraphError
+from repro.graph.analysis import compute_levels, graph_ccr
+from repro.graph.examples import paper_example_dag
+from repro.graph.taskgraph import TaskGraph
+from repro.graph.transform import (
+    merge_serial_chains,
+    reverse_graph,
+    scale_costs,
+    scale_to_ccr,
+)
+from repro.search.astar import astar_schedule
+from repro.system.processors import ProcessorSystem
+from tests.strategies import task_graphs
+
+
+class TestReverse:
+    def test_involution(self):
+        g = paper_example_dag()
+        assert reverse_graph(reverse_graph(g)).edges == g.edges
+
+    def test_levels_swap(self):
+        g = paper_example_dag()
+        rg = reverse_graph(g)
+        lv, rlv = compute_levels(g), compute_levels(rg)
+        v = g.num_nodes
+        for n in range(v):
+            m = v - 1 - n
+            # b-level of the mirror = t-level + weight of the original.
+            assert rlv.b_level[m] == pytest.approx(lv.t_level[n] + g.weight(n))
+
+    def test_optimal_length_preserved_on_clique(self):
+        g = paper_example_dag()
+        s = ProcessorSystem.fully_connected(3)
+        assert (
+            astar_schedule(g, s).length
+            == astar_schedule(reverse_graph(g), s).length
+        )
+
+
+class TestScaleCosts:
+    def test_comp_scaling(self):
+        g = scale_costs(paper_example_dag(), comp_factor=2.0)
+        assert g.weights == (4, 6, 6, 8, 10, 4)
+
+    def test_comm_scaling(self):
+        g = scale_costs(paper_example_dag(), comm_factor=0.0)
+        assert all(c == 0 for c in g.edges.values())
+
+    def test_invalid_factors(self):
+        with pytest.raises(GraphError):
+            scale_costs(paper_example_dag(), comp_factor=0.0)
+        with pytest.raises(GraphError):
+            scale_costs(paper_example_dag(), comm_factor=-1.0)
+
+
+class TestScaleToCcr:
+    def test_hits_target_exactly(self):
+        g = scale_to_ccr(paper_example_dag(), 2.5)
+        assert graph_ccr(g) == pytest.approx(2.5)
+
+    def test_rejects_zero_comm_graph(self):
+        g = TaskGraph([1, 1], {(0, 1): 0})
+        with pytest.raises(GraphError):
+            scale_to_ccr(g, 1.0)
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(GraphError):
+            scale_to_ccr(paper_example_dag(), 0.0)
+
+
+class TestMergeSerialChains:
+    def test_pure_chain_collapses_to_one(self):
+        g = TaskGraph([1, 2, 3], {(0, 1): 5, (1, 2): 5})
+        merged = merge_serial_chains(g)
+        assert merged.num_nodes == 1
+        assert merged.weight(0) == 6.0
+
+    def test_no_chain_unchanged(self):
+        g = TaskGraph([1, 1, 1], {(0, 1): 1, (0, 2): 1})
+        merged = merge_serial_chains(g)
+        assert merged.num_nodes == 3
+
+    def test_upper_bound_property(self):
+        """optimal(original) ≤ optimal(merged) — a documented counterexample
+        to equality: contiguity conflicts with a competing task."""
+        g = TaskGraph(
+            [1, 1, 1, 1],  # a, u, b, w
+            {(0, 1): 100, (0, 2): 100, (1, 3): 0},
+        )
+        s = ProcessorSystem.fully_connected(4)
+        original = astar_schedule(g, s).length
+        merged_graph = merge_serial_chains(g)
+        merged = astar_schedule(merged_graph, s).length
+        assert original <= merged + 1e-9
+        assert original == 3.0
+        assert merged == 4.0  # the pinned counterexample
+
+    def test_labels_concatenated(self):
+        g = TaskGraph([1, 1], {(0, 1): 3})
+        merged = merge_serial_chains(g)
+        assert merged.label(0) == "n1+n2"
+
+
+@settings(max_examples=25, deadline=None)
+@given(task_graphs(max_nodes=6))
+def test_merge_upper_bound_property(graph):
+    system = ProcessorSystem.fully_connected(2)
+    original = astar_schedule(graph, system).length
+    merged = astar_schedule(merge_serial_chains(graph), system).length
+    assert original <= merged + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(task_graphs(max_nodes=6))
+def test_reverse_preserves_optimum_property(graph):
+    system = ProcessorSystem.fully_connected(2)
+    a = astar_schedule(graph, system).length
+    b = astar_schedule(reverse_graph(graph), system).length
+    assert a == pytest.approx(b)

@@ -1,0 +1,71 @@
+"""Unit tests for repro.graph.validate."""
+
+import pytest
+
+from repro.errors import CycleError, GraphError
+from repro.graph.taskgraph import TaskGraph
+from repro.graph.validate import check_acyclic, is_connected_dag, validate_graph
+
+
+class TestCheckAcyclic:
+    def test_accepts_dag(self):
+        check_acyclic(3, [(0, 1), (1, 2), (0, 2)])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(CycleError):
+            check_acyclic(3, [(0, 1), (1, 2), (2, 0)])
+
+    def test_rejects_two_node_cycle(self):
+        with pytest.raises(CycleError):
+            check_acyclic(2, [(0, 1), (1, 0)])
+
+    def test_accepts_empty(self):
+        check_acyclic(5, [])
+
+    def test_deep_chain_no_recursion_error(self):
+        n = 50_000
+        check_acyclic(n, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestValidateGraph:
+    def test_accepts_valid(self):
+        validate_graph([1, 2], {(0, 1): 3})
+
+    def test_rejects_empty_nodes(self):
+        with pytest.raises(GraphError, match="no nodes"):
+            validate_graph([], {})
+
+    def test_reports_all_weight_problems(self):
+        with pytest.raises(GraphError) as exc:
+            validate_graph([0, -1, 1], {})
+        assert "node 0" in str(exc.value)
+        assert "node 1" in str(exc.value)
+
+    def test_rejects_unknown_edge_node(self):
+        with pytest.raises(GraphError, match="unknown node"):
+            validate_graph([1], {(0, 3): 1})
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(GraphError, match="negative cost"):
+            validate_graph([1, 1], {(0, 1): -2})
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            validate_graph([1, 1], {(0, 0): 1})
+
+    def test_rejects_cycle(self):
+        with pytest.raises(CycleError):
+            validate_graph([1, 1], {(0, 1): 1, (1, 0): 1})
+
+
+class TestIsConnectedDag:
+    def test_connected(self):
+        g = TaskGraph([1, 1, 1], {(0, 1): 1, (0, 2): 1})
+        assert is_connected_dag(g)
+
+    def test_disconnected(self):
+        g = TaskGraph([1, 1], {})
+        assert not is_connected_dag(g)
+
+    def test_single_node(self):
+        assert is_connected_dag(TaskGraph([1], {}))

@@ -1,0 +1,49 @@
+"""Unit tests for repro.heuristics.bounds."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.generators.classic import chain_graph, independent_tasks
+from repro.heuristics.bounds import makespan_lower_bound, upper_bound_cost
+from repro.search.enumerate import enumerate_optimal
+from repro.system.processors import ProcessorSystem
+from tests.strategies import task_graphs
+
+
+class TestUpperBound:
+    def test_paper_example(self, fig1_graph, fig1_system):
+        u = upper_bound_cost(fig1_graph, fig1_system)
+        assert u >= 14.0
+
+    def test_tighten_never_looser(self, small_random_graphs):
+        s = ProcessorSystem.fully_connected(3)
+        for g in small_random_graphs:
+            loose = upper_bound_cost(g, s, tighten=False)
+            tight = upper_bound_cost(g, s, tighten=True)
+            assert tight <= loose
+
+
+class TestLowerBound:
+    def test_chain_equals_cp(self):
+        g = chain_graph(4, comp=10, comm=5)
+        assert makespan_lower_bound(g, ProcessorSystem(2)) == 40.0
+
+    def test_work_bound_dominates_wide_graphs(self):
+        g = independent_tasks(8, comp=10)
+        # 80 total work on 2 PEs → ≥ 40.
+        assert makespan_lower_bound(g, ProcessorSystem(2)) == 40.0
+
+    def test_heterogeneous_uses_fastest(self):
+        g = chain_graph(2, comp=10, comm=0)
+        s = ProcessorSystem(2, speeds=[1.0, 2.0])
+        assert makespan_lower_bound(g, s) == pytest.approx(10.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(task_graphs(max_nodes=5))
+def test_bounds_sandwich_optimum(graph):
+    system = ProcessorSystem.fully_connected(2)
+    lb = makespan_lower_bound(graph, system)
+    ub = upper_bound_cost(graph, system)
+    opt = enumerate_optimal(graph, system).length
+    assert lb - 1e-9 <= opt <= ub + 1e-9

@@ -1,0 +1,53 @@
+"""Unit tests for repro.heuristics.cpmisf."""
+
+from hypothesis import given
+
+from repro.graph.examples import paper_example_dag
+from repro.heuristics.cpmisf import cpmisf_priority_order, cpmisf_schedule
+from repro.schedule.validate import schedule_violations
+from repro.system.processors import ProcessorSystem
+from tests.strategies import scheduling_instances
+
+
+class TestPriorityOrder:
+    def test_topological(self):
+        g = paper_example_dag()
+        order = cpmisf_priority_order(g)
+        pos = {n: i for i, n in enumerate(order)}
+        for (u, v) in g.edges:
+            assert pos[u] < pos[v]
+
+    def test_critical_path_first(self):
+        # n1 (b=19) leads; among ready nodes n2/n3 (b=16) precede n4 (b=10).
+        order = cpmisf_priority_order(paper_example_dag())
+        assert order[0] == 0
+        assert order.index(1) < order.index(3)
+
+    def test_successor_count_breaks_ties(self):
+        from repro.graph.taskgraph import TaskGraph
+
+        # Nodes 1 and 2 have equal b-level but node 2 has two children.
+        g = TaskGraph(
+            [1, 5, 5, 1, 1, 4],
+            {(0, 1): 0, (0, 2): 0, (2, 3): 0, (2, 4): 0, (1, 5): 1},
+        )
+        from repro.graph.analysis import compute_levels
+
+        levels = compute_levels(g)
+        if levels.b_level[1] == levels.b_level[2]:
+            order = cpmisf_priority_order(g)
+            assert order.index(2) < order.index(1)
+
+
+class TestSchedule:
+    def test_paper_example_feasible_and_bounded(self, fig1_graph, fig1_system):
+        sched = cpmisf_schedule(fig1_graph, fig1_system)
+        assert schedule_violations(sched) == []
+        assert sched.length >= 14.0
+
+
+@given(scheduling_instances())
+def test_cpmisf_always_feasible(instance):
+    graph, system = instance
+    sched = cpmisf_schedule(graph, system)
+    assert schedule_violations(sched) == []

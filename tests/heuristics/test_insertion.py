@@ -1,0 +1,58 @@
+"""Unit tests for repro.heuristics.insertion."""
+
+from hypothesis import given
+
+from repro.graph.generators.classic import fork_join_graph
+from repro.graph.taskgraph import TaskGraph
+from repro.heuristics.insertion import insertion_list_schedule
+from repro.heuristics.listsched import list_schedule
+from repro.schedule.validate import schedule_violations
+from repro.system.processors import ProcessorSystem
+from tests.strategies import scheduling_instances
+
+
+class TestInsertion:
+    def test_feasible_on_fork_join(self):
+        g = fork_join_graph(4, comp=10, comm=3)
+        sched = insertion_list_schedule(g, ProcessorSystem(2))
+        assert schedule_violations(sched) == []
+
+    def test_uses_gap(self):
+        # Node 2 (independent, small) fits into PE 0's idle gap created
+        # by waiting for node 1's message.
+        g = TaskGraph(
+            [2, 2, 2, 2],
+            {(0, 1): 0, (0, 3): 10, (1, 3): 10},
+        )
+        sched = insertion_list_schedule(g, ProcessorSystem(1))
+        assert schedule_violations(sched) == []
+
+    def test_respects_explicit_order(self, fig1_graph, fig1_system):
+        order = tuple(fig1_graph.topological_order)
+        sched = insertion_list_schedule(fig1_graph, fig1_system, order=order)
+        assert schedule_violations(sched) == []
+
+    def test_heterogeneous_feasible(self):
+        g = fork_join_graph(3, comp=10, comm=5)
+        s = ProcessorSystem(3, speeds=[1.0, 2.0, 0.5])
+        sched = insertion_list_schedule(g, s)
+        assert schedule_violations(sched) == []
+
+
+@given(scheduling_instances())
+def test_insertion_always_feasible(instance):
+    graph, system = instance
+    sched = insertion_list_schedule(graph, system)
+    assert schedule_violations(sched) == []
+
+
+@given(scheduling_instances(max_nodes=5, max_pes=2))
+def test_insertion_per_task_start_no_later_than_ready(instance):
+    """Every task starts at or after its data-ready time (insertion can
+    move starts earlier than append-only, never violate readiness)."""
+    graph, system = instance
+    sched = insertion_list_schedule(graph, system)
+    for (u, v), c in graph.edges.items():
+        tu, tv = sched.task(u), sched.task(v)
+        delay = system.comm_time(c, tu.pe, tv.pe)
+        assert tv.start >= tu.finish + delay - 1e-9

@@ -1,0 +1,60 @@
+"""Unit tests for repro.heuristics.listsched."""
+
+from hypothesis import given
+
+from repro.graph.generators.classic import chain_graph, fork_join_graph, independent_tasks
+from repro.heuristics.listsched import fast_upper_bound_schedule, list_schedule
+from repro.schedule.validate import schedule_violations
+from repro.system.processors import ProcessorSystem
+from tests.strategies import scheduling_instances
+
+
+class TestListSchedule:
+    def test_chain_stays_on_one_pe(self):
+        g = chain_graph(5, comp=10, comm=100)
+        sched = list_schedule(g, ProcessorSystem(4))
+        assert sched.num_used_pes == 1
+        assert sched.length == 50.0
+
+    def test_independent_tasks_spread(self):
+        g = independent_tasks(4, comp=10)
+        sched = list_schedule(g, ProcessorSystem(4))
+        assert sched.length == 10.0
+        assert sched.num_used_pes == 4
+
+    def test_fork_join_feasible(self):
+        g = fork_join_graph(3, comp=10, comm=2)
+        sched = list_schedule(g, ProcessorSystem(3))
+        assert schedule_violations(sched) == []
+
+    def test_explicit_order_respected(self, fig1_graph, fig1_system):
+        order = tuple(fig1_graph.topological_order)
+        sched = list_schedule(fig1_graph, fig1_system, order=order)
+        assert schedule_violations(sched) == []
+
+    def test_heterogeneous_prefers_fast_pe(self):
+        g = independent_tasks(1, comp=10)
+        s = ProcessorSystem(2, speeds=[1.0, 2.0])
+        sched = list_schedule(g, s)
+        assert sched.pe_of(0) == 1
+        assert sched.length == 5.0
+
+
+class TestFastUpperBound:
+    def test_paper_example_at_least_optimal(self, fig1_graph, fig1_system):
+        sched = fast_upper_bound_schedule(fig1_graph, fig1_system)
+        assert sched.length >= 14.0
+        assert schedule_violations(sched) == []
+
+    def test_feasible_everywhere(self, small_random_graphs):
+        for g in small_random_graphs:
+            sched = fast_upper_bound_schedule(g, ProcessorSystem.fully_connected(3))
+            assert schedule_violations(sched) == []
+
+
+@given(scheduling_instances())
+def test_list_schedule_always_feasible(instance):
+    graph, system = instance
+    sched = list_schedule(graph, system)
+    assert schedule_violations(sched) == []
+    assert sched.length > 0

@@ -1,0 +1,63 @@
+"""Unit tests for repro.heuristics.priorities."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import SearchError
+from repro.graph.examples import paper_example_dag
+from repro.heuristics.priorities import (
+    PRIORITY_SCHEMES,
+    priority_list,
+    topological_priority_list,
+)
+from tests.strategies import task_graphs
+
+
+class TestPriorityList:
+    def test_all_schemes_cover_all_nodes(self):
+        g = paper_example_dag()
+        for scheme in PRIORITY_SCHEMES:
+            assert sorted(priority_list(g, scheme)) == list(range(6))
+
+    def test_blevel_order_paper_example(self):
+        # b-levels: n1=19, n2=n3=16, n5=12, n4=10, n6=2.
+        order = priority_list(paper_example_dag(), "b-level")
+        assert order == (0, 1, 2, 4, 3, 5)
+
+    def test_tlevel_prefers_early_nodes(self):
+        order = priority_list(paper_example_dag(), "t-level")
+        assert order[0] == 0  # entry has t-level 0
+        assert order[-1] == 5  # exit has the largest t-level
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(SearchError, match="unknown priority scheme"):
+            priority_list(paper_example_dag(), "bogus")
+
+    def test_deterministic(self):
+        g = paper_example_dag()
+        assert priority_list(g) == priority_list(g)
+
+
+class TestTopologicalPriorityList:
+    def test_is_topological(self):
+        g = paper_example_dag()
+        order = topological_priority_list(g)
+        pos = {n: i for i, n in enumerate(order)}
+        for (u, v) in g.edges:
+            assert pos[u] < pos[v]
+
+    def test_prefers_priority_among_ready(self):
+        # After n1, nodes n2/n3 (b=16) should precede n4 (b=10).
+        order = topological_priority_list(paper_example_dag(), "b-level")
+        assert order.index(1) < order.index(3)
+        assert order.index(2) < order.index(3)
+
+
+@given(task_graphs())
+def test_topological_priority_list_property(graph):
+    for scheme in PRIORITY_SCHEMES:
+        order = topological_priority_list(graph, scheme)
+        assert sorted(order) == list(range(graph.num_nodes))
+        pos = {n: i for i, n in enumerate(order)}
+        for (u, v) in graph.edges:
+            assert pos[u] < pos[v]

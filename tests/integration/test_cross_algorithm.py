@@ -1,0 +1,89 @@
+"""Cross-algorithm agreement: every exact engine proves the same optimum.
+
+The strongest correctness evidence in the suite: five independent
+implementations (A*, A* without pruning, DFS B&B, Chen & Yu, exhaustive
+enumeration, simulated parallel A*) must agree on the optimal length of
+every instance, across homogeneous/heterogeneous systems and all
+shipped topologies.
+"""
+
+import pytest
+
+from repro.baselines.chen_yu import chen_yu_schedule
+from repro.graph.generators.classic import diamond_graph, fork_join_graph
+from repro.graph.generators.kernels import gaussian_elimination_graph
+from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
+from repro.parallel.machine import MachineSpec
+from repro.parallel.parallel_astar import parallel_astar_schedule
+from repro.schedule.validate import schedule_violations
+from repro.search.astar import astar_schedule
+from repro.search.bnb import bnb_schedule
+from repro.search.enumerate import enumerate_optimal
+from repro.search.idastar import idastar_schedule
+from repro.search.pruning import PruningConfig
+from repro.search.weighted import weighted_astar_schedule
+from repro.system.processors import ProcessorSystem
+
+
+def exact_lengths(graph, system):
+    """Run every exact engine and return {name: length}."""
+    out = {
+        "astar": astar_schedule(graph, system),
+        "astar-noprune": astar_schedule(graph, system, pruning=PruningConfig.none()),
+        "astar-improved": astar_schedule(graph, system, cost="improved"),
+        "bnb": bnb_schedule(graph, system),
+        "idastar": idastar_schedule(graph, system),
+        "wastar-0": weighted_astar_schedule(graph, system, 0.0),
+        "chen-yu": chen_yu_schedule(graph, system),
+    }
+    lengths = {name: r.length for name, r in out.items()}
+    for name, r in out.items():
+        assert r.optimal, f"{name} did not prove optimality"
+        assert schedule_violations(r.schedule) == [], f"{name} infeasible"
+    par = parallel_astar_schedule(graph, system, MachineSpec(num_ppes=4))
+    assert par.result.optimal
+    lengths["parallel"] = par.result.length
+    return lengths
+
+
+SMALL_INSTANCES = [
+    (paper_random_graph(PaperGraphSpec(num_nodes=7, ccr=0.1, seed=11)),
+     ProcessorSystem.fully_connected(3)),
+    (paper_random_graph(PaperGraphSpec(num_nodes=8, ccr=1.0, seed=12)),
+     ProcessorSystem.ring(3)),
+    (paper_random_graph(PaperGraphSpec(num_nodes=7, ccr=10.0, seed=13)),
+     ProcessorSystem.chain(3)),
+    (fork_join_graph(3, comp=7, comm=4), ProcessorSystem.fully_connected(2)),
+    (diamond_graph(3, comp=5, comm=2), ProcessorSystem.star(3)),
+    (gaussian_elimination_graph(3, comp=12, comm_scale=0.5),
+     ProcessorSystem.fully_connected(2)),
+]
+
+
+@pytest.mark.parametrize("idx", range(len(SMALL_INSTANCES)))
+def test_all_engines_agree(idx):
+    graph, system = SMALL_INSTANCES[idx]
+    lengths = exact_lengths(graph, system)
+    reference = enumerate_optimal(graph, system).length
+    for name, length in lengths.items():
+        assert length == pytest.approx(reference), (
+            f"{name} found {length}, exhaustive ground truth {reference}"
+        )
+
+
+def test_heterogeneous_agreement():
+    graph = paper_random_graph(PaperGraphSpec(num_nodes=6, ccr=1.0, seed=21))
+    system = ProcessorSystem.fully_connected(3, speeds=[1.0, 2.0, 0.5])
+    lengths = exact_lengths(graph, system)
+    reference = enumerate_optimal(graph, system).length
+    for name, length in lengths.items():
+        assert length == pytest.approx(reference), name
+
+
+def test_distance_scaled_agreement():
+    graph = paper_random_graph(PaperGraphSpec(num_nodes=6, ccr=2.0, seed=22))
+    system = ProcessorSystem(3, links=[(0, 1), (1, 2)], distance_scaled=True)
+    lengths = exact_lengths(graph, system)
+    reference = enumerate_optimal(graph, system).length
+    for name, length in lengths.items():
+        assert length == pytest.approx(reference), name

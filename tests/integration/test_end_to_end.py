@@ -1,0 +1,83 @@
+"""End-to-end flows through the public API."""
+
+import pytest
+
+from repro import (
+    Budget,
+    MachineSpec,
+    ProcessorSystem,
+    TaskGraph,
+    astar_schedule,
+    cpmisf_schedule,
+    focal_schedule,
+    graph_ccr,
+    insertion_list_schedule,
+    list_schedule,
+    parallel_astar_schedule,
+    render_gantt,
+    validate_schedule,
+)
+from repro.graph.generators.kernels import fft_graph, laplace_graph
+from repro.graph.io import graph_from_dict, graph_to_dict
+
+
+class TestQuickstartFlow:
+    """The README quickstart, as a test."""
+
+    def test_quickstart(self):
+        g = TaskGraph(
+            [2, 3, 3, 4, 5, 2],
+            {(0, 1): 1, (0, 2): 1, (0, 3): 2, (1, 4): 1, (2, 4): 1,
+             (3, 5): 4, (4, 5): 5},
+        )
+        result = astar_schedule(g, ProcessorSystem.ring(3))
+        assert result.schedule.length == 14.0
+        validate_schedule(result.schedule)
+        chart = render_gantt(result.schedule)
+        assert "14" in chart
+
+
+class TestKernelWorkflow:
+    def test_fft_optimal_beats_heuristic_or_ties(self):
+        g = fft_graph(1, comp=10, comm_scale=0.3)
+        s = ProcessorSystem.fully_connected(2)
+        optimal = astar_schedule(g, s)
+        heuristic = list_schedule(g, s)
+        assert optimal.length <= heuristic.length + 1e-9
+
+    def test_laplace_pipeline(self):
+        g = laplace_graph(3, comp=5, comm_scale=0.2)
+        s = ProcessorSystem.fully_connected(2)
+        result = focal_schedule(g, s, 0.2, budget=Budget(max_expanded=50_000))
+        assert result.schedule is not None
+        validate_schedule(result.schedule)
+
+    def test_ccr_computed(self):
+        g = fft_graph(2, comp=10, comm_scale=1.0)
+        assert graph_ccr(g) == pytest.approx(10.0 / 10.0)
+
+
+class TestSerializationWorkflow:
+    def test_schedule_serialized_graph(self):
+        g = fft_graph(1, comp=4, comm_scale=0.5)
+        g2 = graph_from_dict(graph_to_dict(g))
+        s = ProcessorSystem.fully_connected(2)
+        assert astar_schedule(g, s).length == astar_schedule(g2, s).length
+
+
+class TestHeuristicsAgainstOptimal:
+    def test_all_heuristics_bounded_below_by_optimal(self):
+        g = laplace_graph(2, comp=7, comm_scale=1.0)
+        s = ProcessorSystem.fully_connected(2)
+        optimal = astar_schedule(g, s).length
+        for fn in (list_schedule, insertion_list_schedule, cpmisf_schedule):
+            assert fn(g, s).length >= optimal - 1e-9
+
+
+class TestParallelFlow:
+    def test_parallel_on_kernel_graph(self):
+        g = fft_graph(1, comp=6, comm_scale=0.5)
+        s = ProcessorSystem.fully_connected(2)
+        par = parallel_astar_schedule(g, s, MachineSpec(num_ppes=4, topology="ring"))
+        serial = astar_schedule(g, s)
+        assert par.result.length == serial.length

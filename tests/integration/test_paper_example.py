@@ -1,0 +1,152 @@
+"""End-to-end reproduction of the paper's worked example (Figures 1-5).
+
+Everything the paper states about the 6-node DAG on the 3-PE ring is
+asserted here in one place:
+
+* Figure 2 — the sl / b-level / t-level table;
+* Figure 3 — pruned A* explores a tiny fraction of the > 3^6 = 729-leaf
+  exhaustive tree; the first expansion yields exactly one child
+  (processor isomorphism), the second exactly four (node equivalence);
+* Figure 4 — the optimal schedule length is 14 and uses 3 PEs;
+* Figure 5 / §3.3 — the 2-PPE parallel run returns the same optimum
+  while generating at least as many states as the serial run;
+* §3.4 — Aε* returns within (1+ε) of 14 for both paper ε values.
+"""
+
+import pytest
+
+from repro.graph.analysis import compute_levels
+from repro.graph.examples import (
+    PAPER_OPTIMAL_LENGTH,
+    paper_example_dag,
+    paper_example_system,
+)
+from repro.parallel.machine import MachineSpec
+from repro.parallel.parallel_astar import parallel_astar_schedule
+from repro.schedule.validate import validate_schedule
+from repro.search.astar import astar_schedule
+from repro.search.bnb import bnb_schedule
+from repro.search.diagnostics import SearchTrace
+from repro.search.enumerate import count_complete_schedules, enumerate_optimal
+from repro.search.focal import focal_schedule
+from repro.search.pruning import PruningConfig
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return paper_example_dag()
+
+
+@pytest.fixture(scope="module")
+def system():
+    return paper_example_system()
+
+
+class TestFigure2Levels(object):
+    def test_table(self, graph):
+        levels = compute_levels(graph)
+        expected = {
+            # node: (sl, b-level, t-level)
+            0: (12, 19, 0),
+            1: (10, 16, 3),
+            2: (10, 16, 3),
+            3: (6, 10, 4),
+            4: (7, 12, 7),
+            5: (2, 2, 17),
+        }
+        for node, (sl, b, t) in expected.items():
+            assert levels.static_level[node] == sl
+            assert levels.b_level[node] == b
+            assert levels.t_level[node] == t
+
+
+class TestFigure3Search:
+    def test_exhaustive_tree_exceeds_729(self, graph, system):
+        assert count_complete_schedules(graph, system) >= 3**6
+
+    def test_pruned_search_is_tiny_fraction(self, graph, system):
+        result = astar_schedule(graph, system)
+        assert result.stats.states_generated < 100
+        assert result.stats.states_expanded < 50
+
+    def test_first_expansion_one_child(self, graph, system):
+        trace = SearchTrace()
+        astar_schedule(graph, system, trace=trace)
+        root = trace.nodes[0]
+        assert root.action == "<initial>"
+        assert len(root.children) == 1
+        n1_state = trace.nodes[root.children[0]]
+        assert n1_state.action == "n1 -> PE 0"
+        assert n1_state.g == 2.0 and n1_state.h == 10.0  # f = 2 + 10
+
+    def test_second_expansion_four_children(self, graph, system):
+        trace = SearchTrace()
+        astar_schedule(graph, system, trace=trace)
+        n1_state = trace.nodes[trace.nodes[0].children[0]]
+        assert len(n1_state.children) == 4
+        costs = sorted(
+            (trace.nodes[c].g, trace.nodes[c].h) for c in n1_state.children
+        )
+        # Paper Figure 3: f = 5+7, 6+7 (n2) and 6+2, 8+2 (n4).
+        assert costs == [(5, 7), (6, 2), (6, 7), (8, 2)]
+
+    def test_every_engine_agrees(self, graph, system):
+        for result in (
+            astar_schedule(graph, system),
+            astar_schedule(graph, system, pruning=PruningConfig.none()),
+            bnb_schedule(graph, system),
+            enumerate_optimal(graph, system),
+        ):
+            assert result.length == PAPER_OPTIMAL_LENGTH
+
+
+class TestFigure4Schedule:
+    def test_optimal_length_and_feasibility(self, graph, system):
+        result = astar_schedule(graph, system)
+        assert result.optimal
+        assert result.schedule.length == PAPER_OPTIMAL_LENGTH
+        validate_schedule(result.schedule)
+
+    def test_uses_three_pes(self, graph, system):
+        # Figure 4 places work on all three ring PEs.
+        result = astar_schedule(graph, system)
+        assert result.schedule.num_used_pes == 3
+
+    def test_n1_starts_at_zero(self, graph, system):
+        result = astar_schedule(graph, system)
+        assert result.schedule.start_time(0) == 0.0
+
+    def test_goal_f_equals_g(self, graph, system):
+        # At a goal state h = 0 so f = g = 14 (paper: "final cost of 14").
+        result = astar_schedule(graph, system)
+        assert result.schedule.length == 14.0
+
+
+class TestFigure5Parallel:
+    def test_two_ppe_run(self, graph, system):
+        par = parallel_astar_schedule(graph, system, MachineSpec(num_ppes=2))
+        assert par.result.length == PAPER_OPTIMAL_LENGTH
+        assert par.result.optimal
+
+    def test_extra_states_generated(self, graph, system):
+        serial = astar_schedule(graph, system)
+        par = parallel_astar_schedule(graph, system, MachineSpec(num_ppes=2))
+        assert par.result.stats.states_generated >= serial.stats.states_generated
+
+    def test_sublinear_speedup(self, graph, system):
+        """The paper reports 1.7 on 2 PPEs for this example — sub-linear
+        but positive.  Assert the same shape for the simulated run."""
+        from repro.parallel.metrics import measure_speedup
+
+        report, _ = measure_speedup(graph, system, MachineSpec(num_ppes=2))
+        assert report.lengths_agree
+        assert report.speedup <= 2.0 + 1e-9
+
+
+class TestSection34Approximate:
+    @pytest.mark.parametrize("eps", [0.2, 0.5])
+    def test_bounded_degradation(self, graph, system, eps):
+        result = focal_schedule(graph, system, eps)
+        assert result.length <= (1 + eps) * PAPER_OPTIMAL_LENGTH + 1e-9
+        # On this tiny example Aε* actually finds the optimum.
+        assert result.length == PAPER_OPTIMAL_LENGTH

@@ -1,0 +1,60 @@
+"""Unit tests for round-robin load sharing (§3.3)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel.loadbalance import balance_counts, plan_round_robin_shares
+
+
+class TestBalanceCounts:
+    def test_even_split(self):
+        assert sorted(balance_counts([8, 0, 0, 0])) == [2, 2, 2, 2]
+
+    def test_remainder_distribution(self):
+        targets = balance_counts([7, 0, 0])
+        assert sum(targets) == 7
+        assert max(targets) - min(targets) <= 1
+
+    def test_already_balanced(self):
+        assert balance_counts([3, 3, 3]) == [3, 3, 3]
+
+
+class TestPlanRoundRobinShares:
+    def test_surplus_to_deficit(self):
+        transfers = plan_round_robin_shares([6, 0, 0])
+        assert transfers
+        moved_out = sum(n for d, r, n in transfers if d == 0)
+        assert moved_out >= 3  # donor ends at or below ceil(avg) = 2
+        receivers = {r for _d, r, _n in transfers}
+        assert receivers <= {1, 2}
+
+    def test_balanced_no_transfers(self):
+        assert plan_round_robin_shares([2, 2, 2]) == []
+
+    def test_single_ppe_no_transfers(self):
+        assert plan_round_robin_shares([10]) == []
+
+    def test_empty_receivers_only(self):
+        assert plan_round_robin_shares([0, 0]) == []
+
+    def test_round_robin_dealing(self):
+        # One big donor, three deficits: states dealt one-at-a-time RR.
+        transfers = dict(
+            ((d, r), n) for d, r, n in plan_round_robin_shares([9, 0, 0, 0])
+        )
+        counts = [transfers.get((0, r), 0) for r in (1, 2, 3)]
+        assert max(counts) - min(counts) <= 1
+
+
+@given(st.lists(st.integers(0, 50), min_size=1, max_size=10))
+def test_transfers_conserve_and_improve(counts):
+    transfers = plan_round_robin_shares(counts)
+    after = list(counts)
+    for d, r, n in transfers:
+        assert n > 0
+        after[d] -= n
+        after[r] += n
+    assert sum(after) == sum(counts)
+    assert all(c >= 0 for c in after)
+    # Imbalance never increases.
+    assert (max(after) - min(after)) <= (max(counts) - min(counts))

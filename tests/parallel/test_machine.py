@@ -1,0 +1,92 @@
+"""Unit tests for the simulated machine spec and PPE network."""
+
+import pytest
+
+from repro.errors import SystemError_
+from repro.parallel.machine import MachineSpec, PPENetwork, _near_square
+
+
+class TestMachineSpec:
+    def test_defaults(self):
+        spec = MachineSpec()
+        assert spec.num_ppes == 4
+        assert spec.topology == "mesh"
+
+    def test_invalid_count(self):
+        with pytest.raises(SystemError_):
+            MachineSpec(num_ppes=0)
+
+    def test_invalid_topology(self):
+        with pytest.raises(SystemError_):
+            MachineSpec(topology="torus")
+
+    def test_invalid_costs(self):
+        with pytest.raises(SystemError_):
+            MachineSpec(expansion_cost=0)
+        with pytest.raises(SystemError_):
+            MachineSpec(comm_latency=-1)
+
+    def test_zero_latency_allowed(self):
+        assert MachineSpec(comm_latency=0.0).comm_latency == 0.0
+
+
+class TestPPENetwork:
+    def test_mesh_16_is_4x4(self):
+        net = PPENetwork(MachineSpec(num_ppes=16, topology="mesh"))
+        assert net.shape == (4, 4)
+        assert len(net.neighbors[0]) == 2  # corner
+        assert len(net.neighbors[5]) == 4  # interior
+
+    def test_mesh_paragon_like_8(self):
+        net = PPENetwork(MachineSpec(num_ppes=8, topology="mesh"))
+        assert net.shape == (2, 4)
+
+    def test_ring(self):
+        net = PPENetwork(MachineSpec(num_ppes=5, topology="ring"))
+        assert all(len(nbrs) == 2 for nbrs in net.neighbors)
+
+    def test_chain_ends(self):
+        net = PPENetwork(MachineSpec(num_ppes=4, topology="chain"))
+        assert len(net.neighbors[0]) == 1
+        assert len(net.neighbors[1]) == 2
+
+    def test_hypercube_power_of_two_required(self):
+        with pytest.raises(SystemError_, match="power-of-two"):
+            PPENetwork(MachineSpec(num_ppes=6, topology="hypercube"))
+
+    def test_hypercube_degree(self):
+        net = PPENetwork(MachineSpec(num_ppes=8, topology="hypercube"))
+        assert all(len(nbrs) == 3 for nbrs in net.neighbors)
+
+    def test_clique(self):
+        net = PPENetwork(MachineSpec(num_ppes=4, topology="clique"))
+        assert all(len(nbrs) == 3 for nbrs in net.neighbors)
+
+    def test_star(self):
+        net = PPENetwork(MachineSpec(num_ppes=4, topology="star"))
+        assert len(net.neighbors[0]) == 3
+        assert len(net.neighbors[1]) == 1
+
+    def test_group_includes_self(self):
+        net = PPENetwork(MachineSpec(num_ppes=4, topology="ring"))
+        assert net.group(0)[0] == 0
+        assert set(net.group(0)) == {0, 1, 3}
+
+    def test_single_ppe(self):
+        net = PPENetwork(MachineSpec(num_ppes=1, topology="mesh"))
+        assert net.neighbors == ((),)
+
+
+class TestNearSquare:
+    def test_perfect_square(self):
+        assert _near_square(16) == (4, 4)
+
+    def test_rectangles(self):
+        assert _near_square(8) == (2, 4)
+        assert _near_square(12) == (3, 4)
+
+    def test_prime(self):
+        assert _near_square(7) == (1, 7)
+
+    def test_one(self):
+        assert _near_square(1) == (1, 1)

@@ -1,0 +1,44 @@
+"""Unit tests for speedup measurement."""
+
+from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
+from repro.parallel.machine import MachineSpec
+from repro.parallel.metrics import measure_speedup
+from repro.search.astar import astar_schedule
+from repro.system.processors import ProcessorSystem
+
+
+def medium_instance():
+    graph = paper_random_graph(PaperGraphSpec(num_nodes=10, ccr=1.0, seed=42))
+    return graph, ProcessorSystem.fully_connected(4)
+
+
+class TestMeasureSpeedup:
+    def test_report_fields(self):
+        graph, system = medium_instance()
+        report, par = measure_speedup(graph, system, MachineSpec(num_ppes=4))
+        assert report.num_ppes == 4
+        assert report.speedup > 0
+        assert report.efficiency == report.speedup / 4
+        assert report.lengths_agree
+        assert report.serial_units > 0
+        assert par.makespan_units == report.parallel_units
+
+    def test_serial_result_reuse(self):
+        graph, system = medium_instance()
+        serial = astar_schedule(graph, system)
+        report, _ = measure_speedup(
+            graph, system, MachineSpec(num_ppes=2), serial_result=serial
+        )
+        assert report.serial_expansions == serial.stats.states_expanded
+
+    def test_more_ppes_do_not_slow_makespan_hugely(self):
+        """Sanity: 8 PPEs beat 1 PPE on a nontrivial search."""
+        graph, system = medium_instance()
+        serial = astar_schedule(graph, system)
+        r1, _ = measure_speedup(
+            graph, system, MachineSpec(num_ppes=1), serial_result=serial
+        )
+        r8, _ = measure_speedup(
+            graph, system, MachineSpec(num_ppes=8), serial_result=serial
+        )
+        assert r8.parallel_units < r1.parallel_units

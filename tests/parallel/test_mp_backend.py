@@ -1,0 +1,53 @@
+"""Unit tests for the real-multiprocessing backend."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.examples import paper_example_dag, paper_example_system
+from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
+from repro.parallel.mp_backend import multiprocessing_astar_schedule
+from repro.schedule.validate import schedule_violations
+from repro.search.astar import astar_schedule
+from repro.search.enumerate import enumerate_optimal
+from repro.system.processors import ProcessorSystem
+from tests.strategies import scheduling_instances
+
+
+class TestMpBackend:
+    def test_paper_example(self, fig1_graph, fig1_system):
+        result = multiprocessing_astar_schedule(
+            fig1_graph, fig1_system, workers=2
+        )
+        assert result.optimal
+        assert result.length == 14.0
+        assert schedule_violations(result.schedule) == []
+
+    def test_single_worker_falls_back_to_serial(self, fig1_graph, fig1_system):
+        result = multiprocessing_astar_schedule(
+            fig1_graph, fig1_system, workers=1
+        )
+        assert result.length == 14.0
+        assert result.algorithm == "astar"
+
+    def test_matches_serial_on_random_instance(self):
+        graph = paper_random_graph(PaperGraphSpec(num_nodes=10, ccr=1.0, seed=3))
+        system = ProcessorSystem.fully_connected(3)
+        serial = astar_schedule(graph, system)
+        mp = multiprocessing_astar_schedule(graph, system, workers=2)
+        assert mp.length == pytest.approx(serial.length)
+
+    def test_trivial_instance(self):
+        from repro.graph.taskgraph import TaskGraph
+
+        g = TaskGraph([5], {})
+        result = multiprocessing_astar_schedule(g, ProcessorSystem(2), workers=2)
+        assert result.length == 5.0
+
+
+@settings(max_examples=5, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=2))
+def test_mp_matches_exhaustive(instance):
+    graph, system = instance
+    mp = multiprocessing_astar_schedule(graph, system, workers=2, oversubscribe=2)
+    opt = enumerate_optimal(graph, system).length
+    assert mp.length == pytest.approx(opt)

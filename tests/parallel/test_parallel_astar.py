@@ -1,0 +1,124 @@
+"""Unit tests for the simulated parallel A*."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.examples import paper_example_dag, paper_example_system
+from repro.parallel.machine import MachineSpec
+from repro.parallel.parallel_astar import parallel_astar_schedule
+from repro.schedule.validate import schedule_violations
+from repro.search.enumerate import enumerate_optimal
+from repro.util.timing import Budget
+from tests.strategies import scheduling_instances
+
+
+class TestPaperExample:
+    def test_two_ppes_optimal(self, fig1_graph, fig1_system):
+        # The configuration of the paper's Figure-5 walk-through.
+        par = parallel_astar_schedule(
+            fig1_graph, fig1_system, MachineSpec(num_ppes=2, topology="mesh")
+        )
+        assert par.result.optimal
+        assert par.result.length == 14.0
+        assert schedule_violations(par.schedule) == []
+
+    @pytest.mark.parametrize("q", [1, 2, 4, 8, 16])
+    def test_all_ppe_counts_agree(self, q, fig1_graph, fig1_system):
+        par = parallel_astar_schedule(
+            fig1_graph, fig1_system, MachineSpec(num_ppes=q)
+        )
+        assert par.result.length == 14.0
+
+    @pytest.mark.parametrize("topology", ["mesh", "ring", "chain", "clique", "star"])
+    def test_topologies_agree(self, topology, fig1_graph, fig1_system):
+        par = parallel_astar_schedule(
+            fig1_graph, fig1_system, MachineSpec(num_ppes=4, topology=topology)
+        )
+        assert par.result.length == 14.0
+
+    def test_simulation_accounting(self, fig1_graph, fig1_system):
+        par = parallel_astar_schedule(
+            fig1_graph, fig1_system, MachineSpec(num_ppes=4)
+        )
+        assert par.makespan_units > 0
+        assert par.phases >= 1
+        assert len(par.per_ppe_expansions) == 4
+        assert par.total_expansions >= sum(par.per_ppe_expansions)
+        assert par.load_imbalance >= 1.0
+
+    def test_extra_states_vs_serial(self, fig1_graph, fig1_system):
+        """Figure-5 effect: the parallel run generates extra states."""
+        from repro.search.astar import astar_schedule
+
+        serial = astar_schedule(fig1_graph, fig1_system)
+        par = parallel_astar_schedule(
+            fig1_graph, fig1_system, MachineSpec(num_ppes=4)
+        )
+        assert par.result.stats.states_generated >= serial.stats.states_generated
+
+    def test_budget_terminates(self, fig1_graph, fig1_system):
+        par = parallel_astar_schedule(
+            fig1_graph,
+            fig1_system,
+            MachineSpec(num_ppes=2),
+            budget=Budget(max_expanded=4),
+        )
+        assert par.schedule is not None
+
+    def test_epsilon_bound(self, fig1_graph, fig1_system):
+        par = parallel_astar_schedule(
+            fig1_graph, fig1_system, MachineSpec(num_ppes=4), epsilon=0.5
+        )
+        assert par.result.length <= 1.5 * 14.0 + 1e-9
+        assert par.result.bound == pytest.approx(1.5)
+
+
+class TestDefaults:
+    def test_default_spec(self, fig1_graph, fig1_system):
+        par = parallel_astar_schedule(fig1_graph, fig1_system)
+        assert par.spec.num_ppes == 4
+        assert par.result.length == 14.0
+
+
+class TestPopTailHeapTrick:
+    def test_pop_tail_preserves_heap_invariant(self):
+        """Removing the last array element of a binary heap is always safe
+        (it is a leaf); verify pops stay sorted afterwards."""
+        import heapq
+        import random
+
+        from repro.parallel.parallel_astar import _PPE
+
+        rng = random.Random(7)
+        ppe = _PPE(index=0)
+        for i in range(200):
+            heapq.heappush(ppe.open_heap, (rng.random(), 0.0, i, None))
+        removed = [ppe.pop_tail() for _ in range(50)]
+        assert len(ppe.open_heap) == 150
+        drained = [heapq.heappop(ppe.open_heap)[0] for _ in range(150)]
+        assert drained == sorted(drained)
+        # Tail pops never stole the global minimum.
+        assert min(e[0] for e in removed) >= drained[0]
+
+
+@settings(max_examples=20, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=2))
+def test_parallel_matches_exhaustive(instance):
+    """The parallel engine proves the same optima as exhaustive search."""
+    graph, system = instance
+    par = parallel_astar_schedule(graph, system, MachineSpec(num_ppes=4))
+    opt = enumerate_optimal(graph, system).length
+    assert par.result.optimal
+    assert par.result.length == pytest.approx(opt)
+
+
+@settings(max_examples=12, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=2))
+def test_parallel_focal_respects_bound(instance):
+    graph, system = instance
+    opt = enumerate_optimal(graph, system).length
+    for eps in (0.2, 0.5):
+        par = parallel_astar_schedule(
+            graph, system, MachineSpec(num_ppes=4), epsilon=eps
+        )
+        assert par.result.length <= (1 + eps) * opt + 1e-9

@@ -1,0 +1,65 @@
+"""Unit tests for initial load distribution (§3.3 cases)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel.partition import distribute_seeds, interleaved_order
+
+
+class TestInterleavedOrder:
+    def test_paper_pattern(self):
+        # First state to PE 0, second to PE q-1, third to PE 1, ...
+        assert interleaved_order(4) == [0, 3, 1, 2]
+        assert interleaved_order(5) == [0, 4, 1, 3, 2]
+
+    def test_single(self):
+        assert interleaved_order(1) == [0]
+
+    def test_two(self):
+        assert interleaved_order(2) == [0, 1]
+
+    def test_is_permutation(self):
+        for q in range(1, 20):
+            assert sorted(interleaved_order(q)) == list(range(q))
+
+
+class TestDistributeSeeds:
+    def test_case2_exact_fit(self):
+        seeds = [(float(i), f"s{i}") for i in range(4)]
+        buckets = distribute_seeds(seeds, 4)
+        assert all(len(b) == 1 for b in buckets)
+        # Best seed to PPE 0, second-best to PPE 3 (interleaved).
+        assert buckets[0] == ["s0"]
+        assert buckets[3] == ["s1"]
+
+    def test_case1_extras_round_robin(self):
+        seeds = [(float(i), f"s{i}") for i in range(6)]
+        buckets = distribute_seeds(seeds, 4)
+        assert sum(len(b) for b in buckets) == 6
+        # Extras (ranks 4, 5) go to PPEs 0 and 1.
+        assert "s4" in buckets[0]
+        assert "s5" in buckets[1]
+
+    def test_case3_fewer_than_ppes(self):
+        seeds = [(1.0, "a"), (2.0, "b")]
+        buckets = distribute_seeds(seeds, 4)
+        assert buckets[0] == ["a"]
+        assert buckets[3] == ["b"]
+        assert buckets[1] == [] and buckets[2] == []
+
+    def test_sorted_by_cost_not_input_order(self):
+        seeds = [(9.0, "worst"), (1.0, "best")]
+        buckets = distribute_seeds(seeds, 2)
+        assert buckets[0] == ["best"]
+        assert buckets[1] == ["worst"]
+
+
+@given(st.lists(st.floats(0, 100), max_size=40), st.integers(1, 8))
+def test_distribution_conserves_states(costs, q):
+    seeds = [(c, i) for i, c in enumerate(costs)]
+    buckets = distribute_seeds(seeds, q)
+    flat = sorted(s for b in buckets for s in b)
+    assert flat == sorted(range(len(costs)))
+    # Bucket sizes differ by at most one.
+    sizes = [len(b) for b in buckets]
+    assert max(sizes) - min(sizes) <= 1

@@ -1,0 +1,97 @@
+"""Property-based invariants of generators and graph analysis."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.analysis import compute_levels, critical_path
+from repro.graph.generators.classic import diamond_graph, in_tree_graph, out_tree_graph
+from repro.graph.generators.kernels import (
+    divide_and_conquer_graph,
+    fft_graph,
+    gaussian_elimination_graph,
+    laplace_graph,
+    lu_decomposition_graph,
+)
+from repro.graph.generators.layered import layered_random_graph
+from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
+from repro.graph.validate import is_connected_dag
+from repro.search.expansion import node_equivalence_classes
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 24), st.sampled_from([0.1, 1.0, 10.0]), st.integers(0, 10**6))
+def test_paper_generator_contract(v, ccr, seed):
+    g = paper_random_graph(PaperGraphSpec(num_nodes=v, ccr=ccr, seed=seed))
+    assert g.num_nodes == v
+    assert is_connected_dag(g)
+    assert g.entry_nodes == (0,)
+    assert all(w >= 1 for w in g.weights)
+    assert all(c >= 1 for c in g.edges.values())
+    for (u, w) in g.edges:
+        assert u < w  # generation order is topological
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 5), st.integers(1, 4), st.integers(0, 1000))
+def test_layered_generator_contract(layers, width, seed):
+    g = layered_random_graph(layers, width, seed=seed)
+    assert g.num_nodes == layers * width
+    for (u, v) in g.edges:
+        assert u // width < v // width
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 7))
+def test_kernel_generators_well_formed(m):
+    for g in (
+        gaussian_elimination_graph(m),
+        lu_decomposition_graph(min(m, 5)),
+        laplace_graph(min(m, 5)),
+    ):
+        assert is_connected_dag(g)
+        assert len(g.entry_nodes) >= 1
+        assert len(g.exit_nodes) >= 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(1, 4))
+def test_fft_and_dnc_well_formed(k):
+    assert is_connected_dag(fft_graph(k))
+    assert is_connected_dag(divide_and_conquer_graph(k))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 4), st.integers(1, 3))
+def test_tree_mirror_levels(depth, branching):
+    """An in-tree's exit static level mirrors the out-tree's entry level."""
+    out_t = out_tree_graph(depth, branching, comp=3, comm=2)
+    in_t = in_tree_graph(depth, branching, comp=3, comm=2)
+    out_levels = compute_levels(out_t)
+    in_levels = compute_levels(in_t)
+    assert out_levels.static_cp_length == in_levels.static_cp_length
+    assert out_levels.cp_length == in_levels.cp_length
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(1, 5))
+def test_diamond_symmetric_equivalences(size):
+    """Same-layer diamond nodes with identical wiring are Def-3 equivalent."""
+    g = diamond_graph(size, comp=4, comm=2)
+    classes = node_equivalence_classes(g)
+    flat = sorted(n for cls in classes for n in cls)
+    assert flat == list(range(g.num_nodes))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 16), st.integers(0, 100))
+def test_critical_path_is_actual_path(v, seed):
+    g = paper_random_graph(PaperGraphSpec(num_nodes=v, ccr=1.0, seed=seed))
+    length, path = critical_path(g)
+    # Consecutive path elements are actual edges.
+    for u, w in zip(path, path[1:]):
+        assert w in g.succs(u)
+    # Path length (nodes + edges) equals the reported CP length.
+    total = sum(g.weight(n) for n in path) + sum(
+        g.comm_cost(u, w) for u, w in zip(path, path[1:])
+    )
+    assert abs(total - length) < 1e-9

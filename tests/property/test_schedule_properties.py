@@ -1,0 +1,78 @@
+"""Property-based invariants of schedules and partial schedules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedule.partial import PartialSchedule
+from repro.schedule.validate import schedule_violations
+from repro.search.astar import astar_schedule
+from tests.strategies import scheduling_instances, task_graphs
+
+
+@settings(max_examples=40, deadline=None)
+@given(scheduling_instances(max_nodes=6, max_pes=3), st.randoms(use_true_random=False))
+def test_random_greedy_completion_always_feasible(instance, rnd):
+    """Any sequence of (ready node, any PE) extensions yields feasibility."""
+    graph, system = instance
+    ps = PartialSchedule.empty(graph, system)
+    while not ps.is_complete():
+        ready = ps.ready_nodes()
+        node = rnd.choice(ready)
+        pe = rnd.randrange(system.num_pes)
+        ps = ps.extend(node, pe)
+    assert schedule_violations(ps.to_schedule()) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(scheduling_instances(max_nodes=6, max_pes=3), st.randoms(use_true_random=False))
+def test_signature_order_independence(instance, rnd):
+    """Two random interleavings reaching identical placements collide."""
+    graph, system = instance
+    placements = {}
+    ps = PartialSchedule.empty(graph, system)
+    while not ps.is_complete():
+        node = rnd.choice(ps.ready_nodes())
+        pe = rnd.randrange(system.num_pes)
+        ps = ps.extend(node, pe)
+        placements[node] = pe
+    # Rebuild in topological order with the same PEs; starts must match
+    # only if the rebuild produces the same EST chain — check signature of
+    # identical placement orderings instead:
+    rebuilt = PartialSchedule.empty(graph, system)
+    order = sorted(range(graph.num_nodes), key=lambda n: (ps.starts[n], n))
+    for node in order:
+        rebuilt = rebuilt.extend(node, placements[node])
+    assert rebuilt.signature == ps.signature
+
+
+@settings(max_examples=30, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=2))
+def test_optimal_schedule_tasks_cover_graph(instance):
+    graph, system = instance
+    sched = astar_schedule(graph, system).schedule
+    assert {t.node for t in sched.tasks} == set(range(graph.num_nodes))
+    assert sched.length == max(t.finish for t in sched.tasks)
+
+
+@settings(max_examples=30, deadline=None)
+@given(task_graphs(max_nodes=6))
+def test_single_pe_schedule_length_is_total_work(graph):
+    """On one PE every schedule is a serialization: optimal = Σ weights."""
+    from repro.system.processors import ProcessorSystem
+
+    result = astar_schedule(graph, ProcessorSystem(1))
+    assert result.length == pytest.approx(graph.total_computation)
+
+
+@settings(max_examples=30, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=3))
+def test_est_never_below_parent_finish(instance):
+    graph, system = instance
+    ps = PartialSchedule.empty(graph, system)
+    for node in graph.topological_order:
+        pe = node % system.num_pes
+        est = ps.est(node, pe)
+        for parent in graph.preds(node):
+            assert est >= ps.finishes[parent] - 1e-9
+        ps = ps.extend(node, pe)

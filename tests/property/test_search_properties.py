@@ -1,0 +1,88 @@
+"""Property-based invariants of the search engines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedule.validate import schedule_violations
+from repro.search.astar import astar_schedule
+from repro.search.bnb import bnb_schedule
+from repro.search.costs import make_cost_function
+from repro.search.enumerate import enumerate_optimal
+from repro.search.focal import focal_schedule
+from repro.search.pruning import PruningConfig
+from repro.heuristics.bounds import makespan_lower_bound, upper_bound_cost
+from tests.strategies import scheduling_instances
+
+
+@settings(max_examples=30, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=2))
+def test_optimum_within_analytic_bounds(instance):
+    graph, system = instance
+    opt = astar_schedule(graph, system).length
+    assert makespan_lower_bound(graph, system) - 1e-9 <= opt
+    assert opt <= upper_bound_cost(graph, system) + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=2))
+def test_full_pruning_explores_no_more_than_none(instance):
+    graph, system = instance
+    full = astar_schedule(graph, system, pruning=PruningConfig.all())
+    none = astar_schedule(graph, system, pruning=PruningConfig.none())
+    assert full.length == pytest.approx(none.length)
+    assert full.stats.states_generated <= none.stats.states_generated
+
+
+@settings(max_examples=25, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=2))
+def test_adding_processors_never_hurts(instance):
+    """Optimal length is monotone non-increasing in PE count (cliques)."""
+    from repro.system.processors import ProcessorSystem
+
+    graph, _ = instance
+    prev = None
+    for p in (1, 2, 3):
+        length = astar_schedule(graph, ProcessorSystem.fully_connected(p)).length
+        if prev is not None:
+            assert length <= prev + 1e-9
+        prev = length
+
+
+@settings(max_examples=25, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=2), st.floats(0.0, 1.0))
+def test_focal_monotone_in_epsilon_bound(instance, eps):
+    """Aε* length is within (1+ε)·opt — and never below opt."""
+    graph, system = instance
+    opt = enumerate_optimal(graph, system).length
+    res = focal_schedule(graph, system, eps)
+    assert opt - 1e-9 <= res.length <= (1 + eps) * opt + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=2))
+def test_engines_return_feasible_schedules(instance):
+    graph, system = instance
+    for engine in (astar_schedule, bnb_schedule):
+        result = engine(graph, system)
+        assert schedule_violations(result.schedule) == []
+
+
+@settings(max_examples=20, deadline=None)
+@given(scheduling_instances(max_nodes=4, max_pes=2))
+def test_f_of_popped_goal_equals_length(instance):
+    """At a goal, h = 0, so f = g = schedule length."""
+    graph, system = instance
+    result = astar_schedule(graph, system)
+    cost = make_cost_function("paper", graph, system)
+    # Rebuild the goal as a partial schedule and check h = 0.
+    from repro.schedule.partial import PartialSchedule
+
+    ps = PartialSchedule.empty(graph, system)
+    order = sorted(
+        range(graph.num_nodes), key=lambda n: result.schedule.start_time(n)
+    )
+    for node in order:
+        ps = ps.extend(node, result.schedule.pe_of(node))
+    assert ps.is_complete()
+    assert cost.h(ps) == 0.0

@@ -1,0 +1,39 @@
+"""Unit tests for repro.schedule.gantt."""
+
+from repro.graph.examples import paper_example_dag, paper_example_system
+from repro.schedule.gantt import render_gantt, render_timeline
+from repro.schedule.schedule import Schedule
+
+
+def fig4():
+    return Schedule(
+        paper_example_dag(),
+        paper_example_system(),
+        {0: (0, 0.0), 1: (0, 2.0), 2: (1, 3.0), 3: (2, 4.0), 4: (0, 7.0), 5: (0, 12.0)},
+    )
+
+
+class TestGantt:
+    def test_mentions_length_and_pes(self):
+        out = render_gantt(fig4())
+        assert "14" in out
+        assert "PE  0" in out and "PE  2" in out
+
+    def test_row_per_pe(self):
+        out = render_gantt(fig4())
+        assert sum(1 for line in out.splitlines() if line.startswith("PE")) == 3
+
+    def test_width_parameter(self):
+        narrow = render_gantt(fig4(), width=30)
+        wide = render_gantt(fig4(), width=90)
+        assert len(wide.splitlines()[1]) > len(narrow.splitlines()[1])
+
+
+class TestTimeline:
+    def test_all_nodes_listed(self):
+        out = render_timeline(fig4())
+        for label in ("n1", "n2", "n3", "n4", "n5", "n6"):
+            assert label in out
+
+    def test_length_line(self):
+        assert "schedule length = 14" in render_timeline(fig4())

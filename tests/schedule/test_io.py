@@ -1,0 +1,83 @@
+"""Unit tests for schedule serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ScheduleError
+from repro.graph.examples import paper_example_dag, paper_example_system
+from repro.schedule.io import (
+    load_schedule_json,
+    save_schedule_json,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.schedule.schedule import Schedule
+from repro.search.astar import astar_schedule
+from tests.strategies import scheduling_instances
+
+
+def fig4():
+    return Schedule(
+        paper_example_dag(),
+        paper_example_system(),
+        {0: (0, 0.0), 1: (0, 2.0), 2: (1, 3.0), 3: (2, 4.0), 4: (0, 7.0), 5: (0, 12.0)},
+    )
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self):
+        sched = fig4()
+        again = schedule_from_dict(schedule_to_dict(sched))
+        assert again == sched
+        assert again.length == 14.0
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "sched.json"
+        save_schedule_json(fig4(), path)
+        assert load_schedule_json(path).length == 14.0
+
+    def test_json_safe(self):
+        json.dumps(schedule_to_dict(fig4()))
+
+
+class TestValidationOnLoad:
+    def test_bad_schema(self):
+        with pytest.raises(ScheduleError, match="schema"):
+            schedule_from_dict({"schema": 9})
+
+    def test_missing_fields(self):
+        with pytest.raises(ScheduleError, match="malformed"):
+            schedule_from_dict({"schema": 1, "graph": graph_dict()})
+
+    def test_tampered_assignment_rejected(self):
+        data = schedule_to_dict(fig4())
+        # Move n6 before its inputs arrive.
+        data["assignment"] = [
+            [n, pe, (0.0 if n == 5 else st)] for n, pe, st in data["assignment"]
+        ]
+        with pytest.raises(ScheduleError):
+            schedule_from_dict(data)
+
+    def test_tampered_length_rejected(self):
+        data = schedule_to_dict(fig4())
+        data["length"] = 10.0
+        with pytest.raises(ScheduleError, match="disagrees"):
+            schedule_from_dict(data)
+
+
+def graph_dict():
+    from repro.graph.io import graph_to_dict
+
+    return graph_to_dict(paper_example_dag())
+
+
+@settings(max_examples=25, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=3))
+def test_roundtrip_property(instance):
+    graph, system = instance
+    sched = astar_schedule(graph, system).schedule
+    again = schedule_from_dict(schedule_to_dict(sched))
+    assert again.length == pytest.approx(sched.length)
+    assert again.as_assignment() == sched.as_assignment()

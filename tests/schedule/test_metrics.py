@@ -1,0 +1,75 @@
+"""Unit tests for schedule metrics."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.examples import paper_example_dag, paper_example_system
+from repro.schedule.metrics import analyze_schedule, communication_volume
+from repro.schedule.schedule import Schedule
+from repro.search.astar import astar_schedule
+from tests.strategies import scheduling_instances
+
+
+def fig4():
+    return Schedule(
+        paper_example_dag(),
+        paper_example_system(),
+        {0: (0, 0.0), 1: (0, 2.0), 2: (1, 3.0), 3: (2, 4.0), 4: (0, 7.0), 5: (0, 12.0)},
+    )
+
+
+class TestCommunicationVolume:
+    def test_figure4(self):
+        volume, count = communication_volume(fig4())
+        # Cross-PE edges: n1→n3 (1), n1→n4 (2), n3→n5 (1), n4→n6 (4) = 8.
+        assert volume == 8.0
+        assert count == 4
+
+    def test_single_pe_zero(self):
+        from repro.graph.taskgraph import TaskGraph
+        from repro.system.processors import ProcessorSystem
+
+        g = TaskGraph([1, 1], {(0, 1): 100})
+        sched = Schedule(g, ProcessorSystem(1), {0: (0, 0.0), 1: (0, 1.0)})
+        assert communication_volume(sched) == (0.0, 0)
+
+
+class TestAnalyzeSchedule:
+    def test_figure4_metrics(self):
+        m = analyze_schedule(fig4())
+        assert m.length == 14.0
+        assert m.serial_length == 19.0
+        assert m.speedup == pytest.approx(19.0 / 14.0)
+        assert m.used_pes == 3
+        assert m.efficiency == pytest.approx(m.speedup / 3)
+        assert m.comm_volume == 8.0
+        assert m.cp_slack == pytest.approx(14.0 - 12.0)
+        assert m.load_balance >= 1.0
+
+    def test_perfect_balance_case(self):
+        from repro.graph.taskgraph import TaskGraph
+        from repro.system.processors import ProcessorSystem
+
+        g = TaskGraph([5, 5], {})
+        sched = Schedule(g, ProcessorSystem(2), {0: (0, 0.0), 1: (1, 0.0)})
+        m = analyze_schedule(sched)
+        assert m.load_balance == pytest.approx(1.0)
+        assert m.speedup == pytest.approx(2.0)
+        assert m.idle_time == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=3))
+def test_metrics_invariants(instance):
+    graph, system = instance
+    sched = astar_schedule(graph, system).schedule
+    m = analyze_schedule(sched)
+    assert m.length > 0
+    assert m.used_pes >= 1
+    assert m.idle_time >= -1e-9
+    assert m.comm_volume >= 0
+    assert m.load_balance >= 1.0 - 1e-9
+    if set(system.speeds) == {1.0}:
+        # On unit-speed PEs the unit-speed serialization baseline means
+        # speedup cannot exceed the number of used PEs.
+        assert m.speedup <= m.used_pes + 1e-9

@@ -1,0 +1,112 @@
+"""Unit tests for repro.schedule.schedule."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.graph.examples import paper_example_dag, paper_example_system
+from repro.graph.taskgraph import TaskGraph
+from repro.schedule.schedule import Schedule
+from repro.system.processors import ProcessorSystem
+
+
+def optimal_fig4_schedule():
+    """The paper's Figure-4 optimal schedule (length 14)."""
+    return Schedule(
+        paper_example_dag(),
+        paper_example_system(),
+        {0: (0, 0.0), 1: (0, 2.0), 2: (1, 3.0), 3: (2, 4.0), 4: (0, 7.0), 5: (0, 12.0)},
+    )
+
+
+class TestConstruction:
+    def test_figure4_length(self):
+        assert optimal_fig4_schedule().length == 14.0
+
+    def test_missing_node_rejected(self):
+        g = TaskGraph([1, 1], {(0, 1): 1})
+        s = ProcessorSystem(2)
+        with pytest.raises(ScheduleError, match="missing"):
+            Schedule(g, s, {0: (0, 0.0)})
+
+    def test_unknown_node_rejected(self):
+        g = TaskGraph([1], {})
+        s = ProcessorSystem(1)
+        with pytest.raises(ScheduleError):
+            Schedule(g, s, {0: (0, 0.0), 7: (0, 5.0)})
+
+    def test_unknown_pe_rejected(self):
+        g = TaskGraph([1], {})
+        with pytest.raises(ScheduleError, match="unknown PE"):
+            Schedule(g, ProcessorSystem(1), {0: (3, 0.0)})
+
+    def test_negative_start_rejected(self):
+        g = TaskGraph([1], {})
+        with pytest.raises(ScheduleError, match="negative"):
+            Schedule(g, ProcessorSystem(1), {0: (0, -1.0)})
+
+
+class TestAccessors:
+    def test_task_lookup(self):
+        sched = optimal_fig4_schedule()
+        t = sched.task(4)
+        assert (t.pe, t.start, t.finish) == (0, 7.0, 12.0)
+
+    def test_pe_start_finish(self):
+        sched = optimal_fig4_schedule()
+        assert sched.pe_of(3) == 2
+        assert sched.start_time(1) == 2.0
+        assert sched.finish_time(5) == 14.0
+
+    def test_tasks_sorted_by_start(self):
+        starts = [t.start for t in optimal_fig4_schedule().tasks]
+        assert starts == sorted(starts)
+
+    def test_tasks_on_pe(self):
+        sched = optimal_fig4_schedule()
+        nodes = [t.node for t in sched.tasks_on(0)]
+        assert nodes == [0, 1, 4, 5]
+
+    def test_used_pes(self):
+        sched = optimal_fig4_schedule()
+        assert sched.used_pes == (0, 1, 2)
+        assert sched.num_used_pes == 3
+
+    def test_heterogeneous_duration(self):
+        g = TaskGraph([10], {})
+        s = ProcessorSystem(2, speeds=[1.0, 2.0])
+        sched = Schedule(g, s, {0: (1, 0.0)})
+        assert sched.task(0).duration == 5.0
+        assert sched.length == 5.0
+
+
+class TestMetrics:
+    def test_idle_time(self):
+        sched = optimal_fig4_schedule()
+        busy = 2 + 3 + 3 + 4 + 5 + 2
+        assert sched.idle_time() == pytest.approx(3 * 14 - busy)
+
+    def test_efficiency_between_zero_one(self):
+        eff = optimal_fig4_schedule().efficiency()
+        assert 0.0 < eff <= 1.0
+
+    def test_as_assignment_roundtrip(self):
+        sched = optimal_fig4_schedule()
+        again = Schedule(sched.graph, sched.system, sched.as_assignment())
+        assert again == sched
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        assert optimal_fig4_schedule() == optimal_fig4_schedule()
+        assert hash(optimal_fig4_schedule()) == hash(optimal_fig4_schedule())
+
+    def test_different_assignment_differs(self):
+        base = optimal_fig4_schedule()
+        other = Schedule(
+            base.graph, base.system,
+            {0: (0, 0.0), 1: (1, 3.0), 2: (0, 2.0), 3: (2, 4.0), 4: (0, 7.0), 5: (0, 12.0)},
+        )
+        assert base != other
+
+    def test_repr(self):
+        assert "length=14" in repr(optimal_fig4_schedule())

@@ -1,0 +1,85 @@
+"""Unit tests for repro.schedule.validate."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.graph.examples import paper_example_dag, paper_example_system
+from repro.graph.taskgraph import TaskGraph
+from repro.schedule.schedule import Schedule
+from repro.schedule.validate import schedule_violations, validate_schedule
+from repro.system.processors import ProcessorSystem
+
+
+def fig4():
+    return Schedule(
+        paper_example_dag(),
+        paper_example_system(),
+        {0: (0, 0.0), 1: (0, 2.0), 2: (1, 3.0), 3: (2, 4.0), 4: (0, 7.0), 5: (0, 12.0)},
+    )
+
+
+class TestValidSchedules:
+    def test_figure4_is_feasible(self):
+        assert schedule_violations(fig4()) == []
+        validate_schedule(fig4())
+
+    def test_single_node(self):
+        sched = Schedule(TaskGraph([3], {}), ProcessorSystem(1), {0: (0, 0.0)})
+        validate_schedule(sched)
+
+
+class TestOverlapDetection:
+    def test_overlap_on_same_pe(self):
+        g = TaskGraph([5, 5], {})
+        sched = Schedule(g, ProcessorSystem(1), {0: (0, 0.0), 1: (0, 3.0)})
+        problems = schedule_violations(sched)
+        assert len(problems) == 1
+        assert "overlap" in problems[0]
+
+    def test_touching_tasks_allowed(self):
+        g = TaskGraph([5, 5], {})
+        sched = Schedule(g, ProcessorSystem(1), {0: (0, 0.0), 1: (0, 5.0)})
+        assert schedule_violations(sched) == []
+
+    def test_different_pes_may_overlap(self):
+        g = TaskGraph([5, 5], {})
+        sched = Schedule(g, ProcessorSystem(2), {0: (0, 0.0), 1: (1, 0.0)})
+        assert schedule_violations(sched) == []
+
+
+class TestPrecedenceDetection:
+    def test_child_before_parent(self):
+        g = TaskGraph([2, 2], {(0, 1): 1})
+        sched = Schedule(g, ProcessorSystem(2), {0: (0, 0.0), 1: (1, 0.0)})
+        problems = schedule_violations(sched)
+        assert any("precedence" in p for p in problems)
+
+    def test_comm_delay_enforced_cross_pe(self):
+        g = TaskGraph([2, 2], {(0, 1): 5})
+        # Data ready at 2 + 5 = 7 on the other PE; starting at 6 is invalid.
+        bad = Schedule(g, ProcessorSystem(2), {0: (0, 0.0), 1: (1, 6.0)})
+        assert any("precedence" in p for p in schedule_violations(bad))
+        ok = Schedule(g, ProcessorSystem(2), {0: (0, 0.0), 1: (1, 7.0)})
+        assert schedule_violations(ok) == []
+
+    def test_same_pe_no_comm_needed(self):
+        g = TaskGraph([2, 2], {(0, 1): 100})
+        sched = Schedule(g, ProcessorSystem(1), {0: (0, 0.0), 1: (0, 2.0)})
+        assert schedule_violations(sched) == []
+
+    def test_validate_raises_first(self):
+        g = TaskGraph([2, 2], {(0, 1): 1})
+        bad = Schedule(g, ProcessorSystem(2), {0: (0, 0.0), 1: (1, 0.0)})
+        with pytest.raises(ScheduleError):
+            validate_schedule(bad)
+
+
+class TestDistanceScaledValidation:
+    def test_hop_scaling_enforced(self):
+        g = TaskGraph([1, 1], {(0, 1): 2})
+        s = ProcessorSystem(3, links=[(0, 1), (1, 2)], distance_scaled=True)
+        # 2 hops from PE0 to PE2 → delay 4; data ready at 1 + 4 = 5.
+        bad = Schedule(g, s, {0: (0, 0.0), 1: (2, 3.0)})
+        assert any("precedence" in p for p in schedule_violations(bad))
+        ok = Schedule(g, s, {0: (0, 0.0), 1: (2, 5.0)})
+        assert schedule_violations(ok) == []

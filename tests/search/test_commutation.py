@@ -1,0 +1,112 @@
+"""Correctness of the commutation (partial-order reduction) extension.
+
+The rule skips candidate placements that commute with the state's most
+recent placement; it is NOT one of the paper's §3.2 techniques, so it is
+off by default and must preserve optimality on every instance class we
+ship — homogeneous/heterogeneous, every topology, distance-scaled.
+These tests compare against exhaustive enumeration, the strongest
+oracle available.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.examples import paper_example_dag, paper_example_system
+from repro.search.astar import astar_schedule
+from repro.search.bnb import bnb_schedule
+from repro.search.enumerate import enumerate_optimal
+from repro.search.focal import focal_schedule
+from repro.search.pruning import PruningConfig
+from repro.system.processors import ProcessorSystem
+from tests.strategies import scheduling_instances, task_graphs
+
+
+class TestConfig:
+    def test_off_by_default(self):
+        assert not PruningConfig.all().commutation
+
+    def test_extended_enables(self):
+        assert PruningConfig.extended().commutation
+
+    def test_describe_shows_comm(self):
+        assert "comm" in PruningConfig.extended().describe()
+
+    def test_only_commutation(self):
+        cfg = PruningConfig.only(commutation=True)
+        assert cfg.commutation and not cfg.upper_bound
+
+
+class TestPaperExample:
+    def test_optimal_preserved(self, fig1_graph, fig1_system):
+        result = astar_schedule(
+            fig1_graph, fig1_system, pruning=PruningConfig.extended()
+        )
+        assert result.optimal
+        assert result.length == 14.0
+
+    def test_fewer_states_generated(self, fig1_graph, fig1_system):
+        plain = astar_schedule(fig1_graph, fig1_system)
+        extended = astar_schedule(
+            fig1_graph, fig1_system, pruning=PruningConfig.extended()
+        )
+        assert extended.length == plain.length
+        assert (
+            extended.stats.states_generated <= plain.stats.states_generated
+        )
+
+    def test_skips_counted(self, fig1_graph, fig1_system):
+        result = astar_schedule(
+            fig1_graph, fig1_system, pruning=PruningConfig.extended()
+        )
+        assert result.stats.pruning.commutation_skips > 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=3))
+def test_commutation_preserves_optimality(instance):
+    graph, system = instance
+    reference = enumerate_optimal(graph, system).length
+    result = astar_schedule(graph, system, pruning=PruningConfig.extended())
+    assert result.optimal
+    assert result.length == pytest.approx(reference)
+
+
+@settings(max_examples=25, deadline=None)
+@given(task_graphs(max_nodes=5))
+def test_commutation_alone_preserves_optimality(graph):
+    """The rule in isolation (no other pruning) against ground truth."""
+    system = ProcessorSystem.fully_connected(2)
+    reference = enumerate_optimal(graph, system).length
+    cfg = PruningConfig.only(commutation=True)
+    result = astar_schedule(graph, system, pruning=cfg)
+    assert result.length == pytest.approx(reference)
+
+
+@settings(max_examples=20, deadline=None)
+@given(task_graphs(max_nodes=5))
+def test_commutation_heterogeneous(graph):
+    system = ProcessorSystem.fully_connected(3, speeds=[1.0, 2.0, 0.5])
+    reference = enumerate_optimal(graph, system).length
+    result = astar_schedule(graph, system, pruning=PruningConfig.extended())
+    assert result.length == pytest.approx(reference)
+
+
+@settings(max_examples=20, deadline=None)
+@given(task_graphs(max_nodes=5))
+def test_commutation_distance_scaled(graph):
+    system = ProcessorSystem(3, links=[(0, 1), (1, 2)], distance_scaled=True)
+    reference = enumerate_optimal(graph, system).length
+    result = astar_schedule(graph, system, pruning=PruningConfig.extended())
+    assert result.length == pytest.approx(reference)
+
+
+@settings(max_examples=15, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=2))
+def test_commutation_in_other_engines(instance):
+    graph, system = instance
+    reference = enumerate_optimal(graph, system).length
+    assert bnb_schedule(
+        graph, system, pruning=PruningConfig.extended()
+    ).length == pytest.approx(reference)
+    focal = focal_schedule(graph, system, 0.2, pruning=PruningConfig.extended())
+    assert focal.length <= 1.2 * reference + 1e-9

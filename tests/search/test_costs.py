@@ -1,0 +1,160 @@
+"""Unit tests for repro.search.costs — Theorem 1 (admissibility) included."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.examples import paper_example_dag, paper_example_system
+from repro.schedule.partial import PartialSchedule
+from repro.search.costs import (
+    COST_FUNCTIONS,
+    ImprovedCost,
+    PaperCost,
+    ZeroCost,
+    make_cost_function,
+)
+from repro.search.enumerate import enumerate_optimal
+from repro.errors import SearchError
+from repro.system.processors import ProcessorSystem
+from tests.strategies import task_graphs
+
+
+class TestPaperCostExample:
+    """h values along the paper's Figure-3 search tree."""
+
+    def test_empty_state_f_zero(self, fig1_graph, fig1_system):
+        cost = PaperCost(fig1_graph, fig1_system)
+        ps = PartialSchedule.empty(fig1_graph, fig1_system)
+        assert cost.h(ps) == 0.0
+
+    def test_after_n1(self, fig1_graph, fig1_system):
+        cost = PaperCost(fig1_graph, fig1_system)
+        ps = PartialSchedule.empty(fig1_graph, fig1_system).extend(0, 0)
+        # succ(n1) = {n2, n3, n4}; max sl = 10 → f = 2 + 10.
+        assert cost.h(ps) == 10.0
+
+    def test_after_n2_pe0(self, fig1_graph, fig1_system):
+        cost = PaperCost(fig1_graph, fig1_system)
+        ps = PartialSchedule.empty(fig1_graph, fig1_system).extend(0, 0).extend(1, 0)
+        # n_max = n2 (FT 5); succ = {n5}, sl = 7 → f = 5 + 7.
+        assert cost.h(ps) == 7.0
+
+    def test_after_n4_pe0(self, fig1_graph, fig1_system):
+        cost = PaperCost(fig1_graph, fig1_system)
+        ps = PartialSchedule.empty(fig1_graph, fig1_system).extend(0, 0).extend(3, 0)
+        # n_max = n4 (FT 6); succ = {n6}, sl = 2 → f = 6 + 2.
+        assert cost.h(ps) == 2.0
+
+    def test_goal_state_h_zero(self, fig1_graph, fig1_system):
+        cost = PaperCost(fig1_graph, fig1_system)
+        ps = PartialSchedule.empty(fig1_graph, fig1_system)
+        for node, pe in [(0, 0), (1, 0), (2, 1), (3, 2), (4, 0), (5, 0)]:
+            ps = ps.extend(node, pe)
+        assert cost.h(ps) == 0.0
+
+    def test_tie_takes_max_over_tied_nodes(self, fig1_graph, fig1_system):
+        cost = PaperCost(fig1_graph, fig1_system)
+        # n2 on PE1 (FT 6) and n4 on PE0 (FT 6): tie at the makespan.
+        ps = PartialSchedule.empty(fig1_graph, fig1_system).extend(0, 0)
+        ps = ps.extend(3, 0).extend(1, 1)
+        assert ps.makespan == 6.0
+        # succ(n2)={n5} sl 7; succ(n4)={n6} sl 2 → max = 7.
+        assert cost.h(ps) == 7.0
+
+
+class TestZeroCost:
+    def test_always_zero(self, fig1_graph, fig1_system):
+        cost = ZeroCost(fig1_graph, fig1_system)
+        ps = PartialSchedule.empty(fig1_graph, fig1_system).extend(0, 0)
+        assert cost.h(ps) == 0.0
+
+    def test_counts_evaluations(self, fig1_graph, fig1_system):
+        cost = ZeroCost(fig1_graph, fig1_system)
+        ps = PartialSchedule.empty(fig1_graph, fig1_system)
+        cost.h(ps)
+        cost.h(ps)
+        assert cost.evaluations == 2
+
+
+class TestImprovedCost:
+    def test_dominates_paper_cost(self, fig1_graph, fig1_system):
+        paper = PaperCost(fig1_graph, fig1_system)
+        improved = ImprovedCost(fig1_graph, fig1_system)
+        ps = PartialSchedule.empty(fig1_graph, fig1_system).extend(0, 0)
+        states = [ps]
+        states.append(ps.extend(1, 0))
+        states.append(ps.extend(3, 1))
+        for s in states:
+            assert improved.h(s) >= paper.h(s) - 1e-9
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(COST_FUNCTIONS) == {"paper", "zero", "improved"}
+
+    def test_make_by_name(self, fig1_graph, fig1_system):
+        assert isinstance(
+            make_cost_function("paper", fig1_graph, fig1_system), PaperCost
+        )
+
+    def test_unknown_name(self, fig1_graph, fig1_system):
+        with pytest.raises(SearchError, match="unknown cost function"):
+            make_cost_function("nope", fig1_graph, fig1_system)
+
+
+def _all_states(graph, system, limit=3000):
+    """Enumerate reachable states (deduped) for admissibility checks."""
+    stack = [PartialSchedule.empty(graph, system)]
+    seen = set()
+    out = []
+    while stack and len(out) < limit:
+        ps = stack.pop()
+        if ps.signature in seen:
+            continue
+        seen.add(ps.signature)
+        out.append(ps)
+        if not ps.is_complete():
+            for node in ps.ready_nodes():
+                for pe in range(system.num_pes):
+                    stack.append(ps.extend(node, pe))
+    return out
+
+
+def _optimal_completion(ps):
+    """Exact optimal completion length from a partial schedule (DFS)."""
+    best = [float("inf")]
+
+    def rec(state):
+        if state.is_complete():
+            best[0] = min(best[0], state.makespan)
+            return
+        for node in state.ready_nodes():
+            for pe in range(state.system.num_pes):
+                rec(state.extend(node, pe))
+
+    rec(ps)
+    return best[0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(task_graphs(max_nodes=4))
+def test_theorem1_admissibility(graph):
+    """f(s) = g + h never exceeds the optimal completion through s."""
+    system = ProcessorSystem.fully_connected(2)
+    for name in COST_FUNCTIONS:
+        cost = make_cost_function(name, graph, system)
+        for ps in _all_states(graph, system, limit=60):
+            f = ps.makespan + cost.h(ps)
+            assert f <= _optimal_completion(ps) + 1e-9, (
+                f"cost {name} inadmissible at {ps.signature}"
+            )
+
+
+@settings(max_examples=20, deadline=None)
+@given(task_graphs(max_nodes=4))
+def test_admissibility_heterogeneous(graph):
+    system = ProcessorSystem.fully_connected(2, speeds=[1.0, 2.0])
+    for name in ("paper", "improved"):
+        cost = make_cost_function(name, graph, system)
+        for ps in _all_states(graph, system, limit=40):
+            f = ps.makespan + cost.h(ps)
+            assert f <= _optimal_completion(ps) + 1e-9

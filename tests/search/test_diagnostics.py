@@ -1,0 +1,57 @@
+"""Unit tests for search tracing."""
+
+from repro.graph.examples import paper_example_dag, paper_example_system
+from repro.search.astar import astar_schedule
+from repro.search.diagnostics import SearchTrace
+
+
+class TestSearchTrace:
+    def test_records_tree(self, fig1_graph, fig1_system):
+        trace = SearchTrace()
+        result = astar_schedule(fig1_graph, fig1_system, trace=trace)
+        assert trace.num_expanded == result.stats.states_expanded
+        assert trace.num_generated >= result.stats.states_generated
+
+    def test_goal_marked(self, fig1_graph, fig1_system):
+        trace = SearchTrace()
+        astar_schedule(fig1_graph, fig1_system, trace=trace)
+        goals = [n for n in trace.nodes if n.is_goal]
+        assert len(goals) == 1
+        assert goals[0].f == 14.0
+
+    def test_render_contains_actions(self, fig1_graph, fig1_system):
+        trace = SearchTrace()
+        astar_schedule(fig1_graph, fig1_system, trace=trace)
+        out = trace.render()
+        assert "<initial>" in out or "n1 -> PE 0" in out
+        assert "GOAL" in out
+        assert "f = " in out
+
+    def test_render_depth_limit(self, fig1_graph, fig1_system):
+        trace = SearchTrace()
+        astar_schedule(fig1_graph, fig1_system, trace=trace)
+        shallow = trace.render(max_depth=1)
+        full = trace.render()
+        assert len(shallow.splitlines()) < len(full.splitlines())
+
+    def test_empty_trace_renders(self):
+        assert SearchTrace().render() == "(empty trace)"
+
+    def test_expansion_order_monotone(self, fig1_graph, fig1_system):
+        trace = SearchTrace()
+        astar_schedule(fig1_graph, fig1_system, trace=trace)
+        orders = [n.expanded_order for n in trace.nodes if n.expanded_order is not None]
+        assert sorted(orders) == list(range(len(orders)))
+
+    def test_to_dot(self, fig1_graph, fig1_system):
+        trace = SearchTrace()
+        astar_schedule(fig1_graph, fig1_system, trace=trace)
+        dot = trace.to_dot()
+        assert dot.startswith("digraph")
+        assert "peripheries=2" in dot  # the goal node
+        # Edge lines (not the "->" inside action labels).
+        edge_lines = [
+            ln for ln in dot.splitlines()
+            if "->" in ln and "label" not in ln
+        ]
+        assert len(edge_lines) == sum(len(n.children) for n in trace.nodes)

@@ -1,0 +1,60 @@
+"""Unit tests for exhaustive enumeration."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.graph.examples import paper_example_dag, paper_example_system
+from repro.graph.taskgraph import TaskGraph
+from repro.search.enumerate import count_complete_schedules, enumerate_optimal
+from repro.system.processors import ProcessorSystem
+
+
+class TestEnumerateOptimal:
+    def test_paper_example(self, fig1_graph, fig1_system):
+        result = enumerate_optimal(fig1_graph, fig1_system)
+        assert result.optimal
+        assert result.length == 14.0
+
+    def test_single_node(self):
+        result = enumerate_optimal(TaskGraph([3], {}), ProcessorSystem(2))
+        assert result.length == 3.0
+
+    def test_size_guard_dedup(self):
+        g = TaskGraph([1] * 13, {})
+        with pytest.raises(SearchError, match="limited"):
+            enumerate_optimal(g, ProcessorSystem(2))
+
+    def test_size_guard_tree(self):
+        g = TaskGraph([1] * 9, {})
+        with pytest.raises(SearchError, match="limited"):
+            enumerate_optimal(g, ProcessorSystem(2), dedup=False)
+
+    def test_tree_mode_agrees_with_dedup(self):
+        g = TaskGraph([2, 3, 4], {(0, 1): 1, (0, 2): 2})
+        s = ProcessorSystem(2)
+        assert (
+            enumerate_optimal(g, s, dedup=True).length
+            == enumerate_optimal(g, s, dedup=False).length
+        )
+
+
+class TestCountCompleteSchedules:
+    def test_paper_claim_more_than_729(self, fig1_graph, fig1_system):
+        # The paper: the exhaustive tree has more than 3^6 = 729 states.
+        count = count_complete_schedules(fig1_graph, fig1_system)
+        assert count >= 3**6
+
+    def test_exact_count_tiny(self):
+        # Two independent nodes on 2 PEs: 2 orders × 4 placements = 8 leaves.
+        g = TaskGraph([1, 1], {})
+        assert count_complete_schedules(g, ProcessorSystem(2)) == 8
+
+    def test_chain_count(self):
+        # A chain has one order; p^v placements.
+        g = TaskGraph([1, 1, 1], {(0, 1): 1, (1, 2): 1})
+        assert count_complete_schedules(g, ProcessorSystem(2)) == 8
+
+    def test_size_guard(self):
+        g = TaskGraph([1] * 9, {})
+        with pytest.raises(SearchError):
+            count_complete_schedules(g, ProcessorSystem(2))

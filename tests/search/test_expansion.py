@@ -1,0 +1,119 @@
+"""Unit tests for repro.search.expansion."""
+
+from repro.graph.examples import paper_example_dag, paper_example_system
+from repro.graph.taskgraph import TaskGraph
+from repro.schedule.partial import PartialSchedule
+from repro.search.expansion import StateExpander, node_equivalence_classes
+from repro.search.pruning import PruningConfig
+from repro.system.processors import ProcessorSystem
+
+
+class TestNodeEquivalenceClasses:
+    def test_paper_example_n2_n3(self):
+        # The paper: n2 and n3 are equivalent (Definition 3).
+        classes = node_equivalence_classes(paper_example_dag())
+        assert (1, 2) in classes
+
+    def test_singleton_classes_otherwise(self):
+        classes = node_equivalence_classes(paper_example_dag())
+        flat = sorted(n for cls in classes for n in cls)
+        assert flat == list(range(6))
+        assert sum(1 for c in classes if len(c) > 1) == 1
+
+    def test_weight_breaks_equivalence(self):
+        g = TaskGraph([1, 2, 3, 1], {(0, 1): 1, (0, 2): 1, (1, 3): 1, (2, 3): 1})
+        classes = node_equivalence_classes(g)
+        assert all(len(c) == 1 for c in classes)
+
+    def test_edge_cost_breaks_equivalence(self):
+        g = TaskGraph([1, 2, 2, 1], {(0, 1): 1, (0, 2): 9, (1, 3): 1, (2, 3): 1})
+        classes = node_equivalence_classes(g)
+        assert all(len(c) == 1 for c in classes)
+
+    def test_parallel_identical_tasks(self):
+        g = TaskGraph([1, 2, 2, 2, 1],
+                      {(0, 1): 3, (0, 2): 3, (0, 3): 3,
+                       (1, 4): 5, (2, 4): 5, (3, 4): 5})
+        classes = node_equivalence_classes(g)
+        assert (1, 2, 3) in classes
+
+
+class TestCandidateNodes:
+    def test_equivalence_filtering(self, fig1_graph, fig1_system):
+        expander = StateExpander(fig1_graph, fig1_system, PruningConfig.all())
+        ps = PartialSchedule.empty(fig1_graph, fig1_system).extend(0, 0)
+        nodes = expander.candidate_nodes(ps)
+        # Ready = {n2, n3, n4}; n3 dropped (≡ n2); priority puts n2 first.
+        assert nodes == [1, 3]
+        assert expander.stats.equivalence_skips == 1
+
+    def test_no_filtering_when_disabled(self, fig1_graph, fig1_system):
+        expander = StateExpander(fig1_graph, fig1_system, PruningConfig.none())
+        ps = PartialSchedule.empty(fig1_graph, fig1_system).extend(0, 0)
+        assert sorted(expander.candidate_nodes(ps)) == [1, 2, 3]
+
+    def test_priority_ordering(self, fig1_graph, fig1_system):
+        cfg = PruningConfig.only(priority_ordering=True)
+        expander = StateExpander(fig1_graph, fig1_system, cfg)
+        ps = PartialSchedule.empty(fig1_graph, fig1_system).extend(0, 0)
+        nodes = expander.candidate_nodes(ps)
+        # b+t: n2 = n3 = 19 > n4 = 14.
+        assert nodes == [1, 2, 3]
+
+
+class TestCandidatePes:
+    def test_initial_ring_collapses_to_one(self, fig1_graph, fig1_system):
+        expander = StateExpander(fig1_graph, fig1_system, PruningConfig.all())
+        ps = PartialSchedule.empty(fig1_graph, fig1_system)
+        assert expander.candidate_pes(ps) == [0]
+        assert expander.stats.isomorphism_skips == 2
+
+    def test_busy_pe_plus_one_empty_rep(self, fig1_graph, fig1_system):
+        expander = StateExpander(fig1_graph, fig1_system, PruningConfig.all())
+        ps = PartialSchedule.empty(fig1_graph, fig1_system).extend(0, 0)
+        # PE0 busy; PE1/PE2 both empty and isomorphic → representative PE1.
+        assert expander.candidate_pes(ps) == [0, 1]
+
+    def test_all_pes_when_disabled(self, fig1_graph, fig1_system):
+        expander = StateExpander(fig1_graph, fig1_system, PruningConfig.none())
+        ps = PartialSchedule.empty(fig1_graph, fig1_system)
+        assert expander.candidate_pes(ps) == [0, 1, 2]
+
+    def test_star_hub_distinct(self):
+        g = paper_example_dag()
+        s = ProcessorSystem.star(4)
+        expander = StateExpander(g, s, PruningConfig.all())
+        ps = PartialSchedule.empty(g, s)
+        # Hub (0) and one leaf representative (1).
+        assert expander.candidate_pes(ps) == [0, 1]
+
+
+class TestChildren:
+    def test_first_expansion_single_child(self, fig1_graph, fig1_system):
+        expander = StateExpander(fig1_graph, fig1_system, PruningConfig.all())
+        ps = PartialSchedule.empty(fig1_graph, fig1_system)
+        children = list(expander.children(ps))
+        # Paper: "we need to generate only one search state by assigning
+        # n1 to PE 0."
+        assert len(children) == 1
+        assert children[0].pes[0] == 0
+
+    def test_second_expansion_four_children(self, fig1_graph, fig1_system):
+        expander = StateExpander(fig1_graph, fig1_system, PruningConfig.all())
+        ps = PartialSchedule.empty(fig1_graph, fig1_system).extend(0, 0)
+        children = list(expander.children(ps))
+        # Paper: four states — n2/n4 × PE0/PE1.
+        assert len(children) == 4
+
+    def test_exhaustive_without_pruning(self, fig1_graph, fig1_system):
+        expander = StateExpander(fig1_graph, fig1_system, PruningConfig.none())
+        ps = PartialSchedule.empty(fig1_graph, fig1_system).extend(0, 0)
+        # 3 ready nodes × 3 PEs.
+        assert len(list(expander.children(ps))) == 9
+
+    def test_determinism(self, fig1_graph, fig1_system):
+        expander = StateExpander(fig1_graph, fig1_system, PruningConfig.all())
+        ps = PartialSchedule.empty(fig1_graph, fig1_system).extend(0, 0)
+        sigs1 = [c.signature for c in expander.children(ps)]
+        sigs2 = [c.signature for c in expander.children(ps)]
+        assert sigs1 == sigs2

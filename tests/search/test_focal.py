@@ -1,0 +1,77 @@
+"""Unit tests for the approximate Aε* (Theorem 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SearchError
+from repro.graph.examples import paper_example_dag, paper_example_system
+from repro.schedule.validate import schedule_violations
+from repro.search.enumerate import enumerate_optimal
+from repro.search.focal import focal_schedule
+from repro.system.processors import ProcessorSystem
+from repro.util.timing import Budget
+from tests.strategies import scheduling_instances
+
+
+class TestPaperExample:
+    @pytest.mark.parametrize("eps", [0.0, 0.2, 0.5])
+    def test_within_bound(self, eps, fig1_graph, fig1_system):
+        result = focal_schedule(fig1_graph, fig1_system, eps)
+        assert result.length <= (1 + eps) * 14.0 + 1e-9
+        assert schedule_violations(result.schedule) == []
+
+    def test_eps_zero_is_optimal(self, fig1_graph, fig1_system):
+        result = focal_schedule(fig1_graph, fig1_system, 0.0)
+        assert result.length == 14.0
+        assert result.optimal
+
+    def test_bound_recorded(self, fig1_graph, fig1_system):
+        result = focal_schedule(fig1_graph, fig1_system, 0.2)
+        assert result.bound == pytest.approx(1.2)
+
+    def test_negative_epsilon_rejected(self, fig1_graph, fig1_system):
+        with pytest.raises(SearchError, match="epsilon"):
+            focal_schedule(fig1_graph, fig1_system, -0.1)
+
+
+class TestSpeedVsQuality:
+    def test_larger_eps_expands_no_more(self, small_random_graphs):
+        """Aε* should usually expand fewer states than exact A*."""
+        system = ProcessorSystem.fully_connected(3)
+        total_exact = 0
+        total_approx = 0
+        for g in small_random_graphs:
+            exact = focal_schedule(g, system, 0.0)
+            approx = focal_schedule(g, system, 0.5)
+            total_exact += exact.stats.states_expanded
+            total_approx += approx.stats.states_expanded
+            assert approx.length <= 1.5 * exact.length + 1e-9
+        assert total_approx <= total_exact
+
+    def test_budget_fallback(self, fig1_graph, fig1_system):
+        result = focal_schedule(
+            fig1_graph, fig1_system, 0.2, budget=Budget(max_expanded=1)
+        )
+        assert result.schedule is not None
+        assert not result.optimal
+
+
+@settings(max_examples=30, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=2), st.sampled_from([0.1, 0.2, 0.5, 1.0]))
+def test_theorem2_epsilon_admissibility(instance, eps):
+    """Returned length ≤ (1+ε) × optimal, for every ε (Theorem 2)."""
+    graph, system = instance
+    optimal = enumerate_optimal(graph, system).length
+    result = focal_schedule(graph, system, eps)
+    assert result.length <= (1 + eps) * optimal + 1e-9
+    assert schedule_violations(result.schedule) == []
+
+
+@settings(max_examples=20, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=2))
+def test_eps_zero_equals_astar(instance):
+    graph, system = instance
+    optimal = enumerate_optimal(graph, system).length
+    result = focal_schedule(graph, system, 0.0)
+    assert result.length == pytest.approx(optimal)

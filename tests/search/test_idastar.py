@@ -1,0 +1,77 @@
+"""Unit tests for IDA* (memory-bounded optimal search)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.examples import paper_example_dag, paper_example_system
+from repro.schedule.validate import schedule_violations
+from repro.search.astar import astar_schedule
+from repro.search.enumerate import enumerate_optimal
+from repro.search.idastar import idastar_schedule
+from repro.search.pruning import PruningConfig
+from repro.util.timing import Budget
+from tests.strategies import scheduling_instances
+
+
+class TestPaperExample:
+    def test_optimal(self, fig1_graph, fig1_system):
+        result = idastar_schedule(fig1_graph, fig1_system)
+        assert result.optimal
+        assert result.length == 14.0
+        assert schedule_violations(result.schedule) == []
+
+    def test_no_transposition_table(self, fig1_graph, fig1_system):
+        """transposition_limit=0 gives the true O(v)-memory variant."""
+        result = idastar_schedule(
+            fig1_graph, fig1_system, transposition_limit=0
+        )
+        assert result.optimal
+        assert result.length == 14.0
+
+    def test_memory_far_below_astar(self, fig1_graph, fig1_system):
+        """The point of IDA*: frontier memory is O(depth), not O(states)."""
+        ida = idastar_schedule(fig1_graph, fig1_system, transposition_limit=0)
+        astar = astar_schedule(fig1_graph, fig1_system)
+        assert ida.stats.max_open_size <= astar.stats.max_open_size
+
+    def test_reexpands_more_without_table(self, fig1_graph, fig1_system):
+        """The time side of the trade: IDA* without a table re-expands."""
+        no_table = idastar_schedule(fig1_graph, fig1_system, transposition_limit=0)
+        with_table = idastar_schedule(fig1_graph, fig1_system)
+        assert no_table.stats.states_expanded >= with_table.stats.states_expanded
+
+    def test_budget(self, fig1_graph, fig1_system):
+        result = idastar_schedule(
+            fig1_graph, fig1_system, budget=Budget(max_expanded=2)
+        )
+        assert not result.optimal
+        assert result.schedule is not None
+
+    def test_cost_variants(self, fig1_graph, fig1_system):
+        for cost in ("paper", "improved", "zero"):
+            assert idastar_schedule(fig1_graph, fig1_system, cost=cost).length == 14.0
+
+    def test_no_pruning_still_optimal(self, fig1_graph, fig1_system):
+        result = idastar_schedule(
+            fig1_graph, fig1_system, pruning=PruningConfig.none()
+        )
+        assert result.length == 14.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=2))
+def test_idastar_matches_exhaustive(instance):
+    graph, system = instance
+    ida = idastar_schedule(graph, system)
+    ref = enumerate_optimal(graph, system)
+    assert ida.optimal
+    assert ida.length == pytest.approx(ref.length)
+
+
+@settings(max_examples=15, deadline=None)
+@given(scheduling_instances(max_nodes=4, max_pes=2))
+def test_idastar_without_table_matches(instance):
+    graph, system = instance
+    ida = idastar_schedule(graph, system, transposition_limit=0)
+    ref = enumerate_optimal(graph, system)
+    assert ida.length == pytest.approx(ref.length)

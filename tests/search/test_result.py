@@ -1,0 +1,48 @@
+"""Unit tests for SearchResult / SearchStats."""
+
+import math
+
+from repro.graph.taskgraph import TaskGraph
+from repro.schedule.schedule import Schedule
+from repro.search.pruning import PruningStats
+from repro.search.result import SearchResult, SearchStats
+from repro.system.processors import ProcessorSystem
+
+
+def tiny_schedule():
+    return Schedule(TaskGraph([3], {}), ProcessorSystem(1), {0: (0, 0.0)})
+
+
+class TestSearchStats:
+    def test_defaults(self):
+        s = SearchStats()
+        assert s.states_generated == 0
+        assert isinstance(s.pruning, PruningStats)
+
+    def test_as_dict_flattens_pruning(self):
+        s = SearchStats(states_generated=5)
+        s.pruning.duplicate_hits = 3
+        d = s.as_dict()
+        assert d["states_generated"] == 5
+        assert d["duplicate_hits"] == 3
+
+    def test_independent_pruning_objects(self):
+        a, b = SearchStats(), SearchStats()
+        a.pruning.duplicate_hits = 9
+        assert b.pruning.duplicate_hits == 0
+
+
+class TestSearchResult:
+    def test_length_of_schedule(self):
+        r = SearchResult(
+            schedule=tiny_schedule(), optimal=True, bound=1.0,
+            stats=SearchStats(), algorithm="x",
+        )
+        assert r.length == 3.0
+
+    def test_length_infinite_when_none(self):
+        r = SearchResult(
+            schedule=None, optimal=False, bound=math.inf,
+            stats=SearchStats(), algorithm="x",
+        )
+        assert r.length == math.inf

@@ -1,0 +1,71 @@
+"""Unit tests for weighted A* (bounded suboptimality via inflation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SearchError
+from repro.graph.examples import paper_example_dag, paper_example_system
+from repro.schedule.validate import schedule_violations
+from repro.search.enumerate import enumerate_optimal
+from repro.search.focal import focal_schedule
+from repro.search.weighted import weighted_astar_schedule
+from repro.util.timing import Budget
+from tests.strategies import scheduling_instances
+
+
+class TestPaperExample:
+    @pytest.mark.parametrize("eps", [0.0, 0.2, 0.5, 1.0])
+    def test_within_bound(self, eps, fig1_graph, fig1_system):
+        result = weighted_astar_schedule(fig1_graph, fig1_system, eps)
+        assert result.length <= (1 + eps) * 14.0 + 1e-9
+        assert schedule_violations(result.schedule) == []
+        assert result.bound == pytest.approx(1 + eps)
+
+    def test_eps_zero_exact(self, fig1_graph, fig1_system):
+        result = weighted_astar_schedule(fig1_graph, fig1_system, 0.0)
+        assert result.optimal
+        assert result.length == 14.0
+
+    def test_negative_eps_rejected(self, fig1_graph, fig1_system):
+        with pytest.raises(SearchError):
+            weighted_astar_schedule(fig1_graph, fig1_system, -0.5)
+
+    def test_budget(self, fig1_graph, fig1_system):
+        result = weighted_astar_schedule(
+            fig1_graph, fig1_system, 0.2, budget=Budget(max_expanded=1)
+        )
+        assert not result.optimal
+        assert result.schedule is not None
+
+    def test_inflation_reduces_expansions(self, small_random_graphs):
+        from repro.system.processors import ProcessorSystem
+
+        system = ProcessorSystem.fully_connected(3)
+        total_exact = total_inflated = 0
+        for g in small_random_graphs:
+            total_exact += weighted_astar_schedule(g, system, 0.0).stats.states_expanded
+            total_inflated += weighted_astar_schedule(g, system, 1.0).stats.states_expanded
+        assert total_inflated <= total_exact
+
+
+@settings(max_examples=30, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=2), st.sampled_from([0.1, 0.2, 0.5, 1.0]))
+def test_wastar_epsilon_admissible(instance, eps):
+    graph, system = instance
+    optimal = enumerate_optimal(graph, system).length
+    result = weighted_astar_schedule(graph, system, eps)
+    assert optimal - 1e-9 <= result.length <= (1 + eps) * optimal + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=2))
+def test_wastar_and_focal_share_guarantee(instance):
+    """Both bounded-suboptimality engines respect the same ε bound."""
+    graph, system = instance
+    optimal = enumerate_optimal(graph, system).length
+    for eps in (0.2, 0.5):
+        wa = weighted_astar_schedule(graph, system, eps)
+        fo = focal_schedule(graph, system, eps)
+        assert wa.length <= (1 + eps) * optimal + 1e-9
+        assert fo.length <= (1 + eps) * optimal + 1e-9

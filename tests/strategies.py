@@ -1,0 +1,64 @@
+"""Hypothesis strategies for property-based tests.
+
+Strategies generate *valid* problem instances: connected weighted DAGs
+with positive node weights and non-negative edge weights, plus processor
+systems covering the shipped topologies and heterogeneous speeds.
+Sizes are kept small enough for exhaustive cross-checks.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graph.taskgraph import TaskGraph
+from repro.system.processors import ProcessorSystem
+
+
+@st.composite
+def task_graphs(
+    draw,
+    min_nodes: int = 1,
+    max_nodes: int = 7,
+    max_weight: int = 20,
+    max_comm: int = 20,
+) -> TaskGraph:
+    """Random DAG: edges always point from lower to higher node id."""
+    v = draw(st.integers(min_nodes, max_nodes))
+    weights = [draw(st.integers(1, max_weight)) for _ in range(v)]
+    edges = {}
+    for u in range(v):
+        for w in range(u + 1, v):
+            if draw(st.booleans()):
+                edges[(u, w)] = draw(st.integers(0, max_comm))
+    return TaskGraph(weights, edges, name="hypothesis")
+
+
+@st.composite
+def processor_systems(
+    draw,
+    min_pes: int = 1,
+    max_pes: int = 3,
+    allow_hetero: bool = True,
+) -> ProcessorSystem:
+    """Random small system over the shipped topologies."""
+    p = draw(st.integers(min_pes, max_pes))
+    kind = draw(st.sampled_from(["clique", "ring", "chain", "star"]))
+    if allow_hetero and draw(st.booleans()):
+        speeds = [draw(st.sampled_from([0.5, 1.0, 2.0])) for _ in range(p)]
+    else:
+        speeds = None
+    factory = {
+        "clique": ProcessorSystem.fully_connected,
+        "ring": ProcessorSystem.ring,
+        "chain": ProcessorSystem.chain,
+        "star": ProcessorSystem.star,
+    }[kind]
+    return factory(p, speeds=speeds)
+
+
+@st.composite
+def scheduling_instances(draw, max_nodes: int = 6, max_pes: int = 3):
+    """A (graph, system) pair sized for exhaustive ground-truthing."""
+    graph = draw(task_graphs(max_nodes=max_nodes))
+    system = draw(processor_systems(max_pes=max_pes))
+    return graph, system

@@ -1,0 +1,76 @@
+"""Unit tests for Definition-2 processor isomorphism."""
+
+from repro.system.isomorphism import isomorphism_classes, processors_isomorphic
+from repro.system.processors import ProcessorSystem
+
+
+class TestPairwise:
+    def test_reflexive(self):
+        s = ProcessorSystem.ring(4)
+        assert processors_isomorphic(s, 2, 2)
+
+    def test_clique_all_isomorphic(self):
+        s = ProcessorSystem.fully_connected(4)
+        for i in range(4):
+            for j in range(4):
+                assert processors_isomorphic(s, i, j)
+
+    def test_three_ring_all_isomorphic(self):
+        # The paper's example: PE 1 and PE 2 equivalent to PE 0 initially.
+        s = ProcessorSystem.ring(3)
+        assert processors_isomorphic(s, 0, 1)
+        assert processors_isomorphic(s, 1, 2)
+        assert processors_isomorphic(s, 0, 2)
+
+    def test_chain_ends_isomorphic_middle_not(self):
+        s = ProcessorSystem.chain(4)
+        # 0 and 3 are both endpoints, but with different neighbours.
+        assert not processors_isomorphic(s, 0, 3)
+        assert not processors_isomorphic(s, 0, 1)
+
+    def test_chain_adjacent_ends(self):
+        # In a 2-chain the two PEs mirror each other.
+        s = ProcessorSystem.chain(2)
+        assert processors_isomorphic(s, 0, 1)
+
+    def test_star_leaves_isomorphic(self):
+        s = ProcessorSystem.star(5)
+        assert processors_isomorphic(s, 1, 2)
+        assert not processors_isomorphic(s, 0, 1)
+
+    def test_heterogeneous_speeds_break_isomorphism(self):
+        s = ProcessorSystem.fully_connected(3, speeds=[1.0, 1.0, 2.0])
+        assert processors_isomorphic(s, 0, 1)
+        assert not processors_isomorphic(s, 0, 2)
+
+
+class TestClasses:
+    def test_clique_single_class(self):
+        s = ProcessorSystem.fully_connected(5)
+        assert isomorphism_classes(s) == ((0, 1, 2, 3, 4),)
+
+    def test_star_two_classes(self):
+        s = ProcessorSystem.star(4)
+        assert isomorphism_classes(s) == ((0,), (1, 2, 3))
+
+    def test_chain4_classes(self):
+        s = ProcessorSystem.chain(4)
+        classes = isomorphism_classes(s)
+        assert sorted(len(c) for c in classes) == [1, 1, 1, 1]
+
+    def test_ring4_opposite_pairs(self):
+        # In a 4-ring, PEs 0 and 2 share neighbours {1, 3}; 1 and 3 share {0, 2}.
+        s = ProcessorSystem.ring(4)
+        classes = isomorphism_classes(s)
+        assert ((0, 2) in classes) and ((1, 3) in classes)
+
+    def test_classes_partition(self):
+        for s in (ProcessorSystem.mesh(2, 3), ProcessorSystem.hypercube(3)):
+            classes = isomorphism_classes(s)
+            flat = sorted(pe for cls in classes for pe in cls)
+            assert flat == list(range(s.num_pes))
+
+    def test_hetero_clique_splits_by_speed(self):
+        s = ProcessorSystem.fully_connected(4, speeds=[1, 1, 2, 2])
+        classes = isomorphism_classes(s)
+        assert (0, 1) in classes and (2, 3) in classes

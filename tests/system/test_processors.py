@@ -1,0 +1,129 @@
+"""Unit tests for repro.system.processors."""
+
+import pytest
+
+from repro.errors import SystemError_
+from repro.system.processors import ProcessorSystem
+
+
+class TestConstruction:
+    def test_default_fully_connected(self):
+        s = ProcessorSystem(3)
+        assert len(s.links) == 3
+
+    def test_invalid_count(self):
+        with pytest.raises(SystemError_):
+            ProcessorSystem(0)
+
+    def test_unknown_link_pe(self):
+        with pytest.raises(SystemError_):
+            ProcessorSystem(2, links=[(0, 5)])
+
+    def test_self_link(self):
+        with pytest.raises(SystemError_):
+            ProcessorSystem(2, links=[(1, 1)])
+
+    def test_link_normalization(self):
+        s = ProcessorSystem(3, links=[(2, 0)])
+        assert (0, 2) in s.links
+
+    def test_speeds_validation(self):
+        with pytest.raises(SystemError_):
+            ProcessorSystem(2, speeds=[1.0])
+        with pytest.raises(SystemError_):
+            ProcessorSystem(2, speeds=[1.0, 0.0])
+
+    def test_homogeneous_flag(self):
+        assert ProcessorSystem(3).is_homogeneous
+        assert not ProcessorSystem(2, speeds=[1.0, 2.0]).is_homogeneous
+
+
+class TestFactories:
+    def test_ring(self):
+        s = ProcessorSystem.ring(4)
+        assert s.num_pes == 4
+        assert s.degree(0) == 2
+
+    def test_chain(self):
+        s = ProcessorSystem.chain(3)
+        assert s.neighbors(1) == (0, 2)
+
+    def test_mesh(self):
+        s = ProcessorSystem.mesh(2, 2)
+        assert s.num_pes == 4
+        assert s.degree(0) == 2
+
+    def test_hypercube(self):
+        s = ProcessorSystem.hypercube(3)
+        assert s.num_pes == 8
+        assert s.degree(0) == 3
+
+    def test_star(self):
+        s = ProcessorSystem.star(4)
+        assert s.degree(0) == 3
+        assert s.degree(1) == 1
+
+    def test_fully_connected(self):
+        s = ProcessorSystem.fully_connected(4)
+        assert s.degree(0) == 3
+
+    def test_names(self):
+        assert ProcessorSystem.ring(3).name == "ring-3"
+        assert ProcessorSystem.mesh(2, 3).name == "mesh-2x3"
+
+
+class TestExecAndComm:
+    def test_exec_time_homogeneous(self):
+        s = ProcessorSystem(2)
+        assert s.exec_time(10.0, 0) == 10.0
+
+    def test_exec_time_heterogeneous(self):
+        s = ProcessorSystem(2, speeds=[1.0, 2.0])
+        assert s.exec_time(10.0, 1) == 5.0
+
+    def test_same_pe_comm_free(self):
+        s = ProcessorSystem.ring(3)
+        assert s.comm_time(100.0, 1, 1) == 0.0
+
+    def test_cross_pe_comm_costs_edge_weight(self):
+        s = ProcessorSystem.ring(3)
+        assert s.comm_time(7.0, 0, 2) == 7.0
+
+    def test_distance_scaled_comm(self):
+        s = ProcessorSystem(4, links=[(0, 1), (1, 2), (2, 3)], distance_scaled=True)
+        assert s.comm_time(5.0, 0, 3) == 15.0
+        assert s.comm_time(5.0, 0, 1) == 5.0
+
+
+class TestHopDistance:
+    def test_chain_distances(self):
+        s = ProcessorSystem.chain(4)
+        assert s.hop_distance[0][3] == 3
+        assert s.hop_distance[1][1] == 0
+
+    def test_ring_wraps(self):
+        s = ProcessorSystem.ring(6)
+        assert s.hop_distance[0][3] == 3
+        assert s.hop_distance[0][5] == 1
+
+    def test_disconnected_sentinel(self):
+        s = ProcessorSystem(3, links=[(0, 1)])
+        assert s.hop_distance[0][2] == 3  # sentinel = num_pes
+
+    def test_cached(self):
+        s = ProcessorSystem.mesh(2, 2)
+        assert s.hop_distance is s.hop_distance
+
+
+class TestValueSemantics:
+    def test_equality(self):
+        assert ProcessorSystem.ring(3) == ProcessorSystem.ring(3)
+
+    def test_speed_changes_equality(self):
+        assert ProcessorSystem(2) != ProcessorSystem(2, speeds=[1.0, 2.0])
+
+    def test_hashable(self):
+        assert len({ProcessorSystem.ring(3), ProcessorSystem.ring(3)}) == 1
+
+    def test_repr(self):
+        assert "p=3" in repr(ProcessorSystem.ring(3))

@@ -1,0 +1,103 @@
+"""Unit tests for repro.system.topology."""
+
+import pytest
+
+from repro.errors import SystemError_
+from repro.system.topology import (
+    chain_links,
+    fully_connected_links,
+    hypercube_links,
+    mesh_links,
+    ring_links,
+    star_links,
+)
+
+
+def degrees(n, links):
+    deg = [0] * n
+    for i, j in links:
+        deg[i] += 1
+        deg[j] += 1
+    return deg
+
+
+class TestFullyConnected:
+    def test_link_count(self):
+        assert len(fully_connected_links(5)) == 10
+
+    def test_single(self):
+        assert fully_connected_links(1) == set()
+
+    def test_invalid(self):
+        with pytest.raises(SystemError_):
+            fully_connected_links(0)
+
+
+class TestRing:
+    def test_degree_two(self):
+        links = ring_links(5)
+        assert degrees(5, links) == [2] * 5
+
+    def test_three_ring_is_clique(self):
+        assert ring_links(3) == fully_connected_links(3)
+
+    def test_two_is_single_link(self):
+        assert ring_links(2) == {(0, 1)}
+
+    def test_one_is_empty(self):
+        assert ring_links(1) == set()
+
+
+class TestChain:
+    def test_structure(self):
+        assert chain_links(4) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_endpoints_degree_one(self):
+        deg = degrees(4, chain_links(4))
+        assert deg[0] == 1 and deg[3] == 1 and deg[1] == 2
+
+
+class TestMesh:
+    def test_2x3_links(self):
+        links = mesh_links(2, 3)
+        assert len(links) == 7  # 2*(3-1) + 3*(2-1) = 4 + 3
+        assert (0, 1) in links and (0, 3) in links
+
+    def test_1xn_is_chain(self):
+        assert mesh_links(1, 4) == chain_links(4)
+
+    def test_corner_degree(self):
+        deg = degrees(9, mesh_links(3, 3))
+        assert deg[0] == 2  # corner
+        assert deg[4] == 4  # centre
+
+    def test_invalid(self):
+        with pytest.raises(SystemError_):
+            mesh_links(0, 3)
+
+
+class TestHypercube:
+    def test_dimension_counts(self):
+        for dim in range(4):
+            links = hypercube_links(dim)
+            n = 1 << dim
+            assert len(links) == dim * n // 2
+            if dim:
+                assert degrees(n, links) == [dim] * n
+
+    def test_dim_zero(self):
+        assert hypercube_links(0) == set()
+
+    def test_invalid(self):
+        with pytest.raises(SystemError_):
+            hypercube_links(-1)
+
+
+class TestStar:
+    def test_hub_degree(self):
+        deg = degrees(5, star_links(5))
+        assert deg[0] == 4
+        assert deg[1:] == [1] * 4
+
+    def test_single(self):
+        assert star_links(1) == set()

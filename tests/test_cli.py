@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("example", "table1", "figure6", "figure7", "generate"):
+            args = parser.parse_args([cmd] if cmd in ("example",) else [cmd])
+            assert args.command == cmd
+
+
+class TestExample:
+    def test_runs_and_prints_14(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        assert "14" in out
+        assert "b-level" in out
+        assert "GOAL" in out
+
+
+class TestGenerate:
+    def test_emits_valid_json(self, capsys):
+        assert main(["generate", "--nodes", "12", "--ccr", "0.5", "--seed", "9"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["weights"]) == 12
+
+
+class TestSchedule:
+    def test_astar_on_generated_file(self, tmp_path, capsys):
+        main(["generate", "--nodes", "8", "--seed", "1"])
+        data = capsys.readouterr().out
+        path = tmp_path / "g.json"
+        path.write_text(data)
+        assert main(["schedule", str(path), "--pes", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal: True" in out
+        assert "length:" in out
+
+    @pytest.mark.parametrize("algo", ["bnb", "focal", "list"])
+    def test_other_algorithms(self, algo, tmp_path, capsys):
+        main(["generate", "--nodes", "6", "--seed", "2"])
+        data = capsys.readouterr().out
+        path = tmp_path / "g.json"
+        path.write_text(data)
+        assert main(["schedule", str(path), "--pes", "2", "--algorithm", algo]) == 0
+
+
+class TestExperimentCommands:
+    def test_table1_tiny(self, capsys):
+        code = main([
+            "table1", "--sizes", "10", "--ccrs", "1.0",
+            "--max-expansions", "20000", "--max-seconds", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_figure6_tiny(self, capsys):
+        code = main([
+            "figure6", "--sizes", "10", "--ccrs", "10.0",
+            "--max-expansions", "20000", "--max-seconds", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "16 PPEs" in out
+
+    def test_figure7_tiny(self, capsys):
+        code = main([
+            "figure7", "--sizes", "10", "--ccrs", "1.0",
+            "--max-expansions", "20000", "--max-seconds", "10",
+        ])
+        assert code == 0
+        assert "Figure 7" in capsys.readouterr().out
+
+    def test_heuristics_tiny(self, capsys):
+        code = main([
+            "heuristics", "--sizes", "10", "--ccrs", "1.0",
+            "--max-expansions", "20000", "--max-seconds", "10",
+        ])
+        assert code == 0
+        assert "deviation" in capsys.readouterr().out

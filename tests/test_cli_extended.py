@@ -1,0 +1,70 @@
+"""Tests for the extended CLI surface (new engines, STG, trace)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.examples import paper_example_dag
+from repro.graph.stg import save_stg
+
+
+@pytest.fixture
+def json_graph(tmp_path, capsys):
+    main(["generate", "--nodes", "8", "--seed", "3"])
+    path = tmp_path / "g.json"
+    path.write_text(capsys.readouterr().out)
+    return path
+
+
+@pytest.fixture
+def stg_graph(tmp_path):
+    path = tmp_path / "example.stg"
+    save_stg(paper_example_dag(), path)
+    return path
+
+
+class TestNewEngines:
+    @pytest.mark.parametrize("algo", ["idastar", "wastar"])
+    def test_engines_run(self, algo, json_graph, capsys):
+        assert main(["schedule", str(json_graph), "--pes", "3",
+                     "--algorithm", algo]) == 0
+        out = capsys.readouterr().out
+        assert "length:" in out
+
+    def test_wastar_epsilon(self, json_graph, capsys):
+        assert main(["schedule", str(json_graph), "--pes", "2",
+                     "--algorithm", "wastar", "--epsilon", "0.5"]) == 0
+        assert "wastar(eps=0.5)" in capsys.readouterr().out
+
+
+class TestStgInput:
+    def test_schedule_stg_file(self, stg_graph, capsys):
+        assert main(["schedule", str(stg_graph), "--pes", "3",
+                     "--topology", "ring"]) == 0
+        out = capsys.readouterr().out
+        # The paper example on its ring: optimal length 14.
+        assert "length: 14" in out
+
+
+class TestTrace:
+    def test_trace_prints_tree(self, stg_graph, capsys):
+        assert main(["schedule", str(stg_graph), "--pes", "3",
+                     "--topology", "ring", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "<initial>" in out
+        assert "f = " in out
+
+    def test_trace_ignored_for_other_engines(self, json_graph, capsys):
+        assert main(["schedule", str(json_graph), "--pes", "2",
+                     "--algorithm", "bnb", "--trace"]) == 0
+        assert "<initial>" not in capsys.readouterr().out
+
+
+class TestAblationCommand:
+    def test_ablation_tiny(self, capsys):
+        assert main(["ablation", "--sizes", "10", "--ccrs", "1.0",
+                     "--max-expansions", "15000", "--max-seconds", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Pruning ablation" in out
+        assert "extended" in out

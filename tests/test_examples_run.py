@@ -1,0 +1,58 @@
+"""Smoke tests: the example scripts must stay runnable.
+
+Each example is executed in-process (``runpy``) with stdout captured;
+only the fast ones run here — the heavyweight sweeps
+(``parallel_speedup.py``, ``optimal_vs_heuristic.py``) are exercised by
+the benchmark harness instead.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "schedule length  : 14" in out
+        assert "optimal          : True" in out
+
+    def test_paper_example(self, capsys):
+        out = run_example("paper_example.py", capsys)
+        assert "Figure 2" in out
+        assert "GOAL" in out
+        assert "length = 14" in out
+        assert "simulated speedup" in out
+
+    def test_heterogeneous_kernels(self, capsys):
+        out = run_example("heterogeneous_kernels.py", capsys)
+        assert "gauss-4" in out
+        assert "fft-4" in out
+
+    def test_approximate_tradeoff(self, capsys):
+        out = run_example("approximate_tradeoff.py", capsys)
+        assert "exact A*" in out
+        assert "work saved" in out
+
+    def test_all_examples_have_docstrings_and_main(self):
+        for script in EXAMPLES.glob("*.py"):
+            text = script.read_text()
+            assert text.startswith("#!/usr/bin/env python3"), script.name
+            assert '"""' in text, script.name
+            assert '__name__ == "__main__"' in text, script.name

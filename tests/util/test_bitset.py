@@ -1,0 +1,82 @@
+"""Unit tests for repro.util.bitset."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitset import (
+    bit_count,
+    bit_indices,
+    bits_from_iterable,
+    first_set_bit,
+    has_bit,
+)
+
+
+class TestBitsFromIterable:
+    def test_empty(self):
+        assert bits_from_iterable([]) == 0
+
+    def test_single(self):
+        assert bits_from_iterable([3]) == 8
+
+    def test_multiple(self):
+        assert bits_from_iterable([0, 2, 5]) == 0b100101
+
+    def test_duplicates_idempotent(self):
+        assert bits_from_iterable([1, 1, 1]) == 2
+
+
+class TestBitIndices:
+    def test_empty(self):
+        assert list(bit_indices(0)) == []
+
+    def test_roundtrip(self):
+        indices = [0, 3, 7, 40]
+        assert list(bit_indices(bits_from_iterable(indices))) == indices
+
+    def test_order_ascending(self):
+        assert list(bit_indices(0b1011)) == [0, 1, 3]
+
+
+class TestBitCount:
+    def test_zero(self):
+        assert bit_count(0) == 0
+
+    def test_counts(self):
+        assert bit_count(0b101101) == 4
+
+    def test_large(self):
+        assert bit_count((1 << 100) | 1) == 2
+
+
+class TestHasBit:
+    def test_present(self):
+        assert has_bit(0b100, 2)
+
+    def test_absent(self):
+        assert not has_bit(0b100, 1)
+
+    def test_high_index(self):
+        assert not has_bit(0b1, 64)
+
+
+class TestFirstSetBit:
+    def test_empty(self):
+        assert first_set_bit(0) == -1
+
+    def test_low(self):
+        assert first_set_bit(0b1010) == 1
+
+    def test_bit_zero(self):
+        assert first_set_bit(1) == 0
+
+
+@given(st.sets(st.integers(0, 80), max_size=20))
+def test_roundtrip_property(indices):
+    mask = bits_from_iterable(indices)
+    assert set(bit_indices(mask)) == indices
+    assert bit_count(mask) == len(indices)
+    for i in indices:
+        assert has_bit(mask, i)
+    if indices:
+        assert first_set_bit(mask) == min(indices)

@@ -1,0 +1,178 @@
+"""Unit tests for repro.util.pqueue."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.pqueue import AddressablePQ, LazyPQ
+
+
+class TestLazyPQ:
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            LazyPQ().pop()
+
+    def test_empty_peek_raises(self):
+        with pytest.raises(IndexError):
+            LazyPQ().peek()
+
+    def test_fifo_on_ties(self):
+        pq = LazyPQ()
+        pq.push("a", 1)
+        pq.push("b", 1)
+        pq.push("c", 1)
+        assert [pq.pop()[0] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_priority_order(self):
+        pq = LazyPQ()
+        for item, pri in [("c", 3), ("a", 1), ("b", 2)]:
+            pq.push(item, pri)
+        assert [pq.pop()[0] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_len_tracks_live(self):
+        pq = LazyPQ()
+        pq.push_keyed("k1", "x", 5)
+        pq.push_keyed("k2", "y", 6)
+        assert len(pq) == 2
+        pq.remove_keyed("k1")
+        assert len(pq) == 1
+        assert pq.pop() == ("y", 6)
+        assert not pq
+
+    def test_keyed_replacement(self):
+        pq = LazyPQ()
+        pq.push_keyed("k", "old", 10)
+        pq.push_keyed("k", "new", 1)
+        item, pri = pq.pop()
+        assert (item, pri) == ("new", 1)
+        assert len(pq) == 0
+
+    def test_remove_missing_key_is_noop(self):
+        pq = LazyPQ()
+        pq.remove_keyed("ghost")
+        assert len(pq) == 0
+
+    def test_peek_does_not_remove(self):
+        pq = LazyPQ()
+        pq.push("a", 1)
+        assert pq.peek() == ("a", 1)
+        assert len(pq) == 1
+
+    def test_compact_preserves_content(self):
+        pq = LazyPQ()
+        for i in range(20):
+            pq.push_keyed(i, f"item{i}", i)
+        for i in range(0, 20, 2):
+            pq.remove_keyed(i)
+        pq.compact()
+        assert [pq.pop()[0] for _ in range(len(pq))] == [
+            f"item{i}" for i in range(1, 20, 2)
+        ]
+
+    def test_drain(self):
+        pq = LazyPQ()
+        for i in [5, 1, 3]:
+            pq.push(i, i)
+        assert [x for x, _ in pq.drain()] == [1, 3, 5]
+
+    def test_min_priority(self):
+        pq = LazyPQ()
+        pq.push("x", 7)
+        pq.push("y", 3)
+        assert pq.min_priority() == 3
+
+
+class TestAddressablePQ:
+    def test_push_pop(self):
+        pq = AddressablePQ()
+        pq.push("a", 2)
+        pq.push("b", 1)
+        assert pq.pop() == ("b", 1)
+        assert pq.pop() == ("a", 2)
+
+    def test_duplicate_push_raises(self):
+        pq = AddressablePQ()
+        pq.push("a", 1)
+        with pytest.raises(KeyError):
+            pq.push("a", 2)
+
+    def test_update_decrease(self):
+        pq = AddressablePQ()
+        pq.push("a", 10)
+        pq.push("b", 5)
+        pq.update("a", 1)
+        assert pq.pop()[0] == "a"
+
+    def test_update_increase(self):
+        pq = AddressablePQ()
+        pq.push("a", 1)
+        pq.push("b", 5)
+        pq.update("a", 10)
+        assert pq.pop()[0] == "b"
+
+    def test_push_or_update(self):
+        pq = AddressablePQ()
+        pq.push_or_update("a", 5)
+        pq.push_or_update("a", 1)
+        assert pq.priority_of("a") == 1
+
+    def test_remove(self):
+        pq = AddressablePQ()
+        for x, p in [("a", 1), ("b", 2), ("c", 3)]:
+            pq.push(x, p)
+        pq.remove("b")
+        assert "b" not in pq
+        assert [pq.pop()[0] for _ in range(2)] == ["a", "c"]
+
+    def test_contains(self):
+        pq = AddressablePQ()
+        pq.push("a", 1)
+        assert "a" in pq
+        assert "z" not in pq
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            AddressablePQ().pop()
+
+    def test_peek(self):
+        pq = AddressablePQ()
+        pq.push("a", 4)
+        assert pq.peek() == ("a", 4)
+        assert len(pq) == 1
+
+    def test_items_iteration(self):
+        pq = AddressablePQ()
+        for x, p in [("a", 1), ("b", 2)]:
+            pq.push(x, p)
+        assert dict(pq.items()) == {"a": 1, "b": 2}
+
+    def test_fifo_on_ties(self):
+        pq = AddressablePQ()
+        for name in ["first", "second", "third"]:
+            pq.push(name, 1)
+        assert [pq.pop()[0] for _ in range(3)] == ["first", "second", "third"]
+
+
+@given(st.lists(st.tuples(st.integers(0, 10_000), st.integers(0, 100)), max_size=200))
+def test_lazy_pq_sorts(pairs):
+    pq = LazyPQ()
+    for i, (val, pri) in enumerate(pairs):
+        pq.push((val, i), pri)
+    priorities = [pri for _, pri in pq.drain()]
+    assert priorities == sorted(priorities)
+
+
+@given(st.dictionaries(st.integers(0, 50), st.integers(0, 100), max_size=40))
+def test_addressable_pq_heap_invariant(entries):
+    pq = AddressablePQ()
+    for item, pri in entries.items():
+        pq.push(item, pri)
+    # Interleave updates that halve priorities.
+    for item in list(entries)[::2]:
+        pq.update(item, entries[item] // 2)
+        entries[item] //= 2
+    out = []
+    while pq:
+        out.append(pq.pop())
+    assert [p for _, p in out] == sorted(entries.values())
+    assert {i for i, _ in out} == set(entries)

@@ -1,0 +1,89 @@
+"""Unit tests for repro.util.rng."""
+
+from repro.util.rng import RngStream, spawn_streams
+
+
+class TestRngStream:
+    def test_deterministic_same_seed(self):
+        a = RngStream(42)
+        b = RngStream(42)
+        assert [a.randint(0, 100) for _ in range(10)] == [
+            b.randint(0, 100) for _ in range(10)
+        ]
+
+    def test_different_seeds_diverge(self):
+        a = RngStream(1)
+        b = RngStream(2)
+        assert [a.randint(0, 10_000) for _ in range(8)] != [
+            b.randint(0, 10_000) for _ in range(8)
+        ]
+
+    def test_uniform_int_mean_positive(self):
+        rng = RngStream(0)
+        xs = [rng.uniform_int_mean(40) for _ in range(500)]
+        assert all(x >= 1 for x in xs)
+
+    def test_uniform_int_mean_approximates_mean(self):
+        rng = RngStream(7)
+        xs = [rng.uniform_int_mean(40) for _ in range(5000)]
+        assert 37 < sum(xs) / len(xs) < 43
+
+    def test_uniform_int_small_mean(self):
+        rng = RngStream(0)
+        xs = [rng.uniform_int_mean(1.0) for _ in range(100)]
+        assert all(x >= 1 for x in xs)
+
+    def test_uniform_ints_vectorised_matches_range(self):
+        rng = RngStream(3)
+        xs = rng.uniform_ints_mean(10, size=1000)
+        assert xs.min() >= 1
+        assert xs.max() <= 19
+
+    def test_randint_bounds_inclusive(self):
+        rng = RngStream(11)
+        xs = {rng.randint(2, 4) for _ in range(200)}
+        assert xs == {2, 3, 4}
+
+    def test_random_unit_interval(self):
+        rng = RngStream(5)
+        assert all(0.0 <= rng.random() < 1.0 for _ in range(100))
+
+    def test_shuffle_permutes(self):
+        rng = RngStream(9)
+        xs = list(range(20))
+        shuffled = list(xs)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == xs
+
+    def test_choice_without_replacement(self):
+        rng = RngStream(13)
+        picked = rng.choice(range(10), size=5, replace=False)
+        assert len(set(int(x) for x in picked)) == 5
+
+    def test_spawn_is_stable(self):
+        a = RngStream(42).spawn("child")
+        b = RngStream(42).spawn("child")
+        assert a.randint(0, 10**6) == b.randint(0, 10**6)
+
+    def test_spawn_differs_from_parent(self):
+        parent = RngStream(42)
+        child = parent.spawn("x")
+        assert parent.randint(0, 10**9) != child.randint(0, 10**9)
+
+
+class TestSpawnStreams:
+    def test_named_streams_independent(self):
+        streams = spawn_streams(0, ["graphs", "costs"])
+        a = [streams["graphs"].randint(0, 10**6) for _ in range(5)]
+        b = [streams["costs"].randint(0, 10**6) for _ in range(5)]
+        assert a != b
+
+    def test_reproducible_across_calls(self):
+        s1 = spawn_streams(123, ["x"])["x"]
+        s2 = spawn_streams(123, ["x"])["x"]
+        assert s1.randint(0, 10**9) == s2.randint(0, 10**9)
+
+    def test_master_seed_matters(self):
+        s1 = spawn_streams(1, ["x"])["x"]
+        s2 = spawn_streams(2, ["x"])["x"]
+        assert s1.randint(0, 10**9) != s2.randint(0, 10**9)

@@ -1,0 +1,78 @@
+"""Unit tests for repro.util.stats."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import OnlineStats, geometric_mean, summarize
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        s = OnlineStats()
+        assert s.n == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_single_sample(self):
+        s = OnlineStats()
+        s.add(5.0)
+        assert s.mean == 5.0
+        assert s.variance == 0.0
+        assert s.min == 5.0
+        assert s.max == 5.0
+
+    def test_known_values(self):
+        s = OnlineStats()
+        s.extend([2.0, 4.0, 6.0])
+        assert s.mean == pytest.approx(4.0)
+        assert s.variance == pytest.approx(4.0)
+        assert s.stdev == pytest.approx(2.0)
+
+    def test_min_max(self):
+        s = OnlineStats()
+        s.extend([3.0, -1.0, 7.0])
+        assert s.min == -1.0
+        assert s.max == 7.0
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.n == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.min == 1.0
+        assert summary.max == 3.0
+
+    def test_empty_iterable(self):
+        summary = summarize([])
+        assert summary.n == 0
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_is_zero(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_single(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=100))
+def test_online_matches_two_pass(xs):
+    s = OnlineStats()
+    s.extend(xs)
+    mean = sum(xs) / len(xs)
+    var = sum((x - mean) ** 2 for x in xs) / (len(xs) - 1)
+    assert s.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+    assert s.variance == pytest.approx(var, rel=1e-6, abs=1e-4)
+    assert math.isclose(s.min, min(xs))
+    assert math.isclose(s.max, max(xs))

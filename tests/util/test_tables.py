@@ -1,0 +1,72 @@
+"""Unit tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "—"
+
+    def test_float_formatting(self):
+        assert format_cell(3.14159) == "3.142"
+
+    def test_custom_float_fmt(self):
+        assert format_cell(3.14159, "{:.1f}") == "3.1"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        out = render_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+        assert set(out.splitlines()[1]) == {"="}
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_column_widths_accommodate_cells(self):
+        out = render_table(["h"], [["a-very-long-cell"]])
+        header, sep, row = out.splitlines()
+        assert len(sep) >= len("a-very-long-cell")
+
+    def test_right_alignment(self):
+        out = render_table(["name", "val"], [["x", 1], ["y", 22]])
+        rows = out.splitlines()[2:]
+        # Numbers right-aligned: the last char of both rows is a digit.
+        assert rows[0].rstrip()[-1] == "1"
+        assert rows[1].rstrip()[-1] == "2"
+
+    def test_none_cells_render(self):
+        out = render_table(["a"], [[None]])
+        assert "—" in out
+
+    def test_left_alignment_mode(self):
+        out = render_table(
+            ["name", "val"], [["x", 1], ["y", 22]], align_right=False
+        )
+        rows = out.splitlines()[2:]
+        # Left-aligned: both numbers start at the same column.
+        assert rows[0].index("1") == rows[1].index("22")
+
+    def test_custom_float_fmt_applies_to_table(self):
+        out = render_table(["v"], [[1.23456]], float_fmt="{:.1f}")
+        assert "1.2" in out
+        assert "1.235" not in out

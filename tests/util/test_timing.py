@@ -1,0 +1,66 @@
+"""Unit tests for repro.util.timing."""
+
+import time
+
+from repro.util.timing import Budget, Timer
+
+
+class TestTimer:
+    def test_elapsed_nonnegative(self):
+        with Timer() as t:
+            pass
+        assert t.elapsed >= 0.0
+
+    def test_unused_timer_elapsed_zero(self):
+        assert Timer().elapsed == 0.0
+
+    def test_running_elapsed_grows(self):
+        with Timer() as t:
+            first = t.elapsed
+            time.sleep(0.01)
+            assert t.elapsed > first
+
+    def test_reentry_resets(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            pass
+        assert t.elapsed <= first + 1.0  # fresh measurement, not cumulative
+
+
+class TestBudget:
+    def test_unlimited_never_trips(self):
+        b = Budget.unlimited()
+        b.start()
+        assert not b.exhausted(10**9, 10**9)
+
+    def test_expansion_limit(self):
+        b = Budget(max_expanded=10)
+        b.start()
+        assert not b.exhausted(9, 0)
+        assert b.exhausted(10, 0)
+
+    def test_generation_limit(self):
+        b = Budget(max_generated=5)
+        b.start()
+        assert not b.exhausted(0, 4)
+        assert b.exhausted(0, 5)
+
+    def test_time_limit_sampled(self):
+        b = Budget(max_seconds=0.0, time_check_interval=1)
+        b.start()
+        time.sleep(0.001)
+        assert b.exhausted(0, 0)
+
+    def test_time_check_interval_skips(self):
+        b = Budget(max_seconds=0.0, time_check_interval=1000)
+        b.start()
+        # The first 999 checks short-circuit without a clock read.
+        assert not b.time_exhausted()
+
+    def test_combined_any_trips(self):
+        b = Budget(max_expanded=1, max_generated=100)
+        b.start()
+        assert b.exhausted(1, 0)

@@ -1,0 +1,35 @@
+"""Unit tests for the kernel workload suite."""
+
+import pytest
+
+from repro.graph.analysis import graph_ccr
+from repro.workloads.kernels import KERNEL_FAMILIES, kernel_suite
+
+
+class TestKernelSuite:
+    def test_default_shape(self):
+        suite = kernel_suite()
+        assert len(suite) == 4 * 2 * 2  # families × scales × ccrs
+
+    def test_sample_ccr_exact(self):
+        for inst in kernel_suite(scales=(1,), ccrs=(0.1, 1.0)):
+            assert graph_ccr(inst.graph) == pytest.approx(inst.ccr)
+
+    def test_names_encode_parameters(self):
+        suite = kernel_suite(families=("fft",), scales=(2,), ccrs=(1.0,))
+        assert suite.instances[0].graph.name == "fft-s2-ccr1.0"
+
+    def test_shared_system(self):
+        suite = kernel_suite(num_pes=3)
+        assert all(inst.system.num_pes == 3 for inst in suite)
+
+    def test_family_registry(self):
+        assert set(KERNEL_FAMILIES) == {"gauss", "fft", "laplace", "dnc"}
+        for builder in KERNEL_FAMILIES.values():
+            g = builder(1)
+            assert g.num_nodes >= 1
+
+    def test_subset_families(self):
+        suite = kernel_suite(families=("gauss",), scales=(1,), ccrs=(1.0,))
+        assert len(suite) == 1
+        assert suite.instances[0].graph.name.startswith("gauss")

@@ -1,0 +1,84 @@
+"""Unit tests for the §4.1 workload suite."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.suite import (
+    DEFAULT_SIZES,
+    PAPER_CCRS,
+    PAPER_SIZES,
+    paper_suite,
+    paper_target_system,
+)
+
+
+class TestPaperConstants:
+    def test_ccrs(self):
+        assert PAPER_CCRS == (0.1, 1.0, 10.0)
+
+    def test_full_sizes(self):
+        assert PAPER_SIZES == tuple(range(10, 33, 2))
+        assert len(PAPER_SIZES) == 12  # "each set contains 12 graphs"
+
+    def test_default_sizes_subset(self):
+        assert set(DEFAULT_SIZES) <= set(PAPER_SIZES)
+
+
+class TestPaperSuite:
+    def test_default_shape(self):
+        suite = paper_suite()
+        assert len(suite) == len(PAPER_CCRS) * len(DEFAULT_SIZES)
+        assert suite.ccrs == PAPER_CCRS
+        assert suite.sizes == DEFAULT_SIZES
+
+    def test_full_suite(self):
+        suite = paper_suite(full=True, ccrs=(1.0,))
+        assert suite.sizes == PAPER_SIZES
+
+    def test_by_ccr_sorted(self):
+        suite = paper_suite(sizes=(10, 12))
+        insts = suite.by_ccr(1.0)
+        assert [i.size for i in insts] == [10, 12]
+
+    def test_by_ccr_missing(self):
+        with pytest.raises(WorkloadError):
+            paper_suite().by_ccr(3.3)
+
+    def test_get(self):
+        suite = paper_suite(sizes=(10,))
+        inst = suite.get(0.1, 10)
+        assert inst.graph.num_nodes == 10
+
+    def test_get_missing(self):
+        with pytest.raises(WorkloadError):
+            paper_suite(sizes=(10,)).get(0.1, 30)
+
+    def test_deterministic(self):
+        a = paper_suite(sizes=(10, 12))
+        b = paper_suite(sizes=(10, 12))
+        for x, y in zip(a, b):
+            assert x.graph == y.graph
+
+    def test_seeds_unique(self):
+        suite = paper_suite()
+        seeds = [inst.seed for inst in suite]
+        assert len(seeds) == len(set(seeds))
+
+    def test_instance_key_stable(self):
+        inst = paper_suite(sizes=(10,)).get(1.0, 10)
+        assert str(inst.size) in inst.key and str(inst.ccr) in inst.key
+
+    def test_system_is_clique_of_v(self):
+        inst = paper_suite(sizes=(12,)).get(1.0, 12)
+        assert inst.system.num_pes == 12
+
+
+class TestTargetSystem:
+    def test_default_v_pes(self):
+        assert paper_target_system(14).num_pes == 14
+
+    def test_cap(self):
+        assert paper_target_system(14, max_pes=8).num_pes == 8
+
+    def test_cap_above_v(self):
+        assert paper_target_system(6, max_pes=10).num_pes == 6
