@@ -1,0 +1,157 @@
+"""Microbenchmark: search-state generation throughput.
+
+Measures states generated per second for the exact per-candidate hot
+path of every engine — EST + duplicate-key preview
+(``child_signature``), CLOSED-set probe, and child construction
+(``extend``) — on layered random instances of 20/50/100 nodes, for both
+state representations:
+
+* ``delta`` — the production delta-encoded states with incremental
+  Zobrist signatures (:class:`repro.schedule.partial.PartialSchedule`);
+* ``tuple`` — the pre-refactor fully-materialized reference states
+  (:class:`repro.schedule.partial_reference.ReferencePartialSchedule`).
+
+The driver is a depth-first walk with duplicate detection, i.e. the
+same candidate stream a B&B engine would push, minus cost evaluation —
+isolating the state-layer cost the delta refactor targets.
+
+Run directly for a human-readable table::
+
+    PYTHONPATH=src python benchmarks/bench_states_micro.py
+
+or use ``benchmarks/run_states_bench.py`` to append machine-readable
+results (and the 100-node speedup gate) to ``BENCH_states.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.graph.generators.layered import layered_random_graph
+from repro.graph.taskgraph import TaskGraph
+from repro.schedule.partial import PartialSchedule
+from repro.schedule.partial_reference import ReferencePartialSchedule
+from repro.search.dedup import SignatureSet
+from repro.system.processors import ProcessorSystem
+
+__all__ = [
+    "INSTANCE_SIZES",
+    "make_instance",
+    "generate_states",
+    "measure",
+    "run_suite",
+]
+
+#: (label, num_layers, width) — v = layers × width.
+INSTANCE_SIZES: tuple[tuple[int, int, int], ...] = (
+    (20, 5, 4),
+    (50, 10, 5),
+    (100, 20, 5),
+)
+
+STATE_CLASSES = {
+    "delta": PartialSchedule,
+    "tuple": ReferencePartialSchedule,
+}
+
+
+def make_instance(
+    num_layers: int, width: int, num_pes: int = 4, seed: int = 7
+) -> tuple[TaskGraph, ProcessorSystem]:
+    """Deterministic layered instance used by every measurement."""
+    graph = layered_random_graph(
+        num_layers, width, edge_prob=0.5, skip_prob=0.1, ccr=1.0, seed=seed
+    )
+    return graph, ProcessorSystem.fully_connected(num_pes)
+
+
+def generate_states(
+    graph: TaskGraph,
+    system: ProcessorSystem,
+    state_cls: type,
+    limit: int,
+) -> int:
+    """Depth-first candidate generation with duplicate detection.
+
+    Every candidate pays exactly one ``child_signature`` (EST + key
+    preview) and one CLOSED probe; every survivor additionally pays one
+    ``extend``.  Returns the number of states constructed.
+    """
+    num_pes = system.num_pes
+    root = state_cls.empty(graph, system)
+    seen = SignatureSet()
+    seen.add(root.dedup_key)
+    stack = [root]
+    generated = 0
+    while stack and generated < limit:
+        state = stack.pop()
+        for node in state.ready_nodes():
+            for pe in range(num_pes):
+                key, start = state.child_signature(node, pe)
+                if seen.check_add(key):
+                    continue
+                stack.append(state.extend(node, pe, _start=start, _sig=key))
+                generated += 1
+                if generated >= limit:
+                    return generated
+    return generated
+
+
+def measure(
+    graph: TaskGraph,
+    system: ProcessorSystem,
+    state_cls: type,
+    *,
+    limit: int = 20_000,
+    repeats: int = 3,
+) -> dict:
+    """Best-of-``repeats`` states/second for one representation."""
+    best = 0.0
+    generated = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        generated = generate_states(graph, system, state_cls, limit)
+        elapsed = time.perf_counter() - t0
+        rate = generated / elapsed if elapsed > 0 else float("inf")
+        if rate > best:
+            best = rate
+    return {"states": generated, "states_per_sec": round(best, 1)}
+
+
+def run_suite(*, limit: int = 20_000, repeats: int = 3, num_pes: int = 4) -> dict:
+    """Measure every (size × representation) cell.
+
+    Returns ``{"sizes": {v: {"delta": {...}, "tuple": {...},
+    "speedup": float}}, ...}`` — the shape ``run_states_bench.py``
+    appends to ``BENCH_states.json``.
+    """
+    sizes: dict[str, dict] = {}
+    for v, layers, width in INSTANCE_SIZES:
+        graph, system = make_instance(layers, width, num_pes=num_pes)
+        assert graph.num_nodes == v
+        cell: dict[str, object] = {}
+        for name, cls in STATE_CLASSES.items():
+            cell[name] = measure(graph, system, cls, limit=limit, repeats=repeats)
+        cell["speedup"] = round(
+            cell["delta"]["states_per_sec"] / cell["tuple"]["states_per_sec"], 2
+        )
+        sizes[str(v)] = cell
+    return {"num_pes": num_pes, "limit": limit, "repeats": repeats, "sizes": sizes}
+
+
+def _render(report: dict) -> str:
+    lines = [
+        "state-generation microbenchmark (extend + signature + duplicate probe)",
+        f"{'v':>5} {'delta states/s':>16} {'tuple states/s':>16} {'speedup':>9}",
+    ]
+    for v, cell in report["sizes"].items():
+        lines.append(
+            f"{v:>5} {cell['delta']['states_per_sec']:>16,.0f} "
+            f"{cell['tuple']['states_per_sec']:>16,.0f} "
+            f"{cell['speedup']:>8.2f}x"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(_render(run_suite()))

@@ -1,0 +1,100 @@
+"""Append state-microbenchmark results to ``BENCH_states.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_states_bench.py [--limit N] [--repeats R]
+
+Runs :mod:`benchmarks.bench_states_micro` and appends one entry to the
+``BENCH_states.json`` array at the repository root, so successive PRs
+accumulate a machine-readable perf trajectory to regress against.  Each
+entry records the per-size states/second of both state representations,
+the delta/tuple speedup, and the interpreter version; ``git_rev`` is
+filled in when the working tree is a git checkout.
+
+Exits non-zero when the 100-node speedup falls below the 3x acceptance
+floor established by the delta-state PR, making the script usable as a
+CI perf gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_states_micro import run_suite  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_states.json"
+SPEEDUP_FLOOR = 3.0  # acceptance criterion on the 100-node instance
+
+
+def _git_rev() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--limit", type=int, default=20_000,
+                        help="states generated per measurement")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of repeats per cell")
+    parser.add_argument("--out", type=Path, default=RESULTS_PATH,
+                        help="results file (JSON array)")
+    args = parser.parse_args(argv)
+
+    report = run_suite(limit=args.limit, repeats=args.repeats)
+    entry = {
+        "bench": "states_micro",
+        "unix_time": int(time.time()),
+        "python": platform.python_version(),
+        "git_rev": _git_rev(),
+        **report,
+    }
+
+    existing: list = []
+    if args.out.exists():
+        try:
+            existing = json.loads(args.out.read_text())
+        except json.JSONDecodeError:
+            print(f"warning: {args.out} is not valid JSON; starting fresh",
+                  file=sys.stderr)
+    existing.append(entry)
+    args.out.write_text(json.dumps(existing, indent=2) + "\n")
+
+    for v, cell in report["sizes"].items():
+        print(
+            f"v={v:>3}: delta {cell['delta']['states_per_sec']:>12,.0f}/s  "
+            f"tuple {cell['tuple']['states_per_sec']:>12,.0f}/s  "
+            f"speedup {cell['speedup']:.2f}x"
+        )
+    print(f"appended entry #{len(existing)} to {args.out}")
+
+    speedup_100 = report["sizes"]["100"]["speedup"]
+    if speedup_100 < SPEEDUP_FLOOR:
+        print(
+            f"FAIL: 100-node speedup {speedup_100:.2f}x < {SPEEDUP_FLOOR}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

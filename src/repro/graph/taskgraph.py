@@ -12,6 +12,18 @@ the graph cannot change.
 Edges are stored both as a ``(u, v) -> cost`` dict (O(1) cost lookup
 during state expansion) and as per-node predecessor/successor tuples
 (cache-friendly iteration in the expansion inner loop).
+
+For the search hot path the adjacency is additionally flattened into
+CSR-style arrays (``pred_flat``/``pred_offsets``/``pred_costs`` and the
+successor mirror) plus one predecessor *bitmask* per node, so that
+
+* iterating a node's in-edges is a contiguous slice walk with no
+  generator frames or dict probes, and
+* "are all parents of ``n`` scheduled?" / "is ``m`` a parent of ``n``?"
+  are single big-int AND operations against a scheduled-set mask.
+
+The flat views are built lazily on first access (one O(v + e) pass) and
+cached — safe because the graph is immutable.
 """
 
 from __future__ import annotations
@@ -60,6 +72,14 @@ class TaskGraph:
         "_entries",
         "_exits",
         "_hash",
+        "_pred_offsets",
+        "_pred_flat",
+        "_pred_costs",
+        "_succ_offsets",
+        "_succ_flat",
+        "_succ_costs",
+        "_pred_masks",
+        "_pred_pairs",
     )
 
     def __init__(
@@ -109,6 +129,14 @@ class TaskGraph:
         self._entries = tuple(i for i in range(v) if not self._preds[i])
         self._exits = tuple(i for i in range(v) if not self._succs[i])
         self._hash: int | None = None
+        self._pred_offsets: tuple[int, ...] | None = None
+        self._pred_flat: tuple[int, ...] | None = None
+        self._pred_costs: tuple[float, ...] | None = None
+        self._succ_offsets: tuple[int, ...] | None = None
+        self._succ_flat: tuple[int, ...] | None = None
+        self._succ_costs: tuple[float, ...] | None = None
+        self._pred_masks: tuple[int, ...] | None = None
+        self._pred_pairs: tuple[tuple[tuple[int, float], ...], ...] | None = None
 
     # -- basic accessors ---------------------------------------------------
 
@@ -216,6 +244,111 @@ class TaskGraph:
     def mean_communication(self) -> float:
         """Average edge cost (0.0 for edge-less graphs)."""
         return self.total_communication / self.num_edges if self._edge_cost else 0.0
+
+    # -- flat (CSR) views for the search hot path --------------------------
+
+    def _build_csr(self) -> None:
+        """One O(v + e) pass building every flat adjacency view."""
+        v = len(self._weights)
+        cost = self._edge_cost
+        pred_offsets = [0] * (v + 1)
+        pred_flat: list[int] = []
+        pred_costs: list[float] = []
+        succ_offsets = [0] * (v + 1)
+        succ_flat: list[int] = []
+        succ_costs: list[float] = []
+        pred_masks = [0] * v
+        pred_pairs: list[tuple[tuple[int, float], ...]] = []
+        for n in range(v):
+            mask = 0
+            pairs: list[tuple[int, float]] = []
+            for p in self._preds[n]:
+                c = cost[(p, n)]
+                pred_flat.append(p)
+                pred_costs.append(c)
+                pairs.append((p, c))
+                mask |= 1 << p
+            pred_offsets[n + 1] = len(pred_flat)
+            pred_masks[n] = mask
+            pred_pairs.append(tuple(pairs))
+            for s in self._succs[n]:
+                succ_flat.append(s)
+                succ_costs.append(cost[(n, s)])
+            succ_offsets[n + 1] = len(succ_flat)
+        self._pred_offsets = tuple(pred_offsets)
+        self._pred_flat = tuple(pred_flat)
+        self._pred_costs = tuple(pred_costs)
+        self._succ_offsets = tuple(succ_offsets)
+        self._succ_flat = tuple(succ_flat)
+        self._succ_costs = tuple(succ_costs)
+        self._pred_masks = tuple(pred_masks)
+        self._pred_pairs = tuple(pred_pairs)
+
+    @property
+    def pred_offsets(self) -> tuple[int, ...]:
+        """CSR row pointers: preds of ``n`` live at ``pred_flat[o[n]:o[n+1]]``."""
+        if self._pred_offsets is None:
+            self._build_csr()
+        return self._pred_offsets  # type: ignore[return-value]
+
+    @property
+    def pred_flat(self) -> tuple[int, ...]:
+        """Concatenated predecessor lists (ascending id within each node)."""
+        if self._pred_flat is None:
+            self._build_csr()
+        return self._pred_flat  # type: ignore[return-value]
+
+    @property
+    def pred_costs(self) -> tuple[float, ...]:
+        """Edge cost aligned with :attr:`pred_flat`."""
+        if self._pred_costs is None:
+            self._build_csr()
+        return self._pred_costs  # type: ignore[return-value]
+
+    @property
+    def succ_offsets(self) -> tuple[int, ...]:
+        """CSR row pointers for the successor mirror."""
+        if self._succ_offsets is None:
+            self._build_csr()
+        return self._succ_offsets  # type: ignore[return-value]
+
+    @property
+    def succ_flat(self) -> tuple[int, ...]:
+        """Concatenated successor lists (ascending id within each node)."""
+        if self._succ_flat is None:
+            self._build_csr()
+        return self._succ_flat  # type: ignore[return-value]
+
+    @property
+    def succ_costs(self) -> tuple[float, ...]:
+        """Edge cost aligned with :attr:`succ_flat`."""
+        if self._succ_costs is None:
+            self._build_csr()
+        return self._succ_costs  # type: ignore[return-value]
+
+    @property
+    def pred_pairs(self) -> tuple[tuple[tuple[int, float], ...], ...]:
+        """Per-node ``((parent, cost), ...)`` tuples.
+
+        The EST inner loop unpacks these directly — measurably faster in
+        CPython than offset arithmetic into the flat arrays, at the cost
+        of one extra materialized view.
+        """
+        if self._pred_pairs is None:
+            self._build_csr()
+        return self._pred_pairs  # type: ignore[return-value]
+
+    @property
+    def pred_masks(self) -> tuple[int, ...]:
+        """Per-node bitmask of predecessors.
+
+        ``pred_masks[n] & scheduled_mask == pred_masks[n]`` iff every
+        parent of ``n`` is in the scheduled set — the O(1) readiness test
+        of the delta-encoded search states.
+        """
+        if self._pred_masks is None:
+            self._build_csr()
+        return self._pred_masks  # type: ignore[return-value]
 
     # -- derived views -----------------------------------------------------
 

@@ -23,7 +23,11 @@ the global optimum.
 
 Workers receive the problem as plain serializable dicts (graph dict +
 system parameters + seed placements) and rebuild them, avoiding any
-pickling of library classes across the process boundary.
+pickling of library classes across the process boundary.  Seed states
+cross that boundary via :meth:`PartialSchedule.compact` — the delta
+states hold parent references, so pickling the objects themselves would
+drag each seed's whole ancestor chain along; the compact ``(node, pe,
+start)`` triples inflate back by replay on the worker side.
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ from repro.heuristics.listsched import fast_upper_bound_schedule
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.schedule import Schedule
 from repro.search.costs import make_cost_function
+from repro.search.dedup import SignatureSet
 from repro.search.expansion import StateExpander
 from repro.search.pruning import PruningConfig
 from repro.search.result import SearchResult, SearchStats
@@ -82,7 +87,8 @@ def multiprocessing_astar_schedule(
 
     root = PartialSchedule.empty(graph, system)
     frontier: list[tuple[float, int, PartialSchedule]] = [(0.0, 0, root)]
-    seen = {root.signature}
+    seen = SignatureSet(verify=pruning.verify_signatures)
+    seen.add(root.dedup_key, lambda: root.signature)
     seq = 1
     best_goal: Schedule | None = None
     while frontier and len(frontier) < target:
@@ -121,7 +127,7 @@ def multiprocessing_astar_schedule(
     jobs: list[tuple[Any, ...]] = []
     for bucket in buckets:
         seed_assignments = [
-            _placements_of(state)  # type: ignore[arg-type]
+            state.compact()  # type: ignore[union-attr]
             for state in bucket
         ]
         jobs.append((graph_dict, system_args, seed_assignments, cost, upper))
@@ -165,10 +171,10 @@ def _worker_search(job: tuple[Any, ...]) -> tuple[list | None, int, int]:
     expander = StateExpander(graph, system, pruning, stats.pruning)
 
     open_heap: list[tuple[float, int, PartialSchedule]] = []
-    seen: set = set()
+    seen = SignatureSet()
     seq = 0
     for placements in seed_assignments:
-        state = _replay(graph, system, placements)
+        state = PartialSchedule.inflate(graph, system, placements)
         heapq.heappush(open_heap, (0.0, seq, state))  # f re-costed below
         seq += 1
     # Re-cost seeds properly (f was a placeholder).
@@ -190,7 +196,7 @@ def _worker_search(job: tuple[Any, ...]) -> tuple[list | None, int, int]:
             expanded += 1
             if state.makespan < best_len:
                 best_len = state.makespan
-                best_assignment = _placements_of(state)
+                best_assignment = list(state.compact())
             break  # best-first: first goal popped is bucket-optimal
         expanded += 1
         for child in expander.children(state, seen):
@@ -201,25 +207,6 @@ def _worker_search(job: tuple[Any, ...]) -> tuple[list | None, int, int]:
             heapq.heappush(open_heap, (cf, seq, child))
             seq += 1
     return best_assignment, expanded, generated
-
-
-def _placements_of(state: PartialSchedule) -> list[tuple[int, int, float]]:
-    """Serializable ``(node, pe, start)`` list of a state's placements."""
-    return [
-        (n, state.pes[n], state.starts[n])
-        for n in range(state.graph.num_nodes)
-        if state.pes[n] >= 0
-    ]
-
-
-def _replay(
-    graph: TaskGraph, system: ProcessorSystem, placements: list
-) -> PartialSchedule:
-    """Rebuild a partial schedule by replaying placements in start order."""
-    state = PartialSchedule.empty(graph, system)
-    for node, pe, _start in sorted(placements, key=lambda t: (t[2], t[0])):
-        state = state.extend(node, pe)
-    return state
 
 
 def _system_to_args(system: ProcessorSystem) -> dict[str, Any]:

@@ -45,6 +45,7 @@ from repro.parallel.partition import distribute_seeds
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.schedule import Schedule
 from repro.search.costs import CostFunction, make_cost_function
+from repro.search.dedup import SignatureSet
 from repro.search.expansion import StateExpander
 from repro.search.pruning import PruningConfig
 from repro.search.result import SearchResult, SearchStats
@@ -66,7 +67,7 @@ class _PPE:
 
     index: int
     open_heap: list[_Entry] = field(default_factory=list)
-    seen: set = field(default_factory=set)
+    seen: SignatureSet = field(default_factory=SignatureSet)
     expansions: int = 0
     phase_expansions: int = 0
     messages: int = 0
@@ -226,7 +227,8 @@ def parallel_astar_schedule(
     # initial empty state"; Case 3 keeps expanding until k >= q.)
     root = PartialSchedule.empty(graph, system)
     seed_heap: list[_Entry] = [(0.0, 0.0, 0, root)]
-    seed_seen: set = {root.signature}
+    seed_seen = SignatureSet(verify=pruning.verify_signatures)
+    seed_seen.add(root.dedup_key, lambda: root.signature)
     seed_expansions = 0
     while seed_heap and len(seed_heap) < max(q, 2):
         f, h, _s, state = heapq.heappop(seed_heap)
@@ -245,7 +247,7 @@ def parallel_astar_schedule(
     for ppe in ppes:
         # Every PPE ran the identical seed expansion, so every PPE's
         # CLOSED list starts with the seed-phase signatures.
-        ppe.seen = set(seed_seen)
+        ppe.seen = seed_seen.copy()
     seeds = [(entry[0], entry) for entry in seed_heap]
     for i, bucket in enumerate(distribute_seeds(seeds, q)):
         for entry in bucket:
@@ -329,12 +331,17 @@ def parallel_astar_schedule(
             if own is not None and best is own:
                 continue  # already holds the elected state
             f, h, _s, state = best
-            sig = state.signature
-            if dup_on and sig in ppe.seen:
+            sig = state.dedup_key
+            # Imported states go through seen()/add() with the exact
+            # signature so verify mode covers cross-PPE traffic too.
+            exact = (
+                (lambda s=state: s.signature) if ppe.seen.verify else None
+            )
+            if dup_on and ppe.seen.seen(sig, exact):
                 stats.pruning.duplicate_hits += 1
                 continue
             if dup_on:
-                ppe.seen.add(sig)
+                ppe.seen.add(sig, exact)
             seq += 1
             ppe.push((f, h, seq, state))
             ppe.messages += 1
@@ -350,13 +357,17 @@ def parallel_astar_schedule(
                     break
                 entry = ppes[donor].pop_tail()
                 state = entry[3]
-                sig = state.signature
-                if dup_on and sig in ppes[receiver].seen:
+                sig = state.dedup_key
+                recv_seen = ppes[receiver].seen
+                exact = (
+                    (lambda s=state: s.signature) if recv_seen.verify else None
+                )
+                if dup_on and recv_seen.seen(sig, exact):
                     stats.pruning.duplicate_hits += 1
                     # The donor dropped it; receiver already has it.
                     continue
                 if dup_on:
-                    ppes[receiver].seen.add(sig)
+                    recv_seen.add(sig, exact)
                 ppes[receiver].push(entry)
                 moved += 1
             ppes[donor].messages += moved

@@ -4,23 +4,36 @@ A state in the scheduling state-space is a partial schedule: a
 downward-closed sub-graph of the DAG placed onto processors (paper
 §3.1).  This class is **immutable**; :meth:`extend` returns a new
 partial schedule with one more node placed, sharing nothing mutable with
-its parent.  All per-node data live in flat tuples indexed by node id so
-that the expansion inner loop performs only array reads.
+its parent.
 
-Performance notes (profiled; see DESIGN.md):
+Representation (delta encoding; see DESIGN.md):
 
-* the scheduled set is an int bitmask — O(1) membership, cheap hashing;
-* ready-node tracking is incremental via a per-node count of unscheduled
-  predecessors, so computing the ready list is O(v) scan of small ints
-  rather than O(e) edge traversal;
-* the duplicate-detection signature ``(mask, pes, starts)`` is built
-  from the already-materialized tuples, making two different scheduling
+* each expansion changes exactly one node's placement, so a child state
+  stores only the delta ``(parent, node, pe, start, finish)`` plus O(1)
+  incrementally-maintained aggregates — makespan, scheduled count, the
+  scheduled-set bitmask, a used-PE bitmask, per-PE ready times, the set
+  of nodes attaining the maximum finish time (so the paper cost function
+  stops scanning all v finishes), and a 64-bit Zobrist signature over
+  the ``(node, pe, start)`` placement triples;
+* the full ``pes``/``starts``/``finishes`` arrays are materialized
+  lazily by replaying the parent chain, and only for states that
+  actually need them — i.e. states that get *expanded* (their children's
+  ESTs read parent finishes) or turned into complete schedules.  The
+  80-90% of candidates that die in duplicate detection or the upper
+  bound never pay an O(v) copy;
+* readiness is a bitmask test: node ``n`` is ready iff it is unscheduled
+  and ``graph.pred_masks[n]`` is a subset of the scheduled mask;
+* the duplicate-detection key is ``(mask, zobrist)`` — O(1) to derive
+  for a candidate child via one XOR, making two different scheduling
   orders of the same placement collide — precisely the "state visited
-  before" pruning in the paper's Figure-3 walk-through.
+  before" pruning in the paper's Figure-3 walk-through.  The exact
+  ``(mask, pes, starts)`` signature remains available (lazily) for
+  verification and diagnostics.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from typing import Any
 
 from repro.errors import ScheduleError
@@ -28,11 +41,40 @@ from repro.graph.taskgraph import TaskGraph
 from repro.schedule.schedule import Schedule
 from repro.system.processors import ProcessorSystem
 
-__all__ = ["PartialSchedule"]
+__all__ = ["PartialSchedule", "placement_key"]
+
+_MASK64 = (1 << 64) - 1
+_PHI64 = 0x9E3779B97F4A7C15
+_PE64 = 0xC2B2AE3D27D4EB4F
+
+
+def placement_key(node: int, pe: int, start: float) -> int:
+    """64-bit Zobrist key of one ``(node, pe, start)`` placement.
+
+    The per-placement keys XOR into the state signature, so they must be
+    order-independent and individually well-mixed.  The "quantization" of
+    the start time is its exact value via ``hash(float)`` (deterministic,
+    not salted): equal placements always produce bit-identical starts
+    because the EST is a max over identical operands whatever the
+    placement order, so no epsilon bucketing is needed — or wanted, since
+    bucketing would merge genuinely different states.  The mix is the
+    splitmix64 finalizer, giving full avalanche over the 64-bit lane.
+
+    NOTE: :meth:`PartialSchedule.child_signature` inlines this function
+    for speed; the two copies must stay bit-identical (regression-tested
+    in ``tests/property/test_state_equivalence.py``).
+    """
+    h = ((node + 1) * _PHI64 + (pe + 1) * _PE64 + (hash(start) & _MASK64)) & _MASK64
+    h ^= h >> 30
+    h = (h * 0xBF58476D1CE4E5B9) & _MASK64
+    h ^= h >> 27
+    h = (h * 0x94D049BB133111EB) & _MASK64
+    h ^= h >> 31
+    return h
 
 
 class PartialSchedule:
-    """An immutable partial schedule of ``graph`` on ``system``.
+    """An immutable, delta-encoded partial schedule of ``graph`` on ``system``.
 
     Use :meth:`empty` for the initial (empty) state and :meth:`extend`
     for expansion.  Direct construction is internal.
@@ -42,14 +84,21 @@ class PartialSchedule:
         "graph",
         "system",
         "mask",
-        "pes",
-        "starts",
-        "finishes",
+        "ready_mask",
         "ready_time",
         "makespan",
         "num_scheduled",
         "last_node",
-        "_unsched_preds",
+        "last_pe",
+        "last_start",
+        "last_finish",
+        "zkey",
+        "used_pes",
+        "_parent",
+        "_max_finish_nodes",
+        "_pes",
+        "_starts",
+        "_finishes",
         "_sig",
     )
 
@@ -57,30 +106,47 @@ class PartialSchedule:
         self,
         graph: TaskGraph,
         system: ProcessorSystem,
+        *,
         mask: int,
-        pes: tuple[int, ...],
-        starts: tuple[float, ...],
-        finishes: tuple[float, ...],
+        ready_mask: int,
         ready_time: tuple[float, ...],
         makespan: float,
         num_scheduled: int,
-        unsched_preds: tuple[int, ...],
+        zkey: int,
+        used_pes: int,
+        max_finish_nodes: tuple[int, ...],
+        parent: "PartialSchedule | None" = None,
         last_node: int = -1,
+        last_pe: int = -1,
+        last_start: float = -1.0,
+        last_finish: float = -1.0,
+        pes: tuple[int, ...] | None = None,
+        starts: tuple[float, ...] | None = None,
+        finishes: tuple[float, ...] | None = None,
     ) -> None:
         self.graph = graph
         self.system = system
         self.mask = mask
-        self.pes = pes
-        self.starts = starts
-        self.finishes = finishes
+        self.ready_mask = ready_mask
         self.ready_time = ready_time
         self.makespan = makespan
         self.num_scheduled = num_scheduled
-        # Most recently placed node (-1 for the empty state).  Metadata
-        # only: deliberately excluded from the signature so different
-        # placement orders of the same partial schedule still collide.
+        # Most recently placed node (-1 for the empty state) and its
+        # placement — the delta relative to ``_parent``.  ``last_node``
+        # is metadata for the commutation rule and deliberately excluded
+        # from the signature so different placement orders of the same
+        # partial schedule still collide.
         self.last_node = last_node
-        self._unsched_preds = unsched_preds
+        self.last_pe = last_pe
+        self.last_start = last_start
+        self.last_finish = last_finish
+        self.zkey = zkey
+        self.used_pes = used_pes
+        self._parent = parent
+        self._max_finish_nodes = max_finish_nodes
+        self._pes = pes
+        self._starts = starts
+        self._finishes = finishes
         self._sig: tuple | None = None
 
     # -- constructors --------------------------------------------------------
@@ -89,18 +155,83 @@ class PartialSchedule:
     def empty(cls, graph: TaskGraph, system: ProcessorSystem) -> "PartialSchedule":
         """The initial state: nothing scheduled anywhere."""
         v = graph.num_nodes
+        ready_mask = 0
+        for n in graph.entry_nodes:
+            ready_mask |= 1 << n
         return cls(
             graph=graph,
             system=system,
             mask=0,
-            pes=(-1,) * v,
-            starts=(-1.0,) * v,
-            finishes=(-1.0,) * v,
+            ready_mask=ready_mask,
             ready_time=(0.0,) * system.num_pes,
             makespan=0.0,
             num_scheduled=0,
-            unsched_preds=tuple(len(graph.preds(n)) for n in range(v)),
+            zkey=0,
+            used_pes=0,
+            max_finish_nodes=(),
+            pes=(-1,) * v,
+            starts=(-1.0,) * v,
+            finishes=(-1.0,) * v,
         )
+
+    # -- lazy materialization ------------------------------------------------
+
+    def _materialize(self) -> None:
+        """Build the full per-node arrays by replaying the parent chain.
+
+        Finds the nearest ancestor with cached arrays (the root always
+        has them) and applies the deltas forward.  Cached on ``self``
+        only — intermediate ancestors stay compact unless they are
+        themselves asked.
+        """
+        chain: list[PartialSchedule] = []
+        s = self
+        while s._pes is None:
+            chain.append(s)
+            s = s._parent  # type: ignore[assignment]  # root always materialized
+        pes = list(s._pes)  # type: ignore[arg-type]
+        starts = list(s._starts)  # type: ignore[arg-type]
+        finishes = list(s._finishes)  # type: ignore[arg-type]
+        for st in reversed(chain):
+            n = st.last_node
+            pes[n] = st.last_pe
+            starts[n] = st.last_start
+            finishes[n] = st.last_finish
+        self._pes = tuple(pes)
+        self._starts = tuple(starts)
+        self._finishes = tuple(finishes)
+
+    @property
+    def pes(self) -> tuple[int, ...]:
+        """Per-node PE assignment (-1 = unscheduled); materialized lazily."""
+        if self._pes is None:
+            self._materialize()
+        return self._pes  # type: ignore[return-value]
+
+    @property
+    def starts(self) -> tuple[float, ...]:
+        """Per-node start times (-1.0 = unscheduled); materialized lazily."""
+        if self._starts is None:
+            self._materialize()
+        return self._starts  # type: ignore[return-value]
+
+    @property
+    def finishes(self) -> tuple[float, ...]:
+        """Per-node finish times (-1.0 = unscheduled); materialized lazily."""
+        if self._finishes is None:
+            self._materialize()
+        return self._finishes  # type: ignore[return-value]
+
+    def placements(self) -> Iterable[tuple[int, int, float, float]]:
+        """Yield ``(node, pe, start, finish)`` deltas, most recent first.
+
+        Walks the parent chain without materializing any arrays — O(1)
+        per scheduled node.
+        """
+        s = self
+        while s.last_node >= 0:
+            yield s.last_node, s.last_pe, s.last_start, s.last_finish
+            s = s._parent  # type: ignore[assignment]
 
     # -- queries -------------------------------------------------------------
 
@@ -115,87 +246,117 @@ class PartialSchedule:
     def ready_nodes(self) -> list[int]:
         """Unscheduled nodes whose predecessors are all scheduled.
 
-        Ascending node-id order; the search reorders by priority.
+        Ascending node-id order; the search reorders by priority.  The
+        ready set is maintained incrementally as a bitmask (scheduling a
+        node can only ready its successors), so this just decodes the
+        set bits — O(|ready|) instead of an O(v) readiness scan.
         """
-        mask = self.mask
-        counts = self._unsched_preds
-        return [
-            n
-            for n in range(self.graph.num_nodes)
-            if counts[n] == 0 and not (mask >> n) & 1
-        ]
+        out = []
+        m = self.ready_mask
+        while m:
+            low = m & -m
+            out.append(low.bit_length() - 1)
+            m ^= low
+        return out
 
     def is_ready(self, node: int) -> bool:
         """True when ``node`` is unscheduled with all parents scheduled."""
-        return self._unsched_preds[node] == 0 and not (self.mask >> node) & 1
+        return (self.ready_mask >> node) & 1 == 1
 
     def est(self, node: int, pe: int) -> float:
         """Earliest start time of ``node`` on ``pe`` (append-only rule).
 
         ``ST(n, p) = max(RT_p, max_parents(FT(parent) + comm))`` where
         comm is zero for same-PE parents (paper §2).  The caller must
-        ensure ``node`` is ready.
+        ensure ``node`` is ready.  Iterates the graph's flat CSR in-edge
+        slice; materializes this state's arrays on first use (states
+        being expanded pay that once, their generated children never do).
         """
-        graph = self.graph
         start = self.ready_time[pe]
-        finishes = self.finishes
-        pes = self.pes
-        distance_scaled = self.system.distance_scaled
-        if distance_scaled:
+        pairs = self.graph.pred_pairs[node]
+        if not pairs:
+            return start
+        if self._finishes is None:
+            self._materialize()
+        finishes = self._finishes
+        pes = self._pes
+        if self.system.distance_scaled:
             dist = self.system.hop_distance
-        for parent, c in graph.pred_edges(node):
-            ppe = pes[parent]
-            if ppe == pe:
-                arrival = finishes[parent]
-            elif distance_scaled:
-                arrival = finishes[parent] + c * dist[ppe][pe]
-            else:
-                arrival = finishes[parent] + c
-            if arrival > start:
-                start = arrival
+            for parent, c in pairs:
+                ppe = pes[parent]  # type: ignore[index]
+                if ppe == pe:
+                    arrival = finishes[parent]  # type: ignore[index]
+                else:
+                    arrival = finishes[parent] + c * dist[ppe][pe]  # type: ignore[index]
+                if arrival > start:
+                    start = arrival
+        else:
+            for parent, c in pairs:
+                if pes[parent] == pe:  # type: ignore[index]
+                    arrival = finishes[parent]  # type: ignore[index]
+                else:
+                    arrival = finishes[parent] + c  # type: ignore[index]
+                if arrival > start:
+                    start = arrival
         return start
 
     def data_ready_time(self, node: int, pe: int) -> float:
         """Arrival time of the last parent message at ``pe`` (ignores RT_p)."""
         graph = self.graph
+        offsets = graph.pred_offsets
+        preds = graph.pred_flat
+        costs = graph.pred_costs
         drt = 0.0
         finishes = self.finishes
         pes = self.pes
-        for parent, c in graph.pred_edges(node):
-            ppe = pes[parent]
-            arrival = finishes[parent] + self.system.comm_time(c, ppe, pe)
+        for i in range(offsets[node], offsets[node + 1]):
+            parent = preds[i]
+            arrival = finishes[parent] + self.system.comm_time(costs[i], pes[parent], pe)
             if arrival > drt:
                 drt = arrival
         return drt
 
     def used_pes_mask(self) -> int:
-        """Bitmask of PEs with at least one scheduled task."""
-        mask = 0
-        for pe in self.pes:
-            if pe >= 0:
-                mask |= 1 << pe
-        return mask
+        """Bitmask of PEs with at least one scheduled task.
+
+        Maintained incrementally (:attr:`used_pes`); this accessor is
+        kept for the historical API.
+        """
+        return self.used_pes
+
+    @property
+    def max_finish_nodes(self) -> tuple[int, ...]:
+        """All scheduled nodes attaining the maximum finish time.
+
+        Maintained incrementally on :meth:`extend` so the paper cost
+        function reads the argmax set in O(1) instead of scanning all v
+        finishes.  Empty for the empty state.
+        """
+        return self._max_finish_nodes
 
     # -- expansion -------------------------------------------------------------
 
-    def child_signature(self, node: int, pe: int) -> tuple[tuple, float]:
-        """Signature the child ``extend(node, pe)`` would have, plus its
-        start time — *without* constructing the child.
+    def child_signature(self, node: int, pe: int) -> tuple[tuple[int, int], float]:
+        """Duplicate key of the child ``extend(node, pe)`` would produce,
+        plus its start time — *without* constructing the child.
 
         Duplicate detection rejects ~80-90% of expansion candidates on
-        typical instances (profiled); previewing the signature costs two
-        tuple splices instead of the five full copies of :meth:`extend`,
-        so engines check the CLOSED set first and only materialize
-        survivors.  The returned start time can be handed back to
-        :meth:`extend` to avoid recomputing the EST.
+        typical instances (profiled); previewing the key costs one EST
+        plus one XOR instead of full child construction, so engines check
+        the CLOSED set first and only materialize survivors.  The
+        returned start time can be handed back to :meth:`extend` to avoid
+        recomputing the EST.
         """
         start = self.est(node, pe)
-        sig = (
-            self.mask | (1 << node),
-            self.pes[:node] + (pe,) + self.pes[node + 1 :],
-            self.starts[:node] + (start,) + self.starts[node + 1 :],
-        )
-        return sig, start
+        # placement_key() inlined — this runs once per expansion
+        # candidate and the call overhead is measurable.
+        h = ((node + 1) * _PHI64 + (pe + 1) * _PE64 + (hash(start) & _MASK64)) & _MASK64
+        h ^= h >> 30
+        h = (h * 0xBF58476D1CE4E5B9) & _MASK64
+        h ^= h >> 27
+        h = (h * 0x94D049BB133111EB) & _MASK64
+        h ^= h >> 31
+        return (self.mask | (1 << node), self.zkey ^ h), start
 
     def extend(
         self,
@@ -203,7 +364,7 @@ class PartialSchedule:
         pe: int,
         *,
         _start: float | None = None,
-        _sig: tuple | None = None,
+        _sig: tuple[int, int] | None = None,
     ) -> "PartialSchedule":
         """Place ``node`` on ``pe`` at its earliest start time.
 
@@ -222,48 +383,104 @@ class PartialSchedule:
         start = self.est(node, pe) if _start is None else _start
         finish = start + self.system.exec_time(self.graph.weight(node), pe)
 
-        pes = list(self.pes)
-        starts = list(self.starts)
-        finishes = list(self.finishes)
-        ready_time = list(self.ready_time)
-        counts = list(self._unsched_preds)
-        pes[node] = pe
-        starts[node] = start
-        finishes[node] = finish
-        ready_time[pe] = finish
-        for child in self.graph.succs(node):
-            counts[child] -= 1
-
-        child = PartialSchedule(
+        makespan = self.makespan
+        if finish > makespan:
+            mfn: tuple[int, ...] = (node,)
+            makespan = finish
+        elif finish == makespan:
+            mfn = self._max_finish_nodes + (node,)
+        else:
+            mfn = self._max_finish_nodes
+        # Scheduling `node` can only ready its own successors: drop it
+        # from the ready set and admit each successor whose parents are
+        # now all scheduled.
+        mask = self.mask | (1 << node)
+        ready = self.ready_mask ^ (1 << node)
+        pmasks = self.graph.pred_masks
+        for s in self.graph.succs(node):
+            pm = pmasks[s]
+            if pm & mask == pm:
+                ready |= 1 << s
+        rt = self.ready_time
+        return PartialSchedule(
             graph=self.graph,
             system=self.system,
-            mask=self.mask | (1 << node),
-            pes=tuple(pes),
-            starts=tuple(starts),
-            finishes=tuple(finishes),
-            ready_time=tuple(ready_time),
-            makespan=finish if finish > self.makespan else self.makespan,
+            mask=mask,
+            ready_mask=ready,
+            ready_time=rt[:pe] + (finish,) + rt[pe + 1 :],
+            makespan=makespan,
             num_scheduled=self.num_scheduled + 1,
-            unsched_preds=tuple(counts),
+            zkey=_sig[1] if _sig is not None
+            else self.zkey ^ placement_key(node, pe, start),
+            used_pes=self.used_pes | (1 << pe),
+            max_finish_nodes=mfn,
+            parent=self,
             last_node=node,
+            last_pe=pe,
+            last_start=start,
+            last_finish=finish,
         )
-        if _sig is not None:
-            child._sig = _sig
-        return child
 
     # -- identity ---------------------------------------------------------------
 
     @property
-    def signature(self) -> tuple:
-        """Canonical identity of this placement for duplicate detection.
+    def dedup_key(self) -> tuple[int, int]:
+        """Duplicate-detection key ``(scheduled mask, zobrist)``.
 
         Two partial schedules that place the same nodes on the same PEs
-        at the same times share a signature regardless of the order in
-        which the placements happened.
+        at the same times share this key regardless of the order in which
+        the placements happened; the converse holds up to a ~2^-64
+        Zobrist collision between same-node-set states (the mask makes
+        cross-node-set collisions impossible).  See
+        :class:`repro.search.dedup.SignatureSet` for the verified mode.
+        """
+        return (self.mask, self.zkey)
+
+    @property
+    def signature(self) -> tuple:
+        """Exact canonical identity ``(mask, pes, starts)``.
+
+        Order-independent like :attr:`dedup_key` but collision-free;
+        materializes the arrays, so the hot path uses :attr:`dedup_key`
+        and this remains for verification, diagnostics, and ground-truth
+        enumeration.
         """
         if self._sig is None:
             self._sig = (self.mask, self.pes, self.starts)
         return self._sig
+
+    # -- serialization -----------------------------------------------------------
+
+    def compact(self) -> tuple[tuple[int, int, float], ...]:
+        """Compact picklable encoding: ``(node, pe, start)`` triples.
+
+        Sorted by ``(start, node)`` — a valid replay order (the
+        append-only EST rule makes same-PE placement order equal start
+        order, and every parent finishes strictly before its child
+        starts).  O(d) to build via the parent chain; the multiprocessing
+        backend ships these across process boundaries instead of pickling
+        state objects (which would drag the whole ancestor chain along).
+        """
+        items = [(node, pe, start) for node, pe, start, _finish in self.placements()]
+        items.sort(key=lambda t: (t[2], t[0]))
+        return tuple(items)
+
+    @classmethod
+    def inflate(
+        cls,
+        graph: TaskGraph,
+        system: ProcessorSystem,
+        payload: Iterable[tuple[int, int, float]],
+    ) -> "PartialSchedule":
+        """Rebuild a state from :meth:`compact` output by replaying it.
+
+        The replay recomputes identical starts, finishes, and Zobrist
+        signature (EST is deterministic given the placements).
+        """
+        state = cls.empty(graph, system)
+        for node, pe, _start in payload:
+            state = state.extend(node, pe)
+        return state
 
     def to_schedule(self) -> Schedule:
         """Materialize a complete :class:`Schedule`.
@@ -281,7 +498,7 @@ class PartialSchedule:
         return Schedule(
             self.graph,
             self.system,
-            {n: (self.pes[n], self.starts[n]) for n in range(self.graph.num_nodes)},
+            {node: (pe, start) for node, pe, start, _f in self.placements()},
         )
 
     # -- dunder -------------------------------------------------------------------
@@ -295,9 +512,13 @@ class PartialSchedule:
     def __eq__(self, other: Any) -> bool:
         if not isinstance(other, PartialSchedule):
             return NotImplemented
+        if self.mask != other.mask or self.zkey != other.zkey:
+            # Equal placements always hash equal (EST determinism), so a
+            # key mismatch proves the placements differ.
+            return False
         return (
             self.graph is other.graph or self.graph == other.graph
-        ) and self.signature == other.signature
+        ) and self.pes == other.pes and self.starts == other.starts
 
     def __hash__(self) -> int:
-        return hash(self.signature)
+        return hash((self.mask, self.zkey))

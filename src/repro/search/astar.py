@@ -35,6 +35,7 @@ from repro.heuristics.listsched import fast_upper_bound_schedule
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.schedule import Schedule
 from repro.search.costs import CostFunction, make_cost_function
+from repro.search.dedup import SignatureSet
 from repro.search.diagnostics import SearchTrace
 from repro.search.expansion import StateExpander
 from repro.search.pruning import PruningConfig
@@ -55,6 +56,7 @@ def astar_schedule(
     cost: str | CostFunction = "paper",
     budget: Budget | None = None,
     trace: SearchTrace | None = None,
+    state_cls: type = PartialSchedule,
 ) -> SearchResult:
     """Find an optimal schedule of ``graph`` on ``system`` via A*.
 
@@ -73,6 +75,10 @@ def astar_schedule(
     trace:
         Optional :class:`SearchTrace` recording the search tree (used by
         the worked-example scripts).
+    state_cls:
+        Search-state implementation (default: the delta-encoded
+        :class:`PartialSchedule`; the equivalence tests pass the
+        tuple-based reference class).
 
     Returns
     -------
@@ -98,13 +104,15 @@ def astar_schedule(
     upper = fallback.length if pruning.upper_bound else math.inf
 
     t0 = time.perf_counter()
-    root = PartialSchedule.empty(graph, system)
+    root = state_cls.empty(graph, system)
     # OPEN heap entries: (f, h, seq, state).
     open_heap: list[tuple[float, float, int, PartialSchedule]] = [
         (0.0, 0.0, 0, root)
     ]
     seq = 1
-    seen: set[tuple] = {root.signature} if pruning.duplicate_detection else set()
+    seen = SignatureSet(verify=pruning.verify_signatures)
+    if pruning.duplicate_detection:
+        seen.add(root.dedup_key, lambda: root.signature)
     incumbent: Schedule | None = None  # best complete schedule *generated*
 
     dup_on = pruning.duplicate_detection

@@ -29,6 +29,7 @@ from repro.heuristics.listsched import fast_upper_bound_schedule
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.schedule import Schedule
 from repro.search.costs import CostFunction, make_cost_function
+from repro.search.dedup import SignatureSet
 from repro.search.expansion import StateExpander
 from repro.search.pruning import PruningConfig
 from repro.search.result import SearchResult, SearchStats
@@ -48,6 +49,7 @@ def bnb_schedule(
     cost: str | CostFunction = "paper",
     budget: Budget | None = None,
     use_visited: bool = True,
+    state_cls: type = PartialSchedule,
 ) -> SearchResult:
     """Find an optimal schedule via depth-first branch-and-bound.
 
@@ -74,11 +76,11 @@ def bnb_schedule(
     proven = True
 
     t0 = time.perf_counter()
-    root = PartialSchedule.empty(graph, system)
+    root = state_cls.empty(graph, system)
     # Stack of (f, state); children pushed worst-first so the best child
     # is explored first (LIFO).
     stack: list[tuple[float, PartialSchedule]] = [(0.0, root)]
-    visited: set[tuple] = set()
+    visited = SignatureSet(verify=pruning.verify_signatures)
     dup_on = use_visited and pruning.duplicate_detection
 
     while stack:

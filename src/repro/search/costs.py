@@ -84,19 +84,19 @@ class PaperCost(CostFunction):
 
     def h(self, ps: PartialSchedule) -> float:
         self.evaluations += 1
-        makespan = ps.makespan
-        if makespan == 0.0:  # empty state: f(Φ) = 0
+        if ps.makespan == 0.0:  # empty state: f(Φ) = 0
             return 0.0
-        finishes = ps.finishes
         sl = self._sl
         succs = self._succs
         best = 0.0
-        # All nodes attaining the max finish time contribute (tie handling).
-        for n in range(len(finishes)):
-            if finishes[n] == makespan:
-                for j in succs[n]:
-                    if sl[j] > best:
-                        best = sl[j]
+        # All nodes attaining the max finish time contribute (tie
+        # handling).  The state maintains the argmax-finish set
+        # incrementally, so this is O(|ties| · succ) rather than an O(v)
+        # scan of the finish array per evaluation.
+        for n in ps.max_finish_nodes:
+            for j in succs[n]:
+                if sl[j] > best:
+                    best = sl[j]
         return best
 
 
@@ -131,21 +131,26 @@ class ImprovedCost(CostFunction):
         fastest = max(system.speeds)
         levels = compute_levels(graph)
         self._sl = tuple(s / fastest for s in levels.static_level)
-        self._preds = tuple(graph.preds(n) for n in range(graph.num_nodes))
 
     def h(self, ps: PartialSchedule) -> float:
         self.evaluations += 1
         g = ps.makespan
         mask = ps.mask
+        # O(v + e) by design: the full finish array is required, so this
+        # cost function forces lazy delta states to materialize — the
+        # trade-off the paper's Table 1 discussion is about.
         finishes = ps.finishes
         sl = self._sl
-        preds = self._preds
+        graph = self.graph
+        offsets = graph.pred_offsets
+        preds = graph.pred_flat
         best = 0.0
         for j in range(len(finishes)):
             if (mask >> j) & 1:
                 continue
             est = 0.0
-            for p in preds[j]:
+            for i in range(offsets[j], offsets[j + 1]):
+                p = preds[i]
                 if (mask >> p) & 1 and finishes[p] > est:
                     est = finishes[p]
             bound = est + sl[j] - g

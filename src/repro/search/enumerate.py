@@ -34,8 +34,15 @@ def enumerate_optimal(
     system: ProcessorSystem,
     *,
     dedup: bool = True,
+    state_cls: type = PartialSchedule,
 ) -> SearchResult:
     """Exhaustively find an optimal schedule (tiny instances only).
+
+    Duplicate detection here deliberately stays on the *exact*
+    ``(mask, pes, starts)`` signature rather than the Zobrist duplicate
+    key: this walker is the ground truth the engines are property-tested
+    against, so it must not share the (vanishingly unlikely) hash
+    failure mode it is meant to catch.
 
     Raises
     ------
@@ -56,7 +63,7 @@ def enumerate_optimal(
     best: Schedule | None = None
     seen: set[tuple] = set()
 
-    stack = [PartialSchedule.empty(graph, system)]
+    stack = [state_cls.empty(graph, system)]
     while stack:
         state = stack.pop()
         stats.states_expanded += 1

@@ -38,6 +38,7 @@ from repro.heuristics.listsched import fast_upper_bound_schedule
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.schedule import Schedule
 from repro.search.costs import CostFunction, make_cost_function
+from repro.search.dedup import SignatureSet
 from repro.search.expansion import StateExpander
 from repro.search.pruning import PruningConfig
 from repro.search.result import SearchResult, SearchStats
@@ -57,6 +58,7 @@ def focal_schedule(
     pruning: PruningConfig | None = None,
     cost: str | CostFunction = "paper",
     budget: Budget | None = None,
+    state_cls: type = PartialSchedule,
 ) -> SearchResult:
     """Find a schedule within ``(1 + epsilon)`` of optimal via Aε*.
 
@@ -91,7 +93,7 @@ def focal_schedule(
 
     t0 = time.perf_counter()
     v = graph.num_nodes
-    root = PartialSchedule.empty(graph, system)
+    root = state_cls.empty(graph, system)
 
     # seq -> (state, f); dead seqs are skipped lazily in all heaps.
     store: dict[int, tuple[PartialSchedule, float]] = {0: (root, 0.0)}
@@ -101,7 +103,9 @@ def focal_schedule(
     non_focal: list[tuple[float, int]] = []
     in_focal: set[int] = {0}
     next_seq = 1
-    seen: set[tuple] = {root.signature} if pruning.duplicate_detection else set()
+    seen = SignatureSet(verify=pruning.verify_signatures)
+    if pruning.duplicate_detection:
+        seen.add(root.dedup_key, lambda: root.signature)
     incumbent: Schedule | None = None
 
     def f_min() -> float:

@@ -29,6 +29,7 @@ from repro.heuristics.listsched import fast_upper_bound_schedule
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.schedule import Schedule
 from repro.search.costs import CostFunction, make_cost_function
+from repro.search.dedup import SignatureSet
 from repro.search.expansion import StateExpander
 from repro.search.pruning import PruningConfig
 from repro.search.result import SearchResult, SearchStats
@@ -48,6 +49,7 @@ def idastar_schedule(
     cost: str | CostFunction = "paper",
     budget: Budget | None = None,
     transposition_limit: int = 100_000,
+    state_cls: type = PartialSchedule,
 ) -> SearchResult:
     """Find an optimal schedule via iterative-deepening A*.
 
@@ -74,17 +76,18 @@ def idastar_schedule(
     upper = fallback.length if pruning.upper_bound else math.inf
 
     t0 = time.perf_counter()
-    root = PartialSchedule.empty(graph, system)
+    root = state_cls.empty(graph, system)
     threshold = root.makespan + cost_fn.h(root)
     incumbent: Schedule | None = None
     use_table = transposition_limit > 0 and pruning.duplicate_detection
 
     while True:
         next_threshold = math.inf
-        # Per-probe transposition table: signature -> True (seen at or
+        # Per-probe transposition table of duplicate keys (seen at or
         # below the current threshold).  Rebuilt each probe because the
         # admission condition depends on the threshold.
-        table: set = set()
+        table = SignatureSet(verify=pruning.verify_signatures)
+        verify = pruning.verify_signatures
         stack: list[tuple[float, PartialSchedule]] = [(threshold, root)]
         goal_found: Schedule | None = None
 
@@ -119,12 +122,13 @@ def idastar_schedule(
                         next_threshold = cf
                     continue
                 if use_table:
-                    sig = child.signature
-                    if sig in table:
+                    sig = child.dedup_key
+                    exact = (lambda c=child: c.signature) if verify else None
+                    if table.seen(sig, exact):
                         stats.pruning.duplicate_hits += 1
                         continue
                     if len(table) < transposition_limit:
-                        table.add(sig)
+                        table.add(sig, exact)
                 stats.states_generated += 1
                 children.append((cf, child))
             children.sort(key=lambda t: -t[0])  # best child on top

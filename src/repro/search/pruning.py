@@ -55,6 +55,13 @@ class PruningConfig:
     #: *constructing* most transposition duplicates; optimality is
     #: preserved (property-tested against exhaustive enumeration).
     commutation: bool = False
+    #: Diagnostic switch (off by default): re-verify every duplicate-
+    #: detection hash hit against the exact ``(mask, pes, starts)``
+    #: signature, admitting (never pruning) true Zobrist collisions.
+    #: Restores the old per-probe O(v) cost — used by the equivalence
+    #: property tests and for paranoid runs; see
+    #: :class:`repro.search.dedup.SignatureSet`.
+    verify_signatures: bool = False
 
     @classmethod
     def all(cls) -> "PruningConfig":
@@ -105,6 +112,9 @@ class PruningConfig:
                 "duplicate_detection", base.duplicate_detection
             ),
             commutation=enabled.get("commutation", base.commutation),
+            verify_signatures=enabled.get(
+                "verify_signatures", base.verify_signatures
+            ),
         )
 
     def describe(self) -> str:
@@ -116,6 +126,7 @@ class PruningConfig:
             ("ub", self.upper_bound),
             ("dup", self.duplicate_detection),
             ("comm", self.commutation),
+            ("vsig", self.verify_signatures),
         ]
         return "+".join(name for name, on in flags if on) or "none"
 

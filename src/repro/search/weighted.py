@@ -26,6 +26,7 @@ from repro.heuristics.listsched import fast_upper_bound_schedule
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.schedule import Schedule
 from repro.search.costs import CostFunction, make_cost_function
+from repro.search.dedup import SignatureSet
 from repro.search.expansion import StateExpander
 from repro.search.pruning import PruningConfig
 from repro.search.result import SearchResult, SearchStats
@@ -45,6 +46,7 @@ def weighted_astar_schedule(
     pruning: PruningConfig | None = None,
     cost: str | CostFunction = "paper",
     budget: Budget | None = None,
+    state_cls: type = PartialSchedule,
 ) -> SearchResult:
     """Schedule within ``(1 + epsilon)`` of optimal via weighted A*.
 
@@ -76,12 +78,14 @@ def weighted_astar_schedule(
     upper = fallback.length if pruning.upper_bound else math.inf
 
     t0 = time.perf_counter()
-    root = PartialSchedule.empty(graph, system)
+    root = state_cls.empty(graph, system)
     open_heap: list[tuple[float, float, int, PartialSchedule]] = [
         (0.0, 0.0, 0, root)
     ]
     seq = 1
-    seen: set = {root.signature} if pruning.duplicate_detection else set()
+    seen = SignatureSet(verify=pruning.verify_signatures)
+    if pruning.duplicate_detection:
+        seen.add(root.dedup_key, lambda: root.signature)
     incumbent: Schedule | None = None
     dup_on = pruning.duplicate_detection
     ub_on = pruning.upper_bound
