@@ -1,0 +1,96 @@
+"""Append service-layer benchmark results to ``BENCH_service.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_service_bench.py [--workers N]
+
+Runs :mod:`benchmarks.bench_service` (cold + warm pass over the §4.1
+suite against one result cache) and appends one entry to the
+``BENCH_service.json`` array at the repository root, accumulating a
+machine-readable throughput trajectory across PRs.
+
+Exits non-zero when the warm-cache speedup falls below the 10x
+acceptance floor of the service-layer PR, making the script usable as a
+CI perf gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_service import run_suite_bench  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_service.json"
+SPEEDUP_FLOOR = 10.0  # acceptance criterion: warm cache vs cold batch
+
+
+def _git_rev() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="OS processes for the solve fan-out")
+    parser.add_argument("--deadline", type=float, default=5.0,
+                        help="per-instance wall-clock budget (seconds)")
+    parser.add_argument("--max-expansions", type=int, default=50_000)
+    parser.add_argument("--out", type=Path, default=RESULTS_PATH,
+                        help="results file (JSON array)")
+    args = parser.parse_args(argv)
+
+    report = run_suite_bench(
+        workers=args.workers,
+        deadline=args.deadline,
+        max_expansions=args.max_expansions,
+    )
+    entry = {
+        "bench": "service_batch",
+        "unix_time": int(time.time()),
+        "python": platform.python_version(),
+        "git_rev": _git_rev(),
+        **report,
+    }
+
+    existing: list = []
+    if args.out.exists():
+        try:
+            existing = json.loads(args.out.read_text())
+        except json.JSONDecodeError:
+            print(f"warning: {args.out} is not valid JSON; starting fresh",
+                  file=sys.stderr)
+    existing.append(entry)
+    args.out.write_text(json.dumps(existing, indent=2) + "\n")
+
+    speedup = report["warm_speedup"]
+    print(f"cold: {report['cold_instances_per_second']:.2f} inst/s, "
+          f"warm: {report['warm_instances_per_second']:.2f} inst/s, "
+          f"speedup {speedup:.1f}x (floor {SPEEDUP_FLOOR}x)")
+    if speedup < SPEEDUP_FLOOR:
+        print("FAIL: warm-cache speedup below the acceptance floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

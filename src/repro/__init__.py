@@ -28,6 +28,9 @@ Public surface
 * heuristics: :func:`list_schedule`, :func:`insertion_list_schedule`,
   :func:`cpmisf_schedule`;
 * baseline: :func:`chen_yu_schedule`;
+* service layer: :func:`instance_fingerprint`, :class:`ResultCache`,
+  :func:`portfolio_schedule`, :func:`select_engine`, :func:`run_batch`
+  (see :mod:`repro.service`);
 * workloads and experiment drivers under :mod:`repro.workloads` and
   :mod:`repro.experiments`.
 """
@@ -66,6 +69,10 @@ from repro.search.idastar import idastar_schedule
 from repro.search.weighted import weighted_astar_schedule
 from repro.search.pruning import PruningConfig
 from repro.search.result import SearchResult
+from repro.service.batch import run_batch
+from repro.service.cache import ResultCache
+from repro.service.fingerprint import instance_fingerprint
+from repro.service.portfolio import portfolio_schedule, select_engine
 from repro.system.processors import ProcessorSystem
 from repro.util.timing import Budget
 
@@ -93,6 +100,11 @@ __all__ = [
     "load_stg",
     "save_stg",
     "parallel_astar_schedule",
+    "instance_fingerprint",
+    "portfolio_schedule",
+    "select_engine",
+    "run_batch",
+    "ResultCache",
     "multiprocessing_astar_schedule",
     "chen_yu_schedule",
     "list_schedule",

@@ -14,6 +14,13 @@ Commands
     Schedule a task-graph JSON file on a chosen system.
 ``generate``
     Emit a §4.1 random task graph as JSON.
+``solve``
+    Serve one instance through the service layer: fingerprint, result
+    cache, and the deadline-driven portfolio (or the statically-selected
+    single engine).
+``batch``
+    Serve many instances (a directory, a JSON-lines stream, or the §4.1
+    suite) with fingerprint dedupe, caching, and multi-process dispatch.
 """
 
 from __future__ import annotations
@@ -64,6 +71,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=14)
     p.add_argument("--ccr", type=float, default=1.0)
     p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("solve", help="solve one instance via the service layer")
+    p.add_argument("graph", help="path to a graph file (.json or .stg)")
+    p.add_argument("--pes", type=int, default=4, help="number of processors")
+    p.add_argument("--topology", default="clique",
+                   choices=["clique", "ring", "chain", "star"])
+    p.add_argument("--mode", default="portfolio", choices=["portfolio", "auto"],
+                   help="stage ladder or single selected engine")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="wall-clock budget in seconds")
+    p.add_argument("--epsilon", type=float, default=0.25,
+                   help="ε for the weighted-A* improver stage")
+    p.add_argument("--max-expansions", type=int, default=500_000)
+    p.add_argument("--cache", default=None,
+                   help="result-cache SQLite file (omit for no persistence)")
+
+    p = sub.add_parser("batch", help="solve many instances via the service layer")
+    p.add_argument("input", nargs="?", default=None,
+                   help="directory of graph JSON files or a JSON-lines "
+                        "request stream (default: the §4.1 suite)")
+    p.add_argument("--pes", type=int, default=None,
+                   help="PE count for bare graph files (default: v)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="OS processes for the solve fan-out")
+    p.add_argument("--mode", default="portfolio", choices=["portfolio", "auto"])
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-instance wall-clock budget in seconds")
+    p.add_argument("--epsilon", type=float, default=0.25)
+    p.add_argument("--max-expansions", type=int, default=200_000)
+    p.add_argument("--cache", default=None,
+                   help="result-cache SQLite file (omit for no persistence)")
+    p.add_argument("--require-proven", action="store_true",
+                   help="treat unproven cache entries as stale")
+    p.add_argument("--out", default=None,
+                   help="write per-instance results as JSON lines")
     return parser
 
 
@@ -78,6 +120,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_schedule(args)
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -195,6 +241,81 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
           f"{result.stats.wall_seconds:.3f}s")
     if result.schedule is not None:
         print(render_gantt(result.schedule))
+    return 0
+
+
+def _load_graph_arg(path: str):
+    from repro.graph.io import load_graph_json
+    from repro.graph.stg import load_stg
+
+    return load_stg(path) if path.endswith(".stg") else load_graph_json(path)
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.schedule.gantt import render_gantt
+    from repro.service.batch import BatchItem, run_batch
+    from repro.service.cache import ResultCache
+    from repro.system.processors import ProcessorSystem
+
+    graph = _load_graph_arg(args.graph)
+    factory = {
+        "clique": ProcessorSystem.fully_connected,
+        "ring": ProcessorSystem.ring,
+        "chain": ProcessorSystem.chain,
+        "star": ProcessorSystem.star,
+    }[args.topology]
+    system = factory(args.pes)
+    cache = ResultCache(args.cache) if args.cache else None
+    report = run_batch(
+        [BatchItem(name=graph.name, graph=graph, system=system)],
+        cache=cache,
+        deadline=args.deadline,
+        epsilon=args.epsilon,
+        max_expansions=args.max_expansions,
+        mode=args.mode,
+    )
+    out = report.outcomes[0]
+    via = "cache" if out.cached else (out.winner or out.algorithm)
+    print(f"fingerprint: {out.fingerprint}")
+    print(f"algorithm: {out.algorithm}   certificate: {out.certificate}   "
+          f"length: {out.makespan:g}   via: {via}")
+    print(f"solved in {out.seconds:.3f}s "
+          f"({report.wall_seconds:.3f}s end-to-end)")
+    print(render_gantt(out.schedule))
+    if cache is not None:
+        cache.close()
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service.batch import items_from_suite, load_items, run_batch
+    from repro.service.cache import ResultCache
+
+    if args.input is None:
+        items = items_from_suite()
+    else:
+        items = load_items(args.input, pes=args.pes)
+    cache = ResultCache(args.cache) if args.cache else None
+    report = run_batch(
+        items,
+        cache=cache,
+        workers=args.workers,
+        deadline=args.deadline,
+        epsilon=args.epsilon,
+        max_expansions=args.max_expansions,
+        mode=args.mode,
+        require_proven=args.require_proven,
+    )
+    print(report.render())
+    if args.out:
+        with open(args.out, "w") as fh:
+            for outcome in report.outcomes:
+                fh.write(_json.dumps(outcome.as_dict()) + "\n")
+        print(f"wrote {len(report.outcomes)} results to {args.out}")
+    if cache is not None:
+        cache.close()
     return 0
 
 

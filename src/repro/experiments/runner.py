@@ -51,13 +51,21 @@ class OptimumCache:
     _proven: dict[str, bool] = field(default_factory=dict)
     _results: dict[str, SearchResult] = field(default_factory=dict)
 
+    #: Bumped whenever the WorkloadInstance.key format changes (v2:
+    #: fingerprint-based keys); persisted files from other versions are
+    #: dropped wholesale instead of accumulating unreachable entries.
+    SCHEMA = 2
+
     def __post_init__(self) -> None:
         if self.path is not None and Path(self.path).exists():
             try:
                 data = json.loads(Path(self.path).read_text())
-                self._memory = {k: float(v["length"]) for k, v in data.items()}
-                self._proven = {k: bool(v["proven"]) for k, v in data.items()}
-            except (ValueError, KeyError, TypeError):
+                if data.get("schema") != self.SCHEMA:
+                    raise ValueError("stale optimum-cache schema")
+                entries = data["entries"]
+                self._memory = {k: float(v["length"]) for k, v in entries.items()}
+                self._proven = {k: bool(v["proven"]) for k, v in entries.items()}
+            except (ValueError, KeyError, TypeError, AttributeError):
                 # A corrupt or stale cache must never poison an experiment
                 # run — drop it and recompute (the next persist overwrites).
                 self._memory = {}
@@ -92,7 +100,10 @@ class OptimumCache:
         if self.path is None:
             return
         data = {
-            k: {"length": self._memory[k], "proven": self._proven.get(k, False)}
-            for k in self._memory
+            "schema": self.SCHEMA,
+            "entries": {
+                k: {"length": self._memory[k], "proven": self._proven.get(k, False)}
+                for k in self._memory
+            },
         }
         Path(self.path).write_text(json.dumps(data, indent=2, sort_keys=True))

@@ -50,7 +50,7 @@ from repro.search.result import SearchResult, SearchStats
 from repro.system.processors import ProcessorSystem
 from repro.util.timing import Budget
 
-__all__ = ["multiprocessing_astar_schedule"]
+__all__ = ["multiprocessing_astar_schedule", "pool_context", "system_to_args", "system_from_args"]
 
 _EPS = 1e-9
 
@@ -123,7 +123,7 @@ def multiprocessing_astar_schedule(
 
     # -- step 3: fan out -----------------------------------------------------------
     graph_dict = graph_to_dict(graph)
-    system_args = _system_to_args(system)
+    system_args = system_to_args(system)
     jobs: list[tuple[Any, ...]] = []
     for bucket in buckets:
         seed_assignments = [
@@ -132,8 +132,7 @@ def multiprocessing_astar_schedule(
         ]
         jobs.append((graph_dict, system_args, seed_assignments, cost, upper))
 
-    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context("spawn")
-    with ctx.Pool(processes=workers) as pool:
+    with pool_context().Pool(processes=workers) as pool:
         outcomes = pool.map(_worker_search, jobs)
 
     # -- step 4: reduce ---------------------------------------------------------------
@@ -164,7 +163,7 @@ def _worker_search(job: tuple[Any, ...]) -> tuple[list | None, int, int]:
     """Run serial A* restricted to one seed bucket; return the best."""
     graph_dict, system_args, seed_assignments, cost, upper = job
     graph = graph_from_dict(graph_dict)
-    system = _system_from_args(system_args)
+    system = system_from_args(system_args)
     cost_fn = make_cost_function(cost, graph, system)
     pruning = PruningConfig.all()
     stats = SearchStats()
@@ -209,7 +208,20 @@ def _worker_search(job: tuple[Any, ...]) -> tuple[list | None, int, int]:
     return best_assignment, expanded, generated
 
 
-def _system_to_args(system: ProcessorSystem) -> dict[str, Any]:
+def pool_context() -> mp.context.BaseContext:
+    """The multiprocessing context used for all fan-out in this library.
+
+    Prefers ``fork`` (workers inherit the parent's imports and the jobs
+    need no re-import cost); falls back to ``spawn`` on platforms
+    without it.  Shared by this backend and the batch front-end
+    (:mod:`repro.service.batch`).
+    """
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def system_to_args(system: ProcessorSystem) -> dict[str, Any]:
+    """Serialize a processor system to a plain picklable dict."""
     return {
         "num_pes": system.num_pes,
         "links": sorted(system.links),
@@ -219,7 +231,8 @@ def _system_to_args(system: ProcessorSystem) -> dict[str, Any]:
     }
 
 
-def _system_from_args(args: dict[str, Any]) -> ProcessorSystem:
+def system_from_args(args: dict[str, Any]) -> ProcessorSystem:
+    """Inverse of :func:`system_to_args` (runs on the worker side)."""
     return ProcessorSystem(
         args["num_pes"],
         links=[tuple(l) for l in args["links"]],

@@ -40,12 +40,12 @@ from repro.errors import ScheduleError
 from repro.graph.taskgraph import TaskGraph
 from repro.schedule.schedule import Schedule
 from repro.system.processors import ProcessorSystem
+from repro.util.hashing import MASK64 as _MASK64
+from repro.util.hashing import PE64 as _PE64
+from repro.util.hashing import PHI64 as _PHI64
+from repro.util.hashing import splitmix64 as _splitmix64
 
 __all__ = ["PartialSchedule", "placement_key"]
-
-_MASK64 = (1 << 64) - 1
-_PHI64 = 0x9E3779B97F4A7C15
-_PE64 = 0xC2B2AE3D27D4EB4F
 
 
 def placement_key(node: int, pe: int, start: float) -> int:
@@ -64,13 +64,9 @@ def placement_key(node: int, pe: int, start: float) -> int:
     for speed; the two copies must stay bit-identical (regression-tested
     in ``tests/property/test_state_equivalence.py``).
     """
-    h = ((node + 1) * _PHI64 + (pe + 1) * _PE64 + (hash(start) & _MASK64)) & _MASK64
-    h ^= h >> 30
-    h = (h * 0xBF58476D1CE4E5B9) & _MASK64
-    h ^= h >> 27
-    h = (h * 0x94D049BB133111EB) & _MASK64
-    h ^= h >> 31
-    return h
+    return _splitmix64(
+        (node + 1) * _PHI64 + (pe + 1) * _PE64 + (hash(start) & _MASK64)
+    )
 
 
 class PartialSchedule:

@@ -57,6 +57,7 @@ def astar_schedule(
     budget: Budget | None = None,
     trace: SearchTrace | None = None,
     state_cls: type = PartialSchedule,
+    incumbent: Schedule | None = None,
 ) -> SearchResult:
     """Find an optimal schedule of ``graph`` on ``system`` via A*.
 
@@ -79,6 +80,10 @@ def astar_schedule(
         Search-state implementation (default: the delta-encoded
         :class:`PartialSchedule`; the equivalence tests pass the
         tuple-based reference class).
+    incumbent:
+        Optional known-feasible schedule (e.g. from an earlier portfolio
+        stage); when shorter than the internal list-schedule bound it
+        seeds the upper-bound cut ``U`` and the budget fallback.
 
     Returns
     -------
@@ -101,6 +106,8 @@ def astar_schedule(
 
     # Upper-bound pruning cost U (§3.2) and fallback schedule.
     fallback: Schedule = fast_upper_bound_schedule(graph, system)
+    if incumbent is not None and incumbent.length < fallback.length:
+        fallback = incumbent
     upper = fallback.length if pruning.upper_bound else math.inf
 
     t0 = time.perf_counter()

@@ -50,13 +50,16 @@ def bnb_schedule(
     budget: Budget | None = None,
     use_visited: bool = True,
     state_cls: type = PartialSchedule,
+    incumbent: Schedule | None = None,
 ) -> SearchResult:
     """Find an optimal schedule via depth-first branch-and-bound.
 
     Parameters mirror :func:`repro.search.astar.astar_schedule`;
     ``use_visited=False`` trades time for O(depth) memory by disabling
     the visited-placement set (the search then re-explores transposition
-    duplicates but remains correct).
+    duplicates but remains correct).  ``incumbent`` optionally seeds the
+    bound with a known-feasible schedule (portfolio stages pass their
+    best-so-far), tightening the cut from the first expansion.
     """
     if pruning is None:
         pruning = PruningConfig.all()
@@ -71,8 +74,10 @@ def bnb_schedule(
     stats = SearchStats()
     expander = StateExpander(graph, system, pruning, stats.pruning)
 
-    incumbent: Schedule = fast_upper_bound_schedule(graph, system)
-    best_len = incumbent.length if pruning.upper_bound else math.inf
+    best_sched: Schedule = fast_upper_bound_schedule(graph, system)
+    if incumbent is not None and incumbent.length < best_sched.length:
+        best_sched = incumbent
+    best_len = best_sched.length if pruning.upper_bound else math.inf
     proven = True
 
     t0 = time.perf_counter()
@@ -97,7 +102,7 @@ def bnb_schedule(
             stats.states_expanded += 1
             if state.makespan < best_len:
                 best_len = state.makespan
-                incumbent = state.to_schedule()
+                best_sched = state.to_schedule()
             continue
 
         stats.states_expanded += 1
@@ -121,7 +126,7 @@ def bnb_schedule(
     stats.wall_seconds = time.perf_counter() - t0
     stats.cost_evaluations = cost_fn.evaluations
     return SearchResult(
-        schedule=incumbent,
+        schedule=best_sched,
         optimal=proven,
         bound=1.0 if proven else math.inf,
         stats=stats,

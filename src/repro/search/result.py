@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.schedule.schedule import Schedule
@@ -23,9 +24,25 @@ class SearchStats:
     states_expanded: int = 0
     cost_evaluations: int = 0
     max_open_size: int = 0
-    duplicate_rate: float = 0.0
     wall_seconds: float = 0.0
     pruning: PruningStats = field(default_factory=PruningStats)
+
+    @property
+    def duplicate_rate(self) -> float:
+        """Fraction of expansion candidates killed by duplicate detection.
+
+        Derived from the counters (it used to be a field nobody set and
+        ``as_dict`` dropped).  Every candidate that reaches the
+        duplicate check either hits it, gets cut by the generation-time
+        upper bound, or is counted as generated — so those three
+        counters together are the denominator.
+        """
+        candidates = (
+            self.states_generated
+            + self.pruning.duplicate_hits
+            + self.pruning.upper_bound_cuts
+        )
+        return self.pruning.duplicate_hits / candidates if candidates else 0.0
 
     def as_dict(self) -> dict[str, float]:
         """Flat dict for reports."""
@@ -34,6 +51,7 @@ class SearchStats:
             "states_expanded": self.states_expanded,
             "cost_evaluations": self.cost_evaluations,
             "max_open_size": self.max_open_size,
+            "duplicate_rate": self.duplicate_rate,
             "wall_seconds": self.wall_seconds,
             **self.pruning.as_dict(),
         }
@@ -70,3 +88,19 @@ class SearchResult:
     def length(self) -> float:
         """Length of the returned schedule (inf when none was found)."""
         return self.schedule.length if self.schedule is not None else float("inf")
+
+    @property
+    def certificate(self) -> str:
+        """What this result proves about its schedule.
+
+        ``"proven"`` — the schedule is optimal; ``"epsilon"`` — within a
+        proven factor (:attr:`bound`) of optimal; ``"budget"`` — best
+        effort, no guarantee (the search hit its budget).  This is the
+        value the service layer's result cache stores and keys staleness
+        decisions on.
+        """
+        if self.optimal:
+            return "proven"
+        if math.isfinite(self.bound):
+            return "epsilon"
+        return "budget"

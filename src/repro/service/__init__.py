@@ -1,0 +1,66 @@
+"""The solver service layer: the engines packaged as a request server.
+
+The search engines under :mod:`repro.search` answer one instance at a
+time; this package turns the collection into something that can serve
+traffic:
+
+* :mod:`repro.service.fingerprint` — canonical instance identity: a
+  stable 128-bit key for (graph, system, cost model) that is invariant
+  under node relabeling, so identical problems hash identically however
+  the caller numbered their tasks;
+* :mod:`repro.service.cache` — a persistent result cache (in-memory LRU
+  in front of an optional SQLite store) keyed by fingerprint, storing
+  the schedule, its optimality certificate, and the search counters;
+* :mod:`repro.service.portfolio` — a deadline-driven portfolio solver
+  that races a list-schedule incumbent, a weighted-A* improver, and an
+  exact engine (seeded with the incumbent bound), plus the static
+  engine-selection heuristic for the single-engine fast path;
+* :mod:`repro.service.batch` — the batch front-end: solve a directory,
+  a JSON-lines stream, or the §4.1 suite with fingerprint-level request
+  deduplication, cache reuse, and multi-process dispatch.
+"""
+
+from repro.service.batch import (
+    BatchItem,
+    BatchReport,
+    ItemOutcome,
+    items_from_suite,
+    load_items,
+    run_batch,
+)
+from repro.service.cache import CacheEntry, ResultCache
+from repro.service.fingerprint import (
+    assignment_from_canonical,
+    canonical_assignment,
+    canonical_graph,
+    canonical_order,
+    instance_fingerprint,
+)
+from repro.service.portfolio import (
+    PortfolioResult,
+    StageReport,
+    portfolio_schedule,
+    select_engine,
+    solve_auto,
+)
+
+__all__ = [
+    "BatchItem",
+    "BatchReport",
+    "CacheEntry",
+    "ItemOutcome",
+    "PortfolioResult",
+    "ResultCache",
+    "StageReport",
+    "assignment_from_canonical",
+    "canonical_assignment",
+    "canonical_graph",
+    "canonical_order",
+    "instance_fingerprint",
+    "items_from_suite",
+    "load_items",
+    "portfolio_schedule",
+    "run_batch",
+    "select_engine",
+    "solve_auto",
+]

@@ -1,0 +1,262 @@
+"""Persistent result cache keyed by instance fingerprint.
+
+The paper's introduction motivates optimal schedules partly by reuse
+("once an optimal schedule for a given problem is determined, it can be
+re-used"); this cache is that reuse made operational.  Results live in
+an in-memory LRU (bounded, O(1) touch) in front of an optional SQLite
+store, so a warm service answers repeated instances without searching
+and survives restarts.
+
+Entries store the *canonical* assignment (per canonical node position,
+see :mod:`repro.service.fingerprint`), the makespan, the optimality
+certificate, and the search counters.  Storing in canonical space is
+what makes the cache relabeling-proof: a hit computed for one node
+numbering replays onto any permutation of the same instance.
+
+Write policy: a new entry replaces an existing one only when it is
+*better* — a proven certificate beats an unproven one, then shorter
+makespan wins.  Read policy: ``get(..., require_proven=True)`` treats
+unproven entries as **stale** (counted, not returned), so callers that
+need certificates transparently fall through to the solver which then
+overwrites the stale entry.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+__all__ = ["CacheEntry", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached solve, in canonical node space."""
+
+    fingerprint: str
+    assignment: tuple[tuple[int, float], ...]  # (pe, start) per canonical pos
+    makespan: float
+    certificate: str  # "proven" | "epsilon" | "budget"
+    bound: float
+    algorithm: str
+    stats: dict[str, float] = field(default_factory=dict)
+    created: float = 0.0
+
+    @property
+    def proven(self) -> bool:
+        """True when the cached schedule carries an optimality proof."""
+        return self.certificate == "proven"
+
+    def better_than(self, other: "CacheEntry") -> bool:
+        """Replacement order: proof first, then makespan."""
+        if self.proven != other.proven:
+            return self.proven
+        return self.makespan < other.makespan
+
+    #: Payload schema version; bump on any CacheEntry field change so
+    #: stores written by other code versions read as misses, not crashes.
+    SCHEMA = 1
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe payload (used by the SQLite store and reports)."""
+        return {
+            "schema": self.SCHEMA,
+            "fingerprint": self.fingerprint,
+            "assignment": [[pe, start] for pe, start in self.assignment],
+            "makespan": self.makespan,
+            "certificate": self.certificate,
+            "bound": self.bound,
+            "algorithm": self.algorithm,
+            "stats": self.stats,
+            "created": self.created,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CacheEntry":
+        if data.get("schema") != cls.SCHEMA:
+            raise ValueError(f"unsupported cache payload schema {data.get('schema')!r}")
+        return cls(
+            fingerprint=data["fingerprint"],
+            assignment=tuple(
+                (int(pe), float(start)) for pe, start in data["assignment"]
+            ),
+            makespan=float(data["makespan"]),
+            certificate=data["certificate"],
+            bound=float(data["bound"]),
+            algorithm=data["algorithm"],
+            stats=dict(data.get("stats", {})),
+            created=float(data.get("created", 0.0)),
+        )
+
+
+class ResultCache:
+    """LRU-fronted, optionally persistent fingerprint -> result cache.
+
+    Parameters
+    ----------
+    path:
+        SQLite file for persistence; ``None`` keeps the cache purely
+        in-memory (still LRU-bounded).
+    capacity:
+        Maximum entries held in memory.  The SQLite store is unbounded —
+        evicted entries remain on disk and reload on demand.
+
+    Counters: :attr:`hits` (entry served), :attr:`misses` (nothing
+    stored), :attr:`stale` (entry present but rejected by
+    ``require_proven``).
+    """
+
+    def __init__(
+        self, path: str | Path | None = None, *, capacity: int = 512
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._mem: OrderedDict[str, CacheEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0
+        self.path = Path(path) if path is not None else None
+        self._db: sqlite3.Connection | None = None
+        if self.path is not None:
+            self._db = sqlite3.connect(str(self.path))
+            self._db.execute(
+                "CREATE TABLE IF NOT EXISTS results ("
+                " fingerprint TEXT PRIMARY KEY,"
+                " payload TEXT NOT NULL,"
+                " makespan REAL NOT NULL,"
+                " proven INTEGER NOT NULL,"
+                " created REAL NOT NULL)"
+            )
+            self._db.commit()
+
+    # -- core protocol -------------------------------------------------------
+
+    def get(
+        self, fingerprint: str, *, require_proven: bool = False
+    ) -> CacheEntry | None:
+        """Look up a fingerprint; updates LRU order and counters."""
+        entry = self._mem.get(fingerprint)
+        if entry is None and self._db is not None:
+            entry = self._load_row(fingerprint)
+            if entry is not None:
+                self._admit(entry)
+        if entry is None:
+            self.misses += 1
+            return None
+        if require_proven and not entry.proven:
+            self.stale += 1
+            return None
+        self._mem.move_to_end(fingerprint)
+        self.hits += 1
+        return entry
+
+    def put(self, entry: CacheEntry) -> bool:
+        """Store an entry; returns False when an existing one is better."""
+        if entry.created == 0.0:
+            entry = replace(entry, created=time.time())
+        current = self._mem.get(entry.fingerprint)
+        if current is None and self._db is not None:
+            current = self._load_row(entry.fingerprint)
+        if current is not None and not entry.better_than(current):
+            return False
+        self._admit(entry)
+        if self._db is not None:
+            self._db.execute(
+                "INSERT OR REPLACE INTO results"
+                " (fingerprint, payload, makespan, proven, created)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (
+                    entry.fingerprint,
+                    json.dumps(entry.as_dict()),
+                    entry.makespan,
+                    int(entry.proven),
+                    entry.created,
+                ),
+            )
+            self._db.commit()
+        return True
+
+    def _load_row(self, fingerprint: str) -> CacheEntry | None:
+        """Read one persisted entry; corruption reads as a miss.
+
+        A store written by a different code version (schema mismatch),
+        or a payload mangled by a crash, must never poison a batch run —
+        the caller falls through to the solver, whose fresh result then
+        overwrites the bad row.
+        """
+        row = self._db.execute(  # type: ignore[union-attr]
+            "SELECT payload FROM results WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            return CacheEntry.from_dict(json.loads(row[0]))
+        except (ValueError, KeyError, TypeError):
+            return None
+
+    def _admit(self, entry: CacheEntry) -> None:
+        """Insert into the LRU tier, evicting least-recently-used."""
+        self._mem[entry.fingerprint] = entry
+        self._mem.move_to_end(entry.fingerprint)
+        while len(self._mem) > self.capacity:
+            self._mem.popitem(last=False)
+
+    # -- introspection -------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """Hit/miss/stale counters plus sizes, for reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale": self.stale,
+            "memory_entries": len(self._mem),
+            "stored_entries": self.stored_entries,
+        }
+
+    @property
+    def stored_entries(self) -> int:
+        """Entries in the persistent tier (= memory tier when no path)."""
+        if self._db is None:
+            return len(self._mem)
+        return int(self._db.execute("SELECT COUNT(*) FROM results").fetchone()[0])
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        if fingerprint in self._mem:
+            return True
+        if self._db is None:
+            return False
+        return (
+            self._db.execute(
+                "SELECT 1 FROM results WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
+            is not None
+        )
+
+    def close(self) -> None:
+        """Close the SQLite handle (no-op for in-memory caches)."""
+        if self._db is not None:
+            self._db.close()
+            self._db = None
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        tier = str(self.path) if self.path else "memory"
+        return (
+            f"ResultCache({len(self._mem)}/{self.capacity} in memory, "
+            f"store={tier}, hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,343 @@
+"""Deadline-driven portfolio solving and static engine selection.
+
+The paper's central observation is that no single search technique wins
+everywhere: exact A* is unbeatable when OPEN fits in memory, depth-first
+B&B trades expansions for O(depth) memory on communication-heavy
+instances, and the ε-approximate variants buy orders of magnitude on
+graphs too large to prove optimal.  This module packages that
+observation two ways:
+
+* :func:`select_engine` — the static heuristic: pick one engine from the
+  instance's size, CCR, and edge density (the features the paper's §4
+  discussion identifies as deciding the winner), for the single-engine
+  fast path;
+* :func:`portfolio_schedule` — the anytime ladder: race a linear-time
+  list-schedule incumbent, then weighted A* as a fast improver, then an
+  exact engine *seeded with the incumbent bound*, sharing the best
+  makespan across stages and stopping at the deadline.  The result can
+  never be worse than the list-schedule baseline (the incumbent only
+  improves), and carries a provenance record of which stage won.
+
+Stage budgeting: the improver stage gets ``_IMPROVER_SHARE`` of the
+remaining deadline, the exact stage the rest.  With no deadline the
+ladder still terminates: every stage is bounded by ``max_expansions``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from repro.graph.analysis import graph_ccr
+from repro.graph.taskgraph import TaskGraph
+from repro.heuristics.listsched import fast_upper_bound_schedule
+from repro.schedule.partial import PartialSchedule
+from repro.schedule.schedule import Schedule
+from repro.search.astar import astar_schedule
+from repro.search.bnb import bnb_schedule
+from repro.search.result import SearchResult, SearchStats
+from repro.search.weighted import weighted_astar_schedule
+from repro.system.processors import ProcessorSystem
+from repro.util.timing import Budget
+
+__all__ = [
+    "StageReport",
+    "PortfolioResult",
+    "select_engine",
+    "solve_auto",
+    "portfolio_schedule",
+]
+
+#: Fraction of the remaining deadline granted to the weighted-A* improver.
+_IMPROVER_SHARE = 0.25
+#: Below this size exact A* is effectively instant; skip the improver.
+_SMALL_V = 14
+#: CCR at or above which B&B's O(depth) memory beats A*'s OPEN list.
+_HIGH_CCR = 5.0
+#: Edge density above which the state space is narrow enough for A*.
+_DENSE = 0.35
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """Provenance of one portfolio stage."""
+
+    stage: str  # "list" | "improve" | "exact"
+    algorithm: str
+    makespan: float
+    improved: bool  # did this stage tighten the incumbent?
+    optimal: bool
+    seconds: float
+    expanded: int = 0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "stage": self.stage,
+            "algorithm": self.algorithm,
+            "makespan": self.makespan,
+            "improved": self.improved,
+            "optimal": self.optimal,
+            "seconds": self.seconds,
+            "expanded": self.expanded,
+        }
+
+
+@dataclass(frozen=True)
+class PortfolioResult:
+    """Best schedule across the stage ladder plus its provenance."""
+
+    schedule: Schedule
+    optimal: bool
+    bound: float
+    stats: SearchStats
+    algorithm: str  # algorithm label of the winning stage
+    winner: str  # stage name of the winning stage
+    stages: tuple[StageReport, ...]
+
+    @property
+    def length(self) -> float:
+        """Makespan of the returned schedule."""
+        return self.schedule.length
+
+    @property
+    def certificate(self) -> str:
+        """Optimality certificate: ``proven``, ``epsilon`` or ``budget``
+        (delegates to :attr:`SearchResult.certificate` — one definition)."""
+        return self.as_search_result().certificate
+
+    def as_search_result(self) -> SearchResult:
+        """Flatten into the engines' common result type."""
+        return SearchResult(
+            schedule=self.schedule,
+            optimal=self.optimal,
+            bound=self.bound,
+            stats=self.stats,
+            algorithm=f"portfolio({self.algorithm})",
+        )
+
+
+def select_engine(graph: TaskGraph, system: ProcessorSystem) -> str:
+    """Pick one engine from static instance features.
+
+    The rules condense the paper's §4 observations: small instances are
+    A* territory outright; high CCR inflates communication terms until
+    A*'s OPEN list (not its expansion count) is the binding resource, so
+    depth-first B&B wins; large sparse graphs have state spaces nobody
+    proves optimal interactively, so weighted A* buys the near-optimal
+    answer.  Dense precedence constraints shrink the ready set and keep
+    A* viable beyond the small-v cutoff.
+    """
+    v = graph.num_nodes
+    if v <= _SMALL_V:
+        return "astar"
+    if graph_ccr(graph) >= _HIGH_CCR:
+        return "bnb"
+    density = graph.num_edges / max(1, v * (v - 1) // 2)
+    if density >= _DENSE:
+        return "astar"
+    return "wastar"
+
+
+def _run_engine(
+    name: str,
+    graph: TaskGraph,
+    system: ProcessorSystem,
+    *,
+    budget: Budget,
+    epsilon: float,
+    cost: str,
+    state_cls: type,
+    incumbent: Schedule | None,
+) -> SearchResult:
+    """Dispatch one engine by name (the portfolio's inner call)."""
+    if name == "astar":
+        return astar_schedule(
+            graph, system, cost=cost, budget=budget,
+            state_cls=state_cls, incumbent=incumbent,
+        )
+    if name == "bnb":
+        return bnb_schedule(
+            graph, system, cost=cost, budget=budget,
+            state_cls=state_cls, incumbent=incumbent,
+        )
+    if name == "wastar":
+        return weighted_astar_schedule(
+            graph, system, epsilon, cost=cost, budget=budget,
+            state_cls=state_cls,
+        )
+    raise ValueError(f"unknown engine {name!r}")
+
+
+def solve_auto(
+    graph: TaskGraph,
+    system: ProcessorSystem,
+    *,
+    deadline: float | None = None,
+    epsilon: float = 0.25,
+    cost: str = "paper",
+    max_expansions: int | None = 500_000,
+    state_cls: type = PartialSchedule,
+) -> SearchResult:
+    """Single-engine fast path: :func:`select_engine` then one search."""
+    engine = select_engine(graph, system)
+    budget = Budget(max_expanded=max_expansions, max_seconds=deadline)
+    return _run_engine(
+        engine, graph, system, budget=budget, epsilon=epsilon,
+        cost=cost, state_cls=state_cls, incumbent=None,
+    )
+
+
+def portfolio_schedule(
+    graph: TaskGraph,
+    system: ProcessorSystem,
+    *,
+    deadline: float | None = None,
+    epsilon: float = 0.25,
+    cost: str = "paper",
+    max_expansions: int | None = 500_000,
+    state_cls: type = PartialSchedule,
+) -> PortfolioResult:
+    """Race the stage ladder against a wall-clock deadline.
+
+    Parameters
+    ----------
+    graph, system:
+        The problem instance.
+    deadline:
+        Total wall-clock seconds for all stages; ``None`` bounds each
+        stage by ``max_expansions`` only.
+    epsilon:
+        Sub-optimality factor for the weighted-A* improver stage.
+    max_expansions:
+        Per-ladder expansion cap (the improver gets a quarter of it).
+    state_cls:
+        Search-state implementation, forwarded to every engine.
+
+    Guarantees: the returned makespan is never worse than the linear-time
+    list schedule; ``optimal`` is True iff the exact stage ran to
+    completion; ``bound`` is the tightest proven sub-optimality factor
+    across stages (a completed improver proves ``1 + epsilon`` even when
+    the exact stage times out).
+    """
+    t0 = time.perf_counter()
+
+    def remaining() -> float | None:
+        if deadline is None:
+            return None
+        return deadline - (time.perf_counter() - t0)
+
+    total = SearchStats()
+    stages: list[StageReport] = []
+
+    # -- stage 1: linear-time incumbent (the §3.2 U-bound heuristic) -------
+    s0 = time.perf_counter()
+    best = fast_upper_bound_schedule(graph, system)
+    stages.append(
+        StageReport(
+            stage="list", algorithm="list(b-level)", makespan=best.length,
+            improved=True, optimal=False,
+            seconds=time.perf_counter() - s0,
+        )
+    )
+    winner = "list"
+    winner_algo = "list(b-level)"
+    optimal = False
+    bound = math.inf
+
+    exact_engine = select_engine(graph, system)
+    if exact_engine == "wastar":
+        # The selector expects exact search to struggle here; still run
+        # B&B last (memory-safe) so a generous deadline can prove bounds.
+        exact_engine = "bnb"
+    run_improver = graph.num_nodes > _SMALL_V
+
+    # -- stage 2: weighted-A* improver -------------------------------------
+    left = remaining()
+    if run_improver and (left is None or left > 0):
+        s1 = time.perf_counter()
+        improver_budget = Budget(
+            max_expanded=None if max_expansions is None else max_expansions // 4,
+            max_seconds=None if left is None else left * _IMPROVER_SHARE,
+        )
+        res = weighted_astar_schedule(
+            graph, system, epsilon, cost=cost,
+            budget=improver_budget, state_cls=state_cls,
+        )
+        improved = res.schedule is not None and res.length < best.length
+        if improved:
+            best = res.schedule
+            winner = "improve"
+            winner_algo = res.algorithm
+        if math.isfinite(res.bound):
+            bound = min(bound, res.bound)
+        _accumulate(total, res.stats)
+        stages.append(
+            StageReport(
+                stage="improve", algorithm=res.algorithm, makespan=res.length,
+                improved=improved, optimal=res.optimal,
+                seconds=time.perf_counter() - s1,
+                expanded=res.stats.states_expanded,
+            )
+        )
+        if res.optimal:
+            # ε = 0 or a degenerate instance: the improver already proved
+            # optimality; skip the exact stage.
+            total.wall_seconds = time.perf_counter() - t0
+            return PortfolioResult(
+                schedule=best, optimal=True, bound=1.0, stats=total,
+                algorithm=res.algorithm, winner="improve",
+                stages=tuple(stages),
+            )
+
+    # -- stage 3: exact engine seeded with the shared incumbent ------------
+    left = remaining()
+    if left is None or left > 0:
+        s2 = time.perf_counter()
+        exact_budget = Budget(max_expanded=max_expansions, max_seconds=left)
+        res = _run_engine(
+            exact_engine, graph, system, budget=exact_budget,
+            epsilon=epsilon, cost=cost, state_cls=state_cls, incumbent=best,
+        )
+        improved = res.schedule is not None and res.length < best.length
+        if improved:
+            best = res.schedule
+        if res.optimal:
+            # The exact stage proves the *shared* incumbent optimal even
+            # when it merely confirmed (rather than beat) it.
+            optimal = True
+            bound = 1.0
+            winner = "exact"
+            winner_algo = res.algorithm
+        elif improved:
+            winner = "exact"
+            winner_algo = res.algorithm
+        _accumulate(total, res.stats)
+        stages.append(
+            StageReport(
+                stage="exact", algorithm=res.algorithm, makespan=res.length,
+                improved=improved, optimal=res.optimal,
+                seconds=time.perf_counter() - s2,
+                expanded=res.stats.states_expanded,
+            )
+        )
+
+    total.wall_seconds = time.perf_counter() - t0
+    return PortfolioResult(
+        schedule=best, optimal=optimal, bound=bound, stats=total,
+        algorithm=winner_algo, winner=winner, stages=tuple(stages),
+    )
+
+
+def _accumulate(total: SearchStats, part: SearchStats) -> None:
+    """Fold one stage's counters into the ladder-wide totals."""
+    total.states_generated += part.states_generated
+    total.states_expanded += part.states_expanded
+    total.cost_evaluations += part.cost_evaluations
+    total.max_open_size = max(total.max_open_size, part.max_open_size)
+    tp, pp = total.pruning, part.pruning
+    tp.isomorphism_skips += pp.isomorphism_skips
+    tp.equivalence_skips += pp.equivalence_skips
+    tp.upper_bound_cuts += pp.upper_bound_cuts
+    tp.duplicate_hits += pp.duplicate_hits
+    tp.commutation_skips += pp.commutation_skips

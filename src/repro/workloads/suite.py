@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.errors import WorkloadError
 from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
@@ -38,6 +39,13 @@ PAPER_SIZES = tuple(range(10, 33, 2))
 DEFAULT_SIZES = tuple(range(10, 21, 2))
 
 
+@lru_cache(maxsize=1024)
+def _cached_fingerprint(graph: TaskGraph, system: ProcessorSystem) -> str:
+    from repro.service.fingerprint import instance_fingerprint
+
+    return instance_fingerprint(graph, system)
+
+
 @dataclass(frozen=True)
 class WorkloadInstance:
     """One problem instance of the suite."""
@@ -49,9 +57,23 @@ class WorkloadInstance:
     system: ProcessorSystem = field(compare=False)
 
     @property
+    def fingerprint(self) -> str:
+        """Canonical 128-bit instance fingerprint (see
+        :mod:`repro.service.fingerprint`); relabeling-invariant, so two
+        suite points that generate the same problem share cached results.
+        Memoized per (graph, system) — the WL canonicalization is not
+        free."""
+        return _cached_fingerprint(self.graph, self.system)
+
+    @property
     def key(self) -> str:
-        """Stable identity string used for caching results."""
-        return f"v{self.size}-ccr{self.ccr}-seed{self.seed}"
+        """Stable identity string used for caching results.
+
+        Human-readable sweep coordinates plus the canonical fingerprint,
+        so experiment caches keyed on it dedupe identical instances even
+        across differently-parameterized sweeps.
+        """
+        return f"v{self.size}-ccr{self.ccr}-{self.fingerprint[:12]}"
 
 
 @dataclass(frozen=True)

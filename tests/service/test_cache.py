@@ -1,0 +1,140 @@
+"""Result cache: LRU behaviour, persistence, and replacement policy."""
+
+import pytest
+
+from repro.service.cache import CacheEntry, ResultCache
+
+
+def entry(fp: str, makespan: float = 10.0, certificate: str = "proven",
+          algorithm: str = "astar") -> CacheEntry:
+    return CacheEntry(
+        fingerprint=fp,
+        assignment=((0, 0.0), (1, 2.0)),
+        makespan=makespan,
+        certificate=certificate,
+        bound=1.0 if certificate == "proven" else float("inf"),
+        algorithm=algorithm,
+    )
+
+
+class TestMemoryTier:
+    def test_round_trip(self):
+        cache = ResultCache()
+        assert cache.get("aa") is None
+        assert cache.put(entry("aa"))
+        got = cache.get("aa")
+        assert got is not None
+        assert got.assignment == ((0, 0.0), (1, 2.0))
+        assert got.proven
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.put(entry("aa"))
+        cache.put(entry("bb"))
+        cache.get("aa")  # touch: aa becomes most-recent
+        cache.put(entry("cc"))  # evicts bb
+        assert "aa" in cache and "cc" in cache
+        assert "bb" not in cache
+
+    def test_replacement_keeps_better(self):
+        cache = ResultCache()
+        cache.put(entry("aa", makespan=10.0, certificate="proven"))
+        # Worse certificate never replaces a proof.
+        assert not cache.put(entry("aa", makespan=5.0, certificate="budget"))
+        assert cache.get("aa").makespan == 10.0
+        # A proof with a shorter makespan does.
+        assert cache.put(entry("aa", makespan=8.0, certificate="proven"))
+        assert cache.get("aa").makespan == 8.0
+
+    def test_unproven_improves_on_unproven(self):
+        cache = ResultCache()
+        cache.put(entry("aa", makespan=10.0, certificate="budget"))
+        assert cache.put(entry("aa", makespan=9.0, certificate="budget"))
+        assert cache.put(entry("aa", makespan=12.0, certificate="proven"))
+        assert cache.get("aa").makespan == 12.0
+
+    def test_stale_counter(self):
+        cache = ResultCache()
+        cache.put(entry("aa", certificate="budget"))
+        assert cache.get("aa", require_proven=True) is None
+        assert cache.stale == 1
+        assert cache.hits == 0
+        # Plain reads still serve the unproven entry.
+        assert cache.get("aa") is not None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+
+class TestPersistentTier:
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "cache.db"
+        with ResultCache(path) as cache:
+            cache.put(entry("aa", makespan=7.0))
+        with ResultCache(path) as cache:
+            got = cache.get("aa")
+            assert got is not None and got.makespan == 7.0
+            assert got.created > 0  # stamped on first put
+
+    def test_eviction_does_not_lose_persisted_entries(self, tmp_path):
+        path = tmp_path / "cache.db"
+        with ResultCache(path, capacity=1) as cache:
+            cache.put(entry("aa"))
+            cache.put(entry("bb"))  # evicts aa from memory only
+            assert len(cache) == 1
+            assert cache.get("aa") is not None  # reloaded from SQLite
+            assert cache.stored_entries == 2
+
+    def test_replacement_policy_applies_across_tiers(self, tmp_path):
+        path = tmp_path / "cache.db"
+        with ResultCache(path) as cache:
+            cache.put(entry("aa", makespan=10.0, certificate="proven"))
+        with ResultCache(path, capacity=8) as cache:
+            # Memory tier is empty; the existing proof is on disk only.
+            assert not cache.put(entry("aa", makespan=5.0, certificate="budget"))
+            assert cache.get("aa").makespan == 10.0
+
+    def test_corrupt_payload_reads_as_miss_and_is_overwritable(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "cache.db"
+        with ResultCache(path) as cache:
+            cache.put(entry("aa", makespan=7.0))
+        db = sqlite3.connect(path)
+        db.execute("UPDATE results SET payload = '{\"not\": \"an entry\"}'")
+        db.commit()
+        db.close()
+        with ResultCache(path) as cache:
+            assert cache.get("aa") is None  # miss, not a crash
+            assert cache.put(entry("aa", makespan=9.0))  # overwrites bad row
+            assert cache.get("aa").makespan == 9.0
+
+    def test_schema_mismatch_reads_as_miss(self, tmp_path):
+        import json as _json
+        import sqlite3
+
+        path = tmp_path / "cache.db"
+        with ResultCache(path) as cache:
+            cache.put(entry("aa"))
+        db = sqlite3.connect(path)
+        (payload,) = db.execute("SELECT payload FROM results").fetchone()
+        doc = _json.loads(payload)
+        doc["schema"] = 999
+        db.execute("UPDATE results SET payload = ?", (_json.dumps(doc),))
+        db.commit()
+        db.close()
+        with ResultCache(path) as cache:
+            assert cache.get("aa") is None
+
+    def test_counters_shape(self, tmp_path):
+        with ResultCache(tmp_path / "c.db") as cache:
+            cache.put(entry("aa"))
+            cache.get("aa")
+            cache.get("zz")
+            counters = cache.counters()
+        assert counters == {
+            "hits": 1, "misses": 1, "stale": 0,
+            "memory_entries": 1, "stored_entries": 1,
+        }

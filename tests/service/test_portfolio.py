@@ -1,0 +1,126 @@
+"""Portfolio solver: anytime guarantees, selection heuristic, provenance."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
+from repro.graph.taskgraph import TaskGraph
+from repro.heuristics.listsched import fast_upper_bound_schedule
+from repro.schedule.validate import validate_schedule
+from repro.search.astar import astar_schedule
+from repro.service.portfolio import (
+    portfolio_schedule,
+    select_engine,
+    solve_auto,
+)
+from repro.system.processors import ProcessorSystem
+from tests.strategies import scheduling_instances
+
+
+class TestGuarantees:
+    @settings(max_examples=20, deadline=None)
+    @given(scheduling_instances(max_nodes=6, max_pes=3))
+    def test_never_worse_than_list_and_matches_astar(self, instance):
+        """The acceptance-criteria property, on tier-1-sized instances."""
+        graph, system = instance
+        result = portfolio_schedule(graph, system)
+        listed = fast_upper_bound_schedule(graph, system)
+        assert result.length <= listed.length + 1e-9
+        assert result.optimal
+        assert result.length == pytest.approx(
+            astar_schedule(graph, system).length
+        )
+        validate_schedule(result.schedule)
+
+    @pytest.mark.parametrize("v,ccr,seed", [
+        (10, 0.1, 11), (12, 1.0, 12), (10, 10.0, 13),
+    ])
+    def test_paper_style_instances_prove_optimal(self, v, ccr, seed):
+        graph = paper_random_graph(PaperGraphSpec(num_nodes=v, ccr=ccr, seed=seed))
+        system = ProcessorSystem.fully_connected(4)
+        result = portfolio_schedule(graph, system, deadline=30.0)
+        assert result.optimal and result.certificate == "proven"
+        assert result.bound == 1.0
+        assert result.length == pytest.approx(
+            astar_schedule(graph, system).length
+        )
+
+    def test_zero_deadline_falls_back_to_list_schedule(self):
+        graph = paper_random_graph(PaperGraphSpec(num_nodes=16, ccr=1.0, seed=9))
+        system = ProcessorSystem.fully_connected(4)
+        result = portfolio_schedule(graph, system, deadline=0.0)
+        listed = fast_upper_bound_schedule(graph, system)
+        assert result.length == pytest.approx(listed.length)
+        assert not result.optimal
+        assert result.certificate == "budget"
+        assert result.winner == "list"
+        assert [s.stage for s in result.stages] == ["list"]
+
+    def test_improver_bound_survives_exact_timeout(self):
+        """A completed WA* stage proves 1+ε even when exact search can't."""
+        graph = paper_random_graph(PaperGraphSpec(num_nodes=18, ccr=10.0, seed=2))
+        system = ProcessorSystem.fully_connected(6)
+        result = portfolio_schedule(
+            graph, system, epsilon=0.5, max_expansions=3_000
+        )
+        # Whatever happened, the bound is one of: unproven, the improver's
+        # 1+ε factor, or a full proof — never something in between.
+        assert (
+            result.bound == float("inf")
+            or result.bound <= 1.5 + 1e-9
+        )
+        if result.optimal:
+            assert result.bound == 1.0
+
+
+class TestProvenance:
+    def test_stages_are_recorded_in_order(self):
+        graph = paper_random_graph(PaperGraphSpec(num_nodes=10, ccr=1.0, seed=3))
+        system = ProcessorSystem.fully_connected(3)
+        result = portfolio_schedule(graph, system)
+        names = [s.stage for s in result.stages]
+        assert names[0] == "list"
+        assert names[-1] == "exact"
+        assert result.winner in names
+        assert result.stages[0].improved  # the incumbent stage always "improves"
+
+    def test_as_search_result_flattens(self):
+        graph = paper_random_graph(PaperGraphSpec(num_nodes=8, ccr=1.0, seed=4))
+        system = ProcessorSystem.fully_connected(3)
+        flat = portfolio_schedule(graph, system).as_search_result()
+        assert flat.algorithm.startswith("portfolio(")
+        assert flat.optimal and flat.certificate == "proven"
+
+    def test_stage_report_as_dict(self):
+        graph = paper_random_graph(PaperGraphSpec(num_nodes=8, ccr=1.0, seed=5))
+        system = ProcessorSystem.fully_connected(3)
+        result = portfolio_schedule(graph, system)
+        row = result.stages[0].as_dict()
+        assert row["stage"] == "list" and "makespan" in row
+
+
+class TestSelection:
+    def test_small_instances_pick_astar(self):
+        graph = paper_random_graph(PaperGraphSpec(num_nodes=10, ccr=1.0, seed=6))
+        assert select_engine(graph, ProcessorSystem.fully_connected(4)) == "astar"
+
+    def test_high_ccr_picks_bnb(self):
+        graph = paper_random_graph(PaperGraphSpec(num_nodes=20, ccr=10.0, seed=7))
+        assert select_engine(graph, ProcessorSystem.fully_connected(4)) == "bnb"
+
+    def test_large_sparse_picks_wastar(self):
+        # A long chain: large v, minimal density, low CCR.
+        v = 24
+        graph = TaskGraph(
+            [5.0] * v, {(i, i + 1): 1.0 for i in range(v - 1)}
+        )
+        assert select_engine(graph, ProcessorSystem.fully_connected(4)) == "wastar"
+
+    def test_solve_auto_runs_selected_engine(self):
+        graph = paper_random_graph(PaperGraphSpec(num_nodes=10, ccr=1.0, seed=8))
+        system = ProcessorSystem.fully_connected(3)
+        result = solve_auto(graph, system)
+        assert result.algorithm.startswith("astar")
+        assert result.length == pytest.approx(
+            astar_schedule(graph, system).length
+        )

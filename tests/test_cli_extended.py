@@ -68,3 +68,36 @@ class TestAblationCommand:
         out = capsys.readouterr().out
         assert "Pruning ablation" in out
         assert "extended" in out
+
+
+class TestServiceCommands:
+    def test_solve_cold_then_cached(self, json_graph, tmp_path, capsys):
+        cache = tmp_path / "cache.db"
+        assert main(["solve", str(json_graph), "--pes", "3",
+                     "--cache", str(cache)]) == 0
+        cold = capsys.readouterr().out
+        assert "fingerprint:" in cold
+        assert "certificate: proven" in cold
+        assert main(["solve", str(json_graph), "--pes", "3",
+                     "--cache", str(cache)]) == 0
+        warm = capsys.readouterr().out
+        assert "via: cache" in warm
+        # Cached answer reports the same length as the cold solve.
+        assert cold.split("length:")[1].split()[0] == \
+            warm.split("length:")[1].split()[0]
+
+    def test_solve_auto_mode(self, json_graph, capsys):
+        assert main(["solve", str(json_graph), "--pes", "2",
+                     "--mode", "auto"]) == 0
+        assert "certificate:" in capsys.readouterr().out
+
+    def test_batch_directory_with_output(self, json_graph, tmp_path, capsys):
+        out_path = tmp_path / "results.jsonl"
+        assert main(["batch", str(json_graph.parent), "--pes", "3",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "batch results" in out
+        assert "1 instances" in out
+        rows = [json.loads(line) for line in out_path.read_text().splitlines()]
+        assert rows[0]["certificate"] == "proven"
+        assert len(rows[0]["assignment"]) == 8

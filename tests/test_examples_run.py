@@ -50,6 +50,14 @@ class TestExamples:
         assert "exact A*" in out
         assert "work saved" in out
 
+    def test_service_batch(self, capsys):
+        out = run_example("service_batch.py", capsys)
+        assert "fingerprints" in out
+        assert "cold cache" in out and "warm cache" in out
+        assert "dedup" in out  # the relabeled twin was not solved twice
+        assert "3 cache hits" in out  # pass 2 never searched
+        assert "warm-cache speedup" in out
+
     def test_all_examples_have_docstrings_and_main(self):
         for script in EXAMPLES.glob("*.py"):
             text = script.read_text()
