@@ -1,0 +1,156 @@
+"""HDA* vs serial A* on the §4.1 suite -> ``BENCH_hda.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hda.py [--workers N]
+
+Runs serial A* and the multiprocess HDA* engine over a fixed set of
+§4.1 suite instances, verifies the makespans are identical and proven
+on both sides, and appends one entry to the ``BENCH_hda.json`` array at
+the repository root.  Exits non-zero unless at least one instance shows
+the >= 2x wall-clock speedup acceptance floor with identical
+proven-optimal makespan.
+
+Reading the numbers honestly: the entry records ``cpu_count``.  On a
+multi-core host the hash-distributed search adds core-parallel speedup
+on top of what is reported here; on a single-core host (CI containers)
+worker processes time-slice one core, and any speedup comes purely
+from the HDA* engine's *algorithmic* advantage — its shared-incumbent
+pruning discards ``f >= U`` ties, so instances whose list-schedule
+bound is already optimal are proven by quiescence without the goal-
+plateau exploration serial A* pays (see DESIGN.md).  Instances where
+real search dominates (``ccr10-v16`` below) then show the transfer
+overhead instead; both kinds are in the set so the trajectory is
+meaningful on any hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.parallel.hda import hda_astar_schedule
+from repro.search.astar import astar_schedule
+from repro.util.timing import Budget
+from repro.workloads.suite import paper_suite
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_hda.json"
+SPEEDUP_FLOOR = 2.0  # acceptance criterion at 4 workers
+
+#: (ccr, size) suite points: two where the incumbent-pruning proof
+#: dominates, one where real distributed search dominates.
+BENCH_POINTS = ((0.1, 18), (0.1, 20), (10.0, 16))
+
+
+def run_hda_bench(
+    *, workers: int = 4, budget_seconds: float = 300.0
+) -> dict:
+    """Serial-vs-HDA sweep; returns the machine-readable report."""
+    suite = paper_suite()
+    rows = []
+    for ccr, size in BENCH_POINTS:
+        inst = suite.get(ccr, size)
+        t0 = time.perf_counter()
+        serial = astar_schedule(
+            inst.graph, inst.system, budget=Budget(max_seconds=budget_seconds)
+        )
+        serial_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = hda_astar_schedule(
+            inst.graph, inst.system, workers=workers,
+            budget=Budget(max_seconds=budget_seconds),
+        )
+        parallel_s = time.perf_counter() - t0
+        rows.append(
+            {
+                "instance": f"v{size}-ccr{ccr}",
+                "serial_seconds": serial_s,
+                "hda_seconds": parallel_s,
+                "speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+                "serial_makespan": serial.length,
+                "hda_makespan": parallel.length,
+                "serial_proven": serial.optimal,
+                "hda_proven": parallel.optimal,
+                "identical": parallel.length == serial.length,
+                "serial_expanded": serial.stats.states_expanded,
+                "hda_expanded": parallel.stats.states_expanded,
+            }
+        )
+    qualifying = [
+        r for r in rows
+        if r["identical"] and r["serial_proven"] and r["hda_proven"]
+    ]
+    best = max((r["speedup"] for r in qualifying), default=0.0)
+    return {
+        "suite": "paper-4.1-default",
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "budget_seconds": budget_seconds,
+        "instances": rows,
+        "best_proven_identical_speedup": best,
+    }
+
+
+def _git_rev() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--budget", type=float, default=300.0,
+                        help="per-search wall-clock cap (seconds)")
+    parser.add_argument("--out", type=Path, default=RESULTS_PATH,
+                        help="results file (JSON array)")
+    args = parser.parse_args(argv)
+
+    report = run_hda_bench(workers=args.workers, budget_seconds=args.budget)
+    entry = {
+        "bench": "hda_vs_serial",
+        "unix_time": int(time.time()),
+        "python": platform.python_version(),
+        "git_rev": _git_rev(),
+        **report,
+    }
+
+    existing: list = []
+    if args.out.exists():
+        try:
+            existing = json.loads(args.out.read_text())
+        except json.JSONDecodeError:
+            print(f"warning: {args.out} is not valid JSON; starting fresh",
+                  file=sys.stderr)
+    existing.append(entry)
+    args.out.write_text(json.dumps(existing, indent=2) + "\n")
+
+    for row in report["instances"]:
+        print(f"{row['instance']}: serial {row['serial_seconds']:.2f}s, "
+              f"hda({args.workers}w) {row['hda_seconds']:.2f}s, "
+              f"speedup {row['speedup']:.2f}x, identical={row['identical']}, "
+              f"proven={row['serial_proven'] and row['hda_proven']}")
+    best = report["best_proven_identical_speedup"]
+    print(f"best proven-identical speedup: {best:.2f}x "
+          f"(floor {SPEEDUP_FLOOR}x, cpus={report['cpu_count']})")
+    if best < SPEEDUP_FLOOR:
+        print("FAIL: no instance met the speedup acceptance floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,9 @@ Public surface
 * exact schedulers: :func:`astar_schedule` (serial A*),
   :func:`bnb_schedule` (depth-first B&B),
   :func:`parallel_astar_schedule` (simulated parallel A*),
-  :func:`multiprocessing_astar_schedule` (real cores);
+  :func:`multiprocessing_astar_schedule` (real cores, static
+  partition), :func:`hda_astar_schedule` (real cores, hash-distributed
+  shared-incumbent HDA*);
 * approximate scheduler: :func:`focal_schedule` (Aε*, ε-admissible);
 * heuristics: :func:`list_schedule`, :func:`insertion_list_schedule`,
   :func:`cpmisf_schedule`;
@@ -51,6 +53,7 @@ from repro.graph.taskgraph import TaskGraph
 from repro.heuristics.cpmisf import cpmisf_schedule
 from repro.heuristics.insertion import insertion_list_schedule
 from repro.heuristics.listsched import list_schedule
+from repro.parallel.hda import hda_astar_schedule
 from repro.parallel.machine import MachineSpec
 from repro.parallel.metrics import measure_speedup
 from repro.parallel.mp_backend import multiprocessing_astar_schedule
@@ -106,6 +109,7 @@ __all__ = [
     "run_batch",
     "ResultCache",
     "multiprocessing_astar_schedule",
+    "hda_astar_schedule",
     "chen_yu_schedule",
     "list_schedule",
     "insertion_list_schedule",

@@ -60,9 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["clique", "ring", "chain", "star"])
     p.add_argument("--algorithm", default="astar",
                    choices=["astar", "bnb", "idastar", "focal", "wastar",
-                            "list", "chen-yu"])
-    p.add_argument("--epsilon", type=float, default=0.2,
-                   help="ε for --algorithm focal/wastar")
+                            "hda", "list", "chen-yu"])
+    p.add_argument("--epsilon", type=float, default=None,
+                   help="ε for --algorithm focal/wastar/hda "
+                        "(default: 0.2 for focal/wastar, 0 = exact for hda)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes for --algorithm hda")
     p.add_argument("--max-expansions", type=int, default=500_000)
     p.add_argument("--trace", action="store_true",
                    help="print the search tree (astar only)")
@@ -84,6 +87,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epsilon", type=float, default=0.25,
                    help="ε for the weighted-A* improver stage")
     p.add_argument("--max-expansions", type=int, default=500_000)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the exact search stage "
+                        "(> 1 runs the multiprocess HDA* engine)")
     p.add_argument("--cache", default=None,
                    help="result-cache SQLite file (omit for no persistence)")
 
@@ -95,6 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="PE count for bare graph files (default: v)")
     p.add_argument("--workers", type=int, default=1,
                    help="OS processes for the solve fan-out")
+    p.add_argument("--solver-workers", type=int, default=1,
+                   help="HDA* worker processes per instance (effective "
+                        "on the in-process path, i.e. --workers 1)")
     p.add_argument("--mode", default="portfolio", choices=["portfolio", "auto"])
     p.add_argument("--deadline", type=float, default=None,
                    help="per-instance wall-clock budget in seconds")
@@ -217,6 +226,9 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         print(render_timeline(sched))
         print(render_gantt(sched))
         return 0
+    epsilon = args.epsilon
+    if epsilon is None:
+        epsilon = 0.0 if args.algorithm == "hda" else 0.2
     trace = SearchTrace() if args.trace and args.algorithm == "astar" else None
     if args.algorithm == "astar":
         result = astar_schedule(graph, system, budget=budget, trace=trace)
@@ -225,13 +237,20 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     elif args.algorithm == "idastar":
         result = idastar_schedule(graph, system, budget=budget)
     elif args.algorithm == "wastar":
-        result = weighted_astar_schedule(graph, system, args.epsilon, budget=budget)
+        result = weighted_astar_schedule(graph, system, epsilon, budget=budget)
+    elif args.algorithm == "hda":
+        from repro.parallel.hda import hda_astar_schedule
+
+        result = hda_astar_schedule(
+            graph, system, workers=args.workers, epsilon=epsilon,
+            budget=budget,
+        )
     elif args.algorithm == "chen-yu":
         from repro.baselines.chen_yu import chen_yu_schedule
 
         result = chen_yu_schedule(graph, system, budget=budget)
     else:
-        result = focal_schedule(graph, system, args.epsilon, budget=budget)
+        result = focal_schedule(graph, system, epsilon, budget=budget)
     if trace is not None:
         print(trace.render())
     print(f"algorithm: {result.algorithm}   optimal: {result.optimal}   "
@@ -269,6 +288,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     report = run_batch(
         [BatchItem(name=graph.name, graph=graph, system=system)],
         cache=cache,
+        solver_workers=args.workers,
         deadline=args.deadline,
         epsilon=args.epsilon,
         max_expansions=args.max_expansions,
@@ -302,6 +322,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         items,
         cache=cache,
         workers=args.workers,
+        solver_workers=args.solver_workers,
         deadline=args.deadline,
         epsilon=args.epsilon,
         max_expansions=args.max_expansions,

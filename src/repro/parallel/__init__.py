@@ -4,11 +4,15 @@ The paper ran on the Intel Paragon.  Per the substitution table in
 DESIGN.md, we reproduce the *algorithmic* quantities that drive its
 speedup results — per-PPE expansions, communication rounds, duplicated
 work from local-only CLOSED lists — on a deterministic discrete-event
-simulation (:mod:`repro.parallel.machine`), and additionally provide a
-real :mod:`multiprocessing` backend (:mod:`repro.parallel.mp_backend`)
-for genuine multi-core runs.
+simulation (:mod:`repro.parallel.machine`), and additionally provide
+two real :mod:`multiprocessing` backends for genuine multi-core runs:
+the static-partition :mod:`repro.parallel.mp_backend` and the
+hash-distributed shared-incumbent HDA* engine
+(:mod:`repro.parallel.hda`, registered as ``engine="hda"`` in
+:mod:`repro.search`).
 """
 
+from repro.parallel.hda import hda_astar_schedule
 from repro.parallel.machine import MachineSpec, PPENetwork
 from repro.parallel.metrics import SpeedupReport, measure_speedup
 from repro.parallel.mp_backend import multiprocessing_astar_schedule
@@ -22,4 +26,5 @@ __all__ = [
     "SpeedupReport",
     "measure_speedup",
     "multiprocessing_astar_schedule",
+    "hda_astar_schedule",
 ]

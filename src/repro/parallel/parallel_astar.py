@@ -50,11 +50,11 @@ from repro.search.expansion import StateExpander
 from repro.search.pruning import PruningConfig
 from repro.search.result import SearchResult, SearchStats
 from repro.system.processors import ProcessorSystem
+from repro.util import tolerance as tol
 from repro.util.timing import Budget
 
 __all__ = ["ParallelResult", "parallel_astar_schedule"]
 
-_EPS = 1e-9
 _FOCAL_WINDOW = 32
 
 # OPEN entries are (f, h, seq, state); heapq orders by the leading triple.
@@ -97,9 +97,9 @@ class _PPE:
         if epsilon == 0.0 or have_incumbent or len(heap) == 1:
             return heapq.heappop(heap)
         first = heapq.heappop(heap)
-        bound = (1.0 + epsilon) * first[0] + _EPS
+        bound = (1.0 + epsilon) * first[0]
         window: list[_Entry] = [first]
-        while heap and len(window) < _FOCAL_WINDOW and heap[0][0] <= bound:
+        while heap and len(window) < _FOCAL_WINDOW and tol.leq(heap[0][0], bound):
             window.append(heapq.heappop(heap))
         # Deepest state (most nodes scheduled) within the bound wins.
         best_i = 0
@@ -210,7 +210,7 @@ def parallel_astar_schedule(
         nonlocal seq, incumbent, upper
         ch = cost_fn.h(child)
         cf = child.makespan + ch
-        if ub_on and cf > upper + _EPS:
+        if ub_on and tol.gt(cf, upper):
             stats.pruning.upper_bound_cuts += 1
             return None
         if child.is_complete() and (
@@ -281,7 +281,7 @@ def parallel_astar_schedule(
                         if ub_on:
                             upper = min(upper, incumbent.length)
                     continue
-                if ub_on and f > upper + _EPS:
+                if ub_on and tol.gt(f, upper):
                     stats.pruning.upper_bound_cuts += 1
                     continue
                 for child in expander.children(
@@ -299,7 +299,14 @@ def parallel_astar_schedule(
 
         # -- barrier: termination and budget checks --------------------------
         global_min_f = min(p.peek_f() for p in ppes)
-        if incumbent is not None and incumbent.length <= relax * global_min_f + _EPS:
+        # One tolerance helper for the ε-termination test (ISSUE 3):
+        # the three ad-hoc `... + 1e-9` comparisons this replaces could
+        # terminate an exact run one float-ulp early on drifted costs
+        # (0.1 + 0.2 style) or fail to fire on large-magnitude
+        # makespans where 1e-9 is below one ulp.
+        if incumbent is not None and tol.proves_bound(
+            incumbent.length, epsilon, global_min_f
+        ):
             optimal_proven = True
             break
         if global_min_f is math.inf:

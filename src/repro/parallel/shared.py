@@ -1,0 +1,242 @@
+"""Shared-memory coordination for the HDA* backend.
+
+Three small primitives, each wrapping raw :mod:`multiprocessing`
+objects behind the exact protocol the search needs:
+
+* :class:`SharedIncumbent` — the one number every worker's §3.2
+  upper-bound pruning reads: the best complete-schedule length found
+  anywhere.  Updates are compare-and-set under the value's lock; reads
+  are lock-free (a stale read only makes pruning momentarily less
+  aggressive, never wrong).
+* :class:`WorkerBoard` — per-worker idle flags plus sent/received
+  message counters, each slot written by exactly one process, used for
+  distributed quiescence detection (below).
+* :class:`Outbox` — per-destination batching of outgoing states so a
+  queue ``put`` (one pickle + one pipe write) amortizes over
+  ``batch_size`` states.
+
+Quiescence detection
+--------------------
+
+The search is done when every worker is idle (empty OPEN, empty inbox)
+and no message is in flight.  :meth:`WorkerBoard.quiescent` implements
+the classic counter protocol: workers increment their ``sent`` slot
+*before* putting a batch on a queue, and clear their idle flag *before*
+incrementing ``received`` after getting one.  The detector then reads
+``idle → counters → idle → counters``; a batch in flight shows up as
+``sum(sent) > sum(received)`` (sender counted first), and a batch
+consumed between the two scans shows up as a cleared idle flag or a
+counter change.  Only a stable double-read — all idle, sums equal,
+twice — reports quiescence.
+"""
+
+from __future__ import annotations
+
+import queue
+from typing import Any
+
+from repro.util.hashing import MASK64, splitmix64
+
+__all__ = ["SharedIncumbent", "WorkerBoard", "Outbox", "owner_of"]
+
+
+def owner_of(key: tuple[int, int], workers: int) -> int:
+    """The worker that owns the state with duplicate key ``key``.
+
+    Pure arithmetic over the ``(mask, zobrist)`` pair, so every process
+    maps equal states to the same owner — that single-owner property is
+    what keeps each worker's local :class:`~repro.search.dedup.
+    SignatureSet` a globally-exact CLOSED check.  The zobrist component
+    is already well mixed; folding the (possibly > 64-bit) mask in and
+    re-finalizing decorrelates ownership from the OPEN-order structure
+    the zobrist keys inherit from placement arithmetic.
+    """
+    mask, zkey = key
+    return splitmix64((zkey ^ (mask & MASK64)) & MASK64) % workers
+
+
+class SharedIncumbent:
+    """A shared, monotonically-decreasing upper bound.
+
+    Semantics: :meth:`value` is always the length of a *real* schedule
+    (the initial list-schedule bound or a complete state some worker
+    found), so pruning states with ``f >= value`` never loses the
+    optimum — the schedule realizing ``value`` is retained by whoever
+    produced it.
+    """
+
+    def __init__(self, ctx: Any, initial: float) -> None:
+        # RawValue + explicit lock: mp.Value's `.value` accessor takes
+        # the lock on every *read*, and the workers read once per
+        # expansion.  An aligned 8-byte read is atomic on every
+        # platform CPython runs on, so reads go lock-free; only the
+        # compare-and-set write serializes.
+        self._val = ctx.RawValue("d", initial)
+        self._lock = ctx.Lock()
+
+    def try_improve(self, length: float) -> bool:
+        """Install ``length`` if it beats the current bound (CAS)."""
+        with self._lock:
+            if length < self._val.value:
+                self._val.value = length
+                return True
+            return False
+
+    @property
+    def value(self) -> float:
+        """Current bound; lock-free read (stale reads are safe)."""
+        return self._val.value
+
+
+class WorkerBoard:
+    """Idle flags + message counters for quiescence detection.
+
+    Every slot has exactly one writer (its worker), so the arrays are
+    created lock-free; cross-process visibility is provided by the
+    shared ``mmap`` backing and the protocol ordering documented in the
+    module docstring.
+    """
+
+    def __init__(self, ctx: Any, workers: int) -> None:
+        self.workers = workers
+        self._idle = ctx.Array("b", workers, lock=False)
+        self._sent = ctx.Array("q", workers, lock=False)
+        self._received = ctx.Array("q", workers, lock=False)
+        self._expanded = ctx.Array("q", workers, lock=False)
+        self._generated = ctx.Array("q", workers, lock=False)
+
+    # -- worker side ---------------------------------------------------------
+
+    def count_sent(self, wid: int) -> None:
+        """Record one outgoing batch; call *before* the queue ``put``."""
+        self._sent[wid] += 1
+
+    def uncount_sent(self, wid: int) -> None:
+        """Roll back :meth:`count_sent` after a failed non-blocking put.
+
+        Safe for the protocol: the transient over-count can only make
+        the detector see ``sent > received`` — the no-termination
+        direction.
+        """
+        self._sent[wid] -= 1
+
+    def count_received(self, wid: int) -> None:
+        """Record one consumed batch; call *after* clearing idle."""
+        self._received[wid] += 1
+
+    def set_idle(self, wid: int, idle: bool) -> None:
+        self._idle[wid] = 1 if idle else 0
+
+    def publish_progress(self, wid: int, expanded: int, generated: int) -> None:
+        """Publish this worker's absolute work counts (per chunk).
+
+        Feeds the *global* expansion/generation budgets: any worker
+        compares the sums against the shared caps, so one
+        hash-imbalanced worker cannot strand the rest of the budget the
+        way a static per-worker split would.
+        """
+        self._expanded[wid] = expanded
+        self._generated[wid] = generated
+
+    def total_progress(self) -> tuple[int, int]:
+        """Sums of published (expanded, generated) counts (racy
+        snapshot — stale by at most one chunk per worker, which bounds
+        budget overshoot)."""
+        return sum(self._expanded), sum(self._generated)
+
+    # -- detector side -------------------------------------------------------
+
+    def _scan(self) -> tuple[bool, int, int]:
+        return (
+            all(self._idle[i] for i in range(self.workers)),
+            sum(self._sent),
+            sum(self._received),
+        )
+
+    def quiescent(self) -> bool:
+        """Stable double-read: all idle and no batch in flight, twice."""
+        idle1, sent1, recv1 = self._scan()
+        if not idle1 or sent1 != recv1:
+            return False
+        idle2, sent2, recv2 = self._scan()
+        return idle2 and sent2 == sent1 and recv2 == recv1
+
+    def counters(self) -> dict[str, int]:
+        """Totals for diagnostics (racy snapshot; fine for reports)."""
+        return {"sent": sum(self._sent), "received": sum(self._received)}
+
+
+class Outbox:
+    """Per-destination batches of outgoing states with flow control.
+
+    States headed to worker ``j`` accumulate in ``self.batches[j]`` and
+    flush as one queue message when the batch fills (or on demand —
+    before the owner may go idle, an unflushed batch would deadlock the
+    quiescence protocol by hiding work from the counters).
+
+    Sends are **non-blocking**: the inbox queues are bounded (back
+    pressure — an unbounded queue lets a fast producer buffer millions
+    of states a drowning consumer will mostly discard as duplicates),
+    and a full destination simply keeps the batch local for a later
+    retry.  Nothing ever blocks on a peer, so the classic bounded-queue
+    deadlock (A blocked putting to B putting to A) cannot form; the
+    retry converges because every worker drains its inbox at each loop
+    iteration before expanding.
+    """
+
+    def __init__(
+        self,
+        wid: int,
+        queues: list[Any],
+        board: WorkerBoard,
+        batch_size: int = 64,
+    ) -> None:
+        self.wid = wid
+        self.queues = queues
+        self.board = board
+        self.batch_size = batch_size
+        self.batches: list[list[Any]] = [[] for _ in queues]
+
+    def send(self, dest: int, item: Any) -> None:
+        """Buffer ``item`` for ``dest``; try to flush when full.
+
+        The batch-size bound is soft: if the destination is full the
+        batch keeps growing locally and retries on the next flush.
+        """
+        batch = self.batches[dest]
+        batch.append(item)
+        if len(batch) >= self.batch_size:
+            self.flush_one(dest)
+
+    def flush_one(self, dest: int) -> bool:
+        """Try to ship ``dest``'s batch; False when the peer is full."""
+        batch = self.batches[dest]
+        if not batch:
+            return True
+        # Count before put: a detector that sees the queue still empty
+        # must already see sent > received (see module docstring).
+        self.board.count_sent(self.wid)
+        try:
+            self.queues[dest].put_nowait(batch)
+        except queue.Full:
+            self.board.uncount_sent(self.wid)
+            return False
+        self.batches[dest] = []
+        return True
+
+    def flush_all(self) -> bool:
+        """Try every pending batch; True when all of them shipped."""
+        done = True
+        for dest in range(len(self.batches)):
+            done &= self.flush_one(dest)
+        return done
+
+    @property
+    def pending(self) -> bool:
+        """True while any batch is waiting on a full destination."""
+        return any(self.batches)
+
+    def drop_all(self) -> None:
+        """Discard pending batches without sending (shutdown path)."""
+        for dest in range(len(self.batches)):
+            self.batches[dest] = []

@@ -219,15 +219,29 @@ class PartialSchedule:
         return self._finishes  # type: ignore[return-value]
 
     def placements(self) -> Iterable[tuple[int, int, float, float]]:
-        """Yield ``(node, pe, start, finish)`` deltas, most recent first.
+        """Yield every ``(node, pe, start, finish)``, most recent first.
 
         Walks the parent chain without materializing any arrays — O(1)
-        per scheduled node.
+        per scheduled node.  The chain may terminate in a *snapshot
+        root* instead of the empty state (a state rebuilt by
+        :meth:`from_wire` carries arrays but no parent chain); its
+        placements are then read from the arrays, in no particular
+        order relative to each other.
         """
         s = self
         while s.last_node >= 0:
             yield s.last_node, s.last_pe, s.last_start, s.last_finish
             s = s._parent  # type: ignore[assignment]
+        if s.num_scheduled:
+            pes = s._pes
+            starts = s._starts
+            finishes = s._finishes
+            m = s.mask
+            while m:
+                low = m & -m
+                n = low.bit_length() - 1
+                m ^= low
+                yield n, pes[n], starts[n], finishes[n]  # type: ignore[index]
 
     # -- queries -------------------------------------------------------------
 
@@ -460,6 +474,63 @@ class PartialSchedule:
         items = [(node, pe, start) for node, pe, start, _finish in self.placements()]
         items.sort(key=lambda t: (t[2], t[0]))
         return tuple(items)
+
+    def to_wire(self) -> tuple:
+        """Full-fidelity snapshot for cross-process transfer: every
+        aggregate plus the materialized arrays, as one picklable tuple.
+
+        :meth:`compact` stays the encoding of choice when the receiver
+        replays anyway (seeds of the static-partition backend, final
+        results); this snapshot is the HDA* hot-path format — rebuilding
+        via :meth:`from_wire` is one O(v) construction instead of an
+        O(depth) :meth:`extend` replay with its per-step EST scans
+        (measured ~10x cheaper at §4.1 depths, see DESIGN.md).
+        """
+        if self._pes is None:
+            self._materialize()
+        return (
+            self.mask,
+            self.ready_mask,
+            self.ready_time,
+            self.makespan,
+            self.num_scheduled,
+            self.zkey,
+            self.used_pes,
+            self._max_finish_nodes,
+            self._pes,
+            self._starts,
+            self._finishes,
+        )
+
+    @classmethod
+    def from_wire(
+        cls, graph: TaskGraph, system: ProcessorSystem, wire: tuple
+    ) -> "PartialSchedule":
+        """Rebuild a state from :meth:`to_wire` output.
+
+        The result is a *snapshot root*: no parent chain and no last-
+        placement delta (``last_node = -1``), so the commutation rule
+        simply has nothing to prune against it, and :meth:`placements`
+        reads its nodes from the arrays.  Identity (``dedup_key``,
+        ``signature``) and all search-visible behaviour are preserved.
+        """
+        (mask, ready_mask, ready_time, makespan, num_scheduled, zkey,
+         used_pes, max_finish_nodes, pes, starts, finishes) = wire
+        return cls(
+            graph=graph,
+            system=system,
+            mask=mask,
+            ready_mask=ready_mask,
+            ready_time=ready_time,
+            makespan=makespan,
+            num_scheduled=num_scheduled,
+            zkey=zkey,
+            used_pes=used_pes,
+            max_finish_nodes=max_finish_nodes,
+            pes=pes,
+            starts=starts,
+            finishes=finishes,
+        )
 
     @classmethod
     def inflate(

@@ -10,6 +10,14 @@
   state space (memory-light alternative).
 * :mod:`repro.search.enumerate` — exhaustive enumeration for tiny
   instances (ground truth in tests).
+
+:data:`ENGINES` / :func:`get_engine` form the engine registry: every
+first-class search backend by name, including the multiprocess HDA*
+engine that lives in :mod:`repro.parallel` (resolved lazily to keep
+this package import-light and cycle-free).  The service layer's
+portfolio dispatches through it; the CLI keeps its own argparse
+choices (engine flags differ per command) but every engine it offers
+is registered here.
 """
 
 from repro.search.astar import astar_schedule
@@ -29,7 +37,55 @@ from repro.search.focal import focal_schedule
 from repro.search.pruning import PruningConfig, PruningStats
 from repro.search.result import SearchResult, SearchStats
 
+
+def _load_hda():
+    # Deferred: repro.parallel.hda imports back into repro.search; a
+    # top-level import here would create a package cycle.
+    from repro.parallel.hda import hda_astar_schedule
+
+    return hda_astar_schedule
+
+
+#: Engine registry: name -> zero-argument loader returning the engine's
+#: schedule function.  Every engine takes ``(graph, system, ...)``, but
+#: signatures differ beyond that (``wastar``/``focal`` require a
+#: positional ``epsilon``, ``hda`` adds ``workers=``, ``enumerate``
+#: takes no budget) — consult each function before generic dispatch;
+#: :func:`repro.service.portfolio._run_engine` shows the bindings.
+_ENGINE_LOADERS = {
+    "astar": lambda: astar_schedule,
+    "bnb": lambda: bnb_schedule,
+    "idastar": lambda: idastar_schedule,
+    "wastar": lambda: weighted_astar_schedule,
+    "focal": lambda: focal_schedule,
+    "enumerate": lambda: enumerate_optimal,
+    "hda": _load_hda,
+}
+
+#: The registered engine names, in registry order.
+ENGINES = tuple(_ENGINE_LOADERS)
+
+
+def get_engine(name: str):
+    """Resolve an engine name from :data:`ENGINES` to its function.
+
+    Raises
+    ------
+    ValueError
+        For unknown names (the message lists the registry).
+    """
+    try:
+        loader = _ENGINE_LOADERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; registered: {', '.join(ENGINES)}"
+        ) from None
+    return loader()
+
+
 __all__ = [
+    "ENGINES",
+    "get_engine",
     "astar_schedule",
     "focal_schedule",
     "bnb_schedule",

@@ -239,6 +239,7 @@ def run_batch(
     *,
     cache: ResultCache | None = None,
     workers: int = 1,
+    solver_workers: int = 1,
     deadline: float | None = None,
     epsilon: float = 0.25,
     cost: str = "paper",
@@ -257,6 +258,12 @@ def run_batch(
         disables caching (every unique fingerprint is solved).
     workers:
         OS processes for the solve fan-out (1 = in-process, no pool).
+    solver_workers:
+        Worker processes *per instance* for the exact search stage
+        (the HDA* engine).  Effective on the in-process path; inside a
+        fan-out pool (``workers > 1``) the daemonic pool workers cannot
+        spawn children and the engine transparently falls back to
+        serial — use one or the other axis of parallelism.
     deadline:
         Per-instance wall-clock budget in seconds.
     mode:
@@ -313,7 +320,7 @@ def run_batch(
     if todo:
         jobs = [
             _job_for(items[rep_index[fp]], fp, deadline, epsilon, cost,
-                     max_expansions, mode)
+                     max_expansions, mode, solver_workers)
             for fp in todo
         ]
         if workers > 1 and len(jobs) > 1:
@@ -402,6 +409,7 @@ def _job_for(
     cost: str,
     max_expansions: int | None,
     mode: str,
+    solver_workers: int = 1,
 ) -> dict[str, Any]:
     """Plain-dict job descriptor (same discipline as mp_backend seeds)."""
     return {
@@ -413,6 +421,7 @@ def _job_for(
         "cost": cost,
         "max_expansions": max_expansions,
         "mode": mode,
+        "solver_workers": solver_workers,
     }
 
 
@@ -425,6 +434,7 @@ def _worker_solve(job: dict[str, Any]) -> dict[str, Any]:
         pres = portfolio_schedule(
             graph, system, deadline=job["deadline"], epsilon=job["epsilon"],
             cost=job["cost"], max_expansions=job["max_expansions"],
+            workers=job.get("solver_workers", 1),
         )
         schedule = pres.schedule
         certificate = pres.certificate
@@ -436,6 +446,7 @@ def _worker_solve(job: dict[str, Any]) -> dict[str, Any]:
         res = solve_auto(
             graph, system, deadline=job["deadline"], epsilon=job["epsilon"],
             cost=job["cost"], max_expansions=job["max_expansions"],
+            workers=job.get("solver_workers", 1),
         )
         schedule = res.schedule
         certificate = res.certificate

@@ -167,38 +167,53 @@ class ResultCache:
             return False
         self._admit(entry)
         if self._db is not None:
-            self._db.execute(
-                "INSERT OR REPLACE INTO results"
-                " (fingerprint, payload, makespan, proven, created)"
-                " VALUES (?, ?, ?, ?, ?)",
-                (
-                    entry.fingerprint,
-                    json.dumps(entry.as_dict()),
-                    entry.makespan,
-                    int(entry.proven),
-                    entry.created,
-                ),
-            )
-            self._db.commit()
+            try:
+                self._db.execute(
+                    "INSERT OR REPLACE INTO results"
+                    " (fingerprint, payload, makespan, proven, created)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    (
+                        entry.fingerprint,
+                        json.dumps(entry.as_dict()),
+                        entry.makespan,
+                        int(entry.proven),
+                        entry.created,
+                    ),
+                )
+                self._db.commit()
+            except sqlite3.DatabaseError:
+                # A corrupt store must not abort the batch: the entry
+                # stays served from the memory tier, the broken row is
+                # counted like a stale read.
+                self.stale += 1
         return True
 
     def _load_row(self, fingerprint: str) -> CacheEntry | None:
         """Read one persisted entry; corruption reads as a miss.
 
         A store written by a different code version (schema mismatch),
-        or a payload mangled by a crash, must never poison a batch run —
+        a payload mangled by a crash, or a store whose *file* is
+        corrupt (``sqlite3.DatabaseError`` — raised by the query
+        itself, not the JSON decode) must never poison a batch run —
         the caller falls through to the solver, whose fresh result then
-        overwrites the bad row.
+        overwrites the bad row.  File-level corruption is counted in
+        :attr:`stale`: an entry was (nominally) present but unusable.
         """
-        row = self._db.execute(  # type: ignore[union-attr]
-            "SELECT payload FROM results WHERE fingerprint = ?",
-            (fingerprint,),
-        ).fetchone()
+        try:
+            row = self._db.execute(  # type: ignore[union-attr]
+                "SELECT payload FROM results WHERE fingerprint = ?",
+                (fingerprint,),
+            ).fetchone()
+        except sqlite3.DatabaseError:
+            self.stale += 1
+            return None
         if row is None:
             return None
         try:
             return CacheEntry.from_dict(json.loads(row[0]))
         except (ValueError, KeyError, TypeError):
+            # Covers json.JSONDecodeError (a ValueError), schema
+            # mismatches, and structurally-wrong payloads.
             return None
 
     def _admit(self, entry: CacheEntry) -> None:

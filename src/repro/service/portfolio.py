@@ -34,8 +34,7 @@ from repro.graph.taskgraph import TaskGraph
 from repro.heuristics.listsched import fast_upper_bound_schedule
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.schedule import Schedule
-from repro.search.astar import astar_schedule
-from repro.search.bnb import bnb_schedule
+from repro.search import get_engine
 from repro.search.result import SearchResult, SearchStats
 from repro.search.weighted import weighted_astar_schedule
 from repro.system.processors import ProcessorSystem
@@ -57,6 +56,10 @@ _SMALL_V = 14
 _HIGH_CCR = 5.0
 #: Edge density above which the state space is narrow enough for A*.
 _DENSE = 0.35
+#: Above this node count the exact stage goes to the multiprocess HDA*
+#: engine when the caller granted ``workers > 1`` — below it the serial
+#: engine finishes before worker processes would even spawn.
+_HDA_MIN_V = 14
 
 
 @dataclass(frozen=True)
@@ -149,24 +152,27 @@ def _run_engine(
     cost: str,
     state_cls: type,
     incumbent: Schedule | None,
+    workers: int = 1,
 ) -> SearchResult:
-    """Dispatch one engine by name (the portfolio's inner call)."""
-    if name == "astar":
-        return astar_schedule(
-            graph, system, cost=cost, budget=budget,
-            state_cls=state_cls, incumbent=incumbent,
-        )
-    if name == "bnb":
-        return bnb_schedule(
+    """Dispatch one engine through the registry (the portfolio's
+    inner call); per-engine extras are bound here."""
+    engine = get_engine(name)  # raises ValueError on unknown names
+    if name in ("astar", "bnb"):
+        return engine(
             graph, system, cost=cost, budget=budget,
             state_cls=state_cls, incumbent=incumbent,
         )
     if name == "wastar":
-        return weighted_astar_schedule(
+        return engine(
             graph, system, epsilon, cost=cost, budget=budget,
             state_cls=state_cls,
         )
-    raise ValueError(f"unknown engine {name!r}")
+    if name == "hda":
+        return engine(
+            graph, system, workers=workers, cost=cost, budget=budget,
+            state_cls=state_cls, incumbent=incumbent,
+        )
+    raise ValueError(f"engine {name!r} is not portfolio-dispatchable")
 
 
 def solve_auto(
@@ -178,13 +184,23 @@ def solve_auto(
     cost: str = "paper",
     max_expansions: int | None = 500_000,
     state_cls: type = PartialSchedule,
+    workers: int = 1,
 ) -> SearchResult:
-    """Single-engine fast path: :func:`select_engine` then one search."""
+    """Single-engine fast path: :func:`select_engine` then one search.
+
+    ``workers > 1`` upgrades an exact selection to the multiprocess
+    HDA* engine on instances large enough to amortize process spawn.
+    """
     engine = select_engine(graph, system)
+    # Only an A* selection upgrades: a "bnb" selection is the
+    # high-CCR *memory* decision, and HDA* holds full OPEN/CLOSED
+    # lists in every worker — exactly what that decision avoids.
+    if workers > 1 and engine == "astar" and graph.num_nodes > _HDA_MIN_V:
+        engine = "hda"
     budget = Budget(max_expanded=max_expansions, max_seconds=deadline)
     return _run_engine(
         engine, graph, system, budget=budget, epsilon=epsilon,
-        cost=cost, state_cls=state_cls, incumbent=None,
+        cost=cost, state_cls=state_cls, incumbent=None, workers=workers,
     )
 
 
@@ -197,6 +213,7 @@ def portfolio_schedule(
     cost: str = "paper",
     max_expansions: int | None = 500_000,
     state_cls: type = PartialSchedule,
+    workers: int = 1,
 ) -> PortfolioResult:
     """Race the stage ladder against a wall-clock deadline.
 
@@ -206,13 +223,23 @@ def portfolio_schedule(
         The problem instance.
     deadline:
         Total wall-clock seconds for all stages; ``None`` bounds each
-        stage by ``max_expansions`` only.
+        stage by ``max_expansions`` only.  Every stage's engine receives
+        the *remaining* budget (``deadline - elapsed``), never the
+        original allotment, so an overrunning early stage eats its own
+        slack instead of the caller's deadline.
     epsilon:
         Sub-optimality factor for the weighted-A* improver stage.
     max_expansions:
         Per-ladder expansion cap (the improver gets a quarter of it).
     state_cls:
         Search-state implementation, forwarded to every engine.
+    workers:
+        Worker processes for the exact stage; ``> 1`` hands instances
+        with ``v > _HDA_MIN_V`` to the multiprocess HDA* engine (the
+        stage keeps its deadline share and incumbent seeding) — except
+        when the selector chose B&B for its O(depth) memory on
+        high-CCR instances, which stays serial.  ``max_expansions``
+        remains the memory backstop for the upgraded stage.
 
     Guarantees: the returned makespan is never worse than the linear-time
     list schedule; ``optimal`` is True iff the exact stage ran to
@@ -246,10 +273,19 @@ def portfolio_schedule(
     bound = math.inf
 
     exact_engine = select_engine(graph, system)
+    # A "bnb" selection is the deliberate high-CCR memory decision —
+    # never overridden: HDA* is A*-family and holds full OPEN/CLOSED
+    # lists in every worker.  The wastar fallback below is a size
+    # decision, not a memory one, so workers may still upgrade it.
+    memory_bound = exact_engine == "bnb"
     if exact_engine == "wastar":
         # The selector expects exact search to struggle here; still run
         # B&B last (memory-safe) so a generous deadline can prove bounds.
         exact_engine = "bnb"
+    if workers > 1 and not memory_bound and graph.num_nodes > _HDA_MIN_V:
+        # Large exact searches go multiprocess: HDA* keeps per-worker
+        # dedup exact and reads the stage incumbent as its shared bound.
+        exact_engine = "hda"
     run_improver = graph.num_nodes > _SMALL_V
 
     # -- stage 2: weighted-A* improver -------------------------------------
@@ -298,6 +334,7 @@ def portfolio_schedule(
         res = _run_engine(
             exact_engine, graph, system, budget=exact_budget,
             epsilon=epsilon, cost=cost, state_cls=state_cls, incumbent=best,
+            workers=workers,
         )
         improved = res.schedule is not None and res.length < best.length
         if improved:

@@ -77,11 +77,18 @@ class Budget:
         return self.max_generated is not None and generated >= self.max_generated
 
     def time_exhausted(self) -> bool:
-        """True when the wall-clock budget is spent (sampled)."""
+        """True when the wall-clock budget is spent (sampled).
+
+        The *first* call always consults the clock: a stage handed an
+        already-expired (or zero/negative) remainder of a deadline must
+        trip immediately, not after ``time_check_interval`` expansions
+        of overrun.  Subsequent calls sample every
+        ``time_check_interval``-th check as before.
+        """
         if self.max_seconds is None:
             return False
         self._checks += 1
-        if self._checks % self.time_check_interval:
+        if self._checks != 1 and self._checks % self.time_check_interval:
             return False
         return (time.perf_counter() - self._start) >= self.max_seconds
 

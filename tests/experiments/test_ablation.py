@@ -1,5 +1,7 @@
 """Tests for the pruning-ablation driver."""
 
+import pytest
+
 from repro.experiments.ablation import ABLATION_VARIANTS, run_ablation
 from repro.experiments.runner import ExperimentConfig
 from repro.workloads.suite import paper_suite
@@ -21,6 +23,7 @@ def small_run():
 
 
 class TestAblation:
+    @pytest.mark.slow
     def test_variant_rows(self):
         result = small_run()
         assert len(result.rows) == 4

@@ -1,5 +1,7 @@
 """Tests for the Figure-6 driver (parallel speedups)."""
 
+import pytest
+
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.runner import ExperimentConfig, OptimumCache
 from repro.workloads.suite import paper_suite
@@ -20,6 +22,7 @@ def small_run():
 
 
 class TestFigure6:
+    @pytest.mark.slow
     def test_point_grid(self):
         result = small_run()
         assert len(result.points) == 2 * 2  # sizes × ppe counts

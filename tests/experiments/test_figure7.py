@@ -1,5 +1,7 @@
 """Tests for the Figure-7 driver (Aε* deviation and time ratio)."""
 
+import pytest
+
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.runner import ExperimentConfig, OptimumCache
 from repro.workloads.suite import paper_suite
@@ -20,6 +22,7 @@ def small_run():
 
 
 class TestFigure7:
+    @pytest.mark.slow
     def test_point_grid(self):
         result = small_run()
         assert len(result.points) == 2 * 2  # sizes × epsilons

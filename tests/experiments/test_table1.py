@@ -1,5 +1,7 @@
 """Tests for the Table-1 driver — shape assertions included."""
 
+import pytest
+
 from repro.experiments.runner import ExperimentConfig
 from repro.experiments.table1 import run_table1
 from repro.workloads.suite import paper_suite
@@ -16,6 +18,7 @@ def small_run():
 
 
 class TestTable1:
+    @pytest.mark.slow
     def test_row_per_instance(self):
         result = small_run()
         assert len(result.rows) == 4

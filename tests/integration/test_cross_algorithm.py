@@ -61,6 +61,7 @@ SMALL_INSTANCES = [
 
 
 @pytest.mark.parametrize("idx", range(len(SMALL_INSTANCES)))
+@pytest.mark.slow
 def test_all_engines_agree(idx):
     graph, system = SMALL_INSTANCES[idx]
     lengths = exact_lengths(graph, system)

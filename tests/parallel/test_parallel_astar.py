@@ -122,3 +122,47 @@ def test_parallel_focal_respects_bound(instance):
             graph, system, MachineSpec(num_ppes=4), epsilon=eps
         )
         assert par.result.length <= (1 + eps) * opt + 1e-9
+
+
+class TestEpsilonTerminationDrift:
+    """Regression (ISSUE 3): the ε-termination comparison used raw
+    floats with an inconsistent absolute epsilon; exact (ε = 0) runs on
+    costs like 0.1 + 0.2 could terminate one ulp early or fail to stop
+    on a plateau that only exists as rounding noise."""
+
+    def _drifty_instance(self):
+        from repro.graph.taskgraph import TaskGraph
+        from repro.system.processors import ProcessorSystem
+
+        # Fork-join over binary-drifty weights: the two branch sums
+        # (0.1 + 0.2 vs 0.3) are mathematically equal but differ in the
+        # last ulp, so f-values on the optimal plateau disagree by drift.
+        graph = TaskGraph(
+            [0.1, 0.1, 0.2, 0.3, 0.1],
+            {(0, 1): 0.1, (0, 3): 0.1, (1, 2): 0.2, (2, 4): 0.1, (3, 4): 0.2},
+            name="drift",
+        )
+        return graph, ProcessorSystem.fully_connected(2)
+
+    def test_exact_run_terminates_and_matches_serial(self):
+        from repro.search.astar import astar_schedule
+
+        graph, system = self._drifty_instance()
+        serial = astar_schedule(graph, system)
+        par = parallel_astar_schedule(graph, system, epsilon=0.0)
+        assert par.result.optimal
+        assert serial.optimal
+        assert par.result.schedule.length == pytest.approx(
+            serial.length, abs=1e-12
+        )
+
+    def test_epsilon_run_respects_bound_on_drifty_costs(self):
+        import math
+
+        from repro.search.astar import astar_schedule
+
+        graph, system = self._drifty_instance()
+        serial = astar_schedule(graph, system)
+        par = parallel_astar_schedule(graph, system, epsilon=0.2)
+        assert math.isfinite(par.result.bound)
+        assert par.result.schedule.length <= 1.2 * serial.length * (1 + 1e-9)

@@ -183,6 +183,38 @@ def test_compact_inflate_roundtrip(instance):
 
 @_SETTINGS
 @given(scheduling_instances())
+def test_wire_roundtrip(instance):
+    """to_wire() -> from_wire() preserves identity, behaviour, and —
+    unlike compact() — survives *further extension*: a snapshot root's
+    placements() must still cover the pre-transfer placements (the HDA*
+    workers complete schedules descended from transferred states)."""
+    graph, system = instance
+    state = PartialSchedule.empty(graph, system)
+    p = system.num_pes
+    order = list(graph.topological_order)
+    cut = len(order) // 2
+    for i, node in enumerate(order[:cut]):
+        state = state.extend(node, (i + 1) % p)
+    clone = PartialSchedule.from_wire(graph, system, state.to_wire())
+    assert clone.dedup_key == state.dedup_key
+    assert clone.signature == state.signature
+    assert clone.ready_time == state.ready_time
+    assert clone.makespan == state.makespan
+    assert clone.ready_mask == state.ready_mask
+    assert clone == state
+    assert hash(clone) == hash(state)
+    assert sorted(clone.placements()) == sorted(state.placements())
+    # Extend both to completion identically: byte-identical schedules.
+    for i, node in enumerate(order[cut:]):
+        state = state.extend(node, i % p)
+        clone = clone.extend(node, i % p)
+    assert clone.signature == state.signature
+    if order:
+        assert clone.to_schedule().length == state.to_schedule().length
+
+
+@_SETTINGS
+@given(scheduling_instances())
 def test_child_signature_matches_placement_key(instance):
     """child_signature's inlined hash must equal the placement_key module
     function — the two copies silently corrupt dedup if they diverge."""

@@ -138,3 +138,98 @@ class TestPersistentTier:
             "hits": 1, "misses": 1, "stale": 0,
             "memory_entries": 1, "stored_entries": 1,
         }
+
+
+class TestCorruptStore:
+    """Regression tests (ISSUE 3): file-level SQLite corruption must
+    read as a miss (counted stale), never crash a batch run."""
+
+    def _corrupt_data_page(self, path):
+        """Overwrite the table's data page, sparing page 1 (the header
+        and schema), so connecting and CREATE TABLE still succeed but
+        touching the row raises sqlite3.DatabaseError."""
+        blob = bytearray(path.read_bytes())
+        assert len(blob) > 4096, "store too small to hold a second page"
+        for i in range(4096, min(len(blob), 8192)):
+            blob[i] = 0xFF
+        path.write_bytes(bytes(blob))
+
+    def test_malformed_blob_reads_as_stale_miss(self, tmp_path):
+        db = tmp_path / "cache.db"
+        with ResultCache(db) as cache:
+            cache.put(entry("aa"))
+        self._corrupt_data_page(db)
+        with ResultCache(db) as cache:  # schema page intact: opens fine
+            assert cache.get("aa") is None  # DatabaseError absorbed
+            assert cache.stale == 1
+            assert cache.misses == 1
+
+    def test_corrupt_store_does_not_abort_puts(self, tmp_path):
+        db = tmp_path / "cache.db"
+        with ResultCache(db) as cache:
+            cache.put(entry("aa"))
+        self._corrupt_data_page(db)
+        with ResultCache(db) as cache:
+            assert cache.put(entry("bb", makespan=7.0))  # swallowed, counted
+            assert cache.stale >= 1
+            # The entry is still served from the memory tier.
+            assert cache.get("bb").makespan == 7.0
+
+    def test_malformed_row_blob_injected_directly(self, tmp_path):
+        """A structurally-valid DB holding a garbage payload row."""
+        import sqlite3 as sql
+
+        db = tmp_path / "cache.db"
+        ResultCache(db).close()  # create the schema
+        con = sql.connect(db)
+        con.execute(
+            "INSERT INTO results (fingerprint, payload, makespan, proven,"
+            " created) VALUES (?, ?, ?, ?, ?)",
+            ("aa", b"\x00\xffnot json\xfe", 1.0, 1, 0.0),
+        )
+        con.commit()
+        con.close()
+        with ResultCache(db) as cache:
+            assert cache.get("aa") is None
+            assert cache.misses == 1
+            # The solver's fresh result overwrites the bad row.
+            assert cache.put(entry("aa", makespan=4.0))
+        with ResultCache(db) as cache:
+            assert cache.get("aa").makespan == 4.0
+
+
+class TestLifecycle:
+    """Context-manager / close() behaviour under exceptions mid-put."""
+
+    def test_exception_mid_put_closes_connection_and_db_survives(
+        self, tmp_path
+    ):
+        db = tmp_path / "cache.db"
+        bad = entry("bb")
+        # stats must be JSON-serializable; an object() is not, so the
+        # put raises *after* the memory admit, mid-persistence.
+        bad = type(bad)(
+            fingerprint=bad.fingerprint,
+            assignment=bad.assignment,
+            makespan=bad.makespan,
+            certificate=bad.certificate,
+            bound=bad.bound,
+            algorithm=bad.algorithm,
+            stats={"oops": object()},
+        )
+        with pytest.raises(TypeError):
+            with ResultCache(db) as cache:
+                assert cache.put(entry("aa"))
+                cache.put(bad)
+        assert cache._db is None  # __exit__ ran: no leaked connection
+        # The store is intact and still readable afterwards.
+        with ResultCache(db) as reopened:
+            assert reopened.get("aa").makespan == 10.0
+            assert reopened.get("bb") is None  # never persisted
+
+    def test_close_is_idempotent_and_get_after_close_uses_memory(self):
+        cache = ResultCache()
+        cache.put(entry("aa"))
+        cache.close()
+        cache.close()  # no-op twice
+        assert cache.get("aa") is not None  # memory tier still serves

@@ -124,3 +124,112 @@ class TestSelection:
         assert result.length == pytest.approx(
             astar_schedule(graph, system).length
         )
+
+
+class TestDeadlineAccounting:
+    """Regression tests (ISSUE 3): every stage's engine receives the
+    *remaining* deadline (``deadline - elapsed``), never the original
+    allotment — driven by a fake clock so stage overruns are exact."""
+
+    def _fake_clock(self, monkeypatch):
+        import repro.service.portfolio as pf
+
+        clock = {"t": 1000.0}
+        monkeypatch.setattr(pf.time, "perf_counter", lambda: clock["t"])
+        return clock
+
+    def _stub_result(self):
+        import math
+
+        from repro.search.result import SearchResult, SearchStats
+
+        return SearchResult(
+            schedule=None, optimal=False, bound=math.inf,
+            stats=SearchStats(), algorithm="stub",
+        )
+
+    def test_exact_stage_receives_remaining_not_allotment(self, monkeypatch):
+        import repro.service.portfolio as pf
+
+        clock = self._fake_clock(monkeypatch)
+        graph = paper_random_graph(PaperGraphSpec(num_nodes=16, ccr=1.0, seed=3))
+        system = ProcessorSystem.fully_connected(4)
+
+        real_list = pf.fast_upper_bound_schedule
+
+        def slow_list(g, s):
+            sched = real_list(g, s)
+            clock["t"] += 1.0  # list stage burns 1s
+            return sched
+
+        def slow_improver(g, s, eps, *, cost, budget, state_cls):
+            assert budget.max_seconds == pytest.approx((10.0 - 1.0) * 0.25)
+            clock["t"] += 6.0  # overruns its 2.25s share by far
+            return self._stub_result()
+
+        captured = {}
+
+        def capture_exact(name, g, s, *, budget, **kw):
+            captured["name"] = name
+            captured["max_seconds"] = budget.max_seconds
+            return self._stub_result()
+
+        monkeypatch.setattr(pf, "fast_upper_bound_schedule", slow_list)
+        monkeypatch.setattr(pf, "weighted_astar_schedule", slow_improver)
+        monkeypatch.setattr(pf, "_run_engine", capture_exact)
+
+        result = pf.portfolio_schedule(graph, system, deadline=10.0)
+        # The exact stage gets deadline - elapsed = 10 - 1 - 6 = 3, not
+        # the original 10 (nor the improver's planned-but-overrun share).
+        assert captured["max_seconds"] == pytest.approx(3.0)
+        assert result.winner == "list"  # stubs never improved anything
+
+    def test_exact_stage_skipped_when_improver_eats_the_deadline(
+        self, monkeypatch
+    ):
+        import repro.service.portfolio as pf
+
+        clock = self._fake_clock(monkeypatch)
+        graph = paper_random_graph(PaperGraphSpec(num_nodes=16, ccr=1.0, seed=3))
+        system = ProcessorSystem.fully_connected(4)
+
+        def slow_improver(g, s, eps, *, cost, budget, state_cls):
+            clock["t"] += 60.0  # blows way past the whole deadline
+            return self._stub_result()
+
+        def exact_must_not_run(*a, **kw):  # pragma: no cover - the bug
+            raise AssertionError("exact stage ran past the deadline")
+
+        monkeypatch.setattr(pf, "weighted_astar_schedule", slow_improver)
+        monkeypatch.setattr(pf, "_run_engine", exact_must_not_run)
+
+        result = pf.portfolio_schedule(graph, system, deadline=10.0)
+        assert [s.stage for s in result.stages] == ["list", "improve"]
+        assert not result.optimal
+
+    def test_workers_hand_large_exact_stage_to_hda(self, monkeypatch):
+        import repro.service.portfolio as pf
+
+        graph = paper_random_graph(PaperGraphSpec(num_nodes=16, ccr=1.0, seed=3))
+        system = ProcessorSystem.fully_connected(4)
+        captured = {}
+
+        def capture(name, g, s, *, workers=1, **kw):
+            captured["name"] = name
+            captured["workers"] = workers
+            return self._stub_result()
+
+        monkeypatch.setattr(pf, "weighted_astar_schedule",
+                            lambda *a, **kw: self._stub_result())
+        monkeypatch.setattr(pf, "_run_engine", capture)
+        pf.portfolio_schedule(graph, system, workers=3)
+        assert captured == {"name": "hda", "workers": 3}
+        # Small instances stay serial even with workers granted.
+        small = paper_random_graph(PaperGraphSpec(num_nodes=10, ccr=1.0, seed=3))
+        pf.portfolio_schedule(small, ProcessorSystem.fully_connected(3), workers=3)
+        assert captured["name"] != "hda"
+        # High-CCR instances keep the selector's memory-safe B&B: HDA*
+        # is A*-family and would hold full OPEN lists in every worker.
+        heavy = paper_random_graph(PaperGraphSpec(num_nodes=16, ccr=10.0, seed=3))
+        pf.portfolio_schedule(heavy, ProcessorSystem.fully_connected(4), workers=3)
+        assert captured["name"] == "bnb"

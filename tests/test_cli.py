@@ -56,6 +56,7 @@ class TestSchedule:
 
 
 class TestExperimentCommands:
+    @pytest.mark.slow
     def test_table1_tiny(self, capsys):
         code = main([
             "table1", "--sizes", "10", "--ccrs", "1.0",

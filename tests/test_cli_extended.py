@@ -62,6 +62,7 @@ class TestTrace:
 
 
 class TestAblationCommand:
+    @pytest.mark.slow
     def test_ablation_tiny(self, capsys):
         assert main(["ablation", "--sizes", "10", "--ccrs", "1.0",
                      "--max-expansions", "15000", "--max-seconds", "10"]) == 0

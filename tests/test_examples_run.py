@@ -40,11 +40,13 @@ class TestExamples:
         assert "length = 14" in out
         assert "simulated speedup" in out
 
+    @pytest.mark.slow
     def test_heterogeneous_kernels(self, capsys):
         out = run_example("heterogeneous_kernels.py", capsys)
         assert "gauss-4" in out
         assert "fft-4" in out
 
+    @pytest.mark.slow
     def test_approximate_tradeoff(self, capsys):
         out = run_example("approximate_tradeoff.py", capsys)
         assert "exact A*" in out

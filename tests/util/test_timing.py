@@ -54,10 +54,19 @@ class TestBudget:
         time.sleep(0.001)
         assert b.exhausted(0, 0)
 
-    def test_time_check_interval_skips(self):
+    def test_expired_budget_trips_on_first_check(self):
+        # Regression (ISSUE 3): a stage handed an already-expired
+        # deadline remainder must stop before its first expansion, not
+        # after a whole sampling window of overrun.
         b = Budget(max_seconds=0.0, time_check_interval=1000)
         b.start()
-        # The first 999 checks short-circuit without a clock read.
+        assert b.time_exhausted()
+
+    def test_time_check_interval_skips_between_samples(self):
+        b = Budget(max_seconds=0.0, time_check_interval=1000)
+        b.start()
+        b.time_exhausted()  # first check: clock consulted
+        # Checks 2..999 short-circuit without a clock read.
         assert not b.time_exhausted()
 
     def test_combined_any_trips(self):
