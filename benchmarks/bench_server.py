@@ -1,0 +1,334 @@
+"""Benchmark: solver-daemon sustained throughput, cold vs. warm.
+
+Drives a real :class:`~repro.service.server.SolverServer` (background
+thread, real worker-process pool, real HTTP) with a **200-request mixed
+stream**: requests drawn with repetition from a pool of unique
+§4.1-style instances, arriving in **duplicate bursts** (each unique's
+repeats cluster in time — the thundering-herd shape that makes
+in-flight dedupe matter, and the traffic the daemon exists for).  It
+measures:
+
+* **cold** — fresh server, empty cache: unique instances run the
+  portfolio on the persistent pool; repeats hit the warming cache or
+  dedupe onto in-flight twins;
+* **warm** — the same 200 requests again: everything is answered from
+  the result cache (the ≥ 10x acceptance gate);
+* **per-request dispatch** — the same cold stream under the same
+  8-way client concurrency, served the naive way: every request is its
+  own ``run_batch`` call on its own transient worker pool (the
+  per-call pool lifecycle a one-shot invocation pays on every request;
+  the daemon pays it once), with a shared in-memory result cache but
+  **no in-flight dedupe** — duplicate requests that arrive while their
+  twin is still being solved are solved again.  The daemon's cold
+  throughput must beat this (the persistent-pool acceptance gate); the
+  report also records how many redundant solves the naive side paid.
+  An informational sequential in-process variant (no pool, no
+  concurrency) is recorded as the single-core floor.
+
+Run directly for a human-readable table (also appends an entry to
+``BENCH_server.json`` at the repo root and exits non-zero when either
+gate fails, making it usable as a CI perf gate)::
+
+    PYTHONPATH=src python benchmarks/bench_server.py [--requests 200]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
+from repro.service.batch import BatchItem, run_batch
+from repro.service.cache import ResultCache
+from repro.service.client import ServerClient
+from repro.service.server import SolverServer
+from repro.system.processors import ProcessorSystem
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_server.json"
+
+#: Acceptance gates (ISSUE 4): warm sustained throughput >= 10x cold,
+#: and persistent-pool serving beats per-request run_batch dispatch.
+WARM_SPEEDUP_FLOOR = 10.0
+
+#: The mixed-suite shape: unique (v, ccr, seed) coordinates requests
+#: are drawn from, spanning the paper's CCR decades.
+UNIQUE_COORDS = [
+    (v, ccr, seed)
+    for v in (9, 10, 11, 12)
+    for ccr in (0.1, 1.0, 10.0)
+    for seed in (1, 2)
+]
+DEADLINE_SECONDS = 5.0
+MAX_EXPANSIONS = 50_000
+CLIENT_THREADS = 8
+
+
+def build_stream(requests: int, *, seed: int = 73) -> list[BatchItem]:
+    """The mixed stream: unique instances repeated in duplicate bursts.
+
+    Every unique appears at least once; the remaining requests are
+    distributed at random.  Each unique's occurrences are contiguous
+    (a burst) and the bursts are shuffled — duplicate arrivals cluster
+    in time, so under concurrent clients the duplicates of a burst are
+    in flight *together*.  A deduping server solves each burst once; a
+    per-request dispatcher re-solves whatever lands before its twin's
+    result is cached.
+    """
+    uniques = [
+        BatchItem(
+            name=f"v{v}-ccr{ccr}-s{s}",
+            graph=paper_random_graph(PaperGraphSpec(num_nodes=v, ccr=ccr, seed=s)),
+            system=ProcessorSystem.fully_connected(4),
+        )
+        for v, ccr, s in UNIQUE_COORDS
+    ]
+    rng = random.Random(seed)
+    counts = {item.name: 1 for item in uniques}
+    for _ in range(requests - len(uniques)):
+        counts[rng.choice(uniques).name] += 1
+    bursts = [[item] * counts[item.name] for item in uniques]
+    rng.shuffle(bursts)
+    return [item for burst in bursts for item in burst][:requests]
+
+
+def _serve_stream(
+    client: ServerClient, stream: list[BatchItem], threads: int
+) -> dict[str, float]:
+    """Push the stream through the daemon from ``threads`` clients."""
+    index = {"next": 0}
+    lock = threading.Lock()
+    failures: list[str] = []
+
+    def worker() -> None:
+        while True:
+            with lock:
+                i = index["next"]
+                if i >= len(stream):
+                    return
+                index["next"] = i + 1
+            item = stream[i]
+            try:
+                client.solve(
+                    item.graph, item.system, name=item.name,
+                    deadline=DEADLINE_SECONDS, max_expansions=MAX_EXPANSIONS,
+                )
+            except Exception as exc:  # noqa: BLE001 - a failed request
+                # must fail the gate, not silently kill this thread.
+                with lock:
+                    failures.append(f"{item.name}: {exc}")
+
+    t0 = time.perf_counter()
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    wall = time.perf_counter() - t0
+    if failures:
+        raise RuntimeError(f"{len(failures)} requests failed: {failures[:3]}")
+    return {
+        "requests": len(stream),
+        "wall_seconds": wall,
+        "requests_per_second": len(stream) / wall,
+    }
+
+
+def run_server_bench(
+    *, requests: int = 200, solver_workers: int = 2,
+    client_threads: int = CLIENT_THREADS,
+) -> dict[str, object]:
+    """Cold + warm daemon passes plus the per-request dispatch baseline."""
+    stream = build_stream(requests)
+
+    server = SolverServer(
+        port=0, solver_workers=solver_workers,
+        queue_limit=max(64, requests),
+        deadline=DEADLINE_SECONDS, max_expansions=MAX_EXPANSIONS,
+    )
+    thread = server.serve_in_thread()
+    client = ServerClient(port=server.port, timeout=600)
+    try:
+        cold = _serve_stream(client, stream, client_threads)
+        warm = _serve_stream(client, stream, client_threads)
+        metrics = client.metrics()
+    finally:
+        server.shutdown()
+        thread.join(timeout=300)
+
+    # Baseline A (the gate): the same stream at the same client
+    # concurrency, but every request is an independent run_batch call
+    # on its own transient pool.  A shared (in-memory) cache is the
+    # only cross-request state — there is no in-flight dedupe, so
+    # duplicates arriving while their twin is mid-solve are re-solved,
+    # and every request pays the per-call pool lifecycle.
+    from repro.parallel.mp_backend import SolverPool
+
+    cache = ResultCache()
+    index = {"next": 0}
+    lock = threading.Lock()
+    solved_counts: list[int] = []
+
+    def dispatch_worker() -> None:
+        while True:
+            with lock:
+                i = index["next"]
+                if i >= len(stream):
+                    return
+                index["next"] = i + 1
+            item = stream[i]
+            with SolverPool(solver_workers) as transient:
+                report = run_batch(
+                    [item], cache=cache, pool=transient,
+                    deadline=DEADLINE_SECONDS,
+                    max_expansions=MAX_EXPANSIONS,
+                )
+            with lock:
+                solved_counts.append(report.solved)
+
+    t0 = time.perf_counter()
+    dispatchers = [
+        threading.Thread(target=dispatch_worker) for _ in range(client_threads)
+    ]
+    for t in dispatchers:
+        t.start()
+    for t in dispatchers:
+        t.join()
+    per_request_wall = time.perf_counter() - t0
+    per_request = {
+        "requests": len(stream),
+        "wall_seconds": per_request_wall,
+        "requests_per_second": len(stream) / per_request_wall,
+        "solved": sum(solved_counts),
+        "redundant_solves": sum(solved_counts) - len(UNIQUE_COORDS),
+    }
+
+    # Baseline B (informational): plain in-process run_batch per
+    # request — no pool, no HTTP; the single-core floor.
+    with tempfile.TemporaryDirectory() as tmp:
+        with ResultCache(Path(tmp) / "in_process.db") as cache:
+            t0 = time.perf_counter()
+            for item in stream:
+                run_batch(
+                    [item], cache=cache,
+                    deadline=DEADLINE_SECONDS, max_expansions=MAX_EXPANSIONS,
+                )
+            in_process_wall = time.perf_counter() - t0
+    in_process = {
+        "requests": len(stream),
+        "wall_seconds": in_process_wall,
+        "requests_per_second": len(stream) / in_process_wall,
+    }
+
+    warm_speedup = warm["requests_per_second"] / cold["requests_per_second"]
+    pool_advantage = (
+        cold["requests_per_second"] / per_request["requests_per_second"]
+    )
+    return {
+        "requests": requests,
+        "unique_instances": len(UNIQUE_COORDS),
+        "solver_workers": solver_workers,
+        "client_threads": client_threads,
+        "cpu_count": os.cpu_count(),
+        "deadline_seconds": DEADLINE_SECONDS,
+        "max_expansions": MAX_EXPANSIONS,
+        "passes": [
+            {"pass": "cold", **cold},
+            {"pass": "warm", **warm},
+            {"pass": "per_request_run_batch", **per_request},
+            {"pass": "in_process_run_batch", **in_process},
+        ],
+        "cold_requests_per_second": cold["requests_per_second"],
+        "warm_requests_per_second": warm["requests_per_second"],
+        "per_request_requests_per_second": per_request["requests_per_second"],
+        "in_process_requests_per_second": in_process["requests_per_second"],
+        "warm_speedup": warm_speedup,
+        "persistent_pool_advantage": pool_advantage,
+        "server_jobs": metrics["jobs"],
+        "server_engines": metrics["engines"],
+    }
+
+
+def _git_rev() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--solver-workers", type=int, default=2)
+    parser.add_argument("--client-threads", type=int, default=CLIENT_THREADS)
+    parser.add_argument("--out", type=Path, default=RESULTS_PATH)
+    args = parser.parse_args(argv)
+
+    report = run_server_bench(
+        requests=args.requests, solver_workers=args.solver_workers,
+        client_threads=args.client_threads,
+    )
+
+    from repro.util.tables import render_table
+
+    rows = [
+        [p["pass"], p["requests"], p["wall_seconds"], p["requests_per_second"]]
+        for p in report["passes"]
+    ]
+    print(render_table(
+        ["pass", "requests", "seconds", "req/s"],
+        rows, title="solver daemon sustained throughput", float_fmt="{:.3f}",
+    ))
+    print(f"\nwarm-cache speedup        : {report['warm_speedup']:.1f}x "
+          f"(floor {WARM_SPEEDUP_FLOOR}x)")
+    print(f"persistent-pool advantage : "
+          f"{report['persistent_pool_advantage']:.2f}x over per-request "
+          f"run_batch (floor 1x)")
+    naive = report["passes"][2]
+    print(f"naive redundant solves    : {naive['redundant_solves']} "
+          f"(daemon: 0 — in-flight dedupe)")
+
+    entry = {
+        "bench": "server",
+        "unix_time": int(time.time()),
+        "python": platform.python_version(),
+        "git_rev": _git_rev(),
+        **report,
+    }
+    existing: list = []
+    if args.out.exists():
+        try:
+            existing = json.loads(args.out.read_text())
+        except json.JSONDecodeError:
+            print(f"warning: {args.out} is not valid JSON; starting fresh",
+                  file=sys.stderr)
+    existing.append(entry)
+    args.out.write_text(json.dumps(existing, indent=2) + "\n")
+
+    failed = False
+    if report["warm_speedup"] < WARM_SPEEDUP_FLOOR:
+        print("FAIL: warm-cache speedup below the acceptance floor",
+              file=sys.stderr)
+        failed = True
+    if report["persistent_pool_advantage"] <= 1.0:
+        print("FAIL: persistent-pool serving did not beat per-request "
+              "run_batch dispatch", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

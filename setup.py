@@ -1,8 +1,10 @@
 """Legacy setuptools shim.
 
-All metadata lives in pyproject.toml; this file exists only so that
-``pip install -e .`` works in offline environments that lack the
-``wheel`` package (PEP 660 editable installs require bdist_wheel).
+All metadata lives in pyproject.toml (PEP 621, read by setuptools >= 61
+on every install path); this file exists only so that offline
+environments lacking the ``wheel`` package can still install editable
+via ``python setup.py develop`` — PEP 660 editable installs require
+bdist_wheel.  Everyone else: ``pip install -e .`` (see README.md).
 """
 
 from setuptools import setup

@@ -21,6 +21,10 @@ Commands
 ``batch``
     Serve many instances (a directory, a JSON-lines stream, or the §4.1
     suite) with fingerprint dedupe, caching, and multi-process dispatch.
+``serve``
+    Run the solver daemon: an asyncio HTTP front-end over the same
+    service stack, with a persistent worker pool, bounded admission
+    queue, in-flight dedupe, and graceful SIGTERM drain.
 """
 
 from __future__ import annotations
@@ -102,8 +106,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="OS processes for the solve fan-out")
     p.add_argument("--solver-workers", type=int, default=1,
-                   help="HDA* worker processes per instance (effective "
-                        "on the in-process path, i.e. --workers 1)")
+                   help="HDA* worker processes per instance (composes "
+                        "with --workers; the two compete for cores, so "
+                        "prefer one axis of parallelism)")
     p.add_argument("--mode", default="portfolio", choices=["portfolio", "auto"])
     p.add_argument("--deadline", type=float, default=None,
                    help="per-instance wall-clock budget in seconds")
@@ -115,6 +120,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="treat unproven cache entries as stale")
     p.add_argument("--out", default=None,
                    help="write per-instance results as JSON lines")
+
+    p = sub.add_parser("serve", help="run the solver HTTP daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="listen port (0 picks a free one)")
+    p.add_argument("--solver-workers", type=int, default=1,
+                   help="persistent worker processes solving requests")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="max unique jobs pending before 429")
+    p.add_argument("--cache", default=None,
+                   help="result-cache SQLite file (omit for in-memory)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="default per-request wall-clock budget in seconds")
+    p.add_argument("--epsilon", type=float, default=0.25)
+    p.add_argument("--max-expansions", type=int, default=200_000)
+    p.add_argument("--mode", default="portfolio", choices=["portfolio", "auto"])
+    p.add_argument("--require-proven", action="store_true",
+                   help="treat unproven cache entries as stale")
     return parser
 
 
@@ -133,6 +156,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_solve(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -337,6 +362,46 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"wrote {len(report.outcomes)} results to {args.out}")
     if cache is not None:
         cache.close()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.service.server import SolverServer
+
+    server = SolverServer(
+        args.host,
+        args.port,
+        solver_workers=args.solver_workers,
+        queue_limit=args.queue_limit,
+        cache=args.cache,
+        deadline=args.deadline,
+        epsilon=args.epsilon,
+        max_expansions=args.max_expansions,
+        mode=args.mode,
+        require_proven=args.require_proven,
+    )
+    # Readiness (with the bound port — --port 0 picks a free one) is
+    # announced from the event loop, after the listener exists, so a
+    # supervisor can wait for this line before routing traffic.
+    ready_thread = threading.Thread(
+        target=lambda: (
+            server.ready.wait(),
+            print(f"repro serve: listening on http://{server.host}:{server.port} "
+                  f"(workers={args.solver_workers}, queue={args.queue_limit})",
+                  flush=True),
+        ),
+        daemon=True,
+    )
+    ready_thread.start()
+    report = server.run()
+    jobs = report["jobs"]
+    print(f"repro serve: drained — {jobs['accepted']} accepted, "
+          f"{jobs['completed']} completed, {jobs['failed']} failed, "
+          f"{jobs['solved']} solved, {jobs['cache_hits']} cache hits, "
+          f"{jobs['dedup_fanout']} deduped, {jobs['rejected']} rejected",
+          flush=True)
     return 0
 
 

@@ -35,7 +35,8 @@ from __future__ import annotations
 import heapq
 import math
 import multiprocessing as mp
-from typing import Any
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Callable, Iterable
 
 from repro.graph.io import graph_from_dict, graph_to_dict
 from repro.graph.taskgraph import TaskGraph
@@ -50,7 +51,13 @@ from repro.search.result import SearchResult, SearchStats
 from repro.system.processors import ProcessorSystem
 from repro.util.timing import Budget
 
-__all__ = ["multiprocessing_astar_schedule", "pool_context", "system_to_args", "system_from_args"]
+__all__ = [
+    "multiprocessing_astar_schedule",
+    "pool_context",
+    "system_to_args",
+    "system_from_args",
+    "SolverPool",
+]
 
 _EPS = 1e-9
 
@@ -240,3 +247,105 @@ def system_from_args(args: dict[str, Any]) -> ProcessorSystem:
         distance_scaled=args["distance_scaled"],
         name=args["name"],
     )
+
+
+def _warmup() -> int:
+    """No-op task used to force worker processes to exist (see
+    :meth:`SolverPool.warm`)."""
+    return mp.current_process().pid or 0
+
+
+class SolverPool:
+    """A persistent worker-process pool for instance-level fan-out.
+
+    ``run_batch`` historically spun up a fresh ``multiprocessing.Pool``
+    per call and tore it down afterwards — fine for a one-shot CLI
+    invocation, wasteful for anything long-running.  This class is the
+    pool abstraction both front-ends now share: the batch runner borrows
+    one transiently when the caller passed plain ``workers=N``, and the
+    solver daemon (:mod:`repro.service.server`) keeps one alive across
+    requests so process startup and module import are paid once per
+    *server*, not once per request.
+
+    Built on :class:`concurrent.futures.ProcessPoolExecutor` with this
+    library's :func:`pool_context`:
+
+    * :meth:`submit` returns a real :class:`~concurrent.futures.Future`,
+      so an asyncio event loop can await jobs via ``run_in_executor``;
+    * executor workers are **non-daemonic** (unlike ``mp.Pool``'s), so a
+      pooled job may itself spawn HDA* worker processes —
+      ``solver_workers`` composes with request fan-out instead of
+      silently degrading to serial;
+    * :meth:`warm` pre-forks every worker up front, moving the fork cost
+      out of the first request's latency.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=workers, mp_context=pool_context()
+        )
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        """The underlying executor (for ``loop.run_in_executor``)."""
+        if self._executor is None:
+            raise RuntimeError("SolverPool is closed")
+        return self._executor
+
+    def submit(self, fn: Callable, /, *args: Any) -> Future:
+        """Schedule ``fn(*args)`` on a pool worker."""
+        return self.executor.submit(fn, *args)
+
+    def map(self, fn: Callable, jobs: Iterable[Any]) -> list[Any]:
+        """Run ``fn`` over ``jobs`` on the pool; results in job order."""
+        return list(self.executor.map(fn, jobs))
+
+    def warm(self) -> None:
+        """Spawn all worker processes now rather than on first use."""
+        for f in [self.executor.submit(_warmup) for _ in range(self.workers)]:
+            f.result()
+
+    def rebuild(self, *, broken: ProcessPoolExecutor | None = None) -> bool:
+        """Replace the executor after a worker crash.
+
+        A :class:`ProcessPoolExecutor` whose worker died (OOM kill,
+        segfault) is broken forever — every later submit raises
+        ``BrokenProcessPool``.  Long-lived owners (the solver daemon)
+        call this to swap in a fresh executor.  Pass the executor the
+        caller observed failing as ``broken``: if another caller
+        already rebuilt (the pool's executor is no longer that object),
+        this is a no-op, so concurrent observers of one crash perform
+        one rebuild.  Returns True when a rebuild happened.
+        """
+        if self._executor is None:
+            raise RuntimeError("SolverPool is closed")
+        if broken is not None and self._executor is not broken:
+            return False
+        self._executor.shutdown(wait=False)
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=pool_context()
+        )
+        return True
+
+    def close(self, *, wait: bool = True) -> None:
+        """Shut the pool down; idempotent."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+            self._executor = None
+
+    @property
+    def closed(self) -> bool:
+        return self._executor is None
+
+    def __enter__(self) -> "SolverPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"SolverPool(workers={self.workers}, {state})"

@@ -17,18 +17,25 @@ traffic:
   engine-selection heuristic for the single-engine fast path;
 * :mod:`repro.service.batch` — the batch front-end: solve a directory,
   a JSON-lines stream, or the §4.1 suite with fingerprint-level request
-  deduplication, cache reuse, and multi-process dispatch.
+  deduplication, cache reuse, and multi-process dispatch;
+* :mod:`repro.service.server` / :mod:`repro.service.jobs` — the solver
+  daemon (``repro serve``): an asyncio HTTP front-end with a persistent
+  worker pool, bounded admission queue, in-flight dedupe fan-out, and
+  graceful SIGTERM drain;
+* :mod:`repro.service.client` — a small blocking client for the daemon.
 """
 
 from repro.service.batch import (
     BatchItem,
     BatchReport,
     ItemOutcome,
+    item_from_request,
     items_from_suite,
     load_items,
     run_batch,
 )
 from repro.service.cache import CacheEntry, ResultCache
+from repro.service.client import ServerClient, ServerError
 from repro.service.fingerprint import (
     assignment_from_canonical,
     canonical_assignment,
@@ -36,6 +43,7 @@ from repro.service.fingerprint import (
     canonical_order,
     instance_fingerprint,
 )
+from repro.service.jobs import Draining, Job, JobManager, QueueFull
 from repro.service.portfolio import (
     PortfolioResult,
     StageReport,
@@ -43,20 +51,29 @@ from repro.service.portfolio import (
     select_engine,
     solve_auto,
 )
+from repro.service.server import SolverServer
 
 __all__ = [
     "BatchItem",
     "BatchReport",
     "CacheEntry",
+    "Draining",
     "ItemOutcome",
+    "Job",
+    "JobManager",
     "PortfolioResult",
+    "QueueFull",
     "ResultCache",
+    "ServerClient",
+    "ServerError",
+    "SolverServer",
     "StageReport",
     "assignment_from_canonical",
     "canonical_assignment",
     "canonical_graph",
     "canonical_order",
     "instance_fingerprint",
+    "item_from_request",
     "items_from_suite",
     "load_items",
     "portfolio_schedule",

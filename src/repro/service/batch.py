@@ -37,7 +37,7 @@ from typing import Any
 from repro.errors import WorkloadError
 from repro.graph.io import graph_from_dict, graph_to_dict, load_graph_json
 from repro.graph.taskgraph import TaskGraph
-from repro.parallel.mp_backend import pool_context, system_from_args, system_to_args
+from repro.parallel.mp_backend import SolverPool, system_from_args, system_to_args
 from repro.schedule.schedule import Schedule
 from repro.service.cache import CacheEntry, ResultCache
 from repro.service.fingerprint import (
@@ -54,6 +54,7 @@ __all__ = [
     "BatchItem",
     "ItemOutcome",
     "BatchReport",
+    "item_from_request",
     "load_items",
     "items_from_suite",
     "run_batch",
@@ -169,7 +170,10 @@ def _default_system(graph: TaskGraph, pes: int | None) -> ProcessorSystem:
     return ProcessorSystem.fully_connected(pes, name=f"clique-{pes}")
 
 
-def _item_from_obj(obj: dict[str, Any], name: str) -> BatchItem:
+def item_from_request(obj: dict[str, Any], name: str = "request") -> BatchItem:
+    """Parse one request object (the module-level JSON schema) into a
+    :class:`BatchItem`.  Shared by the JSON-lines loader and the HTTP
+    daemon's ``POST /v1/solve`` body parser — one schema, one parser."""
     graph = graph_from_dict(obj["graph"])
     if "system" in obj and obj["system"] is not None:
         system = system_from_args(obj["system"])
@@ -207,7 +211,7 @@ def load_items(path: str | Path, *, pes: int | None = None) -> list[BatchItem]:
             line = line.strip()
             if not line:
                 continue
-            items.append(_item_from_obj(json.loads(line), name=f"line-{i + 1}"))
+            items.append(item_from_request(json.loads(line), name=f"line-{i + 1}"))
     if not items:
         raise WorkloadError(f"no instances found at {path}")
     return items
@@ -240,6 +244,7 @@ def run_batch(
     cache: ResultCache | None = None,
     workers: int = 1,
     solver_workers: int = 1,
+    pool: SolverPool | None = None,
     deadline: float | None = None,
     epsilon: float = 0.25,
     cost: str = "paper",
@@ -258,12 +263,21 @@ def run_batch(
         disables caching (every unique fingerprint is solved).
     workers:
         OS processes for the solve fan-out (1 = in-process, no pool).
+        Ignored when ``pool`` is given.
     solver_workers:
         Worker processes *per instance* for the exact search stage
-        (the HDA* engine).  Effective on the in-process path; inside a
-        fan-out pool (``workers > 1``) the daemonic pool workers cannot
-        spawn children and the engine transparently falls back to
-        serial — use one or the other axis of parallelism.
+        (the HDA* engine).  Effective on the in-process path and inside
+        a caller-provided :class:`SolverPool` (its executor workers are
+        non-daemonic); inside a transient ``workers > 1`` fan-out the
+        two axes of parallelism compete for the same cores, so prefer
+        one or the other.
+    pool:
+        A persistent :class:`~repro.parallel.mp_backend.SolverPool` to
+        dispatch on.  The caller owns its lifetime — ``run_batch``
+        neither warms nor closes it — which is how the solver daemon
+        amortizes process startup across many requests.  ``None`` keeps
+        the historical behavior: a transient pool per call when
+        ``workers > 1``.
     deadline:
         Per-instance wall-clock budget in seconds.
     mode:
@@ -323,9 +337,11 @@ def run_batch(
                      max_expansions, mode, solver_workers)
             for fp in todo
         ]
-        if workers > 1 and len(jobs) > 1:
-            with pool_context().Pool(processes=workers) as pool:
-                solved = pool.map(_worker_solve, jobs)
+        if pool is not None:
+            solved = pool.map(_worker_solve, jobs)
+        elif workers > 1 and len(jobs) > 1:
+            with SolverPool(workers) as transient:
+                solved = transient.map(_worker_solve, jobs)
         else:
             solved = [_worker_solve(job) for job in jobs]
         for fp, payload in zip(todo, solved):

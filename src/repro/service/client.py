@@ -1,0 +1,157 @@
+"""Small blocking client for the solver daemon (stdlib ``http.client``).
+
+The daemon speaks plain JSON-over-HTTP, so any HTTP client works; this
+helper exists so library code, tests, and the benchmark harness share
+one correct implementation of the request schema::
+
+    from repro.service.client import ServerClient
+
+    client = ServerClient(port=8080)
+    out = client.solve(graph, pes=4)          # blocks until solved
+    print(out["result"]["makespan"])
+
+    job_id = client.submit(graph, pes=4)      # fire and forget
+    out = client.wait(job_id)                 # poll until done
+
+The server closes every connection after one response, so each call
+opens a fresh connection — fine on localhost, and it keeps the client
+free of pooling state.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any
+
+from repro.graph.io import graph_to_dict
+from repro.graph.taskgraph import TaskGraph
+from repro.parallel.mp_backend import system_to_args
+from repro.system.processors import ProcessorSystem
+
+__all__ = ["ServerClient", "ServerError"]
+
+
+class ServerError(Exception):
+    """A non-2xx response from the daemon."""
+
+    def __init__(self, status: int, payload: dict[str, Any]):
+        self.status = status
+        self.payload = payload
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+
+
+class ServerClient:
+    """Talk to a running ``repro serve`` daemon."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8080, *,
+        timeout: float = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> tuple[int, dict[str, Any]]:
+        """One HTTP round-trip; returns ``(status, decoded JSON)``."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read().decode() or "{}")
+            return response.status, data
+        finally:
+            conn.close()
+
+    def _checked(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        status, data = self.request(method, path, body)
+        if status >= 300:
+            raise ServerError(status, data)
+        return data
+
+    # -- endpoints -----------------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        return self._checked("GET", "/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._checked("GET", "/metrics")
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._checked("GET", f"/v1/jobs/{job_id}")
+
+    def solve_request(
+        self,
+        graph: TaskGraph,
+        system: ProcessorSystem | None = None,
+        *,
+        pes: int | None = None,
+        name: str | None = None,
+        wait: bool = True,
+        **options: Any,
+    ) -> dict[str, Any]:
+        """Build a ``POST /v1/solve`` body from library objects.
+
+        ``options`` may carry the per-request solver overrides the
+        server accepts: ``deadline``, ``epsilon``, ``max_expansions``,
+        ``mode``, ``require_proven``.
+        """
+        body: dict[str, Any] = {"graph": graph_to_dict(graph), "wait": wait}
+        if system is not None:
+            body["system"] = system_to_args(system)
+        if pes is not None:
+            body["pes"] = pes
+        if name is not None:
+            body["name"] = name
+        body.update(options)
+        return body
+
+    def solve(
+        self,
+        graph: TaskGraph,
+        system: ProcessorSystem | None = None,
+        **kwargs: Any,
+    ) -> dict[str, Any]:
+        """Solve synchronously; returns the finished job snapshot.
+
+        The snapshot's ``"result"`` key holds makespan, certificate,
+        algorithm, and the ``[[node, pe, start], ...]`` assignment.
+        """
+        body = self.solve_request(graph, system, wait=True, **kwargs)
+        return self._checked("POST", "/v1/solve", body)
+
+    def submit(
+        self,
+        graph: TaskGraph,
+        system: ProcessorSystem | None = None,
+        **kwargs: Any,
+    ) -> str:
+        """Enqueue asynchronously; returns the job id to poll."""
+        body = self.solve_request(graph, system, wait=False, **kwargs)
+        return self._checked("POST", "/v1/solve", body)["id"]
+
+    def wait(
+        self, job_id: str, *, timeout: float = 300.0, poll: float = 0.05
+    ) -> dict[str, Any]:
+        """Poll ``GET /v1/jobs/<id>`` until the job leaves the queue."""
+        t0 = time.monotonic()
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["status"] in ("done", "failed"):
+                return snapshot
+            if time.monotonic() - t0 > timeout:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['status']} after {timeout}s"
+                )
+            time.sleep(poll)

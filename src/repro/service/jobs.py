@@ -1,0 +1,569 @@
+"""Job lifecycle for the solver daemon: admission, dedupe, execution.
+
+The HTTP layer (:mod:`repro.service.server`) is deliberately thin; this
+module holds the actual serving semantics, framework-free except for
+``asyncio`` primitives, so tests can drive it without sockets.
+
+A submitted request becomes a :class:`Job` and moves through a small
+state machine::
+
+                      ┌────────────────────────────┐
+    submit ── cache hit ──────────────────────────▶│
+       │                                           │
+       ├── duplicate of an in-flight job ──▶ queued (follower)
+       │                                      │    │
+       ├── queue full ──▶ rejected (429)      ▼    ▼
+       └──▶ queued ──▶ running ──▶ done  /  failed
+
+* **Cache hits** complete synchronously at submit time — they never
+  consume a queue slot or a worker.
+* **Dedupe runs in front of the queue**: a request whose fingerprint
+  matches a queued or running job attaches to it as a *follower* and
+  fans out when the primary completes (in its own node numbering, via
+  the canonical assignment).  Followers consume no queue slot either —
+  admission control bounds the number of *unique* pending problems, so
+  a burst of identical requests can never 429 itself while its twin is
+  already being solved.
+* **Admission control** is a bounded queue: when ``queue_limit`` unique
+  jobs are already pending, :meth:`JobManager.submit` raises
+  :class:`QueueFull` and the server answers 429.
+* **Drain** (:meth:`JobManager.drain`) flips the manager into a mode
+  where submissions raise :class:`Draining` (503), then waits for every
+  accepted job — queued, running, and followers — to finish.
+
+Execution happens on a persistent
+:class:`~repro.parallel.mp_backend.SolverPool`: runner coroutines pull
+jobs off the queue and await :func:`repro.service.batch._worker_solve`
+futures on the pool's executor, so the event loop stays responsive
+while searches run on other cores.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from concurrent.futures import BrokenExecutor
+from typing import Any, NamedTuple
+
+from repro.parallel.mp_backend import SolverPool
+from repro.schedule.schedule import Schedule
+from repro.service.batch import BatchItem, _job_for, _worker_solve, item_from_request
+from repro.service.cache import CacheEntry, ResultCache
+from repro.service.fingerprint import (
+    assignment_from_canonical,
+    canonical_assignment,
+    canonical_order,
+    instance_fingerprint,
+)
+
+__all__ = ["Job", "JobManager", "PreparedRequest", "QueueFull", "Draining"]
+
+#: Job states (strings on purpose: they appear verbatim in API JSON).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+class QueueFull(Exception):
+    """Raised by :meth:`JobManager.submit` when admission control is at
+    capacity (the server maps this to HTTP 429)."""
+
+
+class Draining(Exception):
+    """Raised by :meth:`JobManager.submit` once drain has begun (the
+    server maps this to HTTP 503)."""
+
+
+class PreparedRequest(NamedTuple):
+    """The CPU-heavy, side-effect-free front half of a submission.
+
+    Produced by :meth:`JobManager.prepare` (safe to run off the event
+    loop — parsing and WL-refinement fingerprinting of a large graph
+    take real CPU time) and consumed by :meth:`JobManager.admit` (cheap,
+    loop-thread only, where all shared state is touched).
+    """
+
+    item: BatchItem
+    fingerprint: str
+    order: tuple[int, ...]
+    options: dict[str, Any]
+
+
+#: Per-request option keys a client may override, and — minus
+#: ``require_proven``, which only gates cache reads — the keys that must
+#: match for a request to ride another in-flight job as a follower.
+_OVERRIDE_KEYS = (
+    "deadline", "epsilon", "max_expansions", "mode", "require_proven",
+    "solver_workers",
+)
+_SOLVE_KEYS = (
+    "deadline", "epsilon", "cost", "max_expansions", "mode",
+    "solver_workers",
+)
+
+#: Cap on the per-request HDA* worker override: untrusted request
+#: bodies must not be able to fork an arbitrary number of processes.
+_MAX_SOLVER_WORKERS = 16
+
+
+def _validate_options(options: dict[str, Any]) -> None:
+    """Type- and bounds-check request-supplied solver options, so a bad
+    request fails at submit (HTTP 400) instead of inside a pool worker
+    (HTTP 500), and so a request body cannot amplify resource use
+    beyond what the operator configured."""
+    if options["mode"] not in ("portfolio", "auto"):
+        raise ValueError(f"unknown mode {options['mode']!r}")
+    deadline = options["deadline"]
+    if deadline is not None:
+        if not isinstance(deadline, (int, float)) or not deadline > 0:
+            raise ValueError(f"deadline must be a positive number, got {deadline!r}")
+    epsilon = options["epsilon"]
+    if not isinstance(epsilon, (int, float)) or epsilon < 0:
+        raise ValueError(f"epsilon must be a number >= 0, got {epsilon!r}")
+    expansions = options["max_expansions"]
+    if expansions is not None:
+        if not isinstance(expansions, int) or isinstance(expansions, bool) \
+                or expansions < 1:
+            raise ValueError(
+                f"max_expansions must be a positive integer, got {expansions!r}")
+    workers = options["solver_workers"]
+    if not isinstance(workers, int) or isinstance(workers, bool) \
+            or not 1 <= workers <= _MAX_SOLVER_WORKERS:
+        raise ValueError(
+            f"solver_workers must be an integer in [1, {_MAX_SOLVER_WORKERS}],"
+            f" got {workers!r}")
+    options["require_proven"] = bool(options["require_proven"])
+
+
+class Job:
+    """One accepted solve request and its progress through the service."""
+
+    __slots__ = (
+        "id", "name", "item", "fingerprint", "order", "options",
+        "state", "via", "submitted", "started", "finished",
+        "result", "error", "done",
+    )
+
+    def __init__(
+        self,
+        job_id: str,
+        item: BatchItem,
+        fingerprint: str,
+        order: tuple[int, ...],
+        options: dict[str, Any],
+    ) -> None:
+        self.id = job_id
+        self.name = item.name
+        self.item = item
+        self.fingerprint = fingerprint
+        self.order = order
+        self.options = options
+        self.state = QUEUED
+        self.via: str | None = None  # "solve" | "cache" | "dedup"
+        self.submitted = time.time()
+        self.started: float | None = None
+        self.finished: float | None = None
+        self.result: dict[str, Any] | None = None
+        self.error: str | None = None
+        self.done = asyncio.Event()
+
+    @property
+    def active(self) -> bool:
+        """True while the job still owes the caller an answer."""
+        return self.state in (QUEUED, RUNNING)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON view served by ``GET /v1/jobs/<id>``."""
+        view: dict[str, Any] = {
+            "id": self.id,
+            "name": self.name,
+            "status": self.state,
+            "fingerprint": self.fingerprint,
+            "submitted": self.submitted,
+        }
+        if self.started is not None:
+            view["started"] = self.started
+        if self.finished is not None:
+            view["finished"] = self.finished
+        if self.via is not None:
+            view["via"] = self.via
+        if self.result is not None:
+            view["result"] = self.result
+        if self.error is not None:
+            view["error"] = self.error
+        return view
+
+
+class JobManager:
+    """Admission control, dedupe, caching, and pool dispatch for jobs.
+
+    Parameters
+    ----------
+    pool:
+        The persistent :class:`SolverPool` searches run on.  The manager
+        borrows it; the server owns its lifetime.
+    cache:
+        Optional :class:`ResultCache` consulted at submit and written on
+        completion.
+    queue_limit:
+        Maximum *unique* jobs pending (queued, not yet running).
+    deadline, epsilon, max_expansions, mode, require_proven,
+    solver_workers:
+        Solver defaults; each may be overridden per request by the same
+        field in the request object (``solver_workers`` is the HDA*
+        worker count *per job* — it composes with the request pool, and
+        competes with it for cores, so the default stays 1).
+    history_limit:
+        Completed jobs retained for ``GET /v1/jobs/<id>`` polling before
+        eviction (oldest-finished first).
+    """
+
+    def __init__(
+        self,
+        pool: SolverPool,
+        *,
+        cache: ResultCache | None = None,
+        queue_limit: int = 64,
+        deadline: float | None = None,
+        epsilon: float = 0.25,
+        cost: str = "paper",
+        max_expansions: int | None = 200_000,
+        mode: str = "portfolio",
+        require_proven: bool = False,
+        solver_workers: int = 1,
+        history_limit: int = 4096,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.pool = pool
+        self.cache = cache
+        self.queue_limit = queue_limit
+        self.defaults = {
+            "deadline": deadline,
+            "epsilon": epsilon,
+            "cost": cost,
+            "max_expansions": max_expansions,
+            "mode": mode,
+            "require_proven": require_proven,
+            "solver_workers": solver_workers,
+        }
+        self.history_limit = history_limit
+        self.draining = False
+        self.started_at = time.time()
+
+        self._queue: asyncio.Queue[Job] = asyncio.Queue()
+        self._jobs: OrderedDict[str, Job] = OrderedDict()
+        # fingerprint -> the most recent active primary for it.  Two
+        # actives can share a fingerprint when their solver options
+        # differ (no dedupe across options), so followers are grouped
+        # by primary *job id*, not by fingerprint.
+        self._inflight: dict[str, Job] = {}
+        self._followers: dict[str, list[Job]] = {}  # primary id -> followers
+        self._runners: list[asyncio.Task] = []
+        self._running = 0
+        self._seq = 0
+        self.counters: dict[str, int] = {
+            "submitted": 0,
+            "accepted": 0,
+            "rejected": 0,
+            "completed": 0,
+            "failed": 0,
+            "cache_hits": 0,
+            "dedup_fanout": 0,
+            "solved": 0,
+            "pool_rebuilds": 0,
+        }
+        self.engine_counts: dict[str, int] = {}
+
+    # -- submission ----------------------------------------------------------
+
+    def prepare(self, obj: dict[str, Any]) -> PreparedRequest:
+        """Parse and fingerprint one request object (the batch
+        JSON-lines schema, plus optional per-request solver overrides).
+
+        Pure CPU, no shared state: the server runs this off the event
+        loop so a large graph's canonicalization cannot stall other
+        connections.  Raises on malformed input.
+        """
+        item = item_from_request(obj, name="request")
+        options = dict(self.defaults)
+        for key in _OVERRIDE_KEYS:
+            if key in obj and obj[key] is not None:
+                options[key] = obj[key]
+        _validate_options(options)
+        order = canonical_order(item.graph)
+        fp = instance_fingerprint(
+            item.graph, item.system, cost=options["cost"], order=order
+        )
+        return PreparedRequest(item, fp, order, options)
+
+    def admit(self, prepared: PreparedRequest) -> Job:
+        """Admit a prepared request (cheap; event-loop thread only).
+
+        Returns the accepted :class:`Job` — possibly already ``done``
+        (cache hit).  Raises :class:`Draining` or :class:`QueueFull`.
+        """
+        if self.draining:
+            raise Draining("server is draining; not accepting new jobs")
+        self.counters["submitted"] += 1
+        self._seq += 1
+        job_id = f"j{self._seq:06d}"
+        item, fp, order, options = prepared
+        if item.name == "request":
+            item = BatchItem(name=job_id, graph=item.graph, system=item.system)
+        job = Job(job_id, item, fp, order, options)
+        self._jobs[job_id] = job
+        self._evict_history()
+
+        # 1. The cache answers without a queue slot or a worker.
+        if self.cache is not None:
+            entry = self.cache.get(fp, require_proven=options["require_proven"])
+            if entry is not None and len(entry.assignment) == item.graph.num_nodes:
+                try:
+                    self._finish(job, entry, via="cache", seconds=0.0, winner="")
+                except Exception:  # noqa: BLE001 - entry unusable after all
+                    # A malformed persisted entry must not leave the job
+                    # active-forever (drain would hang on it) — fall
+                    # through and let the solver answer instead.
+                    if not job.active:
+                        return job
+                    job.via = None
+                else:
+                    self.counters["cache_hits"] += 1
+                    self.counters["accepted"] += 1
+                    return job
+
+        # 2. Dedupe in front of the queue: followers ride for free —
+        # but only on a primary solving with the *same* solver options;
+        # a request asking for e.g. a tighter epsilon or its own
+        # deadline gets its own queue slot rather than silently
+        # inheriting a weaker certificate.
+        primary = self._inflight.get(fp)
+        if (
+            primary is not None
+            and primary.active
+            and all(primary.options[k] == options[k] for k in _SOLVE_KEYS)
+        ):
+            self.counters["dedup_fanout"] += 1
+            self.counters["accepted"] += 1
+            job.via = "dedup"
+            self._followers.setdefault(primary.id, []).append(job)
+            return job
+
+        # 3. Admission control on unique pending problems.
+        if self._queue.qsize() >= self.queue_limit:
+            self.counters["rejected"] += 1
+            job.state = FAILED
+            job.error = "queue full"
+            job.done.set()
+            self._jobs.pop(job_id, None)
+            raise QueueFull(
+                f"job queue at capacity ({self.queue_limit} pending)"
+            )
+        self.counters["accepted"] += 1
+        self._inflight[fp] = job
+        self._queue.put_nowait(job)
+        return job
+
+    def submit(self, obj: dict[str, Any]) -> Job:
+        """:meth:`prepare` + :meth:`admit` in one call (tests, embedded
+        use; the server splits them across threads)."""
+        return self.admit(self.prepare(obj))
+
+    def get(self, job_id: str) -> Job | None:
+        """Look up a job by id (completed jobs stay until evicted)."""
+        return self._jobs.get(job_id)
+
+    # -- execution (runner coroutines on the event loop) ---------------------
+
+    def start(self, runners: int | None = None) -> None:
+        """Spawn the runner coroutines (call once, inside the loop)."""
+        if self._runners:
+            raise RuntimeError("JobManager already started")
+        n = runners if runners is not None else self.pool.workers
+        self._runners = [
+            asyncio.create_task(self._runner(), name=f"job-runner-{i}")
+            for i in range(max(1, n))
+        ]
+
+    async def _runner(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._queue.get()
+            job.state = RUNNING
+            job.started = time.time()
+            self._running += 1
+            descriptor = _job_for(
+                job.item, job.fingerprint,
+                job.options["deadline"], job.options["epsilon"],
+                job.options["cost"], job.options["max_expansions"],
+                job.options["mode"], job.options["solver_workers"],
+            )
+            executor = self.pool.executor
+            try:
+                payload = await loop.run_in_executor(
+                    executor, _worker_solve, descriptor
+                )
+            except BrokenExecutor as exc:
+                # A crashed/OOM-killed worker bricks a ProcessPool-
+                # Executor permanently; replace it so one bad instance
+                # cannot turn the daemon into a failure server.
+                self._fail(job, f"{type(exc).__name__}: {exc}")
+                if self.pool.rebuild(broken=executor):
+                    self.counters["pool_rebuilds"] += 1
+            except Exception as exc:  # noqa: BLE001 - worker raised
+                self._fail(job, f"{type(exc).__name__}: {exc}")
+            else:
+                try:
+                    self._complete(job, payload)
+                except Exception as exc:  # noqa: BLE001 - never leave a
+                    # job undone (wait=true clients and drain() block on
+                    # job.done) or kill this runner coroutine.
+                    self._fail(job, f"completion failed: "
+                                    f"{type(exc).__name__}: {exc}")
+            finally:
+                self._running -= 1
+                self._queue.task_done()
+
+    def _complete(self, primary: Job, payload: dict[str, Any]) -> None:
+        """Store the fresh result, then fan it out to all followers."""
+        item = primary.item
+        schedule = Schedule(
+            item.graph, item.system,
+            {int(n): (int(pe), float(st)) for n, pe, st in payload["assignment"]},
+        )
+        entry = CacheEntry(
+            fingerprint=primary.fingerprint,
+            assignment=canonical_assignment(schedule, primary.order),
+            makespan=schedule.length,
+            certificate=payload["certificate"],
+            bound=payload["bound"],
+            algorithm=payload["algorithm"],
+            stats=payload["stats"],
+        )
+        self.counters["solved"] += 1
+        algo = payload["algorithm"]
+        self.engine_counts[algo] = self.engine_counts.get(algo, 0) + 1
+        if self.cache is not None and not self.cache.put(entry):
+            # The store already held something better; serve that —
+            # unless it is structurally unusable for this graph (the
+            # same guard the admit cache-hit path applies), in which
+            # case the fresh result in hand wins.
+            better = self.cache.get(primary.fingerprint)
+            if (
+                better is not None
+                and better.better_than(entry)
+                and len(better.assignment) == item.graph.num_nodes
+            ):
+                entry = better
+        self._finish(
+            primary, entry, via="solve",
+            seconds=payload["seconds"], winner=payload["winner"],
+        )
+        # Fan out before popping: if a follower's _finish raises, the
+        # runner's _fail recovery can still reach the rest of the list.
+        for follower in self._followers.get(primary.id, []):
+            self._finish(follower, entry, via="dedup", seconds=0.0, winner="")
+        self._followers.pop(primary.id, None)
+        self._release(primary)
+
+    def _fail(self, primary: Job, error: str) -> None:
+        """Fail the primary and every follower riding on it (jobs that
+        already finished — e.g. when a completion error struck mid
+        fan-out — keep their result)."""
+        for job in [primary] + self._followers.pop(primary.id, []):
+            if not job.active:
+                continue
+            job.state = FAILED
+            job.error = error
+            job.finished = time.time()
+            job.done.set()
+            self.counters["failed"] += 1
+        self._release(primary)
+
+    def _release(self, primary: Job) -> None:
+        """Drop the in-flight marker iff it still points at ``primary``
+        (a same-fingerprint job with different options may have taken
+        the slot over)."""
+        if self._inflight.get(primary.fingerprint) is primary:
+            del self._inflight[primary.fingerprint]
+
+    def _finish(
+        self, job: Job, entry: CacheEntry, *,
+        via: str, seconds: float, winner: str,
+    ) -> None:
+        """Complete one job from a (canonical-space) cache entry."""
+        schedule = Schedule(
+            job.item.graph, job.item.system,
+            assignment_from_canonical(job.order, entry.assignment),
+        )
+        job.result = {
+            "name": job.name,
+            "fingerprint": job.fingerprint,
+            "makespan": schedule.length,
+            "certificate": entry.certificate,
+            "algorithm": entry.algorithm,
+            "winner": winner,
+            "seconds": seconds,
+            "assignment": [[t.node, t.pe, t.start] for t in schedule.tasks],
+        }
+        job.via = via
+        job.state = DONE
+        job.finished = time.time()
+        job.done.set()
+        self.counters["completed"] += 1
+
+    def _evict_history(self) -> None:
+        """Drop the oldest *finished* jobs beyond the history bound."""
+        if len(self._jobs) <= self.history_limit:
+            return
+        for job_id in list(self._jobs):
+            if len(self._jobs) <= self.history_limit:
+                break
+            if not self._jobs[job_id].active:
+                del self._jobs[job_id]
+
+    # -- drain ---------------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Stop admitting, finish every accepted job, stop the runners.
+
+        Idempotent; after it returns no job is left ``queued`` or
+        ``running`` and the runner tasks are cancelled.
+        """
+        self.draining = True
+        pending = [job for job in self._jobs.values() if job.active]
+        for job in pending:
+            await job.done.wait()
+        for task in self._runners:
+            task.cancel()
+        for task in self._runners:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._runners = []
+
+    # -- introspection -------------------------------------------------------
+
+    def metrics(self) -> dict[str, Any]:
+        """The ``GET /metrics`` payload."""
+        submitted = self.counters["submitted"]
+        hit_rate = (
+            self.counters["cache_hits"] / submitted if submitted else 0.0
+        )
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "draining": self.draining,
+            "queue_depth": self._queue.qsize(),
+            "queue_limit": self.queue_limit,
+            "running": self._running,
+            "in_flight": len(self._inflight),
+            "pool_workers": self.pool.workers,
+            "jobs": dict(self.counters),
+            "cache_hit_rate": hit_rate,
+            "engines": dict(self.engine_counts),
+            "cache": self.cache.counters() if self.cache is not None else {},
+        }

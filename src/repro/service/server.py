@@ -1,0 +1,359 @@
+"""``repro serve`` — the solver daemon: an asyncio HTTP front-end.
+
+Everything below this module already existed as one-shot library calls
+(fingerprint → dedupe → cache → portfolio → pool); what a long-running
+deployment adds is *amortization* and *backpressure*:
+
+* the :class:`~repro.parallel.mp_backend.SolverPool` is created once
+  and reused for every request, so worker-process startup and module
+  import cost are paid per server, not per request;
+* the :class:`~repro.service.cache.ResultCache` stays open and warm
+  across requests (and across restarts when backed by SQLite);
+* admission control bounds the pending-job queue and answers HTTP 429
+  when full, instead of buffering unbounded work;
+* SIGTERM drains gracefully — accepted jobs finish, new submissions get
+  503, the cache is flushed — so a rolling restart never loses results.
+
+The HTTP layer is stdlib-only (``asyncio.start_server`` plus a minimal
+HTTP/1.1 parser): one request per connection, JSON in, JSON out.
+
+API
+---
+``POST /v1/solve``
+    Body: the batch JSON-lines request object (``graph`` required;
+    ``system``/``pes``, ``name`` optional) plus optional per-request
+    solver overrides (``deadline``, ``epsilon``, ``max_expansions``,
+    ``mode``, ``require_proven``) and ``wait`` (default ``true``).
+    ``wait=true`` blocks until the job finishes and returns 200 with the
+    job snapshot (result embedded); ``wait=false`` returns 202
+    immediately — poll ``GET /v1/jobs/<id>``.  429 when the queue is
+    full, 503 while draining, 400 on malformed requests.
+``GET /v1/jobs/<id>``
+    Job snapshot (status, and the result once done); 404 when unknown
+    or evicted.
+``GET /healthz``
+    Liveness: 200 ``{"status": "ok"}`` (``"draining"`` during drain).
+``GET /metrics``
+    Queue depth, running/in-flight counts, job counters (cache hits,
+    dedupe fan-out, rejects), per-engine solve counts, cache counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.parallel.mp_backend import SolverPool
+from repro.service.cache import ResultCache
+from repro.service.jobs import Draining, JobManager, QueueFull
+
+__all__ = ["SolverServer"]
+
+#: Largest accepted request body (a v=1000 dense graph is ~10 MB).
+_MAX_BODY = 32 * 1024 * 1024
+#: Seconds an idle or trickling client may take to deliver one request
+#: before the connection is dropped (bounds handler-task lifetime).
+_READ_TIMEOUT = 30.0
+#: Header-line cap per request.
+_MAX_HEADERS = 100
+_STATUS_TEXT = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class _BadRequest(Exception):
+    """Unparseable request; carries the HTTP status to answer with."""
+
+    def __init__(self, message: str, *, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class SolverServer:
+    """The daemon: owns the pool, the cache, the manager, the listener.
+
+    Typical embedded use (tests, benchmarks, notebooks)::
+
+        server = SolverServer(port=0, solver_workers=2)
+        thread = server.serve_in_thread()        # returns once ready
+        ...  # talk to it via repro.service.client.ServerClient
+        server.shutdown()                        # drain + stop
+        thread.join()
+
+    Production use is ``repro serve`` (:func:`run` on the main thread,
+    with SIGTERM/SIGINT wired to graceful drain).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        *,
+        solver_workers: int = 1,
+        queue_limit: int = 64,
+        cache: ResultCache | str | Path | None = None,
+        deadline: float | None = None,
+        epsilon: float = 0.25,
+        max_expansions: int | None = 200_000,
+        mode: str = "portfolio",
+        require_proven: bool = False,
+        warm: bool = True,
+    ) -> None:
+        self.host = host
+        self.port = port  # rebound to the real port after bind (port=0)
+        self.solver_workers = solver_workers
+        self.queue_limit = queue_limit
+        self.warm = warm
+        self._solver_defaults = {
+            "deadline": deadline,
+            "epsilon": epsilon,
+            "max_expansions": max_expansions,
+            "mode": mode,
+            "require_proven": require_proven,
+        }
+        # The server owns caches it constructs (in-memory default, or
+        # from a path); a caller passing a live ResultCache keeps
+        # ownership (shared with e.g. an in-process benchmark harness
+        # reading counters — it must be safe to use from the server's
+        # event-loop thread, which in-memory caches are).  Construction
+        # of owned caches is deferred to start(): SQLite connections
+        # may only be used on their creating thread, and with
+        # serve_in_thread() the loop thread is not __init__'s thread.
+        self._owns_cache = not isinstance(cache, ResultCache)
+        self._cache_arg = cache
+        self.cache: ResultCache | None = (
+            cache if isinstance(cache, ResultCache) else None
+        )
+        self.pool: SolverPool | None = None
+        self.manager: JobManager | None = None
+        self.ready = threading.Event()
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._drained = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and start the pool + runners."""
+        if self.cache is None and self._owns_cache:
+            # On the loop thread on purpose — see __init__.
+            self.cache = ResultCache(self._cache_arg)
+        self.pool = SolverPool(self.solver_workers)
+        if self.warm:
+            self.pool.warm()
+        self.manager = JobManager(
+            self.pool,
+            cache=self.cache,
+            queue_limit=self.queue_limit,
+            **self._solver_defaults,
+        )
+        self.manager.start()
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.ready.set()
+
+    async def drain(self) -> None:
+        """Graceful stop: finish accepted jobs, flush, release resources."""
+        if self._drained:
+            return
+        self._drained = True
+        assert self.manager is not None and self.pool is not None
+        await self.manager.drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.pool.close()
+        if self.cache is not None and self._owns_cache:
+            self.cache.close()
+        self.ready.clear()
+
+    async def _main(self, *, install_signals: bool) -> None:
+        await self.start()
+        assert self._stop is not None
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, self._stop.set)
+                except (NotImplementedError, ValueError, RuntimeError):
+                    pass  # non-main thread or unsupported platform
+        await self._stop.wait()
+        await self.drain()
+
+    def run(self, *, install_signals: bool = True) -> dict[str, Any]:
+        """Serve until :meth:`shutdown` or SIGTERM/SIGINT, then drain.
+
+        Returns the final metrics snapshot (the drain report).
+        """
+        asyncio.run(self._main(install_signals=install_signals))
+        assert self.manager is not None
+        return self.manager.metrics()
+
+    def serve_in_thread(self) -> threading.Thread:
+        """Start :meth:`run` on a daemon thread; block until ready."""
+        thread = threading.Thread(
+            target=self.run, kwargs={"install_signals": False}, daemon=True
+        )
+        thread.start()
+        if not self.ready.wait(timeout=30):
+            raise RuntimeError("server failed to become ready within 30s")
+        return thread
+
+    def shutdown(self) -> None:
+        """Request drain + stop from any thread (idempotent)."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None and loop.is_running():
+            loop.call_soon_threadsafe(stop.set)
+
+    # -- the HTTP layer ------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._respond(reader)
+        except Exception as exc:  # noqa: BLE001 - never kill the acceptor
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        body = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode()
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass  # client went away mid-response
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict[str, Any]]:
+        """Parse one request and route it; returns (status, JSON body)."""
+        try:
+            method, path, body = await asyncio.wait_for(
+                self._read_request(reader), timeout=_READ_TIMEOUT
+            )
+        except asyncio.TimeoutError:
+            return 408, {"error": f"request not received in {_READ_TIMEOUT}s"}
+        except _BadRequest as exc:
+            return exc.status, {"error": str(exc)}
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError, ValueError):
+            # ValueError covers StreamReader's oversized-line (64 KiB)
+            # conversion of LimitOverrunError inside readline().
+            return 400, {"error": "unreadable request"}
+        return await self._route(method, path, body)
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        """Read one HTTP/1.1 request: line, headers, body."""
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise _BadRequest("malformed request line")
+        method, path = parts[0].upper(), parts[1]
+
+        content_length = 0
+        for _ in range(_MAX_HEADERS):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _BadRequest("bad Content-Length") from None
+                if content_length < 0:
+                    raise _BadRequest("bad Content-Length")
+        else:
+            raise _BadRequest(f"more than {_MAX_HEADERS} header lines")
+        if content_length > _MAX_BODY:
+            raise _BadRequest(f"body exceeds {_MAX_BODY} bytes", status=413)
+        body = (
+            await reader.readexactly(content_length) if content_length else b""
+        )
+        return method, path, body
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        assert self.manager is not None
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            status = "draining" if self.manager.draining else "ok"
+            return 200, {"status": status}
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, self.manager.metrics()
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            job = self.manager.get(path.removeprefix("/v1/jobs/"))
+            if job is None:
+                return 404, {"error": "unknown job id"}
+            return 200, job.snapshot()
+        if path == "/v1/solve":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            return await self._solve(body)
+        return 404, {"error": f"no route {method} {path}"}
+
+    async def _solve(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        assert self.manager is not None
+        try:
+            obj = json.loads(body)
+        except json.JSONDecodeError as exc:
+            return 400, {"error": f"invalid JSON body: {exc}"}
+        if not isinstance(obj, dict):
+            return 400, {"error": "request body must be a JSON object"}
+        wait = obj.get("wait", True)
+        if not isinstance(wait, bool):
+            return 400, {"error": f"wait must be a boolean, got {wait!r}"}
+        try:
+            # prepare() is pure CPU (graph parse + WL-refinement
+            # fingerprint — seconds for very large graphs) and runs on
+            # a thread so the loop keeps serving /healthz and friends;
+            # admit() touches shared state and stays on the loop.
+            loop = asyncio.get_running_loop()
+            prepared = await loop.run_in_executor(
+                None, self.manager.prepare, obj
+            )
+            job = self.manager.admit(prepared)
+        except Draining as exc:
+            return 503, {"error": str(exc)}
+        except QueueFull as exc:
+            return 429, {"error": str(exc)}
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
+            return 400, {"error": f"bad request: {type(exc).__name__}: {exc}"}
+        if wait:
+            await job.done.wait()
+            if job.state == "failed":
+                return 500, job.snapshot()
+            return 200, job.snapshot()
+        return 202, job.snapshot()

@@ -51,3 +51,45 @@ def test_mp_matches_exhaustive(instance):
     mp = multiprocessing_astar_schedule(graph, system, workers=2, oversubscribe=2)
     opt = enumerate_optimal(graph, system).length
     assert mp.length == pytest.approx(opt)
+
+
+class TestSolverPool:
+    def test_submit_and_map(self):
+        from repro.parallel.mp_backend import SolverPool, _warmup
+
+        with SolverPool(2) as pool:
+            assert pool.workers == 2 and not pool.closed
+            assert pool.submit(_warmup).result() > 0
+            assert pool.map(abs, [-1, 2, -3]) == [1, 2, 3]
+
+    def test_warm_prespawns_workers(self):
+        from repro.parallel.mp_backend import SolverPool
+
+        pool = SolverPool(2)
+        pool.warm()
+        assert len(pool.executor._processes) == 2
+        pool.close()
+        assert pool.closed
+
+    def test_closed_pool_raises(self):
+        from repro.parallel.mp_backend import SolverPool
+
+        pool = SolverPool(1)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit(abs, 1)
+
+    def test_invalid_worker_count(self):
+        from repro.parallel.mp_backend import SolverPool
+
+        with pytest.raises(ValueError):
+            SolverPool(0)
+
+    def test_persistent_pool_survives_multiple_rounds(self):
+        """The point of the abstraction: worker processes are reused."""
+        from repro.parallel.mp_backend import SolverPool, _warmup
+
+        with SolverPool(1) as pool:
+            pids = {pool.submit(_warmup).result() for _ in range(4)}
+        assert len(pids) == 1

@@ -106,6 +106,23 @@ class TestWorkers:
             pytest.approx([o.makespan for o in fanned.outcomes])
         assert all(o.certificate == "proven" for o in fanned.outcomes)
 
+    def test_caller_provided_pool_is_reused_not_closed(self):
+        """run_batch(pool=...) dispatches on the persistent pool and
+        leaves its lifetime to the caller (the daemon's usage)."""
+        from repro.parallel.mp_backend import SolverPool
+
+        items = [make_item(f"p{k}", seed=k) for k in range(3)]
+        serial = run_batch(items, max_expansions=50_000)
+        with SolverPool(2) as pool:
+            pool.warm()
+            first = run_batch(items, pool=pool, max_expansions=50_000)
+            second = run_batch(items, pool=pool, max_expansions=50_000)
+            assert not pool.closed
+        assert [o.makespan for o in first.outcomes] == \
+            pytest.approx([o.makespan for o in serial.outcomes])
+        assert [o.makespan for o in second.outcomes] == \
+            pytest.approx([o.makespan for o in serial.outcomes])
+
 
 class TestLoaders:
     def test_directory_of_graphs(self, tmp_path):

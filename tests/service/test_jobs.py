@@ -1,0 +1,387 @@
+"""Job lifecycle unit tests: admission, dedupe, cache, drain, failure.
+
+These drive :class:`JobManager` directly on an event loop with a
+thread-backed pool stand-in, so the state machine is tested without
+sockets or process spawn.  The real process pool and HTTP layer are
+covered by ``test_server.py``.
+"""
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
+from repro.graph.io import graph_to_dict
+from repro.schedule.schedule import Schedule
+from repro.schedule.validate import validate_schedule
+from repro.service.cache import ResultCache
+from repro.service.jobs import DONE, FAILED, QUEUED, Draining, JobManager, QueueFull
+from repro.system.processors import ProcessorSystem
+from tests.service.test_fingerprint import permuted
+
+
+class ThreadPool:
+    """SolverPool stand-in: same interface, threads instead of processes."""
+
+    def __init__(self, workers: int = 1):
+        self.workers = workers
+        self.executor = ThreadPoolExecutor(max_workers=workers)
+
+    def close(self):
+        self.executor.shutdown()
+
+
+def request_obj(v: int = 8, seed: int = 1, pes: int = 3, **extra):
+    graph = paper_random_graph(PaperGraphSpec(num_nodes=v, ccr=1.0, seed=seed))
+    obj = {"graph": graph_to_dict(graph), "pes": pes,
+           "max_expansions": 50_000}
+    obj.update(extra)
+    return obj
+
+
+def make_manager(**kwargs):
+    pool = ThreadPool(kwargs.pop("workers", 1))
+    return JobManager(pool, **kwargs), pool
+
+
+async def finish(manager, *jobs):
+    for job in jobs:
+        await asyncio.wait_for(job.done.wait(), timeout=60)
+
+
+class TestSolveLifecycle:
+    def test_submit_runs_to_done(self):
+        async def scenario():
+            manager, pool = make_manager()
+            manager.start()
+            job = manager.submit(request_obj(name="one"))
+            assert job.state == QUEUED
+            await finish(manager, job)
+            assert job.state == DONE and job.via == "solve"
+            assert job.result["makespan"] > 0
+            assert len(job.result["assignment"]) == job.item.graph.num_nodes
+            # The returned assignment must be a feasible schedule in the
+            # requester's own node numbering.
+            validate_schedule(Schedule(
+                job.item.graph, job.item.system,
+                {int(n): (int(pe), float(st))
+                 for n, pe, st in job.result["assignment"]},
+            ))
+            assert manager.counters["completed"] == 1
+            assert manager.counters["solved"] == 1
+            assert sum(manager.engine_counts.values()) == 1
+            await manager.drain()
+            pool.close()
+
+        asyncio.run(scenario())
+
+    def test_snapshot_shape(self):
+        async def scenario():
+            manager, pool = make_manager()
+            manager.start()
+            job = manager.submit(request_obj())
+            await finish(manager, job)
+            snap = job.snapshot()
+            assert snap["status"] == "done"
+            assert {"id", "name", "fingerprint", "submitted", "started",
+                    "finished", "via", "result"} <= set(snap)
+            await manager.drain()
+            pool.close()
+
+        asyncio.run(scenario())
+
+    def test_bad_mode_rejected_at_submit(self):
+        manager, pool = make_manager()
+        with pytest.raises(ValueError, match="mode"):
+            manager.submit(request_obj(mode="nonsense"))
+        pool.close()
+
+    def test_option_bounds_validated_at_submit(self):
+        """Request bodies cannot amplify resources or smuggle bad types
+        into the pool worker — they fail fast at submit (HTTP 400)."""
+        manager, pool = make_manager()
+        with pytest.raises(ValueError, match="solver_workers"):
+            manager.submit(request_obj(solver_workers=200))
+        with pytest.raises(ValueError, match="deadline"):
+            manager.submit(request_obj(deadline="5s"))
+        with pytest.raises(ValueError, match="epsilon"):
+            manager.submit(request_obj(epsilon=-0.5))
+        with pytest.raises(ValueError, match="max_expansions"):
+            manager.submit(request_obj(max_expansions=0))
+        assert manager.counters["accepted"] == 0
+        pool.close()
+
+    def test_worker_failure_fails_primary_and_followers(self, monkeypatch):
+        async def scenario():
+            manager, pool = make_manager()
+            primary = manager.submit(request_obj(seed=5))
+            follower = manager.submit(request_obj(seed=5))
+            assert follower.via == "dedup"
+
+            def boom(job):
+                raise RuntimeError("worker exploded")
+
+            monkeypatch.setattr("repro.service.jobs._worker_solve", boom)
+            manager.start()
+            await finish(manager, primary, follower)
+            assert primary.state == FAILED and follower.state == FAILED
+            assert "worker exploded" in primary.error
+            assert manager.counters["failed"] == 2
+            await manager.drain()
+            pool.close()
+
+        asyncio.run(scenario())
+
+
+class TestDedupe:
+    def test_mismatched_options_do_not_dedupe(self):
+        """A request asking for different solver options (e.g. its own
+        epsilon) must not inherit the in-flight twin's weaker result —
+        it gets its own queue slot."""
+        async def scenario():
+            manager, pool = make_manager(workers=2)
+            a = manager.submit(request_obj(seed=21))
+            b = manager.submit(request_obj(seed=21, epsilon=0.0))
+            assert b.via is None and manager.counters["dedup_fanout"] == 0
+            # A third request matching b's options rides b.
+            c = manager.submit(request_obj(seed=21, epsilon=0.0))
+            assert c.via == "dedup"
+            manager.start()
+            await finish(manager, a, b, c)
+            assert manager.counters["solved"] == 2
+            assert b.result["makespan"] == pytest.approx(a.result["makespan"])
+            await manager.drain()
+            pool.close()
+
+        asyncio.run(scenario())
+
+    def test_follower_attaches_before_runners_start(self):
+        async def scenario():
+            manager, pool = make_manager()
+            a = manager.submit(request_obj(seed=2))
+            b = manager.submit(request_obj(seed=2))
+            assert b.via == "dedup" and manager.counters["dedup_fanout"] == 1
+            manager.start()
+            await finish(manager, a, b)
+            assert a.via == "solve" and b.via == "dedup"
+            assert a.result["makespan"] == pytest.approx(b.result["makespan"])
+            assert manager.counters["solved"] == 1
+            await manager.drain()
+            pool.close()
+
+        asyncio.run(scenario())
+
+    def test_relabeled_twin_dedupes_via_fingerprint(self):
+        async def scenario():
+            manager, pool = make_manager()
+            graph = paper_random_graph(
+                PaperGraphSpec(num_nodes=9, ccr=1.0, seed=11))
+            system = ProcessorSystem.fully_connected(3)
+            obj = {"graph": graph_to_dict(graph), "pes": 3,
+                   "max_expansions": 50_000}
+            twin_obj = {"graph": graph_to_dict(permuted(graph, seed=13)),
+                        "pes": 3, "max_expansions": 50_000}
+            a = manager.submit(obj)
+            b = manager.submit(twin_obj)
+            assert a.fingerprint == b.fingerprint
+            assert b.via == "dedup"
+            manager.start()
+            await finish(manager, a, b)
+            # Fan-out must be feasible in the twin's own numbering.
+            validate_schedule(Schedule(
+                b.item.graph, system,
+                {int(n): (int(pe), float(st))
+                 for n, pe, st in b.result["assignment"]},
+            ))
+            assert a.result["makespan"] == pytest.approx(b.result["makespan"])
+            await manager.drain()
+            pool.close()
+
+        asyncio.run(scenario())
+
+
+class TestFaultTolerance:
+    def test_completion_error_fails_job_without_killing_runner(self, monkeypatch):
+        """An exception while building the result must fail that job
+        (done event set) and leave the runner alive for the next one."""
+        async def scenario():
+            manager, pool = make_manager()
+            bad = manager.submit(request_obj(seed=31))
+
+            real_complete = manager._complete
+
+            def explode(job, payload):
+                raise RuntimeError("canonical mismatch")
+
+            manager._complete = explode
+            manager.start()
+            await finish(manager, bad)
+            assert bad.state == FAILED and "canonical mismatch" in bad.error
+            # The runner survived: a subsequent job completes normally.
+            manager._complete = real_complete
+            good = manager.submit(request_obj(seed=32))
+            await finish(manager, good)
+            assert good.state == DONE
+            await manager.drain()
+            pool.close()
+
+        asyncio.run(scenario())
+
+    def test_broken_pool_is_rebuilt_and_serving_continues(self, monkeypatch):
+        """A worker that dies mid-job (OOM kill) fails only that job;
+        the pool is replaced and later jobs solve normally."""
+        import os
+
+        from repro.parallel.mp_backend import SolverPool
+
+        async def scenario(tmp_flag):
+            pool = SolverPool(1)
+            manager = JobManager(pool, max_expansions=50_000)
+            monkeypatch.setattr(
+                "repro.service.jobs._worker_solve", _crash_or_solve
+            )
+            os.environ["REPRO_TEST_CRASH_FLAG"] = tmp_flag
+            open(tmp_flag, "w").close()
+            manager.start()
+            doomed = manager.submit(request_obj(seed=33))
+            await finish(manager, doomed)
+            assert doomed.state == FAILED
+            assert manager.counters["pool_rebuilds"] == 1
+            os.unlink(tmp_flag)  # next forked worker solves for real
+            healthy = manager.submit(request_obj(seed=34))
+            await finish(manager, healthy)
+            assert healthy.state == DONE and healthy.via == "solve"
+            await manager.drain()
+            pool.close()
+
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            asyncio.run(scenario(f"{tmp}/crash"))
+
+
+def _crash_or_solve(job):
+    """Worker-side helper: hard-exit while the flag file exists."""
+    import os
+
+    from repro.service import batch
+
+    if os.path.exists(os.environ.get("REPRO_TEST_CRASH_FLAG", "")):
+        os._exit(17)
+    return batch._worker_solve(job)
+
+
+class TestAdmission:
+    def test_queue_full_raises_but_duplicates_still_ride(self):
+        manager, pool = make_manager(queue_limit=1)
+        first = manager.submit(request_obj(seed=1))
+        with pytest.raises(QueueFull):
+            manager.submit(request_obj(seed=2))
+        assert manager.counters["rejected"] == 1
+        # Dedupe sits in front of the queue: a twin of the queued job is
+        # accepted even at capacity.
+        rider = manager.submit(request_obj(seed=1))
+        assert rider.via == "dedup"
+        assert first.state == QUEUED
+        pool.close()
+
+    def test_rejected_job_not_pollable(self):
+        manager, pool = make_manager(queue_limit=1)
+        manager.submit(request_obj(seed=1))
+        before = set(manager._jobs)
+        with pytest.raises(QueueFull):
+            manager.submit(request_obj(seed=2))
+        assert set(manager._jobs) == before
+        pool.close()
+
+
+class TestCacheIntegration:
+    def test_second_submit_served_from_cache(self):
+        async def scenario():
+            cache = ResultCache()
+            manager, pool = make_manager(cache=cache)
+            manager.start()
+            a = manager.submit(request_obj(seed=3))
+            await finish(manager, a)
+            b = manager.submit(request_obj(seed=3))
+            # Cache hits complete synchronously at submit.
+            assert b.state == DONE and b.via == "cache"
+            assert b.result["makespan"] == pytest.approx(a.result["makespan"])
+            assert manager.counters["cache_hits"] == 1
+            assert manager.counters["solved"] == 1
+            await manager.drain()
+            pool.close()
+
+        asyncio.run(scenario())
+
+    def test_require_proven_override_skips_budget_entries(self):
+        async def scenario():
+            cache = ResultCache()
+            manager, pool = make_manager(cache=cache)
+            manager.start()
+            # A tiny expansion budget yields an unproven certificate.
+            a = manager.submit(request_obj(seed=4, v=10, max_expansions=1))
+            await finish(manager, a)
+            assert a.result["certificate"] != "proven"
+            b = manager.submit(request_obj(seed=4, v=10, require_proven=True,
+                                           max_expansions=50_000))
+            assert b.state == QUEUED  # stale entry not served
+            await finish(manager, b)
+            assert b.via == "solve" and b.result["certificate"] == "proven"
+            await manager.drain()
+            pool.close()
+
+        asyncio.run(scenario())
+
+
+class TestDrain:
+    def test_drain_completes_accepted_then_rejects(self):
+        async def scenario():
+            manager, pool = make_manager(workers=2, queue_limit=16)
+            jobs = [manager.submit(request_obj(seed=s)) for s in range(5)]
+            manager.start()
+            await manager.drain()
+            assert all(j.state == DONE for j in jobs)
+            with pytest.raises(Draining):
+                manager.submit(request_obj(seed=99))
+            pool.close()
+
+        asyncio.run(scenario())
+
+    def test_metrics_shape(self):
+        async def scenario():
+            manager, pool = make_manager()
+            manager.start()
+            job = manager.submit(request_obj())
+            await finish(manager, job)
+            m = manager.metrics()
+            assert m["queue_depth"] == 0
+            assert m["jobs"]["submitted"] == 1
+            assert m["jobs"]["completed"] == 1
+            assert "cache_hit_rate" in m and "engines" in m
+            assert m["pool_workers"] == 1
+            await manager.drain()
+            assert manager.metrics()["draining"] is True
+            pool.close()
+
+        asyncio.run(scenario())
+
+
+class TestHistoryEviction:
+    def test_finished_jobs_evicted_beyond_limit(self):
+        async def scenario():
+            manager, pool = make_manager(history_limit=2)
+            manager.start()
+            jobs = [manager.submit(request_obj(seed=s)) for s in range(4)]
+            for job in jobs:
+                await finish(manager, job)
+            # One more submission triggers eviction of old finished jobs.
+            last = manager.submit(request_obj(seed=9))
+            await finish(manager, last)
+            assert manager.get(jobs[0].id) is None
+            assert manager.get(last.id) is last
+            await manager.drain()
+            pool.close()
+
+        asyncio.run(scenario())

@@ -1,0 +1,295 @@
+"""End-to-end tests of the solver daemon over real HTTP.
+
+A :class:`SolverServer` runs on a background thread with a real
+process pool; requests go through :class:`ServerClient` (stdlib
+``http.client``), so these exercise the full request path: HTTP parse →
+admission → fingerprint dedupe → cache → portfolio on the pool → fan-out
+→ JSON response.  The SIGTERM drain test runs ``repro serve`` as an
+actual subprocess (slow tier).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
+from repro.graph.io import graph_to_dict
+from repro.schedule.schedule import Schedule
+from repro.schedule.validate import validate_schedule
+from repro.service.cache import ResultCache
+from repro.service.client import ServerClient, ServerError
+from repro.service.server import SolverServer
+from repro.system.processors import ProcessorSystem
+from tests.service.test_fingerprint import permuted
+
+
+def graph_for(seed: int, v: int = 9):
+    return paper_random_graph(PaperGraphSpec(num_nodes=v, ccr=1.0, seed=seed))
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = SolverServer(port=0, solver_workers=2, queue_limit=8,
+                       max_expansions=50_000)
+    thread = srv.serve_in_thread()
+    yield srv
+    srv.shutdown()
+    thread.join(timeout=60)
+    assert not thread.is_alive()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServerClient(port=server.port)
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        assert client.healthz() == {"status": "ok"}
+
+    def test_metrics_shape(self, client):
+        m = client.metrics()
+        assert {"queue_depth", "queue_limit", "running", "in_flight",
+                "jobs", "engines", "cache", "cache_hit_rate",
+                "pool_workers", "draining"} <= set(m)
+        assert m["queue_limit"] == 8 and m["pool_workers"] == 2
+
+    def test_unknown_route_404(self, client):
+        status, data = client.request("GET", "/nope")
+        assert status == 404 and "error" in data
+
+    def test_unknown_job_404(self, client):
+        with pytest.raises(ServerError) as err:
+            client.job("j999999")
+        assert err.value.status == 404
+
+    def test_wrong_method_405(self, client):
+        status, _ = client.request("POST", "/healthz", {})
+        assert status == 405
+        status, _ = client.request("GET", "/v1/solve")
+        assert status == 405
+
+    def test_bad_json_400(self, client):
+        import http.client as hc
+
+        conn = hc.HTTPConnection(client.host, client.port, timeout=30)
+        conn.request("POST", "/v1/solve", body="{not json",
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        assert response.status == 400
+        assert "invalid JSON" in json.loads(response.read())["error"]
+        conn.close()
+
+    def test_bad_graph_400(self, client):
+        status, data = client.request(
+            "POST", "/v1/solve", {"graph": {"schema": 99}})
+        assert status == 400 and "bad request" in data["error"]
+
+    def test_non_object_body_400(self, client):
+        status, data = client.request("POST", "/v1/solve", [1, 2, 3])
+        assert status == 400
+
+    def test_negative_content_length_400(self, client):
+        import socket
+
+        with socket.create_connection((client.host, client.port),
+                                      timeout=30) as sock:
+            sock.sendall(b"POST /v1/solve HTTP/1.1\r\n"
+                         b"Content-Length: -1\r\n\r\n")
+            response = sock.recv(4096).decode()
+        assert response.startswith("HTTP/1.1 400")
+
+    def test_bad_solver_options_400(self, client):
+        body = client.solve_request(graph_for(seed=26), pes=3,
+                                    solver_workers=500)
+        status, data = client.request("POST", "/v1/solve", body)
+        assert status == 400 and "solver_workers" in data["error"]
+
+
+class TestSolve:
+    def test_sync_solve_returns_feasible_schedule(self, client):
+        graph = graph_for(seed=21)
+        system = ProcessorSystem.fully_connected(3)
+        out = client.solve(graph, system, name="sync-demo")
+        assert out["status"] == "done" and out["via"] == "solve"
+        result = out["result"]
+        assert result["name"] == "sync-demo"
+        schedule = Schedule(
+            graph, system,
+            {int(n): (int(pe), float(st))
+             for n, pe, st in result["assignment"]},
+        )
+        validate_schedule(schedule)
+        assert schedule.length == pytest.approx(result["makespan"])
+
+    def test_repeat_request_hits_cache(self, client):
+        graph = graph_for(seed=22)
+        first = client.solve(graph, pes=3)
+        again = client.solve(graph, pes=3)
+        assert first["via"] == "solve" and again["via"] == "cache"
+        assert again["result"]["makespan"] == first["result"]["makespan"]
+        assert client.metrics()["jobs"]["cache_hits"] >= 1
+
+    def test_relabeled_twin_hits_cache_across_http(self, client):
+        """Canonical fingerprinting end to end: a permuted copy of an
+        already-served instance is answered from the cache, remapped
+        into the twin's own node numbering."""
+        graph = graph_for(seed=23)
+        system = ProcessorSystem.fully_connected(3)
+        original = client.solve(graph, system)
+        twin = permuted(graph, seed=7)
+        served = client.solve(twin, system)
+        assert served["via"] == "cache"
+        assert served["fingerprint"] == original["fingerprint"]
+        validate_schedule(Schedule(
+            twin, system,
+            {int(n): (int(pe), float(st))
+             for n, pe, st in served["result"]["assignment"]},
+        ))
+
+    def test_async_submit_then_poll(self, client):
+        job_id = client.submit(graph_for(seed=24), pes=3)
+        snapshot = client.wait(job_id, timeout=60)
+        assert snapshot["status"] == "done"
+        assert snapshot["result"]["makespan"] > 0
+
+    def test_concurrent_duplicates_fan_out(self, client):
+        """The acceptance scenario: N concurrent identical requests are
+        solved once; the rest ride as followers, visible in /metrics."""
+        before = client.metrics()["jobs"]
+        graph = graph_for(seed=25, v=12)
+        results = []
+        def go():
+            results.append(client.solve(graph, pes=4))
+        threads = [threading.Thread(target=go) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        vias = sorted(r["via"] for r in results)
+        assert vias.count("solve") == 1
+        assert set(vias) <= {"solve", "dedup", "cache"}
+        after = client.metrics()["jobs"]
+        assert after["solved"] - before["solved"] == 1
+        fanned = after["dedup_fanout"] - before["dedup_fanout"]
+        cached = vias.count("cache")
+        assert fanned == 3 - cached and fanned >= 1
+        lengths = {r["result"]["makespan"] for r in results}
+        assert len(lengths) == 1
+
+
+class TestAdmissionControl:
+    def test_queue_overflow_returns_429(self):
+        srv = SolverServer(port=0, solver_workers=1, queue_limit=1,
+                           max_expansions=100_000)
+        thread = srv.serve_in_thread()
+        client = ServerClient(port=srv.port)
+        try:
+            codes = []
+            for seed in range(10):
+                body = client.solve_request(
+                    graph_for(seed=300 + seed, v=13), pes=4, wait=False)
+                status, _ = client.request("POST", "/v1/solve", body)
+                codes.append(status)
+            assert 429 in codes
+            assert codes[0] == 202  # the first was accepted
+            assert client.metrics()["jobs"]["rejected"] >= 1
+        finally:
+            srv.shutdown()
+            thread.join(timeout=120)
+
+    def test_sqlite_cache_persists_in_thread_mode(self, tmp_path):
+        """The embedded serve_in_thread() mode must actually persist to
+        a file-backed cache: the SQLite connection is created on the
+        event-loop thread (cross-thread use would be silently swallowed
+        as 'stale' by the cache's corruption handling)."""
+        path = tmp_path / "embedded.db"
+        srv = SolverServer(port=0, solver_workers=1, cache=path)
+        thread = srv.serve_in_thread()
+        client = ServerClient(port=srv.port)
+        try:
+            out = client.solve(graph_for(seed=41), pes=3)
+            assert out["via"] == "solve"
+            metrics = client.metrics()
+            assert metrics["cache"]["stored_entries"] == 1
+            assert metrics["cache"]["stale"] == 0
+        finally:
+            srv.shutdown()
+            thread.join(timeout=60)
+        with ResultCache(path) as reopened:
+            assert reopened.get(out["fingerprint"]) is not None
+
+    def test_draining_returns_503(self):
+        srv = SolverServer(port=0, solver_workers=1, queue_limit=4)
+        thread = srv.serve_in_thread()
+        client = ServerClient(port=srv.port)
+        try:
+            assert srv.manager is not None
+            srv.manager.draining = True
+            status, data = client.request(
+                "POST", "/v1/solve",
+                client.solve_request(graph_for(seed=31), pes=3))
+            assert status == 503 and "draining" in data["error"]
+            assert client.healthz()["status"] == "draining"
+        finally:
+            srv.shutdown()
+            thread.join(timeout=60)
+
+
+@pytest.mark.slow
+class TestSigtermDrain:
+    def test_sigterm_drains_without_losing_results(self, tmp_path):
+        """Accepted async jobs all finish and land in the persistent
+        cache before the process exits."""
+        cache_path = tmp_path / "serve.db"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(Path(__file__).resolve().parents[2] / "src")
+            + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--solver-workers", "2", "--queue-limit", "32",
+             "--cache", str(cache_path), "--max-expansions", "50000"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=env,
+        )
+        try:
+            ready = proc.stdout.readline()
+            assert "listening on" in ready, ready
+            port = int(ready.split(":")[-1].split()[0].strip("/"))
+            client = ServerClient(port=port)
+            graphs = [graph_for(seed=500 + s, v=10) for s in range(6)]
+            accepted = []
+            for graph in graphs:
+                body = client.solve_request(graph, pes=3, wait=False)
+                status, data = client.request("POST", "/v1/solve", body)
+                assert status == 202
+                accepted.append(data["fingerprint"])
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=180)
+            assert proc.returncode == 0, err
+            assert "drained" in out
+            # Drain report: every accepted job completed, none failed.
+            assert f"{len(accepted)} accepted" in out
+            assert f"{len(accepted)} completed" in out
+            assert "0 failed" in out
+            # No lost results: every accepted fingerprint was flushed to
+            # the persistent cache.
+            cache = ResultCache(cache_path)
+            try:
+                for fp in accepted:
+                    assert cache.get(fp) is not None, f"lost result {fp}"
+            finally:
+                cache.close()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()

@@ -102,3 +102,31 @@ class TestServiceCommands:
         rows = [json.loads(line) for line in out_path.read_text().splitlines()]
         assert rows[0]["certificate"] == "proven"
         assert len(rows[0]["assignment"]) == 8
+
+
+class TestServeParser:
+    """The serve subcommand's argparse surface (the daemon itself is
+    exercised end-to-end in tests/service/test_server.py)."""
+
+    def test_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1" and args.port == 8080
+        assert args.solver_workers == 1 and args.queue_limit == 64
+        assert args.cache is None and args.mode == "portfolio"
+
+    def test_all_options(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--host", "0.0.0.0", "--port", "0",
+            "--solver-workers", "4", "--queue-limit", "128",
+            "--cache", "results.db", "--deadline", "2.5",
+            "--epsilon", "0.1", "--max-expansions", "9999",
+            "--mode", "auto", "--require-proven",
+        ])
+        assert args.port == 0 and args.solver_workers == 4
+        assert args.queue_limit == 128 and args.cache == "results.db"
+        assert args.deadline == 2.5 and args.require_proven

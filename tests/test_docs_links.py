@@ -1,0 +1,73 @@
+"""Documentation link and path checker (tier-1, fast).
+
+Every relative markdown link, and every backticked repo-relative file
+path, in the tracked documentation (``README.md``, ``DESIGN.md``,
+``ROADMAP.md``, ``docs/*.md``) must resolve to a real file or
+directory — so a future refactor that moves or renames a module breaks
+the build here instead of silently rotting the docs.
+
+Module-style paths written relative to the package root (the DESIGN.md
+convention, e.g. ``repro/search/pruning.py``) resolve through ``src/``.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).parent.parent
+
+DOC_FILES = sorted(
+    [ROOT / "README.md", ROOT / "DESIGN.md", ROOT / "ROADMAP.md"]
+    + list((ROOT / "docs").glob("*.md"))
+)
+
+#: [text](target) markdown links.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Backticked tokens that look like file paths: contain a slash or a
+#: known doc/data suffix, no wildcards or placeholders.
+_CODE_PATH = re.compile(r"`([A-Za-z0-9_.\-/]+\.(?:py|md|json|toml|ini|yml|cfg|stg))`")
+
+
+def _doc_ids():
+    return [str(p.relative_to(ROOT)) for p in DOC_FILES]
+
+
+def _resolves(target: str, base: Path) -> bool:
+    candidates = [
+        base.parent / target,   # relative to the doc's own directory
+        ROOT / target,          # repo-relative
+        ROOT / "src" / target,  # package-relative (repro/... convention)
+    ]
+    return any(c.exists() for c in candidates)
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+class TestDocReferences:
+    def test_relative_links_resolve(self, doc):
+        text = doc.read_text()
+        broken = []
+        for target in _LINK.findall(text):
+            if target.startswith(("http://", "https://", "#", "mailto:")):
+                continue
+            target = target.split("#", 1)[0]
+            if target and not _resolves(target, doc):
+                broken.append(target)
+        assert not broken, f"{doc.name}: broken relative links: {broken}"
+
+    def test_referenced_paths_exist(self, doc):
+        text = doc.read_text()
+        missing = []
+        for target in set(_CODE_PATH.findall(text)):
+            if not _resolves(target, doc):
+                missing.append(target)
+        assert not missing, (
+            f"{doc.name}: referenced paths do not exist: {sorted(missing)}"
+        )
+
+
+def test_docs_set_is_nonempty():
+    assert any(d.name == "README.md" for d in DOC_FILES)
+    assert any(d.match("docs/*.md") for d in DOC_FILES), (
+        "docs/ directory lost its markdown files"
+    )

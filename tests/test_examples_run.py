@@ -52,6 +52,14 @@ class TestExamples:
         assert "exact A*" in out
         assert "work saved" in out
 
+    def test_service_server(self, capsys):
+        out = run_example("service_server.py", capsys)
+        assert "cold solve : via solve" in out
+        assert "repeat     : via cache" in out
+        assert "same fingerprint: True" in out
+        assert "concurrent duplicates" in out
+        assert "drained cleanly" in out
+
     def test_service_batch(self, capsys):
         out = run_example("service_batch.py", capsys)
         assert "fingerprints" in out

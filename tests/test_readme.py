@@ -1,0 +1,61 @@
+"""The README's quickstart must stay executable.
+
+Every fenced ``python`` code block in README.md is extracted and
+executed, in document order, in one shared namespace (like a notebook:
+later blocks may use names introduced by earlier ones).  A block that
+raises fails the suite, so the quickstart cannot rot — the same
+discipline ``test_examples_run.py`` applies to ``examples/``.
+
+``bash``/``text``/``console`` blocks are documentation, not code under
+test, and are not executed.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).parent.parent / "README.md"
+
+_FENCE = re.compile(
+    r"^```python[ \t]*\n(.*?)^```[ \t]*$", re.MULTILINE | re.DOTALL
+)
+
+
+def python_blocks() -> list[str]:
+    return _FENCE.findall(README.read_text())
+
+
+class TestReadme:
+    def test_readme_exists_and_has_python_blocks(self):
+        assert README.exists()
+        blocks = python_blocks()
+        assert len(blocks) >= 3, "README lost its executable quickstart"
+
+    def test_quickstart_blocks_execute(self, capsys):
+        """Run all python blocks in order, sharing one namespace."""
+        namespace: dict = {"__name__": "readme"}
+        for i, block in enumerate(python_blocks(), start=1):
+            try:
+                exec(compile(block, f"README.md[python block {i}]", "exec"),
+                     namespace)
+            except Exception as exc:  # noqa: BLE001 - report which block
+                pytest.fail(
+                    f"README python block {i} failed: "
+                    f"{type(exc).__name__}: {exc}\n--- block ---\n{block}"
+                )
+        out = capsys.readouterr().out
+        # The quickstart prints a Gantt chart and the daemon metrics.
+        assert "states expanded" in out
+        assert "solved by" in out
+
+    def test_blocks_are_self_contained_as_a_document(self):
+        """Every name a block uses is imported somewhere in the README
+        (guards against snippets that only ran because a previous test
+        left state behind)."""
+        text = "\n".join(python_blocks())
+        for needed in ("TaskGraph", "ProcessorSystem", "astar_schedule",
+                       "SolverServer", "ServerClient", "ResultCache"):
+            assert re.search(rf"import .*{needed}|{needed}.*import", text), (
+                f"README blocks use {needed} without importing it"
+            )
