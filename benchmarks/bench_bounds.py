@@ -1,0 +1,314 @@
+"""Benchmark gate for the composite lower bound (``combined`` cost).
+
+Runs serial A* twice per instance — guided by the paper's §3.1 bound
+(``paper``) and by the composite ``max(paper, load)`` bound
+(``combined``, see ``repro/search/costs.py``) — over the §4.1 random
+graphs at v ∈ {16, 18, 20}, CCR ∈ {0.1, 1.0, 10.0}, on a 2-PE
+fully-connected homogeneous target (the processor-scarce regime where
+machine capacity binds; with a PE per task the load bound degenerates,
+see ``select_cost``).  Appends one entry to ``BENCH_bounds.json`` at
+the repository root.
+
+Measured claims (all deterministic — expansion counts are
+machine-independent, so the gate reproduces exactly anywhere):
+
+* **Gate: mean expansion reduction ≥ 2x** over the rows where the
+  ``combined`` search proves optimality.  Rows where ``paper`` trips
+  the expansion budget while ``combined`` proves count their ratio as
+  the conservative lower bound ``budget / combined_expansions``; rows
+  where ``combined`` itself trips the budget are excluded (no
+  completed search to compare) but still reported.
+* **Proven-equal makespans**: wherever both searches prove optimality
+  the returned makespans must be exactly equal (§4.1 weights are
+  integers, so float equality is well-defined); where only
+  ``combined`` proves, its makespan must not exceed ``paper``'s best
+  incumbent.
+* **Fixed-task-order ablation rows**: A* with
+  ``PruningConfig.with_fixed_order()`` vs. the paper's full pruning
+  set on one §4.1 instance plus structured layered instances where the
+  ready set actually forms a chain, reporting the
+  ``fixed_order_skips`` counter and asserting identical makespans.
+
+Wall-clock seconds ride along in every row for the honest trade-off
+story: the composite bound pays O(P log P) per evaluation, so on rows
+it cannot tighten (CCR 10) it is pure overhead — exactly the paper's
+cheap-h argument, now with the capacity bound on the right side of it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_bounds.py [--smoke]
+        [--budget N] [--out PATH]
+
+``--smoke`` runs a single small instance with a small budget (seconds,
+for CI) and skips the ≥ 2x gate — the machinery, report format, and
+makespan-equality assertions still execute.  Exits non-zero on any
+gate miss.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.graph.taskgraph import TaskGraph  # noqa: E402
+from repro.search.astar import astar_schedule  # noqa: E402
+from repro.search.pruning import PruningConfig  # noqa: E402
+from repro.system.processors import ProcessorSystem  # noqa: E402
+from repro.util.timing import Budget  # noqa: E402
+from repro.workloads.suite import paper_suite  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_bounds.json"
+
+#: Acceptance floor on the mean expansion reduction (combined vs paper).
+GATE_MEAN_REDUCTION = 2.0
+#: Dual-processor target: the capacity-bound regime (and the small end
+#: of the 2-8 PE range the duplicate-free state-space papers sweep).
+PES = 2
+
+FULL_SIZES = (16, 18, 20)
+FULL_CCRS = (0.1, 1.0, 10.0)
+FULL_BUDGET = 500_000
+
+SMOKE_SIZES = (16,)
+SMOKE_CCRS = (1.0,)
+SMOKE_BUDGET = 50_000
+
+
+def _git_rev() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def _measure(graph, system, *, cost, budget, pruning=None):
+    t0 = time.perf_counter()
+    res = astar_schedule(
+        graph, system, cost=cost, pruning=pruning,
+        budget=Budget(max_expanded=budget),
+    )
+    return {
+        "makespan": res.length,
+        "expanded": res.stats.states_expanded,
+        "proven": res.optimal,
+        "seconds": round(time.perf_counter() - t0, 3),
+        "fixed_order_skips": res.stats.pruning.fixed_order_skips,
+    }
+
+
+def run_cost_rows(sizes, ccrs, budget) -> list[dict]:
+    """paper-vs-combined A* over the §4.1 sweep on the 2-PE target."""
+    system = ProcessorSystem.fully_connected(PES)
+    rows = []
+    for size in sizes:
+        for ccr in ccrs:
+            inst = paper_suite(sizes=(size,), ccrs=(ccr,)).instances[0]
+            paper = _measure(inst.graph, system, cost="paper", budget=budget)
+            combined = _measure(
+                inst.graph, system, cost="combined", budget=budget
+            )
+            row = {
+                "instance": f"v{size}-ccr{ccr}",
+                "v": size,
+                "ccr": ccr,
+                "paper": paper,
+                "combined": combined,
+            }
+            if combined["proven"]:
+                # paper's count is exact when proven, else the budget —
+                # a conservative lower bound on the true ratio.
+                row["ratio"] = round(
+                    paper["expanded"] / combined["expanded"], 3
+                )
+                row["ratio_capped"] = not paper["proven"]
+                row["in_gate"] = True
+            else:
+                row["ratio"] = None
+                row["ratio_capped"] = False
+                row["in_gate"] = False
+            rows.append(row)
+    return rows
+
+
+def _structured_cases() -> list[tuple[str, TaskGraph, ProcessorSystem]]:
+    """Deterministic instances whose ready sets form FTO chains."""
+    system = ProcessorSystem.fully_connected(PES)
+    # Sized so the no-FTO baseline still proves optimality within the
+    # full-mode budget (the ratio needs two completed searches).
+    independent = TaskGraph(
+        [(i * 7) % 11 + 3 for i in range(11)], {}, name="independent-11"
+    )
+    # Fork-join: one source fanning out to 8 middles joining into one
+    # sink; costs patterned so the chain order is non-trivial.
+    mids = range(1, 9)
+    weights = [4] + [(i * 5) % 9 + 2 for i in mids] + [3]
+    edges = {}
+    for i in mids:
+        edges[(0, i)] = (i * 3) % 7
+        edges[(i, 9)] = 6 - (i * 3) % 7
+    forkjoin = TaskGraph(weights, edges, name="forkjoin-10")
+    return [
+        ("independent-11", independent, system),
+        ("forkjoin-10", forkjoin, system),
+    ]
+
+
+def run_fto_rows(sizes, ccrs, budget) -> list[dict]:
+    """Fixed-task-order ablation: full pruning vs full+FTO, combined
+    cost, on structured chains plus the first §4.1 sweep point."""
+    cases = _structured_cases()
+    inst = paper_suite(sizes=sizes[:1], ccrs=ccrs[:1]).instances[0]
+    cases.append((
+        f"v{sizes[0]}-ccr{ccrs[0]}", inst.graph,
+        ProcessorSystem.fully_connected(PES),
+    ))
+    rows = []
+    for name, graph, system in cases:
+        base = _measure(graph, system, cost="combined", budget=budget)
+        fto = _measure(
+            graph, system, cost="combined", budget=budget,
+            pruning=PruningConfig.with_fixed_order(),
+        )
+        rows.append({
+            "instance": name,
+            "base": base,
+            "fto": fto,
+            "fixed_order_skips": fto["fixed_order_skips"],
+        })
+    return rows
+
+
+def evaluate(cost_rows, fto_rows, *, smoke: bool) -> list[str]:
+    """Gate checks; returns a list of failure messages (empty = pass)."""
+    failures: list[str] = []
+    for row in cost_rows:
+        p, c = row["paper"], row["combined"]
+        if p["proven"] and c["proven"] and p["makespan"] != c["makespan"]:
+            failures.append(
+                f"{row['instance']}: proven makespans differ "
+                f"(paper {p['makespan']} != combined {c['makespan']})"
+            )
+        if c["proven"] and not p["proven"] and c["makespan"] > p["makespan"]:
+            failures.append(
+                f"{row['instance']}: combined proved {c['makespan']} worse "
+                f"than paper's incumbent {p['makespan']}"
+            )
+    gate_rows = [r for r in cost_rows if r["in_gate"]]
+    if not gate_rows:
+        failures.append("no instance completed under the combined bound")
+        return failures
+    mean_reduction = sum(r["ratio"] for r in gate_rows) / len(gate_rows)
+    if not smoke and mean_reduction < GATE_MEAN_REDUCTION:
+        failures.append(
+            f"mean expansion reduction {mean_reduction:.2f}x < "
+            f"{GATE_MEAN_REDUCTION}x floor"
+        )
+    for row in fto_rows:
+        if row["base"]["proven"] and row["fto"]["proven"] and (
+            row["base"]["makespan"] != row["fto"]["makespan"]
+        ):
+            failures.append(
+                f"{row['instance']}: fixed-task-order changed the optimal "
+                f"makespan ({row['base']['makespan']} -> "
+                f"{row['fto']['makespan']})"
+            )
+    if not any(row["fixed_order_skips"] > 0 for row in fto_rows):
+        failures.append("fixed-task-order rule never fired on any row")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="one small instance, small budget, no 2x gate "
+                             "(CI mode)")
+    parser.add_argument("--budget", type=int, default=None,
+                        help="per-search expansion budget")
+    parser.add_argument("--out", type=Path, default=RESULTS_PATH,
+                        help="results file (JSON array)")
+    args = parser.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    ccrs = SMOKE_CCRS if args.smoke else FULL_CCRS
+    budget = args.budget or (SMOKE_BUDGET if args.smoke else FULL_BUDGET)
+
+    cost_rows = run_cost_rows(sizes, ccrs, budget)
+    fto_rows = run_fto_rows(sizes, ccrs, budget)
+    gate_rows = [r for r in cost_rows if r["in_gate"]]
+    mean_reduction = (
+        sum(r["ratio"] for r in gate_rows) / len(gate_rows)
+        if gate_rows else None
+    )
+    failures = evaluate(cost_rows, fto_rows, smoke=args.smoke)
+
+    entry = {
+        "bench": "bounds",
+        "unix_time": int(time.time()),
+        "python": platform.python_version(),
+        "git_rev": _git_rev(),
+        "smoke": args.smoke,
+        "config": {
+            "pes": PES, "sizes": list(sizes), "ccrs": list(ccrs),
+            "budget": budget,
+        },
+        "rows": cost_rows,
+        "fto_rows": fto_rows,
+        "mean_reduction": (
+            round(mean_reduction, 3) if mean_reduction is not None else None
+        ),
+        "gate": GATE_MEAN_REDUCTION,
+        "pass": not failures,
+    }
+    existing: list = []
+    if args.out.exists():
+        try:
+            existing = json.loads(args.out.read_text())
+        except json.JSONDecodeError:
+            print(f"warning: {args.out} is not valid JSON; starting fresh",
+                  file=sys.stderr)
+    existing.append(entry)
+    args.out.write_text(json.dumps(existing, indent=2) + "\n")
+
+    for row in cost_rows:
+        p, c = row["paper"], row["combined"]
+        ratio = (
+            f"{row['ratio']:>7.2f}x{'+' if row['ratio_capped'] else ' '}"
+            if row["ratio"] is not None else "      --"
+        )
+        print(
+            f"{row['instance']:>14}: paper {p['expanded']:>8,} exp "
+            f"({p['seconds']:>7.2f}s, {'proven' if p['proven'] else 'budget'})"
+            f"  combined {c['expanded']:>8,} exp "
+            f"({c['seconds']:>7.2f}s, {'proven' if c['proven'] else 'budget'})"
+            f"  reduction {ratio}"
+        )
+    for row in fto_rows:
+        b, f = row["base"], row["fto"]
+        print(
+            f"{row['instance']:>14}: fto {b['expanded']:>8,} -> "
+            f"{f['expanded']:>8,} exp, {row['fixed_order_skips']:,} skips, "
+            f"makespan {b['makespan']:g} -> {f['makespan']:g}"
+        )
+    if mean_reduction is not None:
+        print(f"mean expansion reduction: {mean_reduction:.2f}x "
+              f"(gate {GATE_MEAN_REDUCTION}x{', smoke: not enforced' if args.smoke else ''})")
+    print(f"appended entry #{len(existing)} to {args.out}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

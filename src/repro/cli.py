@@ -35,6 +35,13 @@ import sys
 
 __all__ = ["main", "build_parser"]
 
+#: Registered cost-function names (mirrors repro.search.costs.
+#: COST_FUNCTIONS; kept literal so the parser builds without importing
+#: the package) plus the service-layer "auto" sentinel.
+_COST_NAMES = ["paper", "improved", "zero", "load", "combined"]
+#: PruningConfig presets for the ``schedule`` command.
+_PRUNING_PRESETS = ["all", "extended", "fixed-order", "none"]
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree (exposed for tests)."""
@@ -70,6 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: 0.2 for focal/wastar, 0 = exact for hda)")
     p.add_argument("--workers", type=int, default=2,
                    help="worker processes for --algorithm hda")
+    p.add_argument("--cost", default="paper", choices=_COST_NAMES,
+                   help="guiding cost function (default: the paper's §3.1 "
+                        "bound; 'combined' adds the load-balance bound)")
+    p.add_argument("--pruning", default="all", choices=_PRUNING_PRESETS,
+                   help="pruning preset: the paper's §3.2 rules ('all'), "
+                        "plus the commutation ('extended') or "
+                        "fixed-task-order ('fixed-order') extension, or "
+                        "'none'")
     p.add_argument("--max-expansions", type=int, default=500_000)
     p.add_argument("--trace", action="store_true",
                    help="print the search tree (astar only)")
@@ -90,6 +105,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="wall-clock budget in seconds")
     p.add_argument("--epsilon", type=float, default=0.25,
                    help="ε for the weighted-A* improver stage")
+    p.add_argument("--cost", default="auto", choices=["auto", *_COST_NAMES],
+                   help="guiding cost function ('auto' picks the composite "
+                        "'combined' bound wherever capacity can bind)")
     p.add_argument("--max-expansions", type=int, default=500_000)
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for the exact search stage "
@@ -113,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline", type=float, default=None,
                    help="per-instance wall-clock budget in seconds")
     p.add_argument("--epsilon", type=float, default=0.25)
+    p.add_argument("--cost", default="auto", choices=["auto", *_COST_NAMES])
     p.add_argument("--max-expansions", type=int, default=200_000)
     p.add_argument("--cache", default=None,
                    help="result-cache SQLite file (omit for no persistence)")
@@ -134,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline", type=float, default=None,
                    help="default per-request wall-clock budget in seconds")
     p.add_argument("--epsilon", type=float, default=0.25)
+    p.add_argument("--cost", default="auto", choices=["auto", *_COST_NAMES])
     p.add_argument("--max-expansions", type=int, default=200_000)
     p.add_argument("--mode", default="portfolio", choices=["portfolio", "auto"])
     p.add_argument("--require-proven", action="store_true",
@@ -230,6 +250,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     from repro.search.diagnostics import SearchTrace
     from repro.search.focal import focal_schedule
     from repro.search.idastar import idastar_schedule
+    from repro.search.pruning import PruningConfig
     from repro.search.weighted import weighted_astar_schedule
     from repro.system.processors import ProcessorSystem
     from repro.util.timing import Budget
@@ -246,6 +267,16 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     }[args.topology]
     system = factory(args.pes)
     budget = Budget(max_expanded=args.max_expansions)
+    if args.algorithm in ("list", "chen-yu") and (
+        args.cost != "paper" or args.pruning != "all"
+    ):
+        # list is a heuristic and chen-yu carries its own bound (the
+        # path-matching underestimate IS the baseline) and none of the
+        # §3.2 rules: silently ignoring the flags would corrupt any
+        # cross-algorithm comparison the user is running.
+        print(f"error: --cost/--pruning do not apply to "
+              f"--algorithm {args.algorithm}", file=sys.stderr)
+        return 2
     if args.algorithm == "list":
         sched = list_schedule(graph, system)
         print(render_timeline(sched))
@@ -254,28 +285,41 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     epsilon = args.epsilon
     if epsilon is None:
         epsilon = 0.0 if args.algorithm == "hda" else 0.2
+    pruning = {
+        "all": PruningConfig.all,
+        "extended": PruningConfig.extended,
+        "fixed-order": PruningConfig.with_fixed_order,
+        "none": PruningConfig.none,
+    }[args.pruning]()
+    cost = args.cost
     trace = SearchTrace() if args.trace and args.algorithm == "astar" else None
     if args.algorithm == "astar":
-        result = astar_schedule(graph, system, budget=budget, trace=trace)
+        result = astar_schedule(graph, system, budget=budget, trace=trace,
+                                cost=cost, pruning=pruning)
     elif args.algorithm == "bnb":
-        result = bnb_schedule(graph, system, budget=budget)
+        result = bnb_schedule(graph, system, budget=budget, cost=cost,
+                              pruning=pruning)
     elif args.algorithm == "idastar":
-        result = idastar_schedule(graph, system, budget=budget)
+        result = idastar_schedule(graph, system, budget=budget, cost=cost,
+                                  pruning=pruning)
     elif args.algorithm == "wastar":
-        result = weighted_astar_schedule(graph, system, epsilon, budget=budget)
+        result = weighted_astar_schedule(graph, system, epsilon,
+                                         budget=budget, cost=cost,
+                                         pruning=pruning)
     elif args.algorithm == "hda":
         from repro.parallel.hda import hda_astar_schedule
 
         result = hda_astar_schedule(
             graph, system, workers=args.workers, epsilon=epsilon,
-            budget=budget,
+            budget=budget, cost=cost, pruning=pruning,
         )
     elif args.algorithm == "chen-yu":
         from repro.baselines.chen_yu import chen_yu_schedule
 
         result = chen_yu_schedule(graph, system, budget=budget)
     else:
-        result = focal_schedule(graph, system, epsilon, budget=budget)
+        result = focal_schedule(graph, system, epsilon, budget=budget,
+                                cost=cost, pruning=pruning)
     if trace is not None:
         print(trace.render())
     print(f"algorithm: {result.algorithm}   optimal: {result.optimal}   "
@@ -316,6 +360,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         solver_workers=args.workers,
         deadline=args.deadline,
         epsilon=args.epsilon,
+        cost=args.cost,
         max_expansions=args.max_expansions,
         mode=args.mode,
     )
@@ -350,6 +395,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         solver_workers=args.solver_workers,
         deadline=args.deadline,
         epsilon=args.epsilon,
+        cost=args.cost,
         max_expansions=args.max_expansions,
         mode=args.mode,
         require_proven=args.require_proven,
@@ -378,6 +424,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache=args.cache,
         deadline=args.deadline,
         epsilon=args.epsilon,
+        cost=args.cost,
         max_expansions=args.max_expansions,
         mode=args.mode,
         require_proven=args.require_proven,

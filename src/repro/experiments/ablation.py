@@ -21,12 +21,15 @@ from repro.workloads.suite import WorkloadSuite, paper_suite
 __all__ = ["AblationRow", "AblationResult", "run_ablation", "ABLATION_VARIANTS"]
 
 #: Named pruning variants measured by the ablation.  "extended" adds the
-#: commutation partial-order reduction, this library's extension beyond
-#: the paper's four rules.
+#: commutation partial-order reduction and "fixed-order" the
+#: fixed-task-order rule (Akram et al. 2024) — this library's two
+#: extensions beyond the paper's four rules (mutually exclusive, hence
+#: two variants rather than one).
 ABLATION_VARIANTS: dict[str, PruningConfig] = {
     "none": PruningConfig.none(),
     "full": PruningConfig.all(),
     "extended": PruningConfig.extended(),
+    "fixed-order": PruningConfig.with_fixed_order(),
     "only-isomorphism": PruningConfig.only(processor_isomorphism=True),
     "only-equivalence": PruningConfig.only(node_equivalence=True),
     "only-priority": PruningConfig.only(priority_ordering=True),

@@ -391,6 +391,7 @@ def hda_astar_schedule(
         stats.pruning.upper_bound_cuts += pr["upper_bound_cuts"]
         stats.pruning.duplicate_hits += pr["duplicate_hits"]
         stats.pruning.commutation_skips += pr["commutation_skips"]
+        stats.pruning.fixed_order_skips += pr["fixed_order_skips"]
         if rec["best"] is not None:
             sched = Schedule(
                 graph, system,

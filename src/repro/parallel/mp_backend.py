@@ -49,6 +49,7 @@ from repro.search.expansion import StateExpander
 from repro.search.pruning import PruningConfig
 from repro.search.result import SearchResult, SearchStats
 from repro.system.processors import ProcessorSystem
+from repro.util import tolerance as tol
 from repro.util.timing import Budget
 
 __all__ = [
@@ -58,9 +59,6 @@ __all__ = [
     "system_from_args",
     "SolverPool",
 ]
-
-_EPS = 1e-9
-
 
 def multiprocessing_astar_schedule(
     graph: TaskGraph,
@@ -113,7 +111,7 @@ def multiprocessing_astar_schedule(
         for child in expander.children(state, seen):
             ch = cost_fn.h(child)
             cf = child.makespan + ch
-            if pruning.upper_bound and cf > upper + _EPS:
+            if pruning.upper_bound and tol.gt(cf, upper):
                 stats.pruning.upper_bound_cuts += 1
                 continue
             stats.states_generated += 1
@@ -196,7 +194,7 @@ def _worker_search(job: tuple[Any, ...]) -> tuple[list | None, int, int]:
     generated = 0
     while open_heap:
         f, _s, state = heapq.heappop(open_heap)
-        if f > min(upper, best_len) + _EPS:
+        if tol.gt(f, min(upper, best_len)):
             continue
         if state.is_complete():
             expanded += 1
@@ -207,7 +205,7 @@ def _worker_search(job: tuple[Any, ...]) -> tuple[list | None, int, int]:
         expanded += 1
         for child in expander.children(state, seen):
             cf = child.makespan + cost_fn.h(child)
-            if cf > min(upper, best_len) + _EPS:
+            if tol.gt(cf, min(upper, best_len)):
                 continue
             generated += 1
             heapq.heappush(open_heap, (cf, seq, child))

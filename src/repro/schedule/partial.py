@@ -13,8 +13,15 @@ Representation (delta encoding; see DESIGN.md):
   incrementally-maintained aggregates — makespan, scheduled count, the
   scheduled-set bitmask, a used-PE bitmask, per-PE ready times, the set
   of nodes attaining the maximum finish time (so the paper cost function
-  stops scanning all v finishes), and a 64-bit Zobrist signature over
-  the ``(node, pe, start)`` placement triples;
+  stops scanning all v finishes), a 64-bit Zobrist signature over
+  the ``(node, pe, start)`` placement triples, and the load-bound
+  aggregates — remaining total node weight, per-PE committed busy time,
+  and total committed idle.  The composite lower bound
+  (:class:`repro.search.costs.LoadBoundCost`) reads ``remaining_weight``
+  and ``ready_time`` — O(P log P) per evaluation, never materializing
+  anything; ``busy_time``/``total_idle`` decompose the ready times for
+  reports and verification (``Σ busy + idle == Σ ready_time`` is
+  property-tested);
 * the full ``pes``/``starts``/``finishes`` arrays are materialized
   lazily by replaying the parent chain, and only for states that
   actually need them — i.e. states that get *expanded* (their children's
@@ -90,6 +97,9 @@ class PartialSchedule:
         "last_finish",
         "zkey",
         "used_pes",
+        "remaining_weight",
+        "busy_time",
+        "total_idle",
         "_parent",
         "_max_finish_nodes",
         "_pes",
@@ -110,6 +120,9 @@ class PartialSchedule:
         num_scheduled: int,
         zkey: int,
         used_pes: int,
+        remaining_weight: float,
+        busy_time: tuple[float, ...],
+        total_idle: float,
         max_finish_nodes: tuple[int, ...],
         parent: "PartialSchedule | None" = None,
         last_node: int = -1,
@@ -138,6 +151,15 @@ class PartialSchedule:
         self.last_finish = last_finish
         self.zkey = zkey
         self.used_pes = used_pes
+        # Load-bound aggregates (delta-maintained): total weight still
+        # to be placed (weight units) — read by LoadBoundCost together
+        # with ready_time — plus per-PE committed execution time and
+        # the total idle committed between same-PE placements (time
+        # units), which decompose the ready times for reports and
+        # verification: ``busy_time[p] + gaps on p == ready_time[p]``.
+        self.remaining_weight = remaining_weight
+        self.busy_time = busy_time
+        self.total_idle = total_idle
         self._parent = parent
         self._max_finish_nodes = max_finish_nodes
         self._pes = pes
@@ -164,6 +186,9 @@ class PartialSchedule:
             num_scheduled=0,
             zkey=0,
             used_pes=0,
+            remaining_weight=sum(graph.weights),
+            busy_time=(0.0,) * system.num_pes,
+            total_idle=0.0,
             max_finish_nodes=(),
             pes=(-1,) * v,
             starts=(-1.0,) * v,
@@ -412,6 +437,7 @@ class PartialSchedule:
             if pm & mask == pm:
                 ready |= 1 << s
         rt = self.ready_time
+        busy = self.busy_time
         return PartialSchedule(
             graph=self.graph,
             system=self.system,
@@ -423,6 +449,9 @@ class PartialSchedule:
             zkey=_sig[1] if _sig is not None
             else self.zkey ^ placement_key(node, pe, start),
             used_pes=self.used_pes | (1 << pe),
+            remaining_weight=self.remaining_weight - self.graph.weight(node),
+            busy_time=busy[:pe] + (busy[pe] + (finish - start),) + busy[pe + 1 :],
+            total_idle=self.total_idle + (start - rt[pe]),
             max_finish_nodes=mfn,
             parent=self,
             last_node=node,
@@ -488,6 +517,9 @@ class PartialSchedule:
         """
         if self._pes is None:
             self._materialize()
+        # New aggregates append at the END: the HDA* workers read the
+        # duplicate key straight off the tuple as (wire[0], wire[5]) —
+        # those positions are part of the wire contract.
         return (
             self.mask,
             self.ready_mask,
@@ -500,6 +532,9 @@ class PartialSchedule:
             self._pes,
             self._starts,
             self._finishes,
+            self.remaining_weight,
+            self.busy_time,
+            self.total_idle,
         )
 
     @classmethod
@@ -515,7 +550,8 @@ class PartialSchedule:
         ``signature``) and all search-visible behaviour are preserved.
         """
         (mask, ready_mask, ready_time, makespan, num_scheduled, zkey,
-         used_pes, max_finish_nodes, pes, starts, finishes) = wire
+         used_pes, max_finish_nodes, pes, starts, finishes,
+         remaining_weight, busy_time, total_idle) = wire
         return cls(
             graph=graph,
             system=system,
@@ -526,6 +562,9 @@ class PartialSchedule:
             num_scheduled=num_scheduled,
             zkey=zkey,
             used_pes=used_pes,
+            remaining_weight=remaining_weight,
+            busy_time=busy_time,
+            total_idle=total_idle,
             max_finish_nodes=max_finish_nodes,
             pes=pes,
             starts=starts,

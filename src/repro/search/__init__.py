@@ -26,8 +26,10 @@ from repro.search.idastar import idastar_schedule
 from repro.search.weighted import weighted_astar_schedule
 from repro.search.costs import (
     COST_FUNCTIONS,
+    CombinedCost,
     CostFunction,
     ImprovedCost,
+    LoadBoundCost,
     PaperCost,
     ZeroCost,
     make_cost_function,
@@ -96,6 +98,8 @@ __all__ = [
     "PaperCost",
     "ImprovedCost",
     "ZeroCost",
+    "LoadBoundCost",
+    "CombinedCost",
     "COST_FUNCTIONS",
     "make_cost_function",
     "PruningConfig",

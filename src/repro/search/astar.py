@@ -41,11 +41,10 @@ from repro.search.expansion import StateExpander
 from repro.search.pruning import PruningConfig
 from repro.search.result import SearchResult, SearchStats
 from repro.system.processors import ProcessorSystem
+from repro.util import tolerance as tol
 from repro.util.timing import Budget
 
 __all__ = ["astar_schedule"]
-
-_EPS = 1e-9
 
 
 def astar_schedule(
@@ -155,7 +154,7 @@ def astar_schedule(
         for child in expander.children(state, seen if dup_on else None):
             ch = cost_fn.h(child)
             cf = child.makespan + ch
-            if ub_on and cf > upper + _EPS:
+            if ub_on and tol.gt(cf, upper):
                 stats.pruning.upper_bound_cuts += 1
                 continue
             stats.states_generated += 1
@@ -176,7 +175,7 @@ def astar_schedule(
     # OPEN exhausted without popping a goal.  With upper-bound pruning
     # enabled this can only happen when every optimal completion ties the
     # heuristic bound exactly and was cut by a float-equal boundary —
-    # `> upper + eps` prevents that; reaching here therefore means the
+    # the drift-aware `tol.gt` cut prevents that; reaching here therefore means the
     # incumbent (or fallback = the list schedule) is optimal.
     stats.wall_seconds = time.perf_counter() - t0
     stats.cost_evaluations = cost_fn.evaluations

@@ -34,11 +34,10 @@ from repro.search.expansion import StateExpander
 from repro.search.pruning import PruningConfig
 from repro.search.result import SearchResult, SearchStats
 from repro.system.processors import ProcessorSystem
+from repro.util import tolerance as tol
 from repro.util.timing import Budget
 
 __all__ = ["bnb_schedule"]
-
-_EPS = 1e-9
 
 
 def bnb_schedule(
@@ -94,7 +93,9 @@ def bnb_schedule(
             break
         f, state = stack.pop()
         # Re-check against the incumbent: it may have tightened since push.
-        if f > best_len - _EPS and not state.is_complete():
+        # Drift-aware (repro.util.tolerance, shared with parallel_astar):
+        # an f that ties the incumbent up to rounding cannot improve it.
+        if tol.geq(f, best_len) and not state.is_complete():
             stats.pruning.upper_bound_cuts += 1
             continue
 
@@ -110,10 +111,10 @@ def bnb_schedule(
         for child in expander.children(state, visited if dup_on else None):
             ch = cost_fn.h(child)
             cf = child.makespan + ch
-            if cf > best_len - _EPS and not child.is_complete():
+            if tol.geq(cf, best_len) and not child.is_complete():
                 stats.pruning.upper_bound_cuts += 1
                 continue
-            if child.is_complete() and cf > best_len - _EPS:
+            if child.is_complete() and tol.geq(cf, best_len):
                 continue
             stats.states_generated += 1
             children.append((cf, child))

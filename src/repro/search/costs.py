@@ -31,6 +31,16 @@ E1/E4 quantify this):
 * :class:`ImprovedCost` — a strictly tighter admissible bound that
   scans *all* scheduled nodes with unscheduled successors (O(v + e) per
   evaluation instead of O(v)).
+* :class:`LoadBoundCost` — the load-balance lower bound dominant in the
+  duplicate-free state-space literature (Orr & Sinnen 2019): remaining
+  work cannot finish before the machine capacity beyond each PE's
+  committed ready time absorbs it.  O(P log P) per evaluation off the
+  state's delta-maintained aggregates — no materialization.
+* :class:`CombinedCost` — ``max(paper, load)``: the critical-path-style
+  paper bound and the capacity bound fail on complementary instances
+  (long chains vs. wide layers), so their maximum dominates both at the
+  cost of one extra O(P log P) term (Akram et al. 2024 make the same
+  composition their default).
 """
 
 from __future__ import annotations
@@ -46,6 +56,8 @@ __all__ = [
     "PaperCost",
     "ZeroCost",
     "ImprovedCost",
+    "LoadBoundCost",
+    "CombinedCost",
     "COST_FUNCTIONS",
     "make_cost_function",
 ]
@@ -144,19 +156,119 @@ class ImprovedCost(CostFunction):
         graph = self.graph
         offsets = graph.pred_offsets
         preds = graph.pred_flat
+        pmasks = graph.pred_masks
         best = 0.0
         for j in range(len(finishes)):
             if (mask >> j) & 1:
                 continue
+            pm = pmasks[j]
+            scheduled = pm & mask
+            if not scheduled:
+                # No scheduled parent: EST_lb(j) = 0, no edge scan needed.
+                bound = sl[j] - g
+                if bound > best:
+                    best = bound
+                continue
             est = 0.0
-            for i in range(offsets[j], offsets[j + 1]):
-                p = preds[i]
-                if (mask >> p) & 1 and finishes[p] > est:
-                    est = finishes[p]
+            if scheduled == pm:
+                # Every parent scheduled: the per-parent membership test
+                # is vacuous, so the inner loop is pure max-reduction.
+                for i in range(offsets[j], offsets[j + 1]):
+                    f = finishes[preds[i]]
+                    if f > est:
+                        est = f
+            else:
+                for i in range(offsets[j], offsets[j + 1]):
+                    p = preds[i]
+                    if (mask >> p) & 1 and finishes[p] > est:
+                        est = finishes[p]
             bound = est + sl[j] - g
             if bound > best:
                 best = bound
         return best
+
+
+class LoadBoundCost(CostFunction):
+    """The load-balance lower bound, adjusted for per-PE ready times.
+
+    In any completion with makespan ``M``, a task newly placed on PE
+    ``p`` starts no earlier than the PE's committed ready time ``RT_p``
+    (the append-only EST rule), so PE ``p`` can absorb at most
+    ``speed_p · max(0, M − RT_p)`` of the remaining node weight.  The
+    bound is the smallest ``M`` whose total capacity
+
+        ``Σ_p speed_p · max(0, M − RT_p)  ≥  W_remaining``
+
+    covers the remaining weight; ``h = max(0, M − g)``.  When every PE
+    ends busy past the frontier this closes to the classic
+    ``(W_remaining + committed idle) / Σ speeds`` form from Orr &
+    Sinnen's duplicate-free state-space work — the ready-time-adjusted
+    solve is never looser.
+
+    Communication delays are ignored entirely (pure machine capacity),
+    which is exactly why this bound and the critical-path-style
+    :class:`PaperCost` fail on complementary instances.  Evaluation is
+    O(P log P) off the state's delta-maintained ``remaining_weight`` /
+    ``ready_time`` aggregates — no array materialization ever.
+    """
+
+    name = "load"
+
+    def __init__(self, graph: TaskGraph, system: ProcessorSystem) -> None:
+        super().__init__(graph, system)
+        self._speeds = system.speeds
+
+    def h(self, ps: PartialSchedule) -> float:
+        self.evaluations += 1
+        w_rem = ps.remaining_weight
+        if w_rem <= 0.0:
+            return 0.0
+        # Sweep the ready times in ascending order, opening each PE's
+        # capacity as the candidate makespan M passes its ready time.
+        # Within the segment [r_k, r_{k+1}) the capacity is linear, so
+        # M = (W_rem + Σ_{i≤k} s_i·r_i) / Σ_{i≤k} s_i; the first
+        # candidate that lands inside its own segment is the solution
+        # (if segment k undershoots, the k+1 candidate provably lands
+        # past r_{k+1}).
+        items = sorted(zip(ps.ready_time, self._speeds))
+        speed_sum = 0.0
+        weighted_rt = 0.0
+        last = len(items) - 1
+        m = 0.0
+        for k, (rt, speed) in enumerate(items):
+            speed_sum += speed
+            weighted_rt += speed * rt
+            m = (w_rem + weighted_rt) / speed_sum
+            if k == last or m <= items[k + 1][0]:
+                break
+        g = ps.makespan
+        return m - g if m > g else 0.0
+
+
+class CombinedCost(CostFunction):
+    """``max(paper, load)`` — the composite exact-search default.
+
+    The maximum of two admissible bounds is admissible, dominates each
+    component state-for-state, and costs one :class:`PaperCost`
+    evaluation plus one O(P log P) capacity solve.  The paper bound wins
+    on communication-heavy chains, the load bound on wide layers of
+    independent work — composing them is what cuts exact-search
+    expansions across the whole §4.1 sweep (see
+    ``benchmarks/bench_bounds.py``).
+    """
+
+    name = "combined"
+
+    def __init__(self, graph: TaskGraph, system: ProcessorSystem) -> None:
+        super().__init__(graph, system)
+        self._paper = PaperCost(graph, system)
+        self._load = LoadBoundCost(graph, system)
+
+    def h(self, ps: PartialSchedule) -> float:
+        self.evaluations += 1
+        hp = self._paper.h(ps)
+        hl = self._load.h(ps)
+        return hp if hp >= hl else hl
 
 
 #: Registry of cost-function constructors by name.
@@ -164,6 +276,8 @@ COST_FUNCTIONS: dict[str, type[CostFunction]] = {
     "paper": PaperCost,
     "zero": ZeroCost,
     "improved": ImprovedCost,
+    "load": LoadBoundCost,
+    "combined": CombinedCost,
 }
 
 

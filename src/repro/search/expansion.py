@@ -15,6 +15,7 @@ per-expansion work is pure array traffic.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterator
 
 from repro.graph.analysis import compute_levels
@@ -94,6 +95,40 @@ class StateExpander:
         # single shift-and-mask instead of a tuple `in` scan.
         self._pred_masks = graph.pred_masks
 
+        # Fixed-task-order precomputation: per node, the single parent /
+        # child id (-1 = none, -2 = more than one) and the in/out edge
+        # communication costs.  The exchange argument behind the rule
+        # swaps task positions across PEs, so it requires PE-independent
+        # execution and communication times: homogeneous speeds and
+        # non-distance-scaled links.
+        self._fto_applicable = (
+            config.fixed_task_order
+            and system.is_homogeneous
+            and not system.distance_scaled
+        )
+        if self._fto_applicable:
+            single_parent: list[int] = []
+            single_child: list[int] = []
+            in_cost: list[float] = []
+            out_cost: list[float] = []
+            for n in range(graph.num_nodes):
+                pe_edges = tuple(graph.pred_edges(n))
+                se_edges = tuple(graph.succ_edges(n))
+                single_parent.append(
+                    -1 if not pe_edges
+                    else pe_edges[0][0] if len(pe_edges) == 1 else -2
+                )
+                single_child.append(
+                    -1 if not se_edges
+                    else se_edges[0][0] if len(se_edges) == 1 else -2
+                )
+                in_cost.append(pe_edges[0][1] if len(pe_edges) == 1 else 0.0)
+                out_cost.append(se_edges[0][1] if len(se_edges) == 1 else 0.0)
+            self._fto_single_parent = single_parent
+            self._fto_single_child = single_child
+            self._fto_in_cost = in_cost
+            self._fto_out_cost = out_cost
+
     # -- candidate selection ---------------------------------------------------
 
     def candidate_nodes(self, ps: PartialSchedule) -> list[int]:
@@ -115,6 +150,67 @@ class StateExpander:
             rank = self._prio_rank
             ready.sort(key=lambda n: rank[n])
         return ready
+
+    def fixed_order_head(self, nodes: list[int]) -> int | None:
+        """The head of the ready chain when fixed task order applies.
+
+        The ready set admits a fixed order (Sinnen's FTO; Akram et al.
+        2024) when
+
+        * every ready node has at most one parent and at most one child,
+        * either *every* ready node has the same single parent (a fork —
+          availability co-varies across PEs: the common parent's finish
+          locally, plus each node's own in-edge cost remotely) or *no*
+          ready node has a parent (all data-ready at 0 everywhere).
+          Mixing the two groups is unsound: a zero-DRT entry task can
+          order ahead of a fork task yet displace it by its full weight,
+          delaying the fork task's child (found by property testing),
+        * all childed ready nodes share the *same* child (a join — their
+          only downstream influence is that child's data-ready time),
+        * sorting by (data-ready time ascending, out-communication
+          descending, node id) leaves the out-communication costs
+          non-increasing — i.e. one order is simultaneously earliest-
+          available-first and most-urgent-message-first.
+
+        Then an exchange argument gives: some optimal completion
+        schedules the head next, so only the head need be branched
+        (property-tested against exhaustive enumeration).  With a shared
+        parent, data-ready order is entry-tasks-first then in-edge cost
+        ascending — no finish times needed.  Returns ``None`` when the
+        conditions fail.
+        """
+        single_parent = self._fto_single_parent
+        single_child = self._fto_single_child
+        first_parent = single_parent[nodes[0]]
+        child = -1
+        for n in nodes:
+            p = single_parent[n]
+            if p == -2 or p != first_parent:
+                return None
+            c = single_child[n]
+            if c == -2:
+                return None
+            if c >= 0:
+                if child == -1:
+                    child = c
+                elif c != child:
+                    return None
+        in_cost = self._fto_in_cost
+        out_cost = self._fto_out_cost
+        # All-fork: data-ready order is the in-edge cost order (the
+        # shared parent's finish is a common constant).  All-entry:
+        # in_cost is 0.0 across the board, so the sort is pure
+        # out-communication order.
+        ordered = sorted(
+            nodes, key=lambda n: (in_cost[n], -out_cost[n], n)
+        )
+        prev = math.inf
+        for n in ordered:
+            oc = out_cost[n]
+            if oc > prev:
+                return None  # no order serves both criteria at once
+            prev = oc
+        return ordered[0]
 
     def candidate_pes(self, ps: PartialSchedule) -> list[int]:
         """Candidate PEs: all busy PEs plus one representative per
@@ -156,6 +252,16 @@ class StateExpander:
         signature can confirm each hash hit.
         """
         pes = self.candidate_pes(ps)
+        nodes = self.candidate_nodes(ps)
+        if self._fto_applicable and len(nodes) > 1:
+            head = self.fixed_order_head(nodes)
+            if head is not None:
+                # The whole ready chain collapses to its head: the
+                # other ready nodes' candidate placements are skipped
+                # wholesale (they will be branched, in order, in the
+                # head's descendants).
+                self.stats.fixed_order_skips += (len(nodes) - 1) * len(pes)
+                nodes = [head]
         commut = self.config.commutation and ps.last_node >= 0
         skip_other_pes = False
         if commut:
@@ -165,7 +271,7 @@ class StateExpander:
             rank = self._prio_rank
             pred_masks = self._pred_masks
         verify = seen is not None and seen.verify
-        for node in self.candidate_nodes(ps):
+        for node in nodes:
             if commut:
                 # Partial-order reduction: if `node` was already ready
                 # before the last placement (the last node is not its

@@ -43,11 +43,10 @@ from repro.search.expansion import StateExpander
 from repro.search.pruning import PruningConfig
 from repro.search.result import SearchResult, SearchStats
 from repro.system.processors import ProcessorSystem
+from repro.util import tolerance as tol
 from repro.util.timing import Budget
 
 __all__ = ["focal_schedule"]
-
-_EPS = 1e-9
 
 
 def focal_schedule(
@@ -124,7 +123,9 @@ def focal_schedule(
         fmin = f_min()
         if fmin is math.inf or (not focal and not non_focal):
             break
-        bound = (1.0 + epsilon) * fmin + _EPS
+        # Drift-aware FOCAL admission (repro.util.tolerance): a state
+        # that ties (1+ε)·f_min up to rounding belongs in FOCAL.
+        bound = (1.0 + epsilon) * fmin
 
         # Admit newly-qualifying states into FOCAL.
         while non_focal:
@@ -132,7 +133,7 @@ def focal_schedule(
             if s in dead:
                 heapq.heappop(non_focal)
                 continue
-            if f <= bound:
+            if tol.leq(f, bound):
                 heapq.heappop(non_focal)
                 state, _ = store[s]
                 heapq.heappush(focal, (v - state.num_scheduled, f, s))
@@ -148,7 +149,7 @@ def focal_schedule(
             if s in dead or s not in in_focal:
                 continue
             in_focal.discard(s)
-            if f > bound:
+            if tol.gt(f, bound):
                 heapq.heappush(non_focal, (f, s))
                 continue
             chosen = s
@@ -186,7 +187,7 @@ def focal_schedule(
         for child in expander.children(state, seen if dup_on else None):
             ch = cost_fn.h(child)
             cf = child.makespan + ch
-            if ub_on and cf > upper + _EPS:
+            if ub_on and tol.gt(cf, upper):
                 stats.pruning.upper_bound_cuts += 1
                 continue
             stats.states_generated += 1
@@ -194,7 +195,7 @@ def focal_schedule(
             next_seq += 1
             store[s] = (child, cf)
             heapq.heappush(all_by_f, (cf, s))
-            if cf <= bound:
+            if tol.leq(cf, bound):
                 heapq.heappush(focal, (v - child.num_scheduled, cf, s))
                 in_focal.add(s)
             else:

@@ -34,11 +34,10 @@ from repro.search.expansion import StateExpander
 from repro.search.pruning import PruningConfig
 from repro.search.result import SearchResult, SearchStats
 from repro.system.processors import ProcessorSystem
+from repro.util import tolerance as tol
 from repro.util.timing import Budget
 
 __all__ = ["idastar_schedule"]
-
-_EPS = 1e-9
 
 
 def idastar_schedule(
@@ -113,10 +112,10 @@ def idastar_schedule(
             children: list[tuple[float, PartialSchedule]] = []
             for child in expander.children(state):
                 cf = child.makespan + cost_fn.h(child)
-                if cf > upper + _EPS:
+                if tol.gt(cf, upper):
                     stats.pruning.upper_bound_cuts += 1
                     continue
-                if cf > threshold + _EPS:
+                if tol.gt(cf, threshold):
                     # Beyond this probe: remember the tightest overshoot.
                     if cf < next_threshold:
                         next_threshold = cf

@@ -23,11 +23,20 @@ Each rule is independently toggleable so the Table-1 middle column
 * **Duplicate detection**: two expansion orders reaching the *same*
   placement collide on the canonical signature and the second is
   discarded (the "visited before" rule of the Figure-3 walk-through).
+
+Two extensions beyond the paper (both off by default, both
+property-tested against exhaustive enumeration): **commutation**, a
+partial-order reduction over the last placement, and **fixed task
+order** (Sinnen; Akram et al. 2024), which collapses the node branching
+factor to 1 whenever the ready set forms a fork/join chain admitting a
+total order.  See :class:`PruningConfig` for the exact conditions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.errors import SearchError
 
 __all__ = ["PruningConfig", "PruningStats"]
 
@@ -55,6 +64,20 @@ class PruningConfig:
     #: *constructing* most transposition duplicates; optimality is
     #: preserved (property-tested against exhaustive enumeration).
     commutation: bool = False
+    #: Extension beyond the paper (off by default): **fixed task order**
+    #: (Sinnen's FTO, engineered by Akram et al. 2024).  When the ready
+    #: set forms a fork/join chain — every ready node has at most one
+    #: parent and at most one child, parented ready nodes share the one
+    #: parent, childed ready nodes share the one child, and sorting by
+    #: (data-ready time ascending, out-communication descending) leaves
+    #: the out-communication non-increasing — only the chain's head is
+    #: branched, collapsing the node branching factor to 1.  Applied
+    #: only on homogeneous-speed, non-distance-scaled systems (the
+    #: exchange argument swaps task positions across PEs).  Mutually
+    #: exclusive with ``commutation``: each rule's soundness argument
+    #: assumes the sibling orders the *other* rule prunes were explored,
+    #: so composing them can lose optimal completions.
+    fixed_task_order: bool = False
     #: Diagnostic switch (off by default): re-verify every duplicate-
     #: detection hash hit against the exact ``(mask, pes, starts)``
     #: signature, admitting (never pruning) true Zobrist collisions.
@@ -62,6 +85,14 @@ class PruningConfig:
     #: property tests and for paranoid runs; see
     #: :class:`repro.search.dedup.SignatureSet`.
     verify_signatures: bool = False
+
+    def __post_init__(self) -> None:
+        if self.commutation and self.fixed_task_order:
+            raise SearchError(
+                "commutation and fixed_task_order are mutually exclusive: "
+                "each partial-order reduction assumes the expansion orders "
+                "the other prunes were explored"
+            )
 
     @classmethod
     def all(cls) -> "PruningConfig":
@@ -76,6 +107,11 @@ class PruningConfig:
     def extended(cls) -> "PruningConfig":
         """Every paper technique plus the commutation extension."""
         return cls(commutation=True)
+
+    @classmethod
+    def with_fixed_order(cls) -> "PruningConfig":
+        """Every paper technique plus the fixed-task-order extension."""
+        return cls(fixed_task_order=True)
 
     @classmethod
     def none(cls) -> "PruningConfig":
@@ -112,6 +148,9 @@ class PruningConfig:
                 "duplicate_detection", base.duplicate_detection
             ),
             commutation=enabled.get("commutation", base.commutation),
+            fixed_task_order=enabled.get(
+                "fixed_task_order", base.fixed_task_order
+            ),
             verify_signatures=enabled.get(
                 "verify_signatures", base.verify_signatures
             ),
@@ -126,6 +165,7 @@ class PruningConfig:
             ("ub", self.upper_bound),
             ("dup", self.duplicate_detection),
             ("comm", self.commutation),
+            ("fto", self.fixed_task_order),
             ("vsig", self.verify_signatures),
         ]
         return "+".join(name for name, on in flags if on) or "none"
@@ -140,6 +180,7 @@ class PruningStats:
     upper_bound_cuts: int = 0
     duplicate_hits: int = 0
     commutation_skips: int = 0
+    fixed_order_skips: int = 0
     extra: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -151,6 +192,7 @@ class PruningStats:
             + self.upper_bound_cuts
             + self.duplicate_hits
             + self.commutation_skips
+            + self.fixed_order_skips
         )
 
     def as_dict(self) -> dict[str, int]:
@@ -161,5 +203,6 @@ class PruningStats:
             "upper_bound_cuts": self.upper_bound_cuts,
             "duplicate_hits": self.duplicate_hits,
             "commutation_skips": self.commutation_skips,
+            "fixed_order_skips": self.fixed_order_skips,
             **self.extra,
         }

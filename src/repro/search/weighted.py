@@ -31,11 +31,10 @@ from repro.search.expansion import StateExpander
 from repro.search.pruning import PruningConfig
 from repro.search.result import SearchResult, SearchStats
 from repro.system.processors import ProcessorSystem
+from repro.util import tolerance as tol
 from repro.util.timing import Budget
 
 __all__ = ["weighted_astar_schedule"]
-
-_EPS = 1e-9
 
 
 def weighted_astar_schedule(
@@ -115,7 +114,7 @@ def weighted_astar_schedule(
         for child in expander.children(state, seen if dup_on else None):
             ch = cost_fn.h(child)
             plain_f = child.makespan + ch
-            if ub_on and plain_f > upper + _EPS:
+            if ub_on and tol.gt(plain_f, upper):
                 stats.pruning.upper_bound_cuts += 1
                 continue
             stats.states_generated += 1

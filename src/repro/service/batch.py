@@ -46,7 +46,7 @@ from repro.service.fingerprint import (
     canonical_order,
     instance_fingerprint,
 )
-from repro.service.portfolio import portfolio_schedule, solve_auto
+from repro.service.portfolio import portfolio_schedule, select_cost, solve_auto
 from repro.system.processors import ProcessorSystem
 from repro.workloads.suite import WorkloadSuite, paper_suite, paper_target_system
 
@@ -247,7 +247,7 @@ def run_batch(
     pool: SolverPool | None = None,
     deadline: float | None = None,
     epsilon: float = 0.25,
-    cost: str = "paper",
+    cost: str = "auto",
     max_expansions: int | None = 200_000,
     mode: str = "portfolio",
     require_proven: bool = False,
@@ -306,9 +306,18 @@ def run_batch(
             order = canonical_order(item.graph)
             order_memo[item.graph] = order
         orders.append(order)
+    # Resolve the "auto" cost sentinel BEFORE fingerprinting (pure in
+    # each instance's static features), so auto-costed requests share
+    # fingerprints — dedupe and cache entries — with requests naming
+    # the resolved cost explicitly.
+    costs = [
+        select_cost(item.graph, item.system)
+        if cost in (None, "auto") else cost
+        for item in items
+    ]
     fps = [
-        instance_fingerprint(item.graph, item.system, cost=cost, order=order)
-        for item, order in zip(items, orders)
+        instance_fingerprint(item.graph, item.system, cost=c, order=order)
+        for item, c, order in zip(items, costs, orders)
     ]
 
     # In-flight dedupe: first request per fingerprint is the representative.
@@ -333,8 +342,9 @@ def run_batch(
     winners: dict[str, str] = {}
     if todo:
         jobs = [
-            _job_for(items[rep_index[fp]], fp, deadline, epsilon, cost,
-                     max_expansions, mode, solver_workers)
+            _job_for(items[rep_index[fp]], fp, deadline, epsilon,
+                     costs[rep_index[fp]], max_expansions, mode,
+                     solver_workers)
             for fp in todo
         ]
         if pool is not None:

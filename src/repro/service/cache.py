@@ -124,7 +124,14 @@ class ResultCache:
         self.path = Path(path) if path is not None else None
         self._db: sqlite3.Connection | None = None
         if self.path is not None:
-            self._db = sqlite3.connect(str(self.path))
+            # check_same_thread=False: the daemon constructs the cache
+            # on its event-loop thread but routes all get/put I/O
+            # through a dedicated single-worker cache executor (see
+            # repro.service.jobs), so the connection crosses threads.
+            # CPython's sqlite3 is built in serialized mode
+            # (threadsafety == 3), making the shared handle safe; the
+            # single-worker executor keeps writes strictly ordered.
+            self._db = sqlite3.connect(str(self.path), check_same_thread=False)
             self._db.execute(
                 "CREATE TABLE IF NOT EXISTS results ("
                 " fingerprint TEXT PRIMARY KEY,"

@@ -43,11 +43,12 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import OrderedDict
-from concurrent.futures import BrokenExecutor
+from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
 from typing import Any, NamedTuple
 
 from repro.parallel.mp_backend import SolverPool
 from repro.schedule.schedule import Schedule
+from repro.search.costs import COST_FUNCTIONS
 from repro.service.batch import BatchItem, _job_for, _worker_solve, item_from_request
 from repro.service.cache import CacheEntry, ResultCache
 from repro.service.fingerprint import (
@@ -56,6 +57,7 @@ from repro.service.fingerprint import (
     canonical_order,
     instance_fingerprint,
 )
+from repro.service.portfolio import select_cost
 
 __all__ = ["Job", "JobManager", "PreparedRequest", "QueueFull", "Draining"]
 
@@ -64,6 +66,11 @@ QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
+
+
+#: Sentinel distinguishing "no cache lookup happened yet" from "the
+#: lookup ran and missed" in :meth:`JobManager.admit`.
+_NO_LOOKUP = object()
 
 
 class QueueFull(Exception):
@@ -95,8 +102,8 @@ class PreparedRequest(NamedTuple):
 #: ``require_proven``, which only gates cache reads — the keys that must
 #: match for a request to ride another in-flight job as a follower.
 _OVERRIDE_KEYS = (
-    "deadline", "epsilon", "max_expansions", "mode", "require_proven",
-    "solver_workers",
+    "deadline", "epsilon", "cost", "max_expansions", "mode",
+    "require_proven", "solver_workers",
 )
 _SOLVE_KEYS = (
     "deadline", "epsilon", "cost", "max_expansions", "mode",
@@ -107,6 +114,13 @@ _SOLVE_KEYS = (
 #: bodies must not be able to fork an arbitrary number of processes.
 _MAX_SOLVER_WORKERS = 16
 
+#: Seconds a finished job waits for its cache write before completing
+#: anyway (the put keeps running on the cache thread and may land
+#: later).  Without this bound a wedged store would keep the job
+#: active forever — and drain() blocks on every active job, so SIGTERM
+#: shutdown would hang before the server-side close grace is reached.
+_CACHE_PUT_GRACE = 10.0
+
 
 def _validate_options(options: dict[str, Any]) -> None:
     """Type- and bounds-check request-supplied solver options, so a bad
@@ -115,6 +129,12 @@ def _validate_options(options: dict[str, Any]) -> None:
     beyond what the operator configured."""
     if options["mode"] not in ("portfolio", "auto"):
         raise ValueError(f"unknown mode {options['mode']!r}")
+    cost = options["cost"]
+    if cost != "auto" and cost not in COST_FUNCTIONS:
+        raise ValueError(
+            f"unknown cost {cost!r}; choose from "
+            f"{['auto', *sorted(COST_FUNCTIONS)]}"
+        )
     deadline = options["deadline"]
     if deadline is not None:
         if not isinstance(deadline, (int, float)) or not deadline > 0:
@@ -207,6 +227,13 @@ class JobManager:
     cache:
         Optional :class:`ResultCache` consulted at submit and written on
         completion.
+    cache_executor:
+        Optional single-worker executor all cache I/O is routed
+        through, so a slow or stalled persistent store never blocks the
+        event loop (``/healthz`` keeps answering during a wedged
+        ``put``).  Borrowed — the server owns its lifetime.  ``None``
+        keeps the historical synchronous calls (in-memory caches,
+        embedded use, tests).
     queue_limit:
         Maximum *unique* jobs pending (queued, not yet running).
     deadline, epsilon, max_expansions, mode, require_proven,
@@ -225,10 +252,11 @@ class JobManager:
         pool: SolverPool,
         *,
         cache: ResultCache | None = None,
+        cache_executor: ThreadPoolExecutor | None = None,
         queue_limit: int = 64,
         deadline: float | None = None,
         epsilon: float = 0.25,
-        cost: str = "paper",
+        cost: str = "auto",
         max_expansions: int | None = 200_000,
         mode: str = "portfolio",
         require_proven: bool = False,
@@ -239,6 +267,7 @@ class JobManager:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
         self.pool = pool
         self.cache = cache
+        self._cache_exec = cache_executor
         self.queue_limit = queue_limit
         self.defaults = {
             "deadline": deadline,
@@ -277,6 +306,49 @@ class JobManager:
         }
         self.engine_counts: dict[str, int] = {}
 
+    # -- cache I/O (dedicated thread when an executor is configured) ---------
+
+    def _cache_get(self, fingerprint: str, require_proven: bool):
+        if self.cache is None:
+            return None
+        return self.cache.get(fingerprint, require_proven=require_proven)
+
+    def _cache_get_blocking(self, prepared: "PreparedRequest"):
+        """Synchronous lookup for :meth:`submit`; routed through the
+        cache executor when one is configured."""
+        if self.cache is None:
+            return None
+        args = (prepared.fingerprint, prepared.options["require_proven"])
+        if self._cache_exec is None:
+            return self._cache_get(*args)
+        return self._cache_exec.submit(self._cache_get, *args).result()
+
+    async def cache_lookup(self, prepared: "PreparedRequest"):
+        """Consult the cache for a prepared request, off the event loop.
+
+        The server awaits this between :meth:`prepare` and
+        :meth:`admit`.  Cache-touching requests queue FIFO on the
+        single cache worker (that ordering is what keeps SQLite writes
+        serialized), so a wedged store backs up cache lookups too —
+        but the *loop* stays responsive: ``/healthz``, ``/metrics``,
+        job polling, and already-admitted solves are unaffected, which
+        is the contract the stalled-put regression test pins.  Returns
+        the entry or ``None``.
+        """
+        if self.cache is None:
+            return None
+        return await self._cache_call(
+            self._cache_get,
+            prepared.fingerprint,
+            prepared.options["require_proven"],
+        )
+
+    async def _cache_call(self, fn, *args):
+        if self._cache_exec is None:
+            return fn(*args)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._cache_exec, fn, *args)
+
     # -- submission ----------------------------------------------------------
 
     def prepare(self, obj: dict[str, Any]) -> PreparedRequest:
@@ -293,14 +365,28 @@ class JobManager:
             if key in obj and obj[key] is not None:
                 options[key] = obj[key]
         _validate_options(options)
+        if options["cost"] in (None, "auto"):
+            # Resolve the sentinel BEFORE fingerprinting (select_cost is
+            # pure in the instance's static features): an "auto" request
+            # then shares its fingerprint — dedupe, followers, and cache
+            # entries — with requests naming the resolved cost
+            # explicitly, instead of hashing to a parallel universe.
+            options["cost"] = select_cost(item.graph, item.system)
         order = canonical_order(item.graph)
         fp = instance_fingerprint(
             item.graph, item.system, cost=options["cost"], order=order
         )
         return PreparedRequest(item, fp, order, options)
 
-    def admit(self, prepared: PreparedRequest) -> Job:
+    def admit(
+        self, prepared: PreparedRequest, cached: Any = _NO_LOOKUP
+    ) -> Job:
         """Admit a prepared request (cheap; event-loop thread only).
+
+        ``cached`` carries the result of an earlier
+        :meth:`cache_lookup` (an entry or ``None``); when omitted the
+        lookup happens here, synchronously — the embedded/test path.
+        The server always passes it, keeping cache I/O off the loop.
 
         Returns the accepted :class:`Job` — possibly already ``done``
         (cache hit).  Raises :class:`Draining` or :class:`QueueFull`.
@@ -319,7 +405,9 @@ class JobManager:
 
         # 1. The cache answers without a queue slot or a worker.
         if self.cache is not None:
-            entry = self.cache.get(fp, require_proven=options["require_proven"])
+            if cached is _NO_LOOKUP:
+                cached = self._cache_get_blocking(prepared)
+            entry = cached
             if entry is not None and len(entry.assignment) == item.graph.num_nodes:
                 try:
                     self._finish(job, entry, via="cache", seconds=0.0, winner="")
@@ -417,7 +505,7 @@ class JobManager:
                 self._fail(job, f"{type(exc).__name__}: {exc}")
             else:
                 try:
-                    self._complete(job, payload)
+                    await self._complete(job, payload)
                 except Exception as exc:  # noqa: BLE001 - never leave a
                     # job undone (wait=true clients and drain() block on
                     # job.done) or kill this runner coroutine.
@@ -427,8 +515,13 @@ class JobManager:
                 self._running -= 1
                 self._queue.task_done()
 
-    def _complete(self, primary: Job, payload: dict[str, Any]) -> None:
-        """Store the fresh result, then fan it out to all followers."""
+    async def _complete(self, primary: Job, payload: dict[str, Any]) -> None:
+        """Store the fresh result, then fan it out to all followers.
+
+        The cache write (and the better-entry re-read) go through
+        :meth:`_cache_call`, so a slow store blocks only this runner
+        coroutine — the loop keeps serving health checks and admissions.
+        """
         item = primary.item
         schedule = Schedule(
             item.graph, item.system,
@@ -446,12 +539,25 @@ class JobManager:
         self.counters["solved"] += 1
         algo = payload["algorithm"]
         self.engine_counts[algo] = self.engine_counts.get(algo, 0) + 1
-        if self.cache is not None and not self.cache.put(entry):
+        stored = True
+        if self.cache is not None:
+            try:
+                stored = await asyncio.wait_for(
+                    self._cache_call(self.cache.put, entry),
+                    timeout=_CACHE_PUT_GRACE,
+                )
+            except asyncio.TimeoutError:
+                # Wedged store: serve the fresh result now (the put may
+                # still land later on the cache thread) so neither the
+                # waiting client nor drain() hangs on storage.
+                stored = True
+        if self.cache is not None and not stored:
             # The store already held something better; serve that —
             # unless it is structurally unusable for this graph (the
             # same guard the admit cache-hit path applies), in which
-            # case the fresh result in hand wins.
-            better = self.cache.get(primary.fingerprint)
+            # case the fresh result in hand wins.  The put just
+            # answered, so the store is healthy and this get is fast.
+            better = await self._cache_call(self.cache.get, primary.fingerprint)
             if (
                 better is not None
                 and better.better_than(entry)

@@ -44,6 +44,7 @@ import asyncio
 import json
 import signal
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any
 
@@ -61,12 +62,20 @@ _MAX_BODY = 32 * 1024 * 1024
 _READ_TIMEOUT = 30.0
 #: Header-line cap per request.
 _MAX_HEADERS = 100
+#: Seconds the drain waits for the cache thread to flush and close
+#: before abandoning a wedged store (see SolverServer.drain).
+_CACHE_CLOSE_GRACE = 10.0
 _STATUS_TEXT = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 408: "Request Timeout",
     413: "Payload Too Large", 429: "Too Many Requests",
     500: "Internal Server Error", 503: "Service Unavailable",
 }
+
+
+def _cache_barrier_noop() -> None:
+    """Drain barrier for a caller-owned cache: proves the cache thread
+    is still responsive without touching the cache itself."""
 
 
 class _BadRequest(Exception):
@@ -102,6 +111,7 @@ class SolverServer:
         cache: ResultCache | str | Path | None = None,
         deadline: float | None = None,
         epsilon: float = 0.25,
+        cost: str = "auto",
         max_expansions: int | None = 200_000,
         mode: str = "portfolio",
         require_proven: bool = False,
@@ -115,6 +125,7 @@ class SolverServer:
         self._solver_defaults = {
             "deadline": deadline,
             "epsilon": epsilon,
+            "cost": cost,
             "max_expansions": max_expansions,
             "mode": mode,
             "require_proven": require_proven,
@@ -122,11 +133,9 @@ class SolverServer:
         # The server owns caches it constructs (in-memory default, or
         # from a path); a caller passing a live ResultCache keeps
         # ownership (shared with e.g. an in-process benchmark harness
-        # reading counters — it must be safe to use from the server's
-        # event-loop thread, which in-memory caches are).  Construction
-        # of owned caches is deferred to start(): SQLite connections
-        # may only be used on their creating thread, and with
-        # serve_in_thread() the loop thread is not __init__'s thread.
+        # reading counters).  Construction of owned caches is deferred
+        # to start(), onto the dedicated cache thread that will carry
+        # all subsequent cache I/O.
         self._owns_cache = not isinstance(cache, ResultCache)
         self._cache_arg = cache
         self.cache: ResultCache | None = (
@@ -134,6 +143,7 @@ class SolverServer:
         )
         self.pool: SolverPool | None = None
         self.manager: JobManager | None = None
+        self._cache_thread: ThreadPoolExecutor | None = None
         self.ready = threading.Event()
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -144,15 +154,25 @@ class SolverServer:
 
     async def start(self) -> None:
         """Bind the listener and start the pool + runners."""
+        # All ResultCache I/O goes through this single-worker executor
+        # (construction included), so a slow or stalled file-backed
+        # store can never wedge the event loop — /healthz keeps
+        # answering while a put blocks (see DESIGN.md "Known limits").
+        self._cache_thread = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-cache"
+        )
         if self.cache is None and self._owns_cache:
-            # On the loop thread on purpose — see __init__.
-            self.cache = ResultCache(self._cache_arg)
+            loop = asyncio.get_running_loop()
+            self.cache = await loop.run_in_executor(
+                self._cache_thread, ResultCache, self._cache_arg
+            )
         self.pool = SolverPool(self.solver_workers)
         if self.warm:
             self.pool.warm()
         self.manager = JobManager(
             self.pool,
             cache=self.cache,
+            cache_executor=self._cache_thread,
             queue_limit=self.queue_limit,
             **self._solver_defaults,
         )
@@ -176,8 +196,31 @@ class SolverServer:
             self._server.close()
             await self._server.wait_closed()
         self.pool.close()
-        if self.cache is not None and self._owns_cache:
-            self.cache.close()
+        if self._cache_thread is not None:
+            # Final cache-thread barrier, bounded: closing an owned
+            # cache (or a plain no-op for a caller-owned one — the
+            # caller keeps close()) queues behind any in-flight cache
+            # operation, so a wedged store (stuck disk) would hang the
+            # SIGTERM drain forever if we waited unconditionally.  On
+            # timeout the worker is abandoned (shutdown(wait=False));
+            # results already sit in the memory tier and were flushed
+            # per-put, so nothing durable is lost.
+            final_op = (
+                self.cache.close
+                if self.cache is not None and self._owns_cache
+                else _cache_barrier_noop
+            )
+            loop = asyncio.get_running_loop()
+            wedged = False
+            try:
+                await asyncio.wait_for(
+                    loop.run_in_executor(self._cache_thread, final_op),
+                    timeout=_CACHE_CLOSE_GRACE,
+                )
+            except asyncio.TimeoutError:
+                wedged = True
+            self._cache_thread.shutdown(wait=not wedged)
+            self._cache_thread = None
         self.ready.clear()
 
     async def _main(self, *, install_signals: bool) -> None:
@@ -339,12 +382,15 @@ class SolverServer:
             # prepare() is pure CPU (graph parse + WL-refinement
             # fingerprint — seconds for very large graphs) and runs on
             # a thread so the loop keeps serving /healthz and friends;
-            # admit() touches shared state and stays on the loop.
+            # the cache lookup runs on the dedicated cache thread for
+            # the same reason; admit() touches shared state and stays
+            # on the loop.
             loop = asyncio.get_running_loop()
             prepared = await loop.run_in_executor(
                 None, self.manager.prepare, obj
             )
-            job = self.manager.admit(prepared)
+            cached = await self.manager.cache_lookup(prepared)
+            job = self.manager.admit(prepared, cached=cached)
         except Draining as exc:
             return 503, {"error": str(exc)}
         except QueueFull as exc:

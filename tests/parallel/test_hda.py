@@ -15,6 +15,7 @@ from repro.schedule.partial_reference import ReferencePartialSchedule
 from repro.schedule.validate import schedule_violations
 from repro.search.astar import astar_schedule
 from repro.search.enumerate import enumerate_optimal
+from repro.search.pruning import PruningConfig
 from repro.system.processors import ProcessorSystem
 from repro.util.timing import Budget
 from tests.strategies import scheduling_instances
@@ -81,6 +82,29 @@ class TestHdaMatchesSerial:
         assert serial.optimal and parallel.optimal
         assert parallel.length == serial.length  # byte-identical floats
         assert schedule_violations(parallel.schedule) == []
+
+    def test_combined_cost_matches_serial(self):
+        """The load-bound aggregates survive to_wire/from_wire: HDA*
+        under the composite bound proves the same makespan as serial
+        (on a 2-PE target, where the load component actually binds)."""
+        graph = paper_random_graph(PaperGraphSpec(num_nodes=12, ccr=1.0, seed=9))
+        system = ProcessorSystem.fully_connected(2)
+        serial = astar_schedule(graph, system, cost="combined")
+        parallel = hda_astar_schedule(graph, system, workers=2, cost="combined")
+        assert serial.optimal and parallel.optimal
+        assert parallel.length == serial.length
+        assert parallel.stats.pruning.fixed_order_skips == 0  # rule off
+
+    def test_fixed_task_order_matches_serial(self):
+        graph = paper_random_graph(PaperGraphSpec(num_nodes=12, ccr=0.1, seed=6))
+        system = ProcessorSystem.fully_connected(2)
+        pruning = PruningConfig.with_fixed_order()
+        serial = astar_schedule(graph, system, pruning=pruning)
+        parallel = hda_astar_schedule(
+            graph, system, workers=2, pruning=pruning
+        )
+        assert serial.optimal and parallel.optimal
+        assert parallel.length == serial.length
 
     def test_incumbent_seeding(self):
         graph = paper_random_graph(PaperGraphSpec(num_nodes=12, ccr=1.0, seed=4))

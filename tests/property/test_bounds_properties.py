@@ -1,0 +1,195 @@
+"""Properties of the composite lower bound and the state aggregates.
+
+The ``combined`` cost (``max(paper, load)``) is the exact-search
+default wherever capacity binds, so its contract is load-bearing:
+
+* it must **dominate** the paper bound state-for-state (never smaller —
+  the A* theory then guarantees it never expands more states),
+* it must stay **admissible** (never exceed the true optimal completion
+  cost through a state — optimality of the returned schedule depends on
+  it),
+* the load-bound aggregates (``remaining_weight`` / ``busy_time`` /
+  ``total_idle``) must be maintained exactly through every
+  serialization path (``to_wire``/``from_wire``, ``compact``/
+  ``inflate``), or HDA* workers would search under a different bound
+  than the serial engines.
+
+The ``ImprovedCost`` fast path (scheduled-parent skip via
+``pred_masks``) is pinned against a naive reimplementation of the
+original per-parent scan.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.schedule.partial import PartialSchedule
+from repro.schedule.partial_reference import ReferencePartialSchedule
+from repro.search.costs import (
+    CombinedCost,
+    ImprovedCost,
+    LoadBoundCost,
+    PaperCost,
+)
+from repro.search.astar import astar_schedule
+from tests.strategies import paper_instances, scheduling_instances
+
+_SETTINGS = settings(max_examples=40, deadline=None)
+
+
+def _walk_states(graph, system, limit=80):
+    """A deterministic sample of reachable states (DFS, deduped)."""
+    stack = [PartialSchedule.empty(graph, system)]
+    seen = set()
+    out = []
+    while stack and len(out) < limit:
+        ps = stack.pop()
+        if ps.signature in seen:
+            continue
+        seen.add(ps.signature)
+        out.append(ps)
+        if not ps.is_complete():
+            for node in ps.ready_nodes():
+                for pe in range(system.num_pes):
+                    stack.append(ps.extend(node, pe))
+    return out
+
+
+def _optimal_completion(ps):
+    """Exact optimal completion length from a partial schedule (DFS)."""
+    best = math.inf
+
+    def rec(state):
+        nonlocal best
+        if state.is_complete():
+            best = min(best, state.makespan)
+            return
+        for node in state.ready_nodes():
+            for pe in range(state.system.num_pes):
+                rec(state.extend(node, pe))
+
+    rec(ps)
+    return best
+
+
+@_SETTINGS
+@given(scheduling_instances(max_nodes=5, max_pes=3))
+def test_combined_dominates_paper_state_for_state(instance):
+    graph, system = instance
+    paper = PaperCost(graph, system)
+    combined = CombinedCost(graph, system)
+    for ps in _walk_states(graph, system):
+        assert combined.h(ps) >= paper.h(ps) - 1e-12
+
+
+@_SETTINGS
+@given(scheduling_instances(max_nodes=4, max_pes=3))
+def test_load_and_combined_admissible(instance):
+    graph, system = instance
+    load = LoadBoundCost(graph, system)
+    combined = CombinedCost(graph, system)
+    for ps in _walk_states(graph, system, limit=40):
+        opt = _optimal_completion(ps)
+        assert ps.makespan + load.h(ps) <= opt + 1e-9
+        assert ps.makespan + combined.h(ps) <= opt + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(paper_instances(max_nodes=6, max_pes=3))
+def test_combined_admissible_on_paper_workload(instance):
+    """Admissibility on the §4.1 random-graph shape the gate runs on:
+    A* under the combined bound must return the same optimal makespan
+    as under the paper bound."""
+    graph, system = instance
+    a = astar_schedule(graph, system, cost="paper")
+    b = astar_schedule(graph, system, cost="combined")
+    assert a.optimal and b.optimal
+    assert b.length == a.length
+    assert b.stats.states_expanded <= a.stats.states_expanded
+
+
+@_SETTINGS
+@given(scheduling_instances())
+def test_aggregates_maintained_and_consistent(instance):
+    """Delta-maintained aggregates equal their from-scratch definitions
+    at every step of a greedy walk, on both state representations."""
+    graph, system = instance
+    new = PartialSchedule.empty(graph, system)
+    ref = ReferencePartialSchedule.empty(graph, system)
+    p = system.num_pes
+    for i, node in enumerate(graph.topological_order):
+        pe = i % p
+        new = new.extend(node, pe)
+        ref = ref.extend(node, pe)
+        assert new.remaining_weight == ref.remaining_weight
+        assert new.busy_time == ref.busy_time
+        assert new.total_idle == ref.total_idle
+        # From-scratch definitions.
+        expected_rem = sum(
+            graph.weight(n) for n in range(graph.num_nodes)
+            if not (new.mask >> n) & 1
+        )
+        assert new.remaining_weight == pytest.approx(expected_rem)
+        # Busy + committed idle account for every PE's ready time.
+        assert sum(new.busy_time) + new.total_idle == pytest.approx(
+            sum(new.ready_time)
+        )
+    assert new.remaining_weight == pytest.approx(0.0)
+
+
+@_SETTINGS
+@given(scheduling_instances())
+def test_aggregates_roundtrip_wire_and_compact(instance):
+    graph, system = instance
+    state = PartialSchedule.empty(graph, system)
+    p = system.num_pes
+    order = list(graph.topological_order)
+    for i, node in enumerate(order[: max(1, len(order) // 2)]):
+        state = state.extend(node, (i + 1) % p)
+    wired = PartialSchedule.from_wire(graph, system, state.to_wire())
+    inflated = PartialSchedule.inflate(graph, system, state.compact())
+    for clone in (wired, inflated):
+        assert clone.remaining_weight == state.remaining_weight
+        assert clone.busy_time == state.busy_time
+        assert clone.total_idle == state.total_idle
+    # A cost evaluated on the reconstruction must be bit-identical —
+    # HDA* workers must search under the serial engines' exact bound.
+    cost = CombinedCost(graph, system)
+    assert cost.h(wired) == cost.h(state)
+    assert cost.h(inflated) == cost.h(state)
+
+
+def _improved_h_reference(cost, ps):
+    """The pre-optimization ImprovedCost.h: per-parent shift tests."""
+    g = ps.makespan
+    mask = ps.mask
+    finishes = ps.finishes
+    sl = cost._sl
+    graph = cost.graph
+    offsets = graph.pred_offsets
+    preds = graph.pred_flat
+    best = 0.0
+    for j in range(len(finishes)):
+        if (mask >> j) & 1:
+            continue
+        est = 0.0
+        for i in range(offsets[j], offsets[j + 1]):
+            p = preds[i]
+            if (mask >> p) & 1 and finishes[p] > est:
+                est = finishes[p]
+        bound = est + sl[j] - g
+        if bound > best:
+            best = bound
+    return best
+
+
+@_SETTINGS
+@given(scheduling_instances(max_nodes=6, max_pes=3))
+def test_improved_cost_fast_path_identical(instance):
+    """The pred_masks scheduled-parent skip must not change a single h
+    value relative to the original per-parent scan."""
+    graph, system = instance
+    cost = ImprovedCost(graph, system)
+    for ps in _walk_states(graph, system):
+        assert cost.h(ps) == _improved_h_reference(cost, ps)

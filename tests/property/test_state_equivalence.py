@@ -102,6 +102,30 @@ def test_astar_equivalence_verified_signatures(instance):
 
 @_SETTINGS
 @given(scheduling_instances())
+def test_astar_equivalence_combined_cost(instance):
+    """The composite bound reads the delta-maintained load aggregates;
+    both representations must drive it to identical searches."""
+    graph, system = instance
+    _assert_equivalent(
+        lambda cls: astar_schedule(graph, system, cost="combined",
+                                   state_cls=cls)
+    )
+
+
+@_SETTINGS
+@given(scheduling_instances())
+def test_astar_equivalence_fixed_task_order(instance):
+    graph, system = instance
+    _assert_equivalent(
+        lambda cls: astar_schedule(
+            graph, system, pruning=PruningConfig.with_fixed_order(),
+            state_cls=cls,
+        )
+    )
+
+
+@_SETTINGS
+@given(scheduling_instances())
 def test_bnb_equivalence(instance):
     graph, system = instance
     _assert_equivalent(lambda cls: bnb_schedule(graph, system, state_cls=cls))

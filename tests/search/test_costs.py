@@ -89,7 +89,9 @@ class TestImprovedCost:
 
 class TestRegistry:
     def test_all_registered(self):
-        assert set(COST_FUNCTIONS) == {"paper", "zero", "improved"}
+        assert set(COST_FUNCTIONS) == {
+            "paper", "zero", "improved", "load", "combined",
+        }
 
     def test_make_by_name(self, fig1_graph, fig1_system):
         assert isinstance(

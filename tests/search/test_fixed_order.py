@@ -1,0 +1,177 @@
+"""Correctness of the fixed-task-order (FTO) pruning extension.
+
+The rule collapses the node branching factor to 1 when the ready set
+forms a fork/join chain (Sinnen's FTO, engineered by Akram et al.
+2024).  Like the commutation rule it is NOT one of the paper's §3.2
+techniques, so it is off by default and must preserve optimality on
+every instance class — verified against exhaustive enumeration, the
+strongest oracle available.  The mixed entry-task/fork-task case that
+a naive chain condition gets wrong (a zero-DRT entry task ordering
+ahead of a fork task and displacing it by its full weight) is pinned
+as a regression test.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import SearchError
+from repro.graph.taskgraph import TaskGraph
+from repro.search.astar import astar_schedule
+from repro.search.bnb import bnb_schedule
+from repro.search.enumerate import enumerate_optimal
+from repro.search.focal import focal_schedule
+from repro.search.idastar import idastar_schedule
+from repro.search.pruning import PruningConfig
+from repro.system.processors import ProcessorSystem
+from tests.strategies import paper_instances, scheduling_instances, task_graphs
+
+
+class TestConfig:
+    def test_off_by_default(self):
+        assert not PruningConfig.all().fixed_task_order
+
+    def test_with_fixed_order_enables(self):
+        cfg = PruningConfig.with_fixed_order()
+        assert cfg.fixed_task_order and cfg.upper_bound
+
+    def test_describe_shows_fto(self):
+        assert "fto" in PruningConfig.with_fixed_order().describe()
+
+    def test_only_fixed_order(self):
+        cfg = PruningConfig.only(fixed_task_order=True)
+        assert cfg.fixed_task_order and not cfg.upper_bound
+
+    def test_mutually_exclusive_with_commutation(self):
+        with pytest.raises(SearchError, match="mutually exclusive"):
+            PruningConfig(commutation=True, fixed_task_order=True)
+
+    def test_stats_counter_in_dict(self):
+        from repro.search.pruning import PruningStats
+
+        stats = PruningStats(fixed_order_skips=7)
+        assert stats.as_dict()["fixed_order_skips"] == 7
+        assert stats.total == 7
+
+
+class TestChainCollapse:
+    def test_independent_tasks_collapse(self):
+        """A layer of independent tasks is one long chain: branching
+        drops to the PE choice only, and the skips are counted."""
+        graph = TaskGraph([4, 3, 2, 5, 1, 2], {}, name="independent")
+        system = ProcessorSystem.fully_connected(2)
+        reference = enumerate_optimal(graph, system).length
+        base = astar_schedule(graph, system)
+        fto = astar_schedule(
+            graph, system, pruning=PruningConfig.with_fixed_order()
+        )
+        assert fto.length == reference == base.length
+        assert fto.stats.states_expanded < base.stats.states_expanded
+        assert fto.stats.pruning.fixed_order_skips > 0
+
+    def test_fork_join_collapse(self):
+        graph = TaskGraph(
+            [2, 1, 3, 2, 4, 1],
+            {(0, 1): 2, (0, 2): 5, (0, 3): 1,
+             (1, 4): 3, (2, 4): 2, (3, 4): 4, (4, 5): 1},
+            name="forkjoin",
+        )
+        system = ProcessorSystem.fully_connected(2)
+        reference = enumerate_optimal(graph, system).length
+        fto = astar_schedule(
+            graph, system, pruning=PruningConfig.with_fixed_order()
+        )
+        assert fto.optimal and fto.length == reference
+        assert fto.stats.pruning.fixed_order_skips > 0
+
+    def test_inert_on_heterogeneous_speeds(self):
+        """The exchange argument needs PE-independent execution times;
+        on heterogeneous systems the rule must not fire at all."""
+        graph = TaskGraph([4, 3, 2, 5], {}, name="independent")
+        system = ProcessorSystem.fully_connected(2, speeds=[1.0, 2.0])
+        fto = astar_schedule(
+            graph, system, pruning=PruningConfig.with_fixed_order()
+        )
+        base = astar_schedule(graph, system)
+        assert fto.stats.pruning.fixed_order_skips == 0
+        assert fto.stats.states_expanded == base.stats.states_expanded
+
+    def test_inert_on_distance_scaled_links(self):
+        graph = TaskGraph([4, 3, 2, 5], {(0, 3): 2}, name="g")
+        system = ProcessorSystem(
+            3, links=[(0, 1), (1, 2)], distance_scaled=True
+        )
+        fto = astar_schedule(
+            graph, system, pruning=PruningConfig.with_fixed_order()
+        )
+        assert fto.stats.pruning.fixed_order_skips == 0
+
+    def test_mixed_entry_and_fork_regression(self):
+        """The found-by-property-testing counterexample: chain 0->1->3
+        (comm 2 then 0) plus isolated tasks 2 and 4.  A chain condition
+        that mixes the zero-DRT entry tasks with the fork task 1 orders
+        an entry task first and loses the only optimal interleaving
+        (optimal 4.0, the pruned space's best is 5.0)."""
+        graph = TaskGraph(
+            [1, 1, 2, 1, 3], {(0, 1): 2, (1, 3): 0}, name="regression"
+        )
+        system = ProcessorSystem.fully_connected(2)
+        reference = enumerate_optimal(graph, system).length
+        assert reference == 4.0
+        for cfg in (
+            PruningConfig.with_fixed_order(),
+            PruningConfig.only(fixed_task_order=True),
+        ):
+            result = astar_schedule(graph, system, pruning=cfg)
+            assert result.length == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=3))
+def test_fto_preserves_optimality(instance):
+    graph, system = instance
+    reference = enumerate_optimal(graph, system).length
+    result = astar_schedule(
+        graph, system, pruning=PruningConfig.with_fixed_order()
+    )
+    assert result.optimal
+    assert result.length == pytest.approx(reference)
+
+
+@settings(max_examples=40, deadline=None)
+@given(task_graphs(max_nodes=5))
+def test_fto_alone_preserves_optimality(graph):
+    """The rule in isolation (no other pruning) against ground truth."""
+    system = ProcessorSystem.fully_connected(2)
+    reference = enumerate_optimal(graph, system).length
+    cfg = PruningConfig.only(fixed_task_order=True)
+    result = astar_schedule(graph, system, pruning=cfg)
+    assert result.length == pytest.approx(reference)
+
+
+@settings(max_examples=30, deadline=None)
+@given(paper_instances(max_nodes=6, max_pes=3))
+def test_fto_preserves_optimality_on_paper_workload(instance):
+    """The §4.1 random-graph shape the benchmark gate runs on."""
+    graph, system = instance
+    reference = enumerate_optimal(graph, system).length
+    result = astar_schedule(
+        graph, system, pruning=PruningConfig.with_fixed_order()
+    )
+    assert result.optimal
+    assert result.length == pytest.approx(reference)
+
+
+@settings(max_examples=15, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=2))
+def test_fto_in_other_engines(instance):
+    graph, system = instance
+    reference = enumerate_optimal(graph, system).length
+    cfg = PruningConfig.with_fixed_order()
+    assert bnb_schedule(
+        graph, system, pruning=cfg
+    ).length == pytest.approx(reference)
+    assert idastar_schedule(
+        graph, system, pruning=cfg
+    ).length == pytest.approx(reference)
+    focal = focal_schedule(graph, system, 0.2, pruning=cfg)
+    assert focal.length <= 1.2 * reference + 1e-9

@@ -156,6 +156,33 @@ class TestDedupe:
 
         asyncio.run(scenario())
 
+    def test_auto_cost_resolves_before_fingerprinting(self):
+        """An "auto"-costed request must share its fingerprint (and
+        therefore dedupe/followers/cache entries) with a request naming
+        the resolved cost explicitly — resolution happens in prepare(),
+        before hashing, not inside the solver."""
+        async def scenario():
+            from repro.service.portfolio import select_cost
+
+            manager, pool = make_manager()
+            obj = request_obj(seed=5, pes=2)  # 2 PEs: resolves "combined"
+            graph = paper_random_graph(
+                PaperGraphSpec(num_nodes=8, ccr=1.0, seed=5)
+            )
+            resolved = select_cost(graph, ProcessorSystem.fully_connected(2))
+            assert resolved == "combined"
+            a = manager.submit(dict(obj))
+            b = manager.submit(dict(obj, cost=resolved))
+            assert a.options["cost"] == resolved
+            assert a.fingerprint == b.fingerprint
+            assert b.via == "dedup"
+            manager.start()
+            await finish(manager, a, b)
+            await manager.drain()
+            pool.close()
+
+        asyncio.run(scenario())
+
     def test_follower_attaches_before_runners_start(self):
         async def scenario():
             manager, pool = make_manager()

@@ -125,6 +125,32 @@ class TestSelection:
             astar_schedule(graph, system).length
         )
 
+    def test_scarce_pes_pick_combined_cost(self):
+        from repro.service.portfolio import select_cost
+
+        graph = paper_random_graph(PaperGraphSpec(num_nodes=12, ccr=1.0, seed=6))
+        assert select_cost(graph, ProcessorSystem.fully_connected(2)) == "combined"
+
+    def test_abundant_pes_pick_paper_cost(self):
+        """With a PE per task the load bound degenerates to the mean
+        weight; the paper's cheap h wins (its own Table-1 argument)."""
+        from repro.service.portfolio import select_cost
+
+        graph = paper_random_graph(PaperGraphSpec(num_nodes=12, ccr=1.0, seed=6))
+        assert select_cost(graph, ProcessorSystem.fully_connected(12)) == "paper"
+
+    def test_auto_cost_resolves_and_matches_paper_result(self):
+        """cost=None/'auto' must route through select_cost and return
+        the same optimal makespan as an explicit paper-cost run."""
+        graph = paper_random_graph(PaperGraphSpec(num_nodes=10, ccr=1.0, seed=9))
+        system = ProcessorSystem.fully_connected(2)
+        explicit = solve_auto(graph, system, cost="paper")
+        auto = solve_auto(graph, system, cost="auto")
+        default = solve_auto(graph, system)
+        assert auto.length == explicit.length == default.length
+        pres = portfolio_schedule(graph, system, cost="auto")
+        assert pres.length == explicit.length
+
 
 class TestDeadlineAccounting:
     """Regression tests (ISSUE 3): every stage's engine receives the

@@ -226,6 +226,43 @@ class TestAdmissionControl:
         with ResultCache(path) as reopened:
             assert reopened.get(out["fingerprint"]) is not None
 
+    def test_healthz_responsive_during_stalled_cache_put(self):
+        """Cache I/O must stay off the event loop: while a put() is
+        wedged on a slow store, /healthz and /metrics keep answering
+        (ROADMAP "Known limits" item — the put runs on the dedicated
+        cache thread, blocking only its own runner coroutine)."""
+        entered = threading.Event()
+        release = threading.Event()
+
+        class StallingCache(ResultCache):
+            def put(self, entry):
+                entered.set()
+                assert release.wait(timeout=60), "test never released put()"
+                return super().put(entry)
+
+        cache = StallingCache()
+        srv = SolverServer(port=0, solver_workers=1, cache=cache,
+                           max_expansions=20_000)
+        thread = srv.serve_in_thread()
+        client = ServerClient(port=srv.port)
+        try:
+            job_id = client.submit(graph_for(seed=51), pes=3)
+            assert entered.wait(timeout=60), "solve never reached put()"
+            # The put is now blocked mid-write; the loop must still serve.
+            t0 = time.perf_counter()
+            assert client.healthz()["status"] == "ok"
+            metrics = client.metrics()
+            assert time.perf_counter() - t0 < 5.0
+            assert metrics["jobs"]["accepted"] >= 1
+            release.set()
+            snapshot = client.wait(job_id, timeout=60)
+            assert snapshot["status"] == "done"
+        finally:
+            release.set()
+            srv.shutdown()
+            thread.join(timeout=60)
+        assert cache.stored_entries == 1
+
     def test_draining_returns_503(self):
         srv = SolverServer(port=0, solver_workers=1, queue_limit=4)
         thread = srv.serve_in_thread()

@@ -62,3 +62,25 @@ def scheduling_instances(draw, max_nodes: int = 6, max_pes: int = 3):
     graph = draw(task_graphs(max_nodes=max_nodes))
     system = draw(processor_systems(max_pes=max_pes))
     return graph, system
+
+
+@st.composite
+def paper_instances(draw, max_nodes: int = 7, max_pes: int = 3):
+    """A §4.1-style (graph, system) pair: the paper's random-graph
+    generator (uniform node costs of mean 40, out-degrees of mean v/10,
+    edge costs scaled by CCR) at exhaustively-checkable sizes, on a
+    homogeneous clique — the workload shape the benchmark gates run on.
+    """
+    from repro.graph.generators.random_paper import (
+        PaperGraphSpec,
+        paper_random_graph,
+    )
+    from repro.system.processors import ProcessorSystem
+
+    spec = PaperGraphSpec(
+        num_nodes=draw(st.integers(4, max_nodes)),
+        ccr=draw(st.sampled_from([0.1, 1.0, 10.0])),
+        seed=draw(st.integers(0, 2**16)),
+    )
+    system = ProcessorSystem.fully_connected(draw(st.integers(2, max_pes)))
+    return paper_random_graph(spec), system

@@ -54,6 +54,30 @@ class TestSchedule:
         path.write_text(data)
         assert main(["schedule", str(path), "--pes", "2", "--algorithm", algo]) == 0
 
+    def test_cost_and_pruning_flags(self, tmp_path, capsys):
+        path = tmp_path / "g.json"
+        main(["generate", "--nodes", "8", "--seed", "3"])
+        path.write_text(capsys.readouterr().out)
+        for cost in ("combined", "load"):
+            assert main(["schedule", str(path), "--pes", "2",
+                         "--cost", cost]) == 0
+            assert "optimal: True" in capsys.readouterr().out
+        assert main(["schedule", str(path), "--pes", "2",
+                     "--pruning", "fixed-order"]) == 0
+        assert "optimal: True" in capsys.readouterr().out
+        assert main(["solve", str(path), "--pes", "2",
+                     "--cost", "combined"]) == 0
+        assert "certificate: proven" in capsys.readouterr().out
+
+    def test_cost_choices_match_registry(self):
+        """The parser's literal cost list must track the registry —
+        a newly registered cost function must be reachable from the
+        CLI, and a removed one must not linger in the choices."""
+        from repro.cli import _COST_NAMES
+        from repro.search.costs import COST_FUNCTIONS
+
+        assert sorted(_COST_NAMES) == sorted(COST_FUNCTIONS)
+
 
 class TestExperimentCommands:
     @pytest.mark.slow
