@@ -143,6 +143,99 @@ def _serve_stream(
     }
 
 
+def _quantile(sorted_vals: list[float], q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, round(q * (len(sorted_vals) - 1)))
+    return sorted_vals[idx]
+
+
+def _soak_with_worker_kills(
+    client: ServerClient, server: SolverServer, stream: list[BatchItem],
+    threads: int, *, kill_interval: float = 1.0,
+) -> dict[str, object]:
+    """The fault-injection soak: drive the stream while a killer thread
+    SIGKILLs a live pool worker every ``kill_interval`` seconds.
+
+    Measures what an operator cares about under churn: **availability**
+    (fraction of requests answered — degraded answers count, errors and
+    rejections do not) and the **latency tail** (p50/p99), since every
+    kill costs a pool rebuild and a list-schedule fallback for the
+    victim job.  See the "Failure model" section of ``DESIGN.md``.
+    """
+    latencies: list[float] = []
+    counts = {"answered": 0, "degraded": 0, "errors": 0}
+    index = {"next": 0}
+    lock = threading.Lock()
+    stop = threading.Event()
+    kills = [0]
+
+    def killer() -> None:
+        import signal
+
+        while not stop.wait(kill_interval):
+            executor = server.manager.pool.executor
+            procs = list(getattr(executor, "_processes", {}).values())
+            if not procs:
+                continue
+            try:
+                os.kill(procs[0].pid, signal.SIGKILL)
+                kills[0] += 1
+            except (ProcessLookupError, OSError, AttributeError):
+                pass  # lost the race with a rebuild — fine
+
+    def worker() -> None:
+        while True:
+            with lock:
+                i = index["next"]
+                if i >= len(stream):
+                    return
+                index["next"] = i + 1
+            item = stream[i]
+            t0 = time.perf_counter()
+            try:
+                out = client.solve(
+                    item.graph, item.system, name=item.name,
+                    deadline=DEADLINE_SECONDS, max_expansions=MAX_EXPANSIONS,
+                )
+            except Exception:  # noqa: BLE001 - an unanswered request is
+                # exactly what availability measures; count, don't crash.
+                with lock:
+                    counts["errors"] += 1
+                continue
+            elapsed = time.perf_counter() - t0
+            with lock:
+                latencies.append(elapsed)
+                counts["answered"] += 1
+                if out.get("result", {}).get("certificate") == "degraded":
+                    counts["degraded"] += 1
+
+    reaper = threading.Thread(target=killer, daemon=True)
+    reaper.start()
+    t0 = time.perf_counter()
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    wall = time.perf_counter() - t0
+    stop.set()
+    reaper.join(timeout=10)
+    latencies.sort()
+    return {
+        "requests": len(stream),
+        "wall_seconds": wall,
+        "requests_per_second": len(stream) / wall,
+        "worker_kills": kills[0],
+        "availability": counts["answered"] / len(stream),
+        "answered": counts["answered"],
+        "degraded": counts["degraded"],
+        "errors": counts["errors"],
+        "p50_seconds": _quantile(latencies, 0.50),
+        "p99_seconds": _quantile(latencies, 0.99),
+    }
+
+
 def run_server_bench(
     *, requests: int = 200, solver_workers: int = 2,
     client_threads: int = CLIENT_THREADS,
@@ -160,6 +253,21 @@ def run_server_bench(
     try:
         cold = _serve_stream(client, stream, client_threads)
         warm = _serve_stream(client, stream, client_threads)
+        # Fault-injection soak: fresh (uncached) instances so the pool
+        # is genuinely busy while the killer thread takes workers down.
+        soak_stream = [
+            BatchItem(
+                name=f"soak-v{v}-ccr{ccr}-s{s}",
+                graph=paper_random_graph(
+                    PaperGraphSpec(num_nodes=v, ccr=ccr, seed=s + 100)
+                ),
+                system=ProcessorSystem.fully_connected(4),
+            )
+            for v, ccr, s in UNIQUE_COORDS
+        ]
+        soak = _soak_with_worker_kills(
+            client, server, soak_stream, client_threads
+        )
         metrics = client.metrics()
     finally:
         server.shutdown()
@@ -244,6 +352,7 @@ def run_server_bench(
         "passes": [
             {"pass": "cold", **cold},
             {"pass": "warm", **warm},
+            {"pass": "fault_soak", **soak},
             {"pass": "per_request_run_batch", **per_request},
             {"pass": "in_process_run_batch", **in_process},
         ],
@@ -253,7 +362,12 @@ def run_server_bench(
         "in_process_requests_per_second": in_process["requests_per_second"],
         "warm_speedup": warm_speedup,
         "persistent_pool_advantage": pool_advantage,
+        "soak_availability": soak["availability"],
+        "soak_p99_seconds": soak["p99_seconds"],
+        "soak_worker_kills": soak["worker_kills"],
+        "soak_degraded": soak["degraded"],
         "server_jobs": metrics["jobs"],
+        "server_failures": metrics.get("failures", {}),
         "server_engines": metrics["engines"],
     }
 
@@ -297,9 +411,14 @@ def main(argv: list[str] | None = None) -> int:
     print(f"persistent-pool advantage : "
           f"{report['persistent_pool_advantage']:.2f}x over per-request "
           f"run_batch (floor 1x)")
-    naive = report["passes"][2]
+    naive = report["passes"][3]
     print(f"naive redundant solves    : {naive['redundant_solves']} "
           f"(daemon: 0 — in-flight dedupe)")
+    print(f"fault soak                : availability "
+          f"{report['soak_availability']:.3f} across "
+          f"{report['soak_worker_kills']} worker kill(s), "
+          f"{report['soak_degraded']} degraded answer(s), "
+          f"p99 {report['soak_p99_seconds']:.3f}s")
 
     entry = {
         "bench": "server",

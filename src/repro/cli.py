@@ -109,6 +109,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="guiding cost function ('auto' picks the composite "
                         "'combined' bound wherever capacity can bind)")
     p.add_argument("--max-expansions", type=int, default=500_000)
+    p.add_argument("--max-memory-mb", type=float, default=None,
+                   help="process-RSS ceiling; the search returns its "
+                        "incumbent + lower bound instead of growing past it")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for the exact search stage "
                         "(> 1 runs the multiprocess HDA* engine)")
@@ -133,6 +136,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epsilon", type=float, default=0.25)
     p.add_argument("--cost", default="auto", choices=["auto", *_COST_NAMES])
     p.add_argument("--max-expansions", type=int, default=200_000)
+    p.add_argument("--max-memory-mb", type=float, default=None,
+                   help="per-solve process-RSS ceiling")
     p.add_argument("--cache", default=None,
                    help="result-cache SQLite file (omit for no persistence)")
     p.add_argument("--require-proven", action="store_true",
@@ -158,6 +163,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", default="portfolio", choices=["portfolio", "auto"])
     p.add_argument("--require-proven", action="store_true",
                    help="treat unproven cache entries as stale")
+    p.add_argument("--max-memory-mb", type=float, default=None,
+                   help="per-solve process-RSS ceiling (requests past it "
+                        "get an incumbent + lower bound, not an OOM kill)")
     return parser
 
 
@@ -339,6 +347,31 @@ def _load_graph_arg(path: str):
     return load_stg(path) if path.endswith(".stg") else load_graph_json(path)
 
 
+class _interruptible:
+    """Route SIGTERM through KeyboardInterrupt for the duration of a
+    ``with`` block, so ``kill <pid>`` and Ctrl-C take the same clean
+    partial-results path in ``solve``/``batch`` (the run_batch contract)
+    instead of dying mid-write with no report."""
+
+    def __enter__(self) -> "_interruptible":
+        import signal
+
+        def _to_interrupt(signum, frame):
+            raise KeyboardInterrupt
+
+        try:
+            self._prev = signal.signal(signal.SIGTERM, _to_interrupt)
+        except ValueError:  # non-main thread (embedded use)
+            self._prev = None
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        import signal
+
+        if self._prev is not None:
+            signal.signal(signal.SIGTERM, self._prev)
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.schedule.gantt import render_gantt
     from repro.service.batch import BatchItem, run_batch
@@ -354,16 +387,30 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     }[args.topology]
     system = factory(args.pes)
     cache = ResultCache(args.cache) if args.cache else None
-    report = run_batch(
-        [BatchItem(name=graph.name, graph=graph, system=system)],
-        cache=cache,
-        solver_workers=args.workers,
-        deadline=args.deadline,
-        epsilon=args.epsilon,
-        cost=args.cost,
-        max_expansions=args.max_expansions,
-        mode=args.mode,
-    )
+    try:
+        with _interruptible():
+            report = run_batch(
+                [BatchItem(name=graph.name, graph=graph, system=system)],
+                cache=cache,
+                solver_workers=args.workers,
+                deadline=args.deadline,
+                epsilon=args.epsilon,
+                cost=args.cost,
+                max_expansions=args.max_expansions,
+                max_memory_mb=args.max_memory_mb,
+                mode=args.mode,
+            )
+    except KeyboardInterrupt:
+        print("repro solve: interrupted before a result was available",
+              file=sys.stderr)
+        return 130
+    finally:
+        if cache is not None:
+            cache.close()
+    if report.interrupted and not report.outcomes:
+        print("repro solve: interrupted before a result was available",
+              file=sys.stderr)
+        return 130
     out = report.outcomes[0]
     via = "cache" if out.cached else (out.winner or out.algorithm)
     print(f"fingerprint: {out.fingerprint}")
@@ -372,9 +419,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"solved in {out.seconds:.3f}s "
           f"({report.wall_seconds:.3f}s end-to-end)")
     print(render_gantt(out.schedule))
-    if cache is not None:
-        cache.close()
-    return 0
+    return 130 if report.interrupted else 0
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -388,26 +433,38 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     else:
         items = load_items(args.input, pes=args.pes)
     cache = ResultCache(args.cache) if args.cache else None
-    report = run_batch(
-        items,
-        cache=cache,
-        workers=args.workers,
-        solver_workers=args.solver_workers,
-        deadline=args.deadline,
-        epsilon=args.epsilon,
-        cost=args.cost,
-        max_expansions=args.max_expansions,
-        mode=args.mode,
-        require_proven=args.require_proven,
-    )
+    try:
+        with _interruptible():
+            report = run_batch(
+                items,
+                cache=cache,
+                workers=args.workers,
+                solver_workers=args.solver_workers,
+                deadline=args.deadline,
+                epsilon=args.epsilon,
+                cost=args.cost,
+                max_expansions=args.max_expansions,
+                max_memory_mb=args.max_memory_mb,
+                mode=args.mode,
+                require_proven=args.require_proven,
+            )
+    except KeyboardInterrupt:
+        print("repro batch: interrupted before any result was available",
+              file=sys.stderr)
+        return 130
+    finally:
+        if cache is not None:
+            cache.close()
     print(report.render())
     if args.out:
         with open(args.out, "w") as fh:
             for outcome in report.outcomes:
                 fh.write(_json.dumps(outcome.as_dict()) + "\n")
         print(f"wrote {len(report.outcomes)} results to {args.out}")
-    if cache is not None:
-        cache.close()
+    if report.interrupted:
+        print("repro batch: interrupted — partial results above",
+              file=sys.stderr)
+        return 130
     return 0
 
 
@@ -428,6 +485,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_expansions=args.max_expansions,
         mode=args.mode,
         require_proven=args.require_proven,
+        max_memory_mb=args.max_memory_mb,
     )
     # Readiness (with the bound port — --port 0 picks a free one) is
     # announced from the event loop, after the listener exists, so a

@@ -70,8 +70,9 @@ from repro.search.expansion import StateExpander
 from repro.search.pruning import PruningConfig
 from repro.search.result import SearchResult, SearchStats
 from repro.system.processors import ProcessorSystem
+from repro.testing import faults
 from repro.util import tolerance as tol
-from repro.util.timing import Budget
+from repro.util.timing import Budget, process_rss_mb
 
 __all__ = ["hda_astar_schedule"]
 
@@ -89,9 +90,14 @@ _MONITOR_SLEEP = 0.002
 _SHUTDOWN_GRACE = 10.0
 
 # Shared flags word: bit 0 = some worker exhausted its budget share,
-# bit 1 = some worker died with an exception.
+# bit 1 = some worker died with an exception, bit 2 = some worker hit
+# its memory ceiling (tracked states or RSS).
 _FLAG_BUDGET = 1
 _FLAG_ERROR = 2
+_FLAG_MEMORY = 4
+
+#: Default no-progress timeout before a live worker is declared hung.
+_STALL_TIMEOUT = 30.0
 
 
 def hda_astar_schedule(
@@ -106,6 +112,7 @@ def hda_astar_schedule(
     incumbent: Schedule | None = None,
     oversubscribe: int = 4,
     state_cls: type = PartialSchedule,
+    worker_stall_timeout: float = _STALL_TIMEOUT,
 ) -> SearchResult:
     """Optimal (or ε-optimal) scheduling on ``workers`` OS processes.
 
@@ -125,6 +132,11 @@ def hda_astar_schedule(
         holds ``workers × oversubscribe`` states before dealing them to
         their owners — enough initial work that no worker starves while
         the first expansion waves propagate.
+    worker_stall_timeout:
+        Seconds without a heartbeat before a live worker is declared
+        hung and the run aborts with the incumbent (a dead process is
+        caught faster via ``is_alive``); the quiescence protocol alone
+        would wait on a wedged worker forever.
 
     Returns the same :class:`SearchResult` contract as the serial
     engines; ``algorithm`` is ``hda(workers=N)`` and ``optimal`` is
@@ -192,7 +204,15 @@ def hda_astar_schedule(
     best_goal: Schedule | None = None
     dup_on = pruning.duplicate_detection
 
-    def _finish(schedule: Schedule, proven: bool, algorithm: str) -> SearchResult:
+    # Anytime lower bound, same argument as serial A*: each popped
+    # frontier minimum (and, once dealt, the deal-time frontier
+    # minimum) is a certified floor on the optimum.
+    lower = 0.0
+
+    def _finish(
+        schedule: Schedule, proven: bool, algorithm: str,
+        interrupted: str | None = None,
+    ) -> SearchResult:
         stats.wall_seconds = time.perf_counter() - t0
         # += not =: the reduce step has already folded the workers'
         # evaluation counts in; the parent's own are the seed phase's.
@@ -203,15 +223,28 @@ def hda_astar_schedule(
             bound=relax if proven else math.inf,
             stats=stats,
             algorithm=algorithm,
+            lower_bound=(
+                schedule.length if proven and epsilon == 0.0
+                else min(
+                    max(lower, schedule.length / relax) if proven else lower,
+                    schedule.length,
+                )
+            ),
+            interrupted=interrupted,
         )
 
     while frontier and len(frontier) < target:
         if len(frontier) > stats.max_open_size:
             stats.max_open_size = len(frontier)
-        if budget.exhausted(stats.states_expanded, stats.states_generated):
+        if budget.exhausted(stats.states_expanded, stats.states_generated,
+                            len(frontier) + len(seen)):
             best = best_goal if best_goal is not None else fallback
-            return _finish(best, False, f"hda(budget,workers={workers})")
+            lower = max(lower, frontier[0][0])
+            return _finish(best, False, f"hda(budget,workers={workers})",
+                           interrupted=budget.reason or "budget")
         f, h, _s, state = heapq.heappop(frontier)
+        if f > lower:
+            lower = f
         stats.states_expanded += 1
         if state.is_complete():
             # A goal popped at the frontier minimum is already optimal.
@@ -241,6 +274,10 @@ def hda_astar_schedule(
     seed_buckets: list[list[tuple[float, float, tuple]]] = [
         [] for _ in range(workers)
     ]
+    # Deal-time floor: the optimal completion passes through (or ties)
+    # some dealt state, so min f over the dealt frontier bounds the
+    # optimum from below for the rest of the run.
+    lower = max(lower, frontier[0][0])
     frontier_keys: set[tuple[int, int]] = set()
     for f, h, _s, state in frontier:
         if state.is_complete():
@@ -294,7 +331,16 @@ def hda_astar_schedule(
         "closed_keys": closed_keys,
         "max_expanded": expansion_budget,
         "max_generated": generation_budget,
+        # Memory ceilings are per worker *process*: RSS is a per-process
+        # quantity, and the tracked-state cap divides evenly because the
+        # ownership hash scatters states uniformly.
+        "max_memory_mb": budget.max_memory_mb,
+        "max_tracked": (
+            None if budget.max_tracked_states is None
+            else max(1, budget.max_tracked_states // workers)
+        ),
     }
+    board.stamp_all()
     procs = [
         ctx.Process(
             target=_hda_worker,
@@ -310,6 +356,8 @@ def hda_astar_schedule(
     # -- monitor loop --------------------------------------------------------
     proven = False
     failed = False
+    dirty = False  # a worker died HARD (possible truncated pipe writes)
+    cause: str | None = None
     while True:
         if board.quiescent():
             proven = True
@@ -317,15 +365,33 @@ def hda_astar_schedule(
         fl = flags.value
         if fl & _FLAG_ERROR:
             failed = True
+            cause = "worker-failure"
+            break
+        if fl & _FLAG_MEMORY:
+            cause = "memory"
             break
         if fl & _FLAG_BUDGET:
+            cause = "budget"
             break
         if budget.max_seconds is not None and (
             time.perf_counter() - t0
         ) >= budget.max_seconds:
+            cause = "time"
             break
         if any(not p.is_alive() for p in procs):
-            failed = True  # a worker died without raising through _hda_worker
+            # Died without raising through _hda_worker: SIGKILL, OOM
+            # kill, os._exit.  Unlike the clean _FLAG_ERROR path, the
+            # death may have truncated a message mid-pipe.
+            failed = True
+            dirty = True
+            cause = "worker-failure"
+            break
+        if worker_stall_timeout and board.stale_workers(worker_stall_timeout):
+            # Alive but not beating: wedged inside one expansion or an
+            # injected stall.  Quiescence can never complete — abort
+            # with the incumbent instead of hanging forever.
+            failed = True
+            cause = "worker-stall"
             break
         time.sleep(_MONITOR_SLEEP)
     stop.set()
@@ -336,29 +402,50 @@ def hda_astar_schedule(
     # truncation note), and a feeder blocked on a full pipe can only
     # finish if someone keeps reading it.
     records: dict[int, dict[str, Any]] = {}
-    deadline = time.monotonic() + _SHUTDOWN_GRACE
-    while time.monotonic() < deadline and (
-        len(records) < workers or any(p.is_alive() for p in procs)
-    ):
-        for q in inboxes:
+    if dirty:
+        # A hard-dead worker may have been killed mid-write, leaving a
+        # TRUNCATED message in any pipe.  Reading one blocks forever
+        # inside Connection._recv (the header promised more bytes than
+        # exist), so the parent must not touch the queues at all here —
+        # and live peers may already be wedged on the same truncated
+        # data, so they get a terminate, not a drain.  The incumbent in
+        # hand (seed phase + fallback) stays the answer; the portfolio
+        # recovers exactness by retrying / falling back to serial.
+        for p in procs:
+            p.terminate()
+        terminated = True
+        for p in procs:
+            p.join(timeout=2.0)
+    else:
+        # A worker that already exited can no longer deliver a result —
+        # its record is either in the pipe (the final sweep gets it) or
+        # lost — so the drain waits on *live* workers only; waiting on
+        # a dead worker's record would burn the whole grace for
+        # nothing.  A stalled worker will not answer ``stop`` at all,
+        # so only its (fast-exiting) peers get a short grace before the
+        # terminate.
+        grace = 2.0 if cause == "worker-stall" else _SHUTDOWN_GRACE
+        deadline = time.monotonic() + grace
+        while time.monotonic() < deadline and any(p.is_alive() for p in procs):
+            for q in inboxes:
+                try:
+                    while True:
+                        q.get_nowait()
+                except queue_mod.Empty:
+                    pass
             try:
-                while True:
-                    q.get_nowait()
+                rec = results_q.get(timeout=0.02)
+                records[rec["wid"]] = rec
             except queue_mod.Empty:
                 pass
-        try:
-            rec = results_q.get(timeout=0.02)
-            records[rec["wid"]] = rec
-        except queue_mod.Empty:
-            pass
-    terminated = False
-    for p in procs:
-        p.join(timeout=0.5)
-        if p.is_alive():
-            p.terminate()
-            p.join(timeout=1.0)
-            failed = True
-            terminated = True
+        terminated = False
+        for p in procs:
+            p.join(timeout=0.5)
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=1.0)
+                failed = True
+                terminated = True
     if not terminated:
         # Final sweep: results may still sit in the pipe after a clean
         # exit.  Skipped after terminate() — a kill mid-write leaves a
@@ -400,12 +487,15 @@ def hda_astar_schedule(
             if sched.length < best.length:
                 best = sched
     if failed:
-        # Worker crash / lost results — not a budget stop: label it so
-        # reports can't misdiagnose an error as exhaustion.  The best
-        # incumbent is still feasible, just certificate-less.
-        return _finish(best, False, f"hda(failed,workers={workers})")
+        # Worker crash / stall / lost results — not a budget stop:
+        # label it so reports can't misdiagnose an error as exhaustion.
+        # The best incumbent is still feasible (and carries the
+        # deal-time lower bound), just not proven optimal.
+        return _finish(best, False, f"hda(failed,workers={workers})",
+                       interrupted=cause or "worker-failure")
     if not proven:
-        return _finish(best, False, f"hda(budget,workers={workers})")
+        return _finish(best, False, f"hda(budget,workers={workers})",
+                       interrupted=cause or budget.reason or "budget")
     return _finish(best, True, label)
 
 
@@ -458,6 +548,8 @@ def _hda_worker_loop(
     max_expanded = job["max_expanded"]
     max_generated = job["max_generated"]
     budget_caps = max_expanded is not None or max_generated is not None
+    max_memory_mb = job.get("max_memory_mb")
+    max_tracked = job.get("max_tracked")
     ub_on = pruning.upper_bound
     dup_on = pruning.duplicate_detection
     verify = pruning.verify_signatures
@@ -516,6 +608,9 @@ def _hda_worker_loop(
 
     budget_flagged = False
     while not stop.is_set():
+        # Liveness stamp every iteration (idle ones too): the parent's
+        # stall detector keys off this, not off is_alive.
+        board.heartbeat(wid)
         drained = False
         while True:
             try:
@@ -530,6 +625,24 @@ def _hda_worker_loop(
 
         if open_heap and not budget_flagged:
             board.set_idle(wid, False)
+            # Chaos hooks — inert unless REPRO_FAULTS arms them.
+            faults.crash_point("hda-worker-crash")
+            faults.raise_point("hda-worker-raise")
+            faults.stall_point("hda-worker-stall")
+            if (
+                max_tracked is not None
+                and len(open_heap) + len(seen) >= max_tracked
+            ) or (
+                max_memory_mb is not None
+                and process_rss_mb() >= max_memory_mb
+            ):
+                # Same coast-and-drain discipline as the work budgets:
+                # raise the memory flag, stop expanding, keep the pipes
+                # moving until the parent stops everyone.
+                budget_flagged = True
+                with flags.get_lock():
+                    flags.value |= _FLAG_MEMORY
+                continue
             if budget_caps:
                 # Global budget check, once per chunk: publish my
                 # counts, compare the shared sums — so a hash-

@@ -33,6 +33,7 @@ twice — reports quiescence.
 from __future__ import annotations
 
 import queue
+import time
 from typing import Any
 
 from repro.util.hashing import MASK64, splitmix64
@@ -104,8 +105,29 @@ class WorkerBoard:
         self._received = ctx.Array("q", workers, lock=False)
         self._expanded = ctx.Array("q", workers, lock=False)
         self._generated = ctx.Array("q", workers, lock=False)
+        #: Per-worker liveness timestamps (time.monotonic — comparable
+        #: across processes on one host, which is the only place
+        #: multiprocessing workers live).  Single writer per slot.
+        self._beat = ctx.Array("d", workers, lock=False)
 
     # -- worker side ---------------------------------------------------------
+
+    def heartbeat(self, wid: int) -> None:
+        """Stamp worker ``wid`` alive *and making loop progress*.
+
+        Workers call this once per main-loop iteration — including idle
+        iterations — so a worker that is alive but wedged inside one
+        expansion (or an injected stall) stops beating and the
+        supervisor can tell it apart from a merely idle one.
+        """
+        self._beat[wid] = time.monotonic()
+
+    def stamp_all(self) -> None:
+        """Initialize every heartbeat to now (parent, before spawn) so
+        slow process startup is not misread as a stall."""
+        now = time.monotonic()
+        for i in range(self.workers):
+            self._beat[i] = now
 
     def count_sent(self, wid: int) -> None:
         """Record one outgoing batch; call *before* the queue ``put``."""
@@ -145,6 +167,17 @@ class WorkerBoard:
         return sum(self._expanded), sum(self._generated)
 
     # -- detector side -------------------------------------------------------
+
+    def stale_workers(self, timeout: float) -> list[int]:
+        """Workers whose last heartbeat is older than ``timeout`` seconds.
+
+        The supervisor's hung-worker detector: a dead process also stops
+        beating, but the parent already catches that faster via
+        ``Process.is_alive``; this is for the live-but-stuck case the
+        quiescence protocol alone would wait on forever.
+        """
+        cutoff = time.monotonic() - timeout
+        return [i for i in range(self.workers) if self._beat[i] < cutoff]
 
     def _scan(self) -> tuple[bool, int, int]:
         return (

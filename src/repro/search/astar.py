@@ -120,20 +120,32 @@ def astar_schedule(
     if pruning.duplicate_detection:
         seen.add(root.dedup_key, lambda: root.signature)
     incumbent: Schedule | None = None  # best complete schedule *generated*
+    # Anytime lower bound: every time a state is popped, min-f over OPEN
+    # equals its f, and (g exact per signature, h admissible) some state
+    # on an optimal path sits in OPEN with f <= f* — so each popped f is
+    # a certified floor on the optimum, and their running max survives
+    # budget aborts as the tightest proven lower bound.
+    lower = 0.0
 
     dup_on = pruning.duplicate_detection
     ub_on = pruning.upper_bound
 
     while open_heap:
-        if budget.exhausted(stats.states_expanded, stats.states_generated):
+        if budget.exhausted(stats.states_expanded, stats.states_generated,
+                            len(open_heap) + len(seen)):
             best = incumbent if incumbent is not None else fallback
             stats.wall_seconds = time.perf_counter() - t0
             stats.cost_evaluations = cost_fn.evaluations
+            lower = max(lower, open_heap[0][0])
             return SearchResult(
                 schedule=best, optimal=False, bound=math.inf,
                 stats=stats, algorithm="astar(budget)",
+                lower_bound=min(lower, best.length),
+                interrupted=budget.reason or "budget",
             )
         f, h, _s, state = heapq.heappop(open_heap)
+        if f > lower:
+            lower = f
 
         if state.is_complete():
             # Goal popped with minimal f: optimal (Theorem 1).
@@ -142,9 +154,10 @@ def astar_schedule(
             stats.cost_evaluations = cost_fn.evaluations
             if trace is not None:
                 trace.record_goal(state, f)
+            goal = state.to_schedule()
             return SearchResult(
-                schedule=state.to_schedule(), optimal=True, bound=1.0,
-                stats=stats, algorithm="astar",
+                schedule=goal, optimal=True, bound=1.0,
+                stats=stats, algorithm="astar", lower_bound=goal.length,
             )
 
         stats.states_expanded += 1
@@ -182,5 +195,5 @@ def astar_schedule(
     best = incumbent if incumbent is not None else fallback
     return SearchResult(
         schedule=best, optimal=True, bound=1.0,
-        stats=stats, algorithm="astar(exhausted)",
+        stats=stats, algorithm="astar(exhausted)", lower_bound=best.length,
     )

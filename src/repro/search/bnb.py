@@ -88,7 +88,8 @@ def bnb_schedule(
     dup_on = use_visited and pruning.duplicate_detection
 
     while stack:
-        if budget.exhausted(stats.states_expanded, stats.states_generated):
+        if budget.exhausted(stats.states_expanded, stats.states_generated,
+                            len(stack) + len(visited)):
             proven = False
             break
         f, state = stack.pop()
@@ -126,10 +127,21 @@ def bnb_schedule(
 
     stats.wall_seconds = time.perf_counter() - t0
     stats.cost_evaluations = cost_fn.evaluations
+    if proven:
+        lower = best_sched.length
+    else:
+        # Every subtree not on the stack was either explored to
+        # completion or cut against the incumbent, so the optimum is
+        # the incumbent itself or lies below some stacked state: its
+        # length is at least min(min stacked f, incumbent length).
+        frontier = min((f for f, _ in stack), default=math.inf)
+        lower = min(frontier, best_sched.length)
     return SearchResult(
         schedule=best_sched,
         optimal=proven,
         bound=1.0 if proven else math.inf,
         stats=stats,
         algorithm="bnb" if proven else "bnb(budget)",
+        lower_bound=lower,
+        interrupted=None if proven else (budget.reason or "budget"),
     )

@@ -165,8 +165,15 @@ class StateExpander:
           Mixing the two groups is unsound: a zero-DRT entry task can
           order ahead of a fork task yet displace it by its full weight,
           delaying the fork task's child (found by property testing),
-        * all childed ready nodes share the *same* child (a join — their
-          only downstream influence is that child's data-ready time),
+        * symmetrically, either *every* ready node has the same single
+          child (a join — the only downstream influence is that child's
+          data-ready time) or *no* ready node has a child.  Mixing is
+          unsound here too: a childless task can tie with a join task on
+          out-communication (both 0) yet win the id tiebreak, and
+          delaying the join task delays the shared child by its full
+          weight — no message cost needed (also found by property
+          testing; the pinned counterexample is two entry tasks feeding
+          a join plus one childless entry task),
         * sorting by (data-ready time ascending, out-communication
           descending, node id) leaves the out-communication costs
           non-increasing — i.e. one order is simultaneously earliest-
@@ -182,19 +189,14 @@ class StateExpander:
         single_parent = self._fto_single_parent
         single_child = self._fto_single_child
         first_parent = single_parent[nodes[0]]
-        child = -1
+        first_child = single_child[nodes[0]]
         for n in nodes:
             p = single_parent[n]
             if p == -2 or p != first_parent:
                 return None
             c = single_child[n]
-            if c == -2:
+            if c == -2 or c != first_child:
                 return None
-            if c >= 0:
-                if child == -1:
-                    child = c
-                elif c != child:
-                    return None
         in_cost = self._fto_in_cost
         out_cost = self._fto_out_cost
         # All-fork: data-ready order is the in-edge cost order (the

@@ -118,11 +118,17 @@ def focal_schedule(
 
     dup_on = pruning.duplicate_detection
     ub_on = pruning.upper_bound
+    # Anytime lower bound: f_min over OPEN never exceeds f_opt
+    # (Theorem 2's premise), so its running max survives budget aborts
+    # as a certified floor.
+    lower = 0.0
 
     while True:
         fmin = f_min()
         if fmin is math.inf or (not focal and not non_focal):
             break
+        if fmin > lower:
+            lower = fmin
         # Drift-aware FOCAL admission (repro.util.tolerance): a state
         # that ties (1+ε)·f_min up to rounding belongs in FOCAL.
         bound = (1.0 + epsilon) * fmin
@@ -162,25 +168,30 @@ def focal_schedule(
         state, f = store.pop(chosen)
         dead.add(chosen)
 
-        if budget.exhausted(stats.states_expanded, stats.states_generated):
+        if budget.exhausted(stats.states_expanded, stats.states_generated,
+                            len(store) + len(seen)):
             best = incumbent if incumbent is not None else fallback
             stats.wall_seconds = time.perf_counter() - t0
             stats.cost_evaluations = cost_fn.evaluations
             return SearchResult(
                 schedule=best, optimal=False, bound=math.inf,
                 stats=stats, algorithm=f"focal(eps={epsilon},budget)",
+                lower_bound=min(lower, best.length),
+                interrupted=budget.reason or "budget",
             )
 
         if state.is_complete():
             stats.states_expanded += 1
             stats.wall_seconds = time.perf_counter() - t0
             stats.cost_evaluations = cost_fn.evaluations
+            goal = state.to_schedule()
             return SearchResult(
-                schedule=state.to_schedule(),
+                schedule=goal,
                 optimal=(epsilon == 0.0),
                 bound=1.0 + epsilon,
                 stats=stats,
                 algorithm=f"focal(eps={epsilon})",
+                lower_bound=min(lower, goal.length),
             )
 
         stats.states_expanded += 1
@@ -216,4 +227,5 @@ def focal_schedule(
     return SearchResult(
         schedule=best, optimal=False, bound=1.0 + epsilon,
         stats=stats, algorithm=f"focal(eps={epsilon},exhausted)",
+        lower_bound=min(max(lower, best.length / (1.0 + epsilon)), best.length),
     )

@@ -91,13 +91,20 @@ def idastar_schedule(
         goal_found: Schedule | None = None
 
         while stack:
-            if budget.exhausted(stats.states_expanded, stats.states_generated):
+            if budget.exhausted(stats.states_expanded, stats.states_generated,
+                                len(stack) + len(table)):
                 best = incumbent if incumbent is not None else fallback
                 stats.wall_seconds = time.perf_counter() - t0
                 stats.cost_evaluations = cost_fn.evaluations
+                # Prior probes exhausted every state with f below the
+                # current threshold (and the first threshold is the
+                # admissible h(root)), so the threshold itself is a
+                # proven floor on the optimum.
                 return SearchResult(
                     schedule=best, optimal=False, bound=math.inf,
                     stats=stats, algorithm="idastar(budget)",
+                    lower_bound=min(threshold, best.length),
+                    interrupted=budget.reason or "budget",
                 )
             f, state = stack.pop()
             if state.is_complete():
@@ -143,6 +150,7 @@ def idastar_schedule(
             return SearchResult(
                 schedule=goal_found, optimal=True, bound=1.0,
                 stats=stats, algorithm="idastar",
+                lower_bound=goal_found.length,
             )
         if next_threshold is math.inf:
             # Space exhausted below the upper bound: the fallback (or a
@@ -154,5 +162,6 @@ def idastar_schedule(
             return SearchResult(
                 schedule=best, optimal=True, bound=1.0,
                 stats=stats, algorithm="idastar(exhausted)",
+                lower_bound=best.length,
             )
         threshold = next_threshold

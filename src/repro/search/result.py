@@ -76,6 +76,18 @@ class SearchResult:
         Work counters.
     algorithm:
         Engine label for reports.
+    lower_bound:
+        Tightest *proven* lower bound on the optimal makespan seen
+        before the engine stopped.  For proven-optimal runs this equals
+        the schedule length; for budget-terminated runs it is the
+        engine-specific admissible floor (min f over the unexplored
+        frontier, the current IDA* threshold, …) — what turns a
+        best-effort incumbent into a *certified-approximate* answer.
+    interrupted:
+        ``None`` for a run that finished on its own; otherwise the
+        budget reason that stopped it (``"expansions"``,
+        ``"generations"``, ``"time"``, ``"memory"``, ``"interrupt"``,
+        or a backend-specific cause such as ``"worker-failure"``).
     """
 
     schedule: Schedule | None
@@ -83,6 +95,8 @@ class SearchResult:
     bound: float
     stats: SearchStats
     algorithm: str
+    lower_bound: float = 0.0
+    interrupted: str | None = None
 
     @property
     def length(self) -> float:

@@ -86,29 +86,41 @@ def weighted_astar_schedule(
     if pruning.duplicate_detection:
         seen.add(root.dedup_key, lambda: root.signature)
     incumbent: Schedule | None = None
+    # Anytime lower bound: an optimal-path state s in OPEN has
+    # f_w(s) <= w * f_opt, so every popped f_w / w is a proven floor
+    # (same argument as the suboptimality bound, read in reverse).
+    lower = 0.0
     dup_on = pruning.duplicate_detection
     ub_on = pruning.upper_bound
 
     while open_heap:
-        if budget.exhausted(stats.states_expanded, stats.states_generated):
+        if budget.exhausted(stats.states_expanded, stats.states_generated,
+                            len(open_heap) + len(seen)):
             best = incumbent if incumbent is not None else fallback
             stats.wall_seconds = time.perf_counter() - t0
             stats.cost_evaluations = cost_fn.evaluations
+            lower = max(lower, open_heap[0][0] / w)
             return SearchResult(
                 schedule=best, optimal=False, bound=math.inf,
                 stats=stats, algorithm=f"wastar(eps={epsilon},budget)",
+                lower_bound=min(lower, best.length),
+                interrupted=budget.reason or "budget",
             )
         fw, h, _s, state = heapq.heappop(open_heap)
+        if fw / w > lower:
+            lower = fw / w
         if state.is_complete():
             stats.states_expanded += 1
             stats.wall_seconds = time.perf_counter() - t0
             stats.cost_evaluations = cost_fn.evaluations
+            goal = state.to_schedule()
             return SearchResult(
-                schedule=state.to_schedule(),
+                schedule=goal,
                 optimal=(epsilon == 0.0),
                 bound=w,
                 stats=stats,
                 algorithm=f"wastar(eps={epsilon})",
+                lower_bound=min(lower, goal.length),
             )
         stats.states_expanded += 1
         for child in expander.children(state, seen if dup_on else None):
@@ -135,4 +147,5 @@ def weighted_astar_schedule(
     return SearchResult(
         schedule=best, optimal=False, bound=w,
         stats=stats, algorithm=f"wastar(eps={epsilon},exhausted)",
+        lower_bound=min(max(lower, best.length / w), best.length),
     )

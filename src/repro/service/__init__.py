@@ -35,7 +35,7 @@ from repro.service.batch import (
     run_batch,
 )
 from repro.service.cache import CacheEntry, ResultCache
-from repro.service.client import ServerClient, ServerError
+from repro.service.client import DaemonUnavailable, ServerClient, ServerError
 from repro.service.fingerprint import (
     assignment_from_canonical,
     canonical_assignment,
@@ -66,6 +66,7 @@ __all__ = [
     "ResultCache",
     "ServerClient",
     "ServerError",
+    "DaemonUnavailable",
     "SolverServer",
     "StageReport",
     "assignment_from_canonical",

@@ -46,6 +46,7 @@ from repro.service.fingerprint import (
     canonical_order,
     instance_fingerprint,
 )
+from repro.testing import faults
 from repro.service.portfolio import portfolio_schedule, select_cost, solve_auto
 from repro.system.processors import ProcessorSystem
 from repro.workloads.suite import WorkloadSuite, paper_suite, paper_target_system
@@ -113,6 +114,9 @@ class BatchReport:
     cache_hits: int
     deduped: int  # requests served by an in-flight twin
     cache_counters: dict[str, int]
+    #: True when the batch was cut short (SIGINT/SIGTERM): outcomes
+    #: holds only the requests answered before the interrupt.
+    interrupted: bool = False
 
     @property
     def instances_per_second(self) -> float:
@@ -158,6 +162,8 @@ class BatchReport:
             f"{self.solved} solved, {self.cache_hits} cache hits, "
             f"{self.deduped} deduped"
         )
+        if self.interrupted:
+            summary += " [interrupted — partial results]"
         return f"{table}\n{summary}"
 
 
@@ -251,6 +257,7 @@ def run_batch(
     max_expansions: int | None = 200_000,
     mode: str = "portfolio",
     require_proven: bool = False,
+    max_memory_mb: float | None = None,
 ) -> BatchReport:
     """Solve a batch of requests with dedupe, caching, and fan-out.
 
@@ -286,6 +293,9 @@ def run_batch(
     require_proven:
         Treat cached entries without an optimality proof as stale
         (re-solve and overwrite them).
+    max_memory_mb:
+        Per-solve process-RSS ceiling; a search that reaches it returns
+        its incumbent and lower bound instead of growing unbounded.
 
     Returns
     -------
@@ -340,20 +350,32 @@ def run_batch(
     todo = [fp for fp in rep_index if fp not in entries]
     solve_seconds: dict[str, float] = {}
     winners: dict[str, str] = {}
+    interrupted = False
     if todo:
         jobs = [
             _job_for(items[rep_index[fp]], fp, deadline, epsilon,
                      costs[rep_index[fp]], max_expansions, mode,
-                     solver_workers)
+                     solver_workers, max_memory_mb)
             for fp in todo
         ]
-        if pool is not None:
-            solved = pool.map(_worker_solve, jobs)
-        elif workers > 1 and len(jobs) > 1:
-            with SolverPool(workers) as transient:
-                solved = transient.map(_worker_solve, jobs)
-        else:
-            solved = [_worker_solve(job) for job in jobs]
+        solved: list[dict[str, Any]] = []
+        try:
+            # The serial path appends as it goes so an interrupt keeps
+            # every already-finished solve; the pool paths are
+            # all-or-nothing (executor.map offers no partial recovery),
+            # so an interrupt there salvages the cache hits only.
+            if pool is not None:
+                solved = pool.map(_worker_solve, jobs)
+            elif workers > 1 and len(jobs) > 1:
+                with SolverPool(workers) as transient:
+                    solved = transient.map(_worker_solve, jobs)
+            else:
+                for job in jobs:
+                    solved.append(_worker_solve(job))
+        except KeyboardInterrupt:
+            # SIGINT/SIGTERM mid-batch: report what is answered so far
+            # instead of discarding finished work with a traceback.
+            interrupted = True
         for fp, payload in zip(todo, solved):
             rep = items[rep_index[fp]]
             order = orders[rep_index[fp]]
@@ -388,7 +410,9 @@ def run_batch(
     # Fan the unique results back out to every request.
     outcomes: list[ItemOutcome] = []
     for i, (item, fp) in enumerate(zip(items, fps)):
-        entry = entries[fp]
+        entry = entries.get(fp)
+        if entry is None:
+            continue  # interrupted before this fingerprint was solved
         schedule = Schedule(
             item.graph, item.system,
             assignment_from_canonical(orders[i], entry.assignment),
@@ -411,16 +435,19 @@ def run_batch(
         )
 
     wall = time.perf_counter() - t0
+    answered = set(entries)
     return BatchReport(
         outcomes=tuple(outcomes),
         wall_seconds=wall,
-        solved=len(todo),
+        solved=sum(1 for fp in todo if fp in answered),
         cache_hits=sum(1 for fp in fps if fp in cache_hit_fps),
         deduped=sum(
             1 for i, fp in enumerate(fps)
             if rep_index[fp] != i and fp not in cache_hit_fps
+            and fp in answered
         ),
         cache_counters=cache.counters() if cache is not None else {},
+        interrupted=interrupted,
     )
 
 
@@ -436,6 +463,7 @@ def _job_for(
     max_expansions: int | None,
     mode: str,
     solver_workers: int = 1,
+    max_memory_mb: float | None = None,
 ) -> dict[str, Any]:
     """Plain-dict job descriptor (same discipline as mp_backend seeds)."""
     return {
@@ -448,11 +476,17 @@ def _job_for(
         "max_expansions": max_expansions,
         "mode": mode,
         "solver_workers": solver_workers,
+        "max_memory_mb": max_memory_mb,
     }
 
 
 def _worker_solve(job: dict[str, Any]) -> dict[str, Any]:
     """Solve one instance (in a pool worker or inline) to a plain dict."""
+    # Chaos hooks — inert unless REPRO_FAULTS arms them.  The crash
+    # point hard-exits the pool process (BrokenExecutor upstream); the
+    # error point is a clean in-worker failure the pool survives.
+    faults.crash_point("solve-crash")
+    faults.raise_point("solve-error")
     graph = graph_from_dict(job["graph"])
     system = system_from_args(job["system"])
     t0 = time.perf_counter()
@@ -461,6 +495,7 @@ def _worker_solve(job: dict[str, Any]) -> dict[str, Any]:
             graph, system, deadline=job["deadline"], epsilon=job["epsilon"],
             cost=job["cost"], max_expansions=job["max_expansions"],
             workers=job.get("solver_workers", 1),
+            max_memory_mb=job.get("max_memory_mb"),
         )
         schedule = pres.schedule
         certificate = pres.certificate
@@ -468,11 +503,14 @@ def _worker_solve(job: dict[str, Any]) -> dict[str, Any]:
         algorithm = pres.algorithm
         winner = pres.winner
         stats = pres.stats.as_dict()
+        lower_bound = pres.lower_bound
+        interrupted = pres.interrupted
     else:
         res = solve_auto(
             graph, system, deadline=job["deadline"], epsilon=job["epsilon"],
             cost=job["cost"], max_expansions=job["max_expansions"],
             workers=job.get("solver_workers", 1),
+            max_memory_mb=job.get("max_memory_mb"),
         )
         schedule = res.schedule
         certificate = res.certificate
@@ -480,6 +518,8 @@ def _worker_solve(job: dict[str, Any]) -> dict[str, Any]:
         algorithm = res.algorithm
         winner = ""
         stats = res.stats.as_dict()
+        lower_bound = res.lower_bound
+        interrupted = res.interrupted
     return {
         "fingerprint": job["fingerprint"],
         "assignment": [[t.node, t.pe, t.start] for t in schedule.tasks],
@@ -489,4 +529,6 @@ def _worker_solve(job: dict[str, Any]) -> dict[str, Any]:
         "winner": winner,
         "stats": stats,
         "seconds": time.perf_counter() - t0,
+        "lower_bound": lower_bound,
+        "interrupted": interrupted,
     }

@@ -31,6 +31,8 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
 
+from repro.testing import faults
+
 __all__ = ["CacheEntry", "ResultCache"]
 
 
@@ -41,7 +43,7 @@ class CacheEntry:
     fingerprint: str
     assignment: tuple[tuple[int, float], ...]  # (pe, start) per canonical pos
     makespan: float
-    certificate: str  # "proven" | "epsilon" | "budget"
+    certificate: str  # "proven" | "epsilon" | "budget" | "degraded"
     bound: float
     algorithm: str
     stats: dict[str, float] = field(default_factory=dict)
@@ -148,6 +150,8 @@ class ResultCache:
         self, fingerprint: str, *, require_proven: bool = False
     ) -> CacheEntry | None:
         """Look up a fingerprint; updates LRU order and counters."""
+        faults.sleep_point("cache-slow")
+        faults.raise_point("cache-get-error")
         entry = self._mem.get(fingerprint)
         if entry is None and self._db is not None:
             entry = self._load_row(fingerprint)
@@ -165,6 +169,8 @@ class ResultCache:
 
     def put(self, entry: CacheEntry) -> bool:
         """Store an entry; returns False when an existing one is better."""
+        faults.sleep_point("cache-slow")
+        faults.raise_point("cache-put-error")
         if entry.created == 0.0:
             entry = replace(entry, created=time.time())
         current = self._mem.get(entry.fingerprint)

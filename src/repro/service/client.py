@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Any
 
@@ -30,7 +31,10 @@ from repro.graph.taskgraph import TaskGraph
 from repro.parallel.mp_backend import system_to_args
 from repro.system.processors import ProcessorSystem
 
-__all__ = ["ServerClient", "ServerError"]
+__all__ = ["ServerClient", "ServerError", "DaemonUnavailable"]
+
+#: Longest a single retry backoff sleeps (seconds), Retry-After included.
+_BACKOFF_CAP = 2.0
 
 
 class ServerError(Exception):
@@ -42,23 +46,48 @@ class ServerError(Exception):
         super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
 
 
+class DaemonUnavailable(ConnectionError):
+    """The daemon could not be reached (after retries).
+
+    Subclasses :class:`ConnectionError` so pre-existing handlers keep
+    working; carries the last transport error as ``__cause__``.
+    """
+
+
 class ServerClient:
-    """Talk to a running ``repro serve`` daemon."""
+    """Talk to a running ``repro serve`` daemon.
+
+    Checked calls (``solve``, ``submit``, ``metrics``, ...) retry
+    transient failures with capped exponential backoff plus jitter:
+    transport errors (connection refused/reset, daemon restarting) and
+    backpressure statuses (429 queue-full, 503 draining — honoring the
+    server's ``Retry-After`` hint).  ``retries=0`` disables retrying.
+    The raw :meth:`request` primitive never retries.
+    """
 
     def __init__(
         self, host: str = "127.0.0.1", port: int = 8080, *,
-        timeout: float = 300.0,
+        timeout: float = 300.0, retries: int = 3, backoff: float = 0.1,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
 
     # -- transport -----------------------------------------------------------
 
     def request(
         self, method: str, path: str, body: dict[str, Any] | None = None
     ) -> tuple[int, dict[str, Any]]:
-        """One HTTP round-trip; returns ``(status, decoded JSON)``."""
+        """One HTTP round-trip, no retries; ``(status, decoded JSON)``."""
+        status, data, _ = self._request_raw(method, path, body)
+        return status, data
+
+    def _request_raw(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        """One round-trip returning ``(status, JSON, lowercase headers)``."""
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -68,17 +97,52 @@ class ServerClient:
             conn.request(method, path, body=payload, headers=headers)
             response = conn.getresponse()
             data = json.loads(response.read().decode() or "{}")
-            return response.status, data
+            got = {k.lower(): v for k, v in response.getheaders()}
+            return response.status, data, got
         finally:
             conn.close()
+
+    def _sleep_before_retry(
+        self, attempt: int, retry_after: str | None
+    ) -> None:
+        """Exponential backoff with full jitter; ``Retry-After`` wins
+        when the server sent one (still capped and jittered so a herd
+        of clients does not return in lockstep)."""
+        delay = min(self.backoff * (2 ** attempt), _BACKOFF_CAP)
+        if retry_after is not None:
+            try:
+                delay = min(max(delay, float(retry_after)), _BACKOFF_CAP)
+            except ValueError:
+                pass
+        time.sleep(delay * (0.5 + 0.5 * random.random()))
 
     def _checked(
         self, method: str, path: str, body: dict[str, Any] | None = None
     ) -> dict[str, Any]:
-        status, data = self.request(method, path, body)
-        if status >= 300:
-            raise ServerError(status, data)
-        return data
+        """Round-trip with retries; raises :class:`ServerError` on a
+        final non-2xx and :class:`DaemonUnavailable` when the daemon
+        never answered."""
+        last_exc: Exception | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                status, data, headers = self._request_raw(method, path, body)
+            except (ConnectionError, http.client.HTTPException, OSError) as exc:
+                last_exc = exc
+                if attempt >= self.retries:
+                    break
+                self._sleep_before_retry(attempt, None)
+                continue
+            if status in (429, 503) and attempt < self.retries:
+                self._sleep_before_retry(attempt, headers.get("retry-after"))
+                continue
+            if status >= 300:
+                raise ServerError(status, data)
+            return data
+        raise DaemonUnavailable(
+            f"daemon at {self.host}:{self.port} unreachable after "
+            f"{self.retries + 1} attempt(s): "
+            f"{type(last_exc).__name__}: {last_exc}"
+        ) from last_exc
 
     # -- endpoints -----------------------------------------------------------
 
@@ -142,10 +206,20 @@ class ServerClient:
         return self._checked("POST", "/v1/solve", body)["id"]
 
     def wait(
-        self, job_id: str, *, timeout: float = 300.0, poll: float = 0.05
+        self, job_id: str, *, timeout: float = 300.0, poll: float = 0.05,
+        poll_cap: float = 1.0,
     ) -> dict[str, Any]:
-        """Poll ``GET /v1/jobs/<id>`` until the job leaves the queue."""
+        """Poll ``GET /v1/jobs/<id>`` until the job leaves the queue.
+
+        The poll interval starts at ``poll`` and grows 1.5x per round
+        up to ``poll_cap``, so long solves do not hammer the daemon
+        while short ones still return promptly.  Raises
+        :class:`DaemonUnavailable` if the daemon dies mid-poll (after
+        the transport retries) and :class:`TimeoutError` when the job
+        outlives ``timeout``.
+        """
         t0 = time.monotonic()
+        interval = poll
         while True:
             snapshot = self.job(job_id)
             if snapshot["status"] in ("done", "failed"):
@@ -154,4 +228,5 @@ class ServerClient:
                 raise TimeoutError(
                     f"job {job_id} still {snapshot['status']} after {timeout}s"
                 )
-            time.sleep(poll)
+            time.sleep(interval)
+            interval = min(interval * 1.5, poll_cap)

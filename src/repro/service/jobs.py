@@ -41,11 +41,13 @@ while searches run on other cores.
 from __future__ import annotations
 
 import asyncio
+import math
 import time
 from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
 from typing import Any, NamedTuple
 
+from repro.heuristics.listsched import fast_upper_bound_schedule
 from repro.parallel.mp_backend import SolverPool
 from repro.schedule.schedule import Schedule
 from repro.search.costs import COST_FUNCTIONS
@@ -103,11 +105,11 @@ class PreparedRequest(NamedTuple):
 #: match for a request to ride another in-flight job as a follower.
 _OVERRIDE_KEYS = (
     "deadline", "epsilon", "cost", "max_expansions", "mode",
-    "require_proven", "solver_workers",
+    "require_proven", "solver_workers", "max_memory_mb",
 )
 _SOLVE_KEYS = (
     "deadline", "epsilon", "cost", "max_expansions", "mode",
-    "solver_workers",
+    "solver_workers", "max_memory_mb",
 )
 
 #: Cap on the per-request HDA* worker override: untrusted request
@@ -154,6 +156,12 @@ def _validate_options(options: dict[str, Any]) -> None:
         raise ValueError(
             f"solver_workers must be an integer in [1, {_MAX_SOLVER_WORKERS}],"
             f" got {workers!r}")
+    memory = options["max_memory_mb"]
+    if memory is not None:
+        if not isinstance(memory, (int, float)) or isinstance(memory, bool) \
+                or not memory > 0:
+            raise ValueError(
+                f"max_memory_mb must be a positive number, got {memory!r}")
     options["require_proven"] = bool(options["require_proven"])
 
 
@@ -237,7 +245,7 @@ class JobManager:
     queue_limit:
         Maximum *unique* jobs pending (queued, not yet running).
     deadline, epsilon, max_expansions, mode, require_proven,
-    solver_workers:
+    solver_workers, max_memory_mb:
         Solver defaults; each may be overridden per request by the same
         field in the request object (``solver_workers`` is the HDA*
         worker count *per job* — it composes with the request pool, and
@@ -261,6 +269,7 @@ class JobManager:
         mode: str = "portfolio",
         require_proven: bool = False,
         solver_workers: int = 1,
+        max_memory_mb: float | None = None,
         history_limit: int = 4096,
     ) -> None:
         if queue_limit < 1:
@@ -277,6 +286,7 @@ class JobManager:
             "mode": mode,
             "require_proven": require_proven,
             "solver_workers": solver_workers,
+            "max_memory_mb": max_memory_mb,
         }
         self.history_limit = history_limit
         self.draining = False
@@ -303,6 +313,15 @@ class JobManager:
             "dedup_fanout": 0,
             "solved": 0,
             "pool_rebuilds": 0,
+            "degraded": 0,
+            "cache_errors": 0,
+        }
+        #: Per-cause counts of solve failures the degrade path absorbed
+        #: (or, when no incumbent could be built, surfaced as errors).
+        self.failures: dict[str, int] = {
+            "broken_pool": 0,
+            "worker_error": 0,
+            "completion_error": 0,
         }
         self.engine_counts: dict[str, int] = {}
 
@@ -311,7 +330,11 @@ class JobManager:
     def _cache_get(self, fingerprint: str, require_proven: bool):
         if self.cache is None:
             return None
-        return self.cache.get(fingerprint, require_proven=require_proven)
+        try:
+            return self.cache.get(fingerprint, require_proven=require_proven)
+        except Exception:  # noqa: BLE001 - a broken store reads as a miss
+            self.counters["cache_errors"] += 1
+            return None
 
     def _cache_get_blocking(self, prepared: "PreparedRequest"):
         """Synchronous lookup for :meth:`submit`; routed through the
@@ -488,6 +511,7 @@ class JobManager:
                 job.options["deadline"], job.options["epsilon"],
                 job.options["cost"], job.options["max_expansions"],
                 job.options["mode"], job.options["solver_workers"],
+                job.options["max_memory_mb"],
             )
             executor = self.pool.executor
             try:
@@ -498,19 +522,22 @@ class JobManager:
                 # A crashed/OOM-killed worker bricks a ProcessPool-
                 # Executor permanently; replace it so one bad instance
                 # cannot turn the daemon into a failure server.
-                self._fail(job, f"{type(exc).__name__}: {exc}")
+                self._degrade_or_fail(
+                    job, "broken_pool", f"{type(exc).__name__}: {exc}")
                 if self.pool.rebuild(broken=executor):
                     self.counters["pool_rebuilds"] += 1
             except Exception as exc:  # noqa: BLE001 - worker raised
-                self._fail(job, f"{type(exc).__name__}: {exc}")
+                self._degrade_or_fail(
+                    job, "worker_error", f"{type(exc).__name__}: {exc}")
             else:
                 try:
                     await self._complete(job, payload)
                 except Exception as exc:  # noqa: BLE001 - never leave a
                     # job undone (wait=true clients and drain() block on
                     # job.done) or kill this runner coroutine.
-                    self._fail(job, f"completion failed: "
-                                    f"{type(exc).__name__}: {exc}")
+                    self._degrade_or_fail(
+                        job, "completion_error",
+                        f"completion failed: {type(exc).__name__}: {exc}")
             finally:
                 self._running -= 1
                 self._queue.task_done()
@@ -551,6 +578,10 @@ class JobManager:
                 # still land later on the cache thread) so neither the
                 # waiting client nor drain() hangs on storage.
                 stored = True
+            except Exception:  # noqa: BLE001 - broken store: count it,
+                # serve the fresh result anyway; caching is best-effort.
+                self.counters["cache_errors"] += 1
+                stored = True
         if self.cache is not None and not stored:
             # The store already held something better; serve that —
             # unless it is structurally unusable for this graph (the
@@ -568,12 +599,67 @@ class JobManager:
             primary, entry, via="solve",
             seconds=payload["seconds"], winner=payload["winner"],
         )
+        if "lower_bound" in payload:
+            primary.result["lower_bound"] = payload["lower_bound"]
+        if payload.get("interrupted"):
+            primary.result["interrupted"] = payload["interrupted"]
         # Fan out before popping: if a follower's _finish raises, the
         # runner's _fail recovery can still reach the rest of the list.
         for follower in self._followers.get(primary.id, []):
             self._finish(follower, entry, via="dedup", seconds=0.0, winner="")
         self._followers.pop(primary.id, None)
         self._release(primary)
+
+    def _degrade_or_fail(self, primary: Job, cause: str, error: str) -> None:
+        """Absorb a solve failure into a *degraded* answer when possible.
+
+        The solver died (crashed pool worker, raised exception, broken
+        completion), but the instance itself is still in hand — and the
+        paper's ``U``-bound list schedule is always computable in
+        milliseconds on the event-loop thread.  Serving that incumbent
+        with ``certificate="degraded"`` (plus the failure ``reason``)
+        keeps the daemon answering every accepted request instead of
+        converting infrastructure faults into client-visible 500s.
+
+        Degraded entries are **never cached**: the next request for the
+        same fingerprint should reach a healthy (possibly rebuilt) pool
+        and earn a real certificate.  Falls back to :meth:`_fail` when
+        even the list schedule cannot be built.
+        """
+        self.failures[cause] = self.failures.get(cause, 0) + 1
+        try:
+            item = primary.item
+            schedule = fast_upper_bound_schedule(item.graph, item.system)
+            entry = CacheEntry(
+                fingerprint=primary.fingerprint,
+                assignment=canonical_assignment(schedule, primary.order),
+                makespan=schedule.length,
+                certificate="degraded",
+                bound=math.inf,
+                algorithm="list(degraded)",
+                stats={},
+            )
+            # Jobs that already finished (a completion error can strike
+            # mid fan-out) keep their real result — degrade only the
+            # ones still owing an answer.
+            if primary.active:
+                self._finish(
+                    primary, entry, via="solve", seconds=0.0, winner="degraded"
+                )
+                primary.result["reason"] = error
+                self.counters["degraded"] += 1
+            for follower in self._followers.get(primary.id, []):
+                if not follower.active:
+                    continue
+                self._finish(
+                    follower, entry, via="dedup", seconds=0.0, winner="degraded"
+                )
+                follower.result["reason"] = error
+                self.counters["degraded"] += 1
+            self._followers.pop(primary.id, None)
+            self._release(primary)
+        except Exception:  # noqa: BLE001 - degradation itself failed
+            self._fail(primary, error)
 
     def _fail(self, primary: Job, error: str) -> None:
         """Fail the primary and every follower riding on it (jobs that
@@ -669,6 +755,7 @@ class JobManager:
             "in_flight": len(self._inflight),
             "pool_workers": self.pool.workers,
             "jobs": dict(self.counters),
+            "failures": dict(self.failures),
             "cache_hit_rate": hit_rate,
             "engines": dict(self.engine_counts),
             "cache": self.cache.counters() if self.cache is not None else {},

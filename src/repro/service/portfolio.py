@@ -98,6 +98,13 @@ class PortfolioResult:
     algorithm: str  # algorithm label of the winning stage
     winner: str  # stage name of the winning stage
     stages: tuple[StageReport, ...]
+    #: Tightest proven floor on the optimal makespan across stages
+    #: (equals the makespan when ``optimal``); turns a budget-stopped
+    #: ladder into a certified-approximate answer.
+    lower_bound: float = 0.0
+    #: Why the last exact attempt stopped early (``None`` when it
+    #: finished on its own) — budget reason or worker-failure cause.
+    interrupted: str | None = None
 
     @property
     def length(self) -> float:
@@ -118,6 +125,8 @@ class PortfolioResult:
             bound=self.bound,
             stats=self.stats,
             algorithm=f"portfolio({self.algorithm})",
+            lower_bound=self.lower_bound,
+            interrupted=self.interrupted,
         )
 
 
@@ -216,6 +225,7 @@ def solve_auto(
     max_expansions: int | None = 500_000,
     state_cls: type = PartialSchedule,
     workers: int = 1,
+    max_memory_mb: float | None = None,
 ) -> SearchResult:
     """Single-engine fast path: :func:`select_engine` then one search.
 
@@ -223,6 +233,8 @@ def solve_auto(
     the composite ``combined`` bound wherever capacity can bind.
     ``workers > 1`` upgrades an exact selection to the multiprocess
     HDA* engine on instances large enough to amortize process spawn.
+    ``max_memory_mb`` arms the RSS ceiling: the engine stops there and
+    returns its incumbent plus lower bound instead of growing unbounded.
     """
     cost = _resolve_cost(cost, graph, system)
     engine = select_engine(graph, system)
@@ -231,7 +243,8 @@ def solve_auto(
     # lists in every worker — exactly what that decision avoids.
     if workers > 1 and engine == "astar" and graph.num_nodes > _HDA_MIN_V:
         engine = "hda"
-    budget = Budget(max_expanded=max_expansions, max_seconds=deadline)
+    budget = Budget(max_expanded=max_expansions, max_seconds=deadline,
+                    max_memory_mb=max_memory_mb)
     return _run_engine(
         engine, graph, system, budget=budget, epsilon=epsilon,
         cost=cost, state_cls=state_cls, incumbent=None, workers=workers,
@@ -248,6 +261,7 @@ def portfolio_schedule(
     max_expansions: int | None = 500_000,
     state_cls: type = PartialSchedule,
     workers: int = 1,
+    max_memory_mb: float | None = None,
 ) -> PortfolioResult:
     """Race the stage ladder against a wall-clock deadline.
 
@@ -279,6 +293,16 @@ def portfolio_schedule(
         when the selector chose B&B for its O(depth) memory on
         high-CCR instances, which stays serial.  ``max_expansions``
         remains the memory backstop for the upgraded stage.
+    max_memory_mb:
+        Process-RSS ceiling forwarded to every stage's budget; a stage
+        that hits it degrades to its incumbent + lower bound instead of
+        growing without bound (HDA* divides its tracked-state share
+        across workers and samples RSS per worker process).
+
+    Fault tolerance: when the HDA* exact stage loses a worker (crash or
+    stall) the ladder retries it **once** with the remaining deadline,
+    then falls back to the serial engine — so a transient process death
+    degrades the certificate at worst, never the answer.
 
     Guarantees: the returned makespan is never worse than the linear-time
     list schedule; ``optimal`` is True iff the exact stage ran to
@@ -311,6 +335,8 @@ def portfolio_schedule(
     winner_algo = "list(b-level)"
     optimal = False
     bound = math.inf
+    lower = 0.0  # tightest proven floor across stages
+    interrupted: str | None = None
 
     exact_engine = select_engine(graph, system)
     # A "bnb" selection is the deliberate high-CCR memory decision —
@@ -347,6 +373,7 @@ def portfolio_schedule(
             winner_algo = res.algorithm
         if math.isfinite(res.bound):
             bound = min(bound, res.bound)
+        lower = max(lower, res.lower_bound)
         _accumulate(total, res.stats)
         stages.append(
             StageReport(
@@ -363,22 +390,38 @@ def portfolio_schedule(
             return PortfolioResult(
                 schedule=best, optimal=True, bound=1.0, stats=total,
                 algorithm=res.algorithm, winner="improve",
-                stages=tuple(stages),
+                stages=tuple(stages), lower_bound=best.length,
             )
 
     # -- stage 3: exact engine seeded with the shared incumbent ------------
-    left = remaining()
-    if left is None or left > 0:
+    # Worker-failure recovery: an HDA* attempt that lost a worker is
+    # retried once with whatever deadline is left, then handed to the
+    # serial engine — three attempts at most, each seeded with the
+    # current incumbent.
+    serial_exact = "bnb" if memory_bound else "astar"
+    attempts = (
+        [("exact", exact_engine), ("exact-retry", exact_engine),
+         ("exact-serial", serial_exact)]
+        if exact_engine == "hda"
+        else [("exact", exact_engine)]
+    )
+    for stage_name, engine_name in attempts:
+        left = remaining()
+        if left is not None and left <= 0:
+            break
         s2 = time.perf_counter()
-        exact_budget = Budget(max_expanded=max_expansions, max_seconds=left)
+        exact_budget = Budget(max_expanded=max_expansions, max_seconds=left,
+                              max_memory_mb=max_memory_mb)
         res = _run_engine(
-            exact_engine, graph, system, budget=exact_budget,
+            engine_name, graph, system, budget=exact_budget,
             epsilon=epsilon, cost=cost, state_cls=state_cls, incumbent=best,
             workers=workers,
         )
         improved = res.schedule is not None and res.length < best.length
         if improved:
             best = res.schedule
+        lower = max(lower, res.lower_bound)
+        interrupted = res.interrupted
         if res.optimal:
             # The exact stage proves the *shared* incumbent optimal even
             # when it merely confirmed (rather than beat) it.
@@ -392,17 +435,21 @@ def portfolio_schedule(
         _accumulate(total, res.stats)
         stages.append(
             StageReport(
-                stage="exact", algorithm=res.algorithm, makespan=res.length,
+                stage=stage_name, algorithm=res.algorithm, makespan=res.length,
                 improved=improved, optimal=res.optimal,
                 seconds=time.perf_counter() - s2,
                 expanded=res.stats.states_expanded,
             )
         )
+        if res.interrupted not in ("worker-failure", "worker-stall"):
+            break  # finished, proved, or a plain budget stop — no retry
 
     total.wall_seconds = time.perf_counter() - t0
     return PortfolioResult(
         schedule=best, optimal=optimal, bound=bound, stats=total,
         algorithm=winner_algo, winner=winner, stages=tuple(stages),
+        lower_bound=best.length if optimal else min(lower, best.length),
+        interrupted=None if optimal else interrupted,
     )
 
 

@@ -115,6 +115,7 @@ class SolverServer:
         max_expansions: int | None = 200_000,
         mode: str = "portfolio",
         require_proven: bool = False,
+        max_memory_mb: float | None = None,
         warm: bool = True,
     ) -> None:
         self.host = host
@@ -129,6 +130,7 @@ class SolverServer:
             "max_expansions": max_expansions,
             "mode": mode,
             "require_proven": require_proven,
+            "max_memory_mb": max_memory_mb,
         }
         # The server owns caches it constructs (in-memory default, or
         # from a path); a caller passing a live ResultCache keeps
@@ -271,10 +273,15 @@ class SolverServer:
         except Exception as exc:  # noqa: BLE001 - never kill the acceptor
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
         body = json.dumps(payload).encode()
+        # Backpressure responses advertise when to come back, so
+        # well-behaved clients (ServerClient included) retry instead of
+        # hammering or giving up.
+        retry_after = "Retry-After: 1\r\n" if status in (429, 503) else ""
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{retry_after}"
             f"Connection: close\r\n\r\n"
         ).encode()
         try:

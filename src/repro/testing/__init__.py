@@ -1,0 +1,7 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the fault-injection registry the chaos
+suite (``tests/chaos/``) and the soak benchmark drive; it is inert
+unless explicitly armed, so shipping it in the package costs nothing
+in production.
+"""

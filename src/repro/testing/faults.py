@@ -1,0 +1,193 @@
+"""Fault-injection points for chaos testing the solver runtime.
+
+Production code calls the tiny hook functions below at its interesting
+failure sites (worker expansion loop, cache I/O, solver-pool jobs).
+They are **no-ops unless armed**: arming happens through the
+``REPRO_FAULTS`` environment variable, so faults propagate naturally
+into forked pool / HDA* workers, or through :func:`arm` for in-process
+monkeypatching from tests.
+
+Spec grammar (semicolon-separated)::
+
+    REPRO_FAULTS="hda-worker-crash@50;cache-put-error;cache-slow:0.25"
+
+    name          fire on the first hit
+    name@N        fire on the Nth hit (1-based, counted per process)
+    name:arg      string argument (seconds to sleep, exit code, ...)
+    name@N:arg    both
+
+Each spec fires **once per process** (chaos tests want "the worker
+crashed", not "every worker crashes forever"); the hit counters are
+per-process and reset whenever the armed spec string changes, which
+makes ``monkeypatch.setenv`` / ``delenv`` work without explicit resets.
+
+Injection sites currently wired into the runtime:
+
+==================  ====================================================
+``hda-worker-crash``  HDA* worker: hard ``os._exit`` at the Nth
+                      expansion batch (arg = exit code, default 3).
+``hda-worker-raise``  HDA* worker: raise ``InjectedFault`` at the Nth
+                      expansion batch (exercises the error-record path).
+``hda-worker-stall``  HDA* worker: stop making progress (sleep loop,
+                      arg = seconds, default 3600) — a *hung*, not dead,
+                      process; only heartbeat supervision catches it.
+``cache-put-error``   ``ResultCache.put``: raise ``InjectedFault``.
+``cache-get-error``   ``ResultCache.get``: raise ``InjectedFault``.
+``cache-slow``        ``ResultCache.put``/``get``: sleep ``arg``
+                      seconds (default 0.2) before the real call.
+``solve-crash``       Pool worker (`_worker_solve`): hard ``os._exit``
+                      before solving — kills the executor process and
+                      exercises the BrokenExecutor rebuild + degraded
+                      response path.
+``solve-error``       Pool worker: raise ``InjectedFault`` instead of
+                      solving (a *clean* job failure, pool survives).
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+__all__ = [
+    "ENV_VAR",
+    "InjectedFault",
+    "arm",
+    "disarm",
+    "should_fire",
+    "crash_point",
+    "raise_point",
+    "sleep_point",
+    "stall_point",
+]
+
+ENV_VAR = "REPRO_FAULTS"
+
+
+class InjectedFault(RuntimeError):
+    """The error raised by ``raise``-style injection points."""
+
+
+class _Spec:
+    __slots__ = ("name", "nth", "arg")
+
+    def __init__(self, name: str, nth: int, arg: str | None) -> None:
+        self.name = name
+        self.nth = nth
+        self.arg = arg
+
+
+def _parse(raw: str) -> dict[str, _Spec]:
+    specs: dict[str, _Spec] = {}
+    for part in raw.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        arg: str | None = None
+        if ":" in part:
+            part, arg = part.split(":", 1)
+        nth = 1
+        if "@" in part:
+            part, nth_s = part.split("@", 1)
+            try:
+                nth = max(1, int(nth_s))
+            except ValueError:
+                nth = 1
+        specs[part] = _Spec(part, nth, arg)
+    return specs
+
+
+# Cache keyed on the raw env string so monkeypatched changes re-parse.
+_armed_raw: str | None = None
+_armed: dict[str, _Spec] = {}
+_hits: dict[str, int] = {}
+_fired: set[str] = set()
+
+
+def _current() -> dict[str, _Spec]:
+    global _armed_raw, _armed, _hits, _fired
+    raw = os.environ.get(ENV_VAR, "")
+    if raw != _armed_raw:
+        _armed_raw = raw
+        _armed = _parse(raw)
+        _hits = {}
+        _fired = set()
+    return _armed
+
+
+def arm(spec: str) -> None:
+    """Arm fault specs for this process (convenience over setenv)."""
+    os.environ[ENV_VAR] = spec
+
+
+def disarm() -> None:
+    """Remove all armed faults in this process."""
+    os.environ.pop(ENV_VAR, None)
+
+
+def should_fire(name: str) -> _Spec | None:
+    """Count a hit on ``name``; return its spec when it should fire.
+
+    Fires exactly once per process per armed spec string (on the Nth
+    hit).  Returns ``None`` for unarmed points — the production-path
+    fast exit.
+    """
+    specs = _current()
+    spec = specs.get(name)
+    if spec is None or name in _fired:
+        return None
+    _hits[name] = _hits.get(name, 0) + 1
+    if _hits[name] < spec.nth:
+        return None
+    _fired.add(name)
+    return spec
+
+
+def crash_point(name: str, default_code: int = 3) -> None:
+    """Hard-exit the process when ``name`` fires (no cleanup, no atexit
+    — the closest stand-in for a SIGKILL'd or segfaulted worker)."""
+    spec = should_fire(name)
+    if spec is not None:
+        code = default_code
+        if spec.arg is not None:
+            try:
+                code = int(spec.arg)
+            except ValueError:
+                pass
+        os._exit(code)
+
+
+def raise_point(name: str) -> None:
+    """Raise :class:`InjectedFault` when ``name`` fires."""
+    if should_fire(name) is not None:
+        raise InjectedFault(f"injected fault: {name}")
+
+
+def sleep_point(name: str, default_seconds: float = 0.2) -> None:
+    """Sleep when ``name`` fires (slow-disk / slow-cache simulation)."""
+    spec = should_fire(name)
+    if spec is not None:
+        seconds = default_seconds
+        if spec.arg is not None:
+            try:
+                seconds = float(spec.arg)
+            except ValueError:
+                pass
+        time.sleep(seconds)
+
+
+def stall_point(name: str, default_seconds: float = 3600.0) -> None:
+    """Stop making progress when ``name`` fires: the process stays
+    alive but does nothing for ``arg`` seconds — only no-progress
+    (heartbeat) supervision can detect it."""
+    spec = should_fire(name)
+    if spec is not None:
+        seconds = default_seconds
+        if spec.arg is not None:
+            try:
+                seconds = float(spec.arg)
+            except ValueError:
+                pass
+        deadline = time.monotonic() + seconds
+        while time.monotonic() < deadline:
+            time.sleep(0.05)

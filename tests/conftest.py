@@ -1,12 +1,59 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus a hand-rolled per-test
+wall-clock alarm (``@pytest.mark.timeout(seconds)``).
+
+The chaos suite (tests/chaos/) exercises hang scenarios — a wedged
+cache, a stalled worker — where the failure mode *is* a test that never
+returns.  pytest-timeout is not part of this environment's toolchain,
+so the marker is implemented here with ``signal.setitimer``: the alarm
+fires in the main thread, interrupting the blocked test with a clear
+diagnostic instead of wedging CI.  Limits: main-thread tests on
+platforms with SIGALRM (the marker is a no-op elsewhere — tests still
+pass, they just lose the hang guard).  If the real pytest-timeout
+plugin is ever installed, it takes over and this shim stands down.
+"""
 
 from __future__ import annotations
+
+import signal
 
 import pytest
 
 from repro.graph.examples import paper_example_dag, paper_example_system
 from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
 from repro.system.processors import ProcessorSystem
+
+_HAS_ALARM = hasattr(signal, "SIGALRM")
+
+
+def _timeout_plugin_active(config) -> bool:
+    return config.pluginmanager.hasplugin("timeout")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("timeout")
+    if (
+        marker is None
+        or not marker.args
+        or not _HAS_ALARM
+        or _timeout_plugin_active(item.config)
+    ):
+        yield
+        return
+    seconds = float(marker.args[0])
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded its {seconds:g}s timeout marker (hung?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

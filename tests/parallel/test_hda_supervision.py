@@ -1,0 +1,114 @@
+"""Worker supervision in HDA*: dead, raising, and hung workers.
+
+These tests arm :mod:`repro.testing.faults` injection points (the env
+var propagates into forked workers) and assert the supervision
+contract: the parent always terminates, always returns the best
+incumbent with an honest ``interrupted`` cause, and the portfolio
+ladder recovers a *correct* answer by retrying and falling back to a
+serial engine.
+"""
+
+import pytest
+
+from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
+from repro.parallel.hda import hda_astar_schedule
+from repro.parallel.shared import WorkerBoard
+from repro.schedule.validate import schedule_violations
+from repro.search.astar import astar_schedule
+from repro.service.portfolio import portfolio_schedule
+from repro.system.processors import ProcessorSystem
+from repro.testing import faults
+
+
+def instance(v=12, ccr=1.0, seed=3):
+    graph = paper_random_graph(PaperGraphSpec(num_nodes=v, ccr=ccr, seed=seed))
+    return graph, ProcessorSystem.fully_connected(3)
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    """Never leak an armed fault spec into other tests."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    yield
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+
+
+@pytest.mark.slow
+class TestDeadWorker:
+    @pytest.mark.timeout(120)
+    def test_crashed_worker_terminates_with_incumbent(self, monkeypatch):
+        """A worker hard-exiting mid-search (SIGKILL stand-in) must not
+        hang the parent: the search ends with the seed incumbent, an
+        unproven certificate, and cause 'worker-failure'."""
+        monkeypatch.setenv(faults.ENV_VAR, "hda-worker-crash@3")
+        graph, system = instance()
+        result = hda_astar_schedule(graph, system, workers=2)
+        assert result.schedule is not None
+        assert schedule_violations(result.schedule) == []
+        assert not result.optimal
+        assert result.interrupted == "worker-failure"
+        assert "failed" in result.algorithm
+
+    @pytest.mark.timeout(120)
+    def test_raising_worker_reports_failure(self, monkeypatch):
+        """A worker raising (clean error-record path) reaches the same
+        safe termination as a hard crash."""
+        monkeypatch.setenv(faults.ENV_VAR, "hda-worker-raise@3")
+        graph, system = instance(seed=9)
+        result = hda_astar_schedule(graph, system, workers=2)
+        assert result.schedule is not None
+        assert not result.optimal
+        assert result.interrupted == "worker-failure"
+
+    @pytest.mark.timeout(120)
+    def test_portfolio_recovers_correct_result(self, monkeypatch):
+        """The acceptance scenario: HDA* workers die mid-search, yet
+        the portfolio answers with the *correct optimal* makespan — it
+        retries the parallel engine once, then falls back to a serial
+        exact engine with the remaining budget."""
+        # The portfolio only upgrades the exact stage to HDA* above
+        # _HDA_MIN_V nodes, so this instance must be large enough to
+        # take the parallel path (and to outlive the seed phase so the
+        # workers really spawn — and crash).
+        graph, system = instance(v=15, seed=11)
+        expected = astar_schedule(graph, system).length
+        monkeypatch.setenv(faults.ENV_VAR, "hda-worker-crash@3")
+        res = portfolio_schedule(graph, system, workers=2,
+                                 max_expansions=200_000)
+        assert res.optimal
+        assert res.schedule.length == expected
+        stages = [r.stage for r in res.stages]
+        assert "exact-serial" in stages  # both hda attempts crashed
+        assert res.interrupted is None
+
+
+@pytest.mark.slow
+class TestHungWorker:
+    @pytest.mark.timeout(120)
+    def test_stalled_worker_detected_by_heartbeat(self, monkeypatch):
+        """A worker that stops making progress but stays alive is only
+        catchable by heartbeat supervision: the parent must detect the
+        stale heartbeat and terminate with cause 'worker-stall' instead
+        of waiting on quiescence forever."""
+        monkeypatch.setenv(faults.ENV_VAR, "hda-worker-stall@3:600")
+        graph, system = instance()
+        result = hda_astar_schedule(
+            graph, system, workers=2, worker_stall_timeout=2.0
+        )
+        assert result.schedule is not None
+        assert not result.optimal
+        assert result.interrupted == "worker-stall"
+
+
+class TestWorkerBoardHeartbeats:
+    def test_stamp_and_stale_detection(self):
+        import multiprocessing as mp
+        import time
+
+        board = WorkerBoard(mp.get_context("fork"), workers=2)
+        board.stamp_all()
+        assert board.stale_workers(timeout=5.0) == []
+        time.sleep(0.06)
+        assert board.stale_workers(timeout=0.05) == [0, 1]
+        board.heartbeat(1)
+        assert board.stale_workers(timeout=0.05) == [0]

@@ -100,13 +100,21 @@ def test_load_and_combined_admissible(instance):
 def test_combined_admissible_on_paper_workload(instance):
     """Admissibility on the §4.1 random-graph shape the gate runs on:
     A* under the combined bound must return the same optimal makespan
-    as under the paper bound."""
+    as under the paper bound.
+
+    No expansion-count inequality here, deliberately: pointwise
+    dominance (``test_combined_dominates_paper``) only forces a subset
+    relation on the states expanded *strictly below* the optimum.  On
+    the ``f == C*`` goal plateau the two bounds produce different heap
+    tie-orders, so the dominating bound can pop a few more plateau
+    states on tiny instances (hypothesis found a v=5 example: 29 vs 27
+    expansions, identical makespan).  The aggregate expansion win is
+    what ``benchmarks/bench_bounds.py`` gates instead."""
     graph, system = instance
     a = astar_schedule(graph, system, cost="paper")
     b = astar_schedule(graph, system, cost="combined")
     assert a.optimal and b.optimal
     assert b.length == a.length
-    assert b.stats.states_expanded <= a.stats.states_expanded
 
 
 @_SETTINGS

@@ -105,6 +105,26 @@ class TestChainCollapse:
         )
         assert fto.stats.pruning.fixed_order_skips == 0
 
+    def test_mixed_childless_and_join_regression(self):
+        """The second found-by-property-testing counterexample: entry
+        tasks 0 and 2 feed join task 3 (comm 1 and 0), entry task 1 is
+        childless.  A join condition that tolerates childless members
+        ties 1 and 2 on out-communication (both 0), the id tiebreak
+        orders 1 ahead, and delaying 2 delays the join by its full
+        weight (optimal 2.0, the pruned space's best is 3.0)."""
+        graph = TaskGraph(
+            [1, 1, 1, 1], {(0, 3): 1, (2, 3): 0}, name="regression"
+        )
+        system = ProcessorSystem.fully_connected(2)
+        reference = enumerate_optimal(graph, system).length
+        assert reference == 2.0
+        for cfg in (
+            PruningConfig.with_fixed_order(),
+            PruningConfig.only(fixed_task_order=True),
+        ):
+            result = astar_schedule(graph, system, pruning=cfg)
+            assert result.length == reference
+
     def test_mixed_entry_and_fork_regression(self):
         """The found-by-property-testing counterexample: chain 0->1->3
         (comm 2 then 0) plus isolated tasks 2 and 4.  A chain condition

@@ -233,3 +233,51 @@ class TestLifecycle:
         cache.close()
         cache.close()  # no-op twice
         assert cache.get("aa") is not None  # memory tier still serves
+
+    def test_double_close_with_persistent_store(self, tmp_path):
+        db = tmp_path / "cache.db"
+        cache = ResultCache(db)
+        cache.put(entry("aa"))
+        cache.close()
+        cache.close()  # second close must not touch the dead handle
+        assert cache._db is None
+        with ResultCache(db) as reopened:
+            assert reopened.get("aa").makespan == 10.0
+
+    def test_put_after_close_degrades_to_memory_only(self, tmp_path):
+        """A put racing shutdown lands in the memory tier without
+        raising — the entry is simply not durable."""
+        db = tmp_path / "cache.db"
+        cache = ResultCache(db)
+        cache.put(entry("aa"))
+        cache.close()
+        assert cache.put(entry("bb"))  # no crash, admitted to memory
+        assert cache.get("bb") is not None
+        with ResultCache(db) as reopened:
+            assert reopened.get("aa") is not None  # persisted before close
+            assert reopened.get("bb") is None  # post-close put was not
+
+    def test_executor_shutdown_races_in_flight_put(self, tmp_path, monkeypatch):
+        """The daemon routes cache I/O through a single-worker executor
+        and shuts it down while a put may still be running (drain).  A
+        slow in-flight put must complete and persist; queued work that
+        shutdown cancels must not corrupt the store."""
+        from concurrent.futures import CancelledError, ThreadPoolExecutor
+
+        from repro.testing import faults
+
+        db = tmp_path / "cache.db"
+        cache = ResultCache(db)
+        pool = ThreadPoolExecutor(max_workers=1)
+        monkeypatch.setenv(faults.ENV_VAR, "cache-slow:0.3")
+        in_flight = pool.submit(cache.put, entry("aa"))  # sleeps 0.3s
+        queued = pool.submit(cache.put, entry("bb"))
+        pool.shutdown(wait=True, cancel_futures=True)
+        assert in_flight.result(timeout=5) is True
+        with pytest.raises(CancelledError):
+            queued.result(timeout=5)
+        cache.close()
+        monkeypatch.delenv(faults.ENV_VAR)
+        with ResultCache(db) as reopened:
+            assert reopened.get("aa").makespan == 10.0  # survived the race
+            assert reopened.get("bb") is None  # cancelled cleanly

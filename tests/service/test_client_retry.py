@@ -1,0 +1,192 @@
+"""ServerClient retry discipline, tested without a daemon.
+
+The transport is a single seam (``_request_raw``); these tests script
+it to fail in controlled ways and assert the retry contract: checked
+calls back off exponentially with jitter, honor ``Retry-After`` on
+backpressure statuses, surface :class:`DaemonUnavailable` (a
+``ConnectionError``) once retries are exhausted — and the raw
+:meth:`request` primitive never retries at all.
+"""
+
+from __future__ import annotations
+
+import http.client
+
+import pytest
+
+from repro.service.client import DaemonUnavailable, ServerClient, ServerError
+
+
+def scripted(client, outcomes, calls):
+    """Replace the transport with a script: each outcome is either an
+    exception instance (raised) or a ``(status, data, headers)`` tuple."""
+
+    def fake_request_raw(method, path, body=None):
+        calls.append((method, path))
+        outcome = outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    client._request_raw = fake_request_raw
+
+
+@pytest.fixture
+def no_sleep(monkeypatch):
+    """Capture backoff sleeps instead of serving them."""
+    slept: list[float] = []
+    monkeypatch.setattr("repro.service.client.time.sleep", slept.append)
+    return slept
+
+
+class TestTransportRetries:
+    def test_connection_errors_then_success(self, no_sleep):
+        client = ServerClient(retries=3, backoff=0.1)
+        calls: list = []
+        scripted(client, [
+            ConnectionRefusedError("refused"),
+            http.client.BadStatusLine("garbage"),
+            (200, {"ok": True}, {}),
+        ], calls)
+        assert client.healthz() == {"ok": True}
+        assert len(calls) == 3
+        assert len(no_sleep) == 2
+
+    def test_backoff_grows_exponentially_with_jitter(self, no_sleep):
+        client = ServerClient(retries=3, backoff=0.1)
+        scripted(client, [
+            ConnectionRefusedError(), ConnectionRefusedError(),
+            ConnectionRefusedError(), (200, {}, {}),
+        ], [])
+        client.healthz()
+        # Nominal delays 0.1, 0.2, 0.4 — jittered into [0.5d, d].
+        for slept, nominal in zip(no_sleep, (0.1, 0.2, 0.4)):
+            assert 0.5 * nominal <= slept <= nominal
+
+    def test_daemon_unavailable_after_exhaustion(self, no_sleep):
+        client = ServerClient(retries=2, backoff=0.01)
+        calls: list = []
+        scripted(client, [ConnectionRefusedError("nope")] * 3, calls)
+        with pytest.raises(DaemonUnavailable) as info:
+            client.metrics()
+        assert len(calls) == 3  # initial try + 2 retries
+        assert isinstance(info.value.__cause__, ConnectionRefusedError)
+        # Still catchable as the plain ConnectionError callers already handle.
+        assert isinstance(info.value, ConnectionError)
+
+    def test_retries_zero_disables_retrying(self, no_sleep):
+        client = ServerClient(retries=0)
+        calls: list = []
+        scripted(client, [ConnectionRefusedError()], calls)
+        with pytest.raises(DaemonUnavailable):
+            client.healthz()
+        assert len(calls) == 1
+        assert no_sleep == []
+
+
+class TestBackpressureRetries:
+    def test_429_retried_honoring_retry_after(self, no_sleep):
+        client = ServerClient(retries=2, backoff=0.01)
+        calls: list = []
+        scripted(client, [
+            (429, {"error": "queue full"}, {"retry-after": "1"}),
+            (200, {"id": "j1"}, {}),
+        ], calls)
+        assert client.healthz() == {"id": "j1"}
+        assert len(calls) == 2
+        # Retry-After: 1 overrides the tiny nominal backoff (jittered).
+        assert 0.5 <= no_sleep[0] <= 1.0
+
+    def test_503_retried_then_surfaces_as_server_error(self, no_sleep):
+        client = ServerClient(retries=2, backoff=0.01)
+        calls: list = []
+        scripted(client, [(503, {"error": "draining"}, {})] * 3, calls)
+        with pytest.raises(ServerError) as info:
+            client.healthz()
+        assert info.value.status == 503
+        assert len(calls) == 3  # backpressure is retried before giving up
+
+    def test_other_errors_fail_immediately(self, no_sleep):
+        client = ServerClient(retries=3)
+        calls: list = []
+        scripted(client, [(404, {"error": "no such job"}, {})], calls)
+        with pytest.raises(ServerError) as info:
+            client.job("missing")
+        assert info.value.status == 404
+        assert len(calls) == 1  # 4xx (non-backpressure) is not transient
+        assert no_sleep == []
+
+    def test_retry_after_is_capped(self, no_sleep):
+        client = ServerClient(retries=1, backoff=0.01)
+        scripted(client, [
+            (503, {"error": "draining"}, {"retry-after": "3600"}),
+            (200, {}, {}),
+        ], [])
+        client.healthz()
+        assert no_sleep[0] <= 2.0  # _BACKOFF_CAP, not the server's hour
+
+    def test_malformed_retry_after_falls_back_to_backoff(self, no_sleep):
+        client = ServerClient(retries=1, backoff=0.1)
+        scripted(client, [
+            (429, {"error": "queue full"}, {"retry-after": "soon"}),
+            (200, {}, {}),
+        ], [])
+        client.healthz()
+        assert 0.05 <= no_sleep[0] <= 0.1
+
+
+class TestRawRequestNeverRetries:
+    def test_request_propagates_transport_error(self, no_sleep):
+        client = ServerClient(retries=5)
+        calls: list = []
+        scripted(client, [ConnectionRefusedError("refused")], calls)
+        with pytest.raises(ConnectionRefusedError):
+            client.request("GET", "/healthz")
+        assert len(calls) == 1
+        assert no_sleep == []
+
+    def test_request_returns_raw_status(self, no_sleep):
+        client = ServerClient(retries=5)
+        scripted(client, [(429, {"error": "queue full"}, {})], [])
+        status, data = client.request("POST", "/v1/solve", {})
+        assert status == 429  # no retry, no exception: caller's problem
+        assert data == {"error": "queue full"}
+
+
+class TestWaitPolling:
+    def test_poll_interval_grows_to_cap(self, monkeypatch):
+        client = ServerClient()
+        snapshots = [{"status": "queued"}] * 5 + [{"status": "done"}]
+        monkeypatch.setattr(client, "job", lambda job_id: snapshots.pop(0))
+        slept: list[float] = []
+        monkeypatch.setattr("repro.service.client.time.sleep", slept.append)
+        out = client.wait("j1", poll=0.1, poll_cap=0.3)
+        assert out["status"] == "done"
+        assert slept == pytest.approx([0.1, 0.15, 0.225, 0.3, 0.3])
+
+    def test_daemon_death_mid_poll_is_typed(self, monkeypatch, no_sleep):
+        client = ServerClient(retries=1, backoff=0.01)
+        calls: list = []
+        scripted(client, [
+            (200, {"status": "queued"}, {}),
+            ConnectionResetError("daemon died"),
+            ConnectionRefusedError("and stayed dead"),
+        ], calls)
+        with pytest.raises(DaemonUnavailable):
+            client.wait("j1", poll=0.01)
+        assert len(calls) == 3  # one good poll, then retry, then give up
+
+    def test_timeout_raises_with_last_status(self, monkeypatch):
+        client = ServerClient()
+        monkeypatch.setattr(client, "job", lambda job_id: {"status": "running"})
+        fake_now = [0.0]
+        monkeypatch.setattr(
+            "repro.service.client.time.monotonic", lambda: fake_now[0]
+        )
+
+        def advance(seconds):
+            fake_now[0] += seconds
+
+        monkeypatch.setattr("repro.service.client.time.sleep", advance)
+        with pytest.raises(TimeoutError, match="still running"):
+            client.wait("j1", timeout=1.0, poll=0.4)

@@ -112,7 +112,11 @@ class TestSolveLifecycle:
         assert manager.counters["accepted"] == 0
         pool.close()
 
-    def test_worker_failure_fails_primary_and_followers(self, monkeypatch):
+    def test_worker_failure_degrades_primary_and_followers(self, monkeypatch):
+        """A worker exception no longer fails the job: the manager
+        serves the list-schedule incumbent as a degraded answer (with
+        the failure reason attached) to the primary and every
+        follower."""
         async def scenario():
             manager, pool = make_manager()
             primary = manager.submit(request_obj(seed=5))
@@ -125,9 +129,13 @@ class TestSolveLifecycle:
             monkeypatch.setattr("repro.service.jobs._worker_solve", boom)
             manager.start()
             await finish(manager, primary, follower)
-            assert primary.state == FAILED and follower.state == FAILED
-            assert "worker exploded" in primary.error
-            assert manager.counters["failed"] == 2
+            for job in (primary, follower):
+                assert job.state == DONE
+                assert job.result["certificate"] == "degraded"
+                assert "worker exploded" in job.result["reason"]
+            assert manager.counters["failed"] == 0
+            assert manager.counters["degraded"] == 2
+            assert manager.failures["worker_error"] == 1
             await manager.drain()
             pool.close()
 
@@ -229,9 +237,10 @@ class TestDedupe:
 
 
 class TestFaultTolerance:
-    def test_completion_error_fails_job_without_killing_runner(self, monkeypatch):
-        """An exception while building the result must fail that job
-        (done event set) and leave the runner alive for the next one."""
+    def test_completion_error_degrades_job_without_killing_runner(self, monkeypatch):
+        """An exception while building the result must still answer
+        that job (degraded, done event set) and leave the runner alive
+        for the next one."""
         async def scenario():
             manager, pool = make_manager()
             bad = manager.submit(request_obj(seed=31))
@@ -244,20 +253,24 @@ class TestFaultTolerance:
             manager._complete = explode
             manager.start()
             await finish(manager, bad)
-            assert bad.state == FAILED and "canonical mismatch" in bad.error
+            assert bad.state == DONE
+            assert bad.result["certificate"] == "degraded"
+            assert "canonical mismatch" in bad.result["reason"]
+            assert manager.failures["completion_error"] == 1
             # The runner survived: a subsequent job completes normally.
             manager._complete = real_complete
             good = manager.submit(request_obj(seed=32))
             await finish(manager, good)
             assert good.state == DONE
+            assert good.result["certificate"] != "degraded"
             await manager.drain()
             pool.close()
 
         asyncio.run(scenario())
 
     def test_broken_pool_is_rebuilt_and_serving_continues(self, monkeypatch):
-        """A worker that dies mid-job (OOM kill) fails only that job;
-        the pool is replaced and later jobs solve normally."""
+        """A worker that dies mid-job (OOM kill) degrades only that
+        job; the pool is replaced and later jobs solve normally."""
         import os
 
         from repro.parallel.mp_backend import SolverPool
@@ -273,8 +286,10 @@ class TestFaultTolerance:
             manager.start()
             doomed = manager.submit(request_obj(seed=33))
             await finish(manager, doomed)
-            assert doomed.state == FAILED
+            assert doomed.state == DONE
+            assert doomed.result["certificate"] == "degraded"
             assert manager.counters["pool_rebuilds"] == 1
+            assert manager.failures["broken_pool"] == 1
             os.unlink(tmp_flag)  # next forked worker solves for real
             healthy = manager.submit(request_obj(seed=34))
             await finish(manager, healthy)
