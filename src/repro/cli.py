@@ -25,6 +25,10 @@ Commands
     Run the solver daemon: an asyncio HTTP front-end over the same
     service stack, with a persistent worker pool, bounded admission
     queue, in-flight dedupe, and graceful SIGTERM drain.
+``trace``
+    Report on a JSONL trace file written via ``--obs-trace``: per-span
+    durations, portfolio stage attribution, convergence timelines, and
+    daemon event counts (``--check`` validates schema + span nesting).
 """
 
 from __future__ import annotations
@@ -117,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(> 1 runs the multiprocess HDA* engine)")
     p.add_argument("--cache", default=None,
                    help="result-cache SQLite file (omit for no persistence)")
+    _add_obs_args(p)
 
     p = sub.add_parser("batch", help="solve many instances via the service layer")
     p.add_argument("input", nargs="?", default=None,
@@ -144,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="treat unproven cache entries as stale")
     p.add_argument("--out", default=None,
                    help="write per-instance results as JSON lines")
+    _add_obs_args(p)
 
     p = sub.add_parser("serve", help="run the solver HTTP daemon")
     p.add_argument("--host", default="127.0.0.1")
@@ -166,7 +172,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-memory-mb", type=float, default=None,
                    help="per-solve process-RSS ceiling (requests past it "
                         "get an incumbent + lower bound, not an OOM kill)")
+    _add_obs_args(p)
+
+    p = sub.add_parser("trace", help="report on a JSONL trace file")
+    p.add_argument("file", help="trace file written via --obs-trace")
+    p.add_argument("--check", action="store_true",
+                   help="validate only (schema + span nesting); "
+                        "exit 1 on problems")
     return parser
+
+
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    """The telemetry options shared by solve/batch/serve."""
+    p.add_argument("--obs-trace", default=None, metavar="FILE",
+                   help="append structured trace events (JSONL) to FILE; "
+                        "read it back with 'repro trace FILE'")
+    p.add_argument("--probe-every", type=int, default=None, metavar="N",
+                   help="sample search convergence every N expansions "
+                        "(timelines land in the trace; defaults to 4096 "
+                        "when --obs-trace is set)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -186,7 +210,21 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_batch(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _obs_from_args(args: argparse.Namespace):
+    """``(tracer, probe_every)`` from the shared telemetry options."""
+    from repro.obs.probe import DEFAULT_PROBE_INTERVAL
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer(args.obs_trace) if args.obs_trace else None
+    probe_every = args.probe_every
+    if probe_every is None and tracer is not None:
+        probe_every = DEFAULT_PROBE_INTERVAL
+    return tracer, probe_every
 
 
 def _cmd_example() -> int:
@@ -387,6 +425,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     }[args.topology]
     system = factory(args.pes)
     cache = ResultCache(args.cache) if args.cache else None
+    tracer, probe_every = _obs_from_args(args)
     try:
         with _interruptible():
             report = run_batch(
@@ -399,6 +438,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 max_expansions=args.max_expansions,
                 max_memory_mb=args.max_memory_mb,
                 mode=args.mode,
+                tracer=tracer,
+                probe_every=probe_every,
             )
     except KeyboardInterrupt:
         print("repro solve: interrupted before a result was available",
@@ -407,6 +448,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     finally:
         if cache is not None:
             cache.close()
+        if tracer is not None:
+            tracer.close()
     if report.interrupted and not report.outcomes:
         print("repro solve: interrupted before a result was available",
               file=sys.stderr)
@@ -419,6 +462,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"solved in {out.seconds:.3f}s "
           f"({report.wall_seconds:.3f}s end-to-end)")
     print(render_gantt(out.schedule))
+    if args.obs_trace:
+        print(f"trace written to {args.obs_trace} "
+              f"(read it with: repro trace {args.obs_trace})")
     return 130 if report.interrupted else 0
 
 
@@ -433,6 +479,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     else:
         items = load_items(args.input, pes=args.pes)
     cache = ResultCache(args.cache) if args.cache else None
+    tracer, probe_every = _obs_from_args(args)
     try:
         with _interruptible():
             report = run_batch(
@@ -447,6 +494,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 max_memory_mb=args.max_memory_mb,
                 mode=args.mode,
                 require_proven=args.require_proven,
+                tracer=tracer,
+                probe_every=probe_every,
             )
     except KeyboardInterrupt:
         print("repro batch: interrupted before any result was available",
@@ -455,6 +504,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     finally:
         if cache is not None:
             cache.close()
+        if tracer is not None:
+            tracer.close()
     print(report.render())
     if args.out:
         with open(args.out, "w") as fh:
@@ -486,6 +537,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         mode=args.mode,
         require_proven=args.require_proven,
         max_memory_mb=args.max_memory_mb,
+        obs_trace=args.obs_trace,
+        probe_every=args.probe_every,
     )
     # Readiness (with the bound port — --port 0 picks a free one) is
     # announced from the event loop, after the listener exists, so a
@@ -507,6 +560,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"{jobs['solved']} solved, {jobs['cache_hits']} cache hits, "
           f"{jobs['dedup_fanout']} deduped, {jobs['rejected']} rejected",
           flush=True)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.report import check_trace, load_trace, render_report
+
+    try:
+        lines = Path(args.file).read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        print(f"repro trace: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    if args.check:
+        return check_trace(lines, sys.stdout)
+    try:
+        records = load_trace(lines)
+    except ValueError as exc:
+        print(f"repro trace: {exc}", file=sys.stderr)
+        return 1
+    try:
+        render_report(records, sys.stdout)
+    except BrokenPipeError:
+        # Truncated by a pager (`repro trace f | head`): not an error.
+        sys.stderr.close()
     return 0
 
 

@@ -1,0 +1,55 @@
+"""Dependency-free telemetry for the solver stack.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges and fixed-bucket histograms with a Prometheus text-exposition
+  renderer and histogram-derived quantiles (the daemon's ``/metrics``
+  endpoint serves it via ``?format=prometheus``).
+* :mod:`repro.obs.trace` — a structured span/event layer emitting JSONL
+  trace records with ids/parent ids.  Spans nest via ``contextvars`` so
+  they work across threads and asyncio tasks; worker processes buffer
+  events locally and the coordinator merges them (HDA* workers, pool
+  workers).
+* :mod:`repro.obs.probe` — a sampling hook for the search main loops
+  recording ``(wall_time, expansions, open_size, incumbent,
+  lower_bound)`` every N expansions; the series lands on
+  ``SearchResult.timeline`` so convergence is inspectable per solve.
+
+Everything here is pay-for-what-you-use: with no tracer installed and
+no probe passed, the only hot-path cost is an ``is not None`` check
+(gated at ≤3% by ``benchmarks/bench_obs.py``).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    EXPANSION_BUCKETS,
+    LATENCY_BUCKETS,
+)
+from repro.obs.probe import SearchProbe, TimelineSample
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    NullTracer,
+    Tracer,
+    null_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS",
+    "EXPANSION_BUCKETS",
+    "SearchProbe",
+    "TimelineSample",
+    "Tracer",
+    "NullTracer",
+    "null_tracer",
+    "TRACE_SCHEMA_VERSION",
+]

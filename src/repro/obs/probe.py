@@ -1,0 +1,165 @@
+"""Search-progress probe: convergence timelines for the engine loops.
+
+Engines call ``probe.tick(expanded, open_size, incumbent, lower)`` once
+per expansion; the probe records a :class:`TimelineSample` every
+``every`` expansions (plus a final sample via :meth:`finish`), giving a
+time-series of ``(wall_time, expansions, open_size, incumbent,
+lower_bound)`` that lands on ``SearchResult.timeline``.
+
+The recorded series is monotone by construction — wall time and
+expansions are non-decreasing, the incumbent is a running minimum and
+the lower bound a running maximum (the tightest proven floor so far) —
+so downstream consumers can plot convergence without re-sorting or
+clamping, and the property tests can assert monotonicity uniformly
+across engines regardless of how each engine's internal bound evolves.
+
+When no probe is passed the engines' only overhead is one
+``is not None`` check per expansion (gated by ``benchmarks/bench_obs.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import NamedTuple
+
+__all__ = ["SearchProbe", "TimelineSample", "DEFAULT_PROBE_INTERVAL"]
+
+#: Default sampling interval (expansions between samples).
+DEFAULT_PROBE_INTERVAL = 4096
+
+
+class TimelineSample(NamedTuple):
+    """One convergence sample (all fields monotone along the series)."""
+
+    wall_time: float     #: seconds since the probe started
+    expansions: int      #: states expanded so far (incl. probe base)
+    open_size: int       #: live frontier size at sample time
+    incumbent: float     #: best complete schedule length so far (inf if none)
+    lower_bound: float   #: tightest proven lower bound so far
+
+    def as_dict(self) -> dict[str, float | None]:
+        """JSON-safe form: non-finite values become ``None`` so trace
+        lines stay strict JSON (``json.dumps`` would emit the
+        non-standard ``Infinity`` token otherwise)."""
+        return {
+            "wall_time": self.wall_time,
+            "expansions": self.expansions,
+            "open_size": self.open_size,
+            "incumbent": self.incumbent if math.isfinite(self.incumbent)
+            else None,
+            "lower_bound": self.lower_bound if math.isfinite(self.lower_bound)
+            else None,
+        }
+
+
+class SearchProbe:
+    """Samples engine progress every ``every`` expansions.
+
+    One probe serves one logical solve; a portfolio running several
+    stages back-to-back calls :meth:`rebase` between stages so the
+    expansion axis keeps accumulating across engines.
+    """
+
+    __slots__ = ("every", "samples", "_t0", "_next_due", "_base",
+                 "_best", "_floor")
+
+    def __init__(self, every: int = DEFAULT_PROBE_INTERVAL) -> None:
+        if every < 1:
+            raise ValueError("sampling interval must be >= 1")
+        self.every = every
+        self.samples: list[TimelineSample] = []
+        self._t0 = time.perf_counter()
+        self._next_due = every
+        self._base = 0          # expansions accumulated by earlier stages
+        self._best = math.inf   # running min incumbent
+        self._floor = 0.0       # running max lower bound
+
+    def tick(
+        self, expanded: int, open_size: int,
+        incumbent: float, lower_bound: float,
+    ) -> None:
+        """Record a sample if ``expanded`` reached the next interval."""
+        if expanded < self._next_due:
+            return
+        self._next_due = expanded + self.every
+        self._record(expanded, open_size, incumbent, lower_bound)
+
+    def finish(
+        self, expanded: int, open_size: int,
+        incumbent: float, lower_bound: float,
+    ) -> None:
+        """Record the final sample (always, regardless of interval)."""
+        self._record(expanded, open_size, incumbent, lower_bound)
+
+    def _record(
+        self, expanded: int, open_size: int,
+        incumbent: float, lower_bound: float,
+    ) -> None:
+        if incumbent < self._best:
+            self._best = incumbent
+        if lower_bound > self._floor:
+            self._floor = lower_bound
+        wall = time.perf_counter() - self._t0
+        expansions = self._base + expanded
+        if self.samples:
+            # Merged worker samples carry approximate clocks; never let
+            # a locally-computed sample step backwards past them.
+            last = self.samples[-1]
+            wall = max(wall, last.wall_time)
+            expansions = max(expansions, last.expansions)
+        self.samples.append(TimelineSample(
+            wall_time=wall,
+            expansions=expansions,
+            open_size=open_size,
+            incumbent=self._best,
+            lower_bound=self._floor,
+        ))
+
+    def record_at(
+        self, wall_time: float, expansions: int, open_size: int,
+        incumbent: float, lower_bound: float,
+    ) -> None:
+        """Append a sample with an explicit wall time (coordinator merge).
+
+        Used when reconstructing a global timeline from worker-local
+        buffers whose clocks are approximate offsets: the same monotone
+        clamps apply (``expansions`` is engine-local, the stage base is
+        added here too), and the wall time additionally clamps to the
+        last recorded sample so merged series stay non-decreasing.
+        """
+        expansions = self._base + expansions
+        if incumbent < self._best:
+            self._best = incumbent
+        if lower_bound > self._floor:
+            self._floor = lower_bound
+        if self.samples:
+            last = self.samples[-1]
+            wall_time = max(wall_time, last.wall_time)
+            expansions = max(expansions, last.expansions)
+        self.samples.append(TimelineSample(
+            wall_time=wall_time,
+            expansions=expansions,
+            open_size=open_size,
+            incumbent=self._best,
+            lower_bound=self._floor,
+        ))
+
+    def elapsed(self) -> float:
+        """Seconds since this probe started (its wall-time origin)."""
+        return time.perf_counter() - self._t0
+
+    def rebase(self, stage_expansions: int) -> None:
+        """Advance the expansion axis past a completed stage.
+
+        Call between portfolio stages with the finished stage's
+        ``states_expanded``: the next stage's engine restarts its own
+        expansion counter at zero, but the timeline keeps counting
+        total work across the whole solve.
+        """
+        self._base += int(stage_expansions)
+        self._next_due = self.every
+
+    def timeline(self) -> tuple[TimelineSample, ...]:
+        """The recorded series (immutable snapshot)."""
+        return tuple(self.samples)

@@ -1,0 +1,159 @@
+"""Render a JSONL trace file as a human-readable report.
+
+Backs the ``repro trace <file>`` CLI command: per-span duration
+aggregates, portfolio stage attribution (share of traced solve time per
+``portfolio.*`` span), and the convergence table recorded by the search
+progress probe (``search.timeline`` events).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Any, Iterable, TextIO
+
+from repro.obs.trace import validate_trace_lines
+
+__all__ = ["load_trace", "render_report", "check_trace"]
+
+#: Cap on rows in the rendered convergence table (the trace keeps all).
+_TIMELINE_TABLE_ROWS = 32
+
+
+def load_trace(lines: Iterable[str]) -> list[dict]:
+    """Parse JSONL lines into records, skipping blanks.
+
+    Raises ``ValueError`` on the first unparseable line — traces are
+    machine-written, so a bad line means truncation or corruption.
+    """
+    records: list[dict] = []
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: not JSON ({exc})") from exc
+        if not isinstance(record, dict):
+            raise ValueError(f"line {lineno}: not a JSON object")
+        records.append(record)
+    return records
+
+
+def _span_durations(records: list[dict]) -> dict[str, list[float]]:
+    """Durations of completed spans grouped by span name."""
+    by_name: dict[str, list[float]] = defaultdict(list)
+    for record in records:
+        if record.get("kind") == "span_end" and "dur" in record:
+            by_name[record["name"]].append(float(record["dur"]))
+    return by_name
+
+
+def _fmt_seconds(s: float) -> str:
+    if s < 0.001:
+        return f"{s * 1e6:.0f}us"
+    if s < 1.0:
+        return f"{s * 1e3:.1f}ms"
+    return f"{s:.3f}s"
+
+
+def _fmt_bound(x: Any) -> str:
+    if x is None:
+        return "inf"  # as_dict() maps non-finite values to null
+    try:
+        v = float(x)
+    except (TypeError, ValueError):
+        return str(x)
+    if v == float("inf"):
+        return "inf"
+    return f"{v:g}"
+
+
+def render_report(records: list[dict], out: TextIO) -> None:
+    """Write the trace report for ``records`` to ``out``."""
+    spans = _span_durations(records)
+    events = [r for r in records if r.get("kind") == "event"]
+    n_spans = sum(len(v) for v in spans.values())
+    out.write(
+        f"trace: {len(records)} records, {n_spans} completed spans, "
+        f"{len(events)} events\n"
+    )
+
+    if spans:
+        out.write("\nspan durations\n")
+        out.write(
+            f"  {'name':<28} {'count':>5} {'total':>10} "
+            f"{'mean':>10} {'max':>10}\n"
+        )
+        for name in sorted(spans, key=lambda n: -sum(spans[n])):
+            durs = spans[name]
+            out.write(
+                f"  {name:<28} {len(durs):>5} {_fmt_seconds(sum(durs)):>10} "
+                f"{_fmt_seconds(sum(durs) / len(durs)):>10} "
+                f"{_fmt_seconds(max(durs)):>10}\n"
+            )
+
+    stage_names = [n for n in spans if n.startswith("portfolio.")]
+    if stage_names:
+        total = sum(sum(spans[n]) for n in stage_names)
+        out.write("\nportfolio stage attribution\n")
+        for name in sorted(stage_names, key=lambda n: -sum(spans[n])):
+            share = sum(spans[name]) / total if total else 0.0
+            out.write(
+                f"  {name:<28} {_fmt_seconds(sum(spans[name])):>10} "
+                f"{share * 100:5.1f}%\n"
+            )
+
+    timelines = [e for e in events if e.get("name") == "search.timeline"]
+    for idx, event in enumerate(timelines):
+        attrs = event.get("attrs", {})
+        samples = attrs.get("samples", [])
+        label = attrs.get("label", f"#{idx + 1}")
+        out.write(f"\nconvergence timeline [{label}] ({len(samples)} samples)\n")
+        if len(samples) > _TIMELINE_TABLE_ROWS:
+            # Even downsampling that keeps the first and last sample —
+            # the table shows the shape, the trace file keeps the data.
+            step = (len(samples) - 1) / (_TIMELINE_TABLE_ROWS - 1)
+            samples = [
+                samples[round(i * step)]
+                for i in range(_TIMELINE_TABLE_ROWS)
+            ]
+            out.write(f"  (showing {_TIMELINE_TABLE_ROWS} evenly spaced)\n")
+        out.write(
+            f"  {'wall':>10} {'expansions':>12} {'open':>10} "
+            f"{'incumbent':>10} {'lower':>10}\n"
+        )
+        for s in samples:
+            out.write(
+                f"  {_fmt_seconds(float(s['wall_time'])):>10} "
+                f"{int(s['expansions']):>12} {int(s['open_size']):>10} "
+                f"{_fmt_bound(s['incumbent']):>10} "
+                f"{_fmt_bound(s['lower_bound']):>10}\n"
+            )
+
+    job_events = [
+        e for e in events
+        if str(e.get("name", "")).startswith(("job.", "cache."))
+    ]
+    if job_events:
+        counts: dict[str, int] = defaultdict(int)
+        for e in job_events:
+            counts[e["name"]] += 1
+        out.write("\ndaemon events\n")
+        for name in sorted(counts):
+            out.write(f"  {name:<28} {counts[name]:>5}\n")
+
+
+def check_trace(lines: Iterable[str], out: TextIO) -> int:
+    """Validate a trace; print problems; return a process exit code."""
+    count, problems = validate_trace_lines(iter(lines))
+    if problems:
+        out.write(f"INVALID: {len(problems)} problem(s) in {count} records\n")
+        for problem in problems[:50]:
+            out.write(f"  {problem}\n")
+        if len(problems) > 50:
+            out.write(f"  ... and {len(problems) - 50} more\n")
+        return 1
+    out.write(f"OK: {count} records, schema v1, all spans nest correctly\n")
+    return 0

@@ -1,0 +1,357 @@
+"""Structured span/event tracing to JSONL.
+
+One :class:`Tracer` owns a sink (a path/file for JSONL output, or an
+in-memory buffer for worker processes) and hands out spans::
+
+    tracer = Tracer(path="run.jsonl")
+    with tracer.span("portfolio.exact", attrs={"engine": "astar"}):
+        ...
+    tracer.close()
+
+Each span emits two records — ``span_start`` and ``span_end`` (the end
+record carries ``dur`` seconds) — plus point ``event`` records.  Every
+record is one JSON object per line::
+
+    {"v": 1, "kind": "span_start", "ts": 1723...,
+     "id": "1a2b.3", "parent": "1a2b.1", "name": "portfolio.exact",
+     "attrs": {"engine": "astar"}}
+
+Ids are ``"<pid-hex>.<seq>"`` so records merged from several processes
+(HDA* workers, solver-pool workers) never collide.  The *current* span
+is tracked in a ``contextvars.ContextVar``, so nesting is correct
+across threads and asyncio tasks; cross-process children link up by
+passing the parent span id explicitly (``Tracer(root=...)``).
+
+The disabled path is :data:`null_tracer` — its ``span`` returns a
+shared no-op context manager, so instrumented code needs no ``if``
+guards and costs a method call only when actually traced.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import io
+import json
+import os
+import threading
+import time
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "NullTracer",
+    "null_tracer",
+    "validate_trace_lines",
+]
+
+TRACE_SCHEMA_VERSION = 1
+
+_REQUIRED_KEYS = {"v", "kind", "ts", "name"}
+_KINDS = {"span_start", "span_end", "event"}
+
+# Process-global span sequence: several Tracer instances can coexist in
+# one process (e.g. a buffering tracer per batch item solved inline)
+# and their records may merge into one file — ids must stay unique
+# per *process*, not per tracer.
+_seq_lock = threading.Lock()
+_seq = 0
+
+
+def _next_seq() -> int:
+    global _seq
+    with _seq_lock:
+        _seq += 1
+        return _seq
+
+
+class _NullSpan:
+    """Reusable no-op context manager; also quacks like a span."""
+
+    __slots__ = ()
+    id = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a cheap no-op."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(
+        self, name: str, attrs: Mapping[str, Any] | None = None,
+        parent: str | None = None,
+    ) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(
+        self, name: str, attrs: Mapping[str, Any] | None = None,
+        parent: str | None = None,
+    ) -> None:
+        return None
+
+    def absorb(self, records: list[dict] | None) -> None:
+        return None
+
+    def current_span_id(self) -> None:
+        return None
+
+    def flush(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+#: Shared disabled tracer — the default everywhere tracing is optional.
+null_tracer = NullTracer()
+
+
+class _Span:
+    """A live span; context manager that emits start/end records."""
+
+    __slots__ = ("_tracer", "id", "name", "_token", "_t0")
+
+    def __init__(self, tracer: "Tracer", span_id: str, name: str) -> None:
+        self._tracer = tracer
+        self.id = span_id
+        self.name = name
+        self._token: contextvars.Token | None = None
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        self._token = self._tracer._current.set(self.id)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        dur = time.perf_counter() - self._t0
+        if self._token is not None:
+            self._tracer._current.reset(self._token)
+        attrs = {"error": repr(exc)} if exc is not None else None
+        self._tracer._emit(
+            "span_end", self.name, span_id=self.id, dur=dur, attrs=attrs
+        )
+
+
+class Tracer:
+    """Emits span/event records to a JSONL sink or an in-memory buffer.
+
+    Parameters
+    ----------
+    path:
+        JSONL output file (appended, line-buffered-ish: each record is
+        written with one ``write`` call under a lock and flushed).
+    sink:
+        An already-open text file object (takes precedence over
+        ``path``; not closed by :meth:`close`).
+    root:
+        Parent span id for this tracer's top-level spans — used by
+        worker processes so their buffered records attach under the
+        coordinator's span when merged.
+
+    With neither ``path`` nor ``sink`` the tracer buffers records in
+    :attr:`buffer`; ship that list over a queue and feed it to the
+    coordinator's tracer via :meth:`absorb`.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: str | os.PathLike | None = None,
+        *,
+        sink: io.TextIOBase | None = None,
+        root: str | None = None,
+    ) -> None:
+        self._own_file = None
+        if sink is not None:
+            self._sink = sink
+        elif path is not None:
+            self._own_file = open(path, "a", encoding="utf-8")
+            self._sink = self._own_file
+        else:
+            self._sink = None
+        self.buffer: list[dict] = [] if self._sink is None else None  # type: ignore[assignment]
+        self._root = root
+        self._pid_prefix = f"{os.getpid():x}"
+        self._lock = threading.Lock()
+        self._current: contextvars.ContextVar[str | None] = (
+            contextvars.ContextVar(f"repro_obs_span_{id(self):x}", default=None)
+        )
+
+    # -- record plumbing -----------------------------------------------------
+
+    def _next_id(self) -> str:
+        return f"{self._pid_prefix}.{_next_seq()}"
+
+    def _emit(
+        self,
+        kind: str,
+        name: str,
+        *,
+        span_id: str | None = None,
+        parent: str | None = None,
+        dur: float | None = None,
+        attrs: Mapping[str, Any] | None = None,
+    ) -> None:
+        record: dict[str, Any] = {
+            "v": TRACE_SCHEMA_VERSION,
+            "kind": kind,
+            "ts": time.time(),
+            "name": name,
+        }
+        if span_id is not None:
+            record["id"] = span_id
+        if parent is not None:
+            record["parent"] = parent
+        if dur is not None:
+            record["dur"] = dur
+        if attrs:
+            record["attrs"] = dict(attrs)
+        self.write(record)
+
+    def write(self, record: dict) -> None:
+        """Append one raw record to the sink or buffer."""
+        if self._sink is None:
+            with self._lock:
+                self.buffer.append(record)
+            return
+        line = json.dumps(record, separators=(",", ":"), default=str) + "\n"
+        with self._lock:
+            self._sink.write(line)
+            self._sink.flush()
+
+    # -- public API ----------------------------------------------------------
+
+    def current_span_id(self) -> str | None:
+        """Id of the innermost open span in this context (or the root)."""
+        got = self._current.get()
+        return got if got is not None else self._root
+
+    def span(
+        self, name: str, attrs: Mapping[str, Any] | None = None,
+        parent: str | None = None,
+    ) -> _Span:
+        """Open a span; use as a context manager."""
+        span_id = self._next_id()
+        if parent is None:
+            parent = self.current_span_id()
+        self._emit(
+            "span_start", name, span_id=span_id, parent=parent, attrs=attrs
+        )
+        return _Span(self, span_id, name)
+
+    def event(
+        self, name: str, attrs: Mapping[str, Any] | None = None,
+        parent: str | None = None,
+    ) -> None:
+        """Emit a point event under the current (or given) span."""
+        if parent is None:
+            parent = self.current_span_id()
+        self._emit("event", name, parent=parent, attrs=attrs)
+
+    def absorb(self, records: list[dict] | None) -> None:
+        """Merge records buffered by another tracer (worker process).
+
+        Records keep their original ids — the pid prefix guarantees no
+        collision — and their parent links, so a worker tracer created
+        with ``root=<coordinator span id>`` slots in under that span.
+        """
+        if not records:
+            return
+        for record in records:
+            self.write(record)
+
+    def drain(self) -> list[dict]:
+        """Return and clear the in-memory buffer (buffering tracers)."""
+        if self._sink is not None:
+            return []
+        with self._lock:
+            out, self.buffer = self.buffer, []
+        return out
+
+    def flush(self) -> None:
+        if self._sink is not None:
+            self._sink.flush()
+
+    def close(self) -> None:
+        if self._own_file is not None:
+            self._own_file.close()
+            self._own_file = None
+            self._sink = None
+            self.buffer = []
+
+
+def validate_trace_lines(lines: Iterator[str]) -> tuple[int, list[str]]:
+    """Validate a JSONL trace: parseability, schema, and span nesting.
+
+    Returns ``(record_count, problems)``.  Checks every line parses as
+    a JSON object with the required keys, kinds are known, each
+    ``span_end`` matches an earlier ``span_start`` with the same id
+    (exactly once), and every ``parent`` reference names a span that
+    was started earlier in the file.
+    """
+    problems: list[str] = []
+    started: dict[str, str] = {}
+    ended: set[str] = set()
+    count = 0
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        count += 1
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: not JSON ({exc})")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"line {lineno}: not a JSON object")
+            continue
+        missing = _REQUIRED_KEYS - set(record)
+        if missing:
+            problems.append(f"line {lineno}: missing keys {sorted(missing)}")
+            continue
+        kind = record["kind"]
+        if kind not in _KINDS:
+            problems.append(f"line {lineno}: unknown kind {kind!r}")
+            continue
+        parent = record.get("parent")
+        if parent is not None and parent not in started:
+            problems.append(
+                f"line {lineno}: parent {parent!r} never started"
+            )
+        if kind == "span_start":
+            span_id = record.get("id")
+            if not span_id:
+                problems.append(f"line {lineno}: span_start without id")
+            elif span_id in started:
+                problems.append(f"line {lineno}: duplicate span id {span_id!r}")
+            else:
+                started[span_id] = record["name"]
+        elif kind == "span_end":
+            span_id = record.get("id")
+            if span_id not in started:
+                problems.append(
+                    f"line {lineno}: span_end for unknown id {span_id!r}"
+                )
+            elif span_id in ended:
+                problems.append(
+                    f"line {lineno}: span {span_id!r} ended twice"
+                )
+            else:
+                ended.add(span_id)
+    for span_id, name in started.items():
+        if span_id not in ended:
+            problems.append(f"span {span_id!r} ({name}) never ended")
+    return count, problems

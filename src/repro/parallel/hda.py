@@ -60,6 +60,8 @@ from typing import Any
 from repro.graph.io import graph_from_dict, graph_to_dict
 from repro.graph.taskgraph import TaskGraph
 from repro.heuristics.listsched import fast_upper_bound_schedule
+from repro.obs.probe import SearchProbe
+from repro.obs.trace import Tracer
 from repro.parallel.mp_backend import pool_context, system_from_args, system_to_args
 from repro.parallel.shared import Outbox, SharedIncumbent, WorkerBoard, owner_of
 from repro.schedule.partial import PartialSchedule
@@ -113,6 +115,8 @@ def hda_astar_schedule(
     oversubscribe: int = 4,
     state_cls: type = PartialSchedule,
     worker_stall_timeout: float = _STALL_TIMEOUT,
+    probe: SearchProbe | None = None,
+    tracer: Tracer | None = None,
 ) -> SearchResult:
     """Optimal (or ε-optimal) scheduling on ``workers`` OS processes.
 
@@ -137,6 +141,15 @@ def hda_astar_schedule(
         hung and the run aborts with the incumbent (a dead process is
         caught faster via ``is_alive``); the quiescence protocol alone
         would wait on a wedged worker forever.
+    probe:
+        Optional :class:`SearchProbe`.  The seed phase ticks it
+        directly; workers buffer local samples and the coordinator
+        merges them into one global timeline (expansions summed across
+        workers at sorted wall offsets).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  Workers buffer
+        span/event records locally and ship them back over the results
+        queue; the coordinator absorbs them under its current span.
 
     Returns the same :class:`SearchResult` contract as the serial
     engines; ``algorithm`` is ``hda(workers=N)`` and ``optimal`` is
@@ -161,14 +174,14 @@ def hda_astar_schedule(
 
             res = focal_schedule(
                 graph, system, epsilon, pruning=pruning, cost=cost,
-                budget=budget, state_cls=state_cls,
+                budget=budget, state_cls=state_cls, probe=probe,
             )
             if incumbent is not None and incumbent.length < res.length:
                 res.schedule = incumbent
             return res
         return astar_schedule(
             graph, system, pruning=pruning, cost=cost, budget=budget,
-            incumbent=incumbent, state_cls=state_cls,
+            incumbent=incumbent, state_cls=state_cls, probe=probe,
         )
     if budget is None:
         budget = Budget.unlimited()
@@ -217,20 +230,24 @@ def hda_astar_schedule(
         # += not =: the reduce step has already folded the workers'
         # evaluation counts in; the parent's own are the seed phase's.
         stats.cost_evaluations += cost_fn.evaluations
+        lb = (
+            schedule.length if proven and epsilon == 0.0
+            else min(
+                max(lower, schedule.length / relax) if proven else lower,
+                schedule.length,
+            )
+        )
+        if probe is not None:
+            probe.finish(stats.states_expanded, 0, schedule.length, lb)
         return SearchResult(
             schedule=schedule,
             optimal=proven and epsilon == 0.0,
             bound=relax if proven else math.inf,
             stats=stats,
             algorithm=algorithm,
-            lower_bound=(
-                schedule.length if proven and epsilon == 0.0
-                else min(
-                    max(lower, schedule.length / relax) if proven else lower,
-                    schedule.length,
-                )
-            ),
+            lower_bound=lb,
             interrupted=interrupted,
+            timeline=probe.timeline() if probe is not None else (),
         )
 
     while frontier and len(frontier) < target:
@@ -246,6 +263,12 @@ def hda_astar_schedule(
         if f > lower:
             lower = f
         stats.states_expanded += 1
+        if probe is not None:
+            probe.tick(
+                stats.states_expanded, len(frontier),
+                best_goal.length if best_goal is not None else math.inf,
+                lower,
+            )
         if state.is_complete():
             # A goal popped at the frontier minimum is already optimal.
             return _finish(state.to_schedule(), True, f"hda(seed,workers={workers})")
@@ -339,8 +362,16 @@ def hda_astar_schedule(
             None if budget.max_tracked_states is None
             else max(1, budget.max_tracked_states // workers)
         ),
+        # Telemetry: workers buffer locally, the coordinator merges.
+        "probe_every": probe.every if probe is not None else None,
+        "trace": tracer is not None and tracer.enabled,
+        "trace_root": (
+            tracer.current_span_id()
+            if tracer is not None and tracer.enabled else None
+        ),
     }
     board.stamp_all()
+    spawn_offset = probe.elapsed() if probe is not None else 0.0
     procs = [
         ctx.Process(
             target=_hda_worker,
@@ -461,24 +492,29 @@ def hda_astar_schedule(
 
     # -- reduce ---------------------------------------------------------------
     best = best_goal if best_goal is not None else fallback
+    seed_expanded = stats.states_expanded
+    worker_samples: list[tuple[float, int, int, int, float]] = []
     for rec in records.values():
         if rec.get("error"):
             failed = True
             continue
-        stats.states_expanded += rec["expanded"]
-        stats.states_generated += rec["generated"]
-        # Peak per-process OPEN (comparable to serial's peak, which is
-        # also per-process memory) — NOT a sum: per-worker maxima occur
-        # at different times, so summing would overstate the footprint.
-        stats.max_open_size = max(stats.max_open_size, rec["max_open"])
-        stats.cost_evaluations += rec["cost_evals"]
-        pr = rec["pruning"]
-        stats.pruning.isomorphism_skips += pr["isomorphism_skips"]
-        stats.pruning.equivalence_skips += pr["equivalence_skips"]
-        stats.pruning.upper_bound_cuts += pr["upper_bound_cuts"]
-        stats.pruning.duplicate_hits += pr["duplicate_hits"]
-        stats.pruning.commutation_skips += pr["commutation_skips"]
-        stats.pruning.fixed_order_skips += pr["fixed_order_skips"]
+        # One shared aggregation path with the portfolio's stage fold
+        # (SearchStats.merge): counters add, max_open takes the peak
+        # per-process OPEN (comparable to serial's, which is also
+        # per-process memory — NOT a sum: per-worker maxima occur at
+        # different times), wall stays end-to-end.
+        stats.merge({
+            "states_expanded": rec["expanded"],
+            "states_generated": rec["generated"],
+            "cost_evaluations": rec["cost_evals"],
+            "max_open_size": rec["max_open"],
+            "pruning": rec["pruning"],
+        })
+        if tracer is not None:
+            tracer.absorb(rec.get("trace"))
+        if probe is not None and rec.get("timeline"):
+            for off, exp, open_size, blen in rec["timeline"]:
+                worker_samples.append((off, rec["wid"], exp, open_size, blen))
         if rec["best"] is not None:
             sched = Schedule(
                 graph, system,
@@ -486,6 +522,21 @@ def hda_astar_schedule(
             )
             if sched.length < best.length:
                 best = sched
+    if probe is not None and worker_samples:
+        # Reconstruct a global convergence timeline: walk all worker
+        # samples in wall order, tracking each worker's latest expansion
+        # count — the sum (plus the seed phase) approximates total
+        # expansions at that instant; the incumbent is the running min
+        # and the deal-time floor carries through as the lower bound.
+        worker_samples.sort()
+        latest: dict[int, int] = {}
+        for off, rec_wid, exp, open_size, blen in worker_samples:
+            latest[rec_wid] = exp
+            probe.record_at(
+                spawn_offset + off,
+                seed_expanded + sum(latest.values()),
+                open_size, blen, lower,
+            )
     if failed:
         # Worker crash / stall / lost results — not a budget stop:
         # label it so reports can't misdiagnose an error as exhaustion.
@@ -574,6 +625,19 @@ def _hda_worker_loop(
     best_len = math.inf
     best_compact: tuple | None = None
 
+    # Worker-local telemetry buffers: convergence samples every
+    # ``probe_every`` expansions and (optionally) trace records, both
+    # shipped back in the results record and merged by the coordinator.
+    probe_every = job.get("probe_every")
+    probe_next = probe_every or 0
+    samples: list[tuple[float, int, int, float]] = []
+    wt0 = time.perf_counter()
+    wtracer = Tracer(root=job.get("trace_root")) if job.get("trace") else None
+    wspan = None
+    if wtracer is not None:
+        wspan = wtracer.span("hda.worker", attrs={"wid": wid})
+        wspan.__enter__()
+
     def admit(f: float, h: float, wire: tuple) -> None:
         """Dedup-check an arriving record; rebuild and enqueue survivors.
 
@@ -642,6 +706,8 @@ def _hda_worker_loop(
                 budget_flagged = True
                 with flags.get_lock():
                     flags.value |= _FLAG_MEMORY
+                if wtracer is not None:
+                    wtracer.event("hda.worker.memory", attrs={"wid": wid})
                 continue
             if budget_caps:
                 # Global budget check, once per chunk: publish my
@@ -660,6 +726,8 @@ def _hda_worker_loop(
                     budget_flagged = True
                     with flags.get_lock():
                         flags.value |= _FLAG_BUDGET
+                    if wtracer is not None:
+                        wtracer.event("hda.worker.budget", attrs={"wid": wid})
                     continue
             n = 0
             while open_heap and n < _CHUNK:
@@ -670,6 +738,12 @@ def _hda_worker_loop(
                     continue
                 n += 1
                 expanded += 1
+                if probe_every and expanded >= probe_next:
+                    probe_next = expanded + probe_every
+                    samples.append((
+                        time.perf_counter() - wt0, expanded,
+                        len(open_heap), best_len,
+                    ))
                 for child in expander.children(state, seen if dup_on else None):
                     ch = cost_fn.h(child)
                     cf = child.makespan + ch
@@ -701,6 +775,8 @@ def _hda_worker_loop(
 
     # -- shutdown -------------------------------------------------------------
     outbox.drop_all()
+    if wspan is not None:
+        wspan.__exit__(None, None, None)
     results_q.put(
         {
             "wid": wid,
@@ -711,6 +787,8 @@ def _hda_worker_loop(
             "max_open": max_open,
             "cost_evals": cost_fn.evaluations,
             "pruning": pstats.pruning.as_dict(),
+            "timeline": samples if probe_every else None,
+            "trace": wtracer.drain() if wtracer is not None else None,
         }
     )
     # No cancel_join_thread here, deliberately: killing a feeder can

@@ -32,6 +32,7 @@ import time
 
 from repro.graph.taskgraph import TaskGraph
 from repro.heuristics.listsched import fast_upper_bound_schedule
+from repro.obs.probe import SearchProbe
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.schedule import Schedule
 from repro.search.costs import CostFunction, make_cost_function
@@ -57,6 +58,7 @@ def astar_schedule(
     trace: SearchTrace | None = None,
     state_cls: type = PartialSchedule,
     incumbent: Schedule | None = None,
+    probe: SearchProbe | None = None,
 ) -> SearchResult:
     """Find an optimal schedule of ``graph`` on ``system`` via A*.
 
@@ -83,6 +85,10 @@ def astar_schedule(
         Optional known-feasible schedule (e.g. from an earlier portfolio
         stage); when shorter than the internal list-schedule bound it
         seeds the upper-bound cut ``U`` and the budget fallback.
+    probe:
+        Optional :class:`SearchProbe` sampling ``(wall_time,
+        expansions, open_size, incumbent, lower_bound)`` every N
+        expansions onto ``result.timeline``.
 
     Returns
     -------
@@ -137,11 +143,16 @@ def astar_schedule(
             stats.wall_seconds = time.perf_counter() - t0
             stats.cost_evaluations = cost_fn.evaluations
             lower = max(lower, open_heap[0][0])
+            bound = min(lower, best.length)
+            if probe is not None:
+                probe.finish(stats.states_expanded, len(open_heap),
+                             best.length, bound)
             return SearchResult(
                 schedule=best, optimal=False, bound=math.inf,
                 stats=stats, algorithm="astar(budget)",
-                lower_bound=min(lower, best.length),
+                lower_bound=bound,
                 interrupted=budget.reason or "budget",
+                timeline=probe.timeline() if probe is not None else (),
             )
         f, h, _s, state = heapq.heappop(open_heap)
         if f > lower:
@@ -155,12 +166,22 @@ def astar_schedule(
             if trace is not None:
                 trace.record_goal(state, f)
             goal = state.to_schedule()
+            if probe is not None:
+                probe.finish(stats.states_expanded, len(open_heap),
+                             goal.length, goal.length)
             return SearchResult(
                 schedule=goal, optimal=True, bound=1.0,
                 stats=stats, algorithm="astar", lower_bound=goal.length,
+                timeline=probe.timeline() if probe is not None else (),
             )
 
         stats.states_expanded += 1
+        if probe is not None:
+            probe.tick(
+                stats.states_expanded, len(open_heap),
+                incumbent.length if incumbent is not None else math.inf,
+                lower,
+            )
         if trace is not None:
             trace.record_expansion(state, f, state.makespan, h)
 
@@ -193,7 +214,10 @@ def astar_schedule(
     stats.wall_seconds = time.perf_counter() - t0
     stats.cost_evaluations = cost_fn.evaluations
     best = incumbent if incumbent is not None else fallback
+    if probe is not None:
+        probe.finish(stats.states_expanded, 0, best.length, best.length)
     return SearchResult(
         schedule=best, optimal=True, bound=1.0,
         stats=stats, algorithm="astar(exhausted)", lower_bound=best.length,
+        timeline=probe.timeline() if probe is not None else (),
     )

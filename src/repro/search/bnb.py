@@ -26,6 +26,7 @@ import time
 
 from repro.graph.taskgraph import TaskGraph
 from repro.heuristics.listsched import fast_upper_bound_schedule
+from repro.obs.probe import SearchProbe
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.schedule import Schedule
 from repro.search.costs import CostFunction, make_cost_function
@@ -50,6 +51,7 @@ def bnb_schedule(
     use_visited: bool = True,
     state_cls: type = PartialSchedule,
     incumbent: Schedule | None = None,
+    probe: SearchProbe | None = None,
 ) -> SearchResult:
     """Find an optimal schedule via depth-first branch-and-bound.
 
@@ -108,6 +110,12 @@ def bnb_schedule(
             continue
 
         stats.states_expanded += 1
+        if probe is not None:
+            # DFS has no cheap running proven floor; the probe's running
+            # max keeps the series monotone and the final sample carries
+            # the real bound.
+            probe.tick(stats.states_expanded, len(stack),
+                       best_sched.length, 0.0)
         children: list[tuple[float, PartialSchedule]] = []
         for child in expander.children(state, visited if dup_on else None):
             ch = cost_fn.h(child)
@@ -136,6 +144,9 @@ def bnb_schedule(
         # length is at least min(min stacked f, incumbent length).
         frontier = min((f for f, _ in stack), default=math.inf)
         lower = min(frontier, best_sched.length)
+    if probe is not None:
+        probe.finish(stats.states_expanded, len(stack),
+                     best_sched.length, lower)
     return SearchResult(
         schedule=best_sched,
         optimal=proven,
@@ -144,4 +155,5 @@ def bnb_schedule(
         algorithm="bnb" if proven else "bnb(budget)",
         lower_bound=lower,
         interrupted=None if proven else (budget.reason or "budget"),
+        timeline=probe.timeline() if probe is not None else (),
     )

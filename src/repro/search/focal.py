@@ -35,6 +35,7 @@ import time
 from repro.errors import SearchError
 from repro.graph.taskgraph import TaskGraph
 from repro.heuristics.listsched import fast_upper_bound_schedule
+from repro.obs.probe import SearchProbe
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.schedule import Schedule
 from repro.search.costs import CostFunction, make_cost_function
@@ -58,6 +59,7 @@ def focal_schedule(
     cost: str | CostFunction = "paper",
     budget: Budget | None = None,
     state_cls: type = PartialSchedule,
+    probe: SearchProbe | None = None,
 ) -> SearchResult:
     """Find a schedule within ``(1 + epsilon)`` of optimal via Aε*.
 
@@ -173,11 +175,16 @@ def focal_schedule(
             best = incumbent if incumbent is not None else fallback
             stats.wall_seconds = time.perf_counter() - t0
             stats.cost_evaluations = cost_fn.evaluations
+            lb = min(lower, best.length)
+            if probe is not None:
+                probe.finish(stats.states_expanded, len(store),
+                             best.length, lb)
             return SearchResult(
                 schedule=best, optimal=False, bound=math.inf,
                 stats=stats, algorithm=f"focal(eps={epsilon},budget)",
-                lower_bound=min(lower, best.length),
+                lower_bound=lb,
                 interrupted=budget.reason or "budget",
+                timeline=probe.timeline() if probe is not None else (),
             )
 
         if state.is_complete():
@@ -185,6 +192,9 @@ def focal_schedule(
             stats.wall_seconds = time.perf_counter() - t0
             stats.cost_evaluations = cost_fn.evaluations
             goal = state.to_schedule()
+            if probe is not None:
+                probe.finish(stats.states_expanded, len(store),
+                             goal.length, min(lower, goal.length))
             return SearchResult(
                 schedule=goal,
                 optimal=(epsilon == 0.0),
@@ -192,9 +202,17 @@ def focal_schedule(
                 stats=stats,
                 algorithm=f"focal(eps={epsilon})",
                 lower_bound=min(lower, goal.length),
+                timeline=probe.timeline() if probe is not None else (),
             )
 
         stats.states_expanded += 1
+        if probe is not None:
+            probe.tick(
+                stats.states_expanded, len(store),
+                incumbent.length if incumbent is not None else math.inf,
+                min(lower,
+                    incumbent.length if incumbent is not None else math.inf),
+            )
         for child in expander.children(state, seen if dup_on else None):
             ch = cost_fn.h(child)
             cf = child.makespan + ch
@@ -224,8 +242,12 @@ def focal_schedule(
     stats.wall_seconds = time.perf_counter() - t0
     stats.cost_evaluations = cost_fn.evaluations
     best = incumbent if incumbent is not None else fallback
+    lb = min(max(lower, best.length / (1.0 + epsilon)), best.length)
+    if probe is not None:
+        probe.finish(stats.states_expanded, 0, best.length, lb)
     return SearchResult(
         schedule=best, optimal=False, bound=1.0 + epsilon,
         stats=stats, algorithm=f"focal(eps={epsilon},exhausted)",
-        lower_bound=min(max(lower, best.length / (1.0 + epsilon)), best.length),
+        lower_bound=lb,
+        timeline=probe.timeline() if probe is not None else (),
     )

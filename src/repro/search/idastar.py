@@ -26,6 +26,7 @@ import time
 
 from repro.graph.taskgraph import TaskGraph
 from repro.heuristics.listsched import fast_upper_bound_schedule
+from repro.obs.probe import SearchProbe
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.schedule import Schedule
 from repro.search.costs import CostFunction, make_cost_function
@@ -49,6 +50,7 @@ def idastar_schedule(
     budget: Budget | None = None,
     transposition_limit: int = 100_000,
     state_cls: type = PartialSchedule,
+    probe: SearchProbe | None = None,
 ) -> SearchResult:
     """Find an optimal schedule via iterative-deepening A*.
 
@@ -100,11 +102,16 @@ def idastar_schedule(
                 # current threshold (and the first threshold is the
                 # admissible h(root)), so the threshold itself is a
                 # proven floor on the optimum.
+                bound = min(threshold, best.length)
+                if probe is not None:
+                    probe.finish(stats.states_expanded, len(stack),
+                                 best.length, bound)
                 return SearchResult(
                     schedule=best, optimal=False, bound=math.inf,
                     stats=stats, algorithm="idastar(budget)",
-                    lower_bound=min(threshold, best.length),
+                    lower_bound=bound,
                     interrupted=budget.reason or "budget",
+                    timeline=probe.timeline() if probe is not None else (),
                 )
             f, state = stack.pop()
             if state.is_complete():
@@ -116,6 +123,16 @@ def idastar_schedule(
                         incumbent = goal_found
                 continue
             stats.states_expanded += 1
+            if probe is not None:
+                # Prior probes exhausted everything below the current
+                # threshold, so the threshold is the running proven floor.
+                probe.tick(
+                    stats.states_expanded, len(stack),
+                    incumbent.length if incumbent is not None else math.inf,
+                    min(threshold,
+                        incumbent.length if incumbent is not None
+                        else math.inf),
+                )
             children: list[tuple[float, PartialSchedule]] = []
             for child in expander.children(state):
                 cf = child.makespan + cost_fn.h(child)
@@ -147,10 +164,14 @@ def idastar_schedule(
             # cost: every state with f below it was exhausted.
             stats.wall_seconds = time.perf_counter() - t0
             stats.cost_evaluations = cost_fn.evaluations
+            if probe is not None:
+                probe.finish(stats.states_expanded, 0,
+                             goal_found.length, goal_found.length)
             return SearchResult(
                 schedule=goal_found, optimal=True, bound=1.0,
                 stats=stats, algorithm="idastar",
                 lower_bound=goal_found.length,
+                timeline=probe.timeline() if probe is not None else (),
             )
         if next_threshold is math.inf:
             # Space exhausted below the upper bound: the fallback (or a
@@ -159,9 +180,13 @@ def idastar_schedule(
             stats.wall_seconds = time.perf_counter() - t0
             stats.cost_evaluations = cost_fn.evaluations
             best = incumbent if incumbent is not None else fallback
+            if probe is not None:
+                probe.finish(stats.states_expanded, 0,
+                             best.length, best.length)
             return SearchResult(
                 schedule=best, optimal=True, bound=1.0,
                 stats=stats, algorithm="idastar(exhausted)",
                 lower_bound=best.length,
+                timeline=probe.timeline() if probe is not None else (),
             )
         threshold = next_threshold

@@ -206,3 +206,32 @@ class PruningStats:
             "fixed_order_skips": self.fixed_order_skips,
             **self.extra,
         }
+
+    _FIELDS = (
+        "isomorphism_skips",
+        "equivalence_skips",
+        "upper_bound_cuts",
+        "duplicate_hits",
+        "commutation_skips",
+        "fixed_order_skips",
+    )
+
+    def merge(self, other: "PruningStats | dict") -> None:
+        """Fold another run's hit counters into this one, in place.
+
+        Accepts either a :class:`PruningStats` or its :meth:`as_dict`
+        wire form (HDA* workers ship the dict over the results queue);
+        unknown dict keys land in :attr:`extra` so backend-specific
+        counters survive the reduce.
+        """
+        if isinstance(other, dict):
+            for key, value in other.items():
+                if key in self._FIELDS:
+                    setattr(self, key, getattr(self, key) + value)
+                else:
+                    self.extra[key] = self.extra.get(key, 0) + value
+            return
+        for key in self._FIELDS:
+            setattr(self, key, getattr(self, key) + getattr(other, key))
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0) + value

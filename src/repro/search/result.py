@@ -56,6 +56,34 @@ class SearchStats:
             **self.pruning.as_dict(),
         }
 
+    def merge(self, other: "SearchStats | dict") -> None:
+        """Fold another run's counters into this one, in place.
+
+        The single aggregation path for *every* multi-run consumer —
+        the portfolio summing its stages, the HDA* coordinator reducing
+        worker records (pass the worker's wire dict directly), speedup
+        accounting — so new counters only ever need to be added here.
+
+        Work counters add; ``max_open_size`` takes the max (frontiers
+        coexist, they don't concatenate); ``wall_seconds`` is *not*
+        touched — elapsed time is end-to-end, not a sum over
+        possibly-concurrent runs, so the caller owns it.
+        """
+        if isinstance(other, dict):
+            self.states_generated += other.get("states_generated", 0)
+            self.states_expanded += other.get("states_expanded", 0)
+            self.cost_evaluations += other.get("cost_evaluations", 0)
+            self.max_open_size = max(
+                self.max_open_size, other.get("max_open_size", 0)
+            )
+            self.pruning.merge(other.get("pruning", {}))
+            return
+        self.states_generated += other.states_generated
+        self.states_expanded += other.states_expanded
+        self.cost_evaluations += other.cost_evaluations
+        self.max_open_size = max(self.max_open_size, other.max_open_size)
+        self.pruning.merge(other.pruning)
+
 
 @dataclass
 class SearchResult:
@@ -88,6 +116,13 @@ class SearchResult:
         budget reason that stopped it (``"expansions"``,
         ``"generations"``, ``"time"``, ``"memory"``, ``"interrupt"``,
         or a backend-specific cause such as ``"worker-failure"``).
+    timeline:
+        Convergence samples recorded by a
+        :class:`repro.obs.probe.SearchProbe` when one was passed to the
+        engine (``()`` otherwise).  Each sample is ``(wall_time,
+        expansions, open_size, incumbent, lower_bound)`` and the series
+        is monotone: wall time and expansions non-decreasing, incumbent
+        non-increasing, lower bound non-decreasing.
     """
 
     schedule: Schedule | None
@@ -97,6 +132,7 @@ class SearchResult:
     algorithm: str
     lower_bound: float = 0.0
     interrupted: str | None = None
+    timeline: tuple = ()
 
     @property
     def length(self) -> float:

@@ -23,6 +23,7 @@ import time
 from repro.errors import SearchError
 from repro.graph.taskgraph import TaskGraph
 from repro.heuristics.listsched import fast_upper_bound_schedule
+from repro.obs.probe import SearchProbe
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.schedule import Schedule
 from repro.search.costs import CostFunction, make_cost_function
@@ -46,6 +47,7 @@ def weighted_astar_schedule(
     cost: str | CostFunction = "paper",
     budget: Budget | None = None,
     state_cls: type = PartialSchedule,
+    probe: SearchProbe | None = None,
 ) -> SearchResult:
     """Schedule within ``(1 + epsilon)`` of optimal via weighted A*.
 
@@ -100,11 +102,16 @@ def weighted_astar_schedule(
             stats.wall_seconds = time.perf_counter() - t0
             stats.cost_evaluations = cost_fn.evaluations
             lower = max(lower, open_heap[0][0] / w)
+            bound = min(lower, best.length)
+            if probe is not None:
+                probe.finish(stats.states_expanded, len(open_heap),
+                             best.length, bound)
             return SearchResult(
                 schedule=best, optimal=False, bound=math.inf,
                 stats=stats, algorithm=f"wastar(eps={epsilon},budget)",
-                lower_bound=min(lower, best.length),
+                lower_bound=bound,
                 interrupted=budget.reason or "budget",
+                timeline=probe.timeline() if probe is not None else (),
             )
         fw, h, _s, state = heapq.heappop(open_heap)
         if fw / w > lower:
@@ -114,6 +121,9 @@ def weighted_astar_schedule(
             stats.wall_seconds = time.perf_counter() - t0
             stats.cost_evaluations = cost_fn.evaluations
             goal = state.to_schedule()
+            if probe is not None:
+                probe.finish(stats.states_expanded, len(open_heap),
+                             goal.length, min(lower, goal.length))
             return SearchResult(
                 schedule=goal,
                 optimal=(epsilon == 0.0),
@@ -121,8 +131,16 @@ def weighted_astar_schedule(
                 stats=stats,
                 algorithm=f"wastar(eps={epsilon})",
                 lower_bound=min(lower, goal.length),
+                timeline=probe.timeline() if probe is not None else (),
             )
         stats.states_expanded += 1
+        if probe is not None:
+            probe.tick(
+                stats.states_expanded, len(open_heap),
+                incumbent.length if incumbent is not None else math.inf,
+                min(lower,
+                    incumbent.length if incumbent is not None else math.inf),
+            )
         for child in expander.children(state, seen if dup_on else None):
             ch = cost_fn.h(child)
             plain_f = child.makespan + ch
@@ -144,8 +162,12 @@ def weighted_astar_schedule(
     stats.wall_seconds = time.perf_counter() - t0
     stats.cost_evaluations = cost_fn.evaluations
     best = incumbent if incumbent is not None else fallback
+    bound = min(max(lower, best.length / w), best.length)
+    if probe is not None:
+        probe.finish(stats.states_expanded, 0, best.length, bound)
     return SearchResult(
         schedule=best, optimal=False, bound=w,
         stats=stats, algorithm=f"wastar(eps={epsilon},exhausted)",
-        lower_bound=min(max(lower, best.length / w), best.length),
+        lower_bound=bound,
+        timeline=probe.timeline() if probe is not None else (),
     )

@@ -37,6 +37,7 @@ from typing import Any
 from repro.errors import WorkloadError
 from repro.graph.io import graph_from_dict, graph_to_dict, load_graph_json
 from repro.graph.taskgraph import TaskGraph
+from repro.obs.trace import Tracer, null_tracer
 from repro.parallel.mp_backend import SolverPool, system_from_args, system_to_args
 from repro.schedule.schedule import Schedule
 from repro.service.cache import CacheEntry, ResultCache
@@ -258,6 +259,8 @@ def run_batch(
     mode: str = "portfolio",
     require_proven: bool = False,
     max_memory_mb: float | None = None,
+    tracer: Tracer | None = None,
+    probe_every: int | None = None,
 ) -> BatchReport:
     """Solve a batch of requests with dedupe, caching, and fan-out.
 
@@ -296,6 +299,16 @@ def run_batch(
     max_memory_mb:
         Per-solve process-RSS ceiling; a search that reaches it returns
         its incumbent and lower bound instead of growing unbounded.
+    tracer:
+        Structured-trace sink (:mod:`repro.obs.trace`).  Pool workers
+        buffer their spans locally and the buffers are absorbed into
+        this tracer when results return, so one trace file covers the
+        whole batch.  ``None`` disables tracing at zero cost.
+    probe_every:
+        Convergence-sampling interval forwarded to each solve's
+        :class:`~repro.obs.probe.SearchProbe`; the resulting timelines
+        are emitted as ``search.timeline`` trace events.  ``None``
+        disables the probe.
 
     Returns
     -------
@@ -304,6 +317,7 @@ def run_batch(
     """
     if mode not in ("portfolio", "auto"):
         raise ValueError(f"unknown batch mode {mode!r}")
+    tr = tracer if tracer is not None else null_tracer
     t0 = time.perf_counter()
 
     # Canonicalization is the per-request fixed cost; content-equal
@@ -345,6 +359,7 @@ def run_batch(
         if entry is not None and len(entry.assignment) == items[rep].graph.num_nodes:
             entries[fp] = entry
             cache_hit_fps.add(fp)
+            tr.event("cache.hit", attrs={"fingerprint": fp})
 
     # Solve the remainder (the representative instance per fingerprint).
     todo = [fp for fp in rep_index if fp not in entries]
@@ -355,7 +370,10 @@ def run_batch(
         jobs = [
             _job_for(items[rep_index[fp]], fp, deadline, epsilon,
                      costs[rep_index[fp]], max_expansions, mode,
-                     solver_workers, max_memory_mb)
+                     solver_workers, max_memory_mb,
+                     trace=tr.enabled,
+                     trace_root=tr.current_span_id() if tr.enabled else None,
+                     probe_every=probe_every)
             for fp in todo
         ]
         solved: list[dict[str, Any]] = []
@@ -364,19 +382,21 @@ def run_batch(
             # every already-finished solve; the pool paths are
             # all-or-nothing (executor.map offers no partial recovery),
             # so an interrupt there salvages the cache hits only.
-            if pool is not None:
-                solved = pool.map(_worker_solve, jobs)
-            elif workers > 1 and len(jobs) > 1:
-                with SolverPool(workers) as transient:
-                    solved = transient.map(_worker_solve, jobs)
-            else:
-                for job in jobs:
-                    solved.append(_worker_solve(job))
+            with tr.span("batch.solve", attrs={"jobs": len(jobs)}):
+                if pool is not None:
+                    solved = pool.map(_worker_solve, jobs)
+                elif workers > 1 and len(jobs) > 1:
+                    with SolverPool(workers) as transient:
+                        solved = transient.map(_worker_solve, jobs)
+                else:
+                    for job in jobs:
+                        solved.append(_worker_solve(job))
         except KeyboardInterrupt:
             # SIGINT/SIGTERM mid-batch: report what is answered so far
             # instead of discarding finished work with a traceback.
             interrupted = True
         for fp, payload in zip(todo, solved):
+            tr.absorb(payload.get("trace_events"))
             rep = items[rep_index[fp]]
             order = orders[rep_index[fp]]
             schedule = Schedule(
@@ -464,6 +484,10 @@ def _job_for(
     mode: str,
     solver_workers: int = 1,
     max_memory_mb: float | None = None,
+    *,
+    trace: bool = False,
+    trace_root: str | None = None,
+    probe_every: int | None = None,
 ) -> dict[str, Any]:
     """Plain-dict job descriptor (same discipline as mp_backend seeds)."""
     return {
@@ -477,6 +501,9 @@ def _job_for(
         "mode": mode,
         "solver_workers": solver_workers,
         "max_memory_mb": max_memory_mb,
+        "trace": trace,
+        "trace_root": trace_root,
+        "probe_every": probe_every,
     }
 
 
@@ -489,37 +516,46 @@ def _worker_solve(job: dict[str, Any]) -> dict[str, Any]:
     faults.raise_point("solve-error")
     graph = graph_from_dict(job["graph"])
     system = system_from_args(job["system"])
+    # Buffering tracer: spans accumulate in memory and ride back on the
+    # result payload (pool workers cannot share the parent's file sink).
+    wtracer = Tracer(root=job.get("trace_root")) if job.get("trace") else None
+    probe_every = job.get("probe_every")
     t0 = time.perf_counter()
-    if job["mode"] == "portfolio":
-        pres = portfolio_schedule(
-            graph, system, deadline=job["deadline"], epsilon=job["epsilon"],
-            cost=job["cost"], max_expansions=job["max_expansions"],
-            workers=job.get("solver_workers", 1),
-            max_memory_mb=job.get("max_memory_mb"),
-        )
-        schedule = pres.schedule
-        certificate = pres.certificate
-        bound = pres.bound
-        algorithm = pres.algorithm
-        winner = pres.winner
-        stats = pres.stats.as_dict()
-        lower_bound = pres.lower_bound
-        interrupted = pres.interrupted
-    else:
-        res = solve_auto(
-            graph, system, deadline=job["deadline"], epsilon=job["epsilon"],
-            cost=job["cost"], max_expansions=job["max_expansions"],
-            workers=job.get("solver_workers", 1),
-            max_memory_mb=job.get("max_memory_mb"),
-        )
-        schedule = res.schedule
-        certificate = res.certificate
-        bound = res.bound
-        algorithm = res.algorithm
-        winner = ""
-        stats = res.stats.as_dict()
-        lower_bound = res.lower_bound
-        interrupted = res.interrupted
+    with (wtracer if wtracer is not None else null_tracer).span(
+        "batch.item", attrs={"fingerprint": job["fingerprint"]}
+    ):
+        if job["mode"] == "portfolio":
+            pres = portfolio_schedule(
+                graph, system, deadline=job["deadline"], epsilon=job["epsilon"],
+                cost=job["cost"], max_expansions=job["max_expansions"],
+                workers=job.get("solver_workers", 1),
+                max_memory_mb=job.get("max_memory_mb"),
+                tracer=wtracer, probe_every=probe_every,
+            )
+            schedule = pres.schedule
+            certificate = pres.certificate
+            bound = pres.bound
+            algorithm = pres.algorithm
+            winner = pres.winner
+            stats = pres.stats.as_dict()
+            lower_bound = pres.lower_bound
+            interrupted = pres.interrupted
+        else:
+            res = solve_auto(
+                graph, system, deadline=job["deadline"], epsilon=job["epsilon"],
+                cost=job["cost"], max_expansions=job["max_expansions"],
+                workers=job.get("solver_workers", 1),
+                max_memory_mb=job.get("max_memory_mb"),
+                tracer=wtracer, probe_every=probe_every,
+            )
+            schedule = res.schedule
+            certificate = res.certificate
+            bound = res.bound
+            algorithm = res.algorithm
+            winner = ""
+            stats = res.stats.as_dict()
+            lower_bound = res.lower_bound
+            interrupted = res.interrupted
     return {
         "fingerprint": job["fingerprint"],
         "assignment": [[t.node, t.pe, t.start] for t in schedule.tasks],
@@ -531,4 +567,5 @@ def _worker_solve(job: dict[str, Any]) -> dict[str, Any]:
         "seconds": time.perf_counter() - t0,
         "lower_bound": lower_bound,
         "interrupted": interrupted,
+        "trace_events": wtracer.drain() if wtracer is not None else None,
     }

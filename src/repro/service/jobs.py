@@ -48,6 +48,13 @@ from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
 from typing import Any, NamedTuple
 
 from repro.heuristics.listsched import fast_upper_bound_schedule
+from repro.obs.metrics import (
+    EXPANSION_BUCKETS,
+    MetricsRegistry,
+    _escape_label_value,
+    _format_value,
+)
+from repro.obs.trace import Tracer, null_tracer
 from repro.parallel.mp_backend import SolverPool
 from repro.schedule.schedule import Schedule
 from repro.search.costs import COST_FUNCTIONS
@@ -253,6 +260,15 @@ class JobManager:
     history_limit:
         Completed jobs retained for ``GET /v1/jobs/<id>`` polling before
         eviction (oldest-finished first).
+    tracer:
+        Structured-trace sink (:mod:`repro.obs.trace`) for job lifecycle
+        events (submit, start, done, dedupe fan-out, degraded answers)
+        and cache get/put events; pool workers' buffered spans are
+        absorbed here when their results return.  ``None`` disables
+        tracing.
+    probe_every:
+        Convergence-sampling interval forwarded to every solve; the
+        timelines come back as ``search.timeline`` trace events.
     """
 
     def __init__(
@@ -271,11 +287,15 @@ class JobManager:
         solver_workers: int = 1,
         max_memory_mb: float | None = None,
         history_limit: int = 4096,
+        tracer: Tracer | None = None,
+        probe_every: int | None = None,
     ) -> None:
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
         self.pool = pool
         self.cache = cache
+        self.tracer = tracer if tracer is not None else null_tracer
+        self.probe_every = probe_every
         self._cache_exec = cache_executor
         self.queue_limit = queue_limit
         self.defaults = {
@@ -324,6 +344,23 @@ class JobManager:
             "completion_error": 0,
         }
         self.engine_counts: dict[str, int] = {}
+        #: Histogram home for the latency quantiles ``/metrics`` serves
+        #: (JSON p50/p99 summaries and the Prometheus bucket series are
+        #: derived from the same instruments).
+        self.registry = MetricsRegistry()
+        self._h_request = self.registry.histogram(
+            "request_seconds",
+            "End-to-end request latency: submit to finished.",
+        )
+        self._h_queue_wait = self.registry.histogram(
+            "queue_wait_seconds",
+            "Time accepted jobs wait queued before a runner starts them.",
+        )
+        self._h_expansions = self.registry.histogram(
+            "solve_expansions",
+            "States expanded per fresh solve.",
+            buckets=EXPANSION_BUCKETS,
+        )
 
     # -- cache I/O (dedicated thread when an executor is configured) ---------
 
@@ -425,12 +462,19 @@ class JobManager:
         job = Job(job_id, item, fp, order, options)
         self._jobs[job_id] = job
         self._evict_history()
+        self.tracer.event(
+            "job.submit", attrs={"id": job_id, "fingerprint": fp}
+        )
 
         # 1. The cache answers without a queue slot or a worker.
         if self.cache is not None:
             if cached is _NO_LOOKUP:
                 cached = self._cache_get_blocking(prepared)
             entry = cached
+            self.tracer.event(
+                "cache.get",
+                attrs={"id": job_id, "hit": entry is not None},
+            )
             if entry is not None and len(entry.assignment) == item.graph.num_nodes:
                 try:
                     self._finish(job, entry, via="cache", seconds=0.0, winner="")
@@ -461,6 +505,9 @@ class JobManager:
             self.counters["accepted"] += 1
             job.via = "dedup"
             self._followers.setdefault(primary.id, []).append(job)
+            self.tracer.event(
+                "job.dedup", attrs={"id": job_id, "primary": primary.id}
+            )
             return job
 
         # 3. Admission control on unique pending problems.
@@ -470,6 +517,7 @@ class JobManager:
             job.error = "queue full"
             job.done.set()
             self._jobs.pop(job_id, None)
+            self.tracer.event("job.reject", attrs={"id": job_id})
             raise QueueFull(
                 f"job queue at capacity ({self.queue_limit} pending)"
             )
@@ -506,12 +554,20 @@ class JobManager:
             job.state = RUNNING
             job.started = time.time()
             self._running += 1
+            self._h_queue_wait.observe(job.started - job.submitted)
+            self.tracer.event("job.start", attrs={"id": job.id})
             descriptor = _job_for(
                 job.item, job.fingerprint,
                 job.options["deadline"], job.options["epsilon"],
                 job.options["cost"], job.options["max_expansions"],
                 job.options["mode"], job.options["solver_workers"],
                 job.options["max_memory_mb"],
+                trace=self.tracer.enabled,
+                trace_root=(
+                    self.tracer.current_span_id()
+                    if self.tracer.enabled else None
+                ),
+                probe_every=self.probe_every,
             )
             executor = self.pool.executor
             try:
@@ -566,8 +622,22 @@ class JobManager:
         self.counters["solved"] += 1
         algo = payload["algorithm"]
         self.engine_counts[algo] = self.engine_counts.get(algo, 0) + 1
+        # Engine label without the parenthesised variant suffix
+        # ("focal(eps=0.25,budget)" -> "focal") to keep cardinality low.
+        self.registry.histogram(
+            "solve_seconds",
+            "Per-engine solver wall time for fresh solves.",
+            labels={"engine": algo.split("(", 1)[0]},
+        ).observe(payload["seconds"])
+        expanded = payload["stats"].get("states_expanded")
+        if expanded is not None:
+            self._h_expansions.observe(expanded)
+        self.tracer.absorb(payload.get("trace_events"))
         stored = True
         if self.cache is not None:
+            self.tracer.event(
+                "cache.put", attrs={"fingerprint": entry.fingerprint}
+            )
             try:
                 stored = await asyncio.wait_for(
                     self._cache_call(self.cache.put, entry),
@@ -627,6 +697,9 @@ class JobManager:
         even the list schedule cannot be built.
         """
         self.failures[cause] = self.failures.get(cause, 0) + 1
+        self.tracer.event(
+            "job.degraded", attrs={"id": primary.id, "cause": cause}
+        )
         try:
             item = primary.item
             schedule = fast_upper_bound_schedule(item.graph, item.system)
@@ -673,6 +746,10 @@ class JobManager:
             job.finished = time.time()
             job.done.set()
             self.counters["failed"] += 1
+            self._h_request.observe(job.finished - job.submitted)
+            self.tracer.event(
+                "job.failed", attrs={"id": job.id, "error": error}
+            )
         self._release(primary)
 
     def _release(self, primary: Job) -> None:
@@ -706,6 +783,8 @@ class JobManager:
         job.finished = time.time()
         job.done.set()
         self.counters["completed"] += 1
+        self._h_request.observe(job.finished - job.submitted)
+        self.tracer.event("job.done", attrs={"id": job.id, "via": via})
 
     def _evict_history(self) -> None:
         """Drop the oldest *finished* jobs beyond the history bound."""
@@ -759,4 +838,65 @@ class JobManager:
             "cache_hit_rate": hit_rate,
             "engines": dict(self.engine_counts),
             "cache": self.cache.counters() if self.cache is not None else {},
+            # Histogram-derived p50/p99 (request latency, queue wait,
+            # per-engine solve seconds, expansions per solve).  Additive
+            # to the legacy schema above — the pinned schema test keeps
+            # every pre-existing key byte-compatible.
+            "latency": self.registry.histogram_summaries(),
         }
+
+    def prometheus(self) -> str:
+        """``GET /metrics?format=prometheus``: text exposition 0.0.4.
+
+        The histogram series come straight from :attr:`registry`; the
+        legacy JSON counters and gauges are re-emitted as synthesized
+        families so one scrape covers the whole daemon.
+        """
+        m = self.metrics()
+        ns = self.registry.namespace
+        lines: list[str] = []
+
+        def gauge(name: str, value: float, help_text: str) -> None:
+            lines.append(f"# HELP {ns}_{name} {help_text}")
+            lines.append(f"# TYPE {ns}_{name} gauge")
+            lines.append(f"{ns}_{name} {_format_value(float(value))}")
+
+        def family(
+            name: str, mapping: dict, label: str, help_text: str,
+        ) -> None:
+            if not mapping:
+                return
+            lines.append(f"# HELP {ns}_{name} {help_text}")
+            lines.append(f"# TYPE {ns}_{name} counter")
+            for key, val in sorted(mapping.items()):
+                esc = _escape_label_value(str(key))
+                lines.append(
+                    f'{ns}_{name}{{{label}="{esc}"}} '
+                    f"{_format_value(float(val))}"
+                )
+
+        gauge("uptime_seconds", m["uptime_seconds"],
+              "Seconds since the daemon started.")
+        gauge("draining", float(m["draining"]),
+              "1 while drain is in progress, else 0.")
+        gauge("queue_depth", m["queue_depth"],
+              "Unique jobs queued, not yet running.")
+        gauge("queue_limit", m["queue_limit"],
+              "Admission-control capacity (unique pending jobs).")
+        gauge("jobs_running", m["running"],
+              "Jobs currently executing on the pool.")
+        gauge("jobs_in_flight", m["in_flight"],
+              "Unique fingerprints queued or running (dedupe targets).")
+        gauge("pool_workers", m["pool_workers"],
+              "Solver pool worker processes.")
+        gauge("cache_hit_rate", m["cache_hit_rate"],
+              "Cache hits / submissions since start.")
+        family("jobs_total", m["jobs"], "event",
+               "Job lifecycle counters by event.")
+        family("solve_failures_total", m["failures"], "cause",
+               "Solve failures absorbed by the degrade path, by cause.")
+        family("engine_solves_total", m["engines"], "algorithm",
+               "Fresh solves by winning algorithm.")
+        family("cache_events_total", m["cache"], "event",
+               "Result-cache operation counters.")
+        return self.registry.render_prometheus(extra="\n".join(lines))

@@ -32,6 +32,8 @@ from dataclasses import dataclass
 from repro.graph.analysis import graph_ccr
 from repro.graph.taskgraph import TaskGraph
 from repro.heuristics.listsched import fast_upper_bound_schedule
+from repro.obs.probe import SearchProbe
+from repro.obs.trace import Tracer, null_tracer
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.schedule import Schedule
 from repro.search import get_engine
@@ -105,6 +107,9 @@ class PortfolioResult:
     #: Why the last exact attempt stopped early (``None`` when it
     #: finished on its own) — budget reason or worker-failure cause.
     interrupted: str | None = None
+    #: Convergence samples across the whole ladder (expansion axis
+    #: accumulates over stages); ``()`` unless a probe was requested.
+    timeline: tuple = ()
 
     @property
     def length(self) -> float:
@@ -127,6 +132,7 @@ class PortfolioResult:
             algorithm=f"portfolio({self.algorithm})",
             lower_bound=self.lower_bound,
             interrupted=self.interrupted,
+            timeline=self.timeline,
         )
 
 
@@ -193,6 +199,8 @@ def _run_engine(
     state_cls: type,
     incumbent: Schedule | None,
     workers: int = 1,
+    probe: SearchProbe | None = None,
+    tracer: Tracer | None = None,
 ) -> SearchResult:
     """Dispatch one engine through the registry (the portfolio's
     inner call); per-engine extras are bound here."""
@@ -200,17 +208,18 @@ def _run_engine(
     if name in ("astar", "bnb"):
         return engine(
             graph, system, cost=cost, budget=budget,
-            state_cls=state_cls, incumbent=incumbent,
+            state_cls=state_cls, incumbent=incumbent, probe=probe,
         )
     if name == "wastar":
         return engine(
             graph, system, epsilon, cost=cost, budget=budget,
-            state_cls=state_cls,
+            state_cls=state_cls, probe=probe,
         )
     if name == "hda":
         return engine(
             graph, system, workers=workers, cost=cost, budget=budget,
-            state_cls=state_cls, incumbent=incumbent,
+            state_cls=state_cls, incumbent=incumbent, probe=probe,
+            tracer=tracer,
         )
     raise ValueError(f"engine {name!r} is not portfolio-dispatchable")
 
@@ -226,6 +235,8 @@ def solve_auto(
     state_cls: type = PartialSchedule,
     workers: int = 1,
     max_memory_mb: float | None = None,
+    tracer: Tracer | None = None,
+    probe_every: int | None = None,
 ) -> SearchResult:
     """Single-engine fast path: :func:`select_engine` then one search.
 
@@ -235,6 +246,9 @@ def solve_auto(
     HDA* engine on instances large enough to amortize process spawn.
     ``max_memory_mb`` arms the RSS ceiling: the engine stops there and
     returns its incumbent plus lower bound instead of growing unbounded.
+    ``tracer``/``probe_every`` enable the :mod:`repro.obs` telemetry:
+    a span around the engine run and a convergence timeline on the
+    result.
     """
     cost = _resolve_cost(cost, graph, system)
     engine = select_engine(graph, system)
@@ -245,10 +259,16 @@ def solve_auto(
         engine = "hda"
     budget = Budget(max_expanded=max_expansions, max_seconds=deadline,
                     max_memory_mb=max_memory_mb)
-    return _run_engine(
-        engine, graph, system, budget=budget, epsilon=epsilon,
-        cost=cost, state_cls=state_cls, incumbent=None, workers=workers,
-    )
+    tr = tracer if tracer is not None else null_tracer
+    probe = SearchProbe(probe_every) if probe_every else None
+    with tr.span("portfolio.auto", attrs={"engine": engine, "cost": cost}):
+        res = _run_engine(
+            engine, graph, system, budget=budget, epsilon=epsilon,
+            cost=cost, state_cls=state_cls, incumbent=None, workers=workers,
+            probe=probe, tracer=tracer,
+        )
+        _emit_timeline(tr, res.timeline, label=engine)
+    return res
 
 
 def portfolio_schedule(
@@ -262,6 +282,8 @@ def portfolio_schedule(
     state_cls: type = PartialSchedule,
     workers: int = 1,
     max_memory_mb: float | None = None,
+    tracer: Tracer | None = None,
+    probe_every: int | None = None,
 ) -> PortfolioResult:
     """Race the stage ladder against a wall-clock deadline.
 
@@ -298,6 +320,15 @@ def portfolio_schedule(
         that hits it degrades to its incumbent + lower bound instead of
         growing without bound (HDA* divides its tracked-state share
         across workers and samples RSS per worker process).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`: every stage runs
+        under a ``portfolio.<stage>`` span and the convergence timeline
+        is emitted as a ``search.timeline`` event.
+    probe_every:
+        Sampling interval (expansions) for the convergence probe; one
+        probe spans the whole ladder (the expansion axis accumulates
+        across stages) and the series lands on ``result.timeline``.
+        ``None`` (the default) disables sampling entirely.
 
     Fault tolerance: when the HDA* exact stage loses a worker (crash or
     stall) the ladder retries it **once** with the remaining deadline,
@@ -312,6 +343,8 @@ def portfolio_schedule(
     """
     t0 = time.perf_counter()
     cost = _resolve_cost(cost, graph, system)
+    tr = tracer if tracer is not None else null_tracer
+    probe = SearchProbe(probe_every) if probe_every else None
 
     def remaining() -> float | None:
         if deadline is None:
@@ -323,7 +356,8 @@ def portfolio_schedule(
 
     # -- stage 1: linear-time incumbent (the §3.2 U-bound heuristic) -------
     s0 = time.perf_counter()
-    best = fast_upper_bound_schedule(graph, system)
+    with tr.span("portfolio.list"):
+        best = fast_upper_bound_schedule(graph, system)
     stages.append(
         StageReport(
             stage="list", algorithm="list(b-level)", makespan=best.length,
@@ -362,10 +396,19 @@ def portfolio_schedule(
             max_expanded=None if max_expansions is None else max_expansions // 4,
             max_seconds=None if left is None else left * _IMPROVER_SHARE,
         )
-        res = weighted_astar_schedule(
-            graph, system, epsilon, cost=cost,
-            budget=improver_budget, state_cls=state_cls,
-        )
+        with tr.span("portfolio.improve",
+                     attrs={"epsilon": epsilon, "cost": cost}):
+            res = weighted_astar_schedule(
+                graph, system, epsilon, cost=cost,
+                budget=improver_budget, state_cls=state_cls, probe=probe,
+            )
+            tr.event("portfolio.stage.result", attrs={
+                "stage": "improve", "algorithm": res.algorithm,
+                "makespan": res.length,
+                "expanded": res.stats.states_expanded,
+            })
+        if probe is not None:
+            probe.rebase(res.stats.states_expanded)
         improved = res.schedule is not None and res.length < best.length
         if improved:
             best = res.schedule
@@ -374,7 +417,7 @@ def portfolio_schedule(
         if math.isfinite(res.bound):
             bound = min(bound, res.bound)
         lower = max(lower, res.lower_bound)
-        _accumulate(total, res.stats)
+        total.merge(res.stats)
         stages.append(
             StageReport(
                 stage="improve", algorithm=res.algorithm, makespan=res.length,
@@ -387,10 +430,13 @@ def portfolio_schedule(
             # ε = 0 or a degenerate instance: the improver already proved
             # optimality; skip the exact stage.
             total.wall_seconds = time.perf_counter() - t0
+            timeline = probe.timeline() if probe is not None else ()
+            _emit_timeline(tr, timeline, label="improve")
             return PortfolioResult(
                 schedule=best, optimal=True, bound=1.0, stats=total,
                 algorithm=res.algorithm, winner="improve",
                 stages=tuple(stages), lower_bound=best.length,
+                timeline=timeline,
             )
 
     # -- stage 3: exact engine seeded with the shared incumbent ------------
@@ -412,11 +458,22 @@ def portfolio_schedule(
         s2 = time.perf_counter()
         exact_budget = Budget(max_expanded=max_expansions, max_seconds=left,
                               max_memory_mb=max_memory_mb)
-        res = _run_engine(
-            engine_name, graph, system, budget=exact_budget,
-            epsilon=epsilon, cost=cost, state_cls=state_cls, incumbent=best,
-            workers=workers,
-        )
+        with tr.span(f"portfolio.{stage_name}",
+                     attrs={"engine": engine_name, "cost": cost}):
+            res = _run_engine(
+                engine_name, graph, system, budget=exact_budget,
+                epsilon=epsilon, cost=cost, state_cls=state_cls,
+                incumbent=best, workers=workers, probe=probe, tracer=tracer,
+            )
+            tr.event("portfolio.stage.result", attrs={
+                "stage": stage_name, "algorithm": res.algorithm,
+                "makespan": res.length,
+                "expanded": res.stats.states_expanded,
+                "optimal": res.optimal,
+                "interrupted": res.interrupted,
+            })
+        if probe is not None:
+            probe.rebase(res.stats.states_expanded)
         improved = res.schedule is not None and res.length < best.length
         if improved:
             best = res.schedule
@@ -432,7 +489,7 @@ def portfolio_schedule(
         elif improved:
             winner = "exact"
             winner_algo = res.algorithm
-        _accumulate(total, res.stats)
+        total.merge(res.stats)
         stages.append(
             StageReport(
                 stage=stage_name, algorithm=res.algorithm, makespan=res.length,
@@ -445,24 +502,31 @@ def portfolio_schedule(
             break  # finished, proved, or a plain budget stop — no retry
 
     total.wall_seconds = time.perf_counter() - t0
+    timeline = probe.timeline() if probe is not None else ()
+    _emit_timeline(tr, timeline, label="portfolio")
     return PortfolioResult(
         schedule=best, optimal=optimal, bound=bound, stats=total,
         algorithm=winner_algo, winner=winner, stages=tuple(stages),
         lower_bound=best.length if optimal else min(lower, best.length),
         interrupted=None if optimal else interrupted,
+        timeline=timeline,
     )
 
 
-def _accumulate(total: SearchStats, part: SearchStats) -> None:
-    """Fold one stage's counters into the ladder-wide totals."""
-    total.states_generated += part.states_generated
-    total.states_expanded += part.states_expanded
-    total.cost_evaluations += part.cost_evaluations
-    total.max_open_size = max(total.max_open_size, part.max_open_size)
-    tp, pp = total.pruning, part.pruning
-    tp.isomorphism_skips += pp.isomorphism_skips
-    tp.equivalence_skips += pp.equivalence_skips
-    tp.upper_bound_cuts += pp.upper_bound_cuts
-    tp.duplicate_hits += pp.duplicate_hits
-    tp.commutation_skips += pp.commutation_skips
-    tp.fixed_order_skips += pp.fixed_order_skips
+#: Longest sample list shipped inside one ``search.timeline`` event —
+#: longer series are evenly downsampled (the endpoints always survive).
+_TIMELINE_EVENT_CAP = 400
+
+
+def _emit_timeline(tracer: Tracer, timeline: tuple, *, label: str) -> None:
+    """Emit a convergence timeline as one ``search.timeline`` event."""
+    if not timeline or not tracer.enabled:
+        return
+    samples = list(timeline)
+    if len(samples) > _TIMELINE_EVENT_CAP:
+        step = (len(samples) - 1) / (_TIMELINE_EVENT_CAP - 1)
+        samples = [samples[round(i * step)] for i in range(_TIMELINE_EVENT_CAP)]
+    tracer.event("search.timeline", attrs={
+        "label": label,
+        "samples": [s.as_dict() for s in samples],
+    })

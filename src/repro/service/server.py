@@ -35,7 +35,11 @@ API
     Liveness: 200 ``{"status": "ok"}`` (``"draining"`` during drain).
 ``GET /metrics``
     Queue depth, running/in-flight counts, job counters (cache hits,
-    dedupe fan-out, rejects), per-engine solve counts, cache counters.
+    dedupe fan-out, rejects), per-engine solve counts, cache counters,
+    and histogram-derived latency quantiles (request, queue wait,
+    per-engine solve seconds).  ``?format=prometheus`` returns the same
+    data in text exposition format 0.0.4 (cumulative histogram buckets
+    included) for scraping.
 """
 
 from __future__ import annotations
@@ -47,8 +51,10 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any
+from urllib.parse import parse_qs
 
 from repro.errors import ReproError
+from repro.obs.trace import Tracer
 from repro.parallel.mp_backend import SolverPool
 from repro.service.cache import ResultCache
 from repro.service.jobs import Draining, JobManager, QueueFull
@@ -117,6 +123,8 @@ class SolverServer:
         require_proven: bool = False,
         max_memory_mb: float | None = None,
         warm: bool = True,
+        obs_trace: str | Path | None = None,
+        probe_every: int | None = None,
     ) -> None:
         self.host = host
         self.port = port  # rebound to the real port after bind (port=0)
@@ -143,6 +151,12 @@ class SolverServer:
         self.cache: ResultCache | None = (
             cache if isinstance(cache, ResultCache) else None
         )
+        # Trace file opened in start() so the daemon's whole lifetime —
+        # job lifecycle events, worker spans, timelines — lands in one
+        # JSONL file readable by ``repro trace``.
+        self._obs_trace = obs_trace
+        self.probe_every = probe_every
+        self.tracer: Tracer | None = None
         self.pool: SolverPool | None = None
         self.manager: JobManager | None = None
         self._cache_thread: ThreadPoolExecutor | None = None
@@ -171,11 +185,15 @@ class SolverServer:
         self.pool = SolverPool(self.solver_workers)
         if self.warm:
             self.pool.warm()
+        if self._obs_trace is not None:
+            self.tracer = Tracer(self._obs_trace)
         self.manager = JobManager(
             self.pool,
             cache=self.cache,
             cache_executor=self._cache_thread,
             queue_limit=self.queue_limit,
+            tracer=self.tracer,
+            probe_every=self.probe_every,
             **self._solver_defaults,
         )
         self.manager.start()
@@ -223,6 +241,8 @@ class SolverServer:
                 wedged = True
             self._cache_thread.shutdown(wait=not wedged)
             self._cache_thread = None
+        if self.tracer is not None:
+            self.tracer.close()
         self.ready.clear()
 
     async def _main(self, *, install_signals: bool) -> None:
@@ -272,14 +292,21 @@ class SolverServer:
             status, payload = await self._respond(reader)
         except Exception as exc:  # noqa: BLE001 - never kill the acceptor
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        body = json.dumps(payload).encode()
+        # A str payload is pre-rendered text (the Prometheus exposition
+        # endpoint); everything else stays JSON.
+        if isinstance(payload, str):
+            body = payload.encode()
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode()
+            ctype = "application/json"
         # Backpressure responses advertise when to come back, so
         # well-behaved clients (ServerClient included) retry instead of
         # hammering or giving up.
         retry_after = "Retry-After: 1\r\n" if status in (429, 503) else ""
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {ctype}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"{retry_after}"
             f"Connection: close\r\n\r\n"
@@ -298,7 +325,7 @@ class SolverServer:
 
     async def _respond(
         self, reader: asyncio.StreamReader
-    ) -> tuple[int, dict[str, Any]]:
+    ) -> tuple[int, dict[str, Any] | str]:
         """Parse one request and route it; returns (status, JSON body)."""
         try:
             method, path, body = await asyncio.wait_for(
@@ -349,9 +376,9 @@ class SolverServer:
 
     async def _route(
         self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict[str, Any]]:
+    ) -> tuple[int, dict[str, Any] | str]:
         assert self.manager is not None
-        path = path.split("?", 1)[0]
+        path, _, query = path.partition("?")
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "use GET"}
@@ -360,6 +387,11 @@ class SolverServer:
         if path == "/metrics":
             if method != "GET":
                 return 405, {"error": "use GET"}
+            fmt = parse_qs(query).get("format", ["json"])[-1]
+            if fmt == "prometheus":
+                return 200, self.manager.prometheus()
+            if fmt != "json":
+                return 400, {"error": f"unknown format {fmt!r}"}
             return 200, self.manager.metrics()
         if path.startswith("/v1/jobs/"):
             if method != "GET":

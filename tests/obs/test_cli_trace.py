@@ -1,0 +1,67 @@
+"""End-to-end ``--obs-trace`` round trip through the CLI.
+
+``repro solve --obs-trace`` must write a trace that ``repro trace``
+renders (spans, stage attribution, convergence table) and that
+``repro trace --check`` validates clean — the same loop the CI
+trace-schema step runs.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
+from repro.graph.io import graph_to_dict
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    """Solve a small instance once with tracing on; share the trace."""
+    tmp = tmp_path_factory.mktemp("obs_cli")
+    graph_path = tmp / "g.json"
+    graph = paper_random_graph(PaperGraphSpec(num_nodes=10, ccr=1.0, seed=7))
+    graph_path.write_text(json.dumps(graph_to_dict(graph)))
+    trace_path = tmp / "run.jsonl"
+    assert main(["solve", str(graph_path), "--pes", "2",
+                 "--obs-trace", str(trace_path),
+                 "--probe-every", "8"]) == 0
+    return trace_path
+
+
+class TestRoundTrip:
+    def test_solve_announces_trace(self, trace_file, capsys):
+        # re-solve into a fresh file to capture solve's own output
+        out_trace = trace_file.parent / "again.jsonl"
+        assert main(["solve", str(trace_file.parent / "g.json"),
+                     "--pes", "2", "--obs-trace", str(out_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out and "repro trace" in out
+
+    def test_report_shows_spans_and_timeline(self, trace_file, capsys):
+        assert main(["trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "span durations" in out
+        assert "portfolio stage attribution" in out
+        assert "convergence timeline" in out
+        assert "batch.solve" in out
+
+    def test_check_validates_schema(self, trace_file, capsys):
+        assert main(["trace", str(trace_file), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "OK:" in out and "schema v1" in out
+
+    def test_check_rejects_corrupt_trace(self, trace_file, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        lines = trace_file.read_text().splitlines()
+        bad.write_text("\n".join(lines[:1] + ["{not json"]))
+        assert main(["trace", str(bad), "--check"]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_report_rejects_corrupt_trace(self, trace_file, tmp_path, capsys):
+        bad = tmp_path / "bad2.jsonl"
+        bad.write_text("{not json\n")
+        assert main(["trace", str(bad)]) == 1
+
+    def test_missing_file_is_io_error(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2

@@ -1,0 +1,107 @@
+"""SearchProbe sampling, monotone clamps, and stage rebasing.
+
+The probe promises a monotone series *by construction* even when the
+engine feeds it non-monotone raw values (worker merges, bound resets
+between IDA* iterations) — these tests feed it adversarial sequences
+and assert the recorded series never steps backwards.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.probe import DEFAULT_PROBE_INTERVAL, SearchProbe, TimelineSample
+
+
+def _is_monotone(samples):
+    for prev, cur in zip(samples, samples[1:]):
+        if cur.wall_time < prev.wall_time:
+            return False
+        if cur.expansions < prev.expansions:
+            return False
+        if cur.incumbent > prev.incumbent:
+            return False
+        if cur.lower_bound < prev.lower_bound:
+            return False
+    return True
+
+
+class TestSampling:
+    def test_tick_respects_interval(self):
+        probe = SearchProbe(every=10)
+        for expanded in range(1, 26):
+            probe.tick(expanded, expanded, math.inf, 0.0)
+        # due at 10 and 20 only
+        assert [s.expansions for s in probe.timeline()] == [10, 20]
+
+    def test_finish_always_records(self):
+        probe = SearchProbe(every=1000)
+        probe.tick(3, 1, math.inf, 0.0)
+        probe.finish(3, 0, 42.0, 42.0)
+        (sample,) = probe.timeline()
+        assert sample.expansions == 3 and sample.incumbent == 42.0
+
+    def test_default_interval(self):
+        assert SearchProbe().every == DEFAULT_PROBE_INTERVAL
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SearchProbe(every=0)
+
+
+class TestMonotoneClamps:
+    def test_incumbent_is_running_min_and_floor_running_max(self):
+        probe = SearchProbe(every=1)
+        feed = [(1, 5, 100.0, 10.0), (2, 5, 120.0, 8.0),  # both worse
+                (3, 5, 90.0, 15.0), (4, 5, 95.0, 12.0)]
+        for expanded, open_size, inc, low in feed:
+            probe.tick(expanded, open_size, inc, low)
+        samples = probe.timeline()
+        assert _is_monotone(samples)
+        assert samples[-1].incumbent == 90.0
+        assert samples[-1].lower_bound == 15.0
+
+    def test_record_at_clamps_wall_time(self):
+        probe = SearchProbe(every=1)
+        probe.record_at(5.0, 10, 1, 100.0, 1.0)
+        probe.record_at(2.0, 4, 1, 99.0, 2.0)  # stale worker clock
+        samples = probe.timeline()
+        assert _is_monotone(samples)
+        assert samples[-1].wall_time == 5.0
+        assert samples[-1].expansions == 10
+
+    def test_rebase_accumulates_expansion_axis(self):
+        probe = SearchProbe(every=2)
+        probe.tick(2, 1, math.inf, 0.0)     # stage 1 sample at 2
+        probe.rebase(7)                      # stage 1 expanded 7 total
+        probe.tick(2, 1, 50.0, 0.0)          # stage 2 local counter restarts
+        samples = probe.timeline()
+        assert [s.expansions for s in samples] == [2, 9]
+        assert _is_monotone(samples)
+
+    def test_elapsed_is_nonnegative_and_grows(self):
+        probe = SearchProbe()
+        a = probe.elapsed()
+        b = probe.elapsed()
+        assert 0.0 <= a <= b
+
+
+class TestTimelineSample:
+    def test_as_dict_maps_nonfinite_to_none(self):
+        s = TimelineSample(0.1, 5, 2, math.inf, 3.0)
+        d = s.as_dict()
+        assert d["incumbent"] is None
+        assert d["lower_bound"] == 3.0
+
+    def test_as_dict_keeps_finite_values(self):
+        s = TimelineSample(0.1, 5, 2, 9.0, 3.0)
+        assert s.as_dict() == {"wall_time": 0.1, "expansions": 5,
+                               "open_size": 2, "incumbent": 9.0,
+                               "lower_bound": 3.0}
+
+    def test_timeline_returns_immutable_snapshot(self):
+        probe = SearchProbe(every=1)
+        probe.tick(1, 1, math.inf, 0.0)
+        snap = probe.timeline()
+        probe.tick(2, 1, math.inf, 0.0)
+        assert len(snap) == 1 and isinstance(snap, tuple)

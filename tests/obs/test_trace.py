@@ -1,0 +1,166 @@
+"""Tracer semantics: nesting, sinks, cross-tracer merge, validation.
+
+The worker-merge contract is load-bearing for the daemon: a buffering
+tracer created with ``root=<parent span id>`` must drain records that
+``absorb`` can splice into the coordinator's file with intact parent
+links and no id collisions — ``validate_trace_lines`` is the oracle.
+"""
+
+import io
+import json
+
+from repro.obs.trace import (
+    NullTracer,
+    Tracer,
+    TRACE_SCHEMA_VERSION,
+    null_tracer,
+    validate_trace_lines,
+)
+
+
+def _records(sink: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+class TestSpans:
+    def test_span_emits_start_and_end(self):
+        sink = io.StringIO()
+        tr = Tracer(sink=sink)
+        with tr.span("outer", attrs={"k": 1}):
+            pass
+        start, end = _records(sink)
+        assert start["kind"] == "span_start" and start["name"] == "outer"
+        assert start["v"] == TRACE_SCHEMA_VERSION
+        assert start["attrs"] == {"k": 1}
+        assert end["kind"] == "span_end" and end["id"] == start["id"]
+        assert end["dur"] >= 0.0
+
+    def test_nesting_links_parent_via_contextvar(self):
+        sink = io.StringIO()
+        tr = Tracer(sink=sink)
+        with tr.span("outer") as outer:
+            with tr.span("inner"):
+                tr.event("ping")
+        recs = _records(sink)
+        inner_start = next(r for r in recs if r["name"] == "inner")
+        event = next(r for r in recs if r["name"] == "ping")
+        assert inner_start["parent"] == outer.id
+        assert event["parent"] == inner_start["id"]
+
+    def test_current_span_id_restored_after_exit(self):
+        tr = Tracer(sink=io.StringIO())
+        assert tr.current_span_id() is None
+        with tr.span("s") as s:
+            assert tr.current_span_id() == s.id
+        assert tr.current_span_id() is None
+
+    def test_span_ids_unique_across_tracers_in_one_process(self):
+        # Two buffering tracers coexist when batch items solve inline;
+        # the process-global sequence keeps their ids distinct.
+        a, b = Tracer(), Tracer()
+        with a.span("x"), b.span("y"):
+            pass
+        ids = {r["id"] for r in a.drain() + b.drain() if "id" in r}
+        assert len(ids) == 2
+
+    def test_exception_recorded_on_span_end(self):
+        sink = io.StringIO()
+        tr = Tracer(sink=sink)
+        try:
+            with tr.span("boom"):
+                raise RuntimeError("no")
+        except RuntimeError:
+            pass
+        end = _records(sink)[-1]
+        assert "RuntimeError" in end["attrs"]["error"]
+
+
+class TestSinksAndMerge:
+    def test_file_sink_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tr = Tracer(path)
+        with tr.span("a"):
+            tr.event("e")
+        tr.close()
+        lines = path.read_text().splitlines()
+        count, problems = validate_trace_lines(iter(lines))
+        assert (count, problems) == (3, [])
+
+    def test_worker_buffer_absorbs_under_root(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        parent = Tracer(path)
+        with parent.span("job") as job:
+            worker = Tracer(root=job.id)   # no sink: buffers
+            with worker.span("work"):
+                worker.event("step")
+            parent.absorb(worker.drain())
+        parent.close()
+        lines = path.read_text().splitlines()
+        count, problems = validate_trace_lines(iter(lines))
+        assert problems == [] and count == 5
+        recs = [json.loads(line) for line in lines]
+        work_start = next(r for r in recs if r["name"] == "work")
+        assert work_start["parent"] == job.id
+
+    def test_drain_clears_buffer_and_absorb_none_is_noop(self):
+        tr = Tracer()
+        tr.event("e")
+        assert len(tr.drain()) == 1
+        assert tr.drain() == []
+        tr.absorb(None)
+        assert tr.drain() == []
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        assert null_tracer.enabled is False
+        with null_tracer.span("anything") as s:
+            assert s.id is None
+        null_tracer.event("e")
+        null_tracer.absorb([{"x": 1}])
+        assert null_tracer.current_span_id() is None
+        null_tracer.flush()
+        null_tracer.close()
+
+    def test_singleton_type(self):
+        assert isinstance(null_tracer, NullTracer)
+
+
+class TestValidation:
+    def test_rejects_bad_json_and_non_object(self):
+        _, problems = validate_trace_lines(iter(["{oops", "[1, 2]"]))
+        assert len(problems) == 2
+
+    def test_rejects_missing_keys_and_unknown_kind(self):
+        lines = [
+            json.dumps({"v": 1, "kind": "event"}),
+            json.dumps({"v": 1, "kind": "nope", "ts": 0, "name": "x"}),
+        ]
+        _, problems = validate_trace_lines(iter(lines))
+        assert any("missing keys" in p for p in problems)
+        assert any("unknown kind" in p for p in problems)
+
+    def test_rejects_unbalanced_spans(self):
+        start = {"v": 1, "kind": "span_start", "ts": 0, "name": "a", "id": "p.1"}
+        _, problems = validate_trace_lines(iter([json.dumps(start)]))
+        assert any("never ended" in p for p in problems)
+
+    def test_rejects_duplicate_and_unknown_ids(self):
+        start = {"v": 1, "kind": "span_start", "ts": 0, "name": "a", "id": "p.1"}
+        end_unknown = {"v": 1, "kind": "span_end", "ts": 0, "name": "b",
+                       "id": "p.9", "dur": 0.0}
+        lines = [json.dumps(start), json.dumps(start),
+                 json.dumps(end_unknown)]
+        _, problems = validate_trace_lines(iter(lines))
+        assert any("duplicate span id" in p for p in problems)
+        assert any("unknown id" in p for p in problems)
+
+    def test_rejects_dangling_parent(self):
+        rec = {"v": 1, "kind": "event", "ts": 0, "name": "e",
+               "parent": "p.404"}
+        _, problems = validate_trace_lines(iter([json.dumps(rec)]))
+        assert any("never started" in p for p in problems)
+
+    def test_blank_lines_skipped(self):
+        count, problems = validate_trace_lines(iter(["", "   ", ""]))
+        assert (count, problems) == (0, [])

@@ -1,0 +1,111 @@
+"""Timeline properties: every engine's convergence series is monotone
+and lands exactly on its final counters.
+
+The probe contract (``repro/obs/probe.py``) promises, regardless of
+engine internals:
+
+* wall time and expansions never decrease along the series,
+* the incumbent never increases and the lower bound never decreases,
+* the final sample's expansion count equals ``stats.states_expanded``
+  (engines always ``finish`` with their cumulative counter),
+* the final incumbent is a schedule the engine actually produced, so
+  it never undercuts a *proven* floor and never exceeds the returned
+  schedule's length (running-min: later engines may return a popped
+  goal no shorter than the best complete child generated en route).
+
+These hold on optimal runs, bounded-suboptimal runs (weighted/focal),
+and budget-interrupted runs alike — which is what makes the timeline
+safe to plot and to merge across portfolio stages.
+"""
+
+import math
+
+from hypothesis import given, settings
+
+from repro.obs.probe import SearchProbe
+from repro.search.astar import astar_schedule
+from repro.search.bnb import bnb_schedule
+from repro.search.focal import focal_schedule
+from repro.search.idastar import idastar_schedule
+from repro.search.weighted import weighted_astar_schedule
+from repro.util.timing import Budget
+from tests.strategies import paper_instances
+
+_SETTINGS = settings(max_examples=15, deadline=None)
+
+_TOL = 1e-6
+
+ENGINES = [
+    ("astar", lambda g, s, probe: astar_schedule(g, s, probe=probe)),
+    ("bnb", lambda g, s, probe: bnb_schedule(g, s, probe=probe)),
+    ("idastar", lambda g, s, probe: idastar_schedule(g, s, probe=probe)),
+    ("weighted", lambda g, s, probe: weighted_astar_schedule(
+        g, s, 0.2, probe=probe)),
+    ("focal", lambda g, s, probe: focal_schedule(g, s, 0.2, probe=probe)),
+]
+
+
+def _assert_monotone(samples):
+    for prev, cur in zip(samples, samples[1:]):
+        assert cur.wall_time >= prev.wall_time
+        assert cur.expansions >= prev.expansions
+        assert cur.incumbent <= prev.incumbent
+        assert cur.lower_bound >= prev.lower_bound
+
+
+def _assert_timeline_contract(name, result):
+    samples = result.timeline
+    assert samples, f"{name}: probe attached no timeline"
+    _assert_monotone(samples)
+    final = samples[-1]
+    assert final.expansions == result.stats.states_expanded, (
+        f"{name}: final sample {final.expansions} != "
+        f"stats {result.stats.states_expanded}"
+    )
+    assert math.isfinite(final.incumbent), f"{name}: no incumbent recorded"
+    assert final.incumbent <= result.length + _TOL
+    assert final.lower_bound <= result.length + _TOL
+
+
+class TestEngineTimelines:
+    @given(inst=paper_instances())
+    @_SETTINGS
+    def test_all_engines_monotone_and_consistent(self, inst):
+        graph, system = inst
+        for name, solve in ENGINES:
+            result = solve(graph, system, SearchProbe(every=1))
+            _assert_timeline_contract(name, result)
+
+    @given(inst=paper_instances())
+    @_SETTINGS
+    def test_coarse_interval_still_finishes(self, inst):
+        # Interval far beyond the run length: only finish() fires, and
+        # the single sample still satisfies the contract.
+        graph, system = inst
+        result = astar_schedule(graph, system,
+                                probe=SearchProbe(every=10_000_000))
+        assert len(result.timeline) == 1
+        _assert_timeline_contract("astar", result)
+
+    @given(inst=paper_instances())
+    @_SETTINGS
+    def test_budget_interrupt_keeps_contract(self, inst):
+        graph, system = inst
+        result = astar_schedule(
+            graph, system, budget=Budget(max_expanded=3),
+            probe=SearchProbe(every=1),
+        )
+        samples = result.timeline
+        assert samples
+        _assert_monotone(samples)
+        assert samples[-1].expansions == result.stats.states_expanded
+        # Interrupted searches still return the fallback incumbent, so
+        # the final sample reflects a real schedule.
+        assert math.isfinite(samples[-1].incumbent)
+
+    @given(inst=paper_instances())
+    @_SETTINGS
+    def test_no_probe_means_empty_timeline(self, inst):
+        graph, system = inst
+        result = astar_schedule(graph, system)
+        assert result.timeline == ()

@@ -330,3 +330,103 @@ class TestSigtermDrain:
             if proc.poll() is None:
                 proc.kill()
                 proc.communicate()
+
+
+class TestMetricsSchema:
+    """Pin the legacy ``/metrics`` JSON schema.
+
+    External scrapers were built against these exact keys; new
+    telemetry must be *additive* (the ``latency`` map is), never a
+    rename or removal.  If this test fails, you broke a consumer —
+    add keys, don't change these.
+    """
+
+    LEGACY_TOP_LEVEL = {
+        "uptime_seconds", "draining", "queue_depth", "queue_limit",
+        "running", "in_flight", "pool_workers", "jobs", "failures",
+        "cache_hit_rate", "engines", "cache",
+    }
+    LEGACY_JOB_COUNTERS = {
+        "submitted", "accepted", "rejected", "completed", "failed",
+        "cache_hits", "dedup_fanout", "solved", "pool_rebuilds",
+        "degraded", "cache_errors",
+    }
+    LEGACY_FAILURE_CAUSES = {
+        "broken_pool", "worker_error", "completion_error",
+    }
+
+    def test_legacy_keys_pinned(self, client):
+        m = client.metrics()
+        assert self.LEGACY_TOP_LEVEL <= set(m)
+        assert self.LEGACY_JOB_COUNTERS <= set(m["jobs"])
+        assert self.LEGACY_FAILURE_CAUSES <= set(m["failures"])
+        assert isinstance(m["uptime_seconds"], float)
+        assert isinstance(m["draining"], bool)
+        assert isinstance(m["cache_hit_rate"], float)
+        for section in ("jobs", "failures", "engines", "cache"):
+            assert isinstance(m[section], dict)
+
+    def test_latency_section_is_additive_and_json_safe(self, client, server):
+        # Drive one solve through so latency histograms are populated.
+        graph = graph_for(seed=431, v=8)
+        ServerClient(port=server.port).solve(graph, pes=2)
+        m = client.metrics()
+        assert "request_seconds" in m["latency"]
+        assert "queue_wait_seconds" in m["latency"]
+        assert any(k.startswith("solve_seconds{engine=")
+                   for k in m["latency"])
+        for summary in m["latency"].values():
+            assert set(summary) == {"count", "sum", "p50", "p99"}
+            for v in summary.values():
+                # strict JSON: None or a finite float, never nan/inf
+                assert v is None or (isinstance(v, float)
+                                     and v == v and abs(v) != float("inf"))
+        # Round-trips through strict JSON (allow_nan=False raises on
+        # any nan/Infinity that snuck in).
+        json.dumps(m, allow_nan=False)
+
+
+class TestPrometheusEndpoint:
+    def _scrape(self, server, query="format=prometheus"):
+        import http.client as hc
+        conn = hc.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            conn.request("GET", f"/metrics?{query}")
+            resp = conn.getresponse()
+            return resp.status, dict(
+                (k.lower(), v) for k, v in resp.getheaders()
+            ), resp.read().decode()
+        finally:
+            conn.close()
+
+    def test_text_exposition_format(self, server):
+        graph = graph_for(seed=433, v=8)
+        ServerClient(port=server.port).solve(graph, pes=2)
+        status, headers, body = self._scrape(server)
+        assert status == 200
+        assert headers["content-type"] == (
+            "text/plain; version=0.0.4; charset=utf-8"
+        )
+        assert "# TYPE repro_request_seconds histogram" in body
+        assert 'repro_request_seconds_bucket{le="+Inf"}' in body
+        assert "repro_request_seconds_sum" in body
+        assert "repro_request_seconds_count" in body
+        assert "# TYPE repro_jobs_total counter" in body
+        assert 'repro_jobs_total{event="completed"}' in body
+        assert "# TYPE repro_queue_depth gauge" in body
+        assert "repro_uptime_seconds" in body
+        # Every sample line is "name{labels} value" with a float value.
+        for line in body.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            assert name and float(value) is not None
+
+    def test_unknown_format_is_400(self, server):
+        status, _, body = self._scrape(server, query="format=xml")
+        assert status == 400
+        assert "error" in json.loads(body)
+
+    def test_json_remains_the_default(self, client):
+        m = client.metrics()
+        assert "jobs" in m  # decoded as JSON, not text
