@@ -74,7 +74,7 @@ from repro.search.pruning import PruningConfig
 from repro.search.result import SearchResult
 from repro.service.batch import run_batch
 from repro.service.cache import ResultCache
-from repro.service.fingerprint import instance_fingerprint
+from repro.schedule.fingerprint import instance_fingerprint
 from repro.service.portfolio import portfolio_schedule, select_engine
 from repro.system.processors import ProcessorSystem
 from repro.util.timing import Budget

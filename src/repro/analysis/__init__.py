@@ -1,0 +1,53 @@
+"""Static analysis for the repro codebase: ``repro lint``.
+
+A dependency-free invariant checker built on the stdlib :mod:`ast`
+module.  The codebase carries a set of load-bearing conventions that
+ordinary linters cannot see — relative-tolerance float comparisons
+(:mod:`repro.util.tolerance`), the strict package layering that keeps
+the import graph acyclic, the engine anytime/probe contract, and the
+shared-state discipline of the multiprocess backend.  Each of those is
+enforced here as a machine-checked rule, run as a blocking CI gate.
+
+Usage::
+
+    repro lint src tests                      # text report, exit 1 on findings
+    repro lint --format json src              # machine-readable report
+    repro lint --baseline FILE src tests      # pre-existing findings pass
+    repro lint --rules layering,float-compare src
+
+or from Python::
+
+    from repro.analysis import lint_paths
+    report = lint_paths(["src", "tests"])
+    assert not report.findings
+
+The subsystem is intentionally **dependency-free in both directions**:
+it imports nothing from the rest of :mod:`repro` (so it can lint a
+broken tree) and nothing outside the standard library.  See
+``docs/analysis.md`` for the rule catalog, the suppression and
+baseline workflow, and how to add a rule.
+"""
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.driver import (
+    ModuleContext,
+    Report,
+    Rule,
+    collect_files,
+    lint_paths,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.rules import available_rules, make_rules
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Report",
+    "Rule",
+    "available_rules",
+    "collect_files",
+    "lint_paths",
+    "load_baseline",
+    "make_rules",
+    "write_baseline",
+]

@@ -1,0 +1,100 @@
+"""Committed-baseline mechanics for ``repro lint``.
+
+A baseline grandfathers *pre-existing* findings when a new rule lands:
+entries matching a current finding are subtracted from the report, new
+findings still block, and entries matching nothing are *stale* — the
+CI self-check (``--check-baseline``) fails on stale entries so the
+baseline can only shrink over time.
+
+File format (JSON, committed at the repo root as
+``.repro-lint-baseline.json``)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"rule": "float-compare", "path": "src/repro/x.py",
+         "message": "raw float comparison ..."}
+      ]
+    }
+
+Entries match on ``(rule, path, message)`` — deliberately not the line
+number, which churns with every unrelated edit (see
+:attr:`repro.analysis.findings.Finding.baseline_key`).  One entry
+absorbs every current finding with its key, so a mechanically repeated
+violation does not need one entry per occurrence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+
+def load_baseline(path: str | os.PathLike) -> list[dict]:
+    """Load and validate a baseline file; returns its entries."""
+    raw = Path(path).read_text(encoding="utf-8")
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path}: not valid JSON: {exc}") from None
+    if not isinstance(data, dict) or not isinstance(data.get("entries"), list):
+        raise ValueError(
+            f"baseline {path}: expected an object with an 'entries' list"
+        )
+    entries = []
+    for i, entry in enumerate(data["entries"]):
+        if not isinstance(entry, dict) or not all(
+            isinstance(entry.get(k), str) for k in ("rule", "path", "message")
+        ):
+            raise ValueError(
+                f"baseline {path}: entry #{i} must carry string "
+                f"'rule', 'path' and 'message' fields"
+            )
+        entries.append(entry)
+    return entries
+
+
+def write_baseline(path: str | os.PathLike, findings) -> int:
+    """Write ``findings`` as a fresh baseline; returns the entry count.
+
+    Duplicate keys collapse to one entry (matching is one-to-many).
+    """
+    seen: dict[tuple[str, str, str], dict] = {}
+    for f in findings:
+        seen.setdefault(
+            f.baseline_key,
+            {"rule": f.rule, "path": f.path, "message": f.message},
+        )
+    entries = [seen[k] for k in sorted(seen)]
+    payload = {"version": 1, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: list[Finding], entries: list[dict]
+) -> tuple[list[Finding], int, list[dict]]:
+    """Subtract baselined findings.
+
+    Returns ``(kept_findings, baselined_count, stale_entries)`` where
+    stale entries are the ones that matched no current finding.
+    """
+    keys = {(e["rule"], e["path"], e["message"]) for e in entries}
+    kept: list[Finding] = []
+    matched: set[tuple[str, str, str]] = set()
+    baselined = 0
+    for f in findings:
+        if f.baseline_key in keys:
+            matched.add(f.baseline_key)
+            baselined += 1
+        else:
+            kept.append(f)
+    stale = [
+        e for e in entries if (e["rule"], e["path"], e["message"]) not in matched
+    ]
+    return kept, baselined, stale

@@ -1,0 +1,363 @@
+"""Single-pass AST lint driver.
+
+Every file is parsed once (with an in-process cache keyed on mtime, so
+repeated :func:`lint_paths` calls from tests do not re-parse the tree)
+and walked once; rules subscribe to the node types they care about via
+:attr:`Rule.interests` and are dispatched during that single walk with
+the ancestor stack available on the context.  Rules that need
+whole-module state (unused imports, worker reachability) do their work
+in :meth:`Rule.finish_module`; rules that need *cross*-module state
+(the engine-contract registry check) accumulate during the walk and
+report from :meth:`Rule.finish_run`.
+
+Suppressions
+------------
+
+``# repro: ignore[rule-id]`` on the offending line suppresses that
+rule's findings on the line; on a standalone comment line it applies
+to the following line.  Multiple ids separate with commas.  Every
+suppression should carry a neighbouring comment saying *why* — the
+rule catalog in ``docs/analysis.md`` treats an unexplained suppression
+as a review smell.
+
+Baselines
+---------
+
+A committed baseline file (see :mod:`repro.analysis.baseline`) lets a
+new rule land without blocking on pre-existing findings: baselined
+findings are subtracted from the report, and entries that no longer
+match anything are listed as *stale* so CI can require the baseline to
+stay minimal.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import apply_baseline, load_baseline
+from repro.analysis.findings import Finding
+
+__all__ = ["Rule", "ModuleContext", "Report", "collect_files", "lint_paths"]
+
+#: ``# repro: ignore[float-compare]`` / ``ignore[a, b]``.
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\- ]+)\]")
+
+#: Parse cache: (path, mtime_ns) -> (tree, source).  Bounded by a
+#: clear-on-overflow guard; the working set (one repo) is far smaller.
+_PARSE_CACHE: dict[tuple[str, int], tuple[ast.Module, str]] = {}
+_PARSE_CACHE_LIMIT = 4096
+
+
+def _parse(path: Path) -> tuple[ast.Module, str]:
+    try:
+        stamp = path.stat().st_mtime_ns
+    except OSError:
+        stamp = -1
+    key = (str(path), stamp)
+    hit = _PARSE_CACHE.get(key)
+    if hit is not None:
+        return hit
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    if len(_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
+        _PARSE_CACHE.clear()
+    _PARSE_CACHE[key] = (tree, source)
+    return tree, source
+
+
+def module_parts(path: Path) -> tuple[str, ...] | None:
+    """Dotted-module identity of ``path`` inside the ``repro`` package.
+
+    ``src/repro/search/astar.py`` -> ``("repro", "search", "astar")``;
+    package ``__init__`` files collapse to the package tuple.  Returns
+    ``None`` for files outside a ``repro`` package root (tests,
+    benchmarks) — path-scoped rules skip those.  A ``src/repro``
+    anchor wins over a bare ``repro`` path component so a repo checked
+    out *as* a directory named ``repro`` does not swallow its tests.
+    """
+    parts = list(path.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    anchor = None
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            if i > 0 and parts[i - 1] == "src":
+                anchor = i
+                break
+            if anchor is None:
+                anchor = i
+    if anchor is None:
+        return None
+    mod = tuple(parts[anchor:])
+    if mod[-1] == "__init__":
+        mod = mod[:-1]
+    return mod
+
+
+class ModuleContext:
+    """Per-file state handed to every rule callback."""
+
+    def __init__(self, path: Path, display: str, tree: ast.Module, source: str):
+        self.path = path
+        #: Path as shown in findings (relative to the lint root).
+        self.display = display
+        self.tree = tree
+        self.source = source
+        self.lines = source.splitlines()
+        #: Dotted-module tuple, or None outside the repro package.
+        self.module = module_parts(path)
+        #: Ancestor stack maintained by the walker; ``ancestors[-1]``
+        #: is the parent of the node currently being visited.  Rules
+        #: must copy it if they need it beyond the callback.
+        self.ancestors: list[ast.AST] = []
+        self.findings: list[Finding] = []
+
+    def in_packages(self, *packages: str) -> bool:
+        """True when this module lives under ``repro.<package>``."""
+        return (
+            self.module is not None
+            and len(self.module) >= 2
+            and self.module[1] in packages
+        )
+
+    def report(
+        self,
+        rule: "Rule",
+        node: ast.AST | int,
+        message: str,
+        severity: str | None = None,
+    ) -> None:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        self.findings.append(
+            Finding(
+                path=self.display,
+                line=line,
+                rule=rule.id,
+                message=message,
+                severity=severity or rule.severity,
+            )
+        )
+
+    def segment(self, node: ast.AST, limit: int = 60) -> str:
+        """Source text of ``node``, truncated, for messages."""
+        text = ast.get_source_segment(self.source, node) or "<expr>"
+        text = " ".join(text.split())
+        return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`id`, :attr:`description` and
+    :attr:`interests` (the AST node types :meth:`visit` wants) and
+    implement any of the four hooks.  One rule instance sees the whole
+    run, module by module, so cross-module rules can accumulate state.
+    """
+
+    id: str = ""
+    description: str = ""
+    severity: str = "error"
+    #: Node types dispatched to :meth:`visit` during the single walk.
+    interests: tuple[type, ...] = ()
+
+    def begin_module(self, ctx: ModuleContext) -> bool:
+        """Return False to skip this module entirely."""
+        return True
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        """Called for every node whose type is in :attr:`interests`."""
+
+    def finish_module(self, ctx: ModuleContext) -> None:
+        """Called after the walk; whole-module analyses report here."""
+
+    def finish_run(self, report) -> None:
+        """Called once after every module; ``report(Finding)`` emits."""
+
+
+@dataclass
+class Report:
+    """Outcome of one :func:`lint_paths` run."""
+
+    findings: list[Finding]
+    files: int
+    seconds: float
+    rules: tuple[str, ...] = ()
+    suppressed: int = 0
+    baselined: int = 0
+    stale_baseline: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no unbaselined, unsuppressed findings remain."""
+        return not self.findings
+
+    def as_dict(self) -> dict[str, object]:
+        """The JSON report schema (version 1, additive-only)."""
+        return {
+            "version": 1,
+            "files": self.files,
+            "seconds": round(self.seconds, 3),
+            "rules": list(self.rules),
+            "counts": {
+                "findings": len(self.findings),
+                "suppressed": self.suppressed,
+                "baselined": self.baselined,
+                "stale_baseline": len(self.stale_baseline),
+            },
+            "findings": [f.as_dict() for f in self.findings],
+            "stale_baseline": self.stale_baseline,
+        }
+
+    def render(self) -> str:
+        """Text report: one line per finding plus a summary."""
+        out = [f.render() for f in self.findings]
+        for entry in self.stale_baseline:
+            out.append(
+                f"{entry.get('path', '?')}: [baseline] stale entry for "
+                f"rule '{entry.get('rule', '?')}' — the finding no longer "
+                f"exists; remove it from the baseline"
+            )
+        out.append(
+            f"{len(self.findings)} finding(s) across {self.files} file(s) "
+            f"in {self.seconds:.2f}s"
+            + (f" ({self.baselined} baselined)" if self.baselined else "")
+            + (f" ({self.suppressed} suppressed)" if self.suppressed else "")
+        )
+        return "\n".join(out)
+
+
+def collect_files(paths) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated .py list."""
+    seen: dict[Path, None] = {}
+    missing: list[str] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if "__pycache__" not in f.parts:
+                    seen.setdefault(f, None)
+        elif p.is_file():
+            seen.setdefault(p, None)
+        else:
+            missing.append(str(raw))
+    if missing:
+        raise FileNotFoundError(f"no such file or directory: {missing}")
+    return sorted(seen)
+
+
+def _suppressions(lines: list[str]) -> dict[int, set[str]]:
+    """Map line number -> suppressed rule ids.
+
+    A marker on a code line covers that line; on a standalone comment
+    line it covers the next line.
+    """
+    out: dict[int, set[str]] = {}
+    for idx, line in enumerate(lines, start=1):
+        m = _SUPPRESS_RE.search(line)
+        if m is None:
+            continue
+        ids = {part.strip() for part in m.group(1).split(",") if part.strip()}
+        target = idx + 1 if line.lstrip().startswith("#") else idx
+        out.setdefault(target, set()).update(ids)
+    return out
+
+
+def _walk(node: ast.AST, ctx: ModuleContext, dispatch) -> None:
+    ctx.ancestors.append(node)
+    for child in ast.iter_child_nodes(node):
+        for rule in dispatch.get(type(child), ()):
+            rule.visit(child, ctx)
+        _walk(child, ctx, dispatch)
+    ctx.ancestors.pop()
+
+
+def lint_paths(
+    paths,
+    *,
+    rules=None,
+    baseline: str | os.PathLike | None = None,
+    root: str | os.PathLike | None = None,
+) -> Report:
+    """Lint ``paths`` (files or directories) and return a :class:`Report`.
+
+    Parameters
+    ----------
+    rules:
+        Iterable of rule ids to run (default: all registered rules).
+    baseline:
+        Path to a baseline file; matching findings are subtracted and
+        counted in :attr:`Report.baselined`, entries matching nothing
+        land in :attr:`Report.stale_baseline`.
+    root:
+        Directory findings' paths are reported relative to (default:
+        the current working directory).
+    """
+    from repro.analysis.rules import make_rules
+
+    t0 = time.perf_counter()
+    rule_objs = make_rules(rules)
+    rootp = Path(root) if root is not None else Path.cwd()
+    files = collect_files(paths)
+
+    findings: list[Finding] = []
+    suppressed = 0
+    for path in files:
+        try:
+            display = path.resolve().relative_to(rootp.resolve()).as_posix()
+        except ValueError:
+            display = path.as_posix()
+        try:
+            tree, source = _parse(path)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            findings.append(
+                Finding(
+                    path=display,
+                    line=line,
+                    rule="parse-error",
+                    message=f"cannot analyze file: {exc}",
+                )
+            )
+            continue
+        ctx = ModuleContext(path, display, tree, source)
+        live = [r for r in rule_objs if r.begin_module(ctx)]
+        dispatch: dict[type, list[Rule]] = {}
+        for r in live:
+            for t in r.interests:
+                dispatch.setdefault(t, []).append(r)
+        _walk(tree, ctx, dispatch)
+        for r in live:
+            r.finish_module(ctx)
+        per_line = _suppressions(ctx.lines)
+        for finding in ctx.findings:
+            if finding.rule in per_line.get(finding.line, ()):
+                suppressed += 1
+            else:
+                findings.append(finding)
+
+    # Cross-module rules report last (suppression is line-scoped and
+    # already applied to per-module findings; finish_run findings
+    # anchor at registration sites and are suppressed via baseline).
+    for r in rule_objs:
+        r.finish_run(findings.append)
+
+    findings.sort()
+    baselined = 0
+    stale: list[dict] = []
+    if baseline is not None:
+        entries = load_baseline(baseline)
+        findings, baselined, stale = apply_baseline(findings, entries)
+    return Report(
+        findings=findings,
+        files=len(files),
+        seconds=time.perf_counter() - t0,
+        rules=tuple(r.id for r in rule_objs),
+        suppressed=suppressed,
+        baselined=baselined,
+        stale_baseline=stale,
+    )

@@ -1,0 +1,55 @@
+"""The :class:`Finding` record every rule produces.
+
+Findings are plain frozen dataclasses ordered by ``(path, line, rule)``
+so reports are deterministic regardless of rule execution order, and
+their :attr:`~Finding.baseline_key` deliberately excludes the line
+number — a baseline entry keeps matching the finding it grandfathered
+even as unrelated edits shift the file around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding", "SEVERITIES"]
+
+#: Recognized severities; every built-in rule reports ``"error"`` (the
+#: lint gate is blocking — a rule not worth blocking on is not worth
+#: running in CI), but the field exists so downstream consumers can
+#: triage a JSON report.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    severity: str = "error"
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity for baseline matching: ``(rule, path, message)``.
+
+        Line numbers churn with every edit; the message text is stable
+        for a given violation, so a baselined finding stays baselined
+        until the offending code actually changes.
+        """
+        return (self.rule, self.path, self.message)
+
+    def render(self) -> str:
+        """The one-line text-report form."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat dict for the JSON report."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "severity": self.severity,
+        }

@@ -1,0 +1,70 @@
+"""``mutable-default`` — shared mutable default arguments.
+
+A ``def f(x, acc=[])`` default is created once at function definition
+and shared across calls — in this codebase that class of bug is
+amplified by the multiprocessing layer, where a mutated default in a
+parent-process helper silently diverges from the copy forked into
+workers.  Flags ``list``/``dict``/``set`` displays and comprehensions,
+and bare ``list()``/``dict()``/``set()`` calls, used as parameter
+defaults.  The fix is the stock ``None`` sentinel.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.driver import ModuleContext, Rule
+
+__all__ = ["MutableDefaultRule"]
+
+_MUTABLE_DISPLAYS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+_MUTABLE_CTORS = frozenset({"list", "dict", "set"})
+
+
+def _is_mutable(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_DISPLAYS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CTORS
+        and not node.args
+        and not node.keywords
+    )
+
+
+class MutableDefaultRule(Rule):
+    id = "mutable-default"
+    description = "mutable default argument is shared across calls"
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        args = node.args
+        name = getattr(node, "name", "<lambda>")
+        # Positional defaults align with the *tail* of args+posonly.
+        positional = list(args.posonlyargs) + list(args.args)
+        offset = len(positional) - len(args.defaults)
+        pairs = [
+            (positional[offset + i], d) for i, d in enumerate(args.defaults)
+        ]
+        pairs += [
+            (a, d)
+            for a, d in zip(args.kwonlyargs, args.kw_defaults)
+            if d is not None
+        ]
+        for arg, default in pairs:
+            if _is_mutable(default):
+                ctx.report(
+                    self,
+                    default,
+                    f"mutable default '{arg.arg}={ctx.segment(default)}' in "
+                    f"'{name}' is created once and shared across calls; use "
+                    f"'{arg.arg}=None' and create it inside the body",
+                )

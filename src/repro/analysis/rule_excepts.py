@@ -1,0 +1,96 @@
+"""``bare-except`` / ``swallowed-error`` — silent failure paths.
+
+PR 6's fault-hardening pass established the error discipline: a solver
+worker that dies must *report* death (poison pill, crash record), never
+vanish.  Two anti-patterns undo that:
+
+* ``except:`` — catches ``KeyboardInterrupt``/``SystemExit`` too, so a
+  Ctrl-C mid-search can be eaten by a cleanup path (``bare-except``);
+* ``except Exception: pass`` (or a lone ``continue``/``...``) — the
+  error is caught broadly and then *dropped* with no logging, re-raise
+  or state recording (``swallowed-error``).
+
+``swallowed-error`` only fires on *broad* handlers (``Exception``,
+``BaseException``, ``OSError``) whose body does nothing observable.  A
+handler that logs, re-raises, records to a crash channel, or assigns a
+fallback is fine; narrow handlers (``except KeyError: pass``) are a
+legitimate idiom and are never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.driver import ModuleContext, Rule
+
+__all__ = ["BareExceptRule", "SwallowedErrorRule"]
+
+_BROAD = frozenset({"Exception", "BaseException", "OSError"})
+
+
+def _handler_names(handler: ast.ExceptHandler):
+    """Exception class names a handler catches (dotted -> last part)."""
+    node = handler.type
+    if node is None:
+        return
+    items = node.elts if isinstance(node, ast.Tuple) else [node]
+    for item in items:
+        if isinstance(item, ast.Name):
+            yield item.id
+        elif isinstance(item, ast.Attribute):
+            yield item.attr
+
+
+def _is_noop_body(body: list[ast.stmt]) -> bool:
+    """True when the handler body observably does nothing with the error."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Continue):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / `...`
+        return False
+    return True
+
+
+class BareExceptRule(Rule):
+    id = "bare-except"
+    description = "bare `except:` also catches KeyboardInterrupt/SystemExit"
+    interests = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
+            ctx.report(
+                self,
+                node,
+                "bare 'except:' catches KeyboardInterrupt and SystemExit; "
+                "catch Exception (or something narrower) instead",
+            )
+
+
+class SwallowedErrorRule(Rule):
+    id = "swallowed-error"
+    description = (
+        "broad `except Exception` whose body silently drops the error"
+    )
+    interests = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
+            return  # bare-except owns that case
+        caught = set(_handler_names(node))
+        if not (caught & _BROAD):
+            return
+        if not _is_noop_body(node.body):
+            return
+        ctx.report(
+            self,
+            node,
+            f"broad 'except {'/'.join(sorted(caught & _BROAD))}' silently "
+            f"drops the error; log it, re-raise, or record it on the "
+            f"crash/fault channel (see repro.testing.faults) — a worker "
+            f"that fails must report failure",
+        )

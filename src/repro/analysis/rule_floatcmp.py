@@ -1,0 +1,173 @@
+"""``float-compare`` — raw comparisons between cost-like floats.
+
+Search costs are sums and maxima of task weights and communication
+delays; two mathematically-equal ``f`` values computed along different
+expansion orders differ by accumulated rounding.  Every comparison
+that *decides* something — prune, terminate, admit — must therefore
+route through :mod:`repro.util.tolerance` (``leq``/``lt``/``geq``/
+``gt``/``proves_bound``); PR 3 and PR 5 each had to re-unify hand
+-rolled ``<= ... + 1e-9`` call sites, which is exactly the regression
+this rule freezes out.
+
+Scope (deliberately narrow to stay high-precision):
+
+* only comparisons inside ``if``/``while`` **tests** — statement-level
+  decisions.  Value computations (ternaries, comprehensions, ``return``
+  expressions, ``min``/``max`` folds) are not decisions and stay exact;
+* both operands must be *cost-like* (the identifier vocabulary below:
+  ``f``, ``cf``, ``makespan``, ``length``, ``bound``, ``upper``, …);
+* comparisons against numeric literals are exempt — ``if length <= 0``
+  is a validation guard, not a drift-sensitive decision;
+* **running-extremum updates are exempt**: when the branch body assigns
+  one of the compared operands (``if f > lower: lower = f``,
+  ``if child.makespan < best.length: best = child…``), the comparison
+  maintains an incumbent/extremum and is deliberately exact — replacing
+  a schedule only on a strict raw improvement is safe without
+  tolerance, and keeps engines byte-identical to the reference
+  implementations the property tests pin.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.driver import ModuleContext, Rule
+
+__all__ = ["FloatCompareRule"]
+
+#: Identifiers treated as cost/makespan/f-value expressions.
+_COST_VOCAB = frozenset(
+    {
+        "f", "g", "h", "cf", "ch", "est", "cost", "makespan", "length",
+        "best_len", "bound", "lower", "upper", "incumbent", "threshold",
+        "floor", "min_f", "max_f", "f_value", "fvalue", "lb", "ub",
+        "lower_bound", "upper_bound", "span", "best_f",
+    }
+)
+
+_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def _is_numeric_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ) and not isinstance(node.value, bool)
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for pure Name/Attribute chains, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _cost_paths(node: ast.AST) -> tuple[set[str], bool]:
+    """``(referenced paths+roots, is cost-like)`` for an operand."""
+    if isinstance(node, ast.Name):
+        return {node.id}, node.id in _COST_VOCAB
+    if isinstance(node, ast.Attribute):
+        dotted = _dotted(node)
+        paths = {dotted} if dotted else set()
+        if dotted:
+            paths.add(dotted.split(".", 1)[0])
+        return paths, node.attr in _COST_VOCAB
+    if isinstance(node, ast.UnaryOp):
+        return _cost_paths(node.operand)
+    if isinstance(node, ast.BinOp):
+        lp, lok = _cost_paths(node.left)
+        rp, rok = _cost_paths(node.right)
+        return lp | rp, lok or rok
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else None
+        if name in ("min", "max", "abs"):
+            paths: set[str] = set()
+            ok = False
+            for arg in node.args:
+                ap, aok = _cost_paths(arg)
+                paths |= ap
+                ok = ok or aok
+            return paths, ok
+        return set(), False
+    if isinstance(node, ast.Subscript):
+        # frontier[0][0]-style peeks at heap keys: treat as opaque.
+        return set(), False
+    return set(), False
+
+
+def _assigned_paths(stmts) -> set[str]:
+    """Paths (and their roots) assigned anywhere in the statements."""
+    out: set[str] = set()
+
+    def add(target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                add(elt)
+            return
+        if isinstance(target, (ast.Subscript, ast.Starred)):
+            add(target.value)
+            return
+        dotted = _dotted(target)
+        if dotted:
+            out.add(dotted)
+            out.add(dotted.split(".", 1)[0])
+
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                for t in node.targets:
+                    add(t)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                add(node.target)
+    return out
+
+
+class FloatCompareRule(Rule):
+    id = "float-compare"
+    description = (
+        "raw ==/</<=/>/>= between cost-like floats in a branch decision; "
+        "route through repro.util.tolerance"
+    )
+    interests = (ast.If, ast.While)
+
+    def begin_module(self, ctx: ModuleContext) -> bool:
+        # tolerance.py IS the sanctioned home of raw comparisons.
+        return ctx.module != ("repro", "util", "tolerance")
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, (ast.If, ast.While))
+        assigned = _assigned_paths(node.body) | _assigned_paths(node.orelse)
+        for cmp_ in ast.walk(node.test):
+            if not isinstance(cmp_, ast.Compare):
+                continue
+            operands = [cmp_.left, *cmp_.comparators]
+            for i, op in enumerate(cmp_.ops):
+                if not isinstance(op, _OPS):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                if _is_numeric_literal(left) or _is_numeric_literal(right):
+                    continue
+                lpaths, lok = _cost_paths(left)
+                rpaths, rok = _cost_paths(right)
+                if not (lok and rok):
+                    continue
+                if (lpaths | rpaths) & assigned:
+                    continue  # running extremum / incumbent update
+                ctx.report(
+                    self,
+                    cmp_,
+                    f"raw float comparison '{ctx.segment(cmp_)}' between "
+                    f"cost-like values decides this branch; use "
+                    f"repro.util.tolerance (leq/lt/geq/gt/proves_bound) "
+                    f"so accumulated rounding cannot flip the decision",
+                )
+                break

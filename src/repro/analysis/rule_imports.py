@@ -1,0 +1,80 @@
+"""``unused-import`` — imports no longer referenced in the module.
+
+Dead imports are noise in most codebases; here they are worse, because
+an import *executes* the imported module — a stale ``from repro.parallel
+import ...`` in a low-layer module both violates layering and drags the
+multiprocessing machinery into processes that never use it.
+
+Mechanics: collect every binding introduced by ``import``/``from ...
+import`` at any nesting level, then subtract names referenced by
+``Name``/``Attribute``-root/``global``/``nonlocal`` usage and names
+mentioned inside string constants (docstrings and ``__all__`` are
+plain strings to the AST; a word-boundary search keeps re-exported
+names alive).  ``__init__.py`` files are skipped entirely — their
+imports *are* the public API.  ``from __future__ import ...`` and
+``import x as _`` underscore bindings are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.driver import ModuleContext, Rule
+
+__all__ = ["UnusedImportRule"]
+
+
+class UnusedImportRule(Rule):
+    id = "unused-import"
+    description = "imported name is never used in the module"
+    severity = "warning"
+    interests = ()  # whole-module analysis in finish_module
+
+    def begin_module(self, ctx: ModuleContext) -> bool:
+        # __init__.py imports are the package's public surface.
+        return ctx.path.name != "__init__.py"
+
+    def finish_module(self, ctx: ModuleContext) -> None:
+        #: binding name -> (lineno, display text)
+        imported: dict[str, tuple[int, str]] = {}
+        used: set[str] = set()
+        strings: list[str] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    # `import a.b` binds the root `a`; `as` binds the alias.
+                    bound = alias.asname or alias.name.split(".")[0]
+                    imported.setdefault(bound, (node.lineno, alias.name))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    imported.setdefault(
+                        bound,
+                        (node.lineno, f"{node.module or ''}.{alias.name}"),
+                    )
+            elif isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                used.update(node.names)
+            elif isinstance(node, ast.Constant) and isinstance(
+                node.value, str
+            ):
+                strings.append(node.value)
+        blob = "\n".join(strings)
+        for name, (lineno, display) in sorted(
+            imported.items(), key=lambda kv: kv[1][0]
+        ):
+            if name in used or name.startswith("_"):
+                continue
+            if re.search(rf"\b{re.escape(name)}\b", blob):
+                continue  # referenced in __all__, a docstring or doctest
+            ctx.report(
+                self,
+                lineno,
+                f"'{display}' is imported as '{name}' but never used",
+            )

@@ -1,0 +1,165 @@
+"""``layering`` — the package import order, machine-enforced.
+
+The codebase is layered so the import graph stays acyclic without
+tricks.  Each package may import only packages at its own layer or
+below; the full order (low to high)::
+
+    errors / util / obs / testing / analysis     (0: leaf utilities)
+    system                                       (1)
+    graph                                        (2)
+    schedule                                     (3)
+    heuristics                                   (4)
+    search                                       (5)
+    baselines / workloads                        (6)
+    parallel                                     (7)
+    service                                      (8)
+    experiments                                  (9)
+    cli / __init__ / __main__                    (top: may import anything)
+
+Special leaves:
+
+* ``obs`` is importable by everything but imports **nothing** from
+  repro — telemetry must never create a dependency;
+* ``testing`` ships fault hooks and lock instrumentation callable from
+  any layer, so it too imports nothing;
+* ``analysis`` (this subsystem) is fully freestanding so it can lint a
+  broken tree.
+
+The rule inspects **every** ``import`` statement, including
+function-local ones — a deferred import hides a cycle from Python's
+import machinery but not from the layer order (the lazy ``"hda"``
+engine loader this rule retired was exactly that trick).  The DESIGN.md
+"Package layering" diagram is generated from this table; keep them in
+sync.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.driver import ModuleContext, Rule
+
+__all__ = ["LayeringRule", "LAYERS", "LAYER_ORDER"]
+
+#: Package -> layer rank.  Equal ranks may not depend on each other
+#: being imported first, but may coexist (baselines vs workloads).
+LAYERS: dict[str, int] = {
+    "errors": 0,
+    "util": 0,
+    "obs": 0,
+    "testing": 0,
+    "analysis": 0,
+    "system": 1,
+    "graph": 2,
+    "schedule": 3,
+    "heuristics": 4,
+    "search": 5,
+    "baselines": 6,
+    "workloads": 6,
+    "parallel": 7,
+    "service": 8,
+    "experiments": 9,
+}
+
+#: Human-readable order for messages and the DESIGN.md diagram.
+LAYER_ORDER = (
+    "errors/util/obs/testing/analysis → system → graph → schedule → "
+    "heuristics → search → baselines/workloads → parallel → service → "
+    "experiments → cli"
+)
+
+#: Root-level modules allowed to import anything.
+_ROOT_MODULES = frozenset({"cli", "__main__"})
+_TOP_RANK = 99
+
+#: Leaf packages that may import no other repro package.
+_FREESTANDING = frozenset({"obs", "testing", "analysis"})
+
+
+def _my_rank(module: tuple[str, ...]) -> tuple[str, int] | None:
+    """``(package, rank)`` of the importing module, None to skip."""
+    if len(module) == 1:  # repro/__init__.py
+        return ("repro", _TOP_RANK)
+    pkg = module[1]
+    if pkg in _ROOT_MODULES:
+        return (pkg, _TOP_RANK)
+    if pkg in LAYERS:
+        return (pkg, LAYERS[pkg])
+    return (pkg, -1)  # unknown: flagged so the map stays complete
+
+
+class LayeringRule(Rule):
+    id = "layering"
+    description = (
+        "import from a higher layer (util → graph → search → parallel → "
+        "service → cli; obs/testing/analysis import nothing)"
+    )
+    interests = (ast.Import, ast.ImportFrom)
+
+    def begin_module(self, ctx: ModuleContext) -> bool:
+        if ctx.module is None or ctx.module[0] != "repro":
+            return False
+        info = _my_rank(ctx.module)
+        if info is None:
+            return False
+        self._pkg, self._rank = info
+        self._module = ctx.module
+        return True
+
+    def _targets(self, node: ast.Import | ast.ImportFrom):
+        """Imported repro package names (with the reported lineno)."""
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                parts = alias.name.split(".")
+                if parts[0] == "repro":
+                    yield parts[1] if len(parts) > 1 else "repro"
+            return
+        if node.level:  # relative: resolve against this module's package
+            base = self._module[: -node.level] if node.level <= len(
+                self._module
+            ) else ()
+            parts = list(base) + (node.module.split(".") if node.module else [])
+        else:
+            parts = node.module.split(".") if node.module else []
+        if parts and parts[0] == "repro":
+            yield parts[1] if len(parts) > 1 else "repro"
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, (ast.Import, ast.ImportFrom))
+        if self._rank == -1:
+            ctx.report(
+                self,
+                node,
+                f"package 'repro.{self._pkg}' is not in the layer map; "
+                f"add it to repro.analysis.rule_layering.LAYERS (and the "
+                f"DESIGN.md layering diagram)",
+            )
+            return
+        for target in self._targets(node):
+            if target == "repro":
+                target_rank = _TOP_RANK
+            else:
+                target_rank = LAYERS.get(target)
+            if target_rank is None:
+                continue  # importing an unknown package: its own module
+                # will be flagged when linted
+            if self._pkg in _FREESTANDING and target != self._pkg:
+                ctx.report(
+                    self,
+                    node,
+                    f"repro.{self._pkg} must stay freestanding (importable "
+                    f"from every layer) but imports repro.{target}",
+                )
+                continue
+            if self._rank >= _TOP_RANK:
+                continue
+            if target_rank > self._rank:
+                ctx.report(
+                    self,
+                    node,
+                    f"layering violation: repro.{self._pkg} (layer "
+                    f"{self._rank}) imports repro.{target} (layer "
+                    f"{target_rank}); allowed order is {LAYER_ORDER}. "
+                    f"Deferred function-local imports count — they hide "
+                    f"cycles from Python, not from the architecture",
+                )

@@ -1,0 +1,53 @@
+"""Rule registry for ``repro lint``.
+
+Adding a rule: implement it in its own ``rule_*.py`` module (see
+:class:`repro.analysis.driver.Rule` for the hook contract), register
+the class in :data:`_RULE_CLASSES` here, document it in
+``docs/analysis.md``, and add a true-positive + true-negative fixture
+pair under ``tests/analysis/``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.driver import Rule
+from repro.analysis.rule_concurrency import BlockingRecvRule, WorkerSharedStateRule
+from repro.analysis.rule_contract import EngineContractRule
+from repro.analysis.rule_defaults import MutableDefaultRule
+from repro.analysis.rule_excepts import BareExceptRule, SwallowedErrorRule
+from repro.analysis.rule_floatcmp import FloatCompareRule
+from repro.analysis.rule_imports import UnusedImportRule
+from repro.analysis.rule_layering import LayeringRule
+
+__all__ = ["available_rules", "make_rules"]
+
+_RULE_CLASSES: tuple[type[Rule], ...] = (
+    FloatCompareRule,
+    LayeringRule,
+    EngineContractRule,
+    BareExceptRule,
+    SwallowedErrorRule,
+    MutableDefaultRule,
+    UnusedImportRule,
+    WorkerSharedStateRule,
+    BlockingRecvRule,
+)
+
+
+def available_rules() -> list[tuple[str, str, str]]:
+    """``(id, severity, description)`` for every registered rule."""
+    return [(c.id, c.severity, c.description) for c in _RULE_CLASSES]
+
+
+def make_rules(ids=None) -> list[Rule]:
+    """Instantiate the requested rules (all of them by default)."""
+    if ids is None:
+        return [c() for c in _RULE_CLASSES]
+    wanted = list(ids)
+    by_id = {c.id: c for c in _RULE_CLASSES}
+    unknown = [i for i in wanted if i not in by_id]
+    if unknown:
+        known = ", ".join(sorted(by_id))
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(unknown)} (known: {known})"
+        )
+    return [by_id[i]() for i in wanted]

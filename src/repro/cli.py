@@ -179,6 +179,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="validate only (schema + span nesting); "
                         "exit 1 on problems")
+
+    p = sub.add_parser(
+        "lint",
+        help="run the repro.analysis invariant checker (CI gate)")
+    p.add_argument("paths", nargs="*", default=["src", "tests"],
+                   help="files or directories to lint (default: src tests)")
+    p.add_argument("--rules", default=None, metavar="ID[,ID...]",
+                   help="comma-separated rule ids to run (default: all; "
+                        "see --list-rules)")
+    p.add_argument("--format", default="text", choices=["text", "json"],
+                   dest="fmt", help="report format on stdout")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="baseline file; matching findings pass, entries "
+                        "matching nothing are reported as stale")
+    p.add_argument("--check-baseline", action="store_true",
+                   help="exit 1 when the baseline has stale entries "
+                        "(keeps the committed baseline minimal)")
+    p.add_argument("--write-baseline", default=None, metavar="FILE",
+                   help="write current findings as a fresh baseline "
+                        "and exit 0")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="also write the JSON report to FILE (any --format)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list registered rules and exit")
     return parser
 
 
@@ -212,6 +236,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -594,6 +620,56 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
     spec = PaperGraphSpec(num_nodes=args.nodes, ccr=args.ccr, seed=args.seed)
     print(json.dumps(graph_to_dict(paper_random_graph(spec)), indent=2))
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        available_rules,
+        lint_paths,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for rule_id, severity, description in available_rules():
+            print(f"{rule_id:<22} {severity:<8} {description}")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        report = lint_paths(
+            args.paths,
+            rules=rules,
+            baseline=args.baseline,
+            root=Path.cwd(),
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, report.findings)
+        print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} "
+              f"to {args.write_baseline}")
+        return 0
+
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(report.as_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+    if args.fmt == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+
+    if report.findings:
+        return 1
+    if args.check_baseline and report.stale_baseline:
+        return 1
     return 0
 
 

@@ -275,8 +275,13 @@ def hda_astar_schedule(
         for child in expander.children(state, seen if dup_on else None):
             ch = cost_fn.h(child)
             cf = child.makespan + ch
+            # Raw `<` is deliberate: a complete child is only exempted
+            # from the cut when it *strictly* beats the incumbent bound,
+            # mirroring the serial engines' exact goal-improvement test
+            # so the equivalence suites stay byte-identical.
             if pruning.upper_bound and tol.geq(relax * cf, upper) and not (
-                child.is_complete() and child.makespan < upper
+                child.is_complete()
+                and child.makespan < upper  # repro: ignore[float-compare]
             ):
                 stats.pruning.upper_bound_cuts += 1
                 continue
@@ -574,6 +579,10 @@ def _hda_worker(
             flags.value |= _FLAG_ERROR
         try:
             results_q.put({"wid": wid, "error": f"{type(exc).__name__}: {exc}"})
+        # Best-effort error report while already crashing: the queue may
+        # be torn down, and the original exception (re-raised below) plus
+        # the _FLAG_ERROR bit already carry the failure to the parent.
+        # repro: ignore[swallowed-error]
         except Exception:
             pass
         raise
@@ -797,3 +806,12 @@ def _hda_worker_loop(
     # as a stuck worker surviving stop).  Process exit instead joins
     # the feeders so every write completes; the parent guarantees the
     # pipes keep draining until every worker has exited.
+
+
+# Downward registration (parallel -> search is a legal import): the
+# registry in repro.search never imports this package, and
+# repro/__init__ imports this module eagerly, so "hda" is always
+# present in repro.search.ENGINES by the time any caller resolves it.
+from repro.search import register_engine  # noqa: E402
+
+register_engine("hda", lambda: hda_astar_schedule)

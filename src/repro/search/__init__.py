@@ -12,12 +12,15 @@
   instances (ground truth in tests).
 
 :data:`ENGINES` / :func:`get_engine` form the engine registry: every
-first-class search backend by name, including the multiprocess HDA*
-engine that lives in :mod:`repro.parallel` (resolved lazily to keep
-this package import-light and cycle-free).  The service layer's
-portfolio dispatches through it; the CLI keeps its own argparse
-choices (engine flags differ per command) but every engine it offers
-is registered here.
+first-class search backend by name.  Engines living in *higher* layers
+register themselves downward via :func:`register_engine` — the
+multiprocess HDA* engine in :mod:`repro.parallel.hda` does so at import
+(and ``repro/__init__`` imports it eagerly, so the registry is complete
+whenever any ``repro.*`` module is).  This package never imports
+upward; the ``layering`` lint rule enforces that.  The service layer's
+portfolio dispatches through the registry; the CLI keeps its own
+argparse choices (engine flags differ per command) but every engine it
+offers is registered here.
 """
 
 from repro.search.astar import astar_schedule
@@ -40,20 +43,14 @@ from repro.search.pruning import PruningConfig, PruningStats
 from repro.search.result import SearchResult, SearchStats
 
 
-def _load_hda():
-    # Deferred: repro.parallel.hda imports back into repro.search; a
-    # top-level import here would create a package cycle.
-    from repro.parallel.hda import hda_astar_schedule
-
-    return hda_astar_schedule
-
-
 #: Engine registry: name -> zero-argument loader returning the engine's
-#: schedule function.  Every engine takes ``(graph, system, ...)``, but
+#: schedule function.  Every engine takes ``(graph, system, ...)`` and
+#: the anytime keywords ``budget=``/``incumbent=``/``probe=``, but
 #: signatures differ beyond that (``wastar``/``focal`` require a
-#: positional ``epsilon``, ``hda`` adds ``workers=``, ``enumerate``
-#: takes no budget) — consult each function before generic dispatch;
+#: positional ``epsilon``, ``hda`` adds ``workers=``) — consult each
+#: function before generic dispatch;
 #: :func:`repro.service.portfolio._run_engine` shows the bindings.
+#: Higher layers extend this via :func:`register_engine`.
 _ENGINE_LOADERS = {
     "astar": lambda: astar_schedule,
     "bnb": lambda: bnb_schedule,
@@ -61,11 +58,28 @@ _ENGINE_LOADERS = {
     "wastar": lambda: weighted_astar_schedule,
     "focal": lambda: focal_schedule,
     "enumerate": lambda: enumerate_optimal,
-    "hda": _load_hda,
 }
 
-#: The registered engine names, in registry order.
-ENGINES = tuple(_ENGINE_LOADERS)
+
+def register_engine(name: str, loader) -> None:
+    """Register (or replace) an engine under ``name``.
+
+    ``loader`` is a zero-argument callable returning the schedule
+    function.  This is the hook engines in higher layers use to appear
+    in :data:`ENGINES` without this package importing upward —
+    :mod:`repro.parallel.hda` registers ``"hda"`` when it is imported
+    (which ``repro/__init__`` does eagerly).
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"engine name must be a non-empty string, got {name!r}")
+    if not callable(loader):
+        raise TypeError(f"engine loader for {name!r} must be callable")
+    _ENGINE_LOADERS[name] = loader
+
+
+def unregister_engine(name: str) -> None:
+    """Remove a registered engine (test cleanup for custom engines)."""
+    _ENGINE_LOADERS.pop(name, None)
 
 
 def get_engine(name: str):
@@ -80,14 +94,25 @@ def get_engine(name: str):
         loader = _ENGINE_LOADERS[name]
     except KeyError:
         raise ValueError(
-            f"unknown engine {name!r}; registered: {', '.join(ENGINES)}"
+            f"unknown engine {name!r}; registered: "
+            f"{', '.join(_ENGINE_LOADERS)}"
         ) from None
     return loader()
+
+
+def __getattr__(name: str):
+    # PEP 562: ENGINES reflects late registrations (e.g. "hda", which
+    # repro.parallel.hda adds when it is imported).
+    if name == "ENGINES":
+        return tuple(_ENGINE_LOADERS)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
     "ENGINES",
     "get_engine",
+    "register_engine",
+    "unregister_engine",
     "astar_schedule",
     "focal_schedule",
     "bnb_schedule",

@@ -18,10 +18,13 @@ import math
 
 from repro.errors import SearchError
 from repro.graph.taskgraph import TaskGraph
+from repro.heuristics.listsched import fast_upper_bound_schedule
+from repro.obs.probe import SearchProbe
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.schedule import Schedule
 from repro.search.result import SearchResult, SearchStats
 from repro.system.processors import ProcessorSystem
+from repro.util.timing import Budget
 
 __all__ = ["enumerate_optimal", "count_complete_schedules"]
 
@@ -35,6 +38,9 @@ def enumerate_optimal(
     *,
     dedup: bool = True,
     state_cls: type = PartialSchedule,
+    budget: Budget | None = None,
+    incumbent: Schedule | None = None,
+    probe: SearchProbe | None = None,
 ) -> SearchResult:
     """Exhaustively find an optimal schedule (tiny instances only).
 
@@ -43,6 +49,15 @@ def enumerate_optimal(
     key: this walker is the ground truth the engines are property-tested
     against, so it must not share the (vanishingly unlikely) hash
     failure mode it is meant to catch.
+
+    ``budget``, ``incumbent`` and ``probe`` implement the registry-wide
+    anytime contract: a ``budget``-stopped run returns the best complete
+    schedule seen (falling back to the ``incumbent`` or a list
+    schedule) with ``optimal=False`` and ``interrupted`` set; note an
+    interrupted enumeration proves nothing, so ``lower_bound`` stays
+    ``0.0`` (enumeration has no admissible floor short of completing).
+    The warm-start ``incumbent`` never prunes — enumeration stays
+    exhaustive — it only guarantees a feasible answer on early exit.
 
     Raises
     ------
@@ -57,16 +72,40 @@ def enumerate_optimal(
             f"exhaustive enumeration limited to {limit} nodes "
             f"(got {v}); use astar_schedule instead"
         )
+    if budget is None:
+        budget = Budget.unlimited()
+    budget.start()
 
     stats = SearchStats()
-    best_len = math.inf
-    best: Schedule | None = None
+    best_len = incumbent.length if incumbent is not None else math.inf
+    best: Schedule | None = incumbent
     seen: set[tuple] = set()
 
     stack = [state_cls.empty(graph, system)]
     while stack:
+        if budget.exhausted(stats.states_expanded, stats.states_generated,
+                            len(stack) + len(seen)):
+            if best is None:
+                # Nothing complete seen yet: a list schedule is always
+                # feasible (the anytime contract promises an answer).
+                best = fast_upper_bound_schedule(graph, system)
+                best_len = best.length
+            if probe is not None:
+                probe.finish(stats.states_expanded, len(stack),
+                             best_len, 0.0)
+            return SearchResult(
+                schedule=best, optimal=False, bound=math.inf, stats=stats,
+                algorithm=(
+                    "enumerate(budget)" if dedup else "enumerate(tree,budget)"
+                ),
+                lower_bound=0.0,
+                interrupted=budget.reason or "budget",
+                timeline=probe.timeline() if probe is not None else (),
+            )
         state = stack.pop()
         stats.states_expanded += 1
+        if probe is not None:
+            probe.tick(stats.states_expanded, len(stack), best_len, 0.0)
         if state.is_complete():
             if state.makespan < best_len:
                 best_len = state.makespan
@@ -84,9 +123,14 @@ def enumerate_optimal(
                 stack.append(child)
 
     assert best is not None  # every DAG admits at least one schedule
+    if probe is not None:
+        probe.finish(stats.states_expanded, 0, best_len, best_len)
     return SearchResult(
         schedule=best, optimal=True, bound=1.0, stats=stats,
         algorithm="enumerate" if dedup else "enumerate(tree)",
+        lower_bound=best.length,
+        interrupted=None,
+        timeline=probe.timeline() if probe is not None else (),
     )
 
 

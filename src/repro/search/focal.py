@@ -59,12 +59,14 @@ def focal_schedule(
     cost: str | CostFunction = "paper",
     budget: Budget | None = None,
     state_cls: type = PartialSchedule,
+    incumbent: Schedule | None = None,
     probe: SearchProbe | None = None,
 ) -> SearchResult:
     """Find a schedule within ``(1 + epsilon)`` of optimal via Aε*.
 
-    Parameters mirror :func:`repro.search.astar.astar_schedule`;
-    ``epsilon = 0`` reduces to plain A* (with extra bookkeeping).
+    Parameters mirror :func:`repro.search.astar.astar_schedule`
+    (including the ``incumbent`` warm start); ``epsilon = 0`` reduces
+    to plain A* (with extra bookkeeping).
 
     Raises
     ------
@@ -86,6 +88,8 @@ def focal_schedule(
     stats = SearchStats()
     expander = StateExpander(graph, system, pruning, stats.pruning)
     fallback: Schedule = fast_upper_bound_schedule(graph, system)
+    if incumbent is not None and incumbent.length < fallback.length:
+        fallback = incumbent
     # The *unrelaxed* upper bound stays valid for Aε*: states on an
     # optimal path have f ≤ f_opt ≤ U and therefore survive the cut, so
     # the termination argument (a goal within (1+ε)·f_min pops) is
@@ -107,7 +111,7 @@ def focal_schedule(
     seen = SignatureSet(verify=pruning.verify_signatures)
     if pruning.duplicate_detection:
         seen.add(root.dedup_key, lambda: root.signature)
-    incumbent: Schedule | None = None
+    incumbent = None  # rebound: best complete schedule *generated here*
 
     def f_min() -> float:
         while all_by_f:

@@ -50,13 +50,16 @@ def idastar_schedule(
     budget: Budget | None = None,
     transposition_limit: int = 100_000,
     state_cls: type = PartialSchedule,
+    incumbent: Schedule | None = None,
     probe: SearchProbe | None = None,
 ) -> SearchResult:
     """Find an optimal schedule via iterative-deepening A*.
 
-    Parameters mirror :func:`repro.search.astar.astar_schedule`;
-    ``transposition_limit`` bounds the per-probe duplicate table
-    (``0`` disables it entirely for true O(v) memory).
+    Parameters mirror :func:`repro.search.astar.astar_schedule`
+    (including the ``incumbent`` warm start, which seeds the upper
+    -bound cut and the budget fallback); ``transposition_limit``
+    bounds the per-probe duplicate table (``0`` disables it entirely
+    for true O(v) memory).
 
     Returns the same :class:`SearchResult` contract: ``optimal=True``
     iff the search ran to completion.
@@ -74,12 +77,14 @@ def idastar_schedule(
     stats = SearchStats()
     expander = StateExpander(graph, system, pruning, stats.pruning)
     fallback: Schedule = fast_upper_bound_schedule(graph, system)
+    if incumbent is not None and incumbent.length < fallback.length:
+        fallback = incumbent
     upper = fallback.length if pruning.upper_bound else math.inf
 
     t0 = time.perf_counter()
     root = state_cls.empty(graph, system)
     threshold = root.makespan + cost_fn.h(root)
-    incumbent: Schedule | None = None
+    incumbent = None  # rebound: best complete schedule *found here*
     use_table = transposition_limit > 0 and pruning.duplicate_detection
 
     while True:

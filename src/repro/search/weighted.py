@@ -47,11 +47,14 @@ def weighted_astar_schedule(
     cost: str | CostFunction = "paper",
     budget: Budget | None = None,
     state_cls: type = PartialSchedule,
+    incumbent: Schedule | None = None,
     probe: SearchProbe | None = None,
 ) -> SearchResult:
     """Schedule within ``(1 + epsilon)`` of optimal via weighted A*.
 
-    ``epsilon = 0`` reduces exactly to plain A*.
+    ``epsilon = 0`` reduces exactly to plain A*.  A known-feasible
+    ``incumbent`` seeds the upper-bound cut and the budget fallback,
+    as in :func:`repro.search.astar.astar_schedule`.
 
     Raises
     ------
@@ -74,6 +77,8 @@ def weighted_astar_schedule(
     stats = SearchStats()
     expander = StateExpander(graph, system, pruning, stats.pruning)
     fallback: Schedule = fast_upper_bound_schedule(graph, system)
+    if incumbent is not None and incumbent.length < fallback.length:
+        fallback = incumbent
     # The unrelaxed upper bound remains valid (optimal-path states have
     # plain f ≤ f_opt ≤ U and survive), so WA* prunes as hard as A*.
     upper = fallback.length if pruning.upper_bound else math.inf
@@ -87,7 +92,7 @@ def weighted_astar_schedule(
     seen = SignatureSet(verify=pruning.verify_signatures)
     if pruning.duplicate_detection:
         seen.add(root.dedup_key, lambda: root.signature)
-    incumbent: Schedule | None = None
+    incumbent = None  # rebound: best complete schedule *generated here*
     # Anytime lower bound: an optimal-path state s in OPEN has
     # f_w(s) <= w * f_opt, so every popped f_w / w is a proven floor
     # (same argument as the suboptimality bound, read in reverse).

@@ -4,10 +4,12 @@ The search engines under :mod:`repro.search` answer one instance at a
 time; this package turns the collection into something that can serve
 traffic:
 
-* :mod:`repro.service.fingerprint` — canonical instance identity: a
-  stable 128-bit key for (graph, system, cost model) that is invariant
-  under node relabeling, so identical problems hash identically however
-  the caller numbered their tasks;
+* canonical instance identity — a stable 128-bit key for (graph,
+  system, cost model) invariant under node relabeling, so identical
+  problems hash identically however the caller numbered their tasks;
+  the implementation lives in :mod:`repro.schedule.fingerprint` (it
+  has no service-layer dependencies) and is re-exported here and via
+  the :mod:`repro.service.fingerprint` shim;
 * :mod:`repro.service.cache` — a persistent result cache (in-memory LRU
   in front of an optional SQLite store) keyed by fingerprint, storing
   the schedule, its optimality certificate, and the search counters;

@@ -41,7 +41,7 @@ from repro.obs.trace import Tracer, null_tracer
 from repro.parallel.mp_backend import SolverPool, system_from_args, system_to_args
 from repro.schedule.schedule import Schedule
 from repro.service.cache import CacheEntry, ResultCache
-from repro.service.fingerprint import (
+from repro.schedule.fingerprint import (
     assignment_from_canonical,
     canonical_assignment,
     canonical_order,

@@ -8,7 +8,7 @@ store, so a warm service answers repeated instances without searching
 and survives restarts.
 
 Entries store the *canonical* assignment (per canonical node position,
-see :mod:`repro.service.fingerprint`), the makespan, the optimality
+see :mod:`repro.schedule.fingerprint`), the makespan, the optimality
 certificate, and the search counters.  Storing in canonical space is
 what makes the cache relabeling-proof: a hit computed for one node
 numbering replays onto any permutation of the same instance.

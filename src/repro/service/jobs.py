@@ -60,7 +60,7 @@ from repro.schedule.schedule import Schedule
 from repro.search.costs import COST_FUNCTIONS
 from repro.service.batch import BatchItem, _job_for, _worker_solve, item_from_request
 from repro.service.cache import CacheEntry, ResultCache
-from repro.service.fingerprint import (
+from repro.schedule.fingerprint import (
     assignment_from_canonical,
     canonical_assignment,
     canonical_order,

@@ -4,4 +4,10 @@
 suite (``tests/chaos/``) and the soak benchmark drive; it is inert
 unless explicitly armed, so shipping it in the package costs nothing
 in production.
+
+:mod:`repro.testing.lockcheck` is the runtime lock-order assistant:
+under its ``guard()`` every ``threading.Lock``/``RLock`` allocated is
+instrumented to record per-thread acquisition order, and any inversion
+(a potential deadlock, even if this run interleaved safely) fails the
+test.  The chaos and obs suites enable it via autouse fixtures.
 """

@@ -1,0 +1,239 @@
+"""Runtime lock-order checking for the threaded runtime paths.
+
+A deadlock needs two locks acquired in opposite orders by two threads.
+The service daemon and the parallel backend's parent-side plumbing use
+a handful of ``threading`` locks (job manager state, cache LRU, tracer
+buffers); none of those code paths may ever acquire them in
+inconsistent order.  This module makes that invariant *testable*: under
+:func:`guard`, every ``threading.Lock``/``RLock`` allocated is wrapped
+so acquisitions record, per thread, the stack of locks already held.
+Each ``(outer, inner)`` pair becomes an edge in a global lock-order
+graph; an acquisition that creates an edge whose *reverse* already
+exists is a lock-order inversion — a potential deadlock — even if this
+particular run interleaved safely.
+
+Usage (the chaos/obs suites enable it via an autouse fixture)::
+
+    from repro.testing import lockcheck
+
+    with lockcheck.guard() as checker:
+        run_threaded_code()
+    checker.assert_clean()          # raises on any recorded inversion
+
+``guard(on_violation="raise")`` turns the violation into an immediate
+:class:`LockOrderViolation` at the offending ``acquire`` — that mode is
+what the regression test uses to prove the checker catches a deliberate
+inversion.
+
+Scope and honesty notes:
+
+* only locks *created while the guard is active* are instrumented —
+  module-level locks created at import time are not (the runtime paths
+  under test create their locks per-object, so this covers them);
+* ``multiprocessing`` locks are untouched: cross-process deadlock needs
+  a different tool (the supervision timeouts own that);
+* nested guards do not double-wrap: the wrappers always delegate to
+  primitives allocated via the original factories captured at import.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["guard", "LockOrderViolation", "LockOrderChecker"]
+
+# Captured once at import so wrapped factories (or nested guards) can
+# never be re-wrapped into wrapper-of-wrapper chains.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+
+class LockOrderViolation(AssertionError):
+    """Two locks were acquired in opposite orders by different code paths."""
+
+
+class LockOrderChecker:
+    """Global acquisition-order graph over instrumented locks."""
+
+    def __init__(self, on_violation: str = "record"):
+        if on_violation not in ("record", "raise"):
+            raise ValueError(
+                f"on_violation must be 'record' or 'raise', "
+                f"got {on_violation!r}"
+            )
+        self._mutex = _REAL_LOCK()
+        self._on_violation = on_violation
+        self._active = True
+        #: (outer lock id, inner lock id) -> first-seen site description
+        self._edges: dict[tuple[int, int], str] = {}
+        self._held = threading.local()
+        self._names: dict[int, str] = {}
+        self.violations: list[str] = []
+        self._counter = 0
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _next_name(self, kind: str) -> tuple[int, str]:
+        with self._mutex:
+            self._counter += 1
+            uid = self._counter
+            name = f"{kind}#{uid}"
+            self._names[uid] = name
+        return uid, name
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def deactivate(self) -> None:
+        """Stop recording (guard exit); live wrappers become pass-through."""
+        self._active = False
+
+    # -- events from wrappers -----------------------------------------
+
+    def acquired(self, uid: int, reentrant: bool) -> None:
+        stack = self._stack()
+        if reentrant and uid in stack:
+            stack.append(uid)  # re-entry adds no ordering information
+            return
+        if self._active:
+            violation = None
+            with self._mutex:
+                for outer in set(stack):
+                    if outer == uid:
+                        continue
+                    edge = (outer, uid)
+                    if edge not in self._edges:
+                        self._edges[edge] = threading.current_thread().name
+                    rev = (uid, outer)
+                    if rev in self._edges:
+                        violation = (
+                            f"lock-order inversion: "
+                            f"{self._names[outer]} -> {self._names[uid]} "
+                            f"(thread {threading.current_thread().name}) "
+                            f"conflicts with {self._names[uid]} -> "
+                            f"{self._names[outer]} (first seen in thread "
+                            f"{self._edges[rev]})"
+                        )
+                        self.violations.append(violation)
+            if violation is not None and self._on_violation == "raise":
+                raise LockOrderViolation(violation)
+        stack.append(uid)
+
+    def released(self, uid: int) -> None:
+        stack = self._stack()
+        # Locks are normally released LIFO, but Python does not require
+        # it; drop the most recent matching entry.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == uid:
+                del stack[i]
+                return
+
+    # -- assertions ----------------------------------------------------
+
+    def assert_clean(self) -> None:
+        """Raise :class:`LockOrderViolation` if any inversion was seen."""
+        if self.violations:
+            raise LockOrderViolation(
+                f"{len(self.violations)} lock-order inversion(s):\n  "
+                + "\n  ".join(self.violations)
+            )
+
+
+class _GuardedLock:
+    """Wrapper around a real Lock/RLock reporting to the checker."""
+
+    def __init__(self, checker: LockOrderChecker, kind: str):
+        reentrant = kind == "RLock"
+        self._lock = _REAL_RLOCK() if reentrant else _REAL_LOCK()
+        self._checker = checker
+        self._reentrant = reentrant
+        self._uid, self._name = checker._next_name(kind)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._lock.acquire(blocking, timeout)
+        if got:
+            self._checker.acquired(self._uid, self._reentrant)
+        return got
+
+    def release(self) -> None:
+        self._lock.release()
+        self._checker.released(self._uid)
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    # Condition(lock) support: Condition duck-types these via hasattr,
+    # and since the wrapper always defines them it must emulate the
+    # CPython fallbacks when the underlying primitive (a plain Lock)
+    # lacks them.
+    def _is_owned(self):
+        if self._reentrant:
+            return self._lock._is_owned()
+        if self._lock.acquire(False):
+            self._lock.release()
+            return False
+        return True
+
+    def _release_save(self):
+        # Condition.wait: the lock is fully released however deep the
+        # re-entry; forget every held entry for this lock.
+        if self._reentrant:
+            state = self._lock._release_save()
+        else:
+            self._lock.release()
+            state = None
+        stack = self._checker._stack()
+        stack[:] = [u for u in stack if u != self._uid]
+        return state
+
+    def _acquire_restore(self, state) -> None:
+        if self._reentrant:
+            self._lock._acquire_restore(state)
+        else:
+            self._lock.acquire()
+        self._checker.acquired(self._uid, self._reentrant)
+
+    def __getattr__(self, name: str):
+        # Anything else (`locked`, interpreter internals) delegates to
+        # the real primitive.
+        return getattr(self._lock, name)
+
+    def __repr__(self) -> str:
+        return f"<lockcheck {self._name} wrapping {self._lock!r}>"
+
+
+@contextmanager
+def guard(on_violation: str = "record"):
+    """Patch ``threading.Lock``/``RLock`` so new locks are instrumented.
+
+    Yields the :class:`LockOrderChecker`; call
+    :meth:`~LockOrderChecker.assert_clean` after the workload (or pass
+    ``on_violation="raise"`` to fail at the offending acquire).  On
+    exit the factories are restored and the checker deactivated, so
+    stray background threads touching leftover wrapped locks cost an
+    attribute check and nothing else.
+    """
+    checker = LockOrderChecker(on_violation)
+
+    def make_lock():
+        return _GuardedLock(checker, "Lock")
+
+    def make_rlock():
+        return _GuardedLock(checker, "RLock")
+
+    saved = (threading.Lock, threading.RLock)
+    threading.Lock = make_lock  # type: ignore[assignment]
+    threading.RLock = make_rlock  # type: ignore[assignment]
+    try:
+        yield checker
+    finally:
+        threading.Lock, threading.RLock = saved
+        checker.deactivate()

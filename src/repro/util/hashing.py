@@ -2,8 +2,8 @@
 
 One home for the splitmix64 finalizer and its companion odd constants,
 used by the search states' Zobrist placement keys
-(:func:`repro.schedule.partial.placement_key`) and the service layer's
-canonical fingerprints (:mod:`repro.service.fingerprint`).
+(:func:`repro.schedule.partial.placement_key`) and the schedule layer's
+canonical fingerprints (:mod:`repro.schedule.fingerprint`).
 
 NOTE: :meth:`PartialSchedule.child_signature` keeps a hand-inlined copy
 of :func:`splitmix64` — it runs once per expansion candidate and the

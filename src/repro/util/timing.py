@@ -33,6 +33,10 @@ def process_rss_mb() -> float:
         if _PAGE_SIZE is None:
             _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
         return int(fields[1]) * _PAGE_SIZE / (1024 * 1024)
+    # Documented fallback chain: /proc may not exist (macOS, sandboxes);
+    # the resource-module path below then runs, and total failure means
+    # "RSS unknown -> ceilings disabled", per the docstring.
+    # repro: ignore[swallowed-error]
     except (OSError, ValueError, IndexError):
         pass
     try:

@@ -25,6 +25,7 @@ from functools import lru_cache
 from repro.errors import WorkloadError
 from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
 from repro.graph.taskgraph import TaskGraph
+from repro.schedule.fingerprint import instance_fingerprint
 from repro.system.processors import ProcessorSystem
 
 __all__ = [
@@ -41,8 +42,6 @@ DEFAULT_SIZES = tuple(range(10, 21, 2))
 
 @lru_cache(maxsize=1024)
 def _cached_fingerprint(graph: TaskGraph, system: ProcessorSystem) -> str:
-    from repro.service.fingerprint import instance_fingerprint
-
     return instance_fingerprint(graph, system)
 
 
@@ -59,7 +58,7 @@ class WorkloadInstance:
     @property
     def fingerprint(self) -> str:
         """Canonical 128-bit instance fingerprint (see
-        :mod:`repro.service.fingerprint`); relabeling-invariant, so two
+        :mod:`repro.schedule.fingerprint`); relabeling-invariant, so two
         suite points that generate the same problem share cached results.
         Memoized per (graph, system) — the WL canonicalization is not
         free."""

@@ -1,0 +1,96 @@
+"""``repro lint`` CLI behavior, plus the repo-self-clean gate."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.cli import main
+
+from tests.analysis.test_driver import BARE, make_tree
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+@pytest.fixture
+def dirty_tree(tmp_path, monkeypatch):
+    root = make_tree(tmp_path, {"src/repro/util/a.py": BARE})
+    monkeypatch.chdir(root)
+    return root
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, monkeypatch, capsys):
+        make_tree(tmp_path, {"src/repro/util/a.py": "x = 1\n"})
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "src"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one_with_locations(self, dirty_tree, capsys):
+        assert main(["lint", "src"]) == 1
+        out = capsys.readouterr().out
+        assert "src/repro/util/a.py:3: [bare-except]" in out
+
+    def test_json_format(self, dirty_tree, capsys):
+        assert main(["lint", "--format", "json", "src"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        assert doc["counts"]["findings"] == 1
+
+    def test_out_file_written(self, dirty_tree, capsys):
+        main(["lint", "--out", "report.json", "src"])
+        doc = json.loads((dirty_tree / "report.json").read_text())
+        assert doc["findings"][0]["rule"] == "bare-except"
+
+    def test_rules_filter(self, dirty_tree):
+        assert main(["lint", "--rules", "float-compare", "src"]) == 0
+
+    def test_unknown_rule_exits_two(self, dirty_tree, capsys):
+        assert main(["lint", "--rules", "bogus", "src"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, dirty_tree, capsys):
+        assert main(["lint", "no/such/dir"]) == 2
+
+    def test_list_rules(self, dirty_tree, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("float-compare", "layering", "engine-contract",
+                       "bare-except", "swallowed-error", "mutable-default",
+                       "unused-import", "worker-shared-state",
+                       "blocking-recv"):
+            assert rule_id in out
+
+    def test_baseline_roundtrip_and_check(self, dirty_tree, capsys):
+        assert main(["lint", "--write-baseline", "bl.json", "src"]) == 0
+        assert main(["lint", "--baseline", "bl.json", "src"]) == 0
+        # Fix the violation: the entry goes stale.
+        (dirty_tree / "src/repro/util/a.py").write_text("x = 1\n")
+        assert main(["lint", "--baseline", "bl.json", "src"]) == 0
+        assert main(
+            ["lint", "--baseline", "bl.json", "--check-baseline", "src"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "stale" in out
+
+
+class TestRepoIsClean:
+    def test_self_lint_clean_and_fast(self, monkeypatch, capsys):
+        """The committed tree lints clean — the same gate CI enforces —
+        and a full run stays under the 10 s budget."""
+        monkeypatch.chdir(REPO_ROOT)
+        t0 = time.perf_counter()
+        code = main(["lint", "src", "tests",
+                     "--baseline", ".repro-lint-baseline.json"])
+        elapsed = time.perf_counter() - t0
+        out = capsys.readouterr().out
+        assert code == 0, f"repro lint found problems:\n{out}"
+        assert elapsed < 10.0, f"lint took {elapsed:.1f}s (budget 10s)"
+
+    def test_baseline_is_minimal(self, monkeypatch):
+        """The committed baseline carries no stale entries."""
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", "src", "tests",
+                     "--baseline", ".repro-lint-baseline.json",
+                     "--check-baseline"]) == 0

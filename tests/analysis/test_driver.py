@@ -1,0 +1,195 @@
+"""Driver mechanics: collection, suppression, baseline, report schema."""
+
+import json
+
+import pytest
+
+from repro.analysis import lint_paths, load_baseline, write_baseline
+from repro.analysis.driver import collect_files, module_parts
+
+
+def make_tree(tmp_path, files):
+    """Write ``{relpath: source}`` under tmp_path; returns the root."""
+    for rel, source in files.items():
+        p = tmp_path / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(source)
+    return tmp_path
+
+
+BARE = "try:\n    pass\nexcept:\n    pass\n"
+
+
+class TestCollection:
+    def test_directories_expand_recursively(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "src/repro/util/a.py": "x = 1\n",
+            "src/repro/util/sub/b.py": "y = 2\n",
+            "src/repro/util/notes.txt": "not python\n",
+        })
+        files = collect_files([root / "src"])
+        assert [f.name for f in files] == ["a.py", "b.py"]
+
+    def test_pycache_skipped(self, tmp_path):
+        make_tree(tmp_path, {
+            "src/repro/util/__pycache__/a.py": "x = 1\n",
+            "src/repro/util/a.py": "x = 1\n",
+        })
+        files = collect_files([tmp_path / "src"])
+        assert len(files) == 1
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_files([tmp_path / "nope"])
+
+    def test_module_parts(self, tmp_path):
+        assert module_parts(
+            tmp_path / "src/repro/search/astar.py"
+        ) == ("repro", "search", "astar")
+        assert module_parts(
+            tmp_path / "src/repro/search/__init__.py"
+        ) == ("repro", "search")
+        assert module_parts(tmp_path / "tests/test_x.py") is None
+
+    def test_parse_error_is_a_finding(self, tmp_path):
+        root = make_tree(tmp_path, {"src/repro/util/bad.py": "def f(:\n"})
+        report = lint_paths([root / "src"], root=root)
+        assert [f.rule for f in report.findings] == ["parse-error"]
+        assert report.findings[0].path == "src/repro/util/bad.py"
+
+
+class TestSuppression:
+    def test_inline_marker_suppresses(self, tmp_path):
+        src = "try:\n    pass\nexcept:  # repro: ignore[bare-except]\n    pass\n"
+        root = make_tree(tmp_path, {"src/repro/util/a.py": src})
+        report = lint_paths([root / "src"], root=root)
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_standalone_comment_covers_next_line(self, tmp_path):
+        src = (
+            "try:\n    pass\n"
+            "# repro: ignore[bare-except]\n"
+            "except:\n    pass\n"
+        )
+        root = make_tree(tmp_path, {"src/repro/util/a.py": src})
+        report = lint_paths([root / "src"], root=root)
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_marker_is_rule_scoped(self, tmp_path):
+        src = "try:\n    pass\nexcept:  # repro: ignore[float-compare]\n    pass\n"
+        root = make_tree(tmp_path, {"src/repro/util/a.py": src})
+        report = lint_paths([root / "src"], root=root)
+        assert [f.rule for f in report.findings] == ["bare-except"]
+
+    def test_multiple_ids_in_one_marker(self, tmp_path):
+        src = (
+            "try:\n    pass\n"
+            "except:  # repro: ignore[bare-except, float-compare]\n"
+            "    pass\n"
+        )
+        root = make_tree(tmp_path, {"src/repro/util/a.py": src})
+        assert lint_paths([root / "src"], root=root).findings == []
+
+
+class TestBaseline:
+    def test_baselined_findings_pass_and_count(self, tmp_path):
+        root = make_tree(tmp_path, {"src/repro/util/a.py": BARE})
+        first = lint_paths([root / "src"], root=root)
+        assert len(first.findings) == 1
+        bl = tmp_path / "bl.json"
+        write_baseline(bl, first.findings)
+        second = lint_paths([root / "src"], baseline=bl, root=root)
+        assert second.findings == []
+        assert second.baselined == 1
+        assert second.stale_baseline == []
+        assert second.ok
+
+    def test_new_findings_still_block(self, tmp_path):
+        root = make_tree(tmp_path, {"src/repro/util/a.py": BARE})
+        bl = tmp_path / "bl.json"
+        write_baseline(bl, lint_paths([root / "src"], root=root).findings)
+        (root / "src/repro/util/b.py").write_text(BARE)
+        report = lint_paths([root / "src"], baseline=bl, root=root)
+        assert [f.path for f in report.findings] == ["src/repro/util/b.py"]
+
+    def test_stale_entries_reported(self, tmp_path):
+        root = make_tree(tmp_path, {"src/repro/util/a.py": BARE})
+        bl = tmp_path / "bl.json"
+        write_baseline(bl, lint_paths([root / "src"], root=root).findings)
+        (root / "src/repro/util/a.py").write_text("x = 1\n")
+        report = lint_paths([root / "src"], baseline=bl, root=root)
+        assert report.findings == []
+        assert len(report.stale_baseline) == 1
+        assert report.stale_baseline[0]["rule"] == "bare-except"
+
+    def test_matching_is_line_number_free(self, tmp_path):
+        root = make_tree(tmp_path, {"src/repro/util/a.py": BARE})
+        bl = tmp_path / "bl.json"
+        write_baseline(bl, lint_paths([root / "src"], root=root).findings)
+        # Shift the violation down; the baseline must still match.
+        (root / "src/repro/util/a.py").write_text("\n\n# pad\n" + BARE)
+        report = lint_paths([root / "src"], baseline=bl, root=root)
+        assert report.findings == []
+        assert report.baselined == 1
+
+    def test_load_rejects_malformed(self, tmp_path):
+        bad = tmp_path / "bl.json"
+        bad.write_text("[]")
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+        bad.write_text(json.dumps({"entries": [{"rule": 1}]}))
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+    def test_write_collapses_duplicate_keys(self, tmp_path):
+        root = make_tree(
+            tmp_path, {"src/repro/util/a.py": BARE + "\n" + BARE}
+        )
+        findings = lint_paths([root / "src"], root=root).findings
+        assert len(findings) == 2
+        bl = tmp_path / "bl.json"
+        assert write_baseline(bl, findings) == 1  # same (rule, path, message)
+        report = lint_paths([root / "src"], baseline=bl, root=root)
+        assert report.findings == [] and report.baselined == 2
+
+
+class TestReportSchema:
+    def test_json_schema(self, tmp_path):
+        root = make_tree(tmp_path, {"src/repro/util/a.py": BARE})
+        doc = lint_paths([root / "src"], root=root).as_dict()
+        assert doc["version"] == 1
+        assert set(doc) == {
+            "version", "files", "seconds", "rules", "counts",
+            "findings", "stale_baseline",
+        }
+        assert set(doc["counts"]) == {
+            "findings", "suppressed", "baselined", "stale_baseline"
+        }
+        (finding,) = doc["findings"]
+        assert set(finding) == {"rule", "path", "line", "message", "severity"}
+        assert finding["rule"] == "bare-except"
+        json.dumps(doc)  # round-trippable
+
+    def test_rule_selection(self, tmp_path):
+        root = make_tree(tmp_path, {"src/repro/util/a.py": BARE})
+        report = lint_paths(
+            [root / "src"], rules=["float-compare"], root=root
+        )
+        assert report.findings == []
+        assert report.rules == ("float-compare",)
+
+    def test_unknown_rule_id_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown rule"):
+            lint_paths([tmp_path], rules=["no-such-rule"], root=tmp_path)
+
+    def test_findings_sorted(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "src/repro/util/b.py": BARE,
+            "src/repro/util/a.py": BARE,
+        })
+        report = lint_paths([root / "src"], root=root)
+        assert [f.path for f in report.findings] == [
+            "src/repro/util/a.py", "src/repro/util/b.py"
+        ]

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings
 
 from repro.baselines.chen_yu import ChenYuCost, chen_yu_schedule
-from repro.graph.examples import paper_example_dag, paper_example_system
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.validate import schedule_violations
 from repro.search.astar import astar_schedule

@@ -1,0 +1,19 @@
+"""Chaos-suite fixtures: lock-order checking on by default.
+
+The chaos tests drive the daemon and worker supervision through
+injected faults — precisely when threading discipline matters most.
+Every test runs under the :mod:`repro.testing.lockcheck` guard; any
+lock-order inversion observed during the test body (even one that did
+not deadlock this time) fails the test.
+"""
+
+import pytest
+
+from repro.testing import lockcheck
+
+
+@pytest.fixture(autouse=True)
+def _lock_order_guard():
+    with lockcheck.guard() as checker:
+        yield checker
+    checker.assert_clean()

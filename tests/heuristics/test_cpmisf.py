@@ -5,7 +5,6 @@ from hypothesis import given
 from repro.graph.examples import paper_example_dag
 from repro.heuristics.cpmisf import cpmisf_priority_order, cpmisf_schedule
 from repro.schedule.validate import schedule_violations
-from repro.system.processors import ProcessorSystem
 from tests.strategies import scheduling_instances
 
 

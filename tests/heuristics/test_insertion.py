@@ -5,7 +5,6 @@ from hypothesis import given
 from repro.graph.generators.classic import fork_join_graph
 from repro.graph.taskgraph import TaskGraph
 from repro.heuristics.insertion import insertion_list_schedule
-from repro.heuristics.listsched import list_schedule
 from repro.schedule.validate import schedule_violations
 from repro.system.processors import ProcessorSystem
 from tests.strategies import scheduling_instances

@@ -1,0 +1,19 @@
+"""Obs-suite fixtures: lock-order checking on by default.
+
+The telemetry layer (tracer buffers, metrics registries) is exactly the
+kind of code that grows a lock per object and then deadlocks two
+releases later; every test in this suite runs under the
+:mod:`repro.testing.lockcheck` guard and fails on any lock-order
+inversion observed during the test body.
+"""
+
+import pytest
+
+from repro.testing import lockcheck
+
+
+@pytest.fixture(autouse=True)
+def _lock_order_guard():
+    with lockcheck.guard() as checker:
+        yield checker
+    checker.assert_clean()

@@ -1,0 +1,45 @@
+"""Regression: the suite-wide lock-order guard catches real inversions.
+
+Uses an explicit inner ``guard(on_violation="raise")`` so the
+deliberately inverted acquisition below is caught and *consumed* here,
+proving the checker works end-to-end inside this suite without failing
+the autouse fixture that wraps the test.
+"""
+
+import threading
+
+import pytest
+
+from repro.testing import lockcheck
+from repro.testing.lockcheck import LockOrderViolation
+
+
+def test_guard_catches_deliberate_inversion():
+    with lockcheck.guard(on_violation="raise"):
+        job_lock = threading.Lock()
+        cache_lock = threading.Lock()
+
+        def admit():  # job -> cache, the sanctioned order
+            with job_lock:
+                with cache_lock:
+                    pass
+
+        def evict_badly():  # cache -> job, the bug
+            with cache_lock:
+                with job_lock:
+                    pass
+
+        t = threading.Thread(target=admit)
+        t.start()
+        t.join()
+        with pytest.raises(LockOrderViolation, match="inversion"):
+            evict_badly()
+
+
+def test_autouse_guard_is_active(_lock_order_guard):
+    """The suite-wide fixture really instruments this test's locks."""
+    lock = threading.Lock()
+    assert type(lock).__name__ == "_GuardedLock"
+    with lock:
+        pass
+    assert _lock_order_guard.violations == []

@@ -19,9 +19,12 @@ def _is_monotone(samples):
             return False
         if cur.expansions < prev.expansions:
             return False
-        if cur.incumbent > prev.incumbent:
+        # Exact comparisons are the point: the probe records values
+        # verbatim, so monotonicity must hold bit-for-bit, not up to
+        # tolerance.
+        if cur.incumbent > prev.incumbent:  # repro: ignore[float-compare]
             return False
-        if cur.lower_bound < prev.lower_bound:
+        if cur.lower_bound < prev.lower_bound:  # repro: ignore[float-compare]
             return False
     return True
 

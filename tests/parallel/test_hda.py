@@ -10,7 +10,6 @@ from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_gra
 from repro.parallel.hda import hda_astar_schedule
 from repro.parallel.mp_backend import pool_context
 from repro.parallel.shared import Outbox, SharedIncumbent, WorkerBoard, owner_of
-from repro.schedule.partial import PartialSchedule
 from repro.schedule.partial_reference import ReferencePartialSchedule
 from repro.schedule.validate import schedule_violations
 from repro.search.astar import astar_schedule
@@ -226,7 +225,6 @@ class TestSharedPrimitives:
         assert board.quiescent()
 
     def test_outbox_batches_and_flow_control(self):
-        import queue as queue_mod
 
         ctx = pool_context()
         board = WorkerBoard(ctx, 2)

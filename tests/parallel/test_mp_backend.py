@@ -3,7 +3,6 @@
 import pytest
 from hypothesis import given, settings
 
-from repro.graph.examples import paper_example_dag, paper_example_system
 from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
 from repro.parallel.mp_backend import multiprocessing_astar_schedule
 from repro.schedule.validate import schedule_violations

@@ -3,7 +3,6 @@
 import pytest
 from hypothesis import given, settings
 
-from repro.graph.examples import paper_example_dag, paper_example_system
 from repro.parallel.machine import MachineSpec
 from repro.parallel.parallel_astar import parallel_astar_schedule
 from repro.schedule.validate import schedule_violations

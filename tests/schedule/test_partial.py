@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given
 
 from repro.errors import ScheduleError
-from repro.graph.examples import paper_example_dag, paper_example_system
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.validate import schedule_violations
 from repro.system.processors import ProcessorSystem

@@ -3,7 +3,6 @@
 import pytest
 from hypothesis import given, settings
 
-from repro.graph.examples import paper_example_dag, paper_example_system
 from repro.graph.generators.classic import (
     chain_graph,
     fork_join_graph,

@@ -11,7 +11,6 @@ oracle available.
 import pytest
 from hypothesis import given, settings
 
-from repro.graph.examples import paper_example_dag, paper_example_system
 from repro.search.astar import astar_schedule
 from repro.search.bnb import bnb_schedule
 from repro.search.enumerate import enumerate_optimal

@@ -3,7 +3,6 @@
 import pytest
 from hypothesis import given, settings
 
-from repro.graph.examples import paper_example_dag, paper_example_system
 from repro.schedule.partial import PartialSchedule
 from repro.search.costs import (
     COST_FUNCTIONS,
@@ -12,7 +11,6 @@ from repro.search.costs import (
     ZeroCost,
     make_cost_function,
 )
-from repro.search.enumerate import enumerate_optimal
 from repro.errors import SearchError
 from repro.system.processors import ProcessorSystem
 from tests.strategies import task_graphs

@@ -1,6 +1,5 @@
 """Unit tests for search tracing."""
 
-from repro.graph.examples import paper_example_dag, paper_example_system
 from repro.search.astar import astar_schedule
 from repro.search.diagnostics import SearchTrace
 

@@ -1,0 +1,111 @@
+"""Import-time conformance of the engine registry (the anytime contract).
+
+Parametrized over :data:`repro.search.ENGINES` so a newly registered
+engine is checked automatically: signature carries the keyword-only
+``budget=``/``incumbent=``/``probe=``, and a smoke run populates
+``lower_bound``/``interrupted`` on the returned SearchResult.
+"""
+
+import inspect
+
+import pytest
+
+import repro.search as search
+from repro.graph.examples import paper_example_dag, paper_example_system
+from repro.search import ENGINES, get_engine, register_engine, unregister_engine
+from repro.search.result import SearchResult
+from repro.util.timing import Budget
+
+REQUIRED_KWONLY = ("budget", "incumbent", "probe")
+
+#: Extra arguments each engine needs for a smoke run on the worked
+#: example (wastar/focal take a positional epsilon; hda runs its
+#: workers=1 serial fallback to stay cheap in-suite).
+SMOKE_ARGS = {
+    "wastar": ((0.0,), {}),
+    "focal": ((0.0,), {}),
+    "hda": ((), {"workers": 1}),
+}
+
+
+class TestRegistry:
+    def test_all_expected_engines_registered(self):
+        assert set(ENGINES) >= {
+            "astar", "bnb", "idastar", "wastar", "focal", "enumerate", "hda"
+        }
+
+    def test_get_engine_resolves_every_name(self):
+        for name in ENGINES:
+            assert callable(get_engine(name))
+
+    def test_unknown_engine_raises_with_listing(self):
+        with pytest.raises(ValueError, match="astar"):
+            get_engine("definitely-not-an-engine")
+
+    def test_register_engine_round_trip(self):
+        def fake_schedule(graph, system, *, budget=None, incumbent=None,
+                          probe=None):
+            raise NotImplementedError
+
+        register_engine("fake", lambda: fake_schedule)
+        try:
+            assert "fake" in search.ENGINES  # dynamic via __getattr__
+            assert get_engine("fake") is fake_schedule
+        finally:
+            unregister_engine("fake")
+        assert "fake" not in search.ENGINES
+        with pytest.raises(ValueError):
+            get_engine("fake")
+
+    def test_register_engine_validates(self):
+        with pytest.raises(ValueError):
+            register_engine("", lambda: None)
+        with pytest.raises(TypeError):
+            register_engine("x", "not-callable")
+
+
+class TestContract:
+    @pytest.mark.parametrize("name", list(ENGINES))
+    def test_signature_has_anytime_keywords(self, name):
+        params = inspect.signature(get_engine(name)).parameters
+        for required in REQUIRED_KWONLY:
+            assert required in params, f"{name} lacks {required}="
+            assert params[required].kind is inspect.Parameter.KEYWORD_ONLY
+            assert params[required].default is None
+
+    @pytest.mark.parametrize("name", list(ENGINES))
+    def test_complete_run_populates_contract_fields(self, name):
+        args, kwargs = SMOKE_ARGS.get(name, ((), {}))
+        result = get_engine(name)(
+            paper_example_dag(), paper_example_system(), *args, **kwargs
+        )
+        assert isinstance(result, SearchResult)
+        assert result.interrupted is None
+        # A completed run certifies its own answer: for exact engines
+        # the floor equals the schedule length; approximate ones may
+        # certify a smaller floor but never a meaningless one.
+        assert 0.0 < result.lower_bound <= result.schedule.length
+
+    @pytest.mark.parametrize("name", list(ENGINES))
+    def test_budget_stop_reports_interrupted(self, name):
+        args, kwargs = SMOKE_ARGS.get(name, ((), {}))
+        result = get_engine(name)(
+            paper_example_dag(), paper_example_system(), *args,
+            budget=Budget(max_expanded=1), **kwargs
+        )
+        assert result.interrupted is not None
+        assert result.optimal is False
+        assert result.schedule is not None
+
+    @pytest.mark.parametrize("name", list(ENGINES))
+    def test_incumbent_warm_start_accepted(self, name):
+        from repro.heuristics.listsched import fast_upper_bound_schedule
+
+        graph, system = paper_example_dag(), paper_example_system()
+        warm = fast_upper_bound_schedule(graph, system)
+        args, kwargs = SMOKE_ARGS.get(name, ((), {}))
+        result = get_engine(name)(
+            graph, system, *args, incumbent=warm, **kwargs
+        )
+        # The warm start may only help, never hurt.
+        assert result.schedule.length <= warm.length

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import SearchError
-from repro.graph.examples import paper_example_dag, paper_example_system
 from repro.graph.taskgraph import TaskGraph
 from repro.search.enumerate import count_complete_schedules, enumerate_optimal
 from repro.system.processors import ProcessorSystem

@@ -1,6 +1,6 @@
 """Unit tests for repro.search.expansion."""
 
-from repro.graph.examples import paper_example_dag, paper_example_system
+from repro.graph.examples import paper_example_dag
 from repro.graph.taskgraph import TaskGraph
 from repro.schedule.partial import PartialSchedule
 from repro.search.expansion import StateExpander, node_equivalence_classes

@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import SearchError
-from repro.graph.examples import paper_example_dag, paper_example_system
 from repro.schedule.validate import schedule_violations
 from repro.search.enumerate import enumerate_optimal
 from repro.search.focal import focal_schedule

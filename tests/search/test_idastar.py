@@ -3,7 +3,6 @@
 import pytest
 from hypothesis import given, settings
 
-from repro.graph.examples import paper_example_dag, paper_example_system
 from repro.schedule.validate import schedule_violations
 from repro.search.astar import astar_schedule
 from repro.search.enumerate import enumerate_optimal

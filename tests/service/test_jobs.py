@@ -16,7 +16,7 @@ from repro.graph.io import graph_to_dict
 from repro.schedule.schedule import Schedule
 from repro.schedule.validate import validate_schedule
 from repro.service.cache import ResultCache
-from repro.service.jobs import DONE, FAILED, QUEUED, Draining, JobManager, QueueFull
+from repro.service.jobs import DONE, QUEUED, Draining, JobManager, QueueFull
 from repro.system.processors import ProcessorSystem
 from tests.service.test_fingerprint import permuted
 

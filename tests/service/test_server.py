@@ -20,7 +20,6 @@ from pathlib import Path
 import pytest
 
 from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
-from repro.graph.io import graph_to_dict
 from repro.schedule.schedule import Schedule
 from repro.schedule.validate import validate_schedule
 from repro.service.cache import ResultCache

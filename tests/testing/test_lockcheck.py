@@ -1,0 +1,153 @@
+"""Unit tests for the runtime lock-order assistant."""
+
+import threading
+
+import pytest
+
+from repro.testing import lockcheck
+from repro.testing.lockcheck import LockOrderViolation
+
+
+class TestInstrumentation:
+    def test_factories_patched_and_restored(self):
+        original = threading.Lock
+        with lockcheck.guard():
+            lock = threading.Lock()
+            assert type(lock).__name__ == "_GuardedLock"
+        assert threading.Lock is original
+        assert type(threading.Lock()).__name__ != "_GuardedLock"
+
+    def test_wrapped_lock_still_locks(self):
+        with lockcheck.guard():
+            lock = threading.Lock()
+            with lock:
+                assert not lock.acquire(blocking=False)
+            assert lock.acquire(blocking=False)
+            lock.release()
+
+    def test_rlock_reentrancy(self):
+        with lockcheck.guard() as checker:
+            lock = threading.RLock()
+            with lock:
+                with lock:
+                    pass
+        checker.assert_clean()
+
+    def test_condition_wait_notify(self):
+        """Condition interoperates with the wrapper's _release_save /
+        _acquire_restore shims (both Lock and RLock flavours)."""
+        for factory in (threading.Lock, threading.RLock):
+            with lockcheck.guard() as checker:
+                cond = threading.Condition(factory())
+                hits = []
+
+                def waiter():
+                    with cond:
+                        while not hits:
+                            cond.wait(timeout=5)
+
+                t = threading.Thread(target=waiter)
+                t.start()
+                with cond:
+                    hits.append(1)
+                    cond.notify()
+                t.join(timeout=5)
+                assert not t.is_alive()
+            checker.assert_clean()
+
+    def test_nested_guard_does_not_double_wrap(self):
+        with lockcheck.guard() as outer:
+            with lockcheck.guard() as inner:
+                lock = threading.Lock()
+                # The wrapper's primitive is a *real* lock, not another
+                # wrapper reporting to the outer checker.
+                assert type(lock._lock).__name__ != "_GuardedLock"
+                with lock:
+                    pass
+            assert inner.violations == []
+        outer.assert_clean()
+
+
+class TestOrdering:
+    def test_consistent_order_is_clean(self):
+        with lockcheck.guard() as checker:
+            a, b = threading.Lock(), threading.Lock()
+            for _ in range(3):
+                with a:
+                    with b:
+                        pass
+        checker.assert_clean()
+
+    def test_inversion_recorded_without_deadlock(self):
+        """A -> B then B -> A is flagged even though this interleaving
+        ran fine — that is the point: the deadlock is only *potential*."""
+        with lockcheck.guard() as checker:
+            a, b = threading.Lock(), threading.Lock()
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass
+        assert len(checker.violations) == 1
+        with pytest.raises(LockOrderViolation, match="inversion"):
+            checker.assert_clean()
+
+    def test_inversion_across_threads(self):
+        with lockcheck.guard() as checker:
+            a, b = threading.Lock(), threading.Lock()
+
+            def forward():
+                with a:
+                    with b:
+                        pass
+
+            def backward():
+                with b:
+                    with a:
+                        pass
+
+            t = threading.Thread(target=forward)
+            t.start()
+            t.join()
+            backward()  # reverse edge, different code path
+        assert checker.violations
+
+    def test_raise_mode_raises_at_acquire(self):
+        with lockcheck.guard(on_violation="raise"):
+            a, b = threading.Lock(), threading.Lock()
+            with a:
+                with b:
+                    pass
+            with pytest.raises(LockOrderViolation):
+                with b:
+                    with a:
+                        pass
+
+    def test_rlock_reentry_adds_no_edges(self):
+        with lockcheck.guard() as checker:
+            a = threading.RLock()
+            b = threading.RLock()
+            with a:
+                with a:  # re-entry while holding a: not an a->a edge
+                    with b:
+                        pass
+            with b:  # held alone: no b->a edge without a inside
+                pass
+        checker.assert_clean()
+
+    def test_deactivated_checker_stops_recording(self):
+        with lockcheck.guard() as checker:
+            a, b = threading.Lock(), threading.Lock()
+            with a:
+                with b:
+                    pass
+        # Guard exited: late use in the opposite order is ignored.
+        with b:
+            with a:
+                pass
+        checker.assert_clean()
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            lockcheck.LockOrderChecker("explode")
