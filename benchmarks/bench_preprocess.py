@@ -1,0 +1,307 @@
+"""Benchmark gate for the preprocessing pass (equivalence merging).
+
+Takes the §4.1 random graphs at v ∈ {12, 14, 16}, CCR ∈ {0.1, 1.0, 10.0}
+and plants three *near-interchangeable* clones of one task: each clone
+copies the target's weight and in/out edges exactly, then receives a
+redundant transitive shortcut from a grandparent with a *different*
+(provably removable) cost.  The raw graph therefore contains no
+Definition-3 equivalence group at all — the shortcut costs split the
+clones — while the preprocessed graph removes the shortcuts and merges
+target plus clones into one class.  That is precisely the compounding
+effect the pass exists for: transitive reduction unlocking equivalence
+pruning that the in-search rule cannot see.
+
+Both arms search the *same* cloned instance with serial A* on a 2-PE
+fully-connected homogeneous target:
+
+* **off** — ``PruningConfig.all()`` on the raw cloned graph;
+* **on** — ``preprocess_instance`` then A* on the reduced graph with
+  the implied pruning overrides (root symmetry), schedule restored to
+  raw node space.
+
+Measured claims (deterministic expansion counts, reproduce anywhere):
+
+* **Gate: mean expansion reduction ≥ 1.5x** over rows where the
+  preprocessed search proves optimality.  Rows where the baseline trips
+  the budget while the treatment proves count ``budget / on_expanded``
+  as a conservative lower bound; rows where the treatment itself trips
+  are excluded from the gate but still reported.
+* **Proven-equal makespans**: wherever both arms prove, the restored
+  makespan must exactly equal the baseline's (integer §4.1 weights).
+* **The merge must actually happen**: every row reports
+  ``preprocess_edges_removed``/``preprocess_equivalence_groups``, and
+  the run fails if no row merged a class.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_preprocess.py [--smoke]
+        [--budget N] [--out PATH]
+
+``--smoke`` runs the single v=16/CCR=1.0 row with a small budget and
+skips the ≥ 1.5x gate (CI mode).  Exits non-zero on any gate miss.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.graph.taskgraph import TaskGraph  # noqa: E402
+from repro.schedule.preprocess import preprocess_instance  # noqa: E402
+from repro.search.astar import astar_schedule  # noqa: E402
+from repro.search.pruning import PruningConfig  # noqa: E402
+from repro.system.processors import ProcessorSystem  # noqa: E402
+from repro.util.timing import Budget  # noqa: E402
+from repro.workloads.suite import paper_suite  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_preprocess.json"
+
+#: Acceptance floor on the mean expansion reduction (preprocess on/off).
+GATE_MEAN_REDUCTION = 1.5
+PES = 2
+CLONES = 3
+
+FULL_SIZES = (12, 14, 16)
+FULL_CCRS = (0.1, 1.0, 10.0)
+FULL_BUDGET = 500_000
+
+SMOKE_SIZES = (16,)
+SMOKE_CCRS = (1.0,)
+SMOKE_BUDGET = 50_000
+
+
+def _git_rev() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def _clone_with_shortcuts(base: TaskGraph, clones: int = CLONES) -> TaskGraph:
+    """Append near-interchangeable clones of one task.
+
+    Picks the first ``a -> p -> t`` grandparent chain with no direct
+    ``(a, t)`` edge; clone ``i`` copies ``t`` exactly and adds the
+    shortcut ``(a, clone_i)`` with cost ``i`` — distinct per clone (so
+    the raw graph has no equivalence group) yet always removable, since
+    ``i < clones <= w(p) + min(c(a, p), c(p, t))`` for the paper's
+    integer weights (>= 1).
+
+    Raises
+    ------
+    ValueError
+        When the base graph has no usable grandparent chain.
+    """
+    edges = base.edges
+    for t in range(base.num_nodes):
+        for p in base.preds(t):
+            for a in base.preds(p):
+                if (a, t) in edges:
+                    continue
+                bound = base.weight(p) + min(
+                    edges[(a, p)], edges[(p, t)]
+                )
+                if clones - 1 <= bound:
+                    v = base.num_nodes
+                    weights = list(base.weights) + [base.weight(t)] * clones
+                    new_edges = dict(edges)
+                    for i in range(clones):
+                        c = v + i
+                        for pred, cost in base.pred_edges(t):
+                            new_edges[(pred, c)] = cost
+                        for succ, cost in base.succ_edges(t):
+                            new_edges[(c, succ)] = cost
+                        new_edges[(a, c)] = float(i)
+                    return TaskGraph(
+                        weights, new_edges, name=f"{base.name}+clones"
+                    )
+    raise ValueError(f"{base.name}: no grandparent chain for clone planting")
+
+
+def _measure_off(graph, system, *, budget):
+    t0 = time.perf_counter()
+    res = astar_schedule(
+        graph, system, pruning=PruningConfig.all(),
+        budget=Budget(max_expanded=budget),
+    )
+    return {
+        "makespan": res.length,
+        "expanded": res.stats.states_expanded,
+        "proven": res.optimal,
+        "seconds": round(time.perf_counter() - t0, 3),
+        "equivalence_skips": res.stats.pruning.equivalence_skips,
+    }
+
+
+def _measure_on(graph, system, *, budget):
+    t0 = time.perf_counter()
+    pre = preprocess_instance(graph, system)
+    res = astar_schedule(
+        pre.graph, system,
+        pruning=PruningConfig(**pre.pruning_overrides()),
+        budget=Budget(max_expanded=budget),
+    )
+    restored = pre.restore(res.schedule) if res.schedule is not None else None
+    return {
+        "makespan": restored.length if restored is not None else None,
+        "expanded": res.stats.states_expanded,
+        "proven": res.optimal,
+        "seconds": round(time.perf_counter() - t0, 3),
+        "equivalence_skips": res.stats.pruning.equivalence_skips,
+        "symmetry_skips": res.stats.pruning.symmetry_skips,
+        **pre.stats,
+    }
+
+
+def run_rows(sizes, ccrs, budget) -> list[dict]:
+    system = ProcessorSystem.fully_connected(PES)
+    rows = []
+    for size in sizes:
+        for ccr in ccrs:
+            inst = paper_suite(sizes=(size,), ccrs=(ccr,)).instances[0]
+            graph = _clone_with_shortcuts(inst.graph)
+            off = _measure_off(graph, system, budget=budget)
+            on = _measure_on(graph, system, budget=budget)
+            row = {
+                "instance": f"v{size}-ccr{ccr}",
+                "v": graph.num_nodes,
+                "ccr": ccr,
+                "off": off,
+                "on": on,
+            }
+            if on["proven"]:
+                row["ratio"] = round(off["expanded"] / on["expanded"], 3)
+                row["ratio_capped"] = not off["proven"]
+                row["in_gate"] = True
+            else:
+                row["ratio"] = None
+                row["ratio_capped"] = False
+                row["in_gate"] = False
+            rows.append(row)
+    return rows
+
+
+def evaluate(rows, *, smoke: bool) -> list[str]:
+    """Gate checks; returns a list of failure messages (empty = pass)."""
+    failures: list[str] = []
+    for row in rows:
+        off, on = row["off"], row["on"]
+        if off["proven"] and on["proven"] and off["makespan"] != on["makespan"]:
+            failures.append(
+                f"{row['instance']}: proven makespans differ "
+                f"(off {off['makespan']} != on {on['makespan']})"
+            )
+        if on["proven"] and not off["proven"] and (
+            on["makespan"] > off["makespan"]
+        ):
+            failures.append(
+                f"{row['instance']}: preprocessed search proved "
+                f"{on['makespan']} worse than baseline incumbent "
+                f"{off['makespan']}"
+            )
+    if not any(
+        row["on"]["preprocess_equivalence_groups"] > 0 for row in rows
+    ):
+        failures.append("preprocessing never merged an equivalence class")
+    gate_rows = [r for r in rows if r["in_gate"]]
+    if not gate_rows:
+        failures.append("no instance completed under preprocessing")
+        return failures
+    mean_reduction = sum(r["ratio"] for r in gate_rows) / len(gate_rows)
+    if not smoke and mean_reduction < GATE_MEAN_REDUCTION:
+        failures.append(
+            f"mean expansion reduction {mean_reduction:.2f}x < "
+            f"{GATE_MEAN_REDUCTION}x floor"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="one small instance, small budget, no 1.5x "
+                             "gate (CI mode)")
+    parser.add_argument("--budget", type=int, default=None,
+                        help="per-search expansion budget")
+    parser.add_argument("--out", type=Path, default=RESULTS_PATH,
+                        help="results file (JSON array)")
+    args = parser.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    ccrs = SMOKE_CCRS if args.smoke else FULL_CCRS
+    budget = args.budget or (SMOKE_BUDGET if args.smoke else FULL_BUDGET)
+
+    rows = run_rows(sizes, ccrs, budget)
+    gate_rows = [r for r in rows if r["in_gate"]]
+    mean_reduction = (
+        sum(r["ratio"] for r in gate_rows) / len(gate_rows)
+        if gate_rows else None
+    )
+    failures = evaluate(rows, smoke=args.smoke)
+
+    entry = {
+        "bench": "preprocess",
+        "unix_time": int(time.time()),
+        "python": platform.python_version(),
+        "git_rev": _git_rev(),
+        "smoke": args.smoke,
+        "config": {
+            "pes": PES, "clones": CLONES, "sizes": list(sizes),
+            "ccrs": list(ccrs), "budget": budget,
+        },
+        "rows": rows,
+        "mean_reduction": (
+            round(mean_reduction, 3) if mean_reduction is not None else None
+        ),
+        "gate": GATE_MEAN_REDUCTION,
+        "pass": not failures,
+    }
+    existing: list = []
+    if args.out.exists():
+        try:
+            existing = json.loads(args.out.read_text())
+        except json.JSONDecodeError:
+            print(f"warning: {args.out} is not valid JSON; starting fresh",
+                  file=sys.stderr)
+    existing.append(entry)
+    args.out.write_text(json.dumps(existing, indent=2) + "\n")
+
+    for row in rows:
+        off, on = row["off"], row["on"]
+        ratio = (
+            f"{row['ratio']:>7.2f}x{'+' if row['ratio_capped'] else ' '}"
+            if row["ratio"] is not None else "      --"
+        )
+        print(
+            f"{row['instance']:>14}: off {off['expanded']:>8,} exp "
+            f"({'proven' if off['proven'] else 'budget'})"
+            f"  on {on['expanded']:>8,} exp "
+            f"({'proven' if on['proven'] else 'budget'}, "
+            f"{on['preprocess_edges_removed']} edges removed, "
+            f"{on['preprocess_equivalence_groups']} groups)"
+            f"  reduction {ratio}"
+        )
+    if mean_reduction is not None:
+        print(f"mean expansion reduction: {mean_reduction:.2f}x "
+              f"(gate {GATE_MEAN_REDUCTION}x"
+              f"{', smoke: not enforced' if args.smoke else ''})")
+    print(f"appended entry #{len(existing)} to {args.out}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -119,6 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for the exact search stage "
                         "(> 1 runs the multiprocess HDA* engine)")
+    p.add_argument("--preprocess", action="store_true",
+                   help="run the makespan-preserving graph reductions "
+                        "(transitive-edge removal, symmetry "
+                        "normalization, chain warm-start) before search")
     p.add_argument("--cache", default=None,
                    help="result-cache SQLite file (omit for no persistence)")
     _add_obs_args(p)
@@ -143,6 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-expansions", type=int, default=200_000)
     p.add_argument("--max-memory-mb", type=float, default=None,
                    help="per-solve process-RSS ceiling")
+    p.add_argument("--preprocess", action="store_true",
+                   help="run the makespan-preserving graph reductions "
+                        "before each solve")
     p.add_argument("--cache", default=None,
                    help="result-cache SQLite file (omit for no persistence)")
     p.add_argument("--require-proven", action="store_true",
@@ -172,6 +179,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-memory-mb", type=float, default=None,
                    help="per-solve process-RSS ceiling (requests past it "
                         "get an incumbent + lower bound, not an OOM kill)")
+    p.add_argument("--preprocess", action="store_true",
+                   help="default per-request graph-reduction switch "
+                        "(requests may override with 'preprocess')")
     _add_obs_args(p)
 
     p = sub.add_parser("trace", help="report on a JSONL trace file")
@@ -466,6 +476,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 mode=args.mode,
                 tracer=tracer,
                 probe_every=probe_every,
+                preprocess=args.preprocess,
             )
     except KeyboardInterrupt:
         print("repro solve: interrupted before a result was available",
@@ -522,6 +533,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 require_proven=args.require_proven,
                 tracer=tracer,
                 probe_every=probe_every,
+                preprocess=args.preprocess,
             )
     except KeyboardInterrupt:
         print("repro batch: interrupted before any result was available",
@@ -563,6 +575,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         mode=args.mode,
         require_proven=args.require_proven,
         max_memory_mb=args.max_memory_mb,
+        preprocess=args.preprocess,
         obs_trace=args.obs_trace,
         probe_every=args.probe_every,
     )

@@ -5,6 +5,12 @@ from repro.schedule.gantt import render_gantt
 from repro.schedule.io import load_schedule_json, save_schedule_json
 from repro.schedule.metrics import ScheduleMetrics, analyze_schedule
 from repro.schedule.partial import PartialSchedule
+from repro.schedule.preprocess import (
+    ChainPlan,
+    PreprocessConfig,
+    PreprocessResult,
+    preprocess_instance,
+)
 from repro.schedule.schedule import Schedule, ScheduledTask
 from repro.schedule.validate import validate_schedule
 
@@ -12,6 +18,10 @@ __all__ = [
     "Schedule",
     "ScheduledTask",
     "PartialSchedule",
+    "PreprocessConfig",
+    "PreprocessResult",
+    "ChainPlan",
+    "preprocess_instance",
     "validate_schedule",
     "render_gantt",
     "analyze_schedule",

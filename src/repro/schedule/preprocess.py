@@ -1,0 +1,416 @@
+"""Instance preprocessing: graph reductions applied before any search.
+
+Every transformation here is a claim of *semantic equivalence* — the
+reduced instance must have exactly the same optimal makespan as the
+original, and every schedule of the reduced instance must map back to a
+feasible schedule of the original with the same length.  The claims are
+pinned against exhaustive enumeration by the ``tests/oracle`` tier;
+each transformation self-gates to the model regime where its proof
+holds (the way the fixed-task-order rule gates itself in
+:mod:`repro.search.expansion`):
+
+* **Transitive-edge removal** — an edge ``(u, w)`` is redundant when
+  some middle task ``m`` with direct edges ``u -> m -> w`` satisfies
+
+  ``w(m) / s_max + min(c(u, m), c(m, w)) >= c(u, w)``
+
+  (``s_max`` = fastest PE speed).  Then the timing constraint the edge
+  imposes is implied by the path through ``m`` in *every* placement:
+  if ``w`` runs on the same PE as ``u`` the constraint is vacuous; if
+  ``m`` shares a PE with either endpoint, one of the two messages is
+  free and the other plus ``m``'s execution covers ``c(u, w)``; and
+  with three distinct PEs both messages are paid in full.  Removing
+  the edge therefore changes neither the feasible set nor the optimum.
+  **Gated off under distance-scaled communication**: with hop-scaled
+  message costs the direct edge can cost ``c x dist(u, w)`` while the
+  relay path pays shorter hops, so the implication breaks — the pinned
+  counterexample in ``tests/oracle/test_counterexamples.py`` drops the
+  optimum from 14 to 13 when the edge is removed anyway.
+
+* **Linear-chain contraction** (weight folding) — **exact only on a
+  single PE**, where the makespan is the total work regardless of
+  order and merging a chain into one block task is trivially neutral.
+  On ``p > 1`` chain contraction is *not* makespan-preserving under
+  any locally-checkable side condition we tested (zero communication,
+  huge communication forcing colocation, a PE per task, ...): an
+  optimal schedule may need to *split or delay* the chain so another
+  task can use the PE, and contraction forces the chain contiguous.
+  Six pinned counterexamples document the failure modes.  What *does*
+  survive on ``p > 1`` is the upper-bound direction: any schedule of
+  the contracted instance unfolds (members laid back-to-back in the
+  block's slot) into a feasible schedule of the uncontracted instance
+  with the same length — internal chain messages become same-PE and
+  cost zero, head in-edges and tail out-edges see exactly the
+  constraints the contracted edges imposed.  The portfolio exploits
+  this as a *warm-start probe* (:class:`ChainPlan`), never as an
+  exact reduction.
+
+* **Interchangeable-task detection** — Definition-3 equivalence
+  classes (:func:`node_equivalence_classes`, canonical home here; the
+  :class:`~repro.search.expansion.StateExpander` expands one ready
+  representative per class).  Preprocessing makes the rule *stronger*:
+  removing a redundant transitive edge can merge classes that the raw
+  graph keeps apart (siblings identical but for the redundant edge).
+
+* **Processor-symmetry normalization** — on homogeneous-speed,
+  non-distance-scaled systems the communication cost ignores the
+  topology entirely, so *all* empty PEs are interchangeable (not just
+  the structurally-isomorphic ones of Definition 2) and every state
+  needs only one empty-PE candidate; at the root this pins the first
+  task to PE 0.  Preprocessing detects eligibility
+  (:attr:`PreprocessResult.root_symmetry`) and the portfolio switches
+  the rule on via :attr:`repro.search.pruning.PruningConfig.root_symmetry`.
+
+Results are memoized per ``(graph, system, config)`` value in a small
+module-level LRU so the service layer (daemon, batch front-end)
+amortizes the cost across duplicate requests; the result cache itself
+needs no changes because restored schedules live in *original* node
+space and preprocessing preserves the makespan — cache entries are
+valid across ``preprocess`` on/off.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.graph.taskgraph import TaskGraph
+from repro.schedule.schedule import Schedule
+from repro.system.processors import ProcessorSystem
+from repro.util import tolerance as tol
+
+__all__ = [
+    "PreprocessConfig",
+    "PreprocessResult",
+    "ChainPlan",
+    "node_equivalence_classes",
+    "preprocess_instance",
+    "removable_transitive_edges",
+    "clear_preprocess_cache",
+]
+
+
+def node_equivalence_classes(graph: TaskGraph) -> tuple[tuple[int, ...], ...]:
+    """Partition nodes into Definition-3 equivalence classes.
+
+    Two nodes are equivalent iff they have identical parent sets,
+    identical child sets, equal weight, and equal communication cost to
+    each shared parent/child — then they become ready simultaneously and
+    lead to equal-length schedules whichever is scheduled first.
+    """
+    buckets: dict[tuple, list[int]] = {}
+    for n in range(graph.num_nodes):
+        key = (
+            graph.weight(n),
+            graph.preds(n),
+            graph.succs(n),
+            tuple(c for _p, c in graph.pred_edges(n)),
+            tuple(c for _s, c in graph.succ_edges(n)),
+        )
+        buckets.setdefault(key, []).append(n)
+    return tuple(tuple(sorted(v)) for v in buckets.values())
+
+
+@dataclass(frozen=True)
+class PreprocessConfig:
+    """On/off switches for each preprocessing transformation.
+
+    All default on; each transformation additionally self-gates to the
+    regime where its equivalence proof holds, so enabling a switch on
+    an ineligible instance is always safe (it simply does nothing).
+    """
+
+    #: Remove provably-redundant transitive edges (uniform-communication
+    #: systems only — self-gates off when ``system.distance_scaled``).
+    transitive_reduction: bool = True
+    #: Contract linear chains: exactly on one PE; as a
+    #: :class:`ChainPlan` warm-start probe on more.
+    chain_contraction: bool = True
+    #: Detect empty-PE interchangeability (homogeneous, uniform
+    #: communication) and report it via
+    #: :attr:`PreprocessResult.root_symmetry`.
+    root_symmetry: bool = True
+
+
+@dataclass(frozen=True)
+class ChainPlan:
+    """Chain-contracted companion instance for warm-start probing.
+
+    ``graph`` is the reduced graph with every maximal linear chain
+    folded into one block task; ``members[b]`` lists the reduced-graph
+    nodes of block ``b`` in chain order.  Solving the contracted
+    instance and :meth:`unfold`-ing the answer yields a feasible
+    schedule of the reduced instance with the *same* length — an upper
+    bound, found in a much smaller state space.  It is **not** a proof
+    of optimality for the reduced instance (see the module docstring:
+    contraction can exclude every optimal schedule), which is why the
+    portfolio consumes it only as an incumbent.
+    """
+
+    graph: TaskGraph
+    members: tuple[tuple[int, ...], ...]
+
+    def unfold(self, schedule: Schedule, target: TaskGraph) -> Schedule:
+        """Lay each block's members back-to-back in the block's slot.
+
+        Feasible on ``target`` (the uncontracted graph) under *any*
+        system: internal chain edges become same-PE (zero cost) and the
+        head/tail see exactly the contracted edges' constraints.
+        """
+        system = schedule.system
+        assignment: dict[int, tuple[int, float]] = {}
+        for t in schedule.tasks:
+            start = t.start
+            for node in self.members[t.node]:
+                assignment[node] = (t.pe, start)
+                start += system.exec_time(target.weight(node), t.pe)
+        return Schedule(target, system, assignment)
+
+
+@dataclass(frozen=True)
+class PreprocessResult:
+    """A reduced instance plus everything needed to undo the reduction.
+
+    ``graph`` is what the engines should search; :meth:`restore` maps
+    any complete schedule of it back into original node space with the
+    same makespan.  ``members[r]`` lists the original nodes folded into
+    reduced node ``r`` in execution order (all singletons unless the
+    single-PE chain contraction fired).
+    """
+
+    original: TaskGraph
+    system: ProcessorSystem
+    graph: TaskGraph
+    members: tuple[tuple[int, ...], ...]
+    removed_edges: tuple[tuple[int, int], ...]
+    equivalence_groups: tuple[tuple[int, ...], ...]
+    root_symmetry: bool
+    chain_plan: ChainPlan | None
+    stats: "dict[str, int]"
+
+    @property
+    def is_identity(self) -> bool:
+        """True when no transformation changed the graph itself
+        (symmetry eligibility alone does not count)."""
+        return self.graph is self.original or (
+            not self.removed_edges and self.graph.num_nodes == self.original.num_nodes
+        )
+
+    def restore(self, schedule: Schedule) -> Schedule:
+        """Map a schedule of the reduced graph back to original node space.
+
+        Transitive removal keeps node identities, so the mapping is the
+        identity there; contracted blocks (single-PE instances) unfold
+        members back-to-back.  The restored schedule always has the
+        same length as the input.
+        """
+        assignment: dict[int, tuple[int, float]] = {}
+        for t in schedule.tasks:
+            start = t.start
+            for node in self.members[t.node]:
+                assignment[node] = (t.pe, start)
+                start += self.system.exec_time(self.original.weight(node), t.pe)
+        return Schedule(self.original, self.system, assignment)
+
+    def pruning_overrides(self) -> dict[str, bool]:
+        """Keyword overrides for :class:`~repro.search.pruning.PruningConfig`
+        implied by this result (just the symmetry switch today)."""
+        return {"root_symmetry": True} if self.root_symmetry else {}
+
+
+# -- transitive-edge removal -------------------------------------------------
+
+
+def removable_transitive_edges(
+    graph: TaskGraph, system: ProcessorSystem
+) -> tuple[tuple[int, int], ...]:
+    """One fixpoint sweep of redundant-edge detection (uniform comm).
+
+    Returned in removal order; each edge's witness path was checked
+    against the edge set *after* the previous removals, so each single
+    removal is justified on the graph it is applied to and the whole
+    sequence preserves the feasible set (hence the optimum).  Callers
+    gate on ``system.distance_scaled`` themselves — this helper assumes
+    uniform communication.
+    """
+    s_max = max(system.speeds)
+    edges = dict(graph.edges)
+    succs: dict[int, set[int]] = {n: set() for n in range(graph.num_nodes)}
+    for (u, w) in edges:
+        succs[u].add(w)
+    removed: list[tuple[int, int]] = []
+    changed = True
+    while changed:
+        changed = False
+        for (u, w) in sorted(edges):
+            c = edges[(u, w)]
+            for m in sorted(succs[u]):
+                if m == w or w not in succs[m]:
+                    continue
+                relay = graph.weight(m) / s_max + min(edges[(u, m)], edges[(m, w)])
+                if tol.leq(c, relay):
+                    del edges[(u, w)]
+                    succs[u].discard(w)
+                    removed.append((u, w))
+                    changed = True
+                    break
+    return tuple(removed)
+
+
+# -- linear-chain contraction ------------------------------------------------
+
+
+def _chain_blocks(graph: TaskGraph) -> tuple[tuple[int, ...], ...]:
+    """Maximal linear chains as ordered node blocks (singletons included).
+
+    ``u -> x`` is a chain link when ``x`` is ``u``'s only successor and
+    ``u`` is ``x``'s only predecessor; consequently external in-edges
+    land only on a block's head and external out-edges leave only from
+    its tail.  Blocks are emitted in head-id order.
+    """
+    next_in_chain: dict[int, int] = {}
+    has_chain_pred: set[int] = set()
+    for u in range(graph.num_nodes):
+        succs = graph.succs(u)
+        if len(succs) != 1:
+            continue
+        x = succs[0]
+        if len(graph.preds(x)) == 1:
+            next_in_chain[u] = x
+            has_chain_pred.add(x)
+    blocks: list[tuple[int, ...]] = []
+    for head in range(graph.num_nodes):
+        if head in has_chain_pred:
+            continue
+        run = [head]
+        while run[-1] in next_in_chain:
+            run.append(next_in_chain[run[-1]])
+        blocks.append(tuple(run))
+    return tuple(blocks)
+
+
+def _contract(graph: TaskGraph) -> tuple[TaskGraph, tuple[tuple[int, ...], ...]]:
+    """Fold every maximal chain into one block task (weights summed).
+
+    Internal edges vanish (their communication folds to zero — the
+    members share a PE after unfolding); external edges keep their cost
+    and re-attach to the block.  Returns the contracted graph and the
+    block membership in the *input* graph's node space.
+    """
+    blocks = _chain_blocks(graph)
+    block_of: dict[int, int] = {}
+    for b, members in enumerate(blocks):
+        for n in members:
+            block_of[n] = b
+    weights = [sum(graph.weight(n) for n in members) for members in blocks]
+    edges: dict[tuple[int, int], float] = {}
+    for (u, w), c in graph.edges.items():
+        bu, bw = block_of[u], block_of[w]
+        if bu != bw:
+            edges[(bu, bw)] = c
+    contracted = TaskGraph(weights, edges, name=f"{graph.name}[contracted]")
+    return contracted, blocks
+
+
+# -- the preprocessing pass --------------------------------------------------
+
+_MEMO_CAP = 128
+_memo: "OrderedDict[tuple, PreprocessResult]" = OrderedDict()
+_memo_lock = threading.Lock()
+
+
+def clear_preprocess_cache() -> None:
+    """Drop every memoized preprocessing result (tests)."""
+    with _memo_lock:
+        _memo.clear()
+
+
+def preprocess_instance(
+    graph: TaskGraph,
+    system: ProcessorSystem,
+    config: PreprocessConfig | None = None,
+) -> PreprocessResult:
+    """Apply every eligible reduction once; memoized per instance value.
+
+    The memo key is the ``(graph, system, config)`` *value* (both are
+    hashable value objects), so the daemon's duplicate requests — same
+    instance arriving under different job ids — pay for preprocessing
+    once, mirroring how ``ResultCache`` amortizes the search itself.
+    """
+    if config is None:
+        config = PreprocessConfig()
+    key = (graph, system, config)
+    with _memo_lock:
+        hit = _memo.get(key)
+        if hit is not None:
+            _memo.move_to_end(key)
+            return hit
+
+    result = _preprocess_uncached(graph, system, config)
+
+    with _memo_lock:
+        _memo[key] = result
+        _memo.move_to_end(key)
+        while len(_memo) > _MEMO_CAP:
+            _memo.popitem(last=False)
+    return result
+
+
+def _preprocess_uncached(
+    graph: TaskGraph, system: ProcessorSystem, config: PreprocessConfig
+) -> PreprocessResult:
+    reduced = graph
+    removed: tuple[tuple[int, int], ...] = ()
+    if config.transitive_reduction and not system.distance_scaled:
+        removed = removable_transitive_edges(graph, system)
+        if removed:
+            kept = {e: c for e, c in graph.edges.items() if e not in set(removed)}
+            reduced = TaskGraph(
+                list(graph.weights), kept, name=f"{graph.name}[reduced]"
+            )
+
+    members: tuple[tuple[int, ...], ...] = tuple(
+        (n,) for n in range(reduced.num_nodes)
+    )
+    chain_plan: ChainPlan | None = None
+    contracted_away = 0
+    if config.chain_contraction:
+        contracted, blocks = _contract(reduced)
+        if contracted.num_nodes < reduced.num_nodes:
+            if system.num_pes == 1:
+                # One PE: makespan == total work for every order, so the
+                # contraction is an exact reduction.
+                reduced = contracted
+                members = blocks
+                contracted_away = graph.num_nodes - reduced.num_nodes
+            else:
+                # p > 1: contraction is only upper-bound-sound (see the
+                # module docstring) — expose it as a probe instance.
+                chain_plan = ChainPlan(graph=contracted, members=blocks)
+
+    groups = node_equivalence_classes(reduced)
+    root_symmetry = (
+        config.root_symmetry
+        and system.num_pes > 1
+        and system.is_homogeneous
+        and not system.distance_scaled
+    )
+    nontrivial = [g for g in groups if len(g) > 1]
+    stats = {
+        "preprocess_edges_removed": len(removed),
+        "preprocess_nodes_contracted": contracted_away,
+        "preprocess_equivalence_groups": len(nontrivial),
+        "preprocess_equivalence_members": sum(len(g) - 1 for g in nontrivial),
+    }
+    return PreprocessResult(
+        original=graph,
+        system=system,
+        graph=reduced,
+        members=members,
+        removed_edges=removed,
+        equivalence_groups=groups,
+        root_symmetry=root_symmetry,
+        chain_plan=chain_plan,
+        stats=stats,
+    )

@@ -21,33 +21,18 @@ from collections.abc import Iterator
 from repro.graph.analysis import compute_levels
 from repro.graph.taskgraph import TaskGraph
 from repro.schedule.partial import PartialSchedule
+
+# Definition 3 lives with the other graph transformations in the
+# preprocessing module (its canonical home since the preprocess pass can
+# merge classes); re-exported here because every engine reaches it
+# through the expander.
+from repro.schedule.preprocess import node_equivalence_classes
 from repro.search.dedup import SignatureSet
 from repro.search.pruning import PruningConfig, PruningStats
 from repro.system.isomorphism import isomorphism_classes
 from repro.system.processors import ProcessorSystem
 
 __all__ = ["StateExpander", "node_equivalence_classes"]
-
-
-def node_equivalence_classes(graph: TaskGraph) -> tuple[tuple[int, ...], ...]:
-    """Partition nodes into Definition-3 equivalence classes.
-
-    Two nodes are equivalent iff they have identical parent sets,
-    identical child sets, equal weight, and equal communication cost to
-    each shared parent/child — then they become ready simultaneously and
-    lead to equal-length schedules whichever is scheduled first.
-    """
-    buckets: dict[tuple, list[int]] = {}
-    for n in range(graph.num_nodes):
-        key = (
-            graph.weight(n),
-            graph.preds(n),
-            graph.succs(n),
-            tuple(c for _p, c in graph.pred_edges(n)),
-            tuple(c for _s, c in graph.succ_edges(n)),
-        )
-        buckets.setdefault(key, []).append(n)
-    return tuple(tuple(sorted(v)) for v in buckets.values())
 
 
 class StateExpander:
@@ -103,6 +88,16 @@ class StateExpander:
         # non-distance-scaled links.
         self._fto_applicable = (
             config.fixed_task_order
+            and system.is_homogeneous
+            and not system.distance_scaled
+        )
+
+        # Processor-symmetry normalization self-gates exactly like FTO:
+        # its justifying permutation swaps empty PEs, which only
+        # preserves schedules when execution times are PE-independent
+        # (homogeneous) and communication ignores topology (uniform).
+        self._sym_applicable = (
+            config.root_symmetry
             and system.is_homogeneous
             and not system.distance_scaled
         )
@@ -216,8 +211,26 @@ class StateExpander:
 
     def candidate_pes(self, ps: PartialSchedule) -> list[int]:
         """Candidate PEs: all busy PEs plus one representative per
-        isomorphism class among the empty ones (Definition 2)."""
+        isomorphism class among the empty ones (Definition 2).
+
+        Under processor-symmetry normalization (homogeneous speeds,
+        uniform communication) *all* empty PEs collapse to the single
+        lowest-numbered one — topology is irrelevant to the cost model,
+        so the structural classes merge; at the root this pins the
+        first task to PE 0.
+        """
         num_pes = self.system.num_pes
+        if self._sym_applicable:
+            ready_time = ps.ready_time
+            pes = [pe for pe in range(num_pes) if ready_time[pe] > 0.0]
+            empties = num_pes - len(pes)
+            if empties:
+                pes.append(min(
+                    pe for pe in range(num_pes) if ready_time[pe] == 0.0
+                ))
+                self.stats.symmetry_skips += empties - 1
+            pes.sort()
+            return pes
         if not self.config.processor_isomorphism:
             return list(range(num_pes))
         ready_time = ps.ready_time

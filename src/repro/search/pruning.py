@@ -78,6 +78,19 @@ class PruningConfig:
     #: assumes the sibling orders the *other* rule prunes were explored,
     #: so composing them can lose optimal completions.
     fixed_task_order: bool = False
+    #: Extension beyond the paper (off by default): **processor-symmetry
+    #: normalization**.  On homogeneous-speed, non-distance-scaled
+    #: systems the communication cost ignores the processor topology
+    #: entirely, so *every* empty PE is interchangeable — not just the
+    #: structurally-isomorphic ones Definition 2 groups — and each state
+    #: needs only the lowest-numbered empty PE as a candidate.  At the
+    #: root this pins the first task to PE 0 (the normalization
+    #: :mod:`repro.schedule.preprocess` detects eligibility for).
+    #: Self-gates off on heterogeneous or distance-scaled systems,
+    #: where distinct empty PEs genuinely differ; composes freely with
+    #: the other rules (the justifying PE permutation fixes every busy
+    #: PE, the same shape as Definition 2's soundness argument).
+    root_symmetry: bool = False
     #: Diagnostic switch (off by default): re-verify every duplicate-
     #: detection hash hit against the exact ``(mask, pes, starts)``
     #: signature, admitting (never pruning) true Zobrist collisions.
@@ -112,6 +125,11 @@ class PruningConfig:
     def with_fixed_order(cls) -> "PruningConfig":
         """Every paper technique plus the fixed-task-order extension."""
         return cls(fixed_task_order=True)
+
+    @classmethod
+    def with_symmetry(cls) -> "PruningConfig":
+        """Every paper technique plus processor-symmetry normalization."""
+        return cls(root_symmetry=True)
 
     @classmethod
     def none(cls) -> "PruningConfig":
@@ -151,6 +169,7 @@ class PruningConfig:
             fixed_task_order=enabled.get(
                 "fixed_task_order", base.fixed_task_order
             ),
+            root_symmetry=enabled.get("root_symmetry", base.root_symmetry),
             verify_signatures=enabled.get(
                 "verify_signatures", base.verify_signatures
             ),
@@ -166,6 +185,7 @@ class PruningConfig:
             ("dup", self.duplicate_detection),
             ("comm", self.commutation),
             ("fto", self.fixed_task_order),
+            ("sym", self.root_symmetry),
             ("vsig", self.verify_signatures),
         ]
         return "+".join(name for name, on in flags if on) or "none"
@@ -181,6 +201,7 @@ class PruningStats:
     duplicate_hits: int = 0
     commutation_skips: int = 0
     fixed_order_skips: int = 0
+    symmetry_skips: int = 0
     extra: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -193,6 +214,7 @@ class PruningStats:
             + self.duplicate_hits
             + self.commutation_skips
             + self.fixed_order_skips
+            + self.symmetry_skips
         )
 
     def as_dict(self) -> dict[str, int]:
@@ -204,6 +226,7 @@ class PruningStats:
             "duplicate_hits": self.duplicate_hits,
             "commutation_skips": self.commutation_skips,
             "fixed_order_skips": self.fixed_order_skips,
+            "symmetry_skips": self.symmetry_skips,
             **self.extra,
         }
 
@@ -214,6 +237,7 @@ class PruningStats:
         "duplicate_hits",
         "commutation_skips",
         "fixed_order_skips",
+        "symmetry_skips",
     )
 
     def merge(self, other: "PruningStats | dict") -> None:

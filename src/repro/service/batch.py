@@ -261,6 +261,7 @@ def run_batch(
     max_memory_mb: float | None = None,
     tracer: Tracer | None = None,
     probe_every: int | None = None,
+    preprocess: bool = False,
 ) -> BatchReport:
     """Solve a batch of requests with dedupe, caching, and fan-out.
 
@@ -309,6 +310,14 @@ def run_batch(
         :class:`~repro.obs.probe.SearchProbe`; the resulting timelines
         are emitted as ``search.timeline`` trace events.  ``None``
         disables the probe.
+    preprocess:
+        Forwarded to each solve (:mod:`repro.schedule.preprocess`):
+        makespan-preserving graph reductions run before search and
+        results are restored to request node space.  Fingerprints and
+        cache entries are unchanged — an entry written with
+        ``preprocess=True`` is a valid answer for the same instance
+        without it (and vice versa), precisely because the reductions
+        preserve the optimum.
 
     Returns
     -------
@@ -373,7 +382,7 @@ def run_batch(
                      solver_workers, max_memory_mb,
                      trace=tr.enabled,
                      trace_root=tr.current_span_id() if tr.enabled else None,
-                     probe_every=probe_every)
+                     probe_every=probe_every, preprocess=preprocess)
             for fp in todo
         ]
         solved: list[dict[str, Any]] = []
@@ -488,6 +497,7 @@ def _job_for(
     trace: bool = False,
     trace_root: str | None = None,
     probe_every: int | None = None,
+    preprocess: bool = False,
 ) -> dict[str, Any]:
     """Plain-dict job descriptor (same discipline as mp_backend seeds)."""
     return {
@@ -504,6 +514,7 @@ def _job_for(
         "trace": trace,
         "trace_root": trace_root,
         "probe_every": probe_every,
+        "preprocess": preprocess,
     }
 
 
@@ -531,6 +542,7 @@ def _worker_solve(job: dict[str, Any]) -> dict[str, Any]:
                 workers=job.get("solver_workers", 1),
                 max_memory_mb=job.get("max_memory_mb"),
                 tracer=wtracer, probe_every=probe_every,
+                preprocess=job.get("preprocess", False),
             )
             schedule = pres.schedule
             certificate = pres.certificate
@@ -547,6 +559,7 @@ def _worker_solve(job: dict[str, Any]) -> dict[str, Any]:
                 workers=job.get("solver_workers", 1),
                 max_memory_mb=job.get("max_memory_mb"),
                 tracer=wtracer, probe_every=probe_every,
+                preprocess=job.get("preprocess", False),
             )
             schedule = res.schedule
             certificate = res.certificate

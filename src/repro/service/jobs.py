@@ -112,11 +112,11 @@ class PreparedRequest(NamedTuple):
 #: match for a request to ride another in-flight job as a follower.
 _OVERRIDE_KEYS = (
     "deadline", "epsilon", "cost", "max_expansions", "mode",
-    "require_proven", "solver_workers", "max_memory_mb",
+    "require_proven", "solver_workers", "max_memory_mb", "preprocess",
 )
 _SOLVE_KEYS = (
     "deadline", "epsilon", "cost", "max_expansions", "mode",
-    "solver_workers", "max_memory_mb",
+    "solver_workers", "max_memory_mb", "preprocess",
 )
 
 #: Cap on the per-request HDA* worker override: untrusted request
@@ -170,6 +170,7 @@ def _validate_options(options: dict[str, Any]) -> None:
             raise ValueError(
                 f"max_memory_mb must be a positive number, got {memory!r}")
     options["require_proven"] = bool(options["require_proven"])
+    options["preprocess"] = bool(options["preprocess"])
 
 
 class Job:
@@ -252,7 +253,7 @@ class JobManager:
     queue_limit:
         Maximum *unique* jobs pending (queued, not yet running).
     deadline, epsilon, max_expansions, mode, require_proven,
-    solver_workers, max_memory_mb:
+    solver_workers, max_memory_mb, preprocess:
         Solver defaults; each may be overridden per request by the same
         field in the request object (``solver_workers`` is the HDA*
         worker count *per job* — it composes with the request pool, and
@@ -286,6 +287,7 @@ class JobManager:
         require_proven: bool = False,
         solver_workers: int = 1,
         max_memory_mb: float | None = None,
+        preprocess: bool = False,
         history_limit: int = 4096,
         tracer: Tracer | None = None,
         probe_every: int | None = None,
@@ -307,6 +309,7 @@ class JobManager:
             "require_proven": require_proven,
             "solver_workers": solver_workers,
             "max_memory_mb": max_memory_mb,
+            "preprocess": preprocess,
         }
         self.history_limit = history_limit
         self.draining = False
@@ -568,6 +571,7 @@ class JobManager:
                     if self.tracer.enabled else None
                 ),
                 probe_every=self.probe_every,
+                preprocess=job.options["preprocess"],
             )
             executor = self.pool.executor
             try:

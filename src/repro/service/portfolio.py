@@ -35,8 +35,10 @@ from repro.heuristics.listsched import fast_upper_bound_schedule
 from repro.obs.probe import SearchProbe
 from repro.obs.trace import Tracer, null_tracer
 from repro.schedule.partial import PartialSchedule
+from repro.schedule.preprocess import PreprocessResult, preprocess_instance
 from repro.schedule.schedule import Schedule
 from repro.search import get_engine
+from repro.search.pruning import PruningConfig
 from repro.search.result import SearchResult, SearchStats
 from repro.search.weighted import weighted_astar_schedule
 from repro.system.processors import ProcessorSystem
@@ -63,6 +65,10 @@ _DENSE = 0.35
 #: engine when the caller granted ``workers > 1`` — below it the serial
 #: engine finishes before worker processes would even spawn.
 _HDA_MIN_V = 14
+#: Expansion cap for the chain-contraction warm-start probe: the
+#: contracted instance is strictly smaller, so a short exact burst on it
+#: usually yields a tight incumbent for pennies.
+_CONTRACT_PROBE_EXPANSIONS = 4_000
 
 
 @dataclass(frozen=True)
@@ -201,25 +207,26 @@ def _run_engine(
     workers: int = 1,
     probe: SearchProbe | None = None,
     tracer: Tracer | None = None,
+    pruning: PruningConfig | None = None,
 ) -> SearchResult:
     """Dispatch one engine through the registry (the portfolio's
     inner call); per-engine extras are bound here."""
     engine = get_engine(name)  # raises ValueError on unknown names
     if name in ("astar", "bnb"):
         return engine(
-            graph, system, cost=cost, budget=budget,
+            graph, system, cost=cost, budget=budget, pruning=pruning,
             state_cls=state_cls, incumbent=incumbent, probe=probe,
         )
     if name == "wastar":
         return engine(
             graph, system, epsilon, cost=cost, budget=budget,
-            state_cls=state_cls, probe=probe,
+            pruning=pruning, state_cls=state_cls, probe=probe,
         )
     if name == "hda":
         return engine(
             graph, system, workers=workers, cost=cost, budget=budget,
-            state_cls=state_cls, incumbent=incumbent, probe=probe,
-            tracer=tracer,
+            pruning=pruning, state_cls=state_cls, incumbent=incumbent,
+            probe=probe, tracer=tracer,
         )
     raise ValueError(f"engine {name!r} is not portfolio-dispatchable")
 
@@ -237,6 +244,7 @@ def solve_auto(
     max_memory_mb: float | None = None,
     tracer: Tracer | None = None,
     probe_every: int | None = None,
+    preprocess: bool = False,
 ) -> SearchResult:
     """Single-engine fast path: :func:`select_engine` then one search.
 
@@ -248,8 +256,20 @@ def solve_auto(
     returns its incumbent plus lower bound instead of growing unbounded.
     ``tracer``/``probe_every`` enable the :mod:`repro.obs` telemetry:
     a span around the engine run and a convergence timeline on the
-    result.
+    result.  ``preprocess=True`` runs the makespan-preserving
+    reductions of :mod:`repro.schedule.preprocess` first, searches the
+    reduced instance (with symmetry normalization when eligible), and
+    restores the answer to the caller's node space — makespan,
+    optimality and lower bound carry over unchanged because every
+    applied reduction is equivalence-proven.
     """
+    pre: PreprocessResult | None = None
+    pruning: PruningConfig | None = None
+    if preprocess:
+        pre = preprocess_instance(graph, system)
+        graph = pre.graph
+        if pre.root_symmetry:
+            pruning = PruningConfig(root_symmetry=True)
     cost = _resolve_cost(cost, graph, system)
     engine = select_engine(graph, system)
     # Only an A* selection upgrades: a "bnb" selection is the
@@ -265,9 +285,13 @@ def solve_auto(
         res = _run_engine(
             engine, graph, system, budget=budget, epsilon=epsilon,
             cost=cost, state_cls=state_cls, incumbent=None, workers=workers,
-            probe=probe, tracer=tracer,
+            probe=probe, tracer=tracer, pruning=pruning,
         )
         _emit_timeline(tr, res.timeline, label=engine)
+    if pre is not None:
+        if res.schedule is not None:
+            res.schedule = pre.restore(res.schedule)
+        res.stats.pruning.merge(pre.stats)
     return res
 
 
@@ -284,6 +308,7 @@ def portfolio_schedule(
     max_memory_mb: float | None = None,
     tracer: Tracer | None = None,
     probe_every: int | None = None,
+    preprocess: bool = False,
 ) -> PortfolioResult:
     """Race the stage ladder against a wall-clock deadline.
 
@@ -329,6 +354,17 @@ def portfolio_schedule(
         probe spans the whole ladder (the expansion axis accumulates
         across stages) and the series lands on ``result.timeline``.
         ``None`` (the default) disables sampling entirely.
+    preprocess:
+        Run the :mod:`repro.schedule.preprocess` reductions first and
+        race the ladder on the reduced instance.  Adds a ``contract``
+        warm-start stage when the instance has contractible chains
+        (the contracted instance's answer unfolds into an incumbent —
+        an upper bound only, never a proof), switches on symmetry
+        normalization when the system is eligible, and restores the
+        final schedule to the caller's node space.  Every applied
+        reduction is makespan-preserving, so ``optimal``/``bound``/
+        ``lower_bound`` carry over unchanged; results cached by the
+        service layer stay valid across ``preprocess`` on/off.
 
     Fault tolerance: when the HDA* exact stage loses a worker (crash or
     stall) the ladder retries it **once** with the remaining deadline,
@@ -342,6 +378,13 @@ def portfolio_schedule(
     the exact stage times out).
     """
     t0 = time.perf_counter()
+    pre: PreprocessResult | None = None
+    pruning: PruningConfig | None = None
+    if preprocess:
+        pre = preprocess_instance(graph, system)
+        graph = pre.graph
+        if pre.root_symmetry:
+            pruning = PruningConfig(root_symmetry=True)
     cost = _resolve_cost(cost, graph, system)
     tr = tracer if tracer is not None else null_tracer
     probe = SearchProbe(probe_every) if probe_every else None
@@ -371,6 +414,52 @@ def portfolio_schedule(
     bound = math.inf
     lower = 0.0  # tightest proven floor across stages
     interrupted: str | None = None
+    if pre is not None:
+        total.pruning.merge(pre.stats)
+
+    # -- stage 1b: chain-contraction warm-start probe ----------------------
+    # A short exact burst on the chain-contracted companion instance;
+    # its answer unfolds into a feasible schedule of the reduced
+    # instance with the same length.  Strictly an incumbent: optimality
+    # on the contracted instance proves nothing here (contraction can
+    # exclude every optimal schedule — see the pinned counterexamples),
+    # so ``optimal``/``bound``/``lower`` are deliberately untouched.
+    if pre is not None and pre.chain_plan is not None:
+        plan = pre.chain_plan
+        left = remaining()
+        if left is None or left > 0:
+            sp = time.perf_counter()
+            probe_budget = Budget(
+                max_expanded=(
+                    _CONTRACT_PROBE_EXPANSIONS if max_expansions is None
+                    else min(_CONTRACT_PROBE_EXPANSIONS, max_expansions // 8)
+                ),
+                max_seconds=None if left is None else left * _IMPROVER_SHARE,
+            )
+            with tr.span("portfolio.contract",
+                         attrs={"v": plan.graph.num_nodes, "cost": cost}):
+                res = _run_engine(
+                    "astar", plan.graph, system, budget=probe_budget,
+                    epsilon=epsilon, cost=cost, state_cls=state_cls,
+                    incumbent=None, pruning=pruning,
+                )
+            improved = False
+            if res.schedule is not None:
+                cand = plan.unfold(res.schedule, graph)
+                improved = cand.length < best.length
+                if improved:
+                    best = cand
+                    winner = "contract"
+                    winner_algo = f"contract({res.algorithm})"
+            total.merge(res.stats)
+            stages.append(
+                StageReport(
+                    stage="contract", algorithm=res.algorithm,
+                    makespan=res.length, improved=improved, optimal=False,
+                    seconds=time.perf_counter() - sp,
+                    expanded=res.stats.states_expanded,
+                )
+            )
 
     exact_engine = select_engine(graph, system)
     # A "bnb" selection is the deliberate high-CCR memory decision —
@@ -399,7 +488,7 @@ def portfolio_schedule(
         with tr.span("portfolio.improve",
                      attrs={"epsilon": epsilon, "cost": cost}):
             res = weighted_astar_schedule(
-                graph, system, epsilon, cost=cost,
+                graph, system, epsilon, cost=cost, pruning=pruning,
                 budget=improver_budget, state_cls=state_cls, probe=probe,
             )
             tr.event("portfolio.stage.result", attrs={
@@ -432,6 +521,8 @@ def portfolio_schedule(
             total.wall_seconds = time.perf_counter() - t0
             timeline = probe.timeline() if probe is not None else ()
             _emit_timeline(tr, timeline, label="improve")
+            if pre is not None:
+                best = pre.restore(best)
             return PortfolioResult(
                 schedule=best, optimal=True, bound=1.0, stats=total,
                 algorithm=res.algorithm, winner="improve",
@@ -464,6 +555,7 @@ def portfolio_schedule(
                 engine_name, graph, system, budget=exact_budget,
                 epsilon=epsilon, cost=cost, state_cls=state_cls,
                 incumbent=best, workers=workers, probe=probe, tracer=tracer,
+                pruning=pruning,
             )
             tr.event("portfolio.stage.result", attrs={
                 "stage": stage_name, "algorithm": res.algorithm,
@@ -504,6 +596,8 @@ def portfolio_schedule(
     total.wall_seconds = time.perf_counter() - t0
     timeline = probe.timeline() if probe is not None else ()
     _emit_timeline(tr, timeline, label="portfolio")
+    if pre is not None:
+        best = pre.restore(best)
     return PortfolioResult(
         schedule=best, optimal=optimal, bound=bound, stats=total,
         algorithm=winner_algo, winner=winner, stages=tuple(stages),

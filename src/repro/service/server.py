@@ -122,6 +122,7 @@ class SolverServer:
         mode: str = "portfolio",
         require_proven: bool = False,
         max_memory_mb: float | None = None,
+        preprocess: bool = False,
         warm: bool = True,
         obs_trace: str | Path | None = None,
         probe_every: int | None = None,
@@ -139,6 +140,7 @@ class SolverServer:
             "mode": mode,
             "require_proven": require_proven,
             "max_memory_mb": max_memory_mb,
+            "preprocess": preprocess,
         }
         # The server owns caches it constructs (in-memory default, or
         # from a path); a caller passing a live ResultCache keeps

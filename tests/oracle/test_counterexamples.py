@@ -1,0 +1,217 @@
+"""Pinned counterexamples: the instances that keep the gates honest.
+
+Each fixture below is a graph/system pair where a *plausible-but-wrong*
+variant of a preprocessing rule changes the exhaustively-enumerated
+optimum.  They were found by property search while designing the pass
+and are pinned here (in the style of
+``tests/search/test_fixed_order.py``) so the self-gates that exclude
+those variants stay load-bearing:
+
+* chain contraction on p > 1 is NOT makespan-preserving — not with
+  zero communication, not with communication large enough to force
+  colocation, not even with a PE per task.  The failure mode is always
+  PE-occupancy pressure: the optimal schedule splits or delays the
+  chain so another task can use the processor, and contraction forces
+  the chain contiguous.
+* transitive-edge removal is NOT sound under distance-scaled links:
+  the direct edge pays hop-scaled cost while the relay path pays
+  shorter hops, so the witness inequality no longer implies the
+  constraint.
+* Definition-3 equivalence must compare edge *costs*, not just edge
+  sets: siblings differing in a single communication cost are not
+  interchangeable.
+"""
+
+import pytest
+
+from repro.graph.taskgraph import TaskGraph
+from repro.schedule.preprocess import (
+    _contract,
+    node_equivalence_classes,
+    preprocess_instance,
+    removable_transitive_edges,
+)
+from repro.schedule.validate import validate_schedule
+from repro.search.astar import astar_schedule
+from repro.search.pruning import PruningConfig
+from repro.system import topology as topo
+from repro.system.processors import ProcessorSystem
+from tests.oracle import exhaustive_optimal
+
+
+def _assert_contraction_hazard(graph, system, optimum):
+    """Contracting the graph's chains must RAISE the optimum here, and
+    the pass must therefore keep the graph intact (p > 1), exposing the
+    contraction only as a ChainPlan upper-bound probe."""
+    assert exhaustive_optimal(graph, system) == pytest.approx(optimum)
+    contracted, _blocks = _contract(graph)
+    assert contracted.num_nodes < graph.num_nodes
+    assert exhaustive_optimal(contracted, system) > optimum + 1e-9
+
+    pre = preprocess_instance(graph, system)
+    assert pre.graph.num_nodes == graph.num_nodes
+    assert pre.chain_plan is not None
+    probe = astar_schedule(pre.chain_plan.graph, system)
+    unfolded = pre.chain_plan.unfold(probe.schedule, pre.graph)
+    validate_schedule(unfolded)
+    assert unfolded.length >= optimum - 1e-9
+
+
+class TestChainContractionHazards:
+    def test_basic_occupancy_pressure(self):
+        """Chain 0 -> 2 (comm 0): optimally task 2 waits while PE runs
+        task 4's predecessors; contraction forces it contiguous with 0
+        and the optimum rises from 7 to 8."""
+        graph = TaskGraph(
+            [4, 3, 2, 2, 1],
+            {(0, 2): 0, (1, 4): 4, (2, 4): 2},
+            name="contract-basic",
+        )
+        _assert_contraction_hazard(graph, ProcessorSystem.fully_connected(2), 7.0)
+
+    def test_zero_communication_is_not_a_fix(self):
+        """A tempting gate — "contract only zero-cost links" — still
+        fails: the chain member must be interleaved with other work."""
+        graph = TaskGraph(
+            [2, 4, 3, 2, 1, 3],
+            {(0, 3): 0, (1, 4): 0, (1, 5): 0, (2, 4): 4, (2, 5): 0, (3, 4): 4},
+            name="contract-zero-comm",
+        )
+        _assert_contraction_hazard(graph, ProcessorSystem.fully_connected(3), 7.0)
+
+    def test_large_communication_is_not_a_fix(self):
+        """Another tempting gate — "contract when the link cost exceeds
+        the member's weight, so they colocate anyway" — also fails:
+        colocated is not the same as contiguous."""
+        graph = TaskGraph(
+            [2, 1, 1, 4, 2],
+            {(0, 4): 0, (1, 2): 1, (2, 4): 1},
+            name="contract-heavy-comm",
+        )
+        _assert_contraction_hazard(graph, ProcessorSystem.fully_connected(2), 5.0)
+
+    def test_spare_pe_per_task_is_not_a_fix(self):
+        """Even with more PEs than tasks the hazard survives — the chain
+        tail must sometimes start late to receive a remote message, and
+        contiguity forbids the gap."""
+        graph = TaskGraph(
+            [1, 1, 1, 1, 1, 3],
+            {(0, 1): 4, (0, 2): 4, (0, 3): 0, (0, 5): 0, (2, 3): 2, (3, 4): 0},
+            name="contract-many-pes",
+        )
+        _assert_contraction_hazard(graph, ProcessorSystem.fully_connected(6), 4.0)
+
+    def test_forced_colocation_is_not_a_fix(self):
+        """Communication larger than the total work forces the pair onto
+        one PE in every optimal schedule — and contraction still loses,
+        because the pair need not be back-to-back."""
+        graph = TaskGraph(
+            [3, 1, 4, 2, 4, 4],
+            {(0, 5): 18, (1, 2): 1, (1, 3): 2, (2, 4): 4, (3, 4): 0},
+            name="contract-colocated",
+        )
+        _assert_contraction_hazard(graph, ProcessorSystem.fully_connected(2), 9.0)
+
+    def test_contraction_changes_what_removal_does_not(self):
+        """The minimal split fixture: transitive removal has nothing to
+        remove (no transitive edge exists), yet contracting the lone
+        chain 2 -> 3 (comm 0) raises the optimum from 5 to 6 — the two
+        reductions are independent hazards and must be gated
+        independently."""
+        graph = TaskGraph([2, 4, 1, 3], {(2, 3): 0}, name="contract-only")
+        system = ProcessorSystem.fully_connected(2)
+        assert removable_transitive_edges(graph, system) == ()
+        _assert_contraction_hazard(graph, system, 5.0)
+
+    def test_single_pe_contracts_exactly(self):
+        """The one regime where contraction IS sound: on a single PE the
+        same fixture contracts and the optimum is untouched."""
+        graph = TaskGraph([2, 4, 1, 3], {(2, 3): 0}, name="contract-only")
+        system = ProcessorSystem.fully_connected(1)
+        pre = preprocess_instance(graph, system)
+        assert pre.graph.num_nodes < graph.num_nodes
+        result = astar_schedule(pre.graph, system)
+        assert result.length == pytest.approx(exhaustive_optimal(graph, system))
+        validate_schedule(pre.restore(result.schedule))
+
+
+class TestTransitiveRemovalHazards:
+    #: Weights/edges where edge (0, 4) satisfies the uniform-communication
+    #: witness condition via m = 1 (w(1)=3, min(c(0,1), c(1,4)) = 0, and
+    #: 3 + 0 >= c(0, 4) = 2) — removable under uniform links.
+    _WEIGHTS = [3, 3, 4, 2, 2, 2]
+    _EDGES = {
+        (0, 1): 6, (0, 2): 3, (0, 4): 2, (1, 3): 2, (1, 4): 0,
+        (1, 5): 4, (2, 5): 4, (3, 5): 2, (4, 5): 3,
+    }
+
+    def test_condition_fires_under_uniform_links(self):
+        graph = TaskGraph(self._WEIGHTS, self._EDGES, name="ds-hazard")
+        uniform = ProcessorSystem.fully_connected(3)
+        assert (0, 4) in removable_transitive_edges(graph, uniform)
+        # ... and there it is genuinely sound:
+        kept = {e: c for e, c in self._EDGES.items() if e != (0, 4)}
+        reduced = TaskGraph(self._WEIGHTS, kept, name="ds-hazard-reduced")
+        assert exhaustive_optimal(reduced, uniform) == pytest.approx(
+            exhaustive_optimal(graph, uniform)
+        )
+
+    def test_distance_scaled_gate_is_load_bearing(self):
+        """On a 3-PE chain with hop-scaled messages, removing the very
+        same edge drops the optimum from 14 to 13: the relay through
+        task 1 no longer implies the direct constraint because its two
+        messages can take shorter hops.  The pass must remove nothing."""
+        graph = TaskGraph(self._WEIGHTS, self._EDGES, name="ds-hazard")
+        system = ProcessorSystem(
+            3, topo.chain_links(3), distance_scaled=True, name="chain-3-ds"
+        )
+        assert exhaustive_optimal(graph, system) == pytest.approx(14.0)
+        kept = {e: c for e, c in self._EDGES.items() if e != (0, 4)}
+        reduced = TaskGraph(self._WEIGHTS, kept, name="ds-hazard-reduced")
+        assert exhaustive_optimal(reduced, system) == pytest.approx(13.0)
+
+        pre = preprocess_instance(graph, system)
+        assert pre.removed_edges == ()
+        assert pre.graph.edges == graph.edges
+        assert not pre.root_symmetry
+
+
+class TestNearInterchangeableHazard:
+    def test_single_cost_difference_keeps_siblings_apart(self):
+        """Tasks 0 and 1: same weight, no parents, same single child —
+        but c(0,2) = 0 vs c(1,2) = 5.  A bucket key that compared edge
+        SETS without their costs would merge them; the pair is genuinely
+        NOT interchangeable (swapping their placements in an optimal
+        schedule breaks feasibility), so the Definition-3 key must keep
+        them apart."""
+        graph = TaskGraph([2, 2, 2], {(0, 2): 0, (1, 2): 5}, name="near-pair")
+        system = ProcessorSystem.fully_connected(2)
+
+        assert all(len(g) == 1 for g in node_equivalence_classes(graph))
+        # The cost-blind variant WOULD merge them:
+        blind = {}
+        for n in range(graph.num_nodes):
+            key = (graph.weight(n), graph.preds(n), graph.succs(n))
+            blind.setdefault(key, []).append(n)
+        assert [0, 1] in blind.values()
+
+        # Non-interchangeability, concretely: this optimal schedule is
+        # feasible (task 2 rides task 1's PE; task 0's message is free)...
+        from repro.schedule.schedule import Schedule
+        from repro.schedule.validate import schedule_violations
+
+        good = Schedule(
+            graph, system, {0: (1, 0.0), 1: (0, 0.0), 2: (0, 2.0)}
+        )
+        assert schedule_violations(good) == []
+        assert good.length == pytest.approx(exhaustive_optimal(graph, system))
+        # ... and swapping the "interchangeable" pair is not: task 2 now
+        # waits on the 5-unit message from the remote PE.
+        swapped = Schedule(
+            graph, system, {0: (0, 0.0), 1: (1, 0.0), 2: (0, 2.0)}
+        )
+        assert schedule_violations(swapped) != []
+
+        # With the correct key, full pruning still matches the oracle.
+        result = astar_schedule(graph, system, pruning=PruningConfig.all())
+        assert result.length == pytest.approx(exhaustive_optimal(graph, system))

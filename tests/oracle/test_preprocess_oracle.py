@@ -1,0 +1,218 @@
+"""Preprocessing vs. the exhaustive oracle.
+
+Property tests that every transformation in
+:mod:`repro.schedule.preprocess` preserves the exhaustively-enumerated
+optimal makespan and that :meth:`PreprocessResult.restore` round-trips
+reduced-space schedules into feasible original-space schedules of the
+same length.  Instance strategies deliberately include the regimes
+where rules must self-gate (heterogeneous speeds, distance-scaled
+links) and — via ``equivalence_instances`` — graphs that actually
+contain Definition-3 equivalence groups, which the uniform-cost
+strategies essentially never emit.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.taskgraph import TaskGraph
+from repro.schedule.preprocess import (
+    PreprocessConfig,
+    node_equivalence_classes,
+    preprocess_instance,
+)
+from repro.schedule.validate import validate_schedule
+from repro.search.astar import astar_schedule
+from repro.search.pruning import PruningConfig
+from repro.service.portfolio import portfolio_schedule, solve_auto
+from repro.system.processors import ProcessorSystem
+from tests.oracle import exhaustive_optimal
+from tests.strategies import (
+    equivalence_instances,
+    processor_systems,
+    scheduling_instances,
+    task_graphs,
+)
+
+_SETTINGS = settings(max_examples=50, deadline=None)
+
+
+def _solve_preprocessed(graph, system):
+    """The engine-facing preprocessing recipe: search the reduced graph
+    with the implied pruning overrides, restore to original space."""
+    pre = preprocess_instance(graph, system)
+    result = astar_schedule(
+        pre.graph, system, pruning=PruningConfig(**pre.pruning_overrides())
+    )
+    return pre, result
+
+
+@_SETTINGS
+@given(scheduling_instances(max_nodes=6, max_pes=3))
+def test_transitive_removal_preserves_optimum(instance):
+    """Edge removal alone (chain contraction off) must not move the
+    exhaustive optimum — including on heterogeneous-speed systems,
+    where the witness condition divides by the fastest speed."""
+    graph, system = instance
+    pre = preprocess_instance(
+        graph, system, PreprocessConfig(chain_contraction=False)
+    )
+    assert exhaustive_optimal(pre.graph, system) == pytest.approx(
+        exhaustive_optimal(graph, system)
+    )
+
+
+@_SETTINGS
+@given(scheduling_instances(max_nodes=6, max_pes=3))
+def test_preprocessed_search_matches_oracle_and_restores(instance):
+    """End-to-end recipe: reduced-space search finds the original
+    optimum and the restored schedule is feasible with the same length
+    in original node space."""
+    graph, system = instance
+    reference = exhaustive_optimal(graph, system)
+    pre, result = _solve_preprocessed(graph, system)
+    assert result.optimal
+    assert result.length == pytest.approx(reference)
+    restored = pre.restore(result.schedule)
+    validate_schedule(restored)
+    assert restored.graph == graph
+    assert restored.length == pytest.approx(result.length)
+    assert len(restored.tasks) == graph.num_nodes
+
+
+@_SETTINGS
+@given(task_graphs(max_nodes=5), processor_systems(max_pes=3, allow_distance_scaled=True))
+def test_distance_scaled_self_gate(graph, system):
+    """Under hop-scaled communication the removal proof breaks, so the
+    pass must leave the edge set alone (and withhold the symmetry
+    eligibility flag) — yet still solve the instance optimally."""
+    pre, result = _solve_preprocessed(graph, system)
+    if system.distance_scaled:
+        assert pre.removed_edges == ()
+        assert not pre.root_symmetry
+    assert result.length == pytest.approx(exhaustive_optimal(graph, system))
+
+
+@_SETTINGS
+@given(equivalence_instances(max_nodes=5, max_pes=3))
+def test_equivalence_groups_preserve_optimum(instance):
+    """The strategy manufactures interchangeable clones by construction;
+    expanding one representative per group must keep the optimum."""
+    graph, system = instance
+    assert any(len(g) > 1 for g in node_equivalence_classes(graph))
+    reference = exhaustive_optimal(graph, system)
+    pruned = astar_schedule(graph, system, pruning=PruningConfig.all())
+    assert pruned.optimal
+    assert pruned.length == pytest.approx(reference)
+    pre, result = _solve_preprocessed(graph, system)
+    assert result.length == pytest.approx(reference)
+    validate_schedule(pre.restore(result.schedule))
+
+
+@_SETTINGS
+@given(scheduling_instances(max_nodes=6, max_pes=3))
+def test_chain_plan_unfolds_to_feasible_upper_bound(instance):
+    """On p > 1 contraction is only upper-bound-sound: solving the
+    contracted companion and unfolding must give a *feasible* schedule
+    of the reduced graph, same length, never below the true optimum."""
+    graph, system = instance
+    pre = preprocess_instance(graph, system)
+    if pre.chain_plan is None:
+        return
+    plan = pre.chain_plan
+    probe = astar_schedule(plan.graph, system)
+    unfolded = plan.unfold(probe.schedule, pre.graph)
+    validate_schedule(unfolded)
+    assert unfolded.length == pytest.approx(probe.length)
+    assert unfolded.length >= exhaustive_optimal(graph, system) - 1e-9
+
+
+@_SETTINGS
+@given(task_graphs(max_nodes=6))
+def test_single_pe_contraction_is_exact(graph):
+    """On one PE the makespan is total work for every order, so chain
+    contraction is a true reduction; restore must unfold the blocks."""
+    system = ProcessorSystem.fully_connected(1)
+    reference = exhaustive_optimal(graph, system)
+    pre, result = _solve_preprocessed(graph, system)
+    assert result.length == pytest.approx(reference)
+    restored = pre.restore(result.schedule)
+    validate_schedule(restored)
+    assert len(restored.tasks) == graph.num_nodes
+    assert restored.length == pytest.approx(reference)
+
+
+@_SETTINGS
+@given(scheduling_instances(max_nodes=5, max_pes=3))
+def test_root_symmetry_search_matches_oracle(instance):
+    """The symmetry rule in isolation, on whatever system the strategy
+    drew — the expander must self-gate on heterogeneous speeds."""
+    graph, system = instance
+    result = astar_schedule(
+        graph, system, pruning=PruningConfig(root_symmetry=True)
+    )
+    assert result.length == pytest.approx(exhaustive_optimal(graph, system))
+
+
+@_SETTINGS
+@given(scheduling_instances(max_nodes=5, max_pes=2))
+def test_service_entrypoints_match_oracle(instance):
+    """``preprocess=True`` through the public service entry points."""
+    graph, system = instance
+    reference = exhaustive_optimal(graph, system)
+    auto = solve_auto(graph, system, preprocess=True)
+    assert auto.length == pytest.approx(reference)
+    assert auto.schedule.graph == graph
+    validate_schedule(auto.schedule)
+    port = portfolio_schedule(graph, system, preprocess=True)
+    assert port.optimal
+    assert port.length == pytest.approx(reference)
+    assert port.schedule.graph == graph
+    validate_schedule(port.schedule)
+
+
+@pytest.mark.slow
+def test_exhaustive_sweep_v7():
+    """The acceptance sweep: a fixed-seed population of v <= 7 instances
+    across every model regime (1-3 PEs, four topologies, heterogeneous
+    speeds, distance-scaled links), demanding zero makespan
+    discrepancies between the preprocessed pipeline and exhaustive
+    enumeration."""
+    rng = random.Random(20260808)
+    discrepancies = []
+    for trial in range(150):
+        v = rng.randint(2, 7)
+        weights = [rng.randint(1, 20) for _ in range(v)]
+        edges = {}
+        for u in range(v):
+            for w in range(u + 1, v):
+                if rng.random() < 0.4:
+                    edges[(u, w)] = rng.randint(0, 20)
+        graph = TaskGraph(weights, edges, name=f"sweep-{trial}")
+        p = rng.randint(1, 3)
+        factory = rng.choice(
+            [
+                ProcessorSystem.fully_connected,
+                ProcessorSystem.ring,
+                ProcessorSystem.chain,
+                ProcessorSystem.star,
+            ]
+        )
+        speeds = (
+            [rng.choice([0.5, 1.0, 2.0]) for _ in range(p)]
+            if rng.random() < 0.3
+            else None
+        )
+        system = factory(p, speeds=speeds)
+        if rng.random() < 0.3:
+            system = ProcessorSystem(
+                p, system.links, speeds, distance_scaled=True
+            )
+        reference = exhaustive_optimal(graph, system)
+        pre, result = _solve_preprocessed(graph, system)
+        restored = pre.restore(result.schedule)
+        validate_schedule(restored)
+        if abs(restored.length - reference) > 1e-9:
+            discrepancies.append((trial, restored.length, reference))
+    assert discrepancies == []

@@ -105,6 +105,40 @@ class TestHdaMatchesSerial:
         assert serial.optimal and parallel.optimal
         assert parallel.length == serial.length
 
+    def test_preprocessed_instance_matches_serial(self):
+        """The reduced graph plus implied pruning overrides, through the
+        parallel engine: same proven optimum as serial A* on the reduced
+        graph, and both restore to the raw instance's optimum."""
+        from repro.schedule.preprocess import preprocess_instance
+        from repro.schedule.validate import schedule_violations
+
+        graph = paper_random_graph(PaperGraphSpec(num_nodes=12, ccr=0.1, seed=6))
+        system = ProcessorSystem.fully_connected(2)
+        pre = preprocess_instance(graph, system)
+        pruning = PruningConfig(**pre.pruning_overrides())
+        serial = astar_schedule(pre.graph, system, pruning=pruning)
+        parallel = hda_astar_schedule(
+            pre.graph, system, workers=2, pruning=pruning
+        )
+        assert serial.optimal and parallel.optimal
+        assert parallel.length == serial.length
+        raw = astar_schedule(graph, system)
+        restored = pre.restore(parallel.schedule)
+        assert schedule_violations(restored) == []
+        assert restored.length == raw.length
+
+    def test_root_symmetry_matches_serial(self):
+        graph = paper_random_graph(PaperGraphSpec(num_nodes=12, ccr=1.0, seed=9))
+        system = ProcessorSystem.fully_connected(3)
+        pruning = PruningConfig.with_symmetry()
+        serial = astar_schedule(graph, system, pruning=pruning)
+        parallel = hda_astar_schedule(
+            graph, system, workers=2, pruning=pruning
+        )
+        assert serial.optimal and parallel.optimal
+        assert parallel.length == serial.length
+        assert parallel.stats.pruning.symmetry_skips > 0
+
     def test_incumbent_seeding(self):
         graph = paper_random_graph(PaperGraphSpec(num_nodes=12, ccr=1.0, seed=4))
         system = ProcessorSystem.fully_connected(3)

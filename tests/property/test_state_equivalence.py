@@ -126,6 +126,37 @@ def test_astar_equivalence_fixed_task_order(instance):
 
 @_SETTINGS
 @given(scheduling_instances())
+def test_astar_equivalence_root_symmetry(instance):
+    graph, system = instance
+    _assert_equivalent(
+        lambda cls: astar_schedule(
+            graph, system, pruning=PruningConfig(root_symmetry=True),
+            state_cls=cls,
+        )
+    )
+
+
+@_SETTINGS
+@given(scheduling_instances())
+def test_astar_equivalence_on_preprocessed_graph(instance):
+    """The reduced graph the preprocessing pass hands the engines (plus
+    its implied pruning overrides) must drive both representations to
+    identical searches, exactly like any raw instance."""
+    from repro.schedule.preprocess import preprocess_instance
+
+    graph, system = instance
+    pre = preprocess_instance(graph, system)
+    _assert_equivalent(
+        lambda cls: astar_schedule(
+            pre.graph, system,
+            pruning=PruningConfig(**pre.pruning_overrides()),
+            state_cls=cls,
+        )
+    )
+
+
+@_SETTINGS
+@given(scheduling_instances())
 def test_bnb_equivalence(instance):
     graph, system = instance
     _assert_equivalent(lambda cls: bnb_schedule(graph, system, state_cls=cls))

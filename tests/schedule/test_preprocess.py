@@ -1,0 +1,216 @@
+"""Unit tests for the preprocessing pass internals.
+
+Semantic (optimum-preserving) behaviour is property-tested against
+exhaustive enumeration in ``tests/oracle``; this module pins the
+mechanics — memoization, config toggles, bookkeeping, the removal
+condition's arithmetic — on hand-checkable fixtures.
+"""
+
+import pytest
+
+from repro.graph.taskgraph import TaskGraph
+from repro.schedule.preprocess import (
+    PreprocessConfig,
+    clear_preprocess_cache,
+    node_equivalence_classes,
+    preprocess_instance,
+    removable_transitive_edges,
+)
+from repro.schedule.schedule import Schedule
+from repro.schedule.validate import validate_schedule
+from repro.system.processors import ProcessorSystem
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_preprocess_cache()
+    yield
+    clear_preprocess_cache()
+
+
+def _diamond_with_shortcut():
+    """0 -> 1 -> 2 plus shortcut (0, 2); w(1) = 5 makes the shortcut
+    redundant: 5/s_max + min(1, 1) >= 3 for s_max <= 2."""
+    return TaskGraph(
+        [1, 5, 1], {(0, 1): 1, (1, 2): 1, (0, 2): 3}, name="diamond"
+    )
+
+
+class TestRemovalCondition:
+    def test_redundant_shortcut_removed(self):
+        graph = _diamond_with_shortcut()
+        system = ProcessorSystem.fully_connected(2)
+        assert removable_transitive_edges(graph, system) == ((0, 2),)
+
+    def test_fast_pe_tightens_the_condition(self):
+        """The witness divides the relay weight by the fastest speed:
+        with s_max = 2 the relay still covers cost 3 (2.5 + 1), but a
+        hypothetical s_max = 10 would not (0.5 + 1 < 3)."""
+        graph = _diamond_with_shortcut()
+        fast = ProcessorSystem.fully_connected(2, speeds=[1.0, 2.0])
+        assert removable_transitive_edges(graph, fast) == ((0, 2),)
+        faster = ProcessorSystem.fully_connected(2, speeds=[1.0, 10.0])
+        assert removable_transitive_edges(graph, faster) == ()
+
+    def test_expensive_shortcut_kept(self):
+        graph = TaskGraph(
+            [1, 1, 1], {(0, 1): 1, (1, 2): 1, (0, 2): 5}, name="kept"
+        )
+        system = ProcessorSystem.fully_connected(2)
+        assert removable_transitive_edges(graph, system) == ()
+
+    def test_deterministic(self):
+        graph = _diamond_with_shortcut()
+        system = ProcessorSystem.fully_connected(2)
+        assert removable_transitive_edges(
+            graph, system
+        ) == removable_transitive_edges(graph, system)
+
+
+class TestConfigToggles:
+    def test_transitive_reduction_off(self):
+        pre = preprocess_instance(
+            _diamond_with_shortcut(),
+            ProcessorSystem.fully_connected(2),
+            PreprocessConfig(transitive_reduction=False),
+        )
+        assert pre.removed_edges == ()
+        assert pre.graph.num_edges == 3
+
+    def test_chain_contraction_off(self):
+        graph = TaskGraph([1, 2, 3], {(0, 1): 1, (1, 2): 1}, name="chain")
+        pre = preprocess_instance(
+            graph,
+            ProcessorSystem.fully_connected(2),
+            PreprocessConfig(chain_contraction=False),
+        )
+        assert pre.chain_plan is None
+
+    def test_root_symmetry_off(self):
+        graph = TaskGraph([1, 2], {}, name="pair")
+        pre = preprocess_instance(
+            graph,
+            ProcessorSystem.fully_connected(3),
+            PreprocessConfig(root_symmetry=False),
+        )
+        assert not pre.root_symmetry
+        assert pre.pruning_overrides() == {}
+
+
+class TestSymmetryEligibility:
+    def test_homogeneous_multi_pe_is_eligible(self):
+        graph = TaskGraph([1, 2], {}, name="pair")
+        pre = preprocess_instance(graph, ProcessorSystem.ring(3))
+        assert pre.root_symmetry
+        assert pre.pruning_overrides() == {"root_symmetry": True}
+
+    def test_single_pe_is_not(self):
+        graph = TaskGraph([1, 2], {}, name="pair")
+        pre = preprocess_instance(graph, ProcessorSystem.fully_connected(1))
+        assert not pre.root_symmetry
+
+    def test_heterogeneous_is_not(self):
+        graph = TaskGraph([1, 2], {}, name="pair")
+        system = ProcessorSystem.fully_connected(2, speeds=[1.0, 2.0])
+        assert not preprocess_instance(graph, system).root_symmetry
+
+    def test_distance_scaled_is_not(self):
+        graph = TaskGraph([1, 2], {}, name="pair")
+        system = ProcessorSystem(
+            2, [(0, 1)], distance_scaled=True, name="ds"
+        )
+        assert not preprocess_instance(graph, system).root_symmetry
+
+
+class TestMemo:
+    def test_hit_returns_identical_object(self):
+        graph = _diamond_with_shortcut()
+        system = ProcessorSystem.fully_connected(2)
+        first = preprocess_instance(graph, system)
+        again = preprocess_instance(graph, system)
+        assert again is first
+
+    def test_value_keyed_not_identity_keyed(self):
+        """An equal-by-value graph built separately must hit the memo —
+        this is what amortizes duplicate daemon requests."""
+        system = ProcessorSystem.fully_connected(2)
+        first = preprocess_instance(_diamond_with_shortcut(), system)
+        again = preprocess_instance(_diamond_with_shortcut(), system)
+        assert again is first
+
+    def test_config_is_part_of_the_key(self):
+        graph = _diamond_with_shortcut()
+        system = ProcessorSystem.fully_connected(2)
+        full = preprocess_instance(graph, system)
+        bare = preprocess_instance(
+            graph, system, PreprocessConfig(transitive_reduction=False)
+        )
+        assert bare is not full
+        assert bare.removed_edges == () and full.removed_edges != ()
+
+    def test_clear_cache_forgets(self):
+        graph = _diamond_with_shortcut()
+        system = ProcessorSystem.fully_connected(2)
+        first = preprocess_instance(graph, system)
+        clear_preprocess_cache()
+        assert preprocess_instance(graph, system) is not first
+
+
+class TestBookkeeping:
+    def test_stats_keys(self):
+        pre = preprocess_instance(
+            _diamond_with_shortcut(), ProcessorSystem.fully_connected(2)
+        )
+        assert pre.stats == {
+            "preprocess_edges_removed": 1,
+            "preprocess_nodes_contracted": 0,
+            "preprocess_equivalence_groups": 0,
+            "preprocess_equivalence_members": 0,
+        }
+
+    def test_identity_result(self):
+        graph = TaskGraph([1, 2, 3], {(0, 2): 9, (1, 2): 9}, name="plain")
+        pre = preprocess_instance(graph, ProcessorSystem.fully_connected(2))
+        assert pre.is_identity
+        assert pre.members == ((0,), (1,), (2,))
+
+    def test_removal_merges_equivalence_classes(self):
+        """The compounding effect the pass exists for: clones 2 and 3
+        are identical but for a redundant shortcut (0, 3); the raw graph
+        keeps them apart, the reduced graph merges them."""
+        graph = TaskGraph(
+            [1, 5, 1, 1],
+            {(0, 1): 2, (1, 2): 1, (1, 3): 1, (0, 3): 2},
+            name="merge",
+        )
+        assert all(len(g) == 1 for g in node_equivalence_classes(graph))
+        pre = preprocess_instance(graph, ProcessorSystem.fully_connected(2))
+        assert pre.removed_edges == ((0, 3),)
+        assert (2, 3) in pre.equivalence_groups
+        assert pre.stats["preprocess_equivalence_groups"] == 1
+        assert pre.stats["preprocess_equivalence_members"] == 1
+
+    def test_single_pe_contraction_members_and_restore(self):
+        graph = TaskGraph(
+            [2, 3, 4], {(0, 1): 5, (1, 2): 1}, name="chain"
+        )
+        system = ProcessorSystem.fully_connected(1)
+        pre = preprocess_instance(graph, system)
+        assert pre.graph.num_nodes == 1
+        assert pre.members == ((0, 1, 2),)
+        assert pre.stats["preprocess_nodes_contracted"] == 2
+        block = Schedule(pre.graph, system, {0: (0, 0.0)})
+        restored = pre.restore(block)
+        validate_schedule(restored)
+        assert restored.length == pytest.approx(9.0)
+        assert [t.node for t in restored.tasks] == [0, 1, 2]
+
+    def test_chain_plan_on_multi_pe(self):
+        graph = TaskGraph(
+            [2, 3, 4], {(0, 1): 5, (1, 2): 1}, name="chain"
+        )
+        pre = preprocess_instance(graph, ProcessorSystem.fully_connected(2))
+        assert pre.graph.num_nodes == 3  # untouched: contraction unsound
+        assert pre.chain_plan is not None
+        assert pre.chain_plan.graph.num_nodes == 1
+        assert pre.chain_plan.members == ((0, 1, 2),)

@@ -109,3 +109,48 @@ class TestContract:
         )
         # The warm start may only help, never hurt.
         assert result.schedule.length <= warm.length
+
+
+class TestPreprocessedParity:
+    """Every registered engine must behave on a preprocessed instance
+    exactly as on a raw one: same proven makespan, restorable schedule,
+    and deterministic (placement-identical) repeat runs."""
+
+    def _instance(self):
+        from repro.graph.taskgraph import TaskGraph
+
+        # Diamond with a removable shortcut (0, 2) plus a sibling, so
+        # preprocessing genuinely changes the graph the engine sees.
+        graph = TaskGraph(
+            [1, 5, 1, 2],
+            {(0, 1): 1, (1, 2): 1, (0, 2): 3, (0, 3): 2},
+            name="parity",
+        )
+        return graph, paper_example_system()
+
+    @staticmethod
+    def _placements(schedule):
+        return tuple(
+            (t.node, t.pe, t.start, t.finish)
+            for t in sorted(schedule.tasks, key=lambda t: t.node)
+        )
+
+    @pytest.mark.parametrize("name", list(ENGINES))
+    def test_equal_makespans_and_deterministic_restore(self, name):
+        from repro.schedule.preprocess import preprocess_instance
+        from repro.schedule.validate import validate_schedule
+
+        graph, system = self._instance()
+        pre = preprocess_instance(graph, system)
+        assert not pre.is_identity  # the shortcut must be gone
+        args, kwargs = SMOKE_ARGS.get(name, ((), {}))
+        base = get_engine(name)(graph, system, *args, **kwargs)
+        red = get_engine(name)(pre.graph, system, *args, **kwargs)
+        restored = pre.restore(red.schedule)
+        validate_schedule(restored)
+        assert restored.graph == graph
+        assert restored.length == pytest.approx(base.schedule.length)
+        again = get_engine(name)(pre.graph, system, *args, **kwargs)
+        assert self._placements(pre.restore(again.schedule)) == (
+            self._placements(restored)
+        )

@@ -1,0 +1,148 @@
+"""Correctness of the processor-symmetry pruning extension.
+
+On homogeneous-speed, uniform-communication systems the cost model
+ignores the topology entirely, so every empty PE is interchangeable —
+a stronger statement than Definition 2's structural isomorphism, and
+one that holds at *every* state, pinning the first task to PE 0 at the
+root.  Like FTO it is off by default, self-gates to the regime where
+the argument holds, and must preserve optimality against exhaustive
+enumeration everywhere.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.taskgraph import TaskGraph
+from repro.search.astar import astar_schedule
+from repro.search.bnb import bnb_schedule
+from repro.search.enumerate import enumerate_optimal
+from repro.search.pruning import PruningConfig, PruningStats
+from repro.system.processors import ProcessorSystem
+from tests.strategies import scheduling_instances, task_graphs
+
+
+class TestConfig:
+    def test_off_by_default(self):
+        assert not PruningConfig.all().root_symmetry
+
+    def test_with_symmetry_enables(self):
+        cfg = PruningConfig.with_symmetry()
+        assert cfg.root_symmetry and cfg.upper_bound
+
+    def test_describe_shows_sym(self):
+        assert "sym" in PruningConfig.with_symmetry().describe()
+
+    def test_only_root_symmetry(self):
+        cfg = PruningConfig.only(root_symmetry=True)
+        assert cfg.root_symmetry and not cfg.upper_bound
+
+    def test_stats_counter_in_dict(self):
+        stats = PruningStats(symmetry_skips=5)
+        assert stats.as_dict()["symmetry_skips"] == 5
+        assert stats.total == 5
+
+
+class TestEmptyPeCollapse:
+    def test_counter_fires_and_search_shrinks(self):
+        """On a star the Definition-2 classes keep two empty reps (hub
+        vs leaf); uniform communication makes even those
+        interchangeable, so the symmetry rule strictly tightens the
+        default pruning."""
+        graph = TaskGraph([4, 3, 2, 5, 1], {}, name="independent")
+        system = ProcessorSystem.star(4)
+        reference = enumerate_optimal(graph, system).length
+        base = astar_schedule(graph, system)
+        sym = astar_schedule(
+            graph, system, pruning=PruningConfig(root_symmetry=True)
+        )
+        assert sym.length == reference == base.length
+        assert sym.stats.pruning.symmetry_skips > 0
+        assert sym.stats.states_generated < base.stats.states_generated
+
+    def test_subsumes_isomorphism_on_cliques(self):
+        """On a fully-connected system Definition 2 already collapses
+        all empties; the symmetry rule must reproduce that collapse
+        exactly (same search) while attributing skips to its counter."""
+        graph = TaskGraph([4, 3, 2, 5, 1], {}, name="independent")
+        system = ProcessorSystem.fully_connected(3)
+        base = astar_schedule(graph, system)
+        sym = astar_schedule(
+            graph, system, pruning=PruningConfig(root_symmetry=True)
+        )
+        assert sym.length == base.length
+        assert sym.stats.states_expanded == base.stats.states_expanded
+        assert sym.stats.states_generated == base.stats.states_generated
+        assert sym.stats.pruning.symmetry_skips > 0
+
+    def test_first_task_pinned_to_pe0(self):
+        graph = TaskGraph([4, 3, 2], {(0, 1): 2, (0, 2): 1}, name="fork")
+        system = ProcessorSystem.ring(3)
+        sym = astar_schedule(
+            graph, system, pruning=PruningConfig(root_symmetry=True)
+        )
+        first = min(sym.schedule.tasks, key=lambda t: (t.start, t.node))
+        assert first.pe == 0
+
+    def test_inert_on_heterogeneous_speeds(self):
+        """Empty PEs with different speeds are NOT interchangeable; the
+        expander must not fire at all."""
+        graph = TaskGraph([4, 3, 2], {}, name="independent")
+        system = ProcessorSystem.fully_connected(3, speeds=[1.0, 1.0, 2.0])
+        sym = astar_schedule(
+            graph, system, pruning=PruningConfig(root_symmetry=True)
+        )
+        base = astar_schedule(graph, system)
+        assert sym.stats.pruning.symmetry_skips == 0
+        assert sym.stats.states_expanded == base.stats.states_expanded
+        assert sym.length == base.length
+
+    def test_inert_on_distance_scaled_links(self):
+        """With hop-scaled messages an empty PE adjacent to the sender
+        differs from a distant one — interchangeability breaks."""
+        graph = TaskGraph([4, 3, 2], {(0, 1): 3}, name="g")
+        system = ProcessorSystem(
+            3, links=[(0, 1), (1, 2)], distance_scaled=True
+        )
+        sym = astar_schedule(
+            graph, system, pruning=PruningConfig(root_symmetry=True)
+        )
+        assert sym.stats.pruning.symmetry_skips == 0
+        assert sym.length == enumerate_optimal(graph, system).length
+
+
+@settings(max_examples=60, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=3))
+def test_symmetry_preserves_optimality(instance):
+    graph, system = instance
+    reference = enumerate_optimal(graph, system).length
+    result = astar_schedule(
+        graph, system, pruning=PruningConfig(root_symmetry=True)
+    )
+    assert result.optimal
+    assert result.length == pytest.approx(reference)
+
+
+@settings(max_examples=40, deadline=None)
+@given(task_graphs(max_nodes=5))
+def test_symmetry_alone_preserves_optimality(graph):
+    """The rule in isolation (no other pruning) against ground truth."""
+    system = ProcessorSystem.fully_connected(3)
+    reference = enumerate_optimal(graph, system).length
+    cfg = PruningConfig.only(root_symmetry=True)
+    result = astar_schedule(graph, system, pruning=cfg)
+    assert result.length == pytest.approx(reference)
+
+
+@settings(max_examples=20, deadline=None)
+@given(scheduling_instances(max_nodes=5, max_pes=3))
+def test_symmetry_composes_with_fixed_order(instance):
+    """The two off-by-default extensions together — they prune along
+    different axes (PE choice vs task order) and must still be exact."""
+    graph, system = instance
+    reference = enumerate_optimal(graph, system).length
+    cfg = PruningConfig(root_symmetry=True, fixed_task_order=True)
+    result = astar_schedule(graph, system, pruning=cfg)
+    assert result.length == pytest.approx(reference)
+    assert bnb_schedule(graph, system, pruning=cfg).length == pytest.approx(
+        reference
+    )

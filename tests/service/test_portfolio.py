@@ -188,7 +188,8 @@ class TestDeadlineAccounting:
             clock["t"] += 1.0  # list stage burns 1s
             return sched
 
-        def slow_improver(g, s, eps, *, cost, budget, state_cls, probe=None):
+        def slow_improver(g, s, eps, *, cost, budget, state_cls, probe=None,
+                          pruning=None):
             assert budget.max_seconds == pytest.approx((10.0 - 1.0) * 0.25)
             clock["t"] += 6.0  # overruns its 2.25s share by far
             return self._stub_result()
@@ -219,7 +220,8 @@ class TestDeadlineAccounting:
         graph = paper_random_graph(PaperGraphSpec(num_nodes=16, ccr=1.0, seed=3))
         system = ProcessorSystem.fully_connected(4)
 
-        def slow_improver(g, s, eps, *, cost, budget, state_cls, probe=None):
+        def slow_improver(g, s, eps, *, cost, budget, state_cls, probe=None,
+                          pruning=None):
             clock["t"] += 60.0  # blows way past the whole deadline
             return self._stub_result()
 

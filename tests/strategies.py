@@ -39,8 +39,15 @@ def processor_systems(
     min_pes: int = 1,
     max_pes: int = 3,
     allow_hetero: bool = True,
+    allow_distance_scaled: bool = False,
 ) -> ProcessorSystem:
-    """Random small system over the shipped topologies."""
+    """Random small system over the shipped topologies.
+
+    ``allow_distance_scaled=True`` additionally samples the hop-scaled
+    communication model, the regime where several pruning/preprocessing
+    rules must self-gate off — off by default so existing properties
+    keep their historical instance distribution.
+    """
     p = draw(st.integers(min_pes, max_pes))
     kind = draw(st.sampled_from(["clique", "ring", "chain", "star"]))
     if allow_hetero and draw(st.booleans()):
@@ -53,13 +60,56 @@ def processor_systems(
         "chain": ProcessorSystem.chain,
         "star": ProcessorSystem.star,
     }[kind]
-    return factory(p, speeds=speeds)
+    system = factory(p, speeds=speeds)
+    if allow_distance_scaled and draw(st.booleans()):
+        system = ProcessorSystem(
+            p, system.links, speeds,
+            distance_scaled=True, name=f"{system.name}-ds",
+        )
+    return system
 
 
 @st.composite
 def scheduling_instances(draw, max_nodes: int = 6, max_pes: int = 3):
     """A (graph, system) pair sized for exhaustive ground-truthing."""
     graph = draw(task_graphs(max_nodes=max_nodes))
+    system = draw(processor_systems(max_pes=max_pes))
+    return graph, system
+
+
+@st.composite
+def equivalence_instances(
+    draw,
+    max_nodes: int = 5,
+    max_pes: int = 3,
+    max_clones: int = 2,
+):
+    """A (graph, system) pair guaranteed to contain a Definition-3
+    equivalence group.
+
+    ``task_graphs``/``paper_instances`` draw node weights and edge costs
+    from wide uniform ranges, so two tasks with *identical* weight and
+    identical parent/child edge sets essentially never occur — the
+    interchangeable-task machinery went property-untested under those
+    strategies.  Here we clone one node 1–2 times (same weight, same
+    in/out edges with the same costs, fresh highest ids), which makes the
+    clones and the target mutually interchangeable by construction.
+    Total size stays ≤ ``max_nodes + max_clones`` so the exhaustive
+    oracle remains tractable.
+    """
+    base = draw(task_graphs(min_nodes=1, max_nodes=max_nodes))
+    v = base.num_nodes
+    target = draw(st.integers(0, v - 1))
+    clones = draw(st.integers(1, max_clones))
+    weights = list(base.weights) + [base.weight(target)] * clones
+    edges = dict(base.edges)
+    for i in range(clones):
+        c = v + i
+        for p, cost in base.pred_edges(target):
+            edges[(p, c)] = cost
+        for s, cost in base.succ_edges(target):
+            edges[(c, s)] = cost
+    graph = TaskGraph(weights, edges, name="equivalence")
     system = draw(processor_systems(max_pes=max_pes))
     return graph, system
 
