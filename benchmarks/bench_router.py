@@ -1,0 +1,426 @@
+"""Benchmark: fleet routing — warm-throughput scaling and kill soak.
+
+Drives the real topology from ``repro route``: ``repro serve`` shard
+*subprocesses* behind an in-process :class:`ShardRouter`, measured two
+ways:
+
+* **scaling** — the same warm working set served by 1 shard vs. 4.
+  Each shard keeps ``--cache-capacity`` results hot in its in-memory
+  LRU; the working set of unique instances is bigger than one shard's
+  capacity, so a single shard thrashes (every cycle re-solves what the
+  last cycle evicted) while four shards partition the fingerprint
+  space into segments that each fit.  On this single-core box the
+  ≥ 2.5x acceptance gate is aggregate *cache* capacity, not aggregate
+  CPU — the report records ``cpu_count`` so nobody mistakes one for
+  the other; on a multi-core box the same harness also captures the
+  CPU side.
+* **kill soak** — 4 shards over one ``shared:`` SQLite store, a mixed
+  request stream, and a killer thread SIGKILLing a random shard every
+  second (respawning it on its old port after a beat).  Measures what
+  the runbook alarms on: **availability** (answered / total, gate
+  ≥ 0.99), **zero lost accepted jobs** (no request the fleet accepted
+  may go unanswered or hang), and the p50/p99 latency tail.
+
+Run directly for a human-readable table (also appends an entry to
+``BENCH_router.json`` at the repo root and exits non-zero when a gate
+fails, making it usable as a CI perf gate)::
+
+    PYTHONPATH=src python benchmarks/bench_router.py [--smoke]
+
+``--smoke`` shrinks every knob so the whole file runs in well under a
+minute and skips gate enforcement — it proves the harness, not the
+numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.graph.generators.random_paper import PaperGraphSpec, paper_random_graph
+from repro.service.client import ServerClient
+from repro.service.fleet import spawn_fleet
+from repro.service.router import Shard, ShardRouter
+from repro.system.processors import ProcessorSystem
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_router.json"
+
+#: Acceptance gates (ISSUE 10): warm throughput at 4 shards >= 2.5x a
+#: single shard, and >= 99% of requests answered under repeated shard
+#: SIGKILLs with zero lost accepted jobs.
+SCALING_FLOOR = 2.5
+AVAILABILITY_FLOOR = 0.99
+
+DEADLINE_SECONDS = 5.0
+MAX_EXPANSIONS = 50_000
+CLIENT_THREADS = 8
+PES = 3
+
+#: Per-shard hot-result capacity for the scaling passes.  The working
+#: set below is ~3x this, so one shard cannot hold it but a 4-shard
+#: partition can (each segment lands well under capacity).
+CACHE_CAPACITY = 12
+
+
+def build_working_set(uniques: int) -> list:
+    """Distinct §4.1-style instances, small enough to re-solve fast."""
+    coords = [
+        (v, ccr, seed)
+        for v in (9, 10)
+        for ccr in (0.1, 1.0)
+        for seed in range(1, uniques // 4 + 2)
+    ]
+    return [
+        paper_random_graph(PaperGraphSpec(num_nodes=v, ccr=ccr, seed=s))
+        for v, ccr, s in coords[:uniques]
+    ]
+
+
+class _Fleet:
+    """Shard subprocesses + in-process router, torn down in order."""
+
+    def __init__(self, count: int, **spawn_kwargs):
+        spawn_kwargs.setdefault("solver_workers", 1)
+        spawn_kwargs.setdefault("queue_limit", 128)
+        spawn_kwargs.setdefault("max_expansions", MAX_EXPANSIONS)
+        self.procs = spawn_fleet(count, **spawn_kwargs)
+        self.router = ShardRouter(
+            [Shard(p.name, p.host, p.port) for p in self.procs],
+            port=0,
+            probe_interval=0.2,
+            reset_timeout=0.2,
+            max_reset_timeout=2.0,
+        )
+        self.thread = self.router.serve_in_thread()
+        self.client = ServerClient(
+            port=self.router.port, timeout=120, retries=5, backoff=0.1
+        )
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.router.shutdown()
+        self.thread.join(timeout=60)
+        for proc in self.procs:
+            proc.terminate()
+
+
+def _drive(client: ServerClient, system: ProcessorSystem, jobs: list,
+           threads: int) -> dict[str, object]:
+    """Push ``jobs`` (graphs) through the router from client threads."""
+    latencies: list[float] = []
+    counts = {"answered": 0, "errors": 0}
+    index = {"next": 0}
+    lock = threading.Lock()
+
+    def worker() -> None:
+        while True:
+            with lock:
+                i = index["next"]
+                if i >= len(jobs):
+                    return
+                index["next"] = i + 1
+            t0 = time.perf_counter()
+            try:
+                client.solve(
+                    jobs[i], system,
+                    deadline=DEADLINE_SECONDS, max_expansions=MAX_EXPANSIONS,
+                )
+            except Exception:  # noqa: BLE001 - an unanswered request is
+                # exactly what availability measures; count, don't crash.
+                with lock:
+                    counts["errors"] += 1
+                continue
+            elapsed = time.perf_counter() - t0
+            with lock:
+                counts["answered"] += 1
+                latencies.append(elapsed)
+
+    t0 = time.perf_counter()
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    wall = time.perf_counter() - t0
+    latencies.sort()
+    return {
+        "requests": len(jobs),
+        "wall_seconds": wall,
+        "requests_per_second": len(jobs) / wall,
+        "answered": counts["answered"],
+        "errors": counts["errors"],
+        "availability": counts["answered"] / len(jobs) if jobs else 1.0,
+        "p50_seconds": _quantile(latencies, 0.50),
+        "p99_seconds": _quantile(latencies, 0.99),
+    }
+
+
+def _quantile(sorted_vals: list[float], q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, round(q * (len(sorted_vals) - 1)))
+    return sorted_vals[idx]
+
+
+def run_scaling_pass(
+    shards: int, working_set: list, system: ProcessorSystem, *,
+    cycles: int, threads: int,
+) -> dict[str, object]:
+    """Prime the fleet with the working set, then measure warm cycles.
+
+    The measured pass replays the working set ``cycles`` times in
+    order — the cyclic-reuse pattern that defeats an undersized LRU
+    (capacity < set size means each access evicts a soon-needed entry)
+    and rewards a partition whose segments fit.
+    """
+    with _Fleet(shards, cache_capacity=CACHE_CAPACITY) as fleet:
+        prime = _drive(fleet.client, system, list(working_set), threads)
+        warm = _drive(
+            fleet.client, system, list(working_set) * cycles, threads
+        )
+        hits = sum(
+            s["cache_hits"]
+            for s in _shard_job_counters(fleet.procs).values()
+        )
+    if prime["errors"] or warm["errors"]:
+        raise RuntimeError(
+            f"{prime['errors'] + warm['errors']} requests failed during "
+            f"the {shards}-shard scaling pass"
+        )
+    return {
+        "shards": shards,
+        "prime_seconds": prime["wall_seconds"],
+        "cache_hits": hits,
+        **{k: warm[k] for k in (
+            "requests", "wall_seconds", "requests_per_second",
+            "p50_seconds", "p99_seconds",
+        )},
+    }
+
+
+def _shard_job_counters(procs) -> dict[str, dict]:
+    out = {}
+    for proc in procs:
+        if not proc.alive:
+            continue
+        try:
+            out[proc.name] = ServerClient(
+                port=proc.port, timeout=10).metrics()["jobs"]
+        except Exception:  # noqa: BLE001 - a shard dying between the
+            # liveness check and the scrape only costs this data point.
+            continue
+    return out
+
+
+def run_kill_soak(
+    working_set: list, system: ProcessorSystem, *, requests: int,
+    threads: int, kill_interval: float, seed: int = 73,
+) -> dict[str, object]:
+    """4 shards, shared store, random SIGKILL + respawn every interval."""
+    rng = random.Random(seed)
+    jobs = [rng.choice(working_set) for _ in range(requests)]
+    kills = [0]
+    stop = threading.Event()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = f"shared:{Path(tmp) / 'fleet.db'}"
+        with _Fleet(4, cache=store) as fleet:
+
+            def killer() -> None:
+                while not stop.wait(kill_interval):
+                    i = rng.randrange(len(fleet.procs))
+                    victim = fleet.procs[i]
+                    if not victim.alive:
+                        continue
+                    victim.kill()
+                    kills[0] += 1
+                    if stop.wait(kill_interval / 2):
+                        return
+                    try:
+                        fleet.procs[i] = victim.respawn()
+                    except RuntimeError:
+                        pass  # port still settling — the next round
+                        # finds the shard dead and moves on.
+
+            reaper = threading.Thread(target=killer, daemon=True)
+            reaper.start()
+            try:
+                soak = _drive(fleet.client, system, jobs, threads)
+            finally:
+                stop.set()
+                reaper.join(timeout=60)
+
+            # Zero lost accepted jobs: once the stream ends, every
+            # surviving shard must drain to an empty queue with its
+            # accepted ledger balanced — nothing hung, nothing dropped.
+            lost = 0
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                counters = _shard_job_counters(fleet.procs)
+                lost = sum(
+                    jobs_["accepted"] - jobs_["completed"] - jobs_["failed"]
+                    for jobs_ in counters.values()
+                )
+                if lost == 0:
+                    break
+                time.sleep(0.25)
+            router_metrics = fleet.router.metrics()
+
+    return {
+        **soak,
+        "shard_kills": kills[0],
+        "lost_accepted_jobs": lost,
+        "router_failovers": router_metrics["routing"]["failovers"],
+        "router_unroutable": router_metrics["routing"]["no_shard"],
+    }
+
+
+def run_router_bench(*, smoke: bool = False) -> dict[str, object]:
+    uniques = 8 if smoke else 32
+    cycles = 1 if smoke else 3
+    soak_requests = 16 if smoke else 320
+    kill_interval = 2.0 if smoke else 0.6
+
+    working_set = build_working_set(uniques)
+    system = ProcessorSystem.fully_connected(PES)
+
+    passes = [
+        run_scaling_pass(
+            shards, working_set, system,
+            cycles=cycles, threads=CLIENT_THREADS,
+        )
+        for shards in (1, 4)
+    ]
+    soak = run_kill_soak(
+        working_set, system, requests=soak_requests,
+        threads=CLIENT_THREADS, kill_interval=kill_interval,
+    )
+
+    single, quad = passes
+    scaling = (
+        quad["requests_per_second"] / single["requests_per_second"]
+        if single["requests_per_second"] else 0.0
+    )
+    import os
+
+    return {
+        "smoke": smoke,
+        "cpu_count": os.cpu_count(),
+        "unique_instances": uniques,
+        "cache_capacity_per_shard": CACHE_CAPACITY,
+        "warm_cycles": cycles,
+        "client_threads": CLIENT_THREADS,
+        "deadline_seconds": DEADLINE_SECONDS,
+        "max_expansions": MAX_EXPANSIONS,
+        "scaling_mechanism": (
+            "aggregate cache capacity (single-core host: the 4-shard "
+            "win is the keyspace partition fitting per-shard LRUs, "
+            "not parallel CPU)"
+            if (os.cpu_count() or 1) <= 2 else "cache capacity + CPU"
+        ),
+        "passes": [
+            {"pass": f"warm_{p['shards']}_shard", **p} for p in passes
+        ] + [{"pass": "kill_soak", **soak}],
+        "warm_1shard_requests_per_second": single["requests_per_second"],
+        "warm_4shard_requests_per_second": quad["requests_per_second"],
+        "warm_scaling_4x": scaling,
+        "soak_availability": soak["availability"],
+        "soak_errors": soak["errors"],
+        "soak_lost_accepted_jobs": soak["lost_accepted_jobs"],
+        "soak_shard_kills": soak["shard_kills"],
+        "soak_p50_seconds": soak["p50_seconds"],
+        "soak_p99_seconds": soak["p99_seconds"],
+    }
+
+
+def _git_rev() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes, no gate enforcement")
+    parser.add_argument("--out", type=Path, default=RESULTS_PATH)
+    args = parser.parse_args(argv)
+
+    report = run_router_bench(smoke=args.smoke)
+
+    from repro.util.tables import render_table
+
+    rows = [
+        [p["pass"], p["requests"], p["wall_seconds"],
+         p["requests_per_second"], p["p50_seconds"], p["p99_seconds"]]
+        for p in report["passes"]
+    ]
+    print(render_table(
+        ["pass", "requests", "seconds", "req/s", "p50", "p99"],
+        rows, title="fleet routing: scaling and kill soak",
+        float_fmt="{:.3f}",
+    ))
+    print(f"\nwarm scaling 1 -> 4 shards : "
+          f"{report['warm_scaling_4x']:.2f}x (floor {SCALING_FLOOR}x; "
+          f"{report['scaling_mechanism']})")
+    print(f"kill-soak availability     : "
+          f"{report['soak_availability']:.3f} across "
+          f"{report['soak_shard_kills']} shard SIGKILL(s) "
+          f"(floor {AVAILABILITY_FLOOR})")
+    print(f"lost accepted jobs         : "
+          f"{report['soak_lost_accepted_jobs']} (must be 0); "
+          f"{report['soak_errors']} unanswered request(s)")
+
+    entry = {
+        "bench": "router",
+        "unix_time": int(time.time()),
+        "python": platform.python_version(),
+        "git_rev": _git_rev(),
+        **report,
+    }
+    existing: list = []
+    if args.out.exists():
+        try:
+            existing = json.loads(args.out.read_text())
+        except json.JSONDecodeError:
+            print(f"warning: {args.out} is not valid JSON; starting fresh",
+                  file=sys.stderr)
+    existing.append(entry)
+    args.out.write_text(json.dumps(existing, indent=2) + "\n")
+
+    if args.smoke:
+        return 0
+    failed = False
+    if report["warm_scaling_4x"] < SCALING_FLOOR:
+        print("FAIL: 4-shard warm throughput below the scaling floor",
+              file=sys.stderr)
+        failed = True
+    if report["soak_availability"] < AVAILABILITY_FLOOR:
+        print("FAIL: kill-soak availability below the floor",
+              file=sys.stderr)
+        failed = True
+    if report["soak_lost_accepted_jobs"] != 0:
+        print("FAIL: accepted jobs were lost during the kill soak",
+              file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,10 @@ Commands
     Run the solver daemon: an asyncio HTTP front-end over the same
     service stack, with a persistent worker pool, bounded admission
     queue, in-flight dedupe, and graceful SIGTERM drain.
+``route``
+    Run the fleet front-end: consistent-hash routing across N shard
+    daemons with health probing, per-shard circuit breakers, failover,
+    and drain/rejoin — optionally spawning the shards itself.
 ``trace``
     Report on a JSONL trace file written via ``--obs-trace``: per-span
     durations, portfolio stage attribution, convergence timelines, and
@@ -182,7 +186,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--preprocess", action="store_true",
                    help="default per-request graph-reduction switch "
                         "(requests may override with 'preprocess')")
+    p.add_argument("--shard-id", default=None, metavar="NAME",
+                   help="fleet identity: labels /metrics, the deep "
+                        "healthz payload, and the readiness line "
+                        "(set by 'repro route --spawn')")
+    p.add_argument("--cache-capacity", type=int, default=None,
+                   help="in-memory result-cache entries kept hot "
+                        "(default 512)")
     _add_obs_args(p)
+
+    p = sub.add_parser(
+        "route",
+        help="run the fleet router over N 'repro serve' shards")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="listen port (0 picks a free one)")
+    p.add_argument("--shard", action="append", default=[],
+                   metavar="HOST:PORT[=NAME]",
+                   help="join an already-running shard (repeatable)")
+    p.add_argument("--spawn", type=int, default=0, metavar="N",
+                   help="spawn N local shard daemons and route over them")
+    p.add_argument("--replicas", type=int, default=64,
+                   help="virtual nodes per shard on the hash ring")
+    p.add_argument("--probe-interval", type=float, default=0.5,
+                   help="seconds between background health probes")
+    p.add_argument("--shallow-probes", action="store_true",
+                   help="probe /healthz instead of /healthz?deep=1")
+    p.add_argument("--failure-threshold", type=int, default=3,
+                   help="consecutive failures before a shard's "
+                        "circuit breaker opens")
+    p.add_argument("--reset-timeout", type=float, default=1.0,
+                   help="initial breaker open period (doubles per "
+                        "re-trip, capped at --max-reset-timeout)")
+    p.add_argument("--max-reset-timeout", type=float, default=30.0)
+    p.add_argument("--forward-timeout", type=float, default=300.0,
+                   help="budget for one forwarded solve request")
+    # Passthrough configuration for --spawn shards.
+    p.add_argument("--solver-workers", type=int, default=1)
+    p.add_argument("--queue-limit", type=int, default=64)
+    p.add_argument("--cache", default=None,
+                   help="shard result-cache spec; use shared:PATH so "
+                        "failover replays hit warm results fleet-wide")
+    p.add_argument("--cache-capacity", type=int, default=None)
+    p.add_argument("--deadline", type=float, default=None)
+    p.add_argument("--max-expansions", type=int, default=200_000)
 
     p = sub.add_parser("trace", help="report on a JSONL trace file")
     p.add_argument("file", help="trace file written via --obs-trace")
@@ -244,6 +291,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_batch(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "route":
+        return _cmd_route(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "lint":
@@ -578,14 +627,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         preprocess=args.preprocess,
         obs_trace=args.obs_trace,
         probe_every=args.probe_every,
+        shard_id=args.shard_id,
+        cache_capacity=args.cache_capacity,
     )
     # Readiness (with the bound port — --port 0 picks a free one) is
     # announced from the event loop, after the listener exists, so a
-    # supervisor can wait for this line before routing traffic.
+    # supervisor can wait for this line before routing traffic.  The
+    # optional "shard=NAME" token is what 'repro route --spawn' and
+    # the fleet harness scrape to learn the advertised address.
+    shard_token = f" shard={args.shard_id}" if args.shard_id else ""
     ready_thread = threading.Thread(
         target=lambda: (
             server.ready.wait(),
-            print(f"repro serve: listening on http://{server.host}:{server.port} "
+            print(f"repro serve: listening on http://{server.host}:{server.port}"
+                  f"{shard_token} "
                   f"(workers={args.solver_workers}, queue={args.queue_limit})",
                   flush=True),
         ),
@@ -599,6 +654,69 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"{jobs['solved']} solved, {jobs['cache_hits']} cache hits, "
           f"{jobs['dedup_fanout']} deduped, {jobs['rejected']} rejected",
           flush=True)
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.service.fleet import spawn_fleet
+    from repro.service.router import Shard, ShardRouter
+
+    if not args.shard and args.spawn <= 0:
+        print("repro route: need --shard and/or --spawn", file=sys.stderr)
+        return 2
+    spawned = []
+    if args.spawn > 0:
+        print(f"repro route: spawning {args.spawn} shard(s)...", flush=True)
+        spawned = spawn_fleet(
+            args.spawn,
+            solver_workers=args.solver_workers,
+            queue_limit=args.queue_limit,
+            cache=args.cache,
+            cache_capacity=args.cache_capacity,
+            deadline=args.deadline,
+            max_expansions=args.max_expansions,
+        )
+        for shard in spawned:
+            print(f"repro route: shard {shard.name} on http://{shard.address}",
+                  flush=True)
+    try:
+        shards: list[Shard | str] = [
+            Shard(s.name, s.host, s.port) for s in spawned
+        ]
+        shards += list(args.shard)
+        router = ShardRouter(
+            shards,
+            args.host,
+            args.port,
+            replicas=args.replicas,
+            probe_interval=args.probe_interval,
+            deep_probes=not args.shallow_probes,
+            forward_timeout=args.forward_timeout,
+            failure_threshold=args.failure_threshold,
+            reset_timeout=args.reset_timeout,
+            max_reset_timeout=args.max_reset_timeout,
+        )
+        ready_thread = threading.Thread(
+            target=lambda: (
+                router.ready.wait(),
+                print(f"repro route: listening on "
+                      f"http://{router.host}:{router.port} "
+                      f"(shards={len(router.shards)})",
+                      flush=True),
+            ),
+            daemon=True,
+        )
+        ready_thread.start()
+        report = router.run()
+        routing = report["routing"]
+        print(f"repro route: drained — {routing['requests']} requests, "
+              f"{routing['routed']} routed, {routing['failovers']} failovers, "
+              f"{routing['no_shard']} unroutable", flush=True)
+    finally:
+        for shard in spawned:
+            shard.terminate()
     return 0
 
 

@@ -328,6 +328,31 @@ class SolverPool:
         )
         return True
 
+    def liveness(self) -> str:
+        """Non-blocking health verdict: empty string = live.
+
+        The deep-readiness probe (``/healthz?deep=1``) must not submit
+        work to find out whether the pool can solve — on a busy pool a
+        ping would queue behind real searches and time out, flagging a
+        perfectly healthy shard as dead.  Instead this inspects
+        executor state directly: the broken flag a worker death sets,
+        and the worker processes' own liveness (the same
+        ``_processes`` view the server benchmark's kill harness uses).
+        A lazily-started executor with no processes yet is live — the
+        first submit will fork them.  Returns a human-readable reason
+        when unhealthy.
+        """
+        ex = self._executor
+        if ex is None:
+            return "pool closed"
+        if getattr(ex, "_broken", False):
+            return "executor broken (worker process died)"
+        processes = getattr(ex, "_processes", None) or {}
+        dead = sum(1 for p in processes.values() if not p.is_alive())
+        if dead:
+            return f"{dead} of {len(processes)} worker processes dead"
+        return ""
+
     def close(self, *, wait: bool = True) -> None:
         """Shut the pool down; idempotent."""
         if self._executor is not None:

@@ -24,7 +24,12 @@ traffic:
   daemon (``repro serve``): an asyncio HTTP front-end with a persistent
   worker pool, bounded admission queue, in-flight dedupe fan-out, and
   graceful SIGTERM drain;
-* :mod:`repro.service.client` — a small blocking client for the daemon.
+* :mod:`repro.service.client` — a small blocking client for the daemon;
+* :mod:`repro.service.router` / :mod:`repro.service.shardcache` /
+  :mod:`repro.service.fleet` — the fleet layer (``repro route``):
+  consistent-hash routing of fingerprints across N shard daemons with
+  health probing, per-shard circuit breakers, failover, drain/rejoin,
+  pluggable (shareable) cache backends, and local shard supervision.
 """
 
 from repro.service.batch import (
@@ -38,6 +43,7 @@ from repro.service.batch import (
 )
 from repro.service.cache import CacheEntry, ResultCache
 from repro.service.client import DaemonUnavailable, ServerClient, ServerError
+from repro.service.fleet import ShardProcess, spawn_fleet, spawn_shard
 from repro.service.fingerprint import (
     assignment_from_canonical,
     canonical_assignment,
@@ -53,25 +59,41 @@ from repro.service.portfolio import (
     select_engine,
     solve_auto,
 )
+from repro.service.router import CircuitBreaker, HashRing, Shard, ShardRouter
 from repro.service.server import SolverServer
+from repro.service.shardcache import (
+    CacheBackend,
+    CacheBackendError,
+    SQLiteBackend,
+    backend_from_spec,
+)
 
 __all__ = [
     "BatchItem",
     "BatchReport",
+    "CacheBackend",
+    "CacheBackendError",
     "CacheEntry",
+    "CircuitBreaker",
     "Draining",
+    "HashRing",
     "ItemOutcome",
     "Job",
     "JobManager",
     "PortfolioResult",
     "QueueFull",
     "ResultCache",
+    "SQLiteBackend",
     "ServerClient",
     "ServerError",
     "DaemonUnavailable",
+    "Shard",
+    "ShardProcess",
+    "ShardRouter",
     "SolverServer",
     "StageReport",
     "assignment_from_canonical",
+    "backend_from_spec",
     "canonical_assignment",
     "canonical_graph",
     "canonical_order",
@@ -83,4 +105,6 @@ __all__ = [
     "run_batch",
     "select_engine",
     "solve_auto",
+    "spawn_fleet",
+    "spawn_shard",
 ]

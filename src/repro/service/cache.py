@@ -3,9 +3,15 @@
 The paper's introduction motivates optimal schedules partly by reuse
 ("once an optimal schedule for a given problem is determined, it can be
 re-used"); this cache is that reuse made operational.  Results live in
-an in-memory LRU (bounded, O(1) touch) in front of an optional SQLite
-store, so a warm service answers repeated instances without searching
+an in-memory LRU (bounded, O(1) touch) in front of an optional durable
+tier, so a warm service answers repeated instances without searching
 and survives restarts.
+
+The durable tier is pluggable (:mod:`repro.service.shardcache`):
+SQLite by default, including a multi-process *shared* mode the sharded
+fleet uses so a failover replay on another shard hits a warm result.
+:class:`CacheEntry` is defined in ``shardcache`` (backends serialize
+it) and re-exported here for compatibility.
 
 Entries store the *canonical* assignment (per canonical node position,
 see :mod:`repro.schedule.fingerprint`), the makespan, the optimality
@@ -23,77 +29,22 @@ overwrites the stale entry.
 
 from __future__ import annotations
 
-import json
 import sqlite3
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field, replace
+from dataclasses import replace
 from pathlib import Path
-from typing import Any
 
+from repro.service.shardcache import (
+    CacheBackend,
+    CacheBackendError,
+    CacheEntry,
+    SQLiteBackend,
+    backend_from_spec,
+)
 from repro.testing import faults
 
-__all__ = ["CacheEntry", "ResultCache"]
-
-
-@dataclass(frozen=True)
-class CacheEntry:
-    """One cached solve, in canonical node space."""
-
-    fingerprint: str
-    assignment: tuple[tuple[int, float], ...]  # (pe, start) per canonical pos
-    makespan: float
-    certificate: str  # "proven" | "epsilon" | "budget" | "degraded"
-    bound: float
-    algorithm: str
-    stats: dict[str, float] = field(default_factory=dict)
-    created: float = 0.0
-
-    @property
-    def proven(self) -> bool:
-        """True when the cached schedule carries an optimality proof."""
-        return self.certificate == "proven"
-
-    def better_than(self, other: "CacheEntry") -> bool:
-        """Replacement order: proof first, then makespan."""
-        if self.proven != other.proven:
-            return self.proven
-        return self.makespan < other.makespan
-
-    #: Payload schema version; bump on any CacheEntry field change so
-    #: stores written by other code versions read as misses, not crashes.
-    SCHEMA = 1
-
-    def as_dict(self) -> dict[str, Any]:
-        """JSON-safe payload (used by the SQLite store and reports)."""
-        return {
-            "schema": self.SCHEMA,
-            "fingerprint": self.fingerprint,
-            "assignment": [[pe, start] for pe, start in self.assignment],
-            "makespan": self.makespan,
-            "certificate": self.certificate,
-            "bound": self.bound,
-            "algorithm": self.algorithm,
-            "stats": self.stats,
-            "created": self.created,
-        }
-
-    @classmethod
-    def from_dict(cls, data: dict[str, Any]) -> "CacheEntry":
-        if data.get("schema") != cls.SCHEMA:
-            raise ValueError(f"unsupported cache payload schema {data.get('schema')!r}")
-        return cls(
-            fingerprint=data["fingerprint"],
-            assignment=tuple(
-                (int(pe), float(start)) for pe, start in data["assignment"]
-            ),
-            makespan=float(data["makespan"]),
-            certificate=data["certificate"],
-            bound=float(data["bound"]),
-            algorithm=data["algorithm"],
-            stats=dict(data.get("stats", {})),
-            created=float(data.get("created", 0.0)),
-        )
+__all__ = ["CacheEntry", "ResultCache", "CacheBackend", "CacheBackendError"]
 
 
 class ResultCache:
@@ -102,19 +53,29 @@ class ResultCache:
     Parameters
     ----------
     path:
-        SQLite file for persistence; ``None`` keeps the cache purely
-        in-memory (still LRU-bounded).
+        The durable tier: a SQLite file path, a ``"shared:PATH"`` spec
+        (multi-process shared store, see
+        :class:`~repro.service.shardcache.SQLiteBackend`), a ready
+        :class:`~repro.service.shardcache.CacheBackend`, or ``None`` /
+        ``"memory"`` for a purely in-memory cache (still LRU-bounded).
+        The cache owns whatever backend it ends up with —
+        :meth:`close` closes it; give each cache its own backend
+        instance (cross-*process* sharing goes through the shared
+        SQLite file, not a shared Python object).
     capacity:
-        Maximum entries held in memory.  The SQLite store is unbounded —
-        evicted entries remain on disk and reload on demand.
+        Maximum entries held in memory.  The durable store is
+        unbounded — evicted entries remain there and reload on demand.
 
     Counters: :attr:`hits` (entry served), :attr:`misses` (nothing
     stored), :attr:`stale` (entry present but rejected by
-    ``require_proven``).
+    ``require_proven``, or a store-level backend failure absorbed).
     """
 
     def __init__(
-        self, path: str | Path | None = None, *, capacity: int = 512
+        self,
+        path: str | Path | CacheBackend | None = None,
+        *,
+        capacity: int = 512,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -123,26 +84,28 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stale = 0
-        self.path = Path(path) if path is not None else None
-        self._db: sqlite3.Connection | None = None
-        if self.path is not None:
-            # check_same_thread=False: the daemon constructs the cache
-            # on its event-loop thread but routes all get/put I/O
-            # through a dedicated single-worker cache executor (see
-            # repro.service.jobs), so the connection crosses threads.
-            # CPython's sqlite3 is built in serialized mode
-            # (threadsafety == 3), making the shared handle safe; the
-            # single-worker executor keeps writes strictly ordered.
-            self._db = sqlite3.connect(str(self.path), check_same_thread=False)
-            self._db.execute(
-                "CREATE TABLE IF NOT EXISTS results ("
-                " fingerprint TEXT PRIMARY KEY,"
-                " payload TEXT NOT NULL,"
-                " makespan REAL NOT NULL,"
-                " proven INTEGER NOT NULL,"
-                " created REAL NOT NULL)"
-            )
-            self._db.commit()
+        self._backend = backend_from_spec(path)
+        self.path = getattr(self._backend, "path", None)
+
+    @property
+    def backend(self) -> CacheBackend | None:
+        """The durable tier (``None`` for memory-only caches)."""
+        return self._backend
+
+    @property
+    def _db(self) -> sqlite3.Connection | None:
+        """Backward-compatible view of the SQLite handle.
+
+        Pre-refactor code (and its tests) used ``cache._db is None`` as
+        the closed/memory-only signal; keep that observable.
+        """
+        if isinstance(self._backend, SQLiteBackend):
+            return self._backend.connection
+        return None
+
+    def _store_open(self) -> bool:
+        """True while the durable tier can be used."""
+        return self._backend is not None and not self._backend.closed
 
     # -- core protocol -------------------------------------------------------
 
@@ -153,8 +116,8 @@ class ResultCache:
         faults.sleep_point("cache-slow")
         faults.raise_point("cache-get-error")
         entry = self._mem.get(fingerprint)
-        if entry is None and self._db is not None:
-            entry = self._load_row(fingerprint)
+        if entry is None and self._store_open():
+            entry = self._load(fingerprint)
             if entry is not None:
                 self._admit(entry)
         if entry is None:
@@ -174,59 +137,38 @@ class ResultCache:
         if entry.created == 0.0:
             entry = replace(entry, created=time.time())
         current = self._mem.get(entry.fingerprint)
-        if current is None and self._db is not None:
-            current = self._load_row(entry.fingerprint)
+        if current is None and self._store_open():
+            current = self._load(entry.fingerprint)
         if current is not None and not entry.better_than(current):
             return False
         self._admit(entry)
-        if self._db is not None:
+        if self._store_open():
             try:
-                self._db.execute(
-                    "INSERT OR REPLACE INTO results"
-                    " (fingerprint, payload, makespan, proven, created)"
-                    " VALUES (?, ?, ?, ?, ?)",
-                    (
-                        entry.fingerprint,
-                        json.dumps(entry.as_dict()),
-                        entry.makespan,
-                        int(entry.proven),
-                        entry.created,
-                    ),
-                )
-                self._db.commit()
-            except sqlite3.DatabaseError:
+                self._backend.store(entry)  # type: ignore[union-attr]
+            except CacheBackendError:
                 # A corrupt store must not abort the batch: the entry
-                # stays served from the memory tier, the broken row is
-                # counted like a stale read.
+                # stays served from the memory tier, the broken write is
+                # counted like a stale read.  Caller bugs (e.g. a
+                # non-serializable entry) are NOT backend errors and
+                # propagate unchanged.
                 self.stale += 1
         return True
 
-    def _load_row(self, fingerprint: str) -> CacheEntry | None:
+    def _load(self, fingerprint: str) -> CacheEntry | None:
         """Read one persisted entry; corruption reads as a miss.
 
-        A store written by a different code version (schema mismatch),
-        a payload mangled by a crash, or a store whose *file* is
-        corrupt (``sqlite3.DatabaseError`` — raised by the query
-        itself, not the JSON decode) must never poison a batch run —
-        the caller falls through to the solver, whose fresh result then
-        overwrites the bad row.  File-level corruption is counted in
+        A store written by a different code version (schema mismatch)
+        or a payload mangled by a crash reads as ``None`` inside the
+        backend; a store whose *file* is broken raises
+        :class:`CacheBackendError`, absorbed here — either way the
+        caller falls through to the solver, whose fresh result then
+        overwrites the bad row.  Store-level failures are counted in
         :attr:`stale`: an entry was (nominally) present but unusable.
         """
         try:
-            row = self._db.execute(  # type: ignore[union-attr]
-                "SELECT payload FROM results WHERE fingerprint = ?",
-                (fingerprint,),
-            ).fetchone()
-        except sqlite3.DatabaseError:
+            return self._backend.load(fingerprint)  # type: ignore[union-attr]
+        except CacheBackendError:
             self.stale += 1
-            return None
-        if row is None:
-            return None
-        try:
-            return CacheEntry.from_dict(json.loads(row[0]))
-        except (ValueError, KeyError, TypeError):
-            # Covers json.JSONDecodeError (a ValueError), schema
-            # mismatches, and structurally-wrong payloads.
             return None
 
     def _admit(self, entry: CacheEntry) -> None:
@@ -250,10 +192,25 @@ class ResultCache:
 
     @property
     def stored_entries(self) -> int:
-        """Entries in the persistent tier (= memory tier when no path)."""
-        if self._db is None:
+        """Entries in the durable tier (= memory tier when none)."""
+        if not self._store_open():
             return len(self._mem)
-        return int(self._db.execute("SELECT COUNT(*) FROM results").fetchone()[0])
+        return self._backend.count()  # type: ignore[union-attr]
+
+    def probe(self) -> None:
+        """Deep-readiness check: prove a future ``put`` would land.
+
+        Runs on the daemon's cache thread for ``/healthz?deep=1``:
+        verifies the durable tier is *writable* (not just present) by
+        round-tripping a scratch write.  Raises
+        :class:`CacheBackendError` on failure; a memory-only or
+        already-closed cache trivially passes (puts degrade to the
+        memory tier by design).
+        """
+        faults.sleep_point("cache-slow")
+        faults.raise_point("cache-probe-error")
+        if self._store_open():
+            self._backend.probe()  # type: ignore[union-attr]
 
     def __len__(self) -> int:
         return len(self._mem)
@@ -261,20 +218,14 @@ class ResultCache:
     def __contains__(self, fingerprint: str) -> bool:
         if fingerprint in self._mem:
             return True
-        if self._db is None:
+        if not self._store_open():
             return False
-        return (
-            self._db.execute(
-                "SELECT 1 FROM results WHERE fingerprint = ?", (fingerprint,)
-            ).fetchone()
-            is not None
-        )
+        return self._backend.contains(fingerprint)  # type: ignore[union-attr]
 
     def close(self) -> None:
-        """Close the SQLite handle (no-op for in-memory caches)."""
-        if self._db is not None:
-            self._db.close()
-            self._db = None
+        """Close the durable tier (no-op for in-memory caches)."""
+        if self._backend is not None:
+            self._backend.close()
 
     def __enter__(self) -> "ResultCache":
         return self
@@ -283,7 +234,7 @@ class ResultCache:
         self.close()
 
     def __repr__(self) -> str:
-        tier = str(self.path) if self.path else "memory"
+        tier = self._backend.describe() if self._backend else "memory"
         return (
             f"ResultCache({len(self._mem)}/{self.capacity} in memory, "
             f"store={tier}, hits={self.hits}, misses={self.misses})"

@@ -213,20 +213,51 @@ class ServerClient:
 
         The poll interval starts at ``poll`` and grows 1.5x per round
         up to ``poll_cap``, so long solves do not hammer the daemon
-        while short ones still return promptly.  Raises
-        :class:`DaemonUnavailable` if the daemon dies mid-poll (after
-        the transport retries) and :class:`TimeoutError` when the job
-        outlives ``timeout``.
+        while short ones still return promptly.  Backpressure answers
+        (429/503 — e.g. the daemon started draining mid-poll, or a
+        router briefly has no healthy shard) honor the server's
+        ``Retry-After`` hint exactly like :meth:`solve` does, instead
+        of surfacing as errors.  Raises :class:`DaemonUnavailable`
+        after ``retries + 1`` consecutive transport failures (daemon
+        died mid-poll), :class:`ServerError` on any other non-2xx, and
+        :class:`TimeoutError` when the job outlives ``timeout``.
         """
         t0 = time.monotonic()
         interval = poll
+        transport_failures = 0
+        last_state = "unknown"
+        last_exc: Exception | None = None
+        path = f"/v1/jobs/{job_id}"
         while True:
-            snapshot = self.job(job_id)
-            if snapshot["status"] in ("done", "failed"):
-                return snapshot
+            try:
+                status, data, headers = self._request_raw("GET", path)
+            except (ConnectionError, http.client.HTTPException, OSError) as exc:
+                last_exc = exc
+                transport_failures += 1
+                if transport_failures > self.retries:
+                    raise DaemonUnavailable(
+                        f"daemon at {self.host}:{self.port} unreachable after "
+                        f"{transport_failures} attempt(s): "
+                        f"{type(exc).__name__}: {exc}"
+                    ) from last_exc
+                self._sleep_before_retry(transport_failures - 1, None)
+                continue
+            transport_failures = 0
+            if status in (429, 503):
+                if time.monotonic() - t0 > timeout:
+                    raise TimeoutError(
+                        f"job {job_id} still {last_state} after {timeout}s"
+                    )
+                self._sleep_before_retry(0, headers.get("retry-after"))
+                continue
+            if status >= 300:
+                raise ServerError(status, data)
+            last_state = data["status"]
+            if last_state in ("done", "failed"):
+                return data
             if time.monotonic() - t0 > timeout:
                 raise TimeoutError(
-                    f"job {job_id} still {snapshot['status']} after {timeout}s"
+                    f"job {job_id} still {last_state} after {timeout}s"
                 )
             time.sleep(interval)
             interval = min(interval * 1.5, poll_cap)

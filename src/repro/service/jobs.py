@@ -130,6 +130,22 @@ _MAX_SOLVER_WORKERS = 16
 #: shutdown would hang before the server-side close grace is reached.
 _CACHE_PUT_GRACE = 10.0
 
+#: Bounds for the adaptive ``Retry-After`` hint on 429/503 responses.
+#: The floor keeps the hint a valid positive integer even on an idle
+#: (draining) daemon; the ceiling keeps clients from parking for
+#: minutes on a queue that drains in seconds once a long solve ends.
+_RETRY_AFTER_MIN = 1
+_RETRY_AFTER_MAX = 30
+
+#: Smoothing factor for the solve-seconds EWMA behind the hint
+#: (weight of the newest observation).
+_SOLVE_EWMA_ALPHA = 0.2
+
+#: Seconds the deep-readiness probe waits for the cache thread before
+#: declaring the store wedged (a ``/healthz?deep=1`` answer must come
+#: back well inside the router's probe timeout).
+_DEEP_PROBE_TIMEOUT = 5.0
+
 
 def _validate_options(options: dict[str, Any]) -> None:
     """Type- and bounds-check request-supplied solver options, so a bad
@@ -270,6 +286,11 @@ class JobManager:
     probe_every:
         Convergence-sampling interval forwarded to every solve; the
         timelines come back as ``search.timeline`` trace events.
+    shard_id:
+        Identity of this daemon within a sharded fleet (see
+        :mod:`repro.service.router`); surfaced in ``/metrics`` so the
+        router and operators can attribute scraped numbers to a shard.
+        ``None`` (standalone daemon) omits the field.
     """
 
     def __init__(
@@ -291,6 +312,7 @@ class JobManager:
         history_limit: int = 4096,
         tracer: Tracer | None = None,
         probe_every: int | None = None,
+        shard_id: str | None = None,
     ) -> None:
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
@@ -312,8 +334,12 @@ class JobManager:
             "preprocess": preprocess,
         }
         self.history_limit = history_limit
+        self.shard_id = shard_id
         self.draining = False
         self.started_at = time.time()
+        #: EWMA of fresh-solve wall seconds, feeding the adaptive
+        #: ``Retry-After`` hint; ``None`` until the first solve lands.
+        self._solve_ewma: float | None = None
 
         self._queue: asyncio.Queue[Job] = asyncio.Queue()
         self._jobs: OrderedDict[str, Job] = OrderedDict()
@@ -633,6 +659,13 @@ class JobManager:
             "Per-engine solver wall time for fresh solves.",
             labels={"engine": algo.split("(", 1)[0]},
         ).observe(payload["seconds"])
+        seconds = float(payload["seconds"])
+        self._solve_ewma = (
+            seconds
+            if self._solve_ewma is None
+            else (1 - _SOLVE_EWMA_ALPHA) * self._solve_ewma
+            + _SOLVE_EWMA_ALPHA * seconds
+        )
         expanded = payload["stats"].get("states_expanded")
         if expanded is not None:
             self._h_expansions.observe(expanded)
@@ -821,7 +854,76 @@ class JobManager:
                 pass
         self._runners = []
 
+    # -- deep readiness ------------------------------------------------------
+
+    async def deep_checks(self) -> dict[str, str]:
+        """The checks behind ``/healthz?deep=1``: can this daemon
+        actually *solve*, not merely answer HTTP?
+
+        * ``pool`` — :meth:`SolverPool.liveness`: non-blocking, so a
+          busy-but-healthy pool stays green (submitting a ping would
+          queue behind real searches and time out).
+        * ``cache`` — :meth:`ResultCache.probe` on the cache thread:
+          round-trips a scratch write, bounded by
+          :data:`_DEEP_PROBE_TIMEOUT` so a wedged store reads as
+          unhealthy instead of wedging the probe.
+
+        Returns ``{check: "ok" | reason}``; the server answers 503
+        when any check fails, which is what tells the fleet router to
+        stop routing here (see :mod:`repro.service.router`).
+        """
+        checks: dict[str, str] = {}
+        pool_problem = self.pool.liveness()
+        checks["pool"] = pool_problem or "ok"
+        if self.cache is None:
+            checks["cache"] = "ok"
+        else:
+            try:
+                await asyncio.wait_for(
+                    self._cache_call(self.cache.probe),
+                    timeout=_DEEP_PROBE_TIMEOUT,
+                )
+            except asyncio.TimeoutError:
+                checks["cache"] = (
+                    f"probe not answered in {_DEEP_PROBE_TIMEOUT}s "
+                    "(cache thread wedged)"
+                )
+            except Exception as exc:  # noqa: BLE001 - any store failure
+                # (CacheBackendError, injected faults, ...) must read
+                # as an unhealthy check, never break the probe route.
+                checks["cache"] = f"{type(exc).__name__}: {exc}"
+            else:
+                checks["cache"] = "ok"
+        return checks
+
     # -- introspection -------------------------------------------------------
+
+    def followers_waiting(self) -> int:
+        """Requests currently riding an in-flight primary as dedupe
+        followers.  Reported separately from :attr:`queue_depth` —
+        which counts *unique* pending problems only — so a burst of
+        identical requests is visible as fan-out, not hidden queue
+        pressure (or, worse, mistaken for an idle queue)."""
+        return sum(len(v) for v in self._followers.values())
+
+    def retry_after_hint(self) -> int:
+        """Adaptive ``Retry-After`` seconds for 429/503 responses.
+
+        Estimates when a queue slot will open: unique work ahead of
+        the client (queued + running) times the recent fresh-solve
+        wall time (EWMA; 1s before any solve has landed), divided by
+        the runner count, clamped to
+        [:data:`_RETRY_AFTER_MIN`, :data:`_RETRY_AFTER_MAX`].  A full
+        queue of second-long solves tells clients to come back tens of
+        seconds later instead of the historical fixed ``1``, which had
+        the whole rejected burst re-arrive while the queue was still
+        full.
+        """
+        pending = self._queue.qsize() + self._running
+        runners = max(1, len(self._runners) or self.pool.workers)
+        per_solve = self._solve_ewma if self._solve_ewma else 1.0
+        eta = math.ceil(pending * per_solve / runners)
+        return int(min(_RETRY_AFTER_MAX, max(_RETRY_AFTER_MIN, eta)))
 
     def metrics(self) -> dict[str, Any]:
         """The ``GET /metrics`` payload."""
@@ -829,10 +931,16 @@ class JobManager:
         hit_rate = (
             self.counters["cache_hits"] / submitted if submitted else 0.0
         )
+        if self.shard_id is not None:
+            return {"shard": self.shard_id, **self._metrics_body(hit_rate)}
+        return self._metrics_body(hit_rate)
+
+    def _metrics_body(self, hit_rate: float) -> dict[str, Any]:
         return {
             "uptime_seconds": time.time() - self.started_at,
             "draining": self.draining,
             "queue_depth": self._queue.qsize(),
+            "dedup_followers": self.followers_waiting(),
             "queue_limit": self.queue_limit,
             "running": self._running,
             "in_flight": len(self._inflight),
@@ -885,6 +993,9 @@ class JobManager:
               "1 while drain is in progress, else 0.")
         gauge("queue_depth", m["queue_depth"],
               "Unique jobs queued, not yet running.")
+        gauge("dedup_followers", m["dedup_followers"],
+              "Requests riding an in-flight primary as dedupe "
+              "followers (not counted in queue_depth).")
         gauge("queue_limit", m["queue_limit"],
               "Admission-control capacity (unique pending jobs).")
         gauge("jobs_running", m["running"],

@@ -33,6 +33,11 @@ API
     or evicted.
 ``GET /healthz``
     Liveness: 200 ``{"status": "ok"}`` (``"draining"`` during drain).
+    ``?deep=1`` upgrades it to a *readiness* probe: verifies the
+    solver pool's workers are alive and the result store accepts
+    writes; 503 with per-check reasons when the daemon answers but
+    cannot solve (or is draining) — the signal the fleet router keys
+    health decisions on.
 ``GET /metrics``
     Queue depth, running/in-flight counts, job counters (cache hits,
     dedupe fan-out, rejects), per-engine solve counts, cache counters,
@@ -45,6 +50,7 @@ API
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import signal
 import threading
@@ -56,40 +62,25 @@ from urllib.parse import parse_qs
 from repro.errors import ReproError
 from repro.obs.trace import Tracer
 from repro.parallel.mp_backend import SolverPool
+from repro.service import httpwire
 from repro.service.cache import ResultCache
+from repro.service.httpwire import BadRequest as _BadRequest
 from repro.service.jobs import Draining, JobManager, QueueFull
+from repro.testing import faults
 
 __all__ = ["SolverServer"]
 
-#: Largest accepted request body (a v=1000 dense graph is ~10 MB).
-_MAX_BODY = 32 * 1024 * 1024
 #: Seconds an idle or trickling client may take to deliver one request
 #: before the connection is dropped (bounds handler-task lifetime).
-_READ_TIMEOUT = 30.0
-#: Header-line cap per request.
-_MAX_HEADERS = 100
+_READ_TIMEOUT = httpwire.READ_TIMEOUT
 #: Seconds the drain waits for the cache thread to flush and close
 #: before abandoning a wedged store (see SolverServer.drain).
 _CACHE_CLOSE_GRACE = 10.0
-_STATUS_TEXT = {
-    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 408: "Request Timeout",
-    413: "Payload Too Large", 429: "Too Many Requests",
-    500: "Internal Server Error", 503: "Service Unavailable",
-}
 
 
 def _cache_barrier_noop() -> None:
     """Drain barrier for a caller-owned cache: proves the cache thread
     is still responsive without touching the cache itself."""
-
-
-class _BadRequest(Exception):
-    """Unparseable request; carries the HTTP status to answer with."""
-
-    def __init__(self, message: str, *, status: int = 400) -> None:
-        super().__init__(message)
-        self.status = status
 
 
 class SolverServer:
@@ -126,9 +117,16 @@ class SolverServer:
         warm: bool = True,
         obs_trace: str | Path | None = None,
         probe_every: int | None = None,
+        shard_id: str | None = None,
+        cache_capacity: int | None = None,
     ) -> None:
         self.host = host
         self.port = port  # rebound to the real port after bind (port=0)
+        # Identity within a sharded fleet (repro.service.router); also
+        # printed on the readiness line so the router / soak harness
+        # can scrape it together with the advertised address.
+        self.shard_id = shard_id
+        self._cache_capacity = cache_capacity
         self.solver_workers = solver_workers
         self.queue_limit = queue_limit
         self.warm = warm
@@ -180,9 +178,15 @@ class SolverServer:
             max_workers=1, thread_name_prefix="repro-cache"
         )
         if self.cache is None and self._owns_cache:
+            make_cache = functools.partial(ResultCache, self._cache_arg)
+            if self._cache_capacity is not None:
+                make_cache = functools.partial(
+                    ResultCache, self._cache_arg,
+                    capacity=self._cache_capacity,
+                )
             loop = asyncio.get_running_loop()
             self.cache = await loop.run_in_executor(
-                self._cache_thread, ResultCache, self._cache_arg
+                self._cache_thread, make_cache
             )
         self.pool = SolverPool(self.solver_workers)
         if self.warm:
@@ -196,6 +200,7 @@ class SolverServer:
             queue_limit=self.queue_limit,
             tracer=self.tracer,
             probe_every=self.probe_every,
+            shard_id=self.shard_id,
             **self._solver_defaults,
         )
         self.manager.start()
@@ -294,36 +299,25 @@ class SolverServer:
             status, payload = await self._respond(reader)
         except Exception as exc:  # noqa: BLE001 - never kill the acceptor
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        # A str payload is pre-rendered text (the Prometheus exposition
-        # endpoint); everything else stays JSON.
-        if isinstance(payload, str):
-            body = payload.encode()
-            ctype = "text/plain; version=0.0.4; charset=utf-8"
-        else:
-            body = json.dumps(payload).encode()
-            ctype = "application/json"
         # Backpressure responses advertise when to come back, so
         # well-behaved clients (ServerClient included) retry instead of
-        # hammering or giving up.
-        retry_after = "Retry-After: 1\r\n" if status in (429, 503) else ""
-        head = (
-            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: {ctype}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"{retry_after}"
-            f"Connection: close\r\n\r\n"
-        ).encode()
-        try:
-            writer.write(head + body)
-            await writer.drain()
-        except (ConnectionError, BrokenPipeError):
-            pass  # client went away mid-response
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, BrokenPipeError):
-                pass
+        # hammering or giving up.  The hint is adaptive: queue depth
+        # times recent solve time, not a fixed constant that would have
+        # the whole rejected burst re-arrive while the queue is still
+        # full (see JobManager.retry_after_hint).
+        retry_after = ""
+        if status in (429, 503):
+            hint = (
+                self.manager.retry_after_hint() if self.manager is not None
+                else 1
+            )
+            retry_after = f"Retry-After: {hint}\r\n"
+        await httpwire.deliver_response(
+            writer,
+            httpwire.render_response(
+                status, payload, extra_headers=retry_after
+            ),
+        )
 
     async def _respond(
         self, reader: asyncio.StreamReader
@@ -347,34 +341,8 @@ class SolverServer:
     async def _read_request(
         self, reader: asyncio.StreamReader
     ) -> tuple[str, str, bytes]:
-        """Read one HTTP/1.1 request: line, headers, body."""
-        request_line = await reader.readline()
-        parts = request_line.decode("latin-1").split()
-        if len(parts) < 2:
-            raise _BadRequest("malformed request line")
-        method, path = parts[0].upper(), parts[1]
-
-        content_length = 0
-        for _ in range(_MAX_HEADERS):
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    raise _BadRequest("bad Content-Length") from None
-                if content_length < 0:
-                    raise _BadRequest("bad Content-Length")
-        else:
-            raise _BadRequest(f"more than {_MAX_HEADERS} header lines")
-        if content_length > _MAX_BODY:
-            raise _BadRequest(f"body exceeds {_MAX_BODY} bytes", status=413)
-        body = (
-            await reader.readexactly(content_length) if content_length else b""
-        )
-        return method, path, body
+        """Read one HTTP/1.1 request (shared wire dialect)."""
+        return await httpwire.read_request(reader)
 
     async def _route(
         self, method: str, path: str, body: bytes
@@ -385,6 +353,9 @@ class SolverServer:
             if method != "GET":
                 return 405, {"error": "use GET"}
             status = "draining" if self.manager.draining else "ok"
+            deep = parse_qs(query).get("deep", ["0"])[-1]
+            if deep in ("1", "true"):
+                return await self._deep_health(status)
             return 200, {"status": status}
         if path == "/metrics":
             if method != "GET":
@@ -408,8 +379,40 @@ class SolverServer:
             return await self._solve(body)
         return 404, {"error": f"no route {method} {path}"}
 
+    async def _deep_health(
+        self, status: str
+    ) -> tuple[int, dict[str, Any]]:
+        """``/healthz?deep=1``: readiness, not mere liveness.
+
+        The shallow probe proves the event loop answers; this one
+        proves the daemon can *do its job* — the solver pool's worker
+        processes are alive (non-blocking inspection, so a busy pool
+        stays green) and the result store accepts writes (a scratch
+        write on the cache thread, bounded so a wedged disk reads as
+        unhealthy).  A draining daemon is deep-unhealthy by definition:
+        it answers but accepts no work, which is exactly what the fleet
+        router needs to know to stop routing here.
+        """
+        assert self.manager is not None
+        checks = await self.manager.deep_checks()
+        if status != "ok":
+            verdict = status  # draining
+        elif all(v == "ok" for v in checks.values()):
+            verdict = "ok"
+        else:
+            verdict = "unhealthy"
+        payload: dict[str, Any] = {"status": verdict, "checks": checks}
+        if self.shard_id is not None:
+            payload["shard"] = self.shard_id
+        return (200 if verdict == "ok" else 503), payload
+
     async def _solve(self, body: bytes) -> tuple[int, dict[str, Any]]:
         assert self.manager is not None
+        # Chaos hook: a whole-shard hard death (os._exit, no cleanup)
+        # at the moment a request is being accepted — the closest
+        # in-tree stand-in for an OOM-killed or SIGKILLed shard the
+        # fleet router must absorb (tests/chaos/test_router_chaos.py).
+        faults.crash_point("shard-crash")
         try:
             obj = json.loads(body)
         except json.JSONDecodeError as exc:

@@ -33,8 +33,17 @@ Injection sites currently wired into the runtime:
                       process; only heartbeat supervision catches it.
 ``cache-put-error``   ``ResultCache.put``: raise ``InjectedFault``.
 ``cache-get-error``   ``ResultCache.get``: raise ``InjectedFault``.
-``cache-slow``        ``ResultCache.put``/``get``: sleep ``arg``
-                      seconds (default 0.2) before the real call.
+``cache-probe-error`` ``ResultCache.probe``: raise ``InjectedFault``
+                      (flips ``/healthz?deep=1`` to 503 on a live
+                      daemon — the router-side eviction drill).
+``cache-slow``        ``ResultCache.put``/``get``/``probe``: sleep
+                      ``arg`` seconds (default 0.2) before the real
+                      call.
+``shard-crash``       Solver daemon (`SolverServer._solve`): hard
+                      ``os._exit`` of the whole shard process at the
+                      Nth accepted solve request (arg = exit code) —
+                      the deterministic stand-in for an OOM/SIGKILLed
+                      shard in router chaos tests.
 ``solve-crash``       Pool worker (`_worker_solve`): hard ``os._exit``
                       before solving — kills the executor process and
                       exercises the BrokenExecutor rebuild + degraded

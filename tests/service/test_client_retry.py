@@ -156,8 +156,10 @@ class TestRawRequestNeverRetries:
 class TestWaitPolling:
     def test_poll_interval_grows_to_cap(self, monkeypatch):
         client = ServerClient()
-        snapshots = [{"status": "queued"}] * 5 + [{"status": "done"}]
-        monkeypatch.setattr(client, "job", lambda job_id: snapshots.pop(0))
+        scripted(client, [
+            *[(200, {"status": "queued"}, {})] * 5,
+            (200, {"status": "done"}, {}),
+        ], [])
         slept: list[float] = []
         monkeypatch.setattr("repro.service.client.time.sleep", slept.append)
         out = client.wait("j1", poll=0.1, poll_cap=0.3)
@@ -176,9 +178,24 @@ class TestWaitPolling:
             client.wait("j1", poll=0.01)
         assert len(calls) == 3  # one good poll, then retry, then give up
 
+    def test_transport_failure_count_resets_on_success(self, no_sleep):
+        """Consecutive-failure accounting: a successful poll between
+        two transport errors starts the retry budget over, so a flaky
+        network does not accumulate toward DaemonUnavailable forever."""
+        client = ServerClient(retries=1, backoff=0.01)
+        calls: list = []
+        scripted(client, [
+            ConnectionResetError("blip"),
+            (200, {"status": "queued"}, {}),
+            ConnectionResetError("blip again"),
+            (200, {"status": "done"}, {}),
+        ], calls)
+        assert client.wait("j1", poll=0.01)["status"] == "done"
+        assert len(calls) == 4
+
     def test_timeout_raises_with_last_status(self, monkeypatch):
         client = ServerClient()
-        monkeypatch.setattr(client, "job", lambda job_id: {"status": "running"})
+        scripted(client, [(200, {"status": "running"}, {})] * 20, [])
         fake_now = [0.0]
         monkeypatch.setattr(
             "repro.service.client.time.monotonic", lambda: fake_now[0]
@@ -190,3 +207,37 @@ class TestWaitPolling:
         monkeypatch.setattr("repro.service.client.time.sleep", advance)
         with pytest.raises(TimeoutError, match="still running"):
             client.wait("j1", timeout=1.0, poll=0.4)
+
+    def test_wait_honors_retry_after_on_backpressure(self, no_sleep):
+        """429/503 mid-poll (daemon draining, router between shards)
+        backs off by the server's Retry-After hint — same contract as
+        solve() — instead of raising or hammering."""
+        client = ServerClient(retries=0, backoff=0.01)
+        calls: list = []
+        scripted(client, [
+            (503, {"error": "draining"}, {"retry-after": "7"}),
+            (200, {"status": "done"}, {}),
+        ], calls)
+        out = client.wait("j1", poll=0.01)
+        assert out["status"] == "done"
+        assert len(calls) == 2
+        # Hinted 7s is capped at _BACKOFF_CAP (2.0s) and jittered into
+        # [cap/2, cap] — never the raw hint, never zero.
+        assert len(no_sleep) == 1
+        assert 1.0 <= no_sleep[0] <= 2.0
+
+    def test_wait_backpressure_still_times_out(self, monkeypatch):
+        """A daemon answering 503 forever must not pin wait() in an
+        endless backoff loop once the caller's timeout has passed."""
+        client = ServerClient(retries=0)
+        scripted(client, [(503, {"error": "draining"}, {})] * 20, [])
+        fake_now = [0.0]
+        monkeypatch.setattr(
+            "repro.service.client.time.monotonic", lambda: fake_now[0]
+        )
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep",
+            lambda seconds: fake_now.__setitem__(0, fake_now[0] + seconds),
+        )
+        with pytest.raises(TimeoutError):
+            client.wait("j1", timeout=1.0, poll=0.1)

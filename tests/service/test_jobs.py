@@ -27,6 +27,10 @@ class ThreadPool:
     def __init__(self, workers: int = 1):
         self.workers = workers
         self.executor = ThreadPoolExecutor(max_workers=workers)
+        self.liveness_report = ""  # "" == live, like SolverPool.liveness
+
+    def liveness(self):
+        return self.liveness_report
 
     def close(self):
         self.executor.shutdown()
@@ -427,3 +431,89 @@ class TestHistoryEviction:
             pool.close()
 
         asyncio.run(scenario())
+
+
+class TestFleetReadiness:
+    """The JobManager surface the fleet router depends on: deep
+    checks, the adaptive Retry-After hint, and dedupe-follower
+    visibility."""
+
+    def test_deep_checks_healthy(self):
+        async def scenario():
+            manager, pool = make_manager()
+            checks = await manager.deep_checks()
+            assert checks == {"pool": "ok", "cache": "ok"}
+            pool.close()
+
+        asyncio.run(scenario())
+
+    def test_deep_checks_report_a_sick_pool(self):
+        async def scenario():
+            manager, pool = make_manager()
+            pool.liveness_report = "1 of 2 worker processes dead"
+            checks = await manager.deep_checks()
+            assert checks["pool"] == "1 of 2 worker processes dead"
+            pool.close()
+
+        asyncio.run(scenario())
+
+    def test_deep_checks_report_a_broken_cache(self):
+        from repro.service.shardcache import CacheBackend, CacheBackendError
+
+        class DeadStore(CacheBackend):
+            kind = "dead"
+
+            def load(self, fingerprint):
+                return None
+
+            def store(self, entry):
+                raise CacheBackendError("disk gone")
+
+            def count(self):
+                return 0
+
+            def contains(self, fingerprint):
+                return False
+
+            def probe(self):
+                raise CacheBackendError("disk gone")
+
+        async def scenario():
+            pool = ThreadPool()
+            manager = JobManager(pool, cache=ResultCache(DeadStore()))
+            checks = await manager.deep_checks()
+            assert checks["pool"] == "ok"
+            assert "disk gone" in checks["cache"]
+            pool.close()
+
+        asyncio.run(scenario())
+
+    def test_retry_after_hint_scales_with_backlog(self):
+        manager, pool = make_manager()
+        assert manager.retry_after_hint() == 1  # idle: the floor
+        for seed in range(4):
+            manager.submit(request_obj(seed=seed))  # not started: queued
+        manager._solve_ewma = 5.0
+        # 4 pending x 5s each / 1 runner = 20s.
+        assert manager.retry_after_hint() == 20
+        manager._solve_ewma = 100.0
+        assert manager.retry_after_hint() == 30  # clamped to the cap
+        pool.close()
+
+    def test_dedup_followers_counted_separately_from_queue(self):
+        manager, pool = make_manager()
+        first = manager.submit(request_obj(seed=3))
+        follower = manager.submit(request_obj(seed=3))  # same fingerprint
+        assert follower.fingerprint == first.fingerprint
+        assert manager.followers_waiting() == 1
+        m = manager.metrics()
+        assert m["dedup_followers"] == 1
+        assert m["queue_depth"] == 1  # uniques only
+        pool.close()
+
+    def test_shard_id_labels_metrics(self):
+        pool = ThreadPool()
+        manager = JobManager(pool, shard_id="s7")
+        assert manager.metrics()["shard"] == "s7"
+        assert "shard" not in make_manager()[0].metrics()
+        pool.close()

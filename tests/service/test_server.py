@@ -429,3 +429,132 @@ class TestPrometheusEndpoint:
     def test_json_remains_the_default(self, client):
         m = client.metrics()
         assert "jobs" in m  # decoded as JSON, not text
+
+
+class TestDeepReadiness:
+    """``/healthz?deep=1`` — the probe the fleet router points at."""
+
+    def test_deep_ok_on_a_healthy_daemon(self, client):
+        status, data = client.request("GET", "/healthz?deep=1")
+        assert status == 200
+        assert data["status"] == "ok"
+        assert data["checks"] == {"pool": "ok", "cache": "ok"}
+
+    def test_shallow_healthz_payload_unchanged(self, client):
+        # The historical liveness contract: no checks, no new keys.
+        assert client.healthz() == {"status": "ok"}
+
+    def test_cache_probe_fault_flips_deep_to_503(self, tmp_path, monkeypatch):
+        from repro.testing import faults
+
+        server = SolverServer(port=0, solver_workers=1, queue_limit=4,
+                              cache=tmp_path / "deep.db",
+                              max_expansions=20_000)
+        thread = server.serve_in_thread()
+        try:
+            client = ServerClient(port=server.port, retries=0)
+            status, data = client.request("GET", "/healthz?deep=1")
+            assert status == 200 and data["checks"]["cache"] == "ok"
+            monkeypatch.setenv(faults.ENV_VAR, "cache-probe-error")
+            status, data = client.request("GET", "/healthz?deep=1")
+            assert status == 503
+            assert data["status"] == "unhealthy"
+            assert "InjectedFault" in data["checks"]["cache"]
+            assert data["checks"]["pool"] == "ok"  # pool stayed green
+            # The fault fires once; readiness recovers on the next probe
+            # (and routine traffic was never affected).
+            status, data = client.request("GET", "/healthz?deep=1")
+            assert status == 200 and data["status"] == "ok"
+        finally:
+            monkeypatch.delenv(faults.ENV_VAR, raising=False)
+            server.shutdown()
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+
+
+class TestFleetIdentity:
+    def test_shard_id_labels_metrics_and_deep_health(self):
+        server = SolverServer(port=0, solver_workers=1, queue_limit=4,
+                              shard_id="s9", max_expansions=20_000)
+        thread = server.serve_in_thread()
+        try:
+            client = ServerClient(port=server.port)
+            assert client.metrics()["shard"] == "s9"
+            status, data = client.request("GET", "/healthz?deep=1")
+            assert status == 200 and data["shard"] == "s9"
+        finally:
+            server.shutdown()
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+
+    def test_unlabeled_daemon_has_no_shard_key(self, client):
+        assert "shard" not in client.metrics()
+
+
+class TestAdaptiveRetryAfter:
+    def test_dedup_followers_exposed_in_metrics(self, client, server):
+        m = client.metrics()
+        assert "dedup_followers" in m
+        assert isinstance(m["dedup_followers"], int)
+
+    def test_dedup_followers_in_prometheus(self, server):
+        import http.client as hc
+
+        conn = hc.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            conn.request("GET", "/metrics?format=prometheus")
+            body = conn.getresponse().read().decode()
+        finally:
+            conn.close()
+        assert "# TYPE repro_dedup_followers gauge" in body
+        assert "repro_dedup_followers" in body
+
+    def test_429_carries_an_adaptive_retry_after(self):
+        """With the queue wedged full by a slow solve, the Retry-After
+        on the 429 reflects the backlog estimate, not the historical
+        constant 1."""
+        from repro.testing import faults
+
+        server = SolverServer(port=0, solver_workers=1, queue_limit=1,
+                              max_expansions=20_000)
+        thread = server.serve_in_thread()
+        try:
+            # Nudge the EWMA so the estimate is distinguishable from 1s.
+            server.manager._solve_ewma = 10.0
+            client = ServerClient(port=server.port, retries=0)
+            import http.client as hc
+
+            # Wedge: one slow request occupies the runner, one more
+            # fills the queue, the next is rejected.
+            monkeypatch_env = faults.ENV_VAR
+            os.environ[monkeypatch_env] = "solve-slow:2.0"
+            try:
+                slow = [graph_for(seed=600 + s, v=10) for s in range(3)]
+                statuses = []
+                retry_afters = []
+                for graph in slow:
+                    body = client.solve_request(graph, pes=3, wait=False)
+                    conn = hc.HTTPConnection("127.0.0.1", server.port,
+                                             timeout=30)
+                    try:
+                        conn.request("POST", "/v1/solve",
+                                     body=json.dumps(body),
+                                     headers={"Content-Type":
+                                              "application/json"})
+                        resp = conn.getresponse()
+                        statuses.append(resp.status)
+                        retry_afters.append(resp.getheader("Retry-After"))
+                        resp.read()
+                    finally:
+                        conn.close()
+                assert 429 in statuses
+                hint = int(retry_afters[statuses.index(429)])
+                # >= 2 pending x 10s EWMA / 1 runner, capped at 30.
+                assert hint > 1
+                assert hint <= 30
+            finally:
+                os.environ.pop(monkeypatch_env, None)
+        finally:
+            server.shutdown()
+            thread.join(timeout=120)
+            assert not thread.is_alive()
